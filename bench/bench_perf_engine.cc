@@ -1,0 +1,71 @@
+// Google-benchmark micro-benchmarks for the substrates: event-engine
+// throughput, the exact Shapley solver, and the RAND scheduler's overhead
+// relative to a plain policy.
+
+#include <benchmark/benchmark.h>
+
+#include "sched/rand_fair.h"
+#include "sched/runner.h"
+#include "shapley/shapley.h"
+#include "sim/engine.h"
+#include "workload/synthetic.h"
+
+namespace fairsched {
+namespace {
+
+const Instance& bench_instance() {
+  static const Instance inst = make_synthetic_instance(
+      preset_lpc_egee(), 5, 50000, MachineSplit::kZipf, 1.0, 5);
+  return inst;
+}
+
+void BM_EngineFcfs(benchmark::State& state) {
+  const Instance& inst = bench_instance();
+  for (auto _ : state) {
+    const RunResult r =
+        run_algorithm(inst, parse_algorithm("fcfs"), 50000, 1);
+    benchmark::DoNotOptimize(r.work_done);
+  }
+  state.counters["jobs_per_s"] = benchmark::Counter(
+      static_cast<double>(inst.num_jobs()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EngineFcfs)->Unit(benchmark::kMillisecond);
+
+void BM_EngineDirectContr(benchmark::State& state) {
+  const Instance& inst = bench_instance();
+  for (auto _ : state) {
+    const RunResult r =
+        run_algorithm(inst, parse_algorithm("directcontr"), 50000, 1);
+    benchmark::DoNotOptimize(r.work_done);
+  }
+}
+BENCHMARK(BM_EngineDirectContr)->Unit(benchmark::kMillisecond);
+
+void BM_RandScheduler(benchmark::State& state) {
+  const Instance& inst = bench_instance();
+  const std::size_t samples = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    RandScheduler rand(inst, RandOptions{samples, 3});
+    rand.run(50000);
+    benchmark::DoNotOptimize(rand.work_done());
+  }
+  state.counters["N"] = static_cast<double>(samples);
+}
+BENCHMARK(BM_RandScheduler)->Arg(15)->Arg(75)->Unit(benchmark::kMillisecond);
+
+void BM_ShapleyExact(benchmark::State& state) {
+  const std::uint32_t k = static_cast<std::uint32_t>(state.range(0));
+  auto v = [](Coalition c) {
+    return static_cast<double>(c.size()) * 1.5 +
+           static_cast<double>(c.mask() % 13);
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shapley_exact(k, v));
+  }
+}
+BENCHMARK(BM_ShapleyExact)->Arg(5)->Arg(10)->Arg(15)->Arg(20);
+
+}  // namespace
+}  // namespace fairsched
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Google-benchmark: REF's running time versus the number of organizations
+// (Proposition 3.4 / Corollary 3.5 — the problem is FPT in k, with the
+// per-decision cost growing as ~3^k while remaining polynomial in the
+// number of jobs).
+
+#include <benchmark/benchmark.h>
+
+#include "sched/ref.h"
+#include "workload/synthetic.h"
+
+namespace fairsched {
+namespace {
+
+void BM_RefVsOrgs(benchmark::State& state) {
+  const std::uint32_t k = static_cast<std::uint32_t>(state.range(0));
+  SyntheticSpec spec = preset_lpc_egee();
+  const Time duration = 2000;
+  const Instance inst = make_synthetic_instance(spec, k, duration,
+                                                MachineSplit::kZipf, 1.0, 17);
+  for (auto _ : state) {
+    RefScheduler ref(inst);
+    ref.run(duration);
+    benchmark::DoNotOptimize(ref.reference_work());
+  }
+  state.counters["orgs"] = k;
+  state.counters["jobs"] = static_cast<double>(inst.num_jobs());
+}
+BENCHMARK(BM_RefVsOrgs)->DenseRange(2, 8)->Unit(benchmark::kMillisecond);
+
+void BM_RefVsJobs(benchmark::State& state) {
+  // Fixed k = 4; growing window. Runtime should scale ~linearly in jobs
+  // (times log factors), demonstrating the FPT claim's polynomial part.
+  const Time duration = state.range(0);
+  const Instance inst = make_synthetic_instance(
+      preset_lpc_egee(), 4, duration, MachineSplit::kZipf, 1.0, 23);
+  for (auto _ : state) {
+    RefScheduler ref(inst);
+    ref.run(duration);
+    benchmark::DoNotOptimize(ref.reference_work());
+  }
+  state.counters["jobs"] = static_cast<double>(inst.num_jobs());
+}
+BENCHMARK(BM_RefVsJobs)->Arg(1000)->Arg(2000)->Arg(4000)->Arg(8000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fairsched
+
+BENCHMARK_MAIN();

@@ -1,0 +1,159 @@
+// Ablation for Section 4 (Theorem 4.1): why the scheduler must optimize the
+// strategy-proof utility psi_sp rather than flow time.
+//
+// An organization manipulates its workload (splits every job into unit
+// pieces, merges bursts into one large job, or delays releases) and we
+// measure how each metric changes *for the same greedy scheduling rule*.
+// psi_sp is invariant under split/merge and never rewards delaying;
+// flow time moves substantially under the same manipulations — an
+// organization graded by flow time has an incentive to game the system.
+
+#include <cstdio>
+#include <vector>
+
+#include "metrics/utility.h"
+#include "sched/runner.h"
+#include "util/cli.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace fairsched {
+namespace {
+
+struct JobSpec {
+  Time release;
+  Time processing;
+};
+
+// Baseline workload of the manipulating organization.
+std::vector<JobSpec> honest_jobs(Rng& rng, std::size_t count) {
+  std::vector<JobSpec> out;
+  Time t = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    t += static_cast<Time>(rng.uniform_u64(12));
+    out.push_back({t, 2 + static_cast<Time>(rng.uniform_u64(8))});
+  }
+  return out;
+}
+
+std::vector<JobSpec> split_all(const std::vector<JobSpec>& jobs) {
+  std::vector<JobSpec> out;
+  for (const JobSpec& j : jobs) {
+    for (Time piece = 0; piece < j.processing; ++piece) {
+      out.push_back({j.release, 1});
+    }
+  }
+  return out;
+}
+
+std::vector<JobSpec> merge_pairs(const std::vector<JobSpec>& jobs) {
+  std::vector<JobSpec> out;
+  for (std::size_t i = 0; i + 1 < jobs.size(); i += 2) {
+    out.push_back({std::max(jobs[i].release, jobs[i + 1].release),
+                   jobs[i].processing + jobs[i + 1].processing});
+  }
+  if (jobs.size() % 2 == 1) out.push_back(jobs.back());
+  return out;
+}
+
+std::vector<JobSpec> delay_all(const std::vector<JobSpec>& jobs, Time by) {
+  std::vector<JobSpec> out;
+  for (const JobSpec& j : jobs) out.push_back({j.release + by, j.processing});
+  return out;
+}
+
+struct Outcome {
+  double psi_sp;
+  double flow;  // mean flow time of completed jobs
+};
+
+// Schedules org 0 with the manipulated jobs against a fixed background org
+// (FCFS rule for neutrality) and reports org 0's metrics at the horizon.
+Outcome evaluate(const std::vector<JobSpec>& org0_jobs, Time horizon,
+                 std::uint64_t seed) {
+  Rng rng(seed);
+  InstanceBuilder b;
+  const OrgId manip = b.add_org("manipulator", 1);
+  const OrgId other = b.add_org("background", 1);
+  for (const JobSpec& j : org0_jobs) b.add_job(manip, j.release, j.processing);
+  Time t = 0;
+  for (int i = 0; i < 60; ++i) {
+    t += static_cast<Time>(rng.uniform_u64(10));
+    b.add_job(other, t, 1 + static_cast<Time>(rng.uniform_u64(6)));
+  }
+  const Instance inst = std::move(b).build();
+  const RunResult r = run_algorithm(inst, parse_algorithm("fcfs"), horizon, 1);
+  Outcome out;
+  out.psi_sp =
+      static_cast<double>(sp_org_half_utility(inst, r.schedule, manip,
+                                              horizon)) /
+      2.0;
+  // Flow time of org 0's completed jobs.
+  std::int64_t flow = 0;
+  std::size_t completed = 0;
+  for (const Placement& p : r.schedule.placements()) {
+    if (p.org != manip) continue;
+    const Job& job = inst.job(p.org, p.index);
+    if (p.start + job.processing <= horizon) {
+      flow += p.start + job.processing - job.release;
+      ++completed;
+    }
+  }
+  out.flow = completed == 0 ? 0.0
+                            : static_cast<double>(flow) /
+                                  static_cast<double>(completed);
+  return out;
+}
+
+}  // namespace
+}  // namespace fairsched
+
+int main(int argc, char** argv) {
+  using namespace fairsched;
+  const Flags flags(argc, argv);
+  const Time horizon = flags.get_int("duration", 600);
+  const std::size_t trials =
+      static_cast<std::size_t>(flags.get_int("trials", 20));
+
+  std::printf(
+      "Strategy-proofness ablation (Thm 4.1): metric change when one "
+      "organization manipulates its workload (%zu trials)\n\n",
+      trials);
+
+  double dpsi_split = 0, dflow_split = 0;
+  double dpsi_merge = 0, dflow_merge = 0;
+  double dpsi_delay = 0;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    Rng rng(900 + trial);
+    const auto honest = honest_jobs(rng, 25);
+    const Outcome base = evaluate(honest, horizon, trial);
+    const Outcome split = evaluate(split_all(honest), horizon, trial);
+    const Outcome merged = evaluate(merge_pairs(honest), horizon, trial);
+    const Outcome delayed = evaluate(delay_all(honest, 20), horizon, trial);
+    auto pct = [](double now, double before) {
+      return before == 0.0 ? 0.0 : (now - before) / before * 100.0;
+    };
+    dpsi_split += pct(split.psi_sp, base.psi_sp);
+    dflow_split += pct(split.flow, base.flow);
+    dpsi_merge += pct(merged.psi_sp, base.psi_sp);
+    dflow_merge += pct(merged.flow, base.flow);
+    dpsi_delay += pct(delayed.psi_sp, base.psi_sp);
+  }
+  const double n = static_cast<double>(trials);
+  AsciiTable table({"manipulation", "psi_sp change %", "mean flow change %"});
+  table.add_row({"split into unit jobs",
+                 AsciiTable::format_double(dpsi_split / n, 2),
+                 AsciiTable::format_double(dflow_split / n, 2)});
+  table.add_row({"merge job pairs",
+                 AsciiTable::format_double(dpsi_merge / n, 2),
+                 AsciiTable::format_double(dflow_merge / n, 2)});
+  table.add_row({"delay releases by 20",
+                 AsciiTable::format_double(dpsi_delay / n, 2), "n/a"});
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf(
+      "\nExpected shape: psi_sp barely moves under split/merge (only via\n"
+      "changed scheduling opportunities) and never improves under delay,\n"
+      "while mean flow time swings strongly — a flow-time-graded system\n"
+      "invites workload manipulation, which motivates psi_sp (Thm 4.1).\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+#include "bench/common.h"
+
+#include <cstdio>
+#include <mutex>
+#include <stdexcept>
+
+#include "metrics/fairness.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace fairsched::bench {
+
+std::vector<AlgorithmSpec> table_algorithms() {
+  return {
+      parse_algorithm("roundrobin"),  parse_algorithm("rand15"),
+      parse_algorithm("directcontr"), parse_algorithm("fairshare"),
+      parse_algorithm("utfairshare"), parse_algorithm("currfairshare"),
+  };
+}
+
+std::vector<StatsAccumulator> run_fairness_experiment(
+    const SyntheticSpec& spec, const std::vector<AlgorithmSpec>& algorithms,
+    const ExperimentConfig& config) {
+  std::vector<StatsAccumulator> stats(algorithms.size());
+  std::mutex mu;
+  ThreadPool pool(config.threads);
+  pool.parallel_for(config.instances, [&](std::size_t i) {
+    const std::uint64_t seed = mix_seed(config.seed, i);
+    const Instance inst = make_synthetic_instance(
+        spec, config.orgs, config.duration, config.split, config.zipf_s,
+        seed);
+    const RunResult ref = run_algorithm(inst, parse_algorithm("ref"),
+                                        config.duration, seed);
+    std::vector<double> ratios(algorithms.size());
+    for (std::size_t a = 0; a < algorithms.size(); ++a) {
+      const RunResult r =
+          run_algorithm(inst, algorithms[a], config.duration, seed);
+      ratios[a] =
+          unfairness_ratio(r.utilities2, ref.utilities2, ref.work_done);
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    for (std::size_t a = 0; a < algorithms.size(); ++a) {
+      stats[a].add(ratios[a]);
+    }
+  });
+  return stats;
+}
+
+CommonFlags parse_common_flags(const Flags& flags, Time default_duration,
+                               std::size_t default_instances) {
+  CommonFlags out;
+  out.config.orgs =
+      static_cast<std::uint32_t>(flags.get_int("orgs", 5));
+  out.config.duration = flags.get_int("duration", default_duration);
+  out.config.instances = static_cast<std::size_t>(
+      flags.get_int("instances", static_cast<std::int64_t>(default_instances)));
+  out.config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 2013));
+  out.config.threads =
+      static_cast<std::size_t>(flags.get_int("threads", 0));
+  out.config.zipf_s = flags.get_double("zipf-s", 1.0);
+  const std::string split = flags.get_string("split", "zipf");
+  if (split == "zipf") {
+    out.config.split = MachineSplit::kZipf;
+  } else if (split == "uniform") {
+    out.config.split = MachineSplit::kUniform;
+  } else {
+    throw std::invalid_argument("--split must be zipf or uniform");
+  }
+  out.scale = flags.get_double("scale", 16.0);
+  return out;
+}
+
+void print_fairness_table(
+    const std::string& title, const std::vector<SyntheticSpec>& specs,
+    const std::vector<AlgorithmSpec>& algorithms,
+    const std::vector<std::vector<StatsAccumulator>>& results) {
+  std::printf("%s\n", title.c_str());
+  std::vector<std::string> header{"Algorithm"};
+  for (const SyntheticSpec& spec : specs) {
+    header.push_back(spec.name + " Avg");
+    header.push_back(spec.name + " St.dev");
+  }
+  AsciiTable table(header);
+  for (std::size_t a = 0; a < algorithms.size(); ++a) {
+    std::vector<std::string> row{algorithms[a].display_name()};
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+      const StatsAccumulator& acc = results[s][a];
+      row.push_back(AsciiTable::format_double(acc.mean(), 2));
+      row.push_back(AsciiTable::format_double(acc.stdev(), 2));
+    }
+    table.add_row(std::move(row));
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+}
+
+}  // namespace fairsched::bench

@@ -1,0 +1,62 @@
+#pragma once
+
+// Shared experiment harness for the paper-reproduction benchmarks
+// (Section 7 pipeline): generate workload windows, run REF as the fairness
+// reference, run each evaluated algorithm, and aggregate delta_psi / p_tot
+// over the instances.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "sched/runner.h"
+#include "util/cli.h"
+#include "util/stats.h"
+#include "workload/assignment.h"
+#include "workload/synthetic.h"
+
+namespace fairsched::bench {
+
+struct ExperimentConfig {
+  std::uint32_t orgs = 5;
+  Time duration = 50000;
+  std::size_t instances = 20;
+  std::uint64_t seed = 2013;
+  MachineSplit split = MachineSplit::kZipf;
+  double zipf_s = 1.0;
+  std::size_t threads = 0;  // 0 = hardware concurrency
+};
+
+// Default algorithm list of Tables 1-2.
+std::vector<AlgorithmSpec> table_algorithms();
+
+struct CellStats {
+  StatsAccumulator acc;
+};
+
+// Runs the fairness experiment for one workload spec: `instances`
+// independent windows; per window REF is computed once and every algorithm
+// is scored by unfairness_ratio against it. Returns one accumulator per
+// algorithm (same order as `algorithms`).
+std::vector<StatsAccumulator> run_fairness_experiment(
+    const SyntheticSpec& spec, const std::vector<AlgorithmSpec>& algorithms,
+    const ExperimentConfig& config);
+
+// Parses the harness-wide flags (--instances, --duration, --orgs, --seed,
+// --scale, --threads, --split) with the given defaults.
+struct CommonFlags {
+  ExperimentConfig config;
+  double scale = 16.0;  // machine down-scaling of the big archives
+};
+CommonFlags parse_common_flags(const Flags& flags, Time default_duration,
+                               std::size_t default_instances);
+
+// Renders the Tables 1-2 layout: one row per algorithm, per workload the
+// (Avg, St.dev) pair.
+void print_fairness_table(
+    const std::string& title, const std::vector<SyntheticSpec>& specs,
+    const std::vector<AlgorithmSpec>& algorithms,
+    const std::vector<std::vector<StatsAccumulator>>& results);
+
+}  // namespace fairsched::bench

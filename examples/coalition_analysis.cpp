@@ -1,0 +1,101 @@
+// Coalition analysis: the cooperative-game machinery applied directly.
+//
+// Answers, for each organization of a consortium: what is its Shapley
+// contribution, what does it gain (or lose) versus computing alone, and
+// would any pair profit from seceding into a sub-coalition? This is the
+// stability analysis that motivates the whole paper — organizations join
+// (and stay) only if the system treats them at least as well as going it
+// alone.
+//
+// Usage: coalition_analysis [--orgs=4] [--duration=5000] [--seed=5]
+
+#include <cstdio>
+
+#include "metrics/utility.h"
+#include "sched/fcfs.h"
+#include "sched/ref.h"
+#include "shapley/shapley.h"
+#include "sim/engine.h"
+#include "util/cli.h"
+#include "util/table.h"
+#include "workload/synthetic.h"
+
+using namespace fairsched;
+
+namespace {
+
+// Characteristic function: the value (total psi_sp at the horizon) of the
+// coalition's REF-fair schedule. For singletons any greedy schedule gives
+// the same value (there is nothing to arbitrate).
+double coalition_value(const Instance& inst, Coalition c, Time horizon) {
+  if (c.is_empty()) return 0.0;
+  Engine engine(inst, c);
+  FcfsPolicy fcfs;
+  engine.run(fcfs, horizon);
+  return static_cast<double>(engine.value2()) / 2.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::uint32_t orgs =
+      static_cast<std::uint32_t>(flags.get_int("orgs", 4));
+  const Time duration = flags.get_int("duration", 5000);
+  const std::uint64_t seed = flags.get_int("seed", 5);
+
+  const Instance inst = make_synthetic_instance(
+      preset_lpc_egee(), orgs, duration, MachineSplit::kZipf, 1.0, seed);
+
+  std::printf("consortium of %u organizations, %u machines, %zu jobs\n\n",
+              inst.num_orgs(), inst.total_machines(), inst.num_jobs());
+
+  // Shapley contributions from the greedy characteristic function.
+  auto v = [&](Coalition c) { return coalition_value(inst, c, duration); };
+  const std::vector<double> phi = shapley_exact(orgs, v);
+
+  // REF's realized fair utilities for comparison.
+  RefScheduler ref(inst);
+  ref.run(duration);
+  const auto psi2 = ref.utilities2();
+
+  AsciiTable table({"org", "machines", "jobs", "v(alone)", "Shapley phi",
+                    "REF psi", "gain vs alone"});
+  for (OrgId u = 0; u < orgs; ++u) {
+    const double alone = v(Coalition::singleton(u));
+    const double psi = static_cast<double>(psi2[u]) / 2.0;
+    table.add_row({inst.org(u).name, std::to_string(inst.machines_of(u)),
+                   std::to_string(inst.jobs_of(u).size()),
+                   AsciiTable::format_double(alone, 0),
+                   AsciiTable::format_double(phi[u], 0),
+                   AsciiTable::format_double(psi, 0),
+                   AsciiTable::format_double(psi - alone, 0)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  // Pairwise secession check: would {a, b} be better off alone than with
+  // their Shapley payoffs inside the grand coalition?
+  std::printf("\npairwise secession analysis (positive = pair would gain "
+              "by leaving):\n");
+  bool any_blocking = false;
+  for (OrgId a = 0; a < orgs; ++a) {
+    for (OrgId b = a + 1; b < orgs; ++b) {
+      const double pair_value =
+          v(Coalition::singleton(a).with(b));
+      const double inside = phi[a] + phi[b];
+      const double gain = pair_value - inside;
+      std::printf("  {%s, %s}: %+.0f\n", inst.org(a).name.c_str(),
+                  inst.org(b).name.c_str(), gain);
+      if (gain > 1e-9) any_blocking = true;
+    }
+  }
+  std::printf(
+      "\n%s\n",
+      any_blocking
+          ? "Some pair could block — the Shapley division is outside the "
+            "core for this instance (possible: the scheduling game is not "
+            "supermodular, Prop. 5.5)."
+          : "No pair profits from seceding: the Shapley division is "
+            "pairwise stable on this instance.");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Quickstart: two organizations pool their clusters; we schedule with the
+// DIRECTCONTR fair heuristic and inspect utilities, contributions and the
+// schedule.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "metrics/utility.h"
+#include "sched/runner.h"
+
+using namespace fairsched;
+
+int main() {
+  // --- 1. Describe the consortium ------------------------------------------
+  // Organization A brings 2 machines and a burst of short jobs;
+  // organization B brings 1 machine and a few long jobs.
+  InstanceBuilder builder;
+  const OrgId a = builder.add_org("alpha", /*machines=*/2);
+  const OrgId b = builder.add_org("beta", /*machines=*/1);
+  for (int i = 0; i < 6; ++i) builder.add_job(a, /*release=*/i, /*p=*/3);
+  for (int i = 0; i < 3; ++i) builder.add_job(b, /*release=*/2 * i, /*p=*/8);
+  const Instance inst = std::move(builder).build();
+
+  // --- 2. Run a fair scheduling algorithm ----------------------------------
+  const Time horizon = 40;
+  const RunResult result =
+      run_algorithm(inst, parse_algorithm("directcontr"), horizon, /*seed=*/1);
+
+  // --- 3. Inspect the outcome ----------------------------------------------
+  std::printf("schedule (%zu placements):\n", result.schedule.size());
+  for (const Placement& p : result.schedule.placements()) {
+    const Job& job = inst.job(p.org, p.index);
+    std::printf("  t=%2lld  %-5s job#%u  (p=%lld) on machine %u\n",
+                static_cast<long long>(p.start), inst.org(p.org).name.c_str(),
+                p.index, static_cast<long long>(job.processing), p.machine);
+  }
+
+  std::printf("\nper-organization outcome at t=%lld:\n",
+              static_cast<long long>(horizon));
+  for (OrgId u = 0; u < inst.num_orgs(); ++u) {
+    std::printf(
+        "  %-5s  psi_sp=%8.1f  completed work=%4lld  utilization share=%.2f\n",
+        inst.org(u).name.c_str(),
+        static_cast<double>(result.utilities2[u]) / 2.0,
+        static_cast<long long>(
+            completed_work(inst, result.schedule, horizon)),
+        inst.share_of(u));
+  }
+
+  // The schedule is a feasible greedy schedule by construction; verify.
+  if (auto err = result.schedule.validate(inst, horizon)) {
+    std::printf("\nvalidation error: %s\n", err->c_str());
+    return 1;
+  }
+  std::printf("\nschedule validated: machine-exclusive, FIFO, greedy.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Strategy-proofness demo (Section 4): an organization tries to game the
+// scheduler by re-packaging its workload. Under the strategy-proof utility
+// psi_sp the manipulations do not pay; under flow time they would.
+//
+// Usage: strategyproof_demo
+
+#include <cstdio>
+
+#include "metrics/utility.h"
+
+using namespace fairsched;
+
+namespace {
+
+void show(const char* label, HalfUtil half) {
+  std::printf("  %-34s psi_sp = %.1f\n", label,
+              static_cast<double>(half) / 2.0);
+}
+
+}  // namespace
+
+int main() {
+  const Time t = 30;
+
+  std::printf("one job of length 6 starting at time 2, evaluated at t=%lld\n",
+              static_cast<long long>(t));
+  const HalfUtil whole = sp_job_half_utility(2, 6, t);
+  show("honest: one 6-unit job", whole);
+
+  std::printf("\nmanipulation 1: split into back-to-back pieces\n");
+  show("2 pieces (3+3)",
+       sp_job_half_utility(2, 3, t) + sp_job_half_utility(5, 3, t));
+  show("3 pieces (2+2+2)", sp_job_half_utility(2, 2, t) +
+                               sp_job_half_utility(4, 2, t) +
+                               sp_job_half_utility(6, 2, t));
+  show("6 unit pieces", [&] {
+    HalfUtil total = 0;
+    for (Time i = 0; i < 6; ++i) total += sp_job_half_utility(2 + i, 1, t);
+    return total;
+  }());
+  std::printf("  -> identical: splitting never pays (strategy-resistance).\n");
+
+  std::printf("\nmanipulation 2: delay the job\n");
+  for (Time delay : {0, 1, 5, 20}) {
+    const HalfUtil delayed = sp_job_half_utility(2 + delay, 6, t);
+    std::printf("  delayed by %2lld: psi_sp = %6.1f (%+.1f)\n",
+                static_cast<long long>(delay),
+                static_cast<double>(delayed) / 2.0,
+                static_cast<double>(delayed - whole) / 2.0);
+  }
+  std::printf("  -> monotone loss: delaying never pays (axiom 1).\n");
+
+  std::printf("\ncontrast: flow time rewards splitting\n");
+  // Two schedules of the same 6 units on one machine, graded by flow time:
+  // one job completing at 8 (flow 6) vs six unit jobs completing at
+  // 3,4,...,8 (flow 1+2+...+6 = 21 total but *mean* flow 3.5 vs 6) —
+  // per-job metrics invite re-packaging, which is what Theorem 4.1 rules
+  // out for psi_sp.
+  std::printf(
+      "  one 6-unit job finishing at 8: mean flow 6.0\n"
+      "  six unit jobs finishing 3..8:  mean flow 3.5  (looks 'better'!)\n"
+      "  psi_sp for both packagings:    %.1f (identical)\n",
+      static_cast<double>(whole) / 2.0);
+  return 0;
+}

@@ -1,0 +1,44 @@
+#include "core/coalition.h"
+
+#include <stdexcept>
+
+namespace fairsched {
+
+std::vector<OrgId> Coalition::members() const {
+  std::vector<OrgId> out;
+  out.reserve(size());
+  for (OrgId u = 0; u < 32; ++u) {
+    if (contains(u)) out.push_back(u);
+  }
+  return out;
+}
+
+std::vector<Coalition> Coalition::subsets() const {
+  std::vector<Coalition> out;
+  out.reserve(std::size_t{1} << size());
+  for_each_subset(*this, [&](Coalition c) { out.push_back(c); });
+  return out;
+}
+
+std::vector<std::vector<Coalition>> Coalition::subsets_by_size() const {
+  std::vector<std::vector<Coalition>> by_size(size() + 1);
+  for_each_subset(*this, [&](Coalition c) { by_size[c.size()].push_back(c); });
+  return by_size;
+}
+
+ShapleyWeights::ShapleyWeights(std::uint32_t k) {
+  if (k == 0 || k > Coalition::kMaxOrgs) {
+    throw std::invalid_argument("ShapleyWeights: k out of range");
+  }
+  // weight(s) = (s-1)! (k-s)! / k!
+  std::vector<double> factorial(k + 1, 1.0);
+  for (std::uint32_t i = 1; i <= k; ++i) {
+    factorial[i] = factorial[i - 1] * static_cast<double>(i);
+  }
+  weights_.resize(k + 1, 0.0);
+  for (std::uint32_t s = 1; s <= k; ++s) {
+    weights_[s] = factorial[s - 1] * factorial[k - s] / factorial[k];
+  }
+}
+
+}  // namespace fairsched

@@ -1,0 +1,48 @@
+#pragma once
+
+// Fundamental model types shared across the library.
+//
+// The paper's model (Section 2): a set of organizations, each owning a
+// cluster of identical machines and producing a FIFO stream of sequential
+// jobs. Time is discrete. Jobs are non-preemptible and non-clairvoyant
+// (processing time unknown until completion).
+
+#include <cstdint>
+#include <limits>
+
+namespace fairsched {
+
+// Discrete time moment. The paper's T is a discrete set; we use int64 so
+// utilities over long horizons stay exact.
+using Time = std::int64_t;
+
+inline constexpr Time kNoTime = std::numeric_limits<Time>::min();
+inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::max();
+
+// Organization index (u in the paper's O^(u)).
+using OrgId = std::uint32_t;
+
+// Global machine index; ownership is resolved through the Instance.
+using MachineId = std::uint32_t;
+
+inline constexpr OrgId kNoOrg = std::numeric_limits<OrgId>::max();
+inline constexpr MachineId kNoMachine = std::numeric_limits<MachineId>::max();
+
+// Utilities are stored in exact integer *half-units*: HalfUtil = 2 * psi_sp.
+// The strategy-proof utility (Eq. 3) involves averages of two integers, so
+// doubling keeps everything integral; see metrics/utility.h.
+using HalfUtil = std::int64_t;
+
+// A sequential job. `index` is the submission position within its
+// organization; feasible schedules must start an organization's jobs in
+// index order (the paper's FIFO requirement).
+struct Job {
+  OrgId org = kNoOrg;
+  std::uint32_t index = 0;
+  Time release = 0;
+  Time processing = 1;
+
+  friend bool operator==(const Job&, const Job&) = default;
+};
+
+}  // namespace fairsched

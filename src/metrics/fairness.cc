@@ -1,0 +1,51 @@
+#include "metrics/fairness.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+
+namespace fairsched {
+
+HalfUtil manhattan_half_distance(const std::vector<HalfUtil>& a,
+                                 const std::vector<HalfUtil>& b) {
+  assert(a.size() == b.size());
+  HalfUtil total = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    total += std::llabs(a[i] - b[i]);
+  }
+  return total;
+}
+
+double unfairness_ratio(const std::vector<HalfUtil>& utilities,
+                        const std::vector<HalfUtil>& reference,
+                        std::int64_t reference_work) {
+  if (reference_work <= 0) return 0.0;
+  const HalfUtil dist = manhattan_half_distance(utilities, reference);
+  return static_cast<double>(dist) / 2.0 / static_cast<double>(reference_work);
+}
+
+double relative_distance(const std::vector<HalfUtil>& utilities,
+                         const std::vector<HalfUtil>& reference) {
+  HalfUtil norm = 0;
+  for (HalfUtil r : reference) norm += std::llabs(r);
+  if (norm == 0) return 0.0;
+  return static_cast<double>(manhattan_half_distance(utilities, reference)) /
+         static_cast<double>(norm);
+}
+
+std::vector<OrgFairnessReport> per_org_report(
+    const std::vector<HalfUtil>& utilities,
+    const std::vector<HalfUtil>& reference) {
+  assert(utilities.size() == reference.size());
+  std::vector<OrgFairnessReport> out;
+  out.reserve(utilities.size());
+  for (std::size_t u = 0; u < utilities.size(); ++u) {
+    out.push_back(OrgFairnessReport{
+        static_cast<OrgId>(u), static_cast<double>(utilities[u]) / 2.0,
+        static_cast<double>(reference[u]) / 2.0,
+        static_cast<double>(utilities[u] - reference[u]) / 2.0});
+  }
+  return out;
+}
+
+}  // namespace fairsched

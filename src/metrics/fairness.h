@@ -1,0 +1,52 @@
+#pragma once
+
+// Fairness metrics comparing an algorithm's utility vector against the
+// reference fair vector (REF's utilities, Definition 3.1/5.2 and Section 7.2).
+//
+// The paper's headline experimental measure is
+//
+//     delta_psi / p_tot
+//
+// where delta_psi = || psi - psi* ||_Manhattan and p_tot is the number of
+// completed unit-size job parts in the fair schedule. Delaying one unit part
+// by one time moment lowers its owner's psi_sp by exactly one, so the ratio
+// reads as the average unjustified delay (or speed-up) per unit of work.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace fairsched {
+
+// Manhattan distance between two half-utility vectors, in half-units.
+HalfUtil manhattan_half_distance(const std::vector<HalfUtil>& a,
+                                 const std::vector<HalfUtil>& b);
+
+// The paper's fairness ratio delta_psi / p_tot (in time units per unit of
+// work). `reference_work` is p_tot of the fair schedule; returns 0 when it
+// is 0 (empty window).
+double unfairness_ratio(const std::vector<HalfUtil>& utilities,
+                        const std::vector<HalfUtil>& reference,
+                        std::int64_t reference_work);
+
+// Relative Manhattan distance ||psi - psi*|| / ||psi*|| used by the
+// alpha-approximation definition (Definition 5.2).
+double relative_distance(const std::vector<HalfUtil>& utilities,
+                         const std::vector<HalfUtil>& reference);
+
+// Per-organization signed report (psi - psi*) / 2 in time units, useful for
+// diagnosing who is favored / disfavored.
+struct OrgFairnessReport {
+  OrgId org;
+  double utility;           // psi in time units
+  double reference;         // psi* in time units
+  double advantage;         // psi - psi* in time units (positive = favored)
+};
+
+std::vector<OrgFairnessReport> per_org_report(
+    const std::vector<HalfUtil>& utilities,
+    const std::vector<HalfUtil>& reference);
+
+}  // namespace fairsched

@@ -1,0 +1,56 @@
+#include "metrics/trajectory.h"
+
+#include <stdexcept>
+
+#include "metrics/fairness.h"
+#include "metrics/utility.h"
+
+namespace fairsched {
+
+std::vector<TrajectoryPoint> utility_trajectory(
+    const Instance& inst, const Schedule& schedule,
+    const std::vector<Time>& sample_times) {
+  std::vector<TrajectoryPoint> out;
+  out.reserve(sample_times.size());
+  Time prev = kNoTime;
+  for (Time t : sample_times) {
+    if (prev != kNoTime && t < prev) {
+      throw std::invalid_argument(
+          "utility_trajectory: sample times must be ascending");
+    }
+    prev = t;
+    out.push_back(TrajectoryPoint{t, sp_half_utilities(inst, schedule, t)});
+  }
+  return out;
+}
+
+std::vector<Time> even_sample_times(Time horizon, std::size_t points) {
+  if (horizon <= 0 || points == 0) {
+    throw std::invalid_argument("even_sample_times: invalid arguments");
+  }
+  std::vector<Time> out;
+  out.reserve(points);
+  for (std::size_t i = 1; i <= points; ++i) {
+    out.push_back(static_cast<Time>(
+        static_cast<double>(horizon) * static_cast<double>(i) /
+        static_cast<double>(points)));
+  }
+  out.back() = horizon;
+  return out;
+}
+
+std::vector<double> unfairness_trajectory(
+    const Instance& inst, const Schedule& schedule, const Schedule& reference,
+    const std::vector<Time>& sample_times) {
+  std::vector<double> out;
+  out.reserve(sample_times.size());
+  for (Time t : sample_times) {
+    const std::vector<HalfUtil> psi = sp_half_utilities(inst, schedule, t);
+    const std::vector<HalfUtil> ref = sp_half_utilities(inst, reference, t);
+    const std::int64_t work = completed_work(inst, reference, t);
+    out.push_back(unfairness_ratio(psi, ref, work));
+  }
+  return out;
+}
+
+}  // namespace fairsched

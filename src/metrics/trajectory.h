@@ -1,0 +1,42 @@
+#pragma once
+
+// Time-series views of a schedule's utilities and fairness.
+//
+// The paper evaluates fairness at a single horizon t_end; Definition 3.1,
+// however, demands fairness at *every* time moment ("we want to avoid the
+// case in which an organization is disfavored in one, possibly long, time
+// period and then favored in the next one"). These helpers sample psi_sp
+// and the unfairness ratio along the whole horizon so that fairness debt
+// can be seen accumulating (or being repaid) over time — used by the
+// fairness_audit example and the trajectory tests.
+
+#include <vector>
+
+#include "core/instance.h"
+#include "core/schedule.h"
+#include "core/types.h"
+
+namespace fairsched {
+
+struct TrajectoryPoint {
+  Time t = 0;
+  std::vector<HalfUtil> psi2;  // 2*psi_sp per organization at t
+};
+
+// psi_sp utilities of `schedule` sampled at the given (ascending) times.
+std::vector<TrajectoryPoint> utility_trajectory(
+    const Instance& inst, const Schedule& schedule,
+    const std::vector<Time>& sample_times);
+
+// Evenly spaced sample times: `points` samples over (0, horizon], always
+// including the horizon itself.
+std::vector<Time> even_sample_times(Time horizon, std::size_t points);
+
+// The paper's unfairness ratio delta_psi(t) / p_tot(t) of `schedule`
+// against `reference` at each sample time (p_tot measured on the reference
+// schedule; 0 where the reference has completed no work yet).
+std::vector<double> unfairness_trajectory(
+    const Instance& inst, const Schedule& schedule, const Schedule& reference,
+    const std::vector<Time>& sample_times);
+
+}  // namespace fairsched

@@ -1,0 +1,127 @@
+#include "metrics/utility.h"
+
+#include <algorithm>
+
+namespace fairsched {
+
+HalfUtil sp_job_half_utility(Time start, Time processing, Time t) {
+  if (start >= t) return 0;
+  const Time executed = std::min<Time>(processing, t - start);
+  // Last occupied slot counted at time t: min(start + p - 1, t - 1).
+  const Time last_slot = std::min<Time>(start + processing - 1, t - 1);
+  // 2 * executed * (t - (start + last_slot)/2) = executed * (2t - start -
+  // last_slot). Exact in integers.
+  return executed * (2 * t - start - last_slot);
+}
+
+HalfUtil sp_job_half_utility_bruteforce(Time start, Time processing, Time t) {
+  HalfUtil total = 0;
+  for (Time slot = start; slot < start + processing && slot <= t - 1; ++slot) {
+    total += 2 * (t - slot);
+  }
+  return total;
+}
+
+HalfUtil sp_org_half_utility(const Instance& inst, const Schedule& schedule,
+                             OrgId org, Time t) {
+  HalfUtil total = 0;
+  const auto jobs = inst.jobs_of(org);
+  for (std::uint32_t i = 0; i < jobs.size(); ++i) {
+    if (auto s = schedule.start_of(org, i)) {
+      total += sp_job_half_utility(*s, jobs[i].processing, t);
+    }
+  }
+  return total;
+}
+
+std::vector<HalfUtil> sp_half_utilities(const Instance& inst,
+                                        const Schedule& schedule, Time t) {
+  std::vector<HalfUtil> out(inst.num_orgs(), 0);
+  for (OrgId u = 0; u < inst.num_orgs(); ++u) {
+    out[u] = sp_org_half_utility(inst, schedule, u, t);
+  }
+  return out;
+}
+
+HalfUtil sp_half_value(const Instance& inst, const Schedule& schedule,
+                       Time t) {
+  HalfUtil total = 0;
+  for (OrgId u = 0; u < inst.num_orgs(); ++u) {
+    total += sp_org_half_utility(inst, schedule, u, t);
+  }
+  return total;
+}
+
+std::int64_t total_flow_time(const Instance& inst, const Schedule& schedule,
+                             Time t) {
+  std::int64_t total = 0;
+  for (const Placement& p : schedule.placements()) {
+    const Job& job = inst.job(p.org, p.index);
+    const Time completion = p.start + job.processing;
+    if (completion <= t) total += completion - job.release;
+  }
+  return total;
+}
+
+std::int64_t org_flow_time(const Instance& inst, const Schedule& schedule,
+                           OrgId org, Time t) {
+  std::int64_t total = 0;
+  for (const Placement& p : schedule.placements()) {
+    if (p.org != org) continue;
+    const Job& job = inst.job(p.org, p.index);
+    const Time completion = p.start + job.processing;
+    if (completion <= t) total += completion - job.release;
+  }
+  return total;
+}
+
+std::int64_t total_wait_time(const Instance& inst, const Schedule& schedule,
+                             Time t) {
+  std::int64_t total = 0;
+  for (const Placement& p : schedule.placements()) {
+    if (p.start <= t) total += p.start - inst.job(p.org, p.index).release;
+  }
+  return total;
+}
+
+Time makespan(const Instance& inst, const Schedule& schedule, Time t) {
+  Time latest = 0;
+  for (const Placement& p : schedule.placements()) {
+    const Time completion = p.start + inst.job(p.org, p.index).processing;
+    if (completion <= t) latest = std::max(latest, completion);
+  }
+  return latest;
+}
+
+std::int64_t total_tardiness(const Instance& inst, const Schedule& schedule,
+                             Time t, Time due_offset) {
+  std::int64_t total = 0;
+  for (const Placement& p : schedule.placements()) {
+    const Job& job = inst.job(p.org, p.index);
+    const Time completion = p.start + job.processing;
+    if (completion <= t) {
+      total += std::max<Time>(0, completion - (job.release + due_offset));
+    }
+  }
+  return total;
+}
+
+std::int64_t completed_work(const Instance& inst, const Schedule& schedule,
+                            Time t) {
+  std::int64_t total = 0;
+  for (const Placement& p : schedule.placements()) {
+    if (p.start >= t) continue;
+    total += std::min<Time>(inst.job(p.org, p.index).processing, t - p.start);
+  }
+  return total;
+}
+
+double resource_utilization(const Instance& inst, const Schedule& schedule,
+                            Time t) {
+  if (t <= 0 || inst.total_machines() == 0) return 0.0;
+  return static_cast<double>(completed_work(inst, schedule, t)) /
+         (static_cast<double>(inst.total_machines()) *
+          static_cast<double>(t));
+}
+
+}  // namespace fairsched

@@ -1,0 +1,72 @@
+#include "sched/decaying_fair_share.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace fairsched {
+
+DecayingFairSharePolicy::DecayingFairSharePolicy(double half_life)
+    : half_life_(half_life),
+      decay_per_unit_(half_life > 0.0 ? std::exp2(-1.0 / half_life) : 1.0) {}
+
+void DecayingFairSharePolicy::reset(const PolicyView& view) {
+  last_time_ = view.now();
+  usage_.assign(view.num_orgs(), 0.0);
+  last_work_.assign(view.num_orgs(), 0);
+  for (OrgId u = 0; u < view.num_orgs(); ++u) {
+    last_work_[u] = view.work_done(u);
+  }
+}
+
+void DecayingFairSharePolicy::advance(const PolicyView& view) {
+  const Time now = view.now();
+  const Time delta_t = now - last_time_;
+  const double d = decay_per_unit_;
+  for (OrgId u = 0; u < view.num_orgs(); ++u) {
+    const std::int64_t work = view.work_done(u);
+    const double delta_w = static_cast<double>(work - last_work_[u]);
+    last_work_[u] = work;
+    if (delta_t <= 0) {
+      usage_[u] += delta_w;  // no time passed; count at full weight
+      continue;
+    }
+    const double dt = static_cast<double>(delta_t);
+    const double decay_all = std::pow(d, dt);
+    if (d >= 1.0) {
+      usage_[u] += delta_w;
+    } else {
+      // Units assumed spread uniformly over the elapsed interval (exact
+      // whenever the running set was constant between decision points):
+      // usage <- usage * d^dt + (dw/dt) * d * (1 - d^dt) / (1 - d).
+      usage_[u] = usage_[u] * decay_all +
+                  delta_w / dt * d * (1.0 - decay_all) / (1.0 - d);
+    }
+  }
+  last_time_ = now;
+}
+
+OrgId DecayingFairSharePolicy::select(const PolicyView& view) {
+  advance(view);
+  OrgId best = kNoOrg;
+  double best_ratio = std::numeric_limits<double>::infinity();
+  bool best_zero_share = true;
+  for (OrgId u = 0; u < view.num_orgs(); ++u) {
+    if (view.waiting(u) == 0) continue;
+    const double share = view.share(u);
+    const bool zero_share = share <= 0.0;
+    const double ratio = zero_share ? 0.0 : usage_[u] / share;
+    if (best == kNoOrg || (best_zero_share && !zero_share) ||
+        (best_zero_share == zero_share && ratio < best_ratio)) {
+      best = u;
+      best_ratio = ratio;
+      best_zero_share = zero_share;
+    }
+  }
+  if (best == kNoOrg) {
+    throw std::logic_error("DecayingFairSharePolicy::select: no waiting job");
+  }
+  return best;
+}
+
+}  // namespace fairsched

@@ -1,0 +1,26 @@
+#include "sched/direct_contr.h"
+
+#include <stdexcept>
+
+#include "core/types.h"
+
+namespace fairsched {
+
+OrgId DirectContrPolicy::select(const PolicyView& view) {
+  OrgId best = kNoOrg;
+  HalfUtil best_deficit = 0;
+  for (OrgId u = 0; u < view.num_orgs(); ++u) {
+    if (view.waiting(u) == 0) continue;
+    const HalfUtil deficit = view.contrib_psi2(u) - view.psi2(u);
+    if (best == kNoOrg || deficit > best_deficit) {
+      best = u;
+      best_deficit = deficit;
+    }
+  }
+  if (best == kNoOrg) {
+    throw std::logic_error("DirectContrPolicy::select: no waiting job");
+  }
+  return best;
+}
+
+}  // namespace fairsched

@@ -1,0 +1,31 @@
+#pragma once
+
+// DIRECTCONTR (Fig. 9): a polynomial heuristic for Shapley-fair scheduling.
+//
+// The contribution of an organization is estimated *directly*, without
+// considering subcoalitions: the unit parts executed on organization u's
+// machines generate psi_sp-value, and that value is credited to u as its
+// estimated contribution phi~(u). The utility psi(u) is, as everywhere, the
+// psi_sp-value of u's own jobs. Waiting jobs are started for the
+// organization with the largest deficit phi~(u) - psi(u).
+//
+// The engine's contribution accounting implements the accrual; machines are
+// taken in random order (MachinePick::kRandomFree), matching the random
+// processor permutation in the paper's pseudo-code.
+//
+// Note on the published pseudo-code: Fig. 9's inner loop credits
+// phi[own(J)] and psi[own(m)], i.e. contribution to the job owner and
+// utility to the machine owner, which contradicts the surrounding text
+// ("the job started on processor m increases the contribution of the owner
+// of m"). We implement the text's semantics (see DESIGN.md).
+
+#include "sim/policy.h"
+
+namespace fairsched {
+
+class DirectContrPolicy final : public Policy {
+ public:
+  OrgId select(const PolicyView& view) override;
+};
+
+}  // namespace fairsched

@@ -1,0 +1,59 @@
+#include "sched/fair_share.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace fairsched {
+
+namespace {
+
+// Shared selection skeleton: pick the waiting organization minimizing
+// metric(u) / share(u); zero-share organizations sort last.
+template <typename MetricFn>
+OrgId select_min_ratio(const PolicyView& view, MetricFn&& metric) {
+  OrgId best = kNoOrg;
+  double best_ratio = std::numeric_limits<double>::infinity();
+  bool best_zero_share = true;
+  for (OrgId u = 0; u < view.num_orgs(); ++u) {
+    if (view.waiting(u) == 0) continue;
+    const double share = view.share(u);
+    const bool zero_share = share <= 0.0;
+    const double ratio = zero_share ? 0.0 : metric(u) / share;
+    // Positive-share candidates beat zero-share ones; within a class,
+    // smaller ratio wins; ties go to the lower id (strict < keeps it).
+    if (best == kNoOrg || (best_zero_share && !zero_share) ||
+        (best_zero_share == zero_share && ratio < best_ratio)) {
+      best = u;
+      best_ratio = ratio;
+      best_zero_share = zero_share;
+    }
+  }
+  if (best == kNoOrg) {
+    throw std::logic_error("fair share select: no waiting job");
+  }
+  return best;
+}
+
+}  // namespace
+
+OrgId FairSharePolicy::select(const PolicyView& view) {
+  return select_min_ratio(view, [&](OrgId u) {
+    // CPU time already allocated to u's jobs = completed unit parts
+    // (sequential jobs execute at unit rate).
+    return static_cast<double>(view.work_done(u));
+  });
+}
+
+OrgId UtFairSharePolicy::select(const PolicyView& view) {
+  return select_min_ratio(view, [&](OrgId u) {
+    return static_cast<double>(view.psi2(u)) / 2.0;
+  });
+}
+
+OrgId CurrFairSharePolicy::select(const PolicyView& view) {
+  return select_min_ratio(view, [&](OrgId u) {
+    return static_cast<double>(view.running(u));
+  });
+}
+
+}  // namespace fairsched

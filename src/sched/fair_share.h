@@ -1,0 +1,40 @@
+#pragma once
+
+// The fair-share family (Section 7.1).
+//
+// FAIRSHARE (Kay & Lauder 1988): each organization has a target share (here:
+// its fraction of contributed machines, as in the paper's experiments).
+// Whenever a processor frees, organizations are ordered by the ratio
+// (CPU time already allocated to the organization's jobs) / share, and a job
+// of the lowest-ratio organization starts.
+//
+// UTFAIRSHARE: same allocation mechanism, but balances the strategy-proof
+// utilities psi_sp instead of allocated CPU time.
+//
+// CURRFAIRSHARE: history-less variant — balances the number of *currently
+// running* jobs against shares.
+//
+// Tie-breaking is by organization id for determinism. Organizations with a
+// zero share are served only when no positive-share organization waits
+// (their ratio is treated as +infinity).
+
+#include "sim/policy.h"
+
+namespace fairsched {
+
+class FairSharePolicy final : public Policy {
+ public:
+  OrgId select(const PolicyView& view) override;
+};
+
+class UtFairSharePolicy final : public Policy {
+ public:
+  OrgId select(const PolicyView& view) override;
+};
+
+class CurrFairSharePolicy final : public Policy {
+ public:
+  OrgId select(const PolicyView& view) override;
+};
+
+}  // namespace fairsched

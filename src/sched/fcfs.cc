@@ -1,0 +1,26 @@
+#include "sched/fcfs.h"
+
+#include <stdexcept>
+
+#include "core/types.h"
+
+namespace fairsched {
+
+OrgId FcfsPolicy::select(const PolicyView& view) {
+  OrgId best = kNoOrg;
+  Time best_release = kTimeInfinity;
+  for (OrgId u = 0; u < view.num_orgs(); ++u) {
+    if (view.waiting(u) == 0) continue;
+    const Time r = view.front_release(u);
+    if (best == kNoOrg || r < best_release) {
+      best = u;
+      best_release = r;
+    }
+  }
+  if (best == kNoOrg) {
+    throw std::logic_error("FcfsPolicy::select: no waiting job");
+  }
+  return best;
+}
+
+}  // namespace fairsched

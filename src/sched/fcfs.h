@@ -1,0 +1,18 @@
+#pragma once
+
+// First-come-first-served across organizations: starts the waiting job with
+// the earliest release time (ties: lowest organization id). This is the
+// "arbitrary greedy algorithm" the library uses wherever the paper only
+// requires greediness — notably to evaluate the value of RAND's sampled
+// coalitions (justified for unit jobs by Proposition 5.4).
+
+#include "sim/policy.h"
+
+namespace fairsched {
+
+class FcfsPolicy final : public Policy {
+ public:
+  OrgId select(const PolicyView& view) override;
+};
+
+}  // namespace fairsched

@@ -1,0 +1,131 @@
+#include "sched/rand_fair.h"
+
+#include <stdexcept>
+
+#include "sched/fcfs.h"
+#include "shapley/shapley.h"
+#include "util/rng.h"
+
+namespace fairsched {
+
+std::size_t rand_theorem_samples(std::uint32_t k, double epsilon,
+                                 double lambda) {
+  return rand_sample_bound(k, epsilon, lambda);
+}
+
+RandScheduler::RandScheduler(const Instance& inst, RandOptions options)
+    : inst_(&inst), options_(options) {
+  const std::uint32_t k = inst.num_orgs();
+  if (k == 0) throw std::invalid_argument("RandScheduler: empty instance");
+  if (k > Coalition::kMaxOrgs) {
+    throw std::invalid_argument("RandScheduler: too many organizations");
+  }
+  if (options_.samples == 0) {
+    throw std::invalid_argument("RandScheduler: need at least one sample");
+  }
+  grand_ = std::make_unique<Engine>(inst, Coalition::grand(k));
+
+  // Prepare(C): N random orderings; each prefix pair (C', C' | u) is
+  // recorded for u. Distinct coalitions share one simplified engine.
+  Rng rng(options_.seed);
+  prefix_masks_.resize(k);
+  auto ensure_engine = [&](Coalition::Mask mask) {
+    if (mask == 0) return;  // v(empty) = 0, no engine needed
+    auto& slot = sampled_[mask];
+    if (!slot) slot = std::make_unique<Engine>(inst, Coalition(mask));
+  };
+  for (std::size_t i = 0; i < options_.samples; ++i) {
+    const std::vector<std::uint32_t> order = rng.permutation(k);
+    Coalition::Mask mask = 0;
+    for (OrgId u : order) {
+      prefix_masks_[u].push_back(mask);
+      ensure_engine(mask);
+      mask |= Coalition::Mask{1} << u;
+      ensure_engine(mask);
+    }
+  }
+}
+
+void RandScheduler::advance_sampled(Engine& engine, Time t) {
+  FcfsPolicy fcfs;
+  PolicyView view(engine);
+  for (;;) {
+    const Time te = engine.next_event();
+    if (te == kTimeInfinity || te > t) break;
+    engine.advance_to(te);
+    while (engine.needs_decision()) {
+      engine.start_front(fcfs.select(view));
+    }
+  }
+  engine.advance_to(t);
+}
+
+std::vector<double> RandScheduler::contributions2() const {
+  std::vector<double> phi2(inst_->num_orgs(), 0.0);
+  for (OrgId u = 0; u < inst_->num_orgs(); ++u) {
+    double total = 0.0;
+    for (Coalition::Mask before : prefix_masks_[u]) {
+      const Coalition::Mask with_u = before | (Coalition::Mask{1} << u);
+      const double v_before =
+          before == 0
+              ? 0.0
+              : static_cast<double>(sampled_.at(before)->value2());
+      const double v_with =
+          static_cast<double>(sampled_.at(with_u)->value2());
+      total += v_with - v_before;
+    }
+    phi2[u] = total / static_cast<double>(options_.samples);
+  }
+  return phi2;
+}
+
+void RandScheduler::run(Time horizon) {
+  if (ran_) throw std::logic_error("RandScheduler::run called twice");
+  ran_ = true;
+  for (;;) {
+    const Time t = grand_->next_event();
+    if (t == kTimeInfinity || t >= horizon) break;
+    grand_->advance_to(t);
+    if (!grand_->needs_decision()) continue;
+    // Bring every sampled coalition's simplified schedule to t so that the
+    // contribution estimates are current.
+    for (auto& [mask, engine] : sampled_) {
+      advance_sampled(*engine, t);
+    }
+    const std::vector<double> phi2 = contributions2();
+    while (grand_->needs_decision()) {
+      OrgId best = kNoOrg;
+      double best_deficit = 0.0;
+      for (OrgId u = 0; u < inst_->num_orgs(); ++u) {
+        if (grand_->waiting(u) == 0) continue;
+        const double deficit =
+            phi2[u] - static_cast<double>(grand_->psi2(u));
+        if (best == kNoOrg || deficit > best_deficit) {
+          best = u;
+          best_deficit = deficit;
+        }
+      }
+      grand_->start_front(best);
+    }
+  }
+  grand_->advance_to(horizon);
+  for (auto& [mask, engine] : sampled_) {
+    advance_sampled(*engine, horizon);
+  }
+}
+
+std::vector<HalfUtil> RandScheduler::utilities2() const {
+  std::vector<HalfUtil> out(inst_->num_orgs(), 0);
+  for (OrgId u = 0; u < inst_->num_orgs(); ++u) {
+    out[u] = grand_->psi2(u);
+  }
+  return out;
+}
+
+std::vector<double> RandScheduler::contributions() const {
+  std::vector<double> phi2 = contributions2();
+  for (double& p : phi2) p /= 2.0;
+  return phi2;
+}
+
+}  // namespace fairsched

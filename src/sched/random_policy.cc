@@ -1,0 +1,20 @@
+#include "sched/random_policy.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace fairsched {
+
+OrgId RandomPolicy::select(const PolicyView& view) {
+  std::vector<OrgId> candidates;
+  candidates.reserve(view.num_orgs());
+  for (OrgId u = 0; u < view.num_orgs(); ++u) {
+    if (view.waiting(u) > 0) candidates.push_back(u);
+  }
+  if (candidates.empty()) {
+    throw std::logic_error("RandomPolicy::select: no waiting job");
+  }
+  return candidates[rng_.uniform_u64(candidates.size())];
+}
+
+}  // namespace fairsched

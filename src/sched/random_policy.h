@@ -1,0 +1,21 @@
+#pragma once
+
+// Uniformly random selection among organizations with waiting jobs: the
+// "no policy at all" baseline. Deterministic given the seed.
+
+#include "sim/policy.h"
+#include "util/rng.h"
+
+namespace fairsched {
+
+class RandomPolicy final : public Policy {
+ public:
+  explicit RandomPolicy(std::uint64_t seed) : rng_(seed) {}
+
+  OrgId select(const PolicyView& view) override;
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace fairsched

@@ -1,0 +1,222 @@
+#include "sched/ref.h"
+
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+#include <tuple>
+
+namespace fairsched {
+
+double SpUtilityFn::eval(const Instance& inst, const Schedule& schedule,
+                         OrgId org, Time t) const {
+  return static_cast<double>(sp_org_half_utility(inst, schedule, org, t)) /
+         2.0;
+}
+
+double CompletedWorkUtilityFn::eval(const Instance& inst,
+                                    const Schedule& schedule, OrgId org,
+                                    Time t) const {
+  double total = 0.0;
+  const auto jobs = inst.jobs_of(org);
+  for (std::uint32_t i = 0; i < jobs.size(); ++i) {
+    if (auto s = schedule.start_of(org, i)) {
+      if (*s < t) {
+        total += static_cast<double>(
+            std::min<Time>(jobs[i].processing, t - *s));
+      }
+    }
+  }
+  return total;
+}
+
+RefScheduler::RefScheduler(const Instance& inst, RefOptions options)
+    : inst_(&inst), options_(options), grand_(Coalition::grand(inst.num_orgs())) {
+  const std::uint32_t k = inst.num_orgs();
+  if (k == 0) throw std::invalid_argument("RefScheduler: empty instance");
+  if (k > kMaxOrgs) {
+    throw std::invalid_argument(
+        "RefScheduler: too many organizations for the exponential reference "
+        "algorithm (max 16)");
+  }
+  engines_.resize(std::size_t{1} << k);
+  for (Coalition::Mask mask = 1; mask < engines_.size(); ++mask) {
+    engines_[mask] = std::make_unique<Engine>(inst, Coalition(mask));
+  }
+  weights_.reserve(k);
+  for (std::uint32_t s = 1; s <= k; ++s) weights_.emplace_back(s);
+}
+
+std::vector<double> RefScheduler::contributions2_of(Coalition c) const {
+  std::vector<double> phi2(inst_->num_orgs(), 0.0);
+  const ShapleyWeights& w = weights_[c.size() - 1];
+  for_each_subset(c, [&](Coalition sub) {
+    if (sub.is_empty()) return;
+    const double v_sub = static_cast<double>(engines_[sub.mask()]->value2());
+    const double weight = w.weight(sub.size());
+    for (OrgId u = 0; u < inst_->num_orgs(); ++u) {
+      if (!sub.contains(u)) continue;
+      const Coalition without = sub.without(u);
+      const double v_without =
+          without.is_empty()
+              ? 0.0
+              : static_cast<double>(engines_[without.mask()]->value2());
+      phi2[u] += weight * (v_sub - v_without);
+    }
+  });
+  return phi2;
+}
+
+double RefScheduler::generic_distance(Coalition c, OrgId u, Time t,
+                                      const std::vector<double>& phi,
+                                      const std::vector<double>& psi) const {
+  const Engine& e = *engines_[c.mask()];
+  const UtilityFunction& util = *options_.generic_utility;
+  // Tentatively start u's front job at t and evaluate the utility delta one
+  // step ahead (at t; for psi_sp and any non-clairvoyant utility the value
+  // at t itself cannot change by starting a job at t).
+  Schedule tentative = e.schedule();
+  const std::uint32_t index = e.completed(u) + e.running(u);
+  tentative.add(Placement{u, index, t, kNoMachine});
+  const double delta =
+      util.eval(*inst_, tentative, u, t + 1) -
+      util.eval(*inst_, e.schedule(), u, t + 1);
+  const double s = static_cast<double>(c.size());
+  double dist = std::abs(phi[u] + delta / s - psi[u] - delta);
+  for (OrgId v = 0; v < inst_->num_orgs(); ++v) {
+    if (v == u || !c.contains(v)) continue;
+    dist += std::abs(phi[v] + delta / s - psi[v]);
+  }
+  return dist;
+}
+
+OrgId RefScheduler::select_org(Coalition c, Time t) {
+  Engine& e = *engines_[c.mask()];
+  if (options_.generic_utility == nullptr) {
+    // Specialized psi_sp rule (Fig. 3): argmax of phi - psi among waiting.
+    const std::vector<double> phi2 = contributions2_of(c);
+    OrgId best = kNoOrg;
+    double best_deficit = 0.0;
+    for (OrgId u = 0; u < inst_->num_orgs(); ++u) {
+      if (!c.contains(u) || e.waiting(u) == 0) continue;
+      const double deficit = phi2[u] - static_cast<double>(e.psi2(u));
+      if (best == kNoOrg || deficit > best_deficit) {
+        best = u;
+        best_deficit = deficit;
+      }
+    }
+    return best;
+  }
+  // Generic Distance rule (Fig. 1).
+  const UtilityFunction& util = *options_.generic_utility;
+  std::vector<double> psi(inst_->num_orgs(), 0.0);
+  std::vector<double> phi(inst_->num_orgs(), 0.0);
+  // v(C', t) for the Shapley formula, from the generic utility.
+  const ShapleyWeights& w = weights_[c.size() - 1];
+  for_each_subset(c, [&](Coalition sub) {
+    if (sub.is_empty()) return;
+    double v_sub = 0.0;
+    for (OrgId u = 0; u < inst_->num_orgs(); ++u) {
+      if (sub.contains(u)) {
+        v_sub += util.eval(*inst_, engines_[sub.mask()]->schedule(), u, t);
+      }
+    }
+    const double weight = w.weight(sub.size());
+    for (OrgId u = 0; u < inst_->num_orgs(); ++u) {
+      if (!sub.contains(u)) continue;
+      const Coalition without = sub.without(u);
+      double v_without = 0.0;
+      if (!without.is_empty()) {
+        for (OrgId x = 0; x < inst_->num_orgs(); ++x) {
+          if (without.contains(x)) {
+            v_without +=
+                util.eval(*inst_, engines_[without.mask()]->schedule(), x, t);
+          }
+        }
+      }
+      phi[u] += weight * (v_sub - v_without);
+    }
+  });
+  for (OrgId u = 0; u < inst_->num_orgs(); ++u) {
+    if (c.contains(u)) {
+      psi[u] = util.eval(*inst_, e.schedule(), u, t);
+    }
+  }
+  OrgId best = kNoOrg;
+  double best_dist = 0.0;
+  for (OrgId u = 0; u < inst_->num_orgs(); ++u) {
+    if (!c.contains(u) || e.waiting(u) == 0) continue;
+    const double dist = generic_distance(c, u, t, phi, psi);
+    if (best == kNoOrg || dist < best_dist) {
+      best = u;
+      best_dist = dist;
+    }
+  }
+  return best;
+}
+
+void RefScheduler::process_coalition_at(Coalition c, Time t) {
+  Engine& e = *engines_[c.mask()];
+  e.advance_to(t);
+  if (!e.needs_decision()) return;
+  // Bring every subcoalition to t (their own events at times <= t have
+  // already been processed by the global loop's (time, size) order, so this
+  // is closed-form accrual only and their values v(C', t) become current).
+  for_each_subset(c, [&](Coalition sub) {
+    if (sub.is_empty() || sub == c) return;
+    engines_[sub.mask()]->advance_to(t);
+  });
+  while (e.needs_decision()) {
+    const OrgId u = select_org(c, t);
+    if (u == kNoOrg) {
+      throw std::logic_error("RefScheduler: no selectable organization");
+    }
+    e.start_front(u);
+  }
+}
+
+void RefScheduler::run(Time horizon) {
+  if (ran_) throw std::logic_error("RefScheduler::run called twice");
+  ran_ = true;
+
+  // Global event loop over all coalitions, ordered by (time, coalition
+  // size, mask). A coalition's entry is re-armed with its next event after
+  // each processing; entries never go stale because only processing a
+  // coalition changes its own event stream.
+  using Entry = std::tuple<Time, std::uint32_t, Coalition::Mask>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+  for (Coalition::Mask mask = 1; mask < engines_.size(); ++mask) {
+    const Time t = engines_[mask]->next_event();
+    if (t != kTimeInfinity && t < horizon) {
+      queue.emplace(t, Coalition(mask).size(), mask);
+    }
+  }
+  while (!queue.empty()) {
+    const auto [t, size, mask] = queue.top();
+    queue.pop();
+    (void)size;
+    process_coalition_at(Coalition(mask), t);
+    const Time next = engines_[mask]->next_event();
+    if (next != kTimeInfinity && next < horizon) {
+      queue.emplace(next, Coalition(mask).size(), mask);
+    }
+  }
+  for (Coalition::Mask mask = 1; mask < engines_.size(); ++mask) {
+    engines_[mask]->advance_to(horizon);
+  }
+}
+
+std::vector<HalfUtil> RefScheduler::utilities2() const {
+  std::vector<HalfUtil> out(inst_->num_orgs(), 0);
+  for (OrgId u = 0; u < inst_->num_orgs(); ++u) {
+    out[u] = grand_engine().psi2(u);
+  }
+  return out;
+}
+
+std::vector<double> RefScheduler::contributions() const {
+  std::vector<double> phi2 = contributions2_of(grand_);
+  for (double& p : phi2) p /= 2.0;
+  return phi2;
+}
+
+}  // namespace fairsched

@@ -1,0 +1,123 @@
+#pragma once
+
+// REF (Fig. 1 / Fig. 3): the exact, exponential fair scheduling algorithm.
+//
+// REF maintains a greedy schedule for *every* nonempty subcoalition of the
+// grand coalition (2^k - 1 of them). Whenever a coalition C must start a job
+// (free machine + waiting job), the contributions phi(u) of its members are
+// computed from the current values v(C') of all subcoalitions C' of C via
+// the Shapley subset formula (Eq. 1), and the job of the organization
+// maximizing phi(u) - psi(u) is started (the specialized psi_sp rule of
+// Fig. 3; with the generic Distance rule of Fig. 1 available for arbitrary
+// utility functions — both provably coincide for psi_sp, which tests verify).
+//
+// Scheduling decisions of C recursively depend on the subcoalitions'
+// schedules *at the same time moment* (Definition 3.1); we drive all 2^k-1
+// engines through one global event timeline ordered by (time, coalition
+// size): by the time coalition C acts at time t, every subcoalition has
+// already processed its own events at t, so its value v(C', t) is current.
+// Between events, engines advance by closed-form accrual only (a greedy
+// algorithm makes no decision while no machine frees and no job arrives),
+// which makes the event-driven run identical to the paper's per-time-moment
+// loop.
+//
+// Complexity per decision of a size-s coalition: O(2^s * s) (Prop. 3.4
+// aggregate: O(k * 3^k) per time moment); memory O(2^k) engines. The
+// constructor rejects k > 16.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/coalition.h"
+#include "core/instance.h"
+#include "core/schedule.h"
+#include "core/types.h"
+#include "metrics/utility.h"
+#include "sim/engine.h"
+
+namespace fairsched {
+
+// Pluggable utility for the generic Distance rule (Fig. 1). Evaluates the
+// utility of organization `org` at time `t` in the given schedule. Only the
+// executed parts of jobs may influence the value (non-clairvoyance).
+class UtilityFunction {
+ public:
+  virtual ~UtilityFunction() = default;
+  virtual double eval(const Instance& inst, const Schedule& schedule,
+                      OrgId org, Time t) const = 0;
+};
+
+// The strategy-proof utility psi_sp as a UtilityFunction.
+class SpUtilityFn final : public UtilityFunction {
+ public:
+  double eval(const Instance& inst, const Schedule& schedule, OrgId org,
+              Time t) const override;
+};
+
+// Throughput-like utility: completed unit parts (breaks the starting-times
+// anonymity axiom; provided for generic-REF experiments).
+class CompletedWorkUtilityFn final : public UtilityFunction {
+ public:
+  double eval(const Instance& inst, const Schedule& schedule, OrgId org,
+              Time t) const override;
+};
+
+struct RefOptions {
+  // When set, REF uses the generic Distance rule of Fig. 1 with this
+  // utility (slower: re-evaluates utilities from schedules). When null, the
+  // specialized psi_sp rule of Fig. 3 runs on the engines' exact integer
+  // accounting.
+  const UtilityFunction* generic_utility = nullptr;
+};
+
+class RefScheduler {
+ public:
+  static constexpr std::uint32_t kMaxOrgs = 16;
+
+  RefScheduler(const Instance& inst, RefOptions options = {});
+
+  // Runs all coalitions up to `horizon`. May be called once.
+  void run(Time horizon);
+
+  // --- results (valid after run) -----------------------------------------
+  const Schedule& schedule() const { return grand_engine().schedule(); }
+  // The reference fair utility vector psi* (2*psi per organization).
+  std::vector<HalfUtil> utilities2() const;
+  // p_tot: completed unit parts in the fair schedule by the horizon.
+  std::int64_t reference_work() const { return grand_engine().total_work_done(); }
+  // Shapley contributions phi(u) (time units) of the grand coalition at the
+  // horizon — the ideal fair division REF chases.
+  std::vector<double> contributions() const;
+  // Access to any subcoalition's engine (diagnostics, tests).
+  const Engine& engine(Coalition c) const { return *engines_[c.mask()]; }
+
+ private:
+  const Engine& grand_engine() const { return *engines_[grand_.mask()]; }
+  Engine& engine_mut(Coalition c) { return *engines_[c.mask()]; }
+
+  // Processes coalition `c`'s due events at time t and makes its scheduling
+  // decisions; subcoalitions are brought to time t first.
+  void process_coalition_at(Coalition c, Time t);
+
+  // Contributions phi2 (in half-units, doubles because of the factorial
+  // weights) of all members of `c` from current subcoalition values.
+  std::vector<double> contributions2_of(Coalition c) const;
+
+  // Distance rule of Fig. 1 for the generic utility: the (doubled) distance
+  // after tentatively starting `u`'s front job at time t.
+  double generic_distance(Coalition c, OrgId u, Time t,
+                          const std::vector<double>& phi,
+                          const std::vector<double>& psi) const;
+
+  OrgId select_org(Coalition c, Time t);
+
+  const Instance* inst_;
+  RefOptions options_;
+  Coalition grand_;
+  std::vector<std::unique_ptr<Engine>> engines_;  // indexed by mask; [0] null
+  std::vector<ShapleyWeights> weights_;           // per coalition size 1..k
+  bool ran_ = false;
+};
+
+}  // namespace fairsched

@@ -1,0 +1,21 @@
+#include "sched/round_robin.h"
+
+#include <stdexcept>
+
+namespace fairsched {
+
+void RoundRobinPolicy::reset(const PolicyView& /*view*/) { cursor_ = 0; }
+
+OrgId RoundRobinPolicy::select(const PolicyView& view) {
+  const std::uint32_t k = view.num_orgs();
+  for (std::uint32_t step = 0; step < k; ++step) {
+    const OrgId u = (cursor_ + step) % k;
+    if (view.waiting(u) > 0) {
+      cursor_ = (u + 1) % k;
+      return u;
+    }
+  }
+  throw std::logic_error("RoundRobinPolicy::select: no waiting job");
+}
+
+}  // namespace fairsched

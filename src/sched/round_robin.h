@@ -1,0 +1,20 @@
+#pragma once
+
+// ROUNDROBIN (Section 7.1): cycles through the list of organizations to
+// determine whose job starts next; organizations with no waiting job are
+// skipped. A fairness-agnostic baseline.
+
+#include "sim/policy.h"
+
+namespace fairsched {
+
+class RoundRobinPolicy final : public Policy {
+ public:
+  void reset(const PolicyView& view) override;
+  OrgId select(const PolicyView& view) override;
+
+ private:
+  OrgId cursor_ = 0;
+};
+
+}  // namespace fairsched

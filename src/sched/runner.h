@@ -1,0 +1,63 @@
+#pragma once
+
+// A uniform way to run any of the paper's algorithms on an instance and
+// collect the quantities the experiments need (Section 7): the schedule,
+// the strategy-proof utility vector at the horizon, and the completed work.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/schedule.h"
+#include "core/types.h"
+#include "sim/policy.h"
+
+namespace fairsched {
+
+enum class AlgorithmId {
+  kRef,            // exact exponential reference (REF)
+  kRand,           // randomized approximation (RAND)
+  kDirectContr,    // direct-contribution heuristic
+  kRoundRobin,
+  kFairShare,
+  kUtFairShare,
+  kCurrFairShare,
+  kDecayFairShare, // fair share with exponential usage decay (extension)
+  kRandom,         // uniformly random waiting organization (extension)
+  kFcfs,
+};
+
+struct AlgorithmSpec {
+  AlgorithmId id = AlgorithmId::kFairShare;
+  std::size_t rand_samples = 15;    // N for kRand
+  double decay_half_life = 5000.0;  // for kDecayFairShare
+  std::string display_name() const;
+};
+
+// Parses names like "ref", "rand15", "rand75", "directcontr", "roundrobin",
+// "fairshare", "utfairshare", "currfairshare", "decayfairshare2000",
+// "random", "fcfs" (case-insensitive). Throws std::invalid_argument on
+// unknown names.
+AlgorithmSpec parse_algorithm(const std::string& name);
+
+struct RunResult {
+  Schedule schedule;
+  std::vector<HalfUtil> utilities2;  // 2*psi_sp per organization at horizon
+  std::int64_t work_done = 0;        // completed unit parts at horizon
+};
+
+// Runs the algorithm on `inst` until `horizon`. `seed` feeds the algorithm's
+// internal randomness (RAND's permutations, DIRECTCONTR's machine order);
+// deterministic algorithms ignore it.
+RunResult run_algorithm(const Instance& inst, const AlgorithmSpec& spec,
+                        Time horizon, std::uint64_t seed);
+
+// Factory for the plain policies (not REF/RAND, which are not Policy-shaped).
+// `seed` feeds randomized policies; deterministic ones ignore it.
+std::unique_ptr<Policy> make_policy(AlgorithmId id, std::uint64_t seed = 0);
+std::unique_ptr<Policy> make_policy(const AlgorithmSpec& spec,
+                                    std::uint64_t seed = 0);
+
+}  // namespace fairsched

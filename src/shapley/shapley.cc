@@ -1,0 +1,192 @@
+#include "shapley/shapley.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fairsched {
+
+namespace {
+
+std::vector<double> tabulate(std::uint32_t k, const CharacteristicFn& v) {
+  if (k == 0 || k > Coalition::kMaxOrgs) {
+    throw std::invalid_argument("shapley: k out of range");
+  }
+  const std::size_t n = std::size_t{1} << k;
+  std::vector<double> table(n);
+  for (std::size_t mask = 0; mask < n; ++mask) {
+    table[mask] = v(Coalition(static_cast<Coalition::Mask>(mask)));
+  }
+  return table;
+}
+
+}  // namespace
+
+std::vector<double> shapley_exact(std::uint32_t k, const CharacteristicFn& v) {
+  const std::vector<double> table = tabulate(k, v);
+  const ShapleyWeights weights(k);
+  std::vector<double> phi(k, 0.0);
+  const std::size_t n = std::size_t{1} << k;
+  for (std::size_t mask = 1; mask < n; ++mask) {
+    const Coalition c(static_cast<Coalition::Mask>(mask));
+    const double w = weights.weight(c.size());
+    for (OrgId u = 0; u < k; ++u) {
+      if (!c.contains(u)) continue;
+      const std::size_t without = mask & ~(std::size_t{1} << u);
+      phi[u] += w * (table[mask] - table[without]);
+    }
+  }
+  return phi;
+}
+
+std::vector<double> shapley_by_permutations(std::uint32_t k,
+                                            const CharacteristicFn& v) {
+  const std::vector<double> table = tabulate(k, v);
+  std::vector<OrgId> order(k);
+  for (OrgId u = 0; u < k; ++u) order[u] = u;
+  std::vector<double> phi(k, 0.0);
+  std::size_t count = 0;
+  do {
+    Coalition::Mask mask = 0;
+    for (OrgId u : order) {
+      const Coalition::Mask with_u = mask | (Coalition::Mask{1} << u);
+      phi[u] += table[with_u] - table[mask];
+      mask = with_u;
+    }
+    ++count;
+  } while (std::next_permutation(order.begin(), order.end()));
+  for (double& p : phi) p /= static_cast<double>(count);
+  return phi;
+}
+
+std::vector<double> shapley_sampled(std::uint32_t k, const CharacteristicFn& v,
+                                    std::size_t samples, std::uint64_t seed) {
+  if (k == 0 || k > Coalition::kMaxOrgs) {
+    throw std::invalid_argument("shapley_sampled: k out of range");
+  }
+  if (samples == 0) {
+    throw std::invalid_argument("shapley_sampled: need at least one sample");
+  }
+  Rng rng(seed);
+  std::vector<double> phi(k, 0.0);
+  for (std::size_t i = 0; i < samples; ++i) {
+    const std::vector<std::uint32_t> order = rng.permutation(k);
+    Coalition::Mask mask = 0;
+    double prev = v(Coalition(mask));
+    for (OrgId u : order) {
+      mask |= Coalition::Mask{1} << u;
+      const double with_u = v(Coalition(mask));
+      phi[u] += with_u - prev;
+      prev = with_u;
+    }
+  }
+  for (double& p : phi) p /= static_cast<double>(samples);
+  return phi;
+}
+
+std::vector<double> shapley_stratified(std::uint32_t k,
+                                       const CharacteristicFn& v,
+                                       std::size_t samples_per_stratum,
+                                       std::uint64_t seed) {
+  if (k == 0 || k > Coalition::kMaxOrgs) {
+    throw std::invalid_argument("shapley_stratified: k out of range");
+  }
+  if (samples_per_stratum == 0) {
+    throw std::invalid_argument("shapley_stratified: need samples");
+  }
+  Rng rng(seed);
+  std::vector<double> phi(k, 0.0);
+  std::vector<OrgId> others;
+  others.reserve(k - 1);
+  for (OrgId u = 0; u < k; ++u) {
+    others.clear();
+    for (OrgId w = 0; w < k; ++w) {
+      if (w != u) others.push_back(w);
+    }
+    double total = 0.0;
+    for (std::uint32_t s = 0; s < k; ++s) {
+      double stratum = 0.0;
+      for (std::size_t i = 0; i < samples_per_stratum; ++i) {
+        // Uniform size-s subset of the others via a partial Fisher-Yates.
+        for (std::uint32_t j = 0; j < s; ++j) {
+          const std::size_t pick =
+              j + static_cast<std::size_t>(
+                      rng.uniform_u64(others.size() - j));
+          std::swap(others[j], others[pick]);
+        }
+        Coalition::Mask mask = 0;
+        for (std::uint32_t j = 0; j < s; ++j) {
+          mask |= Coalition::Mask{1} << others[j];
+        }
+        const double without = v(Coalition(mask));
+        const double with_u =
+            v(Coalition(mask | (Coalition::Mask{1} << u)));
+        stratum += with_u - without;
+      }
+      total += stratum / static_cast<double>(samples_per_stratum);
+    }
+    phi[u] = total / static_cast<double>(k);
+  }
+  return phi;
+}
+
+std::size_t rand_sample_bound(std::uint32_t k, double epsilon, double lambda) {
+  if (epsilon <= 0.0 || lambda <= 0.0 || lambda >= 1.0) {
+    throw std::invalid_argument("rand_sample_bound: invalid parameters");
+  }
+  const double kd = static_cast<double>(k);
+  const double n = kd * kd / (epsilon * epsilon) * std::log(kd / (1.0 - lambda));
+  return static_cast<std::size_t>(std::ceil(std::max(1.0, n)));
+}
+
+double efficiency_error(std::uint32_t k, const CharacteristicFn& v,
+                        const std::vector<double>& phi) {
+  double sum = 0.0;
+  for (double p : phi) sum += p;
+  return std::abs(sum - v(Coalition::grand(k)));
+}
+
+std::optional<double> symmetry_gap(std::uint32_t k, const CharacteristicFn& v,
+                                   OrgId a, OrgId b,
+                                   const std::vector<double>& phi) {
+  const std::size_t n = std::size_t{1} << k;
+  for (std::size_t mask = 0; mask < n; ++mask) {
+    const Coalition c(static_cast<Coalition::Mask>(mask));
+    if (c.contains(a) || c.contains(b)) continue;
+    if (std::abs(v(c.with(a)) - v(c.with(b))) > 1e-9) return std::nullopt;
+  }
+  return std::abs(phi[a] - phi[b]);
+}
+
+std::optional<double> dummy_error(std::uint32_t k, const CharacteristicFn& v,
+                                  OrgId u, const std::vector<double>& phi) {
+  const std::size_t n = std::size_t{1} << k;
+  for (std::size_t mask = 0; mask < n; ++mask) {
+    const Coalition c(static_cast<Coalition::Mask>(mask));
+    if (c.contains(u)) continue;
+    if (std::abs(v(c.with(u)) - v(c)) > 1e-9) return std::nullopt;
+  }
+  return std::abs(phi[u]);
+}
+
+bool is_supermodular(std::uint32_t k, const CharacteristicFn& v,
+                     double tolerance) {
+  // v is supermodular iff for all C and players u, w not in C:
+  // v(C + u + w) - v(C + w) >= v(C + u) - v(C).
+  const std::size_t n = std::size_t{1} << k;
+  for (std::size_t mask = 0; mask < n; ++mask) {
+    const Coalition c(static_cast<Coalition::Mask>(mask));
+    for (OrgId u = 0; u < k; ++u) {
+      if (c.contains(u)) continue;
+      for (OrgId w = 0; w < k; ++w) {
+        if (w == u || c.contains(w)) continue;
+        const double lhs = v(c.with(w).with(u)) - v(c.with(w));
+        const double rhs = v(c.with(u)) - v(c);
+        if (lhs + tolerance < rhs) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace fairsched

@@ -1,0 +1,92 @@
+#pragma once
+
+// Shapley value computation for cooperative games over up to 31 players.
+//
+// The paper defines the ideally fair utility division as the Shapley value
+// of the game whose characteristic function v(C) is the total
+// strategy-proof utility of coalition C's fair schedule (Section 3).
+// This module provides:
+//
+//  * exact computation via the subset formula (Eq. 1),
+//  * exact computation via the permutation formula (Eq. 2) — used in tests
+//    to cross-validate the two forms,
+//  * Monte-Carlo permutation sampling with the Hoeffding sample bound of
+//    Theorem 5.6 (the analysis backing Algorithm RAND),
+//  * axiom checkers (efficiency, symmetry, additivity, dummy) used by the
+//    property-test suite.
+//
+// Characteristic functions are arbitrary callables Coalition -> double.
+// Values are doubles; scheduling code that needs exact integer utilities
+// keeps them in half-units and converts at the boundary.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/coalition.h"
+#include "core/types.h"
+#include "util/rng.h"
+
+namespace fairsched {
+
+using CharacteristicFn = std::function<double(Coalition)>;
+
+// Exact Shapley value of every player via Eq. 1. O(2^k * k) evaluations of
+// `v` are avoided by tabulating v over all subsets first (2^k evaluations).
+std::vector<double> shapley_exact(std::uint32_t k, const CharacteristicFn& v);
+
+// Exact Shapley value via the permutation form (Eq. 2): averages marginal
+// contributions over all k! orders. O(k! * k); only for tests with small k.
+std::vector<double> shapley_by_permutations(std::uint32_t k,
+                                            const CharacteristicFn& v);
+
+// Monte-Carlo estimate over `samples` random permutations (the estimator of
+// Algorithm RAND / Liben-Nowell et al.). Deterministic given the seed.
+std::vector<double> shapley_sampled(std::uint32_t k, const CharacteristicFn& v,
+                                    std::size_t samples, std::uint64_t seed);
+
+// Stratified Monte-Carlo estimate: the Shapley value is the average over
+// coalition sizes s = 0..k-1 of the expected marginal contribution to a
+// uniformly random size-s subset of the other players. Sampling each
+// stratum separately (samples_per_stratum draws per size) removes the
+// between-stratum variance of plain permutation sampling — a strict
+// improvement whenever marginals depend strongly on coalition size, as they
+// do in the scheduling game (machines saturate). Total evaluations:
+// k * samples_per_stratum * 2 per player.
+std::vector<double> shapley_stratified(std::uint32_t k,
+                                       const CharacteristicFn& v,
+                                       std::size_t samples_per_stratum,
+                                       std::uint64_t seed);
+
+// Hoeffding sample bound of Theorem 5.6: with N >= k^2/eps^2 * ln(k/(1-lambda))
+// permutations, with probability >= lambda every |phi_est - phi| is within
+// (eps / k) * v(grand).
+std::size_t rand_sample_bound(std::uint32_t k, double epsilon, double lambda);
+
+// --- axiom checkers (for property tests) -----------------------------------
+
+// Efficiency: sum phi_u = v(grand). Returns the absolute error.
+double efficiency_error(std::uint32_t k, const CharacteristicFn& v,
+                        const std::vector<double>& phi);
+
+// Symmetry: players a and b are interchangeable in v
+// (v(C + a) == v(C + b) for all C excluding both) => phi_a == phi_b.
+// Returns nullopt when the premise fails (players not symmetric in v).
+std::optional<double> symmetry_gap(std::uint32_t k, const CharacteristicFn& v,
+                                   OrgId a, OrgId b,
+                                   const std::vector<double>& phi);
+
+// Dummy: if v(C + u) == v(C) for every C, phi_u should be 0. Returns nullopt
+// when u is not a dummy player.
+std::optional<double> dummy_error(std::uint32_t k, const CharacteristicFn& v,
+                                  OrgId u, const std::vector<double>& phi);
+
+// Whether the game is supermodular (convex):
+// v(C + u) - v(C) is nondecreasing in C for every u. The scheduling game is
+// *not* supermodular (Prop. 5.5); tests rely on this checker.
+bool is_supermodular(std::uint32_t k, const CharacteristicFn& v,
+                     double tolerance = 1e-9);
+
+}  // namespace fairsched

@@ -1,0 +1,221 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace fairsched {
+
+Engine::Engine(const Instance& inst, Coalition active, EngineOptions options)
+    : inst_(&inst),
+      active_(active),
+      options_(options),
+      rng_(options.seed),
+      released_(inst.num_orgs(), 0),
+      started_(inst.num_orgs(), 0),
+      completed_(inst.num_orgs(), 0),
+      accounts_(inst.num_orgs()),
+      schedule_(inst.num_orgs()) {
+  // Releases of member organizations, globally sorted by time. Per-org job
+  // lists are already release-sorted, so a k-way merge would do; a flat sort
+  // keeps the code simple and is O(J log J) once per engine.
+  for (OrgId u = 0; u < inst.num_orgs(); ++u) {
+    if (!active_.contains(u)) continue;
+    for (const Job& j : inst.jobs_of(u)) {
+      releases_.push_back(Release{j.release, u});
+    }
+    total_machines_ += inst.machines_of(u);
+  }
+  std::stable_sort(releases_.begin(), releases_.end(),
+                   [](const Release& a, const Release& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     return a.org < b.org;
+                   });
+  // All machines of member organizations start free.
+  for (OrgId u = 0; u < inst.num_orgs(); ++u) {
+    if (!active_.contains(u)) continue;
+    for (MachineId m = inst.machine_begin(u); m < inst.machine_end(u); ++m) {
+      if (options_.machine_pick == MachinePick::kFirstFree) {
+        free_heap_.push(m);
+      } else {
+        free_list_.push_back(m);
+      }
+    }
+  }
+  free_machines_ = total_machines_;
+}
+
+Engine::Engine(const Instance& inst, EngineOptions options)
+    : Engine(inst, Coalition::grand(inst.num_orgs()), options) {}
+
+double Engine::share(OrgId u) const {
+  if (total_machines_ == 0 || !active_.contains(u)) return 0.0;
+  return static_cast<double>(inst_->machines_of(u)) /
+         static_cast<double>(total_machines_);
+}
+
+HalfUtil Engine::value2() const {
+  HalfUtil total = 0;
+  for (OrgId u = 0; u < inst_->num_orgs(); ++u) total += accounts_[u].psi2;
+  return total;
+}
+
+std::int64_t Engine::total_work_done() const {
+  std::int64_t total = 0;
+  for (OrgId u = 0; u < inst_->num_orgs(); ++u) {
+    total += accounts_[u].work_done;
+  }
+  return total;
+}
+
+Time Engine::next_event() const {
+  Time t = kTimeInfinity;
+  if (release_ptr_ < releases_.size()) {
+    t = std::min(t, releases_[release_ptr_].time);
+  }
+  if (!completions_.empty()) t = std::min(t, completions_.top().time);
+  return t;
+}
+
+void Engine::accrue_to(Time t) {
+  const Time delta = t - now_;
+  if (delta <= 0) return;
+  for (OrgId u = 0; u < inst_->num_orgs(); ++u) {
+    OrgAccount& acc = accounts_[u];
+    if (acc.running_jobs > 0 || acc.work_done > 0) {
+      // Own-job utility: old units each gain delta; each running job adds
+      // delta fresh units worth (delta + delta-1 + ... + 1) at time t.
+      acc.psi2 += 2 * acc.work_done * delta +
+                  static_cast<HalfUtil>(acc.running_jobs) * delta * (delta + 1);
+      acc.work_done += static_cast<std::int64_t>(acc.running_jobs) * delta;
+    }
+    if (acc.busy_machines > 0 || acc.contrib_work > 0) {
+      acc.contrib_psi2 +=
+          2 * acc.contrib_work * delta +
+          static_cast<HalfUtil>(acc.busy_machines) * delta * (delta + 1);
+      acc.contrib_work += static_cast<std::int64_t>(acc.busy_machines) * delta;
+    }
+  }
+  now_ = t;
+}
+
+void Engine::advance_to(Time t) {
+  assert(t >= now_);
+  // Completions strictly before or at t, in time order, each accrued
+  // piecewise so the interval after a completion no longer counts the
+  // finished job as running.
+  while (!completions_.empty() && completions_.top().time <= t) {
+    const Completion c = completions_.top();
+    completions_.pop();
+    accrue_to(c.time);
+    OrgAccount& acc = accounts_[c.org];
+    assert(acc.running_jobs > 0);
+    acc.running_jobs--;
+    const OrgId owner = inst_->machine_owner(c.machine);
+    assert(accounts_[owner].busy_machines > 0);
+    accounts_[owner].busy_machines--;
+    completed_[c.org]++;
+    if (options_.machine_pick == MachinePick::kFirstFree) {
+      free_heap_.push(c.machine);
+    } else {
+      free_list_.push_back(c.machine);
+    }
+    free_machines_++;
+  }
+  accrue_to(t);
+  while (release_ptr_ < releases_.size() &&
+         releases_[release_ptr_].time <= t) {
+    released_[releases_[release_ptr_].org]++;
+    waiting_total_++;
+    release_ptr_++;
+  }
+}
+
+MachineId Engine::pick_machine() {
+  if (options_.machine_pick == MachinePick::kFirstFree) {
+    const MachineId m = free_heap_.top();
+    free_heap_.pop();
+    return m;
+  }
+  const std::size_t i =
+      static_cast<std::size_t>(rng_.uniform_u64(free_list_.size()));
+  const MachineId m = free_list_[i];
+  free_list_[i] = free_list_.back();
+  free_list_.pop_back();
+  return m;
+}
+
+MachineId Engine::start_front(OrgId u) {
+  if (!active_.contains(u) || waiting(u) == 0) {
+    throw std::logic_error("start_front: organization has no waiting job");
+  }
+  if (free_machines_ == 0) {
+    throw std::logic_error("start_front: no free machine");
+  }
+  const std::uint32_t index = started_[u];
+  const Job& job = inst_->job(u, index);
+  assert(job.release <= now_);
+  started_[u]++;
+  waiting_total_--;
+  const MachineId m = pick_machine();
+  free_machines_--;
+  accounts_[u].running_jobs++;
+  accounts_[inst_->machine_owner(m)].busy_machines++;
+  completions_.push(Completion{now_ + job.processing, m, u, index});
+  schedule_.add(Placement{u, index, now_, m});
+  return m;
+}
+
+void Engine::run(Policy& policy, Time horizon) {
+  PolicyView view(*this);
+  policy.reset(view);
+  for (;;) {
+    const Time t = next_event();
+    if (t == kTimeInfinity || t >= horizon) break;
+    advance_to(t);
+    while (needs_decision()) {
+      const OrgId u = policy.select(view);
+      if (u >= num_orgs() || waiting(u) == 0) {
+        throw std::logic_error(
+            "policy selected an organization with no waiting job");
+      }
+      const std::uint32_t index = started_[u];
+      const MachineId m = start_front(u);
+      policy.on_start(view, u, index, m);
+    }
+  }
+  advance_to(horizon);
+}
+
+// --- PolicyView ------------------------------------------------------------
+
+Time PolicyView::now() const { return engine_.now(); }
+std::uint32_t PolicyView::num_orgs() const { return engine_.num_orgs(); }
+bool PolicyView::active(OrgId u) const { return engine_.is_active(u); }
+std::uint32_t PolicyView::waiting(OrgId u) const { return engine_.waiting(u); }
+Time PolicyView::front_release(OrgId u) const {
+  return engine_.front_release(u);
+}
+std::uint32_t PolicyView::running(OrgId u) const { return engine_.running(u); }
+std::uint32_t PolicyView::completed(OrgId u) const {
+  return engine_.completed(u);
+}
+std::uint32_t PolicyView::free_machines() const {
+  return engine_.free_machines();
+}
+std::uint32_t PolicyView::machines_of(OrgId u) const {
+  return engine_.machines_of(u);
+}
+double PolicyView::share(OrgId u) const { return engine_.share(u); }
+HalfUtil PolicyView::psi2(OrgId u) const { return engine_.psi2(u); }
+HalfUtil PolicyView::contrib_psi2(OrgId u) const {
+  return engine_.contrib_psi2(u);
+}
+std::int64_t PolicyView::work_done(OrgId u) const {
+  return engine_.work_done(u);
+}
+std::int64_t PolicyView::contrib_work(OrgId u) const {
+  return engine_.contrib_work(u);
+}
+
+}  // namespace fairsched

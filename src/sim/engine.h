@@ -1,0 +1,180 @@
+#pragma once
+
+// Event-driven simulator for multi-organizational greedy scheduling.
+//
+// The paper describes its algorithms as acting at every discrete time
+// moment; since greedy algorithms only make decisions when a machine frees
+// or a job arrives, the engine advances directly between such events and
+// accrues the strategy-proof utility (and the machine-owner contribution
+// used by DIRECTCONTR) in closed form over each event-free interval:
+//
+//   with C = units completed before t1 and w = jobs running throughout
+//   [t1, t2):   2*psi(t2) = 2*psi(t1) + 2*C*(t2-t1) + w*(t2-t1)*(t2-t1+1)
+//
+// (each running job contributes one fresh unit per slot; a unit in slot i is
+// worth t - i at time t). This reproduces Eq. 3 exactly — see
+// tests/test_engine.cc which cross-checks against the closed form on the
+// final schedule.
+//
+// The engine is a manually steppable state machine (advance_to /
+// start_front) so that ensemble schedulers (REF drives one engine per
+// subcoalition; RAND one per sampled coalition) can interleave many engines
+// on one timeline. `run(policy, horizon)` is the convenience driver used by
+// ordinary policies.
+//
+// An engine can be restricted to a coalition: only member organizations'
+// machines exist and only their jobs arrive. Organization ids keep their
+// global numbering so ensemble drivers can aggregate without relabeling.
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "core/coalition.h"
+#include "core/instance.h"
+#include "core/schedule.h"
+#include "core/types.h"
+#include "sim/policy.h"
+#include "util/rng.h"
+
+namespace fairsched {
+
+// How the engine picks among free machines. Identical machines make the
+// choice irrelevant for utilities, but the owner of the chosen machine
+// receives the contribution credit, which DIRECTCONTR uses; the paper's
+// Fig. 9 considers processors in a random order.
+enum class MachinePick { kFirstFree, kRandomFree };
+
+struct EngineOptions {
+  MachinePick machine_pick = MachinePick::kFirstFree;
+  std::uint64_t seed = 0;  // used only for kRandomFree
+};
+
+class Engine {
+ public:
+  Engine(const Instance& inst, Coalition active, EngineOptions options = {});
+
+  // Convenience: grand coalition.
+  explicit Engine(const Instance& inst, EngineOptions options = {});
+
+  const Instance& instance() const { return *inst_; }
+  Coalition active() const { return active_; }
+  Time now() const { return now_; }
+
+  // Earliest pending event (release or completion) strictly after now(), or
+  // kTimeInfinity when the engine is drained.
+  Time next_event() const;
+
+  // Advances the clock to t (>= now()): accrues utilities, completes jobs
+  // due at or before t, and admits releases at or before t. Does not start
+  // any job.
+  void advance_to(Time t);
+
+  // True when a scheduling decision is required (free machine + waiting job).
+  bool needs_decision() const {
+    return free_machines_ > 0 && waiting_total_ > 0;
+  }
+
+  // Starts organization u's front FIFO job at now(); returns the machine.
+  // Precondition: waiting(u) > 0 and a machine is free.
+  MachineId start_front(OrgId u);
+
+  // Runs `policy` until `horizon`: processes events in order, invoking the
+  // policy at each decision point, then advances to exactly `horizon`.
+  void run(Policy& policy, Time horizon);
+
+  // --- state inspection --------------------------------------------------
+  std::uint32_t num_orgs() const { return inst_->num_orgs(); }
+  bool is_active(OrgId u) const { return active_.contains(u); }
+  std::uint32_t waiting(OrgId u) const {
+    return released_[u] - started_[u];
+  }
+  // Release time of u's front waiting job. Precondition: waiting(u) > 0.
+  Time front_release(OrgId u) const {
+    return inst_->job(u, started_[u]).release;
+  }
+  std::uint32_t waiting_total() const { return waiting_total_; }
+  std::uint32_t running(OrgId u) const { return accounts_[u].running_jobs; }
+  std::uint32_t completed(OrgId u) const { return completed_[u]; }
+  std::uint32_t free_machines() const { return free_machines_; }
+  std::uint32_t total_machines() const { return total_machines_; }
+  std::uint32_t machines_of(OrgId u) const {
+    return active_.contains(u) ? inst_->machines_of(u) : 0;
+  }
+  double share(OrgId u) const;
+
+  // --- accounting at now() ------------------------------------------------
+  HalfUtil psi2(OrgId u) const { return accounts_[u].psi2; }
+  HalfUtil contrib_psi2(OrgId u) const { return accounts_[u].contrib_psi2; }
+  std::int64_t work_done(OrgId u) const { return accounts_[u].work_done; }
+  std::int64_t contrib_work(OrgId u) const {
+    return accounts_[u].contrib_work;
+  }
+  // Coalition value 2*v = sum of member utilities.
+  HalfUtil value2() const;
+  // Total completed unit parts (the paper's p_tot for this schedule).
+  std::int64_t total_work_done() const;
+
+  const Schedule& schedule() const { return schedule_; }
+
+ private:
+  struct Completion {
+    Time time;
+    MachineId machine;
+    OrgId org;
+    std::uint32_t index;
+    bool operator>(const Completion& other) const {
+      return time > other.time;
+    }
+  };
+
+  struct OrgAccount {
+    std::int64_t work_done = 0;      // completed unit parts of own jobs
+    HalfUtil psi2 = 0;               // 2 * psi_sp of own jobs
+    std::int64_t contrib_work = 0;   // unit parts run on own machines
+    HalfUtil contrib_psi2 = 0;       // 2 * value of parts run on own machines
+    std::uint32_t running_jobs = 0;  // own jobs currently running
+    std::uint32_t busy_machines = 0; // own machines currently busy
+  };
+
+  void accrue_to(Time t);
+  MachineId pick_machine();
+
+  const Instance* inst_;
+  Coalition active_;
+  EngineOptions options_;
+  Rng rng_;
+
+  // Releases of active organizations, sorted by time (ties: org then index,
+  // for determinism).
+  struct Release {
+    Time time;
+    OrgId org;
+  };
+  std::vector<Release> releases_;
+  std::size_t release_ptr_ = 0;
+
+  std::priority_queue<Completion, std::vector<Completion>,
+                      std::greater<Completion>>
+      completions_;
+
+  // Free machines. kFirstFree keeps a min-heap (lowest id first,
+  // deterministic); kRandomFree keeps a flat vector with swap-pop.
+  std::priority_queue<MachineId, std::vector<MachineId>,
+                      std::greater<MachineId>>
+      free_heap_;
+  std::vector<MachineId> free_list_;
+
+  std::vector<std::uint32_t> released_;
+  std::vector<std::uint32_t> started_;
+  std::vector<std::uint32_t> completed_;
+  std::vector<OrgAccount> accounts_;
+  std::uint32_t waiting_total_ = 0;
+  std::uint32_t free_machines_ = 0;
+  std::uint32_t total_machines_ = 0;
+
+  Time now_ = 0;
+  Schedule schedule_;
+};
+
+}  // namespace fairsched

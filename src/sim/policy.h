@@ -1,0 +1,74 @@
+#pragma once
+
+// Scheduling policy interface.
+//
+// The engine calls Policy::select whenever at least one machine is free and
+// at least one released job is waiting (the greedy invariant: some job must
+// then be started). The policy answers with the organization whose
+// front-of-queue job should start; the engine starts that organization's
+// next FIFO job.
+//
+// Non-clairvoyance is enforced by the interface: PolicyView exposes queue
+// lengths, run counts and accumulated performance accounting, but never the
+// processing time of a waiting or running job. Policies learn a job's length
+// only by observing its completion (through the accounting deltas), exactly
+// as the paper's model prescribes.
+
+#include <cstdint>
+
+#include "core/types.h"
+
+namespace fairsched {
+
+class Engine;
+class Instance;
+
+// Read-only, non-clairvoyant window into the engine state.
+class PolicyView {
+ public:
+  explicit PolicyView(const Engine& engine) : engine_(engine) {}
+
+  Time now() const;
+  std::uint32_t num_orgs() const;
+  bool active(OrgId u) const;
+
+  // Queue state.
+  std::uint32_t waiting(OrgId u) const;   // released, not yet started
+  // Release time of u's front waiting job (release times of released jobs
+  // are public knowledge; only processing times are hidden). Precondition:
+  // waiting(u) > 0.
+  Time front_release(OrgId u) const;
+  std::uint32_t running(OrgId u) const;   // started, not yet completed
+  std::uint32_t completed(OrgId u) const;
+  std::uint32_t free_machines() const;
+  std::uint32_t machines_of(OrgId u) const;
+  double share(OrgId u) const;  // machine share within the active coalition
+
+  // Accounting at now() — all quantities refer to *elapsed* execution only.
+  HalfUtil psi2(OrgId u) const;          // 2*psi_sp of u's jobs
+  HalfUtil contrib_psi2(OrgId u) const;  // 2*psi_sp-value of parts run on u's machines
+  std::int64_t work_done(OrgId u) const;     // unit parts of u's jobs executed
+  std::int64_t contrib_work(OrgId u) const;  // unit parts executed on u's machines
+
+ private:
+  const Engine& engine_;
+};
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  // Called once before the simulation starts.
+  virtual void reset(const PolicyView& /*view*/) {}
+
+  // Picks the organization whose front job to start. Only called when
+  // view.free_machines() > 0 and some organization has waiting(u) > 0; must
+  // return an organization with waiting(u) > 0.
+  virtual OrgId select(const PolicyView& view) = 0;
+
+  // Notification after a job start (default: ignore).
+  virtual void on_start(const PolicyView& /*view*/, OrgId /*org*/,
+                        std::uint32_t /*index*/, MachineId /*machine*/) {}
+};
+
+}  // namespace fairsched

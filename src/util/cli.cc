@@ -1,0 +1,84 @@
+#include "util/cli.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace fairsched {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // `--name value` form, or bare `--name` meaning boolean true.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+std::string Flags::env_name(const std::string& flag_name) {
+  std::string out = "FAIRSCHED_";
+  for (char c : flag_name) {
+    out += c == '-' ? '_' : static_cast<char>(std::toupper(c));
+  }
+  return out;
+}
+
+bool Flags::has(const std::string& name) const {
+  if (values_.count(name) > 0) return true;
+  return std::getenv(env_name(name).c_str()) != nullptr;
+}
+
+std::string Flags::get_string(const std::string& name,
+                              const std::string& fallback) const {
+  auto it = values_.find(name);
+  if (it != values_.end()) return it->second;
+  if (const char* env = std::getenv(env_name(name).c_str())) return env;
+  return fallback;
+}
+
+std::int64_t Flags::get_int(const std::string& name,
+                            std::int64_t fallback) const {
+  const std::string raw = get_string(name, "");
+  if (raw.empty()) return fallback;
+  try {
+    return std::stoll(raw);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + " expects an integer, got '" +
+                                raw + "'");
+  }
+}
+
+double Flags::get_double(const std::string& name, double fallback) const {
+  const std::string raw = get_string(name, "");
+  if (raw.empty()) return fallback;
+  try {
+    return std::stod(raw);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + " expects a number, got '" +
+                                raw + "'");
+  }
+}
+
+bool Flags::get_bool(const std::string& name, bool fallback) const {
+  const std::string raw = get_string(name, "");
+  if (raw.empty()) return fallback;
+  if (raw == "1" || raw == "true" || raw == "yes" || raw == "on") return true;
+  if (raw == "0" || raw == "false" || raw == "no" || raw == "off") return false;
+  throw std::invalid_argument("flag --" + name + " expects a boolean, got '" +
+                              raw + "'");
+}
+
+}  // namespace fairsched

@@ -1,0 +1,42 @@
+#pragma once
+
+// Minimal command-line / environment flag parsing for the bench and example
+// binaries.
+//
+// Flags are written `--name=value` (or `--name value`). For every flag there
+// is an environment-variable fallback `FAIRSCHED_<NAME>` (upper-cased, dashes
+// turned into underscores) so the whole bench suite can be scaled up or down
+// without editing command lines, e.g. `FAIRSCHED_INSTANCES=100 ./bench_table1`.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fairsched {
+
+class Flags {
+ public:
+  // Parses argv; throws std::invalid_argument on malformed flags.
+  Flags(int argc, const char* const* argv);
+
+  // Lookup order: command line, then FAIRSCHED_<NAME> env var, then fallback.
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  bool has(const std::string& name) const;
+
+  // Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  static std::string env_name(const std::string& flag_name);
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace fairsched

@@ -1,0 +1,24 @@
+#pragma once
+
+// Tiny CSV writer (RFC-4180-style quoting) so benchmark binaries can dump
+// machine-readable series alongside the human-readable ASCII tables.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fairsched {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void write_row(const std::vector<std::string>& cells);
+
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::ostream& out_;
+};
+
+}  // namespace fairsched

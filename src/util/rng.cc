@@ -1,0 +1,166 @@
+#include "util/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace fairsched {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t state = a;
+  std::uint64_t x = splitmix64(state);
+  state ^= b + 0x9e3779b97f4a7c15ULL + (x << 6) + (x >> 2);
+  return splitmix64(state);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t state = seed;
+  for (auto& word : s_) word = splitmix64(state);
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform_u64(std::uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // span == 0 means the full 64-bit range.
+  const std::uint64_t draw = span == 0 ? (*this)() : uniform_u64(span);
+  return lo + static_cast<std::int64_t>(draw);
+}
+
+double Rng::uniform_double() {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::bernoulli(double p) { return uniform_double() < p; }
+
+double Rng::normal() {
+  // Marsaglia polar method; discards the second deviate for simplicity.
+  for (;;) {
+    const double u = 2.0 * uniform_double() - 1.0;
+    const double v = 2.0 * uniform_double() - 1.0;
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(mu + sigma * normal());
+}
+
+double Rng::exponential(double rate) {
+  assert(rate > 0.0);
+  double u;
+  do {
+    u = uniform_double();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+std::uint64_t Rng::poisson(double mean) {
+  assert(mean >= 0.0);
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth's multiplicative method.
+    const double limit = std::exp(-mean);
+    std::uint64_t k = 0;
+    double product = uniform_double();
+    while (product > limit) {
+      ++k;
+      product *= uniform_double();
+    }
+    return k;
+  }
+  // Normal approximation with continuity correction; adequate for workload
+  // generation where only the aggregate shape matters.
+  const double draw = mean + std::sqrt(mean) * normal() + 0.5;
+  return draw <= 0.0 ? 0 : static_cast<std::uint64_t>(draw);
+}
+
+std::uint64_t Rng::geometric(double p) {
+  assert(p > 0.0 && p <= 1.0);
+  if (p >= 1.0) return 1;
+  double u;
+  do {
+    u = uniform_double();
+  } while (u <= 0.0);
+  const double trials = std::ceil(std::log(u) / std::log1p(-p));
+  return trials < 1.0 ? 1 : static_cast<std::uint64_t>(trials);
+}
+
+std::vector<std::uint32_t> Rng::permutation(std::uint32_t n) {
+  std::vector<std::uint32_t> p(n);
+  for (std::uint32_t i = 0; i < n; ++i) p[i] = i;
+  shuffle(p);
+  return p;
+}
+
+ZipfSampler::ZipfSampler(std::uint32_t n, double s) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::uint32_t r = 1; r <= n; ++r) {
+    total += std::pow(static_cast<double>(r), -s);
+    cdf_[r - 1] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::uint32_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.uniform_double();
+  std::uint32_t lo = 0;
+  std::uint32_t hi = static_cast<std::uint32_t>(cdf_.size()) - 1;
+  while (lo < hi) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo + 1;
+}
+
+}  // namespace fairsched

@@ -1,0 +1,77 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace fairsched {
+
+void StatsAccumulator::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void StatsAccumulator::merge(const StatsAccumulator& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double StatsAccumulator::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double StatsAccumulator::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double StatsAccumulator::stdev() const { return std::sqrt(variance()); }
+
+double StatsAccumulator::min() const { return count_ == 0 ? 0.0 : min_; }
+
+double StatsAccumulator::max() const { return count_ == 0 ? 0.0 : max_; }
+
+double mean_of(const std::vector<double>& xs) {
+  StatsAccumulator acc;
+  for (double x : xs) acc.add(x);
+  return acc.mean();
+}
+
+double stdev_of(const std::vector<double>& xs) {
+  StatsAccumulator acc;
+  for (double x : xs) acc.add(x);
+  return acc.stdev();
+}
+
+double percentile_of(std::vector<double> xs, double q) {
+  assert(q >= 0.0 && q <= 1.0);
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] + (xs[hi] - xs[lo]) * frac;
+}
+
+}  // namespace fairsched

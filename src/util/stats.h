@@ -1,0 +1,42 @@
+#pragma once
+
+// Streaming and batch statistics used by the experiment harness
+// (per-instance fairness ratios are aggregated into the mean/stdev columns
+// the paper's Tables 1-2 report).
+
+#include <cstddef>
+#include <vector>
+
+namespace fairsched {
+
+// Numerically stable streaming accumulator (Welford's algorithm).
+class StatsAccumulator {
+ public:
+  void add(double x);
+  void merge(const StatsAccumulator& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  // Sample variance / stdev (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stdev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Batch helpers.
+double mean_of(const std::vector<double>& xs);
+double stdev_of(const std::vector<double>& xs);
+// Linear-interpolation percentile, q in [0, 1]. Sorts a copy.
+double percentile_of(std::vector<double> xs, double q);
+
+}  // namespace fairsched

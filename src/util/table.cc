@@ -1,0 +1,69 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace fairsched {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void AsciiTable::add_separator() { rows_.emplace_back(); }
+
+std::string AsciiTable::format_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string AsciiTable::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto print_line = [&](std::ostringstream& out) {
+    out << '+';
+    for (std::size_t w : widths) {
+      out << std::string(w + 2, '-') << '+';
+    }
+    out << '\n';
+  };
+  auto print_row = [&](std::ostringstream& out,
+                       const std::vector<std::string>& row) {
+    out << '|';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      out << ' ' << cell << std::string(widths[c] - cell.size() + 1, ' ')
+          << '|';
+    }
+    out << '\n';
+  };
+
+  std::ostringstream out;
+  print_line(out);
+  print_row(out, header_);
+  print_line(out);
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      print_line(out);
+    } else {
+      print_row(out, row);
+    }
+  }
+  print_line(out);
+  return out.str();
+}
+
+}  // namespace fairsched

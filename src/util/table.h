@@ -1,0 +1,29 @@
+#pragma once
+
+// Minimal ASCII table formatter used by the benchmark binaries to print the
+// paper's tables/figure series in a readable, diffable layout.
+
+#include <string>
+#include <vector>
+
+namespace fairsched {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  // Inserts a horizontal separator before the next row.
+  void add_separator();
+
+  std::string to_string() const;
+
+  static std::string format_double(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  // Separator rows are encoded as empty vectors.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fairsched

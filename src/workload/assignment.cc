@@ -1,0 +1,141 @@
+#include "workload/assignment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace fairsched {
+
+std::vector<std::uint32_t> split_machines(std::uint32_t total, std::uint32_t k,
+                                          MachineSplit split, double zipf_s,
+                                          Rng& rng) {
+  if (k == 0) throw std::invalid_argument("split_machines: k must be > 0");
+  if (total < k) {
+    throw std::invalid_argument(
+        "split_machines: need at least one machine per organization");
+  }
+  std::vector<double> weight(k, 1.0);
+  if (split == MachineSplit::kZipf) {
+    for (std::uint32_t i = 0; i < k; ++i) {
+      weight[i] = std::pow(static_cast<double>(i + 1), -zipf_s);
+    }
+  }
+  double weight_sum = 0.0;
+  for (double w : weight) weight_sum += w;
+
+  // Largest-remainder apportionment with a floor of one machine each.
+  std::vector<std::uint32_t> counts(k, 1);
+  std::uint32_t remaining = total - k;
+  std::vector<double> exact(k);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    exact[i] = static_cast<double>(remaining) * weight[i] / weight_sum;
+    counts[i] += static_cast<std::uint32_t>(exact[i]);
+  }
+  std::uint32_t assigned = 0;
+  for (std::uint32_t c : counts) assigned += c;
+  // Distribute the rounding leftovers by largest fractional part.
+  std::vector<std::uint32_t> order(k);
+  for (std::uint32_t i = 0; i < k; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    const double fa = exact[a] - std::floor(exact[a]);
+    const double fb = exact[b] - std::floor(exact[b]);
+    if (fa != fb) return fa > fb;
+    return a < b;
+  });
+  for (std::uint32_t i = 0; assigned < total; ++i) {
+    counts[order[i % k]]++;
+    assigned++;
+  }
+
+  // Which organization gets the big Zipf head is randomized so repeated
+  // instances do not always favor organization 0.
+  rng.shuffle(counts);
+  return counts;
+}
+
+std::vector<OrgId> assign_users(std::uint32_t num_users, std::uint32_t k,
+                                Rng& rng) {
+  if (k == 0) throw std::invalid_argument("assign_users: k must be > 0");
+  std::vector<std::uint32_t> shuffled = rng.permutation(num_users);
+  std::vector<OrgId> owner(num_users, 0);
+  for (std::uint32_t pos = 0; pos < num_users; ++pos) {
+    owner[shuffled[pos]] = static_cast<OrgId>(pos % k);
+  }
+  return owner;
+}
+
+Instance instance_from_swf(const SwfTrace& trace, std::uint32_t orgs,
+                           std::uint32_t total_machines, MachineSplit split,
+                           double zipf_s, std::uint64_t seed) {
+  Rng rng(seed);
+  const SwfTrace seq = trace.expanded_to_sequential();
+
+  // Stable user numbering by first appearance; unknown users become fresh
+  // pseudo-users so their jobs still land somewhere deterministic.
+  std::map<std::int64_t, std::uint32_t> user_index;
+  std::uint32_t next_user = 0;
+  std::vector<std::uint32_t> job_user;
+  job_user.reserve(seq.jobs.size());
+  std::int64_t pseudo = -1;
+  for (const SwfJob& j : seq.jobs) {
+    const std::int64_t uid = j.user >= 0 ? j.user : pseudo--;
+    auto [it, inserted] = user_index.emplace(uid, next_user);
+    if (inserted) ++next_user;
+    job_user.push_back(it->second);
+  }
+
+  const std::vector<OrgId> user_org = assign_users(next_user, orgs, rng);
+  const std::vector<std::uint32_t> machines =
+      split_machines(total_machines, orgs, split, zipf_s, rng);
+
+  InstanceBuilder builder;
+  for (std::uint32_t u = 0; u < orgs; ++u) {
+    builder.add_org("org" + std::to_string(u), machines[u]);
+  }
+  for (std::size_t i = 0; i < seq.jobs.size(); ++i) {
+    const SwfJob& j = seq.jobs[i];
+    builder.add_job(user_org[job_user[i]], j.submit, j.run_time);
+  }
+  return std::move(builder).build();
+}
+
+par::ParallelInstance parallel_instance_from_swf(const SwfTrace& trace,
+                                                 std::uint32_t orgs,
+                                                 std::uint32_t total_machines,
+                                                 std::uint64_t seed) {
+  Rng rng(seed);
+  // User numbering by first appearance across the *kept* jobs, matching
+  // the sequential path's behaviour.
+  std::map<std::int64_t, std::uint32_t> user_index;
+  std::uint32_t next_user = 0;
+  std::vector<std::uint32_t> job_user;
+  std::vector<const SwfJob*> kept;
+  std::int64_t pseudo = -1;
+  for (const SwfJob& j : trace.jobs) {
+    if (j.run_time <= 0 || j.processors == 0) continue;
+    const std::int64_t uid = j.user >= 0 ? j.user : pseudo--;
+    auto [it, inserted] = user_index.emplace(uid, next_user);
+    if (inserted) ++next_user;
+    job_user.push_back(it->second);
+    kept.push_back(&j);
+  }
+  const std::vector<OrgId> user_org = assign_users(next_user, orgs, rng);
+  // One machine pool; organization machine counts still matter for shares,
+  // so split them the same way (uniform here: widths already skew load).
+  const std::vector<std::uint32_t> machines =
+      split_machines(total_machines, orgs, MachineSplit::kUniform, 1.0, rng);
+
+  par::ParallelInstance inst;
+  for (std::uint32_t u = 0; u < orgs; ++u) {
+    inst.add_org(machines[u]);
+  }
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    inst.add_job(user_org[job_user[i]], kept[i]->submit, kept[i]->run_time,
+                 kept[i]->processors);
+  }
+  inst.finalize();
+  return inst;
+}
+
+}  // namespace fairsched

@@ -1,0 +1,52 @@
+#pragma once
+
+// Mapping a trace onto a consortium (Section 7.2 of the paper):
+//  * processors are assigned to organizations so the counts follow a Zipf
+//    or a uniform distribution (every organization keeps at least one),
+//  * user identifiers are distributed uniformly between organizations, and
+//    every job goes to the organization of its user.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.h"
+#include "parallel/parallel.h"
+#include "util/rng.h"
+#include "workload/swf.h"
+
+namespace fairsched {
+
+enum class MachineSplit { kUniform, kZipf };
+
+// Splits `total` machines across k organizations. Every organization
+// receives at least one machine (requires total >= k). kZipf makes counts
+// proportional to rank^-s with rank = org index + 1.
+std::vector<std::uint32_t> split_machines(std::uint32_t total, std::uint32_t k,
+                                          MachineSplit split, double zipf_s,
+                                          Rng& rng);
+
+// Uniformly partitions `num_users` users across k organizations: users are
+// shuffled and dealt round-robin, so org sizes differ by at most one.
+// Returns user -> org.
+std::vector<OrgId> assign_users(std::uint32_t num_users, std::uint32_t k,
+                                Rng& rng);
+
+// Builds an Instance from an SWF trace: expands parallel jobs to sequential
+// copies, distributes users uniformly over `orgs` organizations and splits
+// `total_machines` machines between them. Jobs of unknown users go to the
+// organization of a fresh pseudo-user. Deterministic given the seed.
+Instance instance_from_swf(const SwfTrace& trace, std::uint32_t orgs,
+                           std::uint32_t total_machines, MachineSplit split,
+                           double zipf_s, std::uint64_t seed);
+
+// Same mapping but *preserving* job widths, for the rigid parallel jobs
+// extension (src/parallel): jobs keep their processor requirement instead
+// of being expanded into sequential copies (jobs with unknown runtime or
+// width are dropped, as in the sequential path). The user->org assignment
+// and machine split use the same seed derivation as instance_from_swf, so
+// the two views of one trace are aligned.
+par::ParallelInstance parallel_instance_from_swf(
+    const SwfTrace& trace, std::uint32_t orgs, std::uint32_t total_machines,
+    std::uint64_t seed);
+
+}  // namespace fairsched

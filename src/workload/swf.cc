@@ -1,0 +1,102 @@
+#include "workload/swf.h"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace fairsched {
+
+std::vector<std::int64_t> SwfTrace::users() const {
+  std::vector<std::int64_t> out;
+  std::set<std::int64_t> seen;
+  for (const SwfJob& j : jobs) {
+    if (j.user < 0) continue;
+    if (seen.insert(j.user).second) out.push_back(j.user);
+  }
+  return out;
+}
+
+SwfTrace SwfTrace::expanded_to_sequential() const {
+  SwfTrace out;
+  out.header = header;
+  for (const SwfJob& j : jobs) {
+    if (j.run_time <= 0 || j.processors == 0) continue;
+    for (std::uint32_t copy = 0; copy < j.processors; ++copy) {
+      SwfJob seq = j;
+      seq.processors = 1;
+      out.jobs.push_back(seq);
+    }
+  }
+  return out;
+}
+
+SwfTrace parse_swf(std::istream& in) {
+  SwfTrace trace;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip trailing carriage return (DOS-encoded archives exist).
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;  // blank
+    if (line[first] == ';') {
+      trace.header.push_back(line.substr(first + 1));
+      continue;
+    }
+    std::istringstream fields(line);
+    std::vector<double> values;
+    double v;
+    while (fields >> v) values.push_back(v);
+    if (!fields.eof()) {
+      throw std::runtime_error("SWF line " + std::to_string(line_no) +
+                               ": non-numeric field");
+    }
+    if (values.size() < 12) {
+      throw std::runtime_error("SWF line " + std::to_string(line_no) +
+                               ": expected >= 12 fields, got " +
+                               std::to_string(values.size()));
+    }
+    SwfJob job;
+    job.job_id = static_cast<std::int64_t>(values[0]);
+    job.submit = static_cast<Time>(values[1]);
+    job.run_time = static_cast<Time>(values[3]);
+    const double procs = values[4];
+    job.processors =
+        procs < 0 ? 0 : static_cast<std::uint32_t>(procs);
+    job.user = static_cast<std::int64_t>(values[11]);
+    if (job.submit < 0) {
+      throw std::runtime_error("SWF line " + std::to_string(line_no) +
+                               ": negative submit time");
+    }
+    trace.jobs.push_back(job);
+  }
+  return trace;
+}
+
+SwfTrace load_swf(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open SWF file: " + path);
+  return parse_swf(in);
+}
+
+void write_swf(std::ostream& out, const SwfTrace& trace) {
+  for (const std::string& h : trace.header) out << ';' << h << '\n';
+  for (const SwfJob& j : trace.jobs) {
+    // 18 standard fields; the ones we do not model are -1.
+    out << j.job_id << ' ' << j.submit << ' ' << -1 << ' ' << j.run_time
+        << ' ' << j.processors << ' ' << -1 << ' ' << -1 << ' '
+        << j.processors << ' ' << j.run_time << ' ' << -1 << ' ' << -1 << ' '
+        << j.user << ' ' << -1 << ' ' << -1 << ' ' << -1 << ' ' << -1 << ' '
+        << -1 << ' ' << -1 << '\n';
+  }
+}
+
+void save_swf(const std::string& path, const SwfTrace& trace) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write SWF file: " + path);
+  write_swf(out, trace);
+}
+
+}  // namespace fairsched

@@ -1,0 +1,58 @@
+#pragma once
+
+// Standard Workload Format (SWF) support.
+//
+// The paper's experiments replay four traces from the Parallel Workload
+// Archive, which are distributed in SWF: one job per line with 18
+// whitespace-separated fields (Feitelson's standard), of which we use
+//   field 1  job id
+//   field 2  submit time (seconds)
+//   field 4  run time (seconds; -1 = unknown)
+//   field 5  number of allocated processors (-1 = unknown)
+//   field 12 user id (-1 = unknown)
+// Header comments start with ';'.
+//
+// Following Section 7.2, a parallel job that required q > 1 processors is
+// replaced by q copies of a sequential job of the same duration, and jobs
+// are later distributed to organizations through their user ids
+// (workload/assignment.h).
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace fairsched {
+
+struct SwfJob {
+  std::int64_t job_id = 0;
+  Time submit = 0;
+  Time run_time = 0;
+  std::uint32_t processors = 1;
+  std::int64_t user = -1;
+};
+
+struct SwfTrace {
+  std::vector<SwfJob> jobs;      // in file order
+  std::vector<std::string> header;  // ';' comment lines, without ';'
+
+  // Distinct non-negative user ids in order of first appearance.
+  std::vector<std::int64_t> users() const;
+
+  // Section 7.2 expansion: q-processor jobs become q sequential copies.
+  // Jobs with unknown (<= 0) runtime or unknown processor count are dropped.
+  SwfTrace expanded_to_sequential() const;
+};
+
+// Parses SWF from a stream / file. Malformed lines (wrong field count,
+// non-numeric fields) raise std::runtime_error with the line number.
+SwfTrace parse_swf(std::istream& in);
+SwfTrace load_swf(const std::string& path);
+
+// Writes a trace back out in SWF (18 columns; unused fields -1).
+void write_swf(std::ostream& out, const SwfTrace& trace);
+void save_swf(const std::string& path, const SwfTrace& trace);
+
+}  // namespace fairsched

@@ -1,0 +1,95 @@
+#pragma once
+
+// Synthetic workload generation.
+//
+// The paper evaluates on four Parallel Workload Archive traces (LPC-EGEE,
+// PIK-IPLEX, RICC, SHARCNET-Whale). Those traces are not redistributable
+// here, so we generate synthetic equivalents preserving the properties the
+// experiments depend on (see DESIGN.md, "Substitutions"):
+//   * the archive's platform shape: processor count and user count,
+//   * bursty per-user submission ("users usually send their jobs in
+//     consecutive blocks", Section 7.2): each user submits Poisson-arriving
+//     sessions of geometrically many jobs spaced closely in time,
+//   * heavy-tailed job durations (lognormal, truncated),
+//   * per-window load variation, mimicking the variance across the 100
+//     window instances the paper samples from each trace.
+//
+// A generated window is an SwfTrace, so it flows through the same
+// assignment code as a real SWF file would.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/types.h"
+#include "workload/assignment.h"
+#include "workload/swf.h"
+
+namespace fairsched {
+
+struct SyntheticSpec {
+  std::string name;
+  std::uint32_t total_machines = 64;
+  std::uint32_t users = 32;
+
+  // Per-user session (burst) arrival rate, sessions per time unit.
+  double session_rate = 1e-4;
+  // Mean jobs per session (geometric distribution, support >= 1).
+  double mean_batch = 8.0;
+  // Mean gap between consecutive releases within a session (exponential).
+  double batch_spacing = 20.0;
+  // Lognormal job duration parameters and truncation bounds.
+  double job_mu = 5.5;
+  double job_sigma = 1.4;
+  Time min_job = 1;
+  Time max_job = 30000;
+  // Non-stationary load modulation: the window is divided into segments of
+  // length jitter_period and the session rate is multiplied by an
+  // independent lognormal(0, load_jitter_sigma) factor per segment. Real
+  // archive traces alternate between calm and overloaded episodes; fairness
+  // debt accumulates during each overload episode, which is what makes the
+  // paper's unfairness ratios grow with the trace duration (Table 2).
+  double load_jitter_sigma = 0.35;
+  Time jitter_period = 25000;
+  // Heavy-tailed per-user heterogeneity, the property of real archive
+  // traces that drives organization-level load imbalance (a handful of
+  // power users dominate; orgs inheriting them demand far more than their
+  // machine share). Per-user activity weights are lognormal(0,
+  // user_weight_sigma), normalized to keep the window's offered load; each
+  // user also has a personal job-size offset normal(0, user_mu_sigma)
+  // added to job_mu.
+  double user_weight_sigma = 1.6;
+  double user_mu_sigma = 0.6;
+
+  // Mean offered load (fraction of capacity) implied by the parameters,
+  // ignoring truncation and jitter: users * rate * batch * E[duration] /
+  // machines.
+  double offered_load() const;
+};
+
+// Presets matching the shape of the paper's four archives. `scale` divides
+// the processor count (users, durations and offered load are preserved);
+// the two biggest systems default to 1/16 of their real size so that the
+// exponential REF reference stays laptop-feasible — pass scale = 1 for the
+// full platform.
+SyntheticSpec preset_lpc_egee();                  // 70 CPUs, 56 users
+SyntheticSpec preset_pik_iplex(double scale);     // 2560 CPUs, 225 users
+SyntheticSpec preset_ricc(double scale);          // 8192 CPUs, 176 users
+SyntheticSpec preset_sharcnet_whale(double scale);// 3072 CPUs, 154 users
+// All four with the bench suite's default scaling.
+std::vector<SyntheticSpec> default_presets(double scale);
+
+// Generates one workload window of the given duration: jobs with submit
+// times in [0, duration). Deterministic given the seed.
+SwfTrace generate_window(const SyntheticSpec& spec, Time duration,
+                         std::uint64_t seed);
+
+// Convenience: generate a window and map it onto a consortium of `orgs`
+// organizations (Zipf machine split with exponent `zipf_s`; uniform user
+// assignment).
+Instance make_synthetic_instance(const SyntheticSpec& spec, std::uint32_t orgs,
+                                 Time duration, MachineSplit split,
+                                 double zipf_s, std::uint64_t seed);
+
+}  // namespace fairsched

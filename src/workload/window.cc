@@ -1,0 +1,48 @@
+#include "workload/window.h"
+
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace fairsched {
+
+SwfTrace slice_window(const SwfTrace& trace, Time t_start, Time duration) {
+  if (t_start < 0 || duration <= 0) {
+    throw std::invalid_argument("slice_window: invalid window bounds");
+  }
+  SwfTrace out;
+  out.header = trace.header;
+  out.header.push_back(" window [" + std::to_string(t_start) + ", " +
+                       std::to_string(t_start + duration) + ")");
+  for (const SwfJob& j : trace.jobs) {
+    if (j.submit < t_start || j.submit >= t_start + duration) continue;
+    SwfJob shifted = j;
+    shifted.submit -= t_start;
+    out.jobs.push_back(shifted);
+  }
+  return out;
+}
+
+std::vector<SwfTrace> random_windows(const SwfTrace& trace, Time duration,
+                                     std::size_t count, std::uint64_t seed) {
+  if (duration <= 0) {
+    throw std::invalid_argument("random_windows: duration must be positive");
+  }
+  Time span = 0;
+  for (const SwfJob& j : trace.jobs) span = std::max(span, j.submit);
+  const Time max_start = span > duration ? span - duration : 0;
+  Rng rng(seed);
+  std::vector<SwfTrace> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const Time start =
+        max_start > 0
+            ? static_cast<Time>(rng.uniform_u64(
+                  static_cast<std::uint64_t>(max_start) + 1))
+            : 0;
+    out.push_back(slice_window(trace, start, duration));
+  }
+  return out;
+}
+
+}  // namespace fairsched

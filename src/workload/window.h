@@ -1,0 +1,25 @@
+#pragma once
+
+// Window slicing for traces: the paper's experiments run on "100 instances
+// taken as parts of the original workload" — random windows of a fixed
+// duration cut out of a long trace, with submit times re-based to 0.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+#include "workload/swf.h"
+
+namespace fairsched {
+
+// Jobs with submit in [t_start, t_start + duration), shifted by -t_start.
+// Header is preserved with a provenance note appended.
+SwfTrace slice_window(const SwfTrace& trace, Time t_start, Time duration);
+
+// `count` windows of the given duration with uniformly random start times
+// over the trace's submit span (deterministic given the seed). If the trace
+// is shorter than `duration`, every window starts at 0.
+std::vector<SwfTrace> random_windows(const SwfTrace& trace, Time duration,
+                                     std::size_t count, std::uint64_t seed);
+
+}  // namespace fairsched

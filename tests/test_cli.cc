@@ -1,0 +1,83 @@
+// Tests for the flag parser.
+
+#include "util/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace fairsched {
+namespace {
+
+Flags make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, EqualsForm) {
+  const Flags flags = make({"--instances=25", "--scale=0.5"});
+  EXPECT_EQ(flags.get_int("instances", 0), 25);
+  EXPECT_DOUBLE_EQ(flags.get_double("scale", 1.0), 0.5);
+}
+
+TEST(Cli, SpaceForm) {
+  const Flags flags = make({"--duration", "50000"});
+  EXPECT_EQ(flags.get_int("duration", 0), 50000);
+}
+
+TEST(Cli, BareFlagIsTrue) {
+  const Flags flags = make({"--verbose"});
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+}
+
+TEST(Cli, FallbackWhenMissing) {
+  const Flags flags = make({});
+  EXPECT_EQ(flags.get_int("instances", 42), 42);
+  EXPECT_EQ(flags.get_string("name", "dflt"), "dflt");
+  EXPECT_FALSE(flags.get_bool("verbose", false));
+}
+
+TEST(Cli, Positional) {
+  const Flags flags = make({"alpha", "--x=1", "beta"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "alpha");
+  EXPECT_EQ(flags.positional()[1], "beta");
+}
+
+TEST(Cli, BooleanSpellings) {
+  EXPECT_TRUE(make({"--a=yes"}).get_bool("a", false));
+  EXPECT_TRUE(make({"--a=on"}).get_bool("a", false));
+  EXPECT_FALSE(make({"--a=0"}).get_bool("a", true));
+  EXPECT_FALSE(make({"--a=off"}).get_bool("a", true));
+}
+
+TEST(Cli, MalformedNumbersThrow) {
+  EXPECT_THROW(make({"--n=abc"}).get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW(make({"--x=zz"}).get_double("x", 0), std::invalid_argument);
+  EXPECT_THROW(make({"--b=maybe"}).get_bool("b", false),
+               std::invalid_argument);
+}
+
+TEST(Cli, EnvFallback) {
+  ::setenv("FAIRSCHED_FROM_ENV", "123", 1);
+  const Flags flags = make({});
+  EXPECT_EQ(flags.get_int("from-env", 0), 123);
+  EXPECT_TRUE(flags.has("from-env"));
+  ::unsetenv("FAIRSCHED_FROM_ENV");
+  EXPECT_FALSE(flags.has("from-env"));
+}
+
+TEST(Cli, CommandLineBeatsEnv) {
+  ::setenv("FAIRSCHED_N", "1", 1);
+  const Flags flags = make({"--n=2"});
+  EXPECT_EQ(flags.get_int("n", 0), 2);
+  ::unsetenv("FAIRSCHED_N");
+}
+
+TEST(Cli, EnvNameMapping) {
+  EXPECT_EQ(Flags::env_name("rand-samples"), "FAIRSCHED_RAND_SAMPLES");
+}
+
+}  // namespace
+}  // namespace fairsched

@@ -1,0 +1,104 @@
+// Tests for Coalition bitmask helpers and Shapley weights.
+
+#include "core/coalition.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace fairsched {
+namespace {
+
+TEST(Coalition, GrandAndEmpty) {
+  EXPECT_EQ(Coalition::grand(3).mask(), 0b111u);
+  EXPECT_EQ(Coalition::grand(1).mask(), 0b1u);
+  EXPECT_TRUE(Coalition::empty().is_empty());
+  EXPECT_EQ(Coalition::grand(3).size(), 3u);
+}
+
+TEST(Coalition, MembershipOps) {
+  Coalition c = Coalition::empty().with(0).with(2);
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_FALSE(c.contains(1));
+  EXPECT_TRUE(c.contains(2));
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_FALSE(c.without(0).contains(0));
+  EXPECT_EQ(c.without(0).size(), 1u);
+}
+
+TEST(Coalition, SubsetOf) {
+  const Coalition small(0b010), big(0b011);
+  EXPECT_TRUE(small.subset_of(big));
+  EXPECT_FALSE(big.subset_of(small));
+  EXPECT_TRUE(big.subset_of(big));
+  EXPECT_TRUE(Coalition::empty().subset_of(small));
+}
+
+TEST(Coalition, Members) {
+  const Coalition c(0b1011);
+  const auto m = c.members();
+  ASSERT_EQ(m.size(), 3u);
+  EXPECT_EQ(m[0], 0u);
+  EXPECT_EQ(m[1], 1u);
+  EXPECT_EQ(m[2], 3u);
+}
+
+TEST(Coalition, SubsetsEnumeration) {
+  const Coalition c(0b101);
+  const auto subs = c.subsets();
+  EXPECT_EQ(subs.size(), 4u);
+  std::set<Coalition::Mask> masks;
+  for (const auto s : subs) {
+    masks.insert(s.mask());
+    EXPECT_TRUE(s.subset_of(c));
+  }
+  EXPECT_EQ(masks, (std::set<Coalition::Mask>{0b000, 0b001, 0b100, 0b101}));
+}
+
+TEST(Coalition, SubsetsBySize) {
+  const auto by_size = Coalition::grand(4).subsets_by_size();
+  ASSERT_EQ(by_size.size(), 5u);
+  EXPECT_EQ(by_size[0].size(), 1u);
+  EXPECT_EQ(by_size[1].size(), 4u);
+  EXPECT_EQ(by_size[2].size(), 6u);
+  EXPECT_EQ(by_size[3].size(), 4u);
+  EXPECT_EQ(by_size[4].size(), 1u);
+}
+
+TEST(Coalition, ForEachSubsetVisitsAllOnce) {
+  const Coalition c(0b1101);
+  std::set<Coalition::Mask> seen;
+  for_each_subset(c, [&](Coalition s) {
+    EXPECT_TRUE(seen.insert(s.mask()).second);
+  });
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(ShapleyWeights, SumsToOneOverOrderings) {
+  // sum over s of C(k-1, s-1) * weight(s) == 1 for each player.
+  for (std::uint32_t k = 1; k <= 10; ++k) {
+    const ShapleyWeights w(k);
+    double total = 0.0;
+    double binom = 1.0;  // C(k-1, s-1) starting at s=1
+    for (std::uint32_t s = 1; s <= k; ++s) {
+      total += binom * w.weight(s);
+      binom = binom * static_cast<double>(k - s) / static_cast<double>(s);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12) << "k=" << k;
+  }
+}
+
+TEST(ShapleyWeights, KnownSmallValues) {
+  const ShapleyWeights w3(3);
+  EXPECT_NEAR(w3.weight(1), 2.0 / 6.0, 1e-15);  // 0! 2! / 3!
+  EXPECT_NEAR(w3.weight(2), 1.0 / 6.0, 1e-15);  // 1! 1! / 3!
+  EXPECT_NEAR(w3.weight(3), 2.0 / 6.0, 1e-15);  // 2! 0! / 3!
+}
+
+TEST(ShapleyWeights, RejectsOutOfRange) {
+  EXPECT_THROW(ShapleyWeights(0), std::invalid_argument);
+  EXPECT_THROW(ShapleyWeights(32), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fairsched

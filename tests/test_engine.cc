@@ -1,0 +1,213 @@
+// Tests for the discrete-event engine: event ordering, greedy/FIFO
+// feasibility of produced schedules, and exactness of the closed-form
+// utility accrual against the Eq. 3 closed form evaluated on the final
+// schedule.
+
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "metrics/utility.h"
+#include "sched/fcfs.h"
+#include "sched/round_robin.h"
+#include "workload/synthetic.h"
+
+namespace fairsched {
+namespace {
+
+Instance small_instance() {
+  InstanceBuilder b;
+  const OrgId a = b.add_org("a", 1);
+  const OrgId c = b.add_org("c", 2);
+  b.add_job(a, 0, 4);
+  b.add_job(a, 2, 3);
+  b.add_job(a, 2, 5);
+  b.add_job(c, 1, 2);
+  b.add_job(c, 1, 6);
+  b.add_job(c, 8, 1);
+  return std::move(b).build();
+}
+
+TEST(Engine, ProducesFeasibleGreedySchedule) {
+  const Instance inst = small_instance();
+  Engine engine(inst);
+  FcfsPolicy policy;
+  engine.run(policy, 100);
+  EXPECT_EQ(engine.schedule().validate(inst, 100), std::nullopt);
+  EXPECT_EQ(engine.schedule().size(), inst.num_jobs());
+}
+
+TEST(Engine, AccruedUtilitiesMatchClosedFormOnSchedule) {
+  const Instance inst = small_instance();
+  for (Time horizon : {3, 5, 8, 11, 14, 50}) {
+    Engine engine(inst);
+    FcfsPolicy policy;
+    engine.run(policy, horizon);
+    for (OrgId u = 0; u < inst.num_orgs(); ++u) {
+      EXPECT_EQ(engine.psi2(u),
+                sp_org_half_utility(inst, engine.schedule(), u, horizon))
+          << "u=" << u << " horizon=" << horizon;
+    }
+  }
+}
+
+TEST(Engine, WorkDoneMatchesCompletedWork) {
+  const Instance inst = small_instance();
+  for (Time horizon : {4, 9, 40}) {
+    Engine engine(inst);
+    RoundRobinPolicy policy;
+    engine.run(policy, horizon);
+    EXPECT_EQ(engine.total_work_done(),
+              completed_work(inst, engine.schedule(), horizon));
+  }
+}
+
+TEST(Engine, ContributionAccountingConserved) {
+  // Sum over orgs of contribution work == sum of utility work (every
+  // executed unit belongs to exactly one job and one machine), and the same
+  // for the psi2-valued aggregates.
+  const Instance inst = small_instance();
+  Engine engine(inst);
+  FcfsPolicy policy;
+  engine.run(policy, 25);
+  std::int64_t work_u = 0, work_c = 0;
+  HalfUtil psi_u = 0, psi_c = 0;
+  for (OrgId u = 0; u < inst.num_orgs(); ++u) {
+    work_u += engine.work_done(u);
+    work_c += engine.contrib_work(u);
+    psi_u += engine.psi2(u);
+    psi_c += engine.contrib_psi2(u);
+  }
+  EXPECT_EQ(work_u, work_c);
+  EXPECT_EQ(psi_u, psi_c);
+}
+
+TEST(Engine, HorizonTruncatesAccounting) {
+  const Instance inst = small_instance();
+  Engine early(inst), late(inst);
+  FcfsPolicy p1, p2;
+  early.run(p1, 6);
+  late.run(p2, 60);
+  // At the early horizon strictly less work is accounted.
+  EXPECT_LT(early.total_work_done(), late.total_work_done());
+  EXPECT_EQ(late.total_work_done(), inst.total_work());
+}
+
+TEST(Engine, CoalitionRestrictionUsesOnlyMemberResources) {
+  const Instance inst = small_instance();
+  Engine engine(inst, Coalition::singleton(0));
+  FcfsPolicy policy;
+  engine.run(policy, 100);
+  EXPECT_EQ(engine.total_machines(), 1u);
+  // Only org 0's jobs ran.
+  EXPECT_EQ(engine.completed(0), 3u);
+  EXPECT_EQ(engine.completed(1), 0u);
+  EXPECT_EQ(engine.psi2(1), 0);
+  // Org 0 alone on one machine: jobs back to back 0-4, 4-7, 7-12.
+  EXPECT_EQ(engine.schedule().start_of(0, 0), 0);
+  EXPECT_EQ(engine.schedule().start_of(0, 1), 4);
+  EXPECT_EQ(engine.schedule().start_of(0, 2), 7);
+}
+
+TEST(Engine, PairCoalitionSharesMachines) {
+  const Instance inst = small_instance();
+  Engine engine(inst, Coalition::grand(2));
+  FcfsPolicy policy;
+  engine.run(policy, 100);
+  EXPECT_EQ(engine.total_machines(), 3u);
+  EXPECT_EQ(engine.completed(0) + engine.completed(1), 6u);
+}
+
+TEST(Engine, ManualSteppingMatchesRun) {
+  const Instance inst = small_instance();
+  Engine manual(inst);
+  FcfsPolicy policy;
+  PolicyView view(manual);
+  const Time horizon = 40;
+  for (;;) {
+    const Time t = manual.next_event();
+    if (t == kTimeInfinity || t >= horizon) break;
+    manual.advance_to(t);
+    while (manual.needs_decision()) {
+      manual.start_front(policy.select(view));
+    }
+  }
+  manual.advance_to(horizon);
+
+  Engine driven(inst);
+  FcfsPolicy policy2;
+  driven.run(policy2, horizon);
+  for (OrgId u = 0; u < inst.num_orgs(); ++u) {
+    EXPECT_EQ(manual.psi2(u), driven.psi2(u));
+  }
+  EXPECT_EQ(manual.schedule().placements().size(),
+            driven.schedule().placements().size());
+}
+
+TEST(Engine, StartFrontPreconditionsEnforced) {
+  const Instance inst = small_instance();
+  Engine engine(inst);
+  // At time 0 nothing has been released for org 1 yet.
+  engine.advance_to(0);
+  EXPECT_THROW(engine.start_front(1), std::logic_error);
+}
+
+TEST(Engine, RandomMachinePickStillFeasible) {
+  const Instance inst = small_instance();
+  EngineOptions options;
+  options.machine_pick = MachinePick::kRandomFree;
+  options.seed = 7;
+  Engine engine(inst, options);
+  FcfsPolicy policy;
+  engine.run(policy, 100);
+  EXPECT_EQ(engine.schedule().validate(inst, 100), std::nullopt);
+}
+
+TEST(Engine, RandomMachinePickDeterministicPerSeed) {
+  const Instance inst = small_instance();
+  auto run_once = [&](std::uint64_t seed) {
+    EngineOptions options;
+    options.machine_pick = MachinePick::kRandomFree;
+    options.seed = seed;
+    Engine engine(inst, options);
+    FcfsPolicy policy;
+    engine.run(policy, 100);
+    std::vector<MachineId> machines;
+    for (const Placement& p : engine.schedule().placements()) {
+      machines.push_back(p.machine);
+    }
+    return machines;
+  };
+  EXPECT_EQ(run_once(3), run_once(3));
+}
+
+TEST(Engine, LargerSyntheticWorkloadStaysConsistent) {
+  const SyntheticSpec spec = preset_lpc_egee();
+  const Instance inst = make_synthetic_instance(spec, 4, 4000,
+                                                MachineSplit::kZipf, 1.0, 99);
+  const Time horizon = 4000;
+  Engine engine(inst);
+  FcfsPolicy policy;
+  engine.run(policy, horizon);
+  EXPECT_EQ(engine.schedule().validate(inst, horizon), std::nullopt);
+  for (OrgId u = 0; u < inst.num_orgs(); ++u) {
+    EXPECT_EQ(engine.psi2(u),
+              sp_org_half_utility(inst, engine.schedule(), u, horizon));
+  }
+  EXPECT_EQ(engine.total_work_done(),
+            completed_work(inst, engine.schedule(), horizon));
+}
+
+TEST(Engine, NoJobsMeansNoEvents) {
+  InstanceBuilder b;
+  b.add_org("a", 3);
+  const Instance inst = std::move(b).build();
+  Engine engine(inst);
+  EXPECT_EQ(engine.next_event(), kTimeInfinity);
+  FcfsPolicy policy;
+  engine.run(policy, 100);
+  EXPECT_EQ(engine.total_work_done(), 0);
+}
+
+}  // namespace
+}  // namespace fairsched

@@ -1,0 +1,45 @@
+// Tests for the fairness metrics.
+
+#include "metrics/fairness.h"
+
+#include <gtest/gtest.h>
+
+namespace fairsched {
+namespace {
+
+TEST(Fairness, ManhattanDistance) {
+  EXPECT_EQ(manhattan_half_distance({2, 4, 6}, {2, 4, 6}), 0);
+  EXPECT_EQ(manhattan_half_distance({2, 4, 6}, {0, 8, 5}), 2 + 4 + 1);
+  EXPECT_EQ(manhattan_half_distance({-4, 2}, {4, -2}), 12);
+}
+
+TEST(Fairness, UnfairnessRatio) {
+  // Distance of 10 half-units = 5 time units over 20 units of work -> 0.25.
+  EXPECT_DOUBLE_EQ(unfairness_ratio({10, 0}, {4, -4}, 20), 0.25);
+  EXPECT_DOUBLE_EQ(unfairness_ratio({1, 2}, {1, 2}, 100), 0.0);
+}
+
+TEST(Fairness, UnfairnessRatioEmptyWindow) {
+  EXPECT_DOUBLE_EQ(unfairness_ratio({5}, {0}, 0), 0.0);
+  EXPECT_DOUBLE_EQ(unfairness_ratio({5}, {0}, -3), 0.0);
+}
+
+TEST(Fairness, RelativeDistance) {
+  EXPECT_DOUBLE_EQ(relative_distance({0, 0}, {5, 5}), 1.0);
+  EXPECT_DOUBLE_EQ(relative_distance({5, 5}, {5, 5}), 0.0);
+  EXPECT_DOUBLE_EQ(relative_distance({10, 0}, {5, 5}), 1.0);
+  EXPECT_DOUBLE_EQ(relative_distance({1, 2}, {0, 0}), 0.0);  // degenerate
+}
+
+TEST(Fairness, PerOrgReport) {
+  const auto report = per_org_report({10, 6}, {8, 8});
+  ASSERT_EQ(report.size(), 2u);
+  EXPECT_EQ(report[0].org, 0u);
+  EXPECT_DOUBLE_EQ(report[0].utility, 5.0);
+  EXPECT_DOUBLE_EQ(report[0].reference, 4.0);
+  EXPECT_DOUBLE_EQ(report[0].advantage, 1.0);
+  EXPECT_DOUBLE_EQ(report[1].advantage, -1.0);
+}
+
+}  // namespace
+}  // namespace fairsched

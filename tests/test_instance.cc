@@ -1,0 +1,112 @@
+// Tests for Instance / InstanceBuilder.
+
+#include "core/instance.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace fairsched {
+namespace {
+
+Instance two_org_instance() {
+  InstanceBuilder b;
+  const OrgId a = b.add_org("a", 2);
+  const OrgId c = b.add_org("c", 3);
+  b.add_job(a, 5, 10);
+  b.add_job(a, 0, 3);
+  b.add_job(c, 1, 7);
+  return std::move(b).build();
+}
+
+TEST(Instance, OrgAndMachineCounts) {
+  const Instance inst = two_org_instance();
+  EXPECT_EQ(inst.num_orgs(), 2u);
+  EXPECT_EQ(inst.total_machines(), 5u);
+  EXPECT_EQ(inst.machines_of(0), 2u);
+  EXPECT_EQ(inst.machines_of(1), 3u);
+}
+
+TEST(Instance, MachineOwnership) {
+  const Instance inst = two_org_instance();
+  EXPECT_EQ(inst.machine_begin(0), 0u);
+  EXPECT_EQ(inst.machine_end(0), 2u);
+  EXPECT_EQ(inst.machine_begin(1), 2u);
+  EXPECT_EQ(inst.machine_end(1), 5u);
+  EXPECT_EQ(inst.machine_owner(0), 0u);
+  EXPECT_EQ(inst.machine_owner(1), 0u);
+  EXPECT_EQ(inst.machine_owner(2), 1u);
+  EXPECT_EQ(inst.machine_owner(4), 1u);
+}
+
+TEST(Instance, JobsSortedByReleaseWithFifoIndices) {
+  const Instance inst = two_org_instance();
+  const auto jobs = inst.jobs_of(0);
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].release, 0);
+  EXPECT_EQ(jobs[0].index, 0u);
+  EXPECT_EQ(jobs[0].processing, 3);
+  EXPECT_EQ(jobs[1].release, 5);
+  EXPECT_EQ(jobs[1].index, 1u);
+}
+
+TEST(Instance, StableSortPreservesSubmissionOrderAtEqualRelease) {
+  InstanceBuilder b;
+  const OrgId a = b.add_org("a", 1);
+  b.add_job(a, 3, 100);
+  b.add_job(a, 3, 200);
+  b.add_job(a, 3, 300);
+  const Instance inst = std::move(b).build();
+  EXPECT_EQ(inst.job(0, 0).processing, 100);
+  EXPECT_EQ(inst.job(0, 1).processing, 200);
+  EXPECT_EQ(inst.job(0, 2).processing, 300);
+}
+
+TEST(Instance, Totals) {
+  const Instance inst = two_org_instance();
+  EXPECT_EQ(inst.num_jobs(), 3u);
+  EXPECT_EQ(inst.total_work(), 20);
+  EXPECT_EQ(inst.last_release(), 5);
+}
+
+TEST(Instance, Shares) {
+  const Instance inst = two_org_instance();
+  EXPECT_DOUBLE_EQ(inst.share_of(0), 0.4);
+  EXPECT_DOUBLE_EQ(inst.share_of(1), 0.6);
+}
+
+TEST(Instance, RestrictedTo) {
+  const Instance inst = two_org_instance();
+  const Instance sub = inst.restricted_to({1});
+  EXPECT_EQ(sub.num_orgs(), 1u);
+  EXPECT_EQ(sub.total_machines(), 3u);
+  EXPECT_EQ(sub.num_jobs(), 1u);
+  EXPECT_EQ(sub.job(0, 0).processing, 7);
+}
+
+TEST(InstanceBuilder, RejectsBadJobs) {
+  InstanceBuilder b;
+  const OrgId a = b.add_org("a", 1);
+  EXPECT_THROW(b.add_job(a, -1, 5), std::invalid_argument);
+  EXPECT_THROW(b.add_job(a, 0, 0), std::invalid_argument);
+  EXPECT_THROW(b.add_job(a, 0, -3), std::invalid_argument);
+  EXPECT_THROW(b.add_job(7, 0, 1), std::out_of_range);
+}
+
+TEST(InstanceBuilder, RejectsJobsWithoutMachines) {
+  InstanceBuilder b;
+  const OrgId a = b.add_org("a", 0);
+  b.add_job(a, 0, 1);
+  EXPECT_THROW(std::move(b).build(), std::invalid_argument);
+}
+
+TEST(InstanceBuilder, EmptyWorkloadWithMachinesIsFine) {
+  InstanceBuilder b;
+  b.add_org("a", 4);
+  const Instance inst = std::move(b).build();
+  EXPECT_EQ(inst.num_jobs(), 0u);
+  EXPECT_EQ(inst.total_machines(), 4u);
+}
+
+}  // namespace
+}  // namespace fairsched

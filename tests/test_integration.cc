@@ -1,0 +1,112 @@
+// End-to-end integration tests: the full Section 7 experimental pipeline on
+// small inputs — generate a synthetic window, run REF as the reference, run
+// every evaluated algorithm, compute delta_psi / p_tot, and check the
+// qualitative ordering the paper reports.
+
+#include <gtest/gtest.h>
+
+#include "metrics/fairness.h"
+#include "metrics/utility.h"
+#include "sched/runner.h"
+#include "util/stats.h"
+#include "util/thread_pool.h"
+#include "workload/synthetic.h"
+
+namespace fairsched {
+namespace {
+
+struct PipelineResult {
+  std::map<std::string, double> ratio;  // algorithm -> delta_psi / p_tot
+};
+
+PipelineResult run_pipeline(std::uint64_t seed, Time duration) {
+  const SyntheticSpec spec = preset_lpc_egee();
+  const Instance inst = make_synthetic_instance(spec, 4, duration,
+                                                MachineSplit::kZipf, 1.0,
+                                                seed);
+  const RunResult ref = run_algorithm(inst, parse_algorithm("ref"), duration,
+                                      seed);
+  PipelineResult out;
+  for (const char* alg : {"roundrobin", "rand15", "directcontr", "fairshare",
+                          "utfairshare", "currfairshare"}) {
+    const RunResult r =
+        run_algorithm(inst, parse_algorithm(alg), duration, seed);
+    out.ratio[alg] =
+        unfairness_ratio(r.utilities2, ref.utilities2, ref.work_done);
+  }
+  return out;
+}
+
+TEST(Integration, UnfairnessRatiosAreFiniteAndNonNegative) {
+  const PipelineResult r = run_pipeline(3, 3000);
+  for (const auto& [alg, ratio] : r.ratio) {
+    EXPECT_GE(ratio, 0.0) << alg;
+    EXPECT_LT(ratio, 1e7) << alg;
+  }
+}
+
+TEST(Integration, ShapleyAwareAlgorithmsBeatRoundRobinOnAverage) {
+  // The paper's core experimental claim, on a small but real pipeline:
+  // RAND and DIRECTCONTR track REF's fair utilities much better than
+  // ROUNDROBIN does. Averaged over several windows to avoid flakiness.
+  StatsAccumulator rr, rand15, direct, fairshare;
+  ThreadPool pool;
+  std::mutex mu;
+  pool.parallel_for(6, [&](std::size_t i) {
+    const PipelineResult r = run_pipeline(100 + i, 4000);
+    std::lock_guard<std::mutex> lock(mu);
+    rr.add(r.ratio.at("roundrobin"));
+    rand15.add(r.ratio.at("rand15"));
+    direct.add(r.ratio.at("directcontr"));
+    fairshare.add(r.ratio.at("fairshare"));
+  });
+  EXPECT_LT(rand15.mean(), rr.mean());
+  EXPECT_LT(direct.mean(), rr.mean());
+  EXPECT_LT(fairshare.mean(), rr.mean());
+}
+
+TEST(Integration, RefIsItsOwnReference) {
+  const SyntheticSpec spec = preset_lpc_egee();
+  const Instance inst =
+      make_synthetic_instance(spec, 3, 2000, MachineSplit::kUniform, 1.0, 9);
+  const RunResult ref = run_algorithm(inst, parse_algorithm("ref"), 2000, 9);
+  EXPECT_DOUBLE_EQ(
+      unfairness_ratio(ref.utilities2, ref.utilities2, ref.work_done), 0.0);
+}
+
+TEST(Integration, AllAlgorithmsScheduleTheSameWorkUnderLightLoad) {
+  // Under light load every greedy algorithm completes everything: the work
+  // done by the horizon coincides.
+  InstanceBuilder b;
+  b.add_org("a", 2);
+  b.add_org("c", 2);
+  for (int i = 0; i < 8; ++i) {
+    b.add_job(0, i * 10, 3);
+    b.add_job(1, i * 10 + 1, 3);
+  }
+  const Instance inst = std::move(b).build();
+  const Time horizon = 200;
+  std::vector<std::int64_t> work;
+  for (const char* alg : {"ref", "rand15", "roundrobin", "fairshare",
+                          "directcontr", "currfairshare", "utfairshare"}) {
+    work.push_back(
+        run_algorithm(inst, parse_algorithm(alg), horizon, 1).work_done);
+  }
+  for (std::size_t i = 1; i < work.size(); ++i) {
+    EXPECT_EQ(work[i], work[0]);
+  }
+  EXPECT_EQ(work[0], inst.total_work());
+}
+
+TEST(Integration, LongerHorizonDoesNotReduceUnfairnessGap) {
+  // Tables 1 vs 2: the paper observes the unfairness ratio grows with the
+  // trace duration. We check the weaker monotone trend for round robin on
+  // one seed pair (short vs long window).
+  const double short_ratio = run_pipeline(41, 2000).ratio.at("roundrobin");
+  const double long_ratio = run_pipeline(41, 8000).ratio.at("roundrobin");
+  // Not strictly guaranteed per-seed; allow equality-ish but flag collapse.
+  EXPECT_GT(long_ratio, 0.2 * short_ratio);
+}
+
+}  // namespace
+}  // namespace fairsched

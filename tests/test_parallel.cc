@@ -1,0 +1,203 @@
+// Tests for the rigid parallel jobs extension (src/parallel).
+
+#include "parallel/parallel.h"
+
+#include "workload/assignment.h"
+
+#include <gtest/gtest.h>
+
+namespace fairsched {
+namespace {
+
+using par::ParallelEngine;
+using par::ParallelInstance;
+using par::QueueDiscipline;
+
+ParallelInstance simple() {
+  ParallelInstance inst;
+  const OrgId a = inst.add_org(2);
+  const OrgId c = inst.add_org(2);
+  inst.add_job(a, 0, 3, 1);
+  inst.add_job(a, 0, 3, 1);
+  inst.add_job(c, 1, 4, 2);
+  inst.finalize();
+  return inst;
+}
+
+TEST(Parallel, WidthOneMatchesSequentialSemantics) {
+  ParallelInstance inst;
+  const OrgId a = inst.add_org(1);
+  inst.add_job(a, 0, 3, 1);
+  inst.add_job(a, 1, 2, 1);
+  inst.finalize();
+  ParallelEngine e(inst, QueueDiscipline::kBackfill);
+  e.run(20);
+  EXPECT_EQ(e.start_of(a, 0), 0);
+  EXPECT_EQ(e.start_of(a, 1), 3);
+  EXPECT_EQ(e.work_done(a), 5);
+  // psi2: job 1 slots 0..2, job 2 slots 3..4 at t=20.
+  const HalfUtil expected =
+      2 * ((20 - 0) + (20 - 1) + (20 - 2) + (20 - 3) + (20 - 4));
+  EXPECT_EQ(e.psi2(a), expected);
+}
+
+TEST(Parallel, WideJobOccupiesWidthMachines) {
+  const ParallelInstance inst = simple();
+  ParallelEngine e(inst, QueueDiscipline::kBackfill);
+  e.run(30);
+  // a's two width-1 jobs start at 0 on two machines; c's width-2 job fits
+  // on the remaining two machines at its release.
+  EXPECT_EQ(e.start_of(0, 0), 0);
+  EXPECT_EQ(e.start_of(0, 1), 0);
+  EXPECT_EQ(e.start_of(1, 0), 1);
+  EXPECT_EQ(e.work_done(1), 8);  // 4 steps * width 2
+  EXPECT_EQ(e.completed(1), 1u);
+}
+
+TEST(Parallel, StrictFifoBlocksBehindWideHead) {
+  // 4 machines. Wide job (width 4) released at 1 while two width-1 jobs
+  // run until t=10; narrow jobs released at 2 that would fit. Strict FIFO
+  // makes them wait behind the wide head; backfill runs them.
+  ParallelInstance inst;
+  const OrgId narrow = inst.add_org(4);
+  const OrgId wide = inst.add_org(0);
+  inst.add_job(narrow, 0, 10, 1);
+  inst.add_job(narrow, 0, 10, 1);
+  inst.add_job(wide, 1, 5, 4);
+  inst.add_job(narrow, 2, 3, 1);
+  inst.finalize();
+
+  ParallelEngine strict(inst, QueueDiscipline::kStrictFifo);
+  strict.run(40);
+  // Strict: the width-4 job waits until t=10; the narrow job released at 2
+  // waits behind it (starts at 15 when the wide job finishes).
+  EXPECT_EQ(strict.start_of(wide, 0), 10);
+  EXPECT_EQ(strict.start_of(narrow, 2), 15);
+
+  ParallelEngine backfill(inst, QueueDiscipline::kBackfill);
+  backfill.run(40);
+  // Backfill: the narrow job jumps ahead at its release.
+  EXPECT_EQ(backfill.start_of(narrow, 2), 2);
+  // The wide job still starts as soon as 4 machines are free.
+  EXPECT_EQ(backfill.start_of(wide, 0), 10);
+
+  // Before the drain resolves, backfill is strictly ahead on work.
+  ParallelEngine strict12(inst, QueueDiscipline::kStrictFifo);
+  strict12.run(12);
+  ParallelEngine backfill12(inst, QueueDiscipline::kBackfill);
+  backfill12.run(12);
+  EXPECT_GT(backfill12.total_work_done(), strict12.total_work_done());
+}
+
+TEST(Parallel, FragmentationWastesMoreThanQuarter) {
+  // The paper's conjecture: with rigid jobs, greedy-vs-greedy efficiency
+  // loss can exceed 25%. Two machines; strict FIFO behind a width-2 job
+  // drains one machine while the other finishes a long narrow job.
+  ParallelInstance inst;
+  const OrgId a = inst.add_org(2);
+  const OrgId b = inst.add_org(0);
+  inst.add_job(a, 0, 1, 1);   // short narrow
+  inst.add_job(a, 0, 20, 1);  // long narrow
+  inst.add_job(b, 1, 2, 2);   // wide, arrives second
+  inst.add_job(a, 2, 17, 1);  // would backfill
+  inst.finalize();
+
+  ParallelEngine strict(inst, QueueDiscipline::kStrictFifo);
+  strict.run(22);
+  ParallelEngine backfill(inst, QueueDiscipline::kBackfill);
+  backfill.run(22);
+  const double ratio = strict.utilization() / backfill.utilization();
+  EXPECT_LT(ratio, 0.75);
+}
+
+TEST(Parallel, PerOrgFifoHonoredUnderBackfill) {
+  // An organization's narrow later job cannot overtake its own wide front
+  // job even under backfill (FIFO is per organization).
+  ParallelInstance inst;
+  const OrgId a = inst.add_org(2);
+  inst.add_job(a, 0, 5, 2);  // wide front
+  inst.add_job(a, 0, 5, 1);  // narrow behind
+  inst.add_job(a, 0, 5, 1);
+  inst.finalize();
+  ParallelEngine e(inst, QueueDiscipline::kBackfill);
+  e.run(30);
+  EXPECT_EQ(e.start_of(a, 0), 0);
+  EXPECT_EQ(e.start_of(a, 1), 5);
+  EXPECT_EQ(e.start_of(a, 2), 5);
+}
+
+TEST(Parallel, TotalsAndUtilization) {
+  const ParallelInstance inst = simple();
+  EXPECT_EQ(inst.total_work(), 3 + 3 + 8);
+  ParallelEngine e(inst, QueueDiscipline::kBackfill);
+  e.run(5);
+  EXPECT_EQ(e.total_work_done(), 3 + 3 + 8);
+  EXPECT_DOUBLE_EQ(e.utilization(), 14.0 / (4.0 * 5.0));
+}
+
+TEST(Parallel, InvalidInputsRejected) {
+  ParallelInstance inst;
+  const OrgId a = inst.add_org(2);
+  EXPECT_THROW(inst.add_job(a, -1, 1, 1), std::invalid_argument);
+  EXPECT_THROW(inst.add_job(a, 0, 0, 1), std::invalid_argument);
+  EXPECT_THROW(inst.add_job(a, 0, 1, 0), std::invalid_argument);
+  inst.add_job(a, 0, 1, 5);  // wider than platform: caught at engine build
+  inst.finalize();
+  EXPECT_THROW(ParallelEngine(inst, QueueDiscipline::kBackfill),
+               std::invalid_argument);
+}
+
+TEST(Parallel, EngineRequiresFinalizedInstance) {
+  ParallelInstance inst;
+  inst.add_org(1);
+  EXPECT_THROW(ParallelEngine(inst, QueueDiscipline::kBackfill),
+               std::logic_error);
+}
+
+TEST(Parallel, InstanceFromSwfPreservesWidths) {
+  SwfTrace trace;
+  auto add = [&](std::int64_t id, Time submit, Time rt, std::uint32_t cpus,
+                 std::int64_t user) {
+    SwfJob j;
+    j.job_id = id;
+    j.submit = submit;
+    j.run_time = rt;
+    j.processors = cpus;
+    j.user = user;
+    trace.jobs.push_back(j);
+  };
+  add(1, 0, 10, 4, 100);
+  add(2, 5, 3, 1, 101);
+  add(3, 6, -1, 2, 100);  // dropped: unknown runtime
+  add(4, 7, 8, 0, 102);   // dropped: unknown width
+
+  const auto inst = parallel_instance_from_swf(trace, 2, 8, 42);
+  EXPECT_EQ(inst.num_orgs(), 2u);
+  EXPECT_EQ(inst.total_machines(), 8u);
+  std::size_t jobs = 0;
+  std::int64_t area = 0;
+  for (OrgId u = 0; u < inst.num_orgs(); ++u) {
+    for (const auto& j : inst.jobs_of(u)) {
+      ++jobs;
+      area += j.processing * static_cast<std::int64_t>(j.width);
+    }
+  }
+  EXPECT_EQ(jobs, 2u);           // jobs 3 and 4 dropped
+  EXPECT_EQ(area, 10 * 4 + 3);   // widths preserved
+  EXPECT_EQ(inst.total_work(), area);
+
+  // And it runs.
+  ParallelEngine e(inst, QueueDiscipline::kBackfill);
+  e.run(50);
+  EXPECT_EQ(e.total_work_done(), area);
+}
+
+TEST(Parallel, RunTwiceThrows) {
+  ParallelInstance inst = simple();
+  ParallelEngine e(inst, QueueDiscipline::kBackfill);
+  e.run(5);
+  EXPECT_THROW(e.run(10), std::logic_error);
+}
+
+}  // namespace
+}  // namespace fairsched

@@ -1,0 +1,168 @@
+// Behavioural tests for the baseline policies (ROUNDROBIN, the fair-share
+// family, DIRECTCONTR, FCFS) and the runner facade.
+
+#include <gtest/gtest.h>
+
+#include "metrics/utility.h"
+#include "sched/runner.h"
+#include "sim/engine.h"
+#include "workload/synthetic.h"
+
+namespace fairsched {
+namespace {
+
+// Two organizations, one machine each, both flooding the system with unit
+// jobs from t=0. Any sensible fair algorithm alternates; shares are equal.
+Instance contended_unit_instance(std::uint32_t jobs_per_org) {
+  InstanceBuilder b;
+  const OrgId a = b.add_org("a", 1);
+  const OrgId c = b.add_org("c", 1);
+  for (std::uint32_t i = 0; i < jobs_per_org; ++i) {
+    b.add_job(a, 0, 1);
+    b.add_job(c, 0, 1);
+  }
+  return std::move(b).build();
+}
+
+TEST(RoundRobin, AlternatesUnderContention) {
+  const Instance inst = contended_unit_instance(20);
+  const RunResult r = run_algorithm(inst, parse_algorithm("roundrobin"), 10, 1);
+  // In each slot both machines run one job; round robin serves a,c,a,c...
+  EXPECT_EQ(r.utilities2[0], r.utilities2[1]);
+}
+
+TEST(RoundRobin, SkipsOrgsWithoutWork) {
+  InstanceBuilder b;
+  const OrgId a = b.add_org("a", 1);
+  b.add_org("idle", 1);
+  b.add_job(a, 0, 2);
+  b.add_job(a, 0, 2);
+  const Instance inst = std::move(b).build();
+  const RunResult r = run_algorithm(inst, parse_algorithm("roundrobin"), 10, 1);
+  // Both of a's jobs start immediately on the two machines.
+  EXPECT_EQ(r.schedule.start_of(0, 0), 0);
+  EXPECT_EQ(r.schedule.start_of(0, 1), 0);
+}
+
+TEST(FairShare, ProportionalToMachineShares) {
+  // Org a contributes 3 machines, org c 1; both have unlimited unit work.
+  InstanceBuilder b;
+  const OrgId a = b.add_org("a", 3);
+  const OrgId c = b.add_org("c", 1);
+  for (int i = 0; i < 400; ++i) {
+    b.add_job(a, 0, 1);
+    b.add_job(c, 0, 1);
+  }
+  const Instance inst = std::move(b).build();
+  const RunResult r = run_algorithm(inst, parse_algorithm("fairshare"), 50, 1);
+  // Allocated CPU should track the 3:1 share ratio.
+  // Completed unit parts by 50: 4 machines * 50 = 200 total.
+  std::int64_t a_work = 0, c_work = 0;
+  for (const Placement& p : r.schedule.placements()) {
+    if (p.start < 50) (p.org == a ? a_work : c_work) += 1;
+  }
+  EXPECT_EQ(a_work + c_work, 200);
+  // Discretization wiggles the ratio a bit around the 3:1 target.
+  EXPECT_NEAR(static_cast<double>(a_work) / static_cast<double>(c_work), 3.0,
+              0.35);
+}
+
+TEST(CurrFairShare, BalancesRunningJobs) {
+  // 2 orgs, 2+2 machines, long jobs: at steady state each org runs two.
+  InstanceBuilder b;
+  const OrgId a = b.add_org("a", 2);
+  const OrgId c = b.add_org("c", 2);
+  for (int i = 0; i < 10; ++i) {
+    b.add_job(a, 0, 100);
+    b.add_job(c, 0, 100);
+  }
+  const Instance inst = std::move(b).build();
+  const RunResult r = run_algorithm(inst, parse_algorithm("currfairshare"),
+                                    100, 1);
+  int a_running = 0, c_running = 0;
+  for (const Placement& p : r.schedule.placements()) {
+    if (p.start == 0) (p.org == a ? a_running : c_running)++;
+  }
+  EXPECT_EQ(a_running, 2);
+  EXPECT_EQ(c_running, 2);
+}
+
+TEST(UtFairShare, EqualSharesEqualUtilities) {
+  const Instance inst = contended_unit_instance(100);
+  const RunResult r = run_algorithm(inst, parse_algorithm("utfairshare"), 60,
+                                    1);
+  // Perfectly symmetric situation: utilities should match exactly.
+  EXPECT_EQ(r.utilities2[0], r.utilities2[1]);
+}
+
+TEST(DirectContr, CompensatesTheLender) {
+  // Org a owns both machines but has little work; org c owns nothing and
+  // floods. DirectContr must prioritize a's own (rare) jobs the moment they
+  // arrive, since a's contribution vastly exceeds its utility.
+  InstanceBuilder b;
+  const OrgId a = b.add_org("a", 2);
+  const OrgId c = b.add_org("c", 0);
+  for (int i = 0; i < 50; ++i) b.add_job(c, 0, 5);
+  b.add_job(a, 20, 5);
+  const Instance inst = std::move(b).build();
+  const RunResult r = run_algorithm(inst, parse_algorithm("directcontr"),
+                                    200, 1);
+  // a's job starts at the first machine-free moment at/after release 20.
+  const auto start = r.schedule.start_of(a, 0);
+  ASSERT_TRUE(start.has_value());
+  EXPECT_EQ(*start, 20);
+}
+
+TEST(Fcfs, OrdersByReleaseAcrossOrgs) {
+  InstanceBuilder b;
+  const OrgId a = b.add_org("a", 1);
+  const OrgId c = b.add_org("c", 0);
+  b.add_job(c, 0, 3);
+  b.add_job(a, 1, 3);
+  b.add_job(c, 2, 3);
+  const Instance inst = std::move(b).build();
+  const RunResult r = run_algorithm(inst, parse_algorithm("fcfs"), 100, 1);
+  EXPECT_EQ(r.schedule.start_of(c, 0), 0);
+  EXPECT_EQ(r.schedule.start_of(a, 0), 3);
+  EXPECT_EQ(r.schedule.start_of(c, 1), 6);
+}
+
+TEST(Runner, AllPolicyAlgorithmsProduceFeasibleSchedules) {
+  const SyntheticSpec spec = preset_lpc_egee();
+  const Instance inst = make_synthetic_instance(spec, 5, 3000,
+                                                MachineSplit::kZipf, 1.0, 21);
+  for (const char* name : {"roundrobin", "fairshare", "utfairshare",
+                           "currfairshare", "directcontr", "fcfs"}) {
+    const RunResult r = run_algorithm(inst, parse_algorithm(name), 3000, 5);
+    EXPECT_EQ(r.schedule.validate(inst, 3000), std::nullopt) << name;
+    // Utilities reported must equal the closed form on the schedule.
+    for (OrgId u = 0; u < inst.num_orgs(); ++u) {
+      EXPECT_EQ(r.utilities2[u],
+                sp_org_half_utility(inst, r.schedule, u, 3000))
+          << name << " u=" << u;
+    }
+  }
+}
+
+TEST(Runner, ParseAlgorithmNames) {
+  EXPECT_EQ(parse_algorithm("REF").id, AlgorithmId::kRef);
+  EXPECT_EQ(parse_algorithm("rand").rand_samples, 15u);
+  EXPECT_EQ(parse_algorithm("rand75").rand_samples, 75u);
+  EXPECT_EQ(parse_algorithm("Rand15").id, AlgorithmId::kRand);
+  EXPECT_EQ(parse_algorithm("DirectContr").id, AlgorithmId::kDirectContr);
+  EXPECT_THROW(parse_algorithm("bogus"), std::invalid_argument);
+  EXPECT_THROW(parse_algorithm("rand0"), std::invalid_argument);
+}
+
+TEST(Runner, DisplayNames) {
+  EXPECT_EQ(parse_algorithm("rand15").display_name(), "Rand (N=15)");
+  EXPECT_EQ(parse_algorithm("fairshare").display_name(), "FairShare");
+}
+
+TEST(Runner, MakePolicyRejectsEnsembleAlgorithms) {
+  EXPECT_THROW(make_policy(AlgorithmId::kRef), std::invalid_argument);
+  EXPECT_THROW(make_policy(AlgorithmId::kRand), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fairsched

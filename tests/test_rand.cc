@@ -1,0 +1,127 @@
+// Tests for the RAND randomized fair scheduler (Fig. 6).
+
+#include "sched/rand_fair.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/fairness.h"
+#include "metrics/utility.h"
+#include "sched/ref.h"
+#include "workload/synthetic.h"
+
+namespace fairsched {
+namespace {
+
+Instance unit_instance(std::uint32_t k, std::uint32_t jobs_per_org,
+                       std::uint64_t seed) {
+  InstanceBuilder b;
+  Rng rng(seed);
+  for (std::uint32_t u = 0; u < k; ++u) {
+    b.add_org("o" + std::to_string(u), 1 + static_cast<std::uint32_t>(
+                                               rng.uniform_u64(2)));
+  }
+  for (std::uint32_t u = 0; u < k; ++u) {
+    for (std::uint32_t i = 0; i < jobs_per_org; ++i) {
+      b.add_job(u, static_cast<Time>(rng.uniform_u64(30)), 1);
+    }
+  }
+  return std::move(b).build();
+}
+
+TEST(Rand, ProducesFeasibleGreedySchedule) {
+  const Instance inst = make_synthetic_instance(
+      preset_lpc_egee(), 4, 1500, MachineSplit::kZipf, 1.0, 51);
+  RandScheduler rand(inst, RandOptions{15, 7});
+  rand.run(1500);
+  EXPECT_EQ(rand.schedule().validate(inst, 1500), std::nullopt);
+}
+
+TEST(Rand, UtilitiesMatchClosedForm) {
+  const Instance inst = unit_instance(4, 20, 3);
+  RandScheduler rand(inst, RandOptions{15, 7});
+  rand.run(60);
+  const auto psi2 = rand.utilities2();
+  for (OrgId u = 0; u < inst.num_orgs(); ++u) {
+    EXPECT_EQ(psi2[u], sp_org_half_utility(inst, rand.schedule(), u, 60));
+  }
+}
+
+TEST(Rand, DeterministicPerSeed) {
+  const Instance inst = unit_instance(4, 15, 5);
+  RandScheduler a(inst, RandOptions{10, 42});
+  RandScheduler b(inst, RandOptions{10, 42});
+  a.run(50);
+  b.run(50);
+  EXPECT_EQ(a.utilities2(), b.utilities2());
+}
+
+TEST(Rand, CloseToRefOnUnitJobs) {
+  // On unit-size jobs RAND is an FPRAS; with many samples the schedule's
+  // utility vector must be close to REF's (relative Manhattan distance).
+  const Instance inst = unit_instance(4, 40, 11);
+  const Time horizon = 80;
+  RefScheduler ref(inst);
+  ref.run(horizon);
+  RandScheduler rand(inst, RandOptions{200, 13});
+  rand.run(horizon);
+  const double rel = relative_distance(rand.utilities2(), ref.utilities2());
+  EXPECT_LT(rel, 0.05) << "relative distance " << rel;
+}
+
+TEST(Rand, MoreSamplesImproveContributionEstimates) {
+  // Compare RAND's phi estimates against exact Shapley of the same
+  // characteristic function (values of FCFS-scheduled subcoalitions at the
+  // horizon) on a unit-job instance.
+  const Instance inst = unit_instance(4, 30, 17);
+  const Time horizon = 100;
+
+  RandScheduler coarse(inst, RandOptions{5, 23});
+  RandScheduler fine(inst, RandOptions{400, 23});
+  coarse.run(horizon);
+  fine.run(horizon);
+
+  RefScheduler ref(inst);
+  ref.run(horizon);
+  const auto ref_phi = ref.contributions();
+  auto err = [&](const std::vector<double>& phi) {
+    double total = 0.0;
+    for (std::size_t u = 0; u < phi.size(); ++u) {
+      total += std::abs(phi[u] - ref_phi[u]);
+    }
+    return total;
+  };
+  EXPECT_LE(err(fine.contributions()), err(coarse.contributions()) + 1e-9);
+}
+
+TEST(Rand, DistinctCoalitionsBounded) {
+  const Instance inst = unit_instance(4, 5, 29);
+  RandScheduler rand(inst, RandOptions{50, 31});
+  // At most all 2^4 - 1 nonempty masks plus the empty prefix never gets an
+  // engine.
+  EXPECT_LE(rand.distinct_coalitions(), 15u);
+  EXPECT_GE(rand.distinct_coalitions(), 4u);
+}
+
+TEST(Rand, TheoremSampleBoundFormula) {
+  // N = ceil(k^2 / eps^2 * ln(k / (1 - lambda)))
+  const std::size_t n = rand_theorem_samples(5, 0.1, 0.95);
+  EXPECT_EQ(n, static_cast<std::size_t>(
+                   std::ceil(25.0 / 0.01 * std::log(5.0 / 0.05))));
+}
+
+TEST(Rand, InvalidOptionsThrow) {
+  const Instance inst = unit_instance(2, 2, 1);
+  EXPECT_THROW(RandScheduler(inst, RandOptions{0, 1}), std::invalid_argument);
+}
+
+TEST(Rand, RunTwiceThrows) {
+  const Instance inst = unit_instance(2, 2, 1);
+  RandScheduler rand(inst, RandOptions{5, 1});
+  rand.run(10);
+  EXPECT_THROW(rand.run(10), std::logic_error);
+}
+
+}  // namespace
+}  // namespace fairsched

@@ -1,0 +1,217 @@
+// Tests for the Shapley value library: the two exact forms agree, the
+// axioms hold, and the sampled estimator converges within the Theorem 5.6
+// bound.
+
+#include "shapley/shapley.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fairsched {
+namespace {
+
+// A classic 3-player glove game: player 0 holds a left glove, players 1 and
+// 2 hold right gloves; a pair is worth 1.
+double glove_game(Coalition c) {
+  const bool left = c.contains(0);
+  const bool right = c.contains(1) || c.contains(2);
+  return left && right ? 1.0 : 0.0;
+}
+
+TEST(Shapley, GloveGameKnownValues) {
+  const auto phi = shapley_exact(3, glove_game);
+  EXPECT_NEAR(phi[0], 4.0 / 6.0, 1e-12);
+  EXPECT_NEAR(phi[1], 1.0 / 6.0, 1e-12);
+  EXPECT_NEAR(phi[2], 1.0 / 6.0, 1e-12);
+}
+
+TEST(Shapley, SubsetAndPermutationFormsAgree) {
+  // An asymmetric superadditive-ish game.
+  auto v = [](Coalition c) {
+    double total = 0.0;
+    if (c.contains(0)) total += 3.0;
+    if (c.contains(1)) total += 1.0;
+    if (c.contains(0) && c.contains(2)) total += 4.0;
+    if (c.size() >= 3) total += 2.5;
+    return total;
+  };
+  for (std::uint32_t k : {1u, 2u, 3u, 4u, 5u}) {
+    const auto a = shapley_exact(k, v);
+    const auto b = shapley_by_permutations(k, v);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::uint32_t u = 0; u < k; ++u) {
+      EXPECT_NEAR(a[u], b[u], 1e-9) << "k=" << k << " u=" << u;
+    }
+  }
+}
+
+TEST(Shapley, EfficiencyAxiom) {
+  auto v = [](Coalition c) {
+    return static_cast<double>(c.size() * c.size());
+  };
+  const auto phi = shapley_exact(5, v);
+  EXPECT_NEAR(efficiency_error(5, v, phi), 0.0, 1e-9);
+}
+
+TEST(Shapley, SymmetryAxiom) {
+  const auto phi = shapley_exact(3, glove_game);
+  const auto gap = symmetry_gap(3, glove_game, 1, 2, phi);
+  ASSERT_TRUE(gap.has_value());
+  EXPECT_NEAR(*gap, 0.0, 1e-12);
+  // Players 0 and 1 are not symmetric.
+  EXPECT_FALSE(symmetry_gap(3, glove_game, 0, 1, phi).has_value());
+}
+
+TEST(Shapley, DummyAxiom) {
+  // Player 2 contributes nothing.
+  auto v = [](Coalition c) {
+    return (c.contains(0) ? 2.0 : 0.0) + (c.contains(1) ? 5.0 : 0.0);
+  };
+  const auto phi = shapley_exact(3, v);
+  const auto err = dummy_error(3, v, 2, phi);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NEAR(*err, 0.0, 1e-12);
+  EXPECT_FALSE(dummy_error(3, v, 0, phi).has_value());
+  EXPECT_NEAR(phi[0], 2.0, 1e-12);
+  EXPECT_NEAR(phi[1], 5.0, 1e-12);
+}
+
+TEST(Shapley, AdditivityAxiom) {
+  auto v1 = [](Coalition c) { return static_cast<double>(c.size()); };
+  auto v2 = glove_game;
+  auto sum = [&](Coalition c) { return v1(c) + v2(c); };
+  const auto p1 = shapley_exact(3, v1);
+  const auto p2 = shapley_exact(3, v2);
+  const auto ps = shapley_exact(3, sum);
+  for (OrgId u = 0; u < 3; ++u) {
+    EXPECT_NEAR(ps[u], p1[u] + p2[u], 1e-12);
+  }
+}
+
+TEST(Shapley, SampledEstimatorConverges) {
+  auto v = [](Coalition c) {
+    double total = static_cast<double>(c.size());
+    if (c.contains(0) && c.contains(3)) total += 6.0;
+    return total;
+  };
+  const auto exact = shapley_exact(4, v);
+  const auto est = shapley_sampled(4, v, 20000, 123);
+  for (OrgId u = 0; u < 4; ++u) {
+    EXPECT_NEAR(est[u], exact[u], 0.1) << "u=" << u;
+  }
+}
+
+TEST(Shapley, SampledWithinTheoremBound) {
+  // Theorem 5.6: with N = rand_sample_bound(k, eps, lambda) samples, each
+  // |phi_est - phi| <= (eps / k) * v(grand) with probability lambda. We test
+  // one seed (deterministic) and a generous epsilon.
+  auto v = [](Coalition c) {
+    return c.size() >= 2 ? static_cast<double>(2 * c.size() - 2) : 0.0;
+  };
+  const std::uint32_t k = 5;
+  const double eps = 0.5, lambda = 0.9;
+  const std::size_t n = rand_sample_bound(k, eps, lambda);
+  EXPECT_GE(n, static_cast<std::size_t>(
+                   std::ceil(25.0 / 0.25 * std::log(5.0 / 0.1))));
+  const auto exact = shapley_exact(k, v);
+  const auto est = shapley_sampled(k, v, n, 777);
+  const double budget = eps / k * v(Coalition::grand(k));
+  for (OrgId u = 0; u < k; ++u) {
+    EXPECT_LE(std::abs(est[u] - exact[u]), budget) << "u=" << u;
+  }
+}
+
+TEST(Shapley, StratifiedMatchesExactOnSmallGames) {
+  auto v = [](Coalition c) {
+    double total = static_cast<double>(c.size());
+    if (c.contains(1) && c.contains(2)) total += 4.0;
+    if (c.size() >= 3) total *= 1.5;
+    return total;
+  };
+  const auto exact = shapley_exact(4, v);
+  const auto est = shapley_stratified(4, v, 4000, 99);
+  for (OrgId u = 0; u < 4; ++u) {
+    EXPECT_NEAR(est[u], exact[u], 0.1) << "u=" << u;
+  }
+}
+
+TEST(Shapley, StratifiedIsExactForSizeOnlyGames) {
+  // When v depends only on |C|, every stratum's marginal is a constant, so
+  // stratified sampling has zero variance: one sample per stratum is exact.
+  auto v = [](Coalition c) {
+    return static_cast<double>(c.size() * c.size() + 3 * c.size());
+  };
+  const auto exact = shapley_exact(5, v);
+  const auto est = shapley_stratified(5, v, 1, 7);
+  for (OrgId u = 0; u < 5; ++u) {
+    EXPECT_NEAR(est[u], exact[u], 1e-9) << "u=" << u;
+  }
+}
+
+TEST(Shapley, StratifiedBeatsPlainSamplingAtEqualBudget) {
+  // Marginals that vary strongly with coalition size (saturation): the
+  // stratified estimator should have lower aggregate error than plain
+  // permutation sampling at a comparable evaluation budget, for most seeds.
+  auto v = [](Coalition c) {
+    // Value saturates at 3 "machines".
+    return static_cast<double>(std::min<std::uint32_t>(c.size(), 3) * 10) +
+           (c.contains(0) ? 2.0 : 0.0);
+  };
+  const std::uint32_t k = 5;
+  const auto exact = shapley_exact(k, v);
+  auto err = [&](const std::vector<double>& phi) {
+    double total = 0.0;
+    for (OrgId u = 0; u < k; ++u) total += std::abs(phi[u] - exact[u]);
+    return total;
+  };
+  int stratified_wins = 0;
+  const int trials = 10;
+  for (int t = 0; t < trials; ++t) {
+    // Budget: plain uses 40 permutations = 40*k marginal evaluations;
+    // stratified with 8 samples/stratum uses k*8 per player = 40*k total.
+    const auto plain = shapley_sampled(k, v, 40, 1000 + t);
+    const auto strat = shapley_stratified(k, v, 8, 2000 + t);
+    if (err(strat) <= err(plain)) ++stratified_wins;
+  }
+  EXPECT_GE(stratified_wins, trials / 2);
+}
+
+TEST(Shapley, StratifiedEfficiencyHoldsInExpectation) {
+  auto v = [](Coalition c) { return static_cast<double>(c.mask() % 11); };
+  const auto est = shapley_stratified(4, v, 6000, 5);
+  double sum = 0.0;
+  for (double p : est) sum += p;
+  EXPECT_NEAR(sum, v(Coalition::grand(4)), 0.3);
+}
+
+TEST(Shapley, StratifiedInvalidArguments) {
+  auto v = [](Coalition) { return 0.0; };
+  EXPECT_THROW(shapley_stratified(0, v, 10, 1), std::invalid_argument);
+  EXPECT_THROW(shapley_stratified(3, v, 0, 1), std::invalid_argument);
+}
+
+TEST(Shapley, SampledDeterministicPerSeed) {
+  auto v = [](Coalition c) { return static_cast<double>(c.mask() % 7); };
+  EXPECT_EQ(shapley_sampled(4, v, 50, 9), shapley_sampled(4, v, 50, 9));
+}
+
+TEST(Shapley, SupermodularityChecker) {
+  // v(C) = |C|^2 is supermodular; the glove game is not.
+  auto convex = [](Coalition c) {
+    return static_cast<double>(c.size() * c.size());
+  };
+  EXPECT_TRUE(is_supermodular(4, convex));
+  EXPECT_FALSE(is_supermodular(3, glove_game));
+}
+
+TEST(Shapley, InvalidArguments) {
+  auto v = [](Coalition) { return 0.0; };
+  EXPECT_THROW(shapley_exact(0, v), std::invalid_argument);
+  EXPECT_THROW(shapley_sampled(3, v, 0, 1), std::invalid_argument);
+  EXPECT_THROW(rand_sample_bound(3, 0.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(rand_sample_bound(3, 0.1, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fairsched

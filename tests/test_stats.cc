@@ -1,0 +1,83 @@
+// Tests for the statistics accumulators.
+
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fairsched {
+namespace {
+
+TEST(Stats, EmptyAccumulator) {
+  StatsAccumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.stdev(), 0.0);
+}
+
+TEST(Stats, SingleValue) {
+  StatsAccumulator acc;
+  acc.add(7.5);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 7.5);
+  EXPECT_DOUBLE_EQ(acc.stdev(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 7.5);
+  EXPECT_DOUBLE_EQ(acc.max(), 7.5);
+}
+
+TEST(Stats, KnownMeanAndStdev) {
+  StatsAccumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  // Sample variance of this classic set is 32/7.
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(Stats, MergeMatchesSequential) {
+  StatsAccumulator whole, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10 + i * 0.1;
+    whole.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(Stats, MergeWithEmpty) {
+  StatsAccumulator a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(Stats, BatchHelpers) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean_of(xs), 2.5);
+  EXPECT_NEAR(stdev_of(xs), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, Percentiles) {
+  std::vector<double> xs{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 0.5), 30.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 0.25), 20.0);
+  EXPECT_DOUBLE_EQ(percentile_of({}, 0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace fairsched

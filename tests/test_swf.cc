@@ -1,0 +1,177 @@
+// Tests for the SWF parser/writer and the trace -> instance mapping.
+
+#include "workload/swf.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/assignment.h"
+
+namespace fairsched {
+namespace {
+
+const char* kSampleSwf =
+    "; Version: 2\n"
+    "; Computer: test cluster\n"
+    "; MaxProcs: 8\n"
+    "1  0   -1 30  1 -1 -1 1 30 -1 -1 100 -1 -1 -1 -1 -1 -1\n"
+    "2  5   -1 60  2 -1 -1 2 60 -1 -1 101 -1 -1 -1 -1 -1 -1\n"
+    "3  5   -1 -1  1 -1 -1 1 -1 -1 -1 100 -1 -1 -1 -1 -1 -1\n"  // unknown rt
+    "4  9   -1 10 -1 -1 -1 1 10 -1 -1 102 -1 -1 -1 -1 -1 -1\n"  // unknown cpus
+    "5  12  -1 20  1 -1 -1 1 20 -1 -1 100 -1 -1 -1 -1 -1 -1\n";
+
+TEST(Swf, ParsesJobsAndHeader) {
+  std::istringstream in(kSampleSwf);
+  const SwfTrace trace = parse_swf(in);
+  EXPECT_EQ(trace.header.size(), 3u);
+  ASSERT_EQ(trace.jobs.size(), 5u);
+  EXPECT_EQ(trace.jobs[0].job_id, 1);
+  EXPECT_EQ(trace.jobs[0].submit, 0);
+  EXPECT_EQ(trace.jobs[0].run_time, 30);
+  EXPECT_EQ(trace.jobs[0].processors, 1u);
+  EXPECT_EQ(trace.jobs[0].user, 100);
+  EXPECT_EQ(trace.jobs[1].processors, 2u);
+  EXPECT_EQ(trace.jobs[3].processors, 0u);  // -1 mapped to unknown (0)
+}
+
+TEST(Swf, UsersInFirstAppearanceOrder) {
+  std::istringstream in(kSampleSwf);
+  const SwfTrace trace = parse_swf(in);
+  const auto users = trace.users();
+  ASSERT_EQ(users.size(), 3u);
+  EXPECT_EQ(users[0], 100);
+  EXPECT_EQ(users[1], 101);
+  EXPECT_EQ(users[2], 102);
+}
+
+TEST(Swf, ExpansionToSequential) {
+  std::istringstream in(kSampleSwf);
+  const SwfTrace trace = parse_swf(in);
+  const SwfTrace seq = trace.expanded_to_sequential();
+  // Job 1 -> 1 copy, job 2 -> 2 copies, job 3 dropped (unknown runtime),
+  // job 4 dropped (unknown processors), job 5 -> 1 copy.
+  ASSERT_EQ(seq.jobs.size(), 4u);
+  for (const SwfJob& j : seq.jobs) EXPECT_EQ(j.processors, 1u);
+  EXPECT_EQ(seq.jobs[1].job_id, 2);
+  EXPECT_EQ(seq.jobs[2].job_id, 2);
+}
+
+TEST(Swf, RoundTrip) {
+  std::istringstream in(kSampleSwf);
+  const SwfTrace trace = parse_swf(in);
+  std::ostringstream out;
+  write_swf(out, trace);
+  std::istringstream back(out.str());
+  const SwfTrace again = parse_swf(back);
+  ASSERT_EQ(again.jobs.size(), trace.jobs.size());
+  for (std::size_t i = 0; i < trace.jobs.size(); ++i) {
+    EXPECT_EQ(again.jobs[i].job_id, trace.jobs[i].job_id);
+    EXPECT_EQ(again.jobs[i].submit, trace.jobs[i].submit);
+    EXPECT_EQ(again.jobs[i].run_time, trace.jobs[i].run_time);
+    EXPECT_EQ(again.jobs[i].user, trace.jobs[i].user);
+  }
+}
+
+TEST(Swf, MalformedLinesRejected) {
+  std::istringstream short_line("1 2 3\n");
+  EXPECT_THROW(parse_swf(short_line), std::runtime_error);
+  std::istringstream garbage(
+      "1 0 -1 30 1 -1 -1 1 xx -1 -1 100 -1 -1 -1 -1 -1 -1\n");
+  EXPECT_THROW(parse_swf(garbage), std::runtime_error);
+  std::istringstream negative_submit(
+      "1 -5 -1 30 1 -1 -1 1 30 -1 -1 100 -1 -1 -1 -1 -1 -1\n");
+  EXPECT_THROW(parse_swf(negative_submit), std::runtime_error);
+}
+
+TEST(Swf, BlankLinesAndCrLf) {
+  std::istringstream in(
+      "\n; header\r\n"
+      "1 0 -1 30 1 -1 -1 1 30 -1 -1 100 -1 -1 -1 -1 -1 -1\r\n\n");
+  const SwfTrace trace = parse_swf(in);
+  EXPECT_EQ(trace.jobs.size(), 1u);
+  EXPECT_EQ(trace.header.size(), 1u);
+}
+
+TEST(Swf, MissingFileThrows) {
+  EXPECT_THROW(load_swf("/nonexistent/file.swf"), std::runtime_error);
+}
+
+TEST(Assignment, SplitMachinesUniform) {
+  Rng rng(1);
+  const auto counts = split_machines(10, 4, MachineSplit::kUniform, 1.0, rng);
+  ASSERT_EQ(counts.size(), 4u);
+  std::uint32_t total = 0;
+  for (auto c : counts) {
+    EXPECT_GE(c, 1u);
+    total += c;
+  }
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(Assignment, SplitMachinesZipfIsSkewed) {
+  Rng rng(2);
+  const auto counts = split_machines(100, 5, MachineSplit::kZipf, 1.0, rng);
+  std::uint32_t total = 0, max_count = 0;
+  for (auto c : counts) {
+    EXPECT_GE(c, 1u);
+    total += c;
+    max_count = std::max(max_count, c);
+  }
+  EXPECT_EQ(total, 100u);
+  // Head of the Zipf should clearly dominate a uniform 20.
+  EXPECT_GE(max_count, 30u);
+}
+
+TEST(Assignment, SplitMachinesRequiresOnePerOrg) {
+  Rng rng(3);
+  EXPECT_THROW(split_machines(3, 4, MachineSplit::kUniform, 1.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW(split_machines(5, 0, MachineSplit::kUniform, 1.0, rng),
+               std::invalid_argument);
+}
+
+TEST(Assignment, AssignUsersBalanced) {
+  Rng rng(4);
+  const auto owner = assign_users(10, 3, rng);
+  ASSERT_EQ(owner.size(), 10u);
+  std::vector<int> counts(3, 0);
+  for (OrgId u : owner) counts[u]++;
+  // Round-robin dealing: sizes 4, 3, 3 in some order.
+  std::sort(counts.begin(), counts.end());
+  EXPECT_EQ(counts[0], 3);
+  EXPECT_EQ(counts[1], 3);
+  EXPECT_EQ(counts[2], 4);
+}
+
+TEST(Assignment, InstanceFromSwf) {
+  std::istringstream in(kSampleSwf);
+  const SwfTrace trace = parse_swf(in);
+  const Instance inst =
+      instance_from_swf(trace, 2, 8, MachineSplit::kUniform, 1.0, 7);
+  EXPECT_EQ(inst.num_orgs(), 2u);
+  EXPECT_EQ(inst.total_machines(), 8u);
+  // 4 sequential jobs survive the expansion.
+  EXPECT_EQ(inst.num_jobs(), 4u);
+  // All jobs of one user end up in the same organization.
+  // (user 100 had jobs 1 and 5.)
+  std::vector<std::size_t> per_org;
+  for (OrgId u = 0; u < 2; ++u) per_org.push_back(inst.jobs_of(u).size());
+  EXPECT_EQ(per_org[0] + per_org[1], 4u);
+}
+
+TEST(Assignment, InstanceFromSwfDeterministic) {
+  std::istringstream in1(kSampleSwf), in2(kSampleSwf);
+  const SwfTrace t1 = parse_swf(in1), t2 = parse_swf(in2);
+  const Instance a =
+      instance_from_swf(t1, 3, 9, MachineSplit::kZipf, 1.0, 42);
+  const Instance b =
+      instance_from_swf(t2, 3, 9, MachineSplit::kZipf, 1.0, 42);
+  for (OrgId u = 0; u < 3; ++u) {
+    EXPECT_EQ(a.machines_of(u), b.machines_of(u));
+    EXPECT_EQ(a.jobs_of(u).size(), b.jobs_of(u).size());
+  }
+}
+
+}  // namespace
+}  // namespace fairsched

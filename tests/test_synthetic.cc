@@ -1,0 +1,161 @@
+// Tests for the synthetic workload generators and presets.
+
+#include "workload/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fairsched {
+namespace {
+
+TEST(Synthetic, PresetShapesMatchArchives) {
+  EXPECT_EQ(preset_lpc_egee().total_machines, 70u);
+  EXPECT_EQ(preset_lpc_egee().users, 56u);
+  EXPECT_EQ(preset_pik_iplex(1.0).total_machines, 2560u);
+  EXPECT_EQ(preset_pik_iplex(1.0).users, 225u);
+  EXPECT_EQ(preset_ricc(1.0).total_machines, 8192u);
+  EXPECT_EQ(preset_ricc(1.0).users, 176u);
+  EXPECT_EQ(preset_sharcnet_whale(1.0).total_machines, 3072u);
+  EXPECT_EQ(preset_sharcnet_whale(1.0).users, 154u);
+}
+
+TEST(Synthetic, ScalingDividesMachines) {
+  EXPECT_EQ(preset_ricc(16.0).total_machines, 512u);
+  EXPECT_EQ(preset_pik_iplex(16.0).total_machines, 160u);
+  EXPECT_THROW(preset_ricc(0.0), std::invalid_argument);
+}
+
+TEST(Synthetic, CalibratedOfferedLoads) {
+  // The presets encode the qualitative load ordering the paper's results
+  // imply: PIK lightly loaded, RICC overloaded.
+  EXPECT_NEAR(preset_lpc_egee().offered_load(), 0.85, 1e-9);
+  EXPECT_NEAR(preset_pik_iplex(16.0).offered_load(), 0.45, 1e-9);
+  EXPECT_NEAR(preset_ricc(16.0).offered_load(), 1.15, 1e-9);
+  EXPECT_NEAR(preset_sharcnet_whale(16.0).offered_load(), 0.85, 1e-9);
+  EXPECT_LT(preset_pik_iplex(16.0).offered_load(),
+            preset_ricc(16.0).offered_load());
+}
+
+TEST(Synthetic, DefaultPresetsCoverAllFour) {
+  const auto presets = default_presets(16.0);
+  ASSERT_EQ(presets.size(), 4u);
+  EXPECT_EQ(presets[0].name, "LPC-EGEE");
+  EXPECT_EQ(presets[1].name, "PIK-IPLEX");
+  EXPECT_EQ(presets[2].name, "RICC");
+  EXPECT_EQ(presets[3].name, "SHARCNET-Whale");
+}
+
+TEST(Synthetic, WindowJobsWithinDuration) {
+  const SyntheticSpec spec = preset_lpc_egee();
+  const SwfTrace trace = generate_window(spec, 20000, 5);
+  ASSERT_FALSE(trace.jobs.empty());
+  for (const SwfJob& j : trace.jobs) {
+    EXPECT_GE(j.submit, 0);
+    EXPECT_LT(j.submit, 20000);
+    EXPECT_GE(j.run_time, spec.min_job);
+    EXPECT_LE(j.run_time, spec.max_job);
+    EXPECT_LT(j.user, static_cast<std::int64_t>(spec.users));
+  }
+}
+
+TEST(Synthetic, WindowSortedBySubmit) {
+  const SwfTrace trace = generate_window(preset_lpc_egee(), 10000, 6);
+  for (std::size_t i = 1; i < trace.jobs.size(); ++i) {
+    EXPECT_LE(trace.jobs[i - 1].submit, trace.jobs[i].submit);
+  }
+}
+
+TEST(Synthetic, DeterministicPerSeed) {
+  const SyntheticSpec spec = preset_lpc_egee();
+  const SwfTrace a = generate_window(spec, 5000, 9);
+  const SwfTrace b = generate_window(spec, 5000, 9);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].submit, b.jobs[i].submit);
+    EXPECT_EQ(a.jobs[i].run_time, b.jobs[i].run_time);
+    EXPECT_EQ(a.jobs[i].user, b.jobs[i].user);
+  }
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  const SyntheticSpec spec = preset_lpc_egee();
+  const SwfTrace a = generate_window(spec, 5000, 1);
+  const SwfTrace b = generate_window(spec, 5000, 2);
+  // Overwhelmingly likely to differ in size or first submits.
+  bool differs = a.jobs.size() != b.jobs.size();
+  for (std::size_t i = 0; !differs && i < a.jobs.size(); ++i) {
+    differs = a.jobs[i].submit != b.jobs[i].submit ||
+              a.jobs[i].run_time != b.jobs[i].run_time;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Synthetic, OfferedWorkRoughlyMatchesLoad) {
+  // Across many seeds the generated work should average near
+  // offered_load * machines * duration. Tolerant band: the per-window
+  // jitter and duration truncation both move the number.
+  const SyntheticSpec spec = preset_lpc_egee();
+  const Time duration = 50000;
+  double total = 0.0;
+  const int windows = 30;
+  for (int s = 0; s < windows; ++s) {
+    const SwfTrace trace = generate_window(spec, duration, 1000 + s);
+    for (const SwfJob& j : trace.jobs) {
+      total += static_cast<double>(j.run_time);
+    }
+  }
+  const double mean_work = total / windows;
+  const double expected = spec.offered_load() *
+                          static_cast<double>(spec.total_machines) *
+                          static_cast<double>(duration);
+  EXPECT_GT(mean_work, 0.5 * expected);
+  EXPECT_LT(mean_work, 1.8 * expected);
+}
+
+TEST(Synthetic, BurstinessUsersSubmitInBlocks) {
+  // Within one user's stream, the median inter-arrival gap should be far
+  // smaller than the mean gap (sessions create clumps).
+  const SyntheticSpec spec = preset_lpc_egee();
+  const SwfTrace trace = generate_window(spec, 100000, 77);
+  std::vector<std::vector<Time>> per_user(spec.users);
+  for (const SwfJob& j : trace.jobs) {
+    per_user[static_cast<std::size_t>(j.user)].push_back(j.submit);
+  }
+  double clumped_users = 0, eligible = 0;
+  for (auto& submits : per_user) {
+    if (submits.size() < 6) continue;
+    std::sort(submits.begin(), submits.end());
+    std::vector<double> gaps;
+    for (std::size_t i = 1; i < submits.size(); ++i) {
+      gaps.push_back(static_cast<double>(submits[i] - submits[i - 1]));
+    }
+    std::sort(gaps.begin(), gaps.end());
+    const double median = gaps[gaps.size() / 2];
+    double mean = 0;
+    for (double g : gaps) mean += g;
+    mean /= static_cast<double>(gaps.size());
+    eligible += 1;
+    if (median < 0.25 * mean) clumped_users += 1;
+  }
+  ASSERT_GT(eligible, 5);
+  EXPECT_GT(clumped_users / eligible, 0.7);
+}
+
+TEST(Synthetic, MakeInstanceWiring) {
+  const SyntheticSpec spec = preset_lpc_egee();
+  const Instance inst =
+      make_synthetic_instance(spec, 5, 10000, MachineSplit::kZipf, 1.0, 123);
+  EXPECT_EQ(inst.num_orgs(), 5u);
+  EXPECT_EQ(inst.total_machines(), spec.total_machines);
+  EXPECT_GT(inst.num_jobs(), 0u);
+  for (OrgId u = 0; u < 5; ++u) EXPECT_GE(inst.machines_of(u), 1u);
+}
+
+TEST(Synthetic, RejectsBadDuration) {
+  EXPECT_THROW(generate_window(preset_lpc_egee(), 0, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fairsched

@@ -1,0 +1,80 @@
+// Tests for the ASCII table formatter and CSV writer.
+
+#include "util/csv.h"
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace fairsched {
+namespace {
+
+TEST(Table, BasicLayout) {
+  AsciiTable t({"alg", "avg"});
+  t.add_row({"RoundRobin", "238"});
+  t.add_row({"Rand", "8"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| alg "), std::string::npos);
+  EXPECT_NE(s.find("| RoundRobin "), std::string::npos);
+  EXPECT_NE(s.find("| 238 "), std::string::npos);
+  // 2 border lines around header + 1 bottom = at least 3 '+--' lines.
+  int plus_lines = 0;
+  std::istringstream in(s);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] == '+') ++plus_lines;
+  }
+  EXPECT_EQ(plus_lines, 3);
+}
+
+TEST(Table, SeparatorRows) {
+  AsciiTable t({"a"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  std::istringstream in(t.to_string());
+  std::string line;
+  int plus_lines = 0;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] == '+') ++plus_lines;
+  }
+  EXPECT_EQ(plus_lines, 4);
+}
+
+TEST(Table, ShortRowsPadded) {
+  AsciiTable t({"a", "b", "c"});
+  t.add_row({"only-one"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("only-one"), std::string::npos);
+}
+
+TEST(Table, FormatDouble) {
+  EXPECT_EQ(AsciiTable::format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(AsciiTable::format_double(2.0, 0), "2");
+  EXPECT_EQ(AsciiTable::format_double(-0.5, 1), "-0.5");
+}
+
+TEST(Csv, PlainRow) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.write_row({"a", "b", "c"});
+  EXPECT_EQ(out.str(), "a,b,c\n");
+}
+
+TEST(Csv, QuotesSpecialCharacters) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.write_row({"a,b", "say \"hi\"", "multi\nline"});
+  EXPECT_EQ(out.str(), "\"a,b\",\"say \"\"hi\"\"\",\"multi\nline\"\n");
+}
+
+TEST(Csv, EmptyCells) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.write_row({"", "x", ""});
+  EXPECT_EQ(out.str(), ",x,\n");
+}
+
+}  // namespace
+}  // namespace fairsched

@@ -1,0 +1,88 @@
+// Tests for the thread pool and parallel_for.
+
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace fairsched {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsValue) {
+  ThreadPool pool(4);
+  auto f = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesException) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(500);
+  pool.parallel_for(500, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroIterations) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelForSumsCorrectly) {
+  ThreadPool pool(3);
+  std::vector<long> partial(100, 0);
+  pool.parallel_for(100, [&](std::size_t i) {
+    partial[i] = static_cast<long>(i) * static_cast<long>(i);
+  });
+  const long total = std::accumulate(partial.begin(), partial.end(), 0L);
+  // sum i^2 for i=0..99
+  EXPECT_EQ(total, 99L * 100L * 199L / 6L);
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstError) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(50,
+                                 [&](std::size_t i) {
+                                   if (i == 13) {
+                                     throw std::logic_error("unlucky");
+                                   }
+                                 }),
+               std::logic_error);
+}
+
+TEST(ThreadPool, SingleThreadPoolStillWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  pool.parallel_for(20, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPool, FreeFunctionParallelFor) {
+  std::vector<std::atomic<int>> hits(64);
+  parallel_for(64, 4, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ManyMoreTasksThanThreads) {
+  ThreadPool pool(2);
+  std::atomic<long> sum{0};
+  std::vector<std::future<void>> fs;
+  for (int i = 0; i < 200; ++i) {
+    fs.push_back(pool.submit([&sum, i] { sum.fetch_add(i); }));
+  }
+  for (auto& f : fs) f.get();
+  EXPECT_EQ(sum.load(), 199L * 200L / 2L);
+}
+
+}  // namespace
+}  // namespace fairsched

@@ -1,0 +1,109 @@
+// Tests for the trajectory metrics.
+
+#include "metrics/trajectory.h"
+
+#include <gtest/gtest.h>
+
+#include "metrics/utility.h"
+#include "sched/runner.h"
+
+namespace fairsched {
+namespace {
+
+Instance tiny() {
+  InstanceBuilder b;
+  const OrgId a = b.add_org("a", 1);
+  const OrgId c = b.add_org("c", 1);
+  b.add_job(a, 0, 4);
+  b.add_job(c, 0, 4);
+  b.add_job(a, 2, 4);
+  return std::move(b).build();
+}
+
+TEST(Trajectory, MatchesPointwiseClosedForm) {
+  const Instance inst = tiny();
+  const RunResult r = run_algorithm(inst, parse_algorithm("fcfs"), 20, 1);
+  const std::vector<Time> times{1, 3, 6, 10, 20};
+  const auto traj = utility_trajectory(inst, r.schedule, times);
+  ASSERT_EQ(traj.size(), times.size());
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    EXPECT_EQ(traj[i].t, times[i]);
+    for (OrgId u = 0; u < inst.num_orgs(); ++u) {
+      EXPECT_EQ(traj[i].psi2[u],
+                sp_org_half_utility(inst, r.schedule, u, times[i]));
+    }
+  }
+}
+
+TEST(Trajectory, UtilitiesAreMonotone) {
+  const Instance inst = tiny();
+  const RunResult r = run_algorithm(inst, parse_algorithm("fcfs"), 30, 1);
+  const auto traj =
+      utility_trajectory(inst, r.schedule, even_sample_times(30, 10));
+  for (std::size_t i = 1; i < traj.size(); ++i) {
+    for (OrgId u = 0; u < inst.num_orgs(); ++u) {
+      EXPECT_GE(traj[i].psi2[u], traj[i - 1].psi2[u]);
+    }
+  }
+}
+
+TEST(Trajectory, RejectsUnsortedTimes) {
+  const Instance inst = tiny();
+  const RunResult r = run_algorithm(inst, parse_algorithm("fcfs"), 10, 1);
+  EXPECT_THROW(utility_trajectory(inst, r.schedule, {5, 3}),
+               std::invalid_argument);
+}
+
+TEST(Trajectory, EvenSampleTimes) {
+  const auto times = even_sample_times(100, 4);
+  ASSERT_EQ(times.size(), 4u);
+  EXPECT_EQ(times[0], 25);
+  EXPECT_EQ(times[1], 50);
+  EXPECT_EQ(times[2], 75);
+  EXPECT_EQ(times[3], 100);
+  EXPECT_THROW(even_sample_times(0, 4), std::invalid_argument);
+  EXPECT_THROW(even_sample_times(10, 0), std::invalid_argument);
+}
+
+TEST(Trajectory, UnfairnessAgainstSelfIsZero) {
+  const Instance inst = tiny();
+  const RunResult r = run_algorithm(inst, parse_algorithm("fcfs"), 20, 1);
+  const auto series = unfairness_trajectory(inst, r.schedule, r.schedule,
+                                            even_sample_times(20, 5));
+  for (double v : series) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Trajectory, UnfairnessDetectsDivergence) {
+  // Round robin vs REF on a lopsided instance: the trajectory should be
+  // nonzero somewhere once contention bites.
+  InstanceBuilder b;
+  const OrgId big = b.add_org("big", 3);
+  const OrgId small = b.add_org("small", 1);
+  for (int i = 0; i < 30; ++i) {
+    b.add_job(big, 0, 5);
+    b.add_job(small, 0, 5);
+  }
+  const Instance inst = std::move(b).build();
+  const RunResult ref = run_algorithm(inst, parse_algorithm("ref"), 60, 1);
+  const RunResult rr =
+      run_algorithm(inst, parse_algorithm("roundrobin"), 60, 1);
+  const auto series = unfairness_trajectory(inst, rr.schedule, ref.schedule,
+                                            even_sample_times(60, 6));
+  double max_v = 0.0;
+  for (double v : series) max_v = std::max(max_v, v);
+  EXPECT_GT(max_v, 0.0);
+}
+
+TEST(Trajectory, ZeroWorkPrefixGivesZeroRatio) {
+  InstanceBuilder b;
+  const OrgId a = b.add_org("a", 1);
+  b.add_job(a, 50, 5);
+  const Instance inst = std::move(b).build();
+  const RunResult r = run_algorithm(inst, parse_algorithm("fcfs"), 100, 1);
+  const auto series = unfairness_trajectory(inst, r.schedule, r.schedule,
+                                            {10, 40, 100});
+  for (double v : series) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+}  // namespace
+}  // namespace fairsched
