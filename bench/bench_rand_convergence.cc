@@ -1,88 +1,24 @@
 // Probes Theorem 5.6 (the FPRAS): on unit-size jobs, RAND's schedule
 // converges to REF's fair utility vector as the number of sampled
-// permutations N grows. Prints the relative Manhattan distance
-// ||psi_RAND - psi_REF|| / ||psi_REF|| per N, plus the Hoeffding sample
-// bound the theorem prescribes for a few (eps, lambda) pairs.
+// permutations N grows. Prints the relative Manhattan distance per N plus
+// the Hoeffding sample bound the theorem prescribes. Thin shell over the
+// src/exp harness — equivalent to `fairsched_exp rand-convergence`.
+//
+// --instances controls the trials per N; --jobs-per-org and --duration
+// shape the unit-job windows.
 
-#include <cstdio>
-#include <vector>
-
-#include "metrics/fairness.h"
-#include "sched/rand_fair.h"
-#include "sched/ref.h"
+#include "exp/scenarios.h"
 #include "util/cli.h"
-#include "util/rng.h"
-#include "util/stats.h"
-#include "util/table.h"
-
-namespace fairsched {
-namespace {
-
-Instance unit_instance(std::uint32_t k, std::uint32_t jobs_per_org,
-                       std::uint64_t seed) {
-  Rng rng(seed);
-  InstanceBuilder b;
-  for (std::uint32_t u = 0; u < k; ++u) {
-    b.add_org("o" + std::to_string(u),
-              1 + static_cast<std::uint32_t>(rng.uniform_u64(2)));
-  }
-  for (std::uint32_t u = 0; u < k; ++u) {
-    for (std::uint32_t i = 0; i < jobs_per_org; ++i) {
-      b.add_job(u, static_cast<Time>(rng.uniform_u64(50)), 1);
-    }
-  }
-  return std::move(b).build();
-}
-
-}  // namespace
-}  // namespace fairsched
 
 int main(int argc, char** argv) {
   using namespace fairsched;
+  using namespace fairsched::exp;
+
   const Flags flags(argc, argv);
-  const std::uint32_t k = static_cast<std::uint32_t>(flags.get_int("orgs", 5));
-  const std::uint32_t jobs =
-      static_cast<std::uint32_t>(flags.get_int("jobs-per-org", 60));
-  const std::size_t trials =
-      static_cast<std::size_t>(flags.get_int("trials", 5));
-  const Time horizon = flags.get_int("duration", 150);
-
-  std::printf(
-      "RAND convergence (Thm 5.6 / FPRAS): unit jobs, %u orgs, %u jobs/org, "
-      "horizon %lld, %zu trials per N\n\n",
-      k, jobs, static_cast<long long>(horizon), trials);
-
-  AsciiTable table({"N (samples)", "rel. distance avg", "rel. distance max"});
-  for (std::size_t n : {1, 2, 5, 15, 75, 200, 600}) {
-    StatsAccumulator acc;
-    for (std::size_t trial = 0; trial < trials; ++trial) {
-      const Instance inst = unit_instance(k, jobs, 100 + trial);
-      RefScheduler ref(inst);
-      ref.run(horizon);
-      RandScheduler rand(inst, RandOptions{n, 5000 + trial});
-      rand.run(horizon);
-      acc.add(relative_distance(rand.utilities2(), ref.utilities2()));
-    }
-    table.add_row({std::to_string(n),
-                   AsciiTable::format_double(acc.mean(), 5),
-                   AsciiTable::format_double(acc.max(), 5)});
+  ScenarioOptions options = scenario_options_from_flags(flags);
+  // Back-compat with the pre-harness bench flag.
+  if (flags.has("trials") && options.instances == 0) {
+    options.instances = static_cast<std::size_t>(flags.get_int("trials", 5));
   }
-  std::fputs(table.to_string().c_str(), stdout);
-
-  std::printf("\nHoeffding sample bounds N = ceil(k^2/eps^2 ln(k/(1-l))):\n");
-  AsciiTable bounds({"k", "eps", "lambda", "N"});
-  for (std::uint32_t kk : {3u, 5u, 10u}) {
-    for (double eps : {0.5, 0.1}) {
-      for (double lambda : {0.9, 0.99}) {
-        bounds.add_row({std::to_string(kk), AsciiTable::format_double(eps, 2),
-                        AsciiTable::format_double(lambda, 2),
-                        std::to_string(rand_theorem_samples(kk, eps, lambda))});
-      }
-    }
-  }
-  std::fputs(bounds.to_string().c_str(), stdout);
-  std::printf(
-      "\nExpected shape: the relative distance decreases monotonically-ish "
-      "with N and is already small at the paper's N = 15.\n");
-  return 0;
+  return run_rand_convergence_scenario(options);
 }

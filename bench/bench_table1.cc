@@ -1,44 +1,21 @@
 // Reproduces Table 1: the average unjustified delay delta_psi / p_tot per
-// algorithm and workload, over `instances` windows of duration 5*10^4,
-// k = 5 organizations, REF as the fairness reference.
+// algorithm and workload, k = 5 organizations, REF as the fairness
+// reference. Thin shell over the src/exp harness — equivalent to
+// `fairsched_exp table1`.
 //
 // Paper defaults: 100 instances, full-size platforms. Bench defaults are
 // sized for a single-core laptop run (10 instances, big archives scaled
 // 1/16); raise with --instances=100 --scale=1 (or the FAIRSCHED_* env
 // vars) to match the paper exactly.
 
-#include <cstdio>
-
-#include "bench/common.h"
+#include "exp/scenarios.h"
+#include "util/cli.h"
 
 int main(int argc, char** argv) {
   using namespace fairsched;
-  using namespace fairsched::bench;
+  using namespace fairsched::exp;
 
   const Flags flags(argc, argv);
-  const CommonFlags common = parse_common_flags(flags, /*duration=*/50000,
-                                                /*instances=*/10);
-
-  const std::vector<SyntheticSpec> specs = default_presets(common.scale);
-  const std::vector<AlgorithmSpec> algorithms = table_algorithms();
-
-  std::printf(
-      "Table 1: avg unjustified delay (delta_psi / p_tot), duration %lld, "
-      "%zu instance(s), %u orgs, scale 1/%.0f\n",
-      static_cast<long long>(common.config.duration),
-      common.config.instances, common.config.orgs, common.scale);
-
-  std::vector<std::vector<StatsAccumulator>> results;
-  for (const SyntheticSpec& spec : specs) {
-    std::printf("  running %-15s ...\n", spec.name.c_str());
-    std::fflush(stdout);
-    results.push_back(
-        run_fairness_experiment(spec, algorithms, common.config));
-  }
-  print_fairness_table("", specs, algorithms, results);
-  std::printf(
-      "\nExpected shape (paper Table 1): RoundRobin worst by far; "
-      "Rand/DirectContr best; FairShare between; PIK near zero; RICC "
-      "largest.\n");
-  return 0;
+  const ScenarioOptions options = scenario_options_from_flags(flags);
+  return run_sweep_scenario(make_table_sweep("table1", options), options);
 }

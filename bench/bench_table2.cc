@@ -1,42 +1,20 @@
 // Reproduces Table 2: same pipeline as Table 1 but with 10x longer windows
 // (duration 5*10^5). The paper's observation: every polynomial algorithm
 // drifts further from the fair reference as the horizon grows, so the gaps
-// between algorithms widen.
+// between algorithms widen. Thin shell over the src/exp harness —
+// equivalent to `fairsched_exp table2`.
 //
 // Defaults are laptop-sized (3 instances, scaled platforms); use
 // --instances=100 --scale=1 for the paper's full setting.
 
-#include <cstdio>
-
-#include "bench/common.h"
+#include "exp/scenarios.h"
+#include "util/cli.h"
 
 int main(int argc, char** argv) {
   using namespace fairsched;
-  using namespace fairsched::bench;
+  using namespace fairsched::exp;
 
   const Flags flags(argc, argv);
-  const CommonFlags common = parse_common_flags(flags, /*duration=*/500000,
-                                                /*instances=*/3);
-
-  const std::vector<SyntheticSpec> specs = default_presets(common.scale);
-  const std::vector<AlgorithmSpec> algorithms = table_algorithms();
-
-  std::printf(
-      "Table 2: avg unjustified delay (delta_psi / p_tot), duration %lld, "
-      "%zu instance(s), %u orgs, scale 1/%.0f\n",
-      static_cast<long long>(common.config.duration),
-      common.config.instances, common.config.orgs, common.scale);
-
-  std::vector<std::vector<StatsAccumulator>> results;
-  for (const SyntheticSpec& spec : specs) {
-    std::printf("  running %-15s ...\n", spec.name.c_str());
-    std::fflush(stdout);
-    results.push_back(
-        run_fairness_experiment(spec, algorithms, common.config));
-  }
-  print_fairness_table("", specs, algorithms, results);
-  std::printf(
-      "\nExpected shape (paper Table 2): same ordering as Table 1 with "
-      "larger absolute values — unfairness grows with the horizon.\n");
-  return 0;
+  const ScenarioOptions options = scenario_options_from_flags(flags);
+  return run_sweep_scenario(make_table_sweep("table2", options), options);
 }

@@ -1,140 +1,26 @@
 // Reproduces Figure 7 and probes Theorem 6.2: every greedy algorithm is
-// 3/4-competitive for resource utilization, and the bound is tight.
+// 3/4-competitive for resource utilization, and the bound is tight. Thin
+// shell over the src/exp harness — equivalent to `fairsched_exp
+// utilization`.
 //
-// Part 1 prints the Figure 7 example (exactly 100% vs 75%).
-// Part 2 sweeps the adversarial family that generalizes Figure 7 (m
-// machines; m short jobs of size p for O1; m/2 long jobs of size 2p for
-// O2): the short-jobs-first greedy converges to exactly 3/4 of optimum.
-// Part 3 samples random instances and reports the worst pairwise
-// utilization ratio over a set of greedy policies — it must stay >= 0.75.
+// Part 1 prints the Figure 7 example (exactly 100% vs 75%); Part 2 sweeps
+// the adversarial family that generalizes it; Part 3 samples random
+// consortia through the sweep driver and checks the worst pairwise greedy
+// utilization ratio stays >= 0.75 (--instances controls the sample count).
 
-#include <algorithm>
-#include <cstdio>
-#include <stdexcept>
-#include <vector>
-
-#include "metrics/utility.h"
-#include "sched/runner.h"
-#include "sim/engine.h"
+#include "exp/scenarios.h"
 #include "util/cli.h"
-#include "util/rng.h"
-#include "util/table.h"
-
-namespace fairsched {
-namespace {
-
-class PriorityPolicy final : public Policy {
- public:
-  explicit PriorityPolicy(OrgId preferred) : preferred_(preferred) {}
-  OrgId select(const PolicyView& view) override {
-    if (view.waiting(preferred_) > 0) return preferred_;
-    for (OrgId u = 0; u < view.num_orgs(); ++u) {
-      if (view.waiting(u) > 0) return u;
-    }
-    throw std::logic_error("no waiting job");
-  }
-
- private:
-  OrgId preferred_;
-};
-
-// m short jobs (size p) for O1, m/2 long jobs (size 2p) for O2, m machines,
-// all released at 0; horizon 2p. Short-first wastes m/2 machines over the
-// second half: utilization (m*p + (m/2)*p) / (m*2p) = 3/4.
-Instance adversarial(std::uint32_t m, Time p) {
-  InstanceBuilder b;
-  const OrgId o1 = b.add_org("short", m / 2);
-  const OrgId o2 = b.add_org("long", m - m / 2);
-  for (std::uint32_t i = 0; i < m; ++i) b.add_job(o1, 0, p);
-  for (std::uint32_t i = 0; i < m / 2; ++i) b.add_job(o2, 0, 2 * p);
-  return std::move(b).build();
-}
-
-double run_priority(const Instance& inst, OrgId pref, Time horizon) {
-  Engine e(inst);
-  PriorityPolicy policy(pref);
-  e.run(policy, horizon);
-  return resource_utilization(inst, e.schedule(), horizon);
-}
-
-}  // namespace
-}  // namespace fairsched
 
 int main(int argc, char** argv) {
   using namespace fairsched;
+  using namespace fairsched::exp;
+
   const Flags flags(argc, argv);
-  const std::size_t samples =
-      static_cast<std::size_t>(flags.get_int("samples", 200));
-
-  // --- Part 1: Figure 7 ----------------------------------------------------
-  std::printf("Figure 7: greedy resource utilization example (T = 6)\n");
-  {
-    const Instance inst = adversarial(4, 3);
-    const double good = run_priority(inst, 1, 6);
-    const double bad = run_priority(inst, 0, 6);
-    std::printf("  long-jobs-first greedy : %.0f%% utilization\n",
-                good * 100.0);
-    std::printf("  short-jobs-first greedy: %.0f%% utilization\n",
-                bad * 100.0);
-    std::printf("  ratio: %.4f (paper: 0.75 exactly)\n\n", bad / good);
+  ScenarioOptions options = scenario_options_from_flags(flags);
+  // Back-compat with the pre-harness bench flag.
+  if (flags.has("samples") && options.instances == 0) {
+    options.instances =
+        static_cast<std::size_t>(flags.get_int("samples", 200));
   }
-
-  // --- Part 2: adversarial sweep -------------------------------------------
-  std::printf("Adversarial family (Thm 6.2 tightness): ratio vs m\n");
-  AsciiTable table({"machines", "p", "short-first", "long-first", "ratio"});
-  for (std::uint32_t m : {4u, 8u, 16u, 64u, 256u}) {
-    for (Time p : {3, 10, 100}) {
-      const Instance inst = adversarial(m, p);
-      const double good = run_priority(inst, 1, 2 * p);
-      const double bad = run_priority(inst, 0, 2 * p);
-      table.add_row({std::to_string(m), std::to_string(p),
-                     AsciiTable::format_double(bad, 4),
-                     AsciiTable::format_double(good, 4),
-                     AsciiTable::format_double(bad / good, 4)});
-    }
-  }
-  std::fputs(table.to_string().c_str(), stdout);
-
-  // --- Part 3: random instances ---------------------------------------------
-  std::printf(
-      "\nRandom instances: worst pairwise greedy utilization ratio "
-      "(%zu samples; Thm 6.2 guarantees >= 0.75)\n",
-      samples);
-  double worst = 1.0;
-  std::size_t below = 0;
-  Rng rng(flags.get_int("seed", 7));
-  for (std::size_t s = 0; s < samples; ++s) {
-    InstanceBuilder b;
-    const std::uint32_t k = 2 + static_cast<std::uint32_t>(rng.uniform_u64(3));
-    for (std::uint32_t u = 0; u < k; ++u) {
-      b.add_org("o", 1 + static_cast<std::uint32_t>(rng.uniform_u64(3)));
-    }
-    const std::size_t jobs = 10 + rng.uniform_u64(40);
-    for (std::size_t j = 0; j < jobs; ++j) {
-      b.add_job(static_cast<OrgId>(rng.uniform_u64(k)),
-                static_cast<Time>(rng.uniform_u64(40)),
-                1 + static_cast<Time>(rng.uniform_u64(20)));
-    }
-    const Instance inst = std::move(b).build();
-    const Time horizon = 20 + static_cast<Time>(rng.uniform_u64(60));
-    std::vector<double> utils;
-    for (OrgId pref = 0; pref < inst.num_orgs(); ++pref) {
-      utils.push_back(run_priority(inst, pref, horizon));
-    }
-    for (const char* alg : {"fcfs", "roundrobin", "fairshare"}) {
-      const RunResult r = run_algorithm(inst, parse_algorithm(alg), horizon,
-                                        s);
-      utils.push_back(resource_utilization(inst, r.schedule, horizon));
-    }
-    const double lo = *std::min_element(utils.begin(), utils.end());
-    const double hi = *std::max_element(utils.begin(), utils.end());
-    if (hi > 0.0) {
-      const double ratio = lo / hi;
-      worst = std::min(worst, ratio);
-      if (ratio < 0.75) ++below;
-    }
-  }
-  std::printf("  worst observed ratio: %.4f  (violations of 0.75: %zu)\n",
-              worst, below);
-  return below == 0 ? 0 : 1;
+  return run_utilization_scenario(options);
 }

@@ -1,13 +1,11 @@
 #include "bench/common.h"
 
 #include <cstdio>
-#include <mutex>
 #include <stdexcept>
 
-#include "metrics/fairness.h"
-#include "util/rng.h"
+#include "exp/policy_registry.h"
+#include "exp/sweep.h"
 #include "util/table.h"
-#include "util/thread_pool.h"
 
 namespace fairsched::bench {
 
@@ -22,28 +20,33 @@ std::vector<AlgorithmSpec> table_algorithms() {
 std::vector<StatsAccumulator> run_fairness_experiment(
     const SyntheticSpec& spec, const std::vector<AlgorithmSpec>& algorithms,
     const ExperimentConfig& config) {
-  std::vector<StatsAccumulator> stats(algorithms.size());
-  std::mutex mu;
-  ThreadPool pool(config.threads);
-  pool.parallel_for(config.instances, [&](std::size_t i) {
-    const std::uint64_t seed = mix_seed(config.seed, i);
-    const Instance inst = make_synthetic_instance(
-        spec, config.orgs, config.duration, config.split, config.zipf_s,
-        seed);
-    const RunResult ref = run_algorithm(inst, parse_algorithm("ref"),
-                                        config.duration, seed);
-    std::vector<double> ratios(algorithms.size());
-    for (std::size_t a = 0; a < algorithms.size(); ++a) {
-      const RunResult r =
-          run_algorithm(inst, algorithms[a], config.duration, seed);
-      ratios[a] =
-          unfairness_ratio(r.utilities2, ref.utilities2, ref.work_done);
-    }
-    std::lock_guard<std::mutex> lock(mu);
-    for (std::size_t a = 0; a < algorithms.size(); ++a) {
-      stats[a].add(ratios[a]);
-    }
-  });
+  // One-workload sweep through the shared driver: sharding, seeding and
+  // deterministic aggregation all live in src/exp now.
+  exp::SweepSpec sweep;
+  sweep.name = spec.name;
+  for (const AlgorithmSpec& algorithm : algorithms) {
+    sweep.policies.push_back(exp::canonical_policy_name(algorithm));
+  }
+  exp::SweepWorkload workload;
+  workload.name = spec.name;
+  workload.kind = exp::SweepWorkload::Kind::kSynthetic;
+  workload.spec = spec;
+  workload.orgs = config.orgs;
+  workload.split = config.split;
+  workload.zipf_s = config.zipf_s;
+  sweep.workloads.push_back(std::move(workload));
+  sweep.instances = config.instances;
+  sweep.seed = config.seed;
+  sweep.horizon = config.duration;
+  sweep.baseline = "ref";
+  sweep.threads = config.threads;
+
+  const exp::SweepResult result = exp::SweepDriver().run(sweep);
+  std::vector<StatsAccumulator> stats;
+  stats.reserve(algorithms.size());
+  for (const exp::SweepCell& cell : result.cells[0]) {
+    stats.push_back(cell.unfairness);
+  }
   return stats;
 }
 

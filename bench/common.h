@@ -1,9 +1,10 @@
 #pragma once
 
-// Shared experiment harness for the paper-reproduction benchmarks
-// (Section 7 pipeline): generate workload windows, run REF as the fairness
-// reference, run each evaluated algorithm, and aggregate delta_psi / p_tot
-// over the instances.
+// Shared helpers for the paper-reproduction benchmarks (Section 7
+// pipeline). The actual driver loop lives in src/exp (SweepDriver):
+// run_fairness_experiment is a thin one-workload wrapper kept for the
+// benches that sweep an extra dimension themselves (fig10, horizon growth,
+// decay half-life).
 
 #include <cstdint>
 #include <string>

@@ -1,0 +1,86 @@
+// fairsched_exp — unified experiment harness CLI.
+//
+// One binary drives every sweep of the paper's evaluation:
+//
+//   fairsched_exp table1            Table 1 (duration 5*10^4)
+//   fairsched_exp table2            Table 2 (duration 5*10^5)
+//   fairsched_exp utilization       Figure 7 + Thm 6.2 utilization probe
+//   fairsched_exp rand-convergence  Thm 5.6 FPRAS convergence
+//   fairsched_exp custom            free-form --policies x --workload sweep
+//   fairsched_exp list-policies     registered PolicyRegistry names
+//
+// Common flags (also settable as FAIRSCHED_* env vars, see util/cli.h):
+//   --instances=N --duration=T --orgs=K --seed=S --scale=X --threads=N
+//   --split=zipf|uniform --zipf-s=S --csv=FILE|- --json=FILE|- --per-run
+//   --smoke   tiny instance counts for CI; emits BENCH_<sweep>.json
+//
+// `custom` extras: --policies=a,b,c (registry names, e.g.
+// "fcfs,rand75,decayfairshare2000") and
+// --workload=all|lpc|pik|ricc|whale|unit|smallrandom.
+
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "exp/policy_registry.h"
+#include "exp/scenarios.h"
+#include "util/cli.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s <table1|table2|utilization|rand-convergence|custom|"
+      "list-policies> [flags]\n"
+      "common flags: --instances=N --duration=T --orgs=K --seed=S "
+      "--scale=X --threads=N --split=zipf|uniform --csv=FILE|- "
+      "--json=FILE|- --per-run --smoke\n"
+      "custom flags: --policies=a,b,c --workload="
+      "all|lpc|pik|ricc|whale|unit|smallrandom\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fairsched;
+  using namespace fairsched::exp;
+
+  if (argc < 2) return usage(argv[0]);
+  const std::string command = argv[1];
+  if (command == "--help" || command == "-h" || command == "help") {
+    usage(argv[0]);
+    return 0;
+  }
+
+  try {
+    const Flags flags(argc - 1, argv + 1);
+    const ScenarioOptions options = scenario_options_from_flags(flags);
+
+    if (command == "table1" || command == "table2") {
+      return run_sweep_scenario(make_table_sweep(command, options), options);
+    }
+    if (command == "utilization") {
+      return run_utilization_scenario(options);
+    }
+    if (command == "rand-convergence") {
+      return run_rand_convergence_scenario(options);
+    }
+    if (command == "custom") {
+      return run_sweep_scenario(make_custom_sweep(options), options);
+    }
+    if (command == "list-policies") {
+      for (const std::string& name : PolicyRegistry::global().names()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    }
+    std::fprintf(stderr, "unknown subcommand: %s\n", command.c_str());
+    return usage(argv[0]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,181 @@
+#include "exp/policy_registry.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace fairsched::exp {
+
+namespace {
+
+std::string to_lower(const std::string& s) {
+  std::string lower;
+  lower.reserve(s.size());
+  for (char c : s) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return lower;
+}
+
+// A parameter suffix must look like a plain non-negative number: at least
+// one digit, and (only for fractional parameters) at most one dot. Anything
+// else ("rand.", "rand1.5", "decayfairshare1.2.3") is treated as an unknown
+// policy name, keeping contains() and make() in agreement.
+bool numeric_suffix(const std::string& s, bool fractional) {
+  if (s.empty()) return false;
+  bool has_digit = false;
+  int dots = 0;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      has_digit = true;
+    } else if (c == '.') {
+      if (!fractional || ++dots > 1) return false;
+    } else {
+      return false;
+    }
+  }
+  return has_digit;
+}
+
+}  // namespace
+
+PolicyRegistry& PolicyRegistry::global() {
+  static PolicyRegistry* registry = [] {
+    auto* r = new PolicyRegistry();
+    // Every fixed-form algorithm delegates to the runner's parser so the
+    // registry and parse_algorithm can never drift apart.
+    for (const char* name :
+         {"fcfs", "roundrobin", "random", "directcontr", "fairshare",
+          "utfairshare", "currfairshare", "ref"}) {
+      r->register_policy(name, [](const std::string& n) {
+        return parse_algorithm(n);
+      });
+    }
+    r->register_policy(
+        "rand", [](const std::string& n) { return parse_algorithm(n); },
+        /*parameterized=*/true);
+    r->register_policy(
+        "decayfairshare",
+        [](const std::string& n) { return parse_algorithm(n); },
+        /*parameterized=*/true, /*fractional=*/true);
+    return r;
+  }();
+  return *registry;
+}
+
+void PolicyRegistry::register_policy(const std::string& key,
+                                     PolicyFactory factory,
+                                     bool parameterized, bool fractional) {
+  entries_[to_lower(key)] = Entry{std::move(factory), parameterized,
+                                  fractional};
+}
+
+const PolicyRegistry::Entry* PolicyRegistry::find_entry(
+    const std::string& lower) const {
+  auto it = entries_.find(lower);
+  if (it != entries_.end()) return &it->second;
+  // Longest parameterized prefix whose remainder is a number:
+  // "decayfairshare2000" must match "decayfairshare", not "decay".
+  const Entry* best = nullptr;
+  std::size_t best_len = 0;
+  for (const auto& [key, entry] : entries_) {
+    if (!entry.parameterized || key.size() <= best_len) continue;
+    if (lower.rfind(key, 0) == 0 &&
+        numeric_suffix(lower.substr(key.size()), entry.fractional)) {
+      best = &entry;
+      best_len = key.size();
+    }
+  }
+  return best;
+}
+
+AlgorithmSpec PolicyRegistry::make(const std::string& name) const {
+  const std::string lower = to_lower(name);
+  if (const Entry* entry = find_entry(lower)) {
+    try {
+      return entry->factory(lower);
+    } catch (const std::out_of_range&) {
+      throw std::invalid_argument("policy parameter out of range in '" +
+                                  name + "'");
+    }
+  }
+  std::ostringstream msg;
+  msg << "unknown policy '" << name << "'; known policies:";
+  for (const std::string& key : names()) msg << ' ' << key;
+  throw std::invalid_argument(msg.str());
+}
+
+bool PolicyRegistry::contains(const std::string& name) const {
+  return find_entry(to_lower(name)) != nullptr;
+}
+
+std::vector<std::string> PolicyRegistry::names() const {
+  std::vector<std::string> keys;
+  keys.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) keys.push_back(key);
+  return keys;  // std::map keeps them sorted
+}
+
+std::string canonical_policy_name(const AlgorithmSpec& spec) {
+  switch (spec.id) {
+    case AlgorithmId::kRef:
+      return "ref";
+    case AlgorithmId::kRand:
+      return "rand" + std::to_string(spec.rand_samples);
+    case AlgorithmId::kDirectContr:
+      return "directcontr";
+    case AlgorithmId::kRoundRobin:
+      return "roundrobin";
+    case AlgorithmId::kFairShare:
+      return "fairshare";
+    case AlgorithmId::kUtFairShare:
+      return "utfairshare";
+    case AlgorithmId::kCurrFairShare:
+      return "currfairshare";
+    case AlgorithmId::kDecayFairShare: {
+      // Plain decimal, trailing zeros trimmed: scientific notation
+      // ("1e+06") would not survive the registry's numeric-suffix check.
+      // The buffer fits any finite double in %f form (<= ~316 chars); a
+      // half-life below the 6-fractional-digit resolution would print as
+      // "0" and silently round-trip to an invalid policy, so reject it
+      // loudly instead.
+      char buf[352];
+      std::snprintf(buf, sizeof(buf), "%.6f", spec.decay_half_life);
+      std::string digits = buf;
+      digits.erase(digits.find_last_not_of('0') + 1);
+      if (!digits.empty() && digits.back() == '.') digits.pop_back();
+      if (digits == "0") {
+        throw std::invalid_argument(
+            "canonical_policy_name: decay half-life too small to represent "
+            "in a policy name");
+      }
+      return "decayfairshare" + digits;
+    }
+    case AlgorithmId::kRandom:
+      return "random";
+    case AlgorithmId::kFcfs:
+      return "fcfs";
+  }
+  throw std::logic_error("canonical_policy_name: unknown algorithm id");
+}
+
+std::vector<AlgorithmSpec> parse_policy_list(const std::string& csv,
+                                             const PolicyRegistry& registry) {
+  std::vector<AlgorithmSpec> specs;
+  std::string token;
+  std::istringstream in(csv);
+  while (std::getline(in, token, ',')) {
+    // Trim surrounding whitespace.
+    const auto begin = token.find_first_not_of(" \t");
+    if (begin == std::string::npos) continue;
+    const auto end = token.find_last_not_of(" \t");
+    specs.push_back(registry.make(token.substr(begin, end - begin + 1)));
+  }
+  if (specs.empty()) {
+    throw std::invalid_argument("empty policy list: '" + csv + "'");
+  }
+  return specs;
+}
+
+}  // namespace fairsched::exp

@@ -1,0 +1,76 @@
+#pragma once
+
+// String-keyed registry of the scheduling algorithms the experiment harness
+// can run. Scenarios name policies as data ("roundrobin", "rand75",
+// "decayfairshare2000"); the registry resolves a name to the AlgorithmSpec
+// that sched/runner.* executes. Registering here is what makes a policy
+// reachable from fairsched_exp, the bench configs, and CSV/JSON scenario
+// files without touching driver code.
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sched/runner.h"
+
+namespace fairsched::exp {
+
+// Builds the spec for a policy name. For parameterized entries the full
+// (lower-cased) name is passed so the factory can parse its suffix, e.g.
+// "rand75" -> 75 samples.
+using PolicyFactory = std::function<AlgorithmSpec(const std::string& name)>;
+
+class PolicyRegistry {
+ public:
+  // The process-wide registry, pre-seeded with every algorithm of the paper
+  // plus the repo's extensions: fcfs, roundrobin, random, directcontr,
+  // fairshare, utfairshare, currfairshare, ref, rand[N],
+  // decayfairshare[HALF_LIFE].
+  static PolicyRegistry& global();
+
+  // Registers `key` (lower-case). A parameterized entry also matches
+  // key+<number> names ("rand" matches "rand75"); `fractional` additionally
+  // allows one decimal point in the number ("decayfairshare2500.5").
+  // Re-registering a key replaces the previous entry.
+  void register_policy(const std::string& key, PolicyFactory factory,
+                       bool parameterized = false, bool fractional = false);
+
+  // Resolves a name (case-insensitive) to a spec. Throws
+  // std::invalid_argument naming the known policies when nothing matches,
+  // or describing the parameter when its value is out of range.
+  AlgorithmSpec make(const std::string& name) const;
+
+  // True when `name` resolves to a registered entry with a well-formed
+  // parameter suffix. make(name) can still reject the parameter's *value*
+  // (e.g. an absurdly large sample count overflowing its integer type).
+  bool contains(const std::string& name) const;
+
+  // Sorted registered keys (base names, without parameter suffixes).
+  std::vector<std::string> names() const;
+
+ private:
+  struct Entry {
+    PolicyFactory factory;
+    bool parameterized = false;
+    bool fractional = false;  // parameter may contain one decimal point
+  };
+  const Entry* find_entry(const std::string& lower) const;
+
+  std::map<std::string, Entry> entries_;
+};
+
+// Canonical registry name of a spec, such that
+// PolicyRegistry::global().make(canonical_policy_name(s)) round-trips:
+// "rand15", "decayfairshare5000", "fairshare", ... Note: decay half-lives
+// are printed with 6 fractional digits, so a half-life that is not exactly
+// representable that way is quantized by the spec -> name -> spec trip.
+std::string canonical_policy_name(const AlgorithmSpec& spec);
+
+// Splits a comma-separated policy list and resolves each name through the
+// registry. Throws on the first unknown name.
+std::vector<AlgorithmSpec> parse_policy_list(const std::string& csv,
+                                             const PolicyRegistry& registry =
+                                                 PolicyRegistry::global());
+
+}  // namespace fairsched::exp

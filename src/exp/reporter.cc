@@ -1,0 +1,141 @@
+#include "exp/reporter.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace fairsched::exp {
+
+namespace {
+
+// Escapes a string for use inside a JSON string literal.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string CsvReporter::format(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+void CsvReporter::report(const SweepSpec& spec, const SweepResult& result) {
+  CsvWriter csv(out_);
+  csv.write_row({"sweep", "workload", "policy", "instances",
+                 "unfairness_mean", "unfairness_stdev", "unfairness_min",
+                 "unfairness_max", "rel_distance_mean", "utilization_mean",
+                 "work_done_total"});
+  for (std::size_t w = 0; w < spec.workloads.size(); ++w) {
+    for (std::size_t p = 0; p < spec.policies.size(); ++p) {
+      const SweepCell& cell = result.cells[w][p];
+      std::int64_t work = 0;
+      for (std::size_t i = 0; i < spec.instances; ++i) {
+        work += result.record(spec, w, i, p).work_done;
+      }
+      csv.write_row({spec.name, spec.workloads[w].name, spec.policies[p],
+                     std::to_string(cell.unfairness.count()),
+                     format(cell.unfairness.mean()),
+                     format(cell.unfairness.stdev()),
+                     format(cell.unfairness.min()),
+                     format(cell.unfairness.max()),
+                     format(cell.rel_distance.mean()),
+                     format(cell.utilization.mean()), std::to_string(work)});
+    }
+  }
+  if (per_run_) {
+    csv.write_row({"run", "workload", "policy", "instance", "seed",
+                   "unfairness", "rel_distance", "utilization", "work_done"});
+    for (const RunRecord& r : result.records) {
+      csv.write_row({"run", spec.workloads[r.workload].name,
+                     spec.policies[r.policy], std::to_string(r.instance),
+                     std::to_string(r.seed), format(r.unfairness),
+                     format(r.rel_distance), format(r.utilization),
+                     std::to_string(r.work_done)});
+    }
+  }
+}
+
+void JsonReporter::report(const SweepSpec& spec, const SweepResult& result) {
+  auto num = [](double v) { return CsvReporter::format(v); };
+  out_ << "{\n";
+  out_ << "  \"sweep\": \"" << json_escape(spec.name) << "\",\n";
+  out_ << "  \"horizon\": " << spec.horizon << ",\n";
+  out_ << "  \"instances\": " << spec.instances << ",\n";
+  out_ << "  \"seed\": " << spec.seed << ",\n";
+  out_ << "  \"baseline\": \"" << json_escape(spec.baseline) << "\",\n";
+  out_ << "  \"baseline_wall_ms\": " << num(result.baseline_wall_ms) << ",\n";
+  out_ << "  \"total_wall_ms\": " << num(result.total_wall_ms) << ",\n";
+  out_ << "  \"cells\": [\n";
+  bool first = true;
+  for (std::size_t w = 0; w < spec.workloads.size(); ++w) {
+    for (std::size_t p = 0; p < spec.policies.size(); ++p) {
+      const SweepCell& cell = result.cells[w][p];
+      if (!first) out_ << ",\n";
+      first = false;
+      out_ << "    {\"workload\": \"" << json_escape(spec.workloads[w].name)
+           << "\", \"policy\": \"" << json_escape(spec.policies[p]) << "\""
+           << ", \"count\": " << cell.unfairness.count()
+           << ", \"unfairness_mean\": " << num(cell.unfairness.mean())
+           << ", \"unfairness_stdev\": " << num(cell.unfairness.stdev())
+           << ", \"rel_distance_mean\": " << num(cell.rel_distance.mean())
+           << ", \"utilization_mean\": " << num(cell.utilization.mean())
+           << ", \"wall_ms\": " << num(cell.wall_ms) << "}";
+    }
+  }
+  out_ << "\n  ]\n}\n";
+}
+
+void TableReporter::report(const SweepSpec& spec, const SweepResult& result) {
+  std::vector<std::string> header{"Policy"};
+  for (const SweepWorkload& workload : spec.workloads) {
+    header.push_back(workload.name + " Avg");
+    header.push_back(workload.name + " St.dev");
+  }
+  AsciiTable table(header);
+  for (std::size_t p = 0; p < spec.policies.size(); ++p) {
+    std::vector<std::string> row{spec.policies[p]};
+    for (std::size_t w = 0; w < spec.workloads.size(); ++w) {
+      const StatsAccumulator& acc = result.cells[w][p].unfairness;
+      row.push_back(AsciiTable::format_double(acc.mean(), 2));
+      row.push_back(AsciiTable::format_double(acc.stdev(), 2));
+    }
+    table.add_row(std::move(row));
+  }
+  out_ << table.to_string();
+}
+
+}  // namespace fairsched::exp

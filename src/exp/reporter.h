@@ -1,0 +1,64 @@
+#pragma once
+
+// Pluggable sweep output. A Reporter consumes a finished SweepResult; the
+// harness stacks several per run (human table on stdout, machine CSV, JSON
+// perf baseline for CI).
+
+#include <ostream>
+#include <string>
+
+#include "exp/sweep.h"
+
+namespace fairsched::exp {
+
+class Reporter {
+ public:
+  virtual ~Reporter() = default;
+  virtual void report(const SweepSpec& spec, const SweepResult& result) = 0;
+};
+
+// Machine-readable aggregates through util/csv, one row per
+// (workload, policy) cell. Wall-clock columns are intentionally absent: this
+// output is asserted bit-identical across thread counts.
+// Columns: sweep, workload, policy, instances, unfairness_mean,
+// unfairness_stdev, unfairness_min, unfairness_max, rel_distance_mean,
+// utilization_mean, work_done_total.
+class CsvReporter final : public Reporter {
+ public:
+  // per_run additionally emits one row per RunRecord (prefixed "run") for
+  // downstream plotting.
+  explicit CsvReporter(std::ostream& out, bool per_run = false)
+      : out_(out), per_run_(per_run) {}
+  void report(const SweepSpec& spec, const SweepResult& result) override;
+
+  // Shared numeric formatting (shortest round-trip-stable form).
+  static std::string format(double v);
+
+ private:
+  std::ostream& out_;
+  bool per_run_;
+};
+
+// JSON perf baseline (the BENCH_*.json artifacts CI archives): sweep
+// configuration, per-cell statistics, and wall-time accounting.
+class JsonReporter final : public Reporter {
+ public:
+  explicit JsonReporter(std::ostream& out) : out_(out) {}
+  void report(const SweepSpec& spec, const SweepResult& result) override;
+
+ private:
+  std::ostream& out_;
+};
+
+// Human-readable Tables 1-2 layout: one row per policy, one (Avg, St.dev)
+// column pair per workload, via util/table.
+class TableReporter final : public Reporter {
+ public:
+  explicit TableReporter(std::ostream& out) : out_(out) {}
+  void report(const SweepSpec& spec, const SweepResult& result) override;
+
+ private:
+  std::ostream& out_;
+};
+
+}  // namespace fairsched::exp

@@ -1,0 +1,77 @@
+#pragma once
+
+// The paper's experiments as data over the sweep driver. Each scenario
+// builds a SweepSpec (policies x workloads x seeds x horizon), runs it, and
+// reports through the pluggable reporters. The bench/ binaries and the
+// fairsched_exp subcommands are both thin shells over these entry points.
+
+#include <cstdint>
+#include <string>
+
+#include "core/types.h"
+#include "exp/sweep.h"
+#include "util/cli.h"
+#include "workload/assignment.h"
+
+namespace fairsched::exp {
+
+struct ScenarioOptions {
+  std::size_t instances = 0;  // 0 = scenario default
+  Time duration = 0;          // 0 = scenario default
+  std::uint32_t orgs = 5;
+  std::uint64_t seed = 2013;
+  // Machine down-scaling of the big archives. 0 = scenario default (16,
+  // or 64 under --smoke); an explicit value always wins, smoke or not.
+  double scale = 0.0;
+  std::size_t threads = 0;
+  bool smoke = false;  // tiny instance counts + BENCH_<name>.json baseline
+  MachineSplit split = MachineSplit::kZipf;
+  double zipf_s = 1.0;
+  std::string csv_path;   // "" = none, "-" = stdout
+  std::string json_path;  // "" = none (smoke emits BENCH_<name>.json)
+  bool per_run_csv = false;
+  std::uint32_t jobs_per_org = 0;  // rand-convergence; 0 = scenario default
+
+  // `custom` subcommand.
+  std::string policies;  // comma-separated registry names
+  std::string workload;  // lpc | pik | ricc | whale | all | unit | smallrandom
+};
+
+// Parses the harness-wide flags (--instances, --duration, --orgs, --seed,
+// --scale, --threads, --split, --zipf-s, --smoke, --csv, --json, --per-run,
+// --policies, --workload).
+ScenarioOptions scenario_options_from_flags(const Flags& flags);
+
+// Tables 1-2: unfairness delta_psi / p_tot of the polynomial algorithms
+// against REF over the four archive-shaped workloads. `which` is "table1"
+// (duration 5*10^4) or "table2" (duration 5*10^5).
+SweepSpec make_table_sweep(const std::string& which,
+                           const ScenarioOptions& options);
+
+// Thm 5.6 / FPRAS: RAND's distance to REF as the sample count N grows, on
+// unit jobs.
+SweepSpec make_rand_convergence_sweep(const ScenarioOptions& options);
+
+// Thm 6.2 random probe: utilization of greedy policies on small random
+// consortia (the adversarial 3/4-tightness family is checked separately by
+// run_utilization_scenario).
+SweepSpec make_utilization_sweep(const ScenarioOptions& options);
+
+// Free-form sweep from --policies / --workload.
+SweepSpec make_custom_sweep(const ScenarioOptions& options);
+
+// Runs a sweep and reports: ASCII table on stdout, optional CSV
+// (options.csv_path), JSON perf baseline (options.json_path, defaulted to
+// BENCH_<sweep>.json under --smoke). Returns a process exit code.
+int run_sweep_scenario(const SweepSpec& spec, const ScenarioOptions& options);
+
+// Figure 7 + Thm 6.2: prints the adversarial 3/4-utilization family, then
+// runs the random-instance sweep and checks the worst pairwise greedy
+// utilization ratio stays >= 0.75. Nonzero exit on violation.
+int run_utilization_scenario(const ScenarioOptions& options);
+
+// Runs make_rand_convergence_sweep and prints the per-N distance table plus
+// the Hoeffding sample bounds of Thm 5.6.
+int run_rand_convergence_scenario(const ScenarioOptions& options);
+
+}  // namespace fairsched::exp

@@ -1,0 +1,173 @@
+#include "exp/sweep.h"
+
+#include <chrono>
+#include <mutex>
+#include <stdexcept>
+
+#include "metrics/fairness.h"
+#include "metrics/utility.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace fairsched::exp {
+
+namespace {
+
+Instance make_unit_instance(std::uint32_t orgs, std::uint32_t jobs_per_org,
+                            std::uint64_t seed) {
+  Rng rng(seed);
+  InstanceBuilder b;
+  for (std::uint32_t u = 0; u < orgs; ++u) {
+    b.add_org("o" + std::to_string(u),
+              1 + static_cast<std::uint32_t>(rng.uniform_u64(2)));
+  }
+  for (std::uint32_t u = 0; u < orgs; ++u) {
+    for (std::uint32_t i = 0; i < jobs_per_org; ++i) {
+      b.add_job(u, static_cast<Time>(rng.uniform_u64(50)), 1);
+    }
+  }
+  return std::move(b).build();
+}
+
+Instance make_small_random_instance(std::size_t base_jobs,
+                                    std::uint64_t seed) {
+  Rng rng(seed);
+  InstanceBuilder b;
+  const std::uint32_t k = 2 + static_cast<std::uint32_t>(rng.uniform_u64(3));
+  for (std::uint32_t u = 0; u < k; ++u) {
+    b.add_org("o", 1 + static_cast<std::uint32_t>(rng.uniform_u64(3)));
+  }
+  const std::size_t jobs = base_jobs + rng.uniform_u64(40);
+  for (std::size_t j = 0; j < jobs; ++j) {
+    b.add_job(static_cast<OrgId>(rng.uniform_u64(k)),
+              static_cast<Time>(rng.uniform_u64(40)),
+              1 + static_cast<Time>(rng.uniform_u64(20)));
+  }
+  return std::move(b).build();
+}
+
+double elapsed_ms(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+Instance make_workload_instance(const SweepWorkload& workload, Time horizon,
+                                std::uint64_t seed) {
+  switch (workload.kind) {
+    case SweepWorkload::Kind::kSynthetic:
+      return make_synthetic_instance(workload.spec, workload.orgs, horizon,
+                                     workload.split, workload.zipf_s, seed);
+    case SweepWorkload::Kind::kUnitJobs:
+      return make_unit_instance(workload.orgs, workload.unit_jobs_per_org,
+                                seed);
+    case SweepWorkload::Kind::kSmallRandom:
+      return make_small_random_instance(workload.random_jobs, seed);
+  }
+  throw std::logic_error("make_workload_instance: unknown workload kind");
+}
+
+const RunRecord& SweepResult::record(const SweepSpec& spec,
+                                     std::size_t workload,
+                                     std::size_t instance,
+                                     std::size_t policy) const {
+  return records[(workload * spec.instances + instance) *
+                     spec.policies.size() +
+                 policy];
+}
+
+SweepResult SweepDriver::run(const SweepSpec& spec, Progress progress) const {
+  if (spec.policies.empty()) {
+    throw std::invalid_argument("sweep '" + spec.name + "': no policies");
+  }
+  if (spec.workloads.empty()) {
+    throw std::invalid_argument("sweep '" + spec.name + "': no workloads");
+  }
+  if (spec.instances == 0) {
+    throw std::invalid_argument("sweep '" + spec.name + "': no instances");
+  }
+  // Resolve every name up front so a typo fails before hours of compute.
+  std::vector<AlgorithmSpec> algorithms;
+  algorithms.reserve(spec.policies.size());
+  for (const std::string& name : spec.policies) {
+    algorithms.push_back(registry_.make(name));
+  }
+  const bool has_baseline = !spec.baseline.empty();
+  const AlgorithmSpec baseline =
+      has_baseline ? registry_.make(spec.baseline) : AlgorithmSpec{};
+
+  const std::size_t num_policies = spec.policies.size();
+  const std::size_t num_tasks = spec.workloads.size() * spec.instances;
+
+  SweepResult result;
+  result.records.resize(num_tasks * num_policies);
+  std::vector<double> baseline_walls(num_tasks, 0.0);
+
+  std::mutex progress_mu;
+  ThreadPool pool(spec.threads);
+  // One task per (workload, instance): the window and its baseline are
+  // computed once and shared by every policy. Records land at fixed indices,
+  // so no lock is needed on the result and aggregation order is independent
+  // of scheduling order.
+  pool.parallel_for(num_tasks, [&](std::size_t task) {
+    const std::size_t w = task / spec.instances;
+    const std::size_t i = task % spec.instances;
+    const SweepWorkload& workload = spec.workloads[w];
+    const std::uint64_t seed = mix_seed(spec.seed, task);
+
+    const Instance inst = make_workload_instance(workload, spec.horizon, seed);
+
+    RunResult ref;
+    if (has_baseline) {
+      const auto t0 = std::chrono::steady_clock::now();
+      ref = run_algorithm(inst, baseline, spec.horizon, seed);
+      baseline_walls[task] = elapsed_ms(t0);
+    }
+
+    for (std::size_t p = 0; p < num_policies; ++p) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const RunResult r =
+          run_algorithm(inst, algorithms[p], spec.horizon, seed);
+      RunRecord& record = result.records[task * num_policies + p];
+      record.workload = w;
+      record.policy = p;
+      record.instance = i;
+      record.seed = seed;
+      record.wall_ms = elapsed_ms(t0);
+      record.work_done = r.work_done;
+      record.utilization =
+          resource_utilization(inst, r.schedule, spec.horizon);
+      if (has_baseline) {
+        record.unfairness =
+            unfairness_ratio(r.utilities2, ref.utilities2, ref.work_done);
+        record.rel_distance = relative_distance(r.utilities2, ref.utilities2);
+      }
+    }
+
+    if (progress) {
+      std::lock_guard<std::mutex> lock(progress_mu);
+      progress(workload.name + " #" + std::to_string(i));
+    }
+  });
+
+  // Sequential fold in record order: identical floats for 1 or N threads.
+  result.cells.assign(spec.workloads.size(),
+                      std::vector<SweepCell>(num_policies));
+  for (const RunRecord& record : result.records) {
+    SweepCell& cell = result.cells[record.workload][record.policy];
+    cell.unfairness.add(record.unfairness);
+    cell.rel_distance.add(record.rel_distance);
+    cell.utilization.add(record.utilization);
+    cell.wall_ms += record.wall_ms;
+    result.total_wall_ms += record.wall_ms;
+  }
+  for (double wall : baseline_walls) {
+    result.baseline_wall_ms += wall;
+    result.total_wall_ms += wall;
+  }
+  return result;
+}
+
+}  // namespace fairsched::exp

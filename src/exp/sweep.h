@@ -1,0 +1,119 @@
+#pragma once
+
+// Declarative experiment sweeps.
+//
+// A sweep is data: (policy set) x (workload generators) x (seeds) x
+// (horizon). The SweepDriver executes the cross product by sharding
+// independent (workload, instance) cells across the shared ThreadPool and
+// re-aggregates in a fixed sequential order, so the statistical output is
+// bit-identical whatever the thread count — CI asserts this. Per-run wall
+// times are recorded for the JSON perf baselines but deliberately kept out
+// of the deterministic aggregates.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/types.h"
+#include "exp/policy_registry.h"
+#include "util/stats.h"
+#include "workload/assignment.h"
+#include "workload/synthetic.h"
+
+namespace fairsched::exp {
+
+// One workload generator of a sweep. kSynthetic draws a window from the
+// archive-shaped generator (Section 7.2); kUnitJobs draws the unit-size
+// instances the FPRAS convergence experiment (Thm 5.6) uses; kSmallRandom
+// draws the small random consortia the utilization probe (Thm 6.2) samples.
+struct SweepWorkload {
+  enum class Kind { kSynthetic, kUnitJobs, kSmallRandom };
+
+  std::string name;
+  Kind kind = Kind::kSynthetic;
+
+  // kSynthetic.
+  SyntheticSpec spec;
+  std::uint32_t orgs = 5;
+  MachineSplit split = MachineSplit::kZipf;
+  double zipf_s = 1.0;
+
+  // kUnitJobs: `orgs` organizations with 1-3 machines each.
+  std::uint32_t unit_jobs_per_org = 60;
+
+  // kSmallRandom: 2-4 orgs, 1-3 machines each, `random_jobs`..random_jobs+39
+  // jobs with short durations.
+  std::size_t random_jobs = 10;
+};
+
+// Materializes one instance of the workload. Deterministic given the seed.
+Instance make_workload_instance(const SweepWorkload& workload, Time horizon,
+                                std::uint64_t seed);
+
+struct SweepSpec {
+  std::string name;                   // e.g. "table1"
+  std::string title;                  // human header printed by the harness
+  std::string note;                   // expected-shape remark printed after
+  std::vector<std::string> policies;  // PolicyRegistry names
+  std::vector<SweepWorkload> workloads;
+  std::size_t instances = 10;   // independent windows per workload
+  std::uint64_t seed = 2013;    // base seed; runs use mix_seed(seed, index)
+  Time horizon = 50000;
+  // Reference policy for the fairness metrics (usually "ref"); empty
+  // disables them (pure utilization/perf sweeps).
+  std::string baseline = "ref";
+  std::size_t threads = 0;  // 0 = hardware concurrency
+};
+
+// One (workload, policy, instance) execution.
+struct RunRecord {
+  std::size_t workload = 0;
+  std::size_t policy = 0;
+  std::size_t instance = 0;
+  std::uint64_t seed = 0;
+  double unfairness = 0.0;    // delta_psi / p_tot vs baseline (0 if none)
+  double rel_distance = 0.0;  // ||psi - psi*|| / ||psi*|| vs baseline
+  double utilization = 0.0;   // resource utilization of the run's schedule
+  std::int64_t work_done = 0;
+  double wall_ms = 0.0;       // this run only; excluded from aggregates
+};
+
+struct SweepCell {
+  StatsAccumulator unfairness;
+  StatsAccumulator rel_distance;
+  StatsAccumulator utilization;
+  double wall_ms = 0.0;
+};
+
+struct SweepResult {
+  // workload-major, then instance, then policy — the deterministic order the
+  // aggregates are folded in.
+  std::vector<RunRecord> records;
+  // cells[workload][policy], aggregated sequentially from `records`.
+  std::vector<std::vector<SweepCell>> cells;
+  double baseline_wall_ms = 0.0;
+  double total_wall_ms = 0.0;  // sum of per-run walls, not elapsed time
+
+  const RunRecord& record(const SweepSpec& spec, std::size_t workload,
+                          std::size_t instance, std::size_t policy) const;
+};
+
+class SweepDriver {
+ public:
+  explicit SweepDriver(const PolicyRegistry& registry =
+                           PolicyRegistry::global())
+      : registry_(registry) {}
+
+  using Progress = std::function<void(const std::string& message)>;
+
+  // Validates every policy name, executes the sweep, and aggregates.
+  // Throws std::invalid_argument on unknown policies or empty dimensions.
+  SweepResult run(const SweepSpec& spec, Progress progress = nullptr) const;
+
+ private:
+  const PolicyRegistry& registry_;
+};
+
+}  // namespace fairsched::exp

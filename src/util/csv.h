@@ -21,4 +21,10 @@ class CsvWriter {
   std::ostream& out_;
 };
 
+// Inverse of CsvWriter: splits one line (without the trailing newline) into
+// unescaped cells. Handles RFC-4180 quoting, including embedded commas,
+// doubled quotes and quoted newlines already joined into `line`. Used by the
+// experiment harness tests to round-trip reporter output.
+std::vector<std::string> parse_csv_line(const std::string& line);
+
 }  // namespace fairsched

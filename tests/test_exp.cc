@@ -1,0 +1,330 @@
+// Tests for the src/exp experiment harness: PolicyRegistry resolution,
+// SweepDriver determinism across thread counts, and reporter round-trips
+// through util/csv.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/policy_registry.h"
+#include "exp/reporter.h"
+#include "exp/scenarios.h"
+#include "exp/sweep.h"
+#include "util/csv.h"
+
+namespace fairsched::exp {
+namespace {
+
+// --- PolicyRegistry ---------------------------------------------------------
+
+TEST(PolicyRegistry, ResolvesFixedNames) {
+  PolicyRegistry& registry = PolicyRegistry::global();
+  EXPECT_EQ(registry.make("fcfs").id, AlgorithmId::kFcfs);
+  EXPECT_EQ(registry.make("roundrobin").id, AlgorithmId::kRoundRobin);
+  EXPECT_EQ(registry.make("fairshare").id, AlgorithmId::kFairShare);
+  EXPECT_EQ(registry.make("utfairshare").id, AlgorithmId::kUtFairShare);
+  EXPECT_EQ(registry.make("currfairshare").id, AlgorithmId::kCurrFairShare);
+  EXPECT_EQ(registry.make("directcontr").id, AlgorithmId::kDirectContr);
+  EXPECT_EQ(registry.make("random").id, AlgorithmId::kRandom);
+  EXPECT_EQ(registry.make("ref").id, AlgorithmId::kRef);
+}
+
+TEST(PolicyRegistry, ResolvesParameterizedNames) {
+  PolicyRegistry& registry = PolicyRegistry::global();
+  const AlgorithmSpec rand = registry.make("rand75");
+  EXPECT_EQ(rand.id, AlgorithmId::kRand);
+  EXPECT_EQ(rand.rand_samples, 75u);
+  // Bare "rand" uses the paper's default sample count.
+  EXPECT_EQ(registry.make("rand").id, AlgorithmId::kRand);
+  const AlgorithmSpec decay = registry.make("decayfairshare2500");
+  EXPECT_EQ(decay.id, AlgorithmId::kDecayFairShare);
+  EXPECT_DOUBLE_EQ(decay.decay_half_life, 2500.0);
+}
+
+TEST(PolicyRegistry, IsCaseInsensitive) {
+  PolicyRegistry& registry = PolicyRegistry::global();
+  EXPECT_EQ(registry.make("RoundRobin").id, AlgorithmId::kRoundRobin);
+  EXPECT_EQ(registry.make("RAND15").rand_samples, 15u);
+}
+
+TEST(PolicyRegistry, UnknownNameThrowsWithKnownList) {
+  PolicyRegistry& registry = PolicyRegistry::global();
+  EXPECT_FALSE(registry.contains("nope"));
+  try {
+    registry.make("nope");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("nope"), std::string::npos);
+    EXPECT_NE(message.find("known policies"), std::string::npos);
+    EXPECT_NE(message.find("fairshare"), std::string::npos);
+  }
+  // A parameterized prefix with a non-numeric suffix is not a match.
+  EXPECT_FALSE(registry.contains("randx"));
+  EXPECT_THROW(registry.make("randx"), std::invalid_argument);
+  // Malformed parameter suffixes: contains() and make() must agree.
+  EXPECT_FALSE(registry.contains("rand."));
+  EXPECT_THROW(registry.make("rand."), std::invalid_argument);
+  // rand's sample count is integral: a fractional value must not be
+  // silently truncated to its integer prefix.
+  EXPECT_FALSE(registry.contains("rand1.5"));
+  EXPECT_THROW(registry.make("rand1.5"), std::invalid_argument);
+  // decayfairshare's half-life is fractional.
+  EXPECT_TRUE(registry.contains("decayfairshare2500.5"));
+  EXPECT_DOUBLE_EQ(registry.make("decayfairshare2500.5").decay_half_life,
+                   2500.5);
+  EXPECT_FALSE(registry.contains("decayfairshare1.2.3"));
+  EXPECT_THROW(registry.make("decayfairshare1.2.3"), std::invalid_argument);
+  // An out-of-range parameter surfaces as invalid_argument, not
+  // std::out_of_range from the underlying stoul.
+  EXPECT_TRUE(registry.contains("rand99999999999999999999"));
+  EXPECT_THROW(registry.make("rand99999999999999999999"),
+               std::invalid_argument);
+}
+
+TEST(PolicyRegistry, CanonicalNamesRoundTrip) {
+  PolicyRegistry& registry = PolicyRegistry::global();
+  for (const char* name :
+       {"fcfs", "roundrobin", "random", "directcontr", "fairshare",
+        "utfairshare", "currfairshare", "ref", "rand15", "rand75",
+        "decayfairshare2000", "decayfairshare1000000",
+        "decayfairshare123456.75"}) {
+    const AlgorithmSpec spec = registry.make(name);
+    const std::string canonical = canonical_policy_name(spec);
+    const AlgorithmSpec again = registry.make(canonical);
+    EXPECT_EQ(again.id, spec.id) << name;
+    EXPECT_EQ(again.rand_samples, spec.rand_samples) << name;
+    EXPECT_DOUBLE_EQ(again.decay_half_life, spec.decay_half_life) << name;
+  }
+}
+
+TEST(PolicyRegistry, ParsesPolicyLists) {
+  const std::vector<AlgorithmSpec> specs =
+      parse_policy_list("fcfs, roundrobin ,rand5");
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs[0].id, AlgorithmId::kFcfs);
+  EXPECT_EQ(specs[1].id, AlgorithmId::kRoundRobin);
+  EXPECT_EQ(specs[2].rand_samples, 5u);
+  EXPECT_THROW(parse_policy_list(""), std::invalid_argument);
+  EXPECT_THROW(parse_policy_list("fcfs,bogus"), std::invalid_argument);
+}
+
+// --- SweepDriver ------------------------------------------------------------
+
+SweepSpec small_sweep(std::size_t threads) {
+  SweepSpec spec;
+  spec.name = "test";
+  spec.policies = {"roundrobin", "fairshare", "rand5", "random"};
+  SweepWorkload w;
+  w.name = "unit-jobs";
+  w.kind = SweepWorkload::Kind::kUnitJobs;
+  w.orgs = 4;
+  w.unit_jobs_per_org = 40;
+  spec.workloads.push_back(w);
+  spec.instances = 6;
+  spec.seed = 42;
+  spec.horizon = 120;
+  spec.baseline = "ref";
+  spec.threads = threads;
+  return spec;
+}
+
+TEST(SweepDriver, ValidatesSpecUpFront) {
+  SweepDriver driver;
+  SweepSpec bad = small_sweep(1);
+  bad.policies.push_back("bogus");
+  EXPECT_THROW(driver.run(bad), std::invalid_argument);
+  bad = small_sweep(1);
+  bad.policies.clear();
+  EXPECT_THROW(driver.run(bad), std::invalid_argument);
+  bad = small_sweep(1);
+  bad.instances = 0;
+  EXPECT_THROW(driver.run(bad), std::invalid_argument);
+  bad = small_sweep(1);
+  bad.workloads.clear();
+  EXPECT_THROW(driver.run(bad), std::invalid_argument);
+}
+
+TEST(SweepDriver, RecordsAreCompleteAndOrdered) {
+  const SweepSpec spec = small_sweep(2);
+  const SweepResult result = SweepDriver().run(spec);
+  ASSERT_EQ(result.records.size(), spec.instances * spec.policies.size());
+  for (std::size_t i = 0; i < spec.instances; ++i) {
+    for (std::size_t p = 0; p < spec.policies.size(); ++p) {
+      const RunRecord& record = result.record(spec, 0, i, p);
+      EXPECT_EQ(record.workload, 0u);
+      EXPECT_EQ(record.instance, i);
+      EXPECT_EQ(record.policy, p);
+      EXPECT_GT(record.work_done, 0);
+      EXPECT_GE(record.utilization, 0.0);
+      EXPECT_LE(record.utilization, 1.0);
+    }
+  }
+  ASSERT_EQ(result.cells.size(), 1u);
+  ASSERT_EQ(result.cells[0].size(), spec.policies.size());
+  for (const SweepCell& cell : result.cells[0]) {
+    EXPECT_EQ(cell.unfairness.count(), spec.instances);
+  }
+}
+
+TEST(SweepDriver, SameSeedsGiveIdenticalCsvAcrossThreadCounts) {
+  const SweepResult one = SweepDriver().run(small_sweep(1));
+  const SweepResult many = SweepDriver().run(small_sweep(8));
+
+  // Metric-by-metric equality must be exact (bitwise), not approximate:
+  // aggregation order is fixed regardless of scheduling order.
+  ASSERT_EQ(one.records.size(), many.records.size());
+  for (std::size_t i = 0; i < one.records.size(); ++i) {
+    EXPECT_EQ(one.records[i].seed, many.records[i].seed);
+    EXPECT_EQ(one.records[i].unfairness, many.records[i].unfairness);
+    EXPECT_EQ(one.records[i].rel_distance, many.records[i].rel_distance);
+    EXPECT_EQ(one.records[i].utilization, many.records[i].utilization);
+    EXPECT_EQ(one.records[i].work_done, many.records[i].work_done);
+  }
+
+  std::ostringstream csv_one, csv_many;
+  CsvReporter(csv_one, /*per_run=*/true).report(small_sweep(1), one);
+  CsvReporter(csv_many, /*per_run=*/true).report(small_sweep(8), many);
+  EXPECT_EQ(csv_one.str(), csv_many.str());
+}
+
+TEST(SweepDriver, BaselinelessSweepSkipsFairnessMetrics) {
+  SweepSpec spec = small_sweep(2);
+  spec.baseline.clear();
+  const SweepResult result = SweepDriver().run(spec);
+  for (const RunRecord& record : result.records) {
+    EXPECT_EQ(record.unfairness, 0.0);
+    EXPECT_EQ(record.rel_distance, 0.0);
+    EXPECT_GT(record.utilization, 0.0);
+  }
+}
+
+// --- Reporters --------------------------------------------------------------
+
+TEST(Reporter, CsvRoundTripsThroughUtilCsv) {
+  // A workload name with CSV metacharacters must survive escape + parse.
+  SweepSpec spec = small_sweep(2);
+  spec.name = "round,trip \"sweep\"";
+  spec.workloads[0].name = "unit, \"jobs\"\nline2";
+  const SweepResult result = SweepDriver().run(spec);
+
+  std::ostringstream out;
+  CsvReporter(out, /*per_run=*/true).report(spec, result);
+
+  // Re-join quoted newlines, then parse each record back.
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : out.str()) {
+    if (c == '\n') {
+      // Inside an open quote the newline belongs to the cell.
+      std::size_t quotes = 0;
+      for (char q : current) quotes += q == '"';
+      if (quotes % 2 == 1) {
+        current += '\n';
+        continue;
+      }
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  ASSERT_FALSE(lines.empty());
+
+  const std::vector<std::string> header = parse_csv_line(lines[0]);
+  ASSERT_EQ(header.size(), 11u);
+  EXPECT_EQ(header[0], "sweep");
+  EXPECT_EQ(header[4], "unfairness_mean");
+
+  // Aggregate rows: one per (workload, policy), values match the cells.
+  for (std::size_t p = 0; p < spec.policies.size(); ++p) {
+    const std::vector<std::string> row = parse_csv_line(lines[1 + p]);
+    ASSERT_EQ(row.size(), 11u);
+    EXPECT_EQ(row[0], spec.name);
+    EXPECT_EQ(row[1], spec.workloads[0].name);
+    EXPECT_EQ(row[2], spec.policies[p]);
+    EXPECT_EQ(row[3], std::to_string(spec.instances));
+    EXPECT_EQ(row[4], CsvReporter::format(result.cells[0][p].unfairness.mean()));
+    EXPECT_EQ(row[9],
+              CsvReporter::format(result.cells[0][p].utilization.mean()));
+  }
+
+  // Per-run section: header + one row per record.
+  const std::size_t per_run_header = 1 + spec.policies.size();
+  EXPECT_EQ(lines.size(), per_run_header + 1 + result.records.size());
+  const std::vector<std::string> run_row =
+      parse_csv_line(lines[per_run_header + 1]);
+  ASSERT_EQ(run_row.size(), 9u);
+  EXPECT_EQ(run_row[0], "run");
+  EXPECT_EQ(run_row[1], spec.workloads[0].name);
+}
+
+TEST(Reporter, JsonBaselineContainsEveryCell) {
+  const SweepSpec spec = small_sweep(2);
+  const SweepResult result = SweepDriver().run(spec);
+  std::ostringstream out;
+  JsonReporter(out).report(spec, result);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"sweep\": \"test\""), std::string::npos);
+  EXPECT_NE(json.find("\"total_wall_ms\""), std::string::npos);
+  for (const std::string& policy : spec.policies) {
+    EXPECT_NE(json.find("\"policy\": \"" + policy + "\""), std::string::npos)
+        << policy;
+  }
+}
+
+TEST(Reporter, JsonEscapesStringMetacharacters) {
+  SweepSpec spec = small_sweep(1);
+  spec.name = "quote\" back\\slash";
+  spec.workloads[0].name = "line\nbreak\ttab";
+  const SweepResult result = SweepDriver().run(spec);
+  std::ostringstream out;
+  JsonReporter(out).report(spec, result);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"sweep\": \"quote\\\" back\\\\slash\""),
+            std::string::npos);
+  EXPECT_NE(json.find("line\\nbreak\\ttab"), std::string::npos);
+  // No raw control characters may survive inside the output.
+  EXPECT_EQ(json.find("line\nbreak"), std::string::npos);
+}
+
+// --- Scenario configs -------------------------------------------------------
+
+TEST(Scenarios, SmokeModeShrinksTheMatrix) {
+  ScenarioOptions options;
+  options.smoke = true;
+  const SweepSpec smoke = make_table_sweep("table1", options);
+  ScenarioOptions full;
+  const SweepSpec big = make_table_sweep("table1", full);
+  EXPECT_LT(smoke.instances, big.instances);
+  EXPECT_LT(smoke.horizon, big.horizon);
+  EXPECT_EQ(smoke.policies, big.policies);
+  EXPECT_EQ(smoke.workloads.size(), big.workloads.size());
+  EXPECT_EQ(smoke.workloads.size(), 4u);  // the four archive shapes
+}
+
+TEST(Scenarios, Table2IsTheLongHorizonVariant) {
+  ScenarioOptions options;
+  const SweepSpec t1 = make_table_sweep("table1", options);
+  const SweepSpec t2 = make_table_sweep("table2", options);
+  EXPECT_EQ(t2.horizon, 10 * t1.horizon);
+  EXPECT_THROW(make_table_sweep("table3", options), std::invalid_argument);
+}
+
+TEST(Scenarios, CustomSweepResolvesPoliciesAndWorkloads) {
+  ScenarioOptions options;
+  options.policies = "fcfs,rand5";
+  options.workload = "unit";
+  const SweepSpec spec = make_custom_sweep(options);
+  ASSERT_EQ(spec.policies.size(), 2u);
+  EXPECT_EQ(spec.policies[1], "rand5");
+  ASSERT_EQ(spec.workloads.size(), 1u);
+  EXPECT_EQ(spec.workloads[0].kind, SweepWorkload::Kind::kUnitJobs);
+  options.workload = "bogus";
+  EXPECT_THROW(make_custom_sweep(options), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fairsched::exp
