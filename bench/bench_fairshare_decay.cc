@@ -2,55 +2,19 @@
 // fairness. FAIRSHARE remembers forever; CURRFAIRSHARE remembers nothing;
 // DECAYFAIRSHARE interpolates via the half-life — real schedulers (SLURM,
 // Maui) ship a configurable half-life, so this sweep answers which setting
-// best approximates the Shapley-fair reference on bursty consortia.
+// best approximates the Shapley-fair reference on bursty consortia. Thin
+// shell over the src/exp harness — equivalent to `fairsched_exp
+// fairshare-decay`; the half-life is a declarative sweep axis, not an
+// enumerated policy list here.
 
-#include <cstdio>
-
-#include "bench/common.h"
-#include "util/table.h"
+#include "exp/scenarios.h"
+#include "util/cli.h"
 
 int main(int argc, char** argv) {
   using namespace fairsched;
-  using namespace fairsched::bench;
+  using namespace fairsched::exp;
 
   const Flags flags(argc, argv);
-  const CommonFlags common = parse_common_flags(flags, /*duration=*/50000,
-                                                /*instances=*/10);
-
-  std::vector<AlgorithmSpec> algorithms = {
-      parse_algorithm("currfairshare"),
-      parse_algorithm("decayfairshare500"),
-      parse_algorithm("decayfairshare2500"),
-      parse_algorithm("decayfairshare10000"),
-      parse_algorithm("decayfairshare50000"),
-      parse_algorithm("fairshare"),
-      parse_algorithm("directcontr"),  // Shapley-aware yardstick
-      parse_algorithm("random"),       // no-policy yardstick
-  };
-
-  const SyntheticSpec spec = preset_lpc_egee();
-  std::printf(
-      "Fair-share memory ablation on %s: delta_psi / p_tot, duration %lld, "
-      "%zu instance(s), %u orgs\n",
-      spec.name.c_str(), static_cast<long long>(common.config.duration),
-      common.config.instances, common.config.orgs);
-
-  const std::vector<StatsAccumulator> stats =
-      run_fairness_experiment(spec, algorithms, common.config);
-
-  AsciiTable table({"algorithm", "avg", "st.dev", "min", "max"});
-  for (std::size_t a = 0; a < algorithms.size(); ++a) {
-    table.add_row({algorithms[a].display_name(),
-                   AsciiTable::format_double(stats[a].mean(), 2),
-                   AsciiTable::format_double(stats[a].stdev(), 2),
-                   AsciiTable::format_double(stats[a].min(), 2),
-                   AsciiTable::format_double(stats[a].max(), 2)});
-  }
-  std::fputs(table.to_string().c_str(), stdout);
-  std::printf(
-      "\nReading: the memoryless and infinite-memory extremes bracket the\n"
-      "decayed variants; none matches the contribution-aware DirectContr,\n"
-      "reinforcing the paper's conclusion that static/usage-based shares\n"
-      "cannot substitute for measuring organizations' actual impact.\n");
-  return 0;
+  const ScenarioOptions options = scenario_options_from_flags(flags);
+  return run_sweep_scenario(make_fairshare_decay_sweep(options), options);
 }

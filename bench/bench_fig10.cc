@@ -1,60 +1,20 @@
 // Reproduces Figure 10: the effect of the number of organizations on the
-// unfairness ratio delta_psi / p_tot, on the LPC-EGEE workload.
+// unfairness ratio delta_psi / p_tot, on the LPC-EGEE workload. Thin shell
+// over the src/exp harness — equivalent to `fairsched_exp fig10`; the
+// organization count is a declarative sweep axis, not a loop here.
 //
 // The paper sweeps 2..10 organizations; REF's cost grows ~3^k, so the bench
 // default stops at 7 on shortened windows — extend with --max-orgs=10
 // --duration=50000 for the full figure.
 
-#include <cstdio>
-
-#include "bench/common.h"
-#include "util/csv.h"
-#include "util/table.h"
-
-#include <iostream>
+#include "exp/scenarios.h"
+#include "util/cli.h"
 
 int main(int argc, char** argv) {
   using namespace fairsched;
-  using namespace fairsched::bench;
+  using namespace fairsched::exp;
 
   const Flags flags(argc, argv);
-  CommonFlags common = parse_common_flags(flags, /*duration=*/25000,
-                                          /*instances=*/20);
-  const std::uint32_t min_orgs =
-      static_cast<std::uint32_t>(flags.get_int("min-orgs", 2));
-  const std::uint32_t max_orgs =
-      static_cast<std::uint32_t>(flags.get_int("max-orgs", 7));
-
-  const SyntheticSpec spec = preset_lpc_egee();
-  const std::vector<AlgorithmSpec> algorithms = table_algorithms();
-
-  std::printf(
-      "Figure 10: delta_psi / p_tot vs number of organizations "
-      "(%s, duration %lld, %zu instance(s) per point)\n",
-      spec.name.c_str(), static_cast<long long>(common.config.duration),
-      common.config.instances);
-
-  std::vector<std::string> header{"orgs"};
-  for (const AlgorithmSpec& a : algorithms) header.push_back(a.display_name());
-  AsciiTable table(header);
-  CsvWriter csv(std::cout);
-
-  std::vector<std::string> csv_header = header;
-  csv.write_row(csv_header);
-  for (std::uint32_t k = min_orgs; k <= max_orgs; ++k) {
-    common.config.orgs = k;
-    const std::vector<StatsAccumulator> stats =
-        run_fairness_experiment(spec, algorithms, common.config);
-    std::vector<std::string> row{std::to_string(k)};
-    for (const StatsAccumulator& acc : stats) {
-      row.push_back(AsciiTable::format_double(acc.mean(), 2));
-    }
-    csv.write_row(row);
-    table.add_row(std::move(row));
-  }
-  std::fputs(table.to_string().c_str(), stdout);
-  std::printf(
-      "\nExpected shape (paper Fig. 10): every series grows with the number "
-      "of organizations; RoundRobin steepest, Rand/DirectContr flattest.\n");
-  return 0;
+  const ScenarioOptions options = scenario_options_from_flags(flags);
+  return run_sweep_scenario(make_fig10_sweep(options), options);
 }

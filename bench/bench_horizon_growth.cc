@@ -2,50 +2,18 @@
 // versus the experiment horizon, on the LPC-EGEE workload. The paper runs
 // two horizons (5*10^4 and 5*10^5) and observes that every polynomial
 // algorithm drifts away from the fair reference on longer traces; this
-// bench plots the whole trajectory.
+// bench plots the whole trajectory. Thin shell over the src/exp harness —
+// equivalent to `fairsched_exp horizon-growth`; the horizon is a
+// declarative sweep axis, not a loop here.
 
-#include <cstdio>
-
-#include "bench/common.h"
-#include "util/table.h"
+#include "exp/scenarios.h"
+#include "util/cli.h"
 
 int main(int argc, char** argv) {
   using namespace fairsched;
-  using namespace fairsched::bench;
+  using namespace fairsched::exp;
 
   const Flags flags(argc, argv);
-  CommonFlags common = parse_common_flags(flags, /*duration=*/0,
-                                          /*instances=*/5);
-
-  const std::vector<AlgorithmSpec> algorithms = {
-      parse_algorithm("roundrobin"),
-      parse_algorithm("rand15"),
-      parse_algorithm("directcontr"),
-      parse_algorithm("fairshare"),
-  };
-  const SyntheticSpec spec = preset_lpc_egee();
-
-  std::printf(
-      "Unfairness vs horizon (%s, %zu instance(s) per point, %u orgs)\n",
-      spec.name.c_str(), common.config.instances, common.config.orgs);
-
-  std::vector<std::string> header{"horizon"};
-  for (const auto& a : algorithms) header.push_back(a.display_name());
-  AsciiTable table(header);
-
-  for (Time horizon : {12500, 25000, 50000, 100000, 200000, 400000}) {
-    common.config.duration = horizon;
-    const auto stats =
-        run_fairness_experiment(spec, algorithms, common.config);
-    std::vector<std::string> row{std::to_string(horizon)};
-    for (const auto& acc : stats) {
-      row.push_back(AsciiTable::format_double(acc.mean(), 1));
-    }
-    table.add_row(std::move(row));
-  }
-  std::fputs(table.to_string().c_str(), stdout);
-  std::printf(
-      "\nExpected shape (paper Tables 1 vs 2): every series grows with the "
-      "horizon; RoundRobin fastest, Rand slowest.\n");
-  return 0;
+  const ScenarioOptions options = scenario_options_from_flags(flags);
+  return run_sweep_scenario(make_horizon_growth_sweep(options), options);
 }

@@ -1,8 +1,8 @@
 // Using the experiment harness (src/exp) programmatically: declare a sweep
-// as data — policies x workloads x seeds x horizon — run it on the thread
-// pool, and consume the aggregated cells. The fairsched_exp binary is a CLI
-// shell over exactly this API; link against the fairsched library to embed
-// sweeps in your own tooling.
+// as data — policies x workloads x seeds x named parameter axes — run it on
+// the thread pool, and consume the aggregated cells. The fairsched_exp
+// binary is a CLI shell over exactly this API; link against the fairsched
+// library to embed sweeps in your own tooling.
 //
 // Build (from the repo root):
 //   cmake -B build -S . && cmake --build build -j --target example_custom_sweep
@@ -43,29 +43,43 @@ int main() {
   unit.unit_jobs_per_org = 50;
   spec.workloads.push_back(unit);
 
+  // A named axis multiplies the sweep by its values — here the number of
+  // organizations, as in the paper's Figure 10. Axes bind by name: orgs,
+  // horizon, half-life, zipf-s, split, jobs-per-org, random-jobs.
+  spec.axes.push_back(make_axis("orgs", {3, 5}));
+
   spec.instances = 4;      // independent windows per workload
   spec.seed = 7;           // every run derives its seed from (seed, index)
   spec.horizon = 10000;
   spec.baseline = "ref";   // fairness metrics are relative to REF
   spec.threads = 0;        // 0 = hardware concurrency
 
-  const SweepResult result = SweepDriver().run(spec);
+  // Per-run records are streamed, not retained: the driver's memory is
+  // O(cells) however many runs execute. Register a sink to observe them —
+  // it fires in a fixed deterministic order whatever the thread count.
+  std::size_t runs = 0;
+  const SweepResult result = SweepDriver().run(
+      spec, nullptr, [&runs](const RunRecord&) { ++runs; });
 
   // Aggregates are deterministic: the same spec gives bit-identical cells
   // whatever the thread count.
   TableReporter table(std::cout);
   table.report(spec, result);
 
-  std::printf("\nper-cell detail (policy x workload):\n");
-  for (std::size_t w = 0; w < spec.workloads.size(); ++w) {
-    for (std::size_t p = 0; p < spec.policies.size(); ++p) {
-      const SweepCell& cell = result.cells[w][p];
-      std::printf("  %-18s on %-10s unfairness %.3f  utilization %.2f\n",
-                  spec.policies[p].c_str(), spec.workloads[w].name.c_str(),
-                  cell.unfairness.mean(), cell.utilization.mean());
+  std::printf("\nper-cell detail (axis point x workload x policy):\n");
+  for (std::size_t a = 0; a < result.axis_points; ++a) {
+    const double orgs = axis_point_values(spec, a)[0];
+    for (std::size_t w = 0; w < spec.workloads.size(); ++w) {
+      for (std::size_t p = 0; p < spec.policies.size(); ++p) {
+        const SweepCell& cell = result.cell(spec, a, w, p);
+        std::printf(
+            "  orgs=%.0f %-18s on %-10s unfairness %.3f  utilization %.2f\n",
+            orgs, spec.policies[p].c_str(), spec.workloads[w].name.c_str(),
+            cell.unfairness.mean(), cell.utilization.mean());
+      }
     }
   }
   std::printf("\ntotal simulated run time: %.0f ms across %zu runs\n",
-              result.total_wall_ms, result.records.size());
+              result.total_wall_ms, runs);
   return 0;
 }

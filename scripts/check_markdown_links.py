@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Check that intra-repo Markdown links resolve.
+
+Scans every tracked *.md file for inline links/images `[text](target)` and
+reference definitions `[label]: target`, and verifies that relative targets
+exist on disk (anchors and external URLs are skipped; `#fragment` suffixes
+are stripped before the existence check). Exits nonzero listing every
+broken link. Run from anywhere inside the repository:
+
+    python3 scripts/check_markdown_links.py
+"""
+
+import os
+import re
+import subprocess
+import sys
+import urllib.parse
+
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^()\s]+(?:\([^()]*\))?)\)")
+REFERENCE_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def repo_root() -> str:
+    out = subprocess.run(
+        ["git", "rev-parse", "--show-toplevel"],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return out.stdout.strip()
+
+
+def markdown_files(root: str) -> list:
+    out = subprocess.run(
+        ["git", "ls-files", "*.md", "**/*.md"],
+        capture_output=True,
+        text=True,
+        check=True,
+        cwd=root,
+    )
+    return [line for line in out.stdout.splitlines() if line]
+
+
+def is_external(target: str) -> bool:
+    return target.startswith(("http://", "https://", "mailto:", "ftp://"))
+
+
+def check_file(root: str, md_path: str) -> list:
+    with open(os.path.join(root, md_path), encoding="utf-8") as handle:
+        text = handle.read()
+    # Links inside fenced code blocks are examples, not navigation.
+    text = FENCE.sub("", text)
+    targets = INLINE_LINK.findall(text) + REFERENCE_DEF.findall(text)
+    broken = []
+    for target in targets:
+        target = target.strip("<>")
+        if is_external(target) or target.startswith("#"):
+            continue
+        path = urllib.parse.unquote(target.split("#", 1)[0])
+        if not path:
+            continue
+        base = root if path.startswith("/") else os.path.dirname(
+            os.path.join(root, md_path))
+        resolved = os.path.normpath(os.path.join(base, path.lstrip("/")))
+        if not os.path.exists(resolved):
+            broken.append((md_path, target))
+    return broken
+
+
+def main() -> int:
+    root = repo_root()
+    files = markdown_files(root)
+    broken = []
+    for md_path in files:
+        broken.extend(check_file(root, md_path))
+    if broken:
+        for md_path, target in broken:
+            print(f"BROKEN  {md_path}: ({target})")
+        print(f"\n{len(broken)} broken link(s) across {len(files)} files.")
+        return 1
+    print(f"OK: all intra-repo links resolve across {len(files)} files.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,17 +6,26 @@
 //   fairsched_exp table2            Table 2 (duration 5*10^5)
 //   fairsched_exp utilization       Figure 7 + Thm 6.2 utilization probe
 //   fairsched_exp rand-convergence  Thm 5.6 FPRAS convergence
-//   fairsched_exp custom            free-form --policies x --workload sweep
+//   fairsched_exp fig10             Figure 10: unfairness vs #organizations
+//   fairsched_exp horizon-growth    unfairness vs horizon (Table 1 -> 2)
+//   fairsched_exp fairshare-decay   fair-share half-life ablation
+//   fairsched_exp custom            free-form sweep (--policies/--workload/
+//                                   --axes, or --config=FILE)
 //   fairsched_exp list-policies     registered PolicyRegistry names
+//   fairsched_exp list-workloads    workload kinds `custom` accepts
 //
 // Common flags (also settable as FAIRSCHED_* env vars, see util/cli.h):
 //   --instances=N --duration=T --orgs=K --seed=S --scale=X --threads=N
-//   --split=zipf|uniform --zipf-s=S --csv=FILE|- --json=FILE|- --per-run
+//   --split=zipf|uniform --zipf-s=S --csv=FILE|- --json=FILE|-
+//   --stream-records=FILE|-   stream one CSV row per run (O(cells) memory)
+//   --axes="name=v1,v2;..."   override a scenario's sweep axes
 //   --smoke   tiny instance counts for CI; emits BENCH_<sweep>.json
 //
 // `custom` extras: --policies=a,b,c (registry names, e.g.
-// "fcfs,rand75,decayfairshare2000") and
-// --workload=all|lpc|pik|ricc|whale|unit|smallrandom.
+// "fcfs,rand75,decayfairshare2000"), --workload=<kind> (see
+// list-workloads), --config=FILE (declarative sweep config; file keys win
+// over flags — see docs/EXPERIMENTS.md). `fig10` extras: --min-orgs,
+// --max-orgs.
 
 #include <cstdio>
 #include <exception>
@@ -24,21 +33,32 @@
 
 #include "exp/policy_registry.h"
 #include "exp/scenarios.h"
+#include "exp/sweep_config.h"
 #include "util/cli.h"
 
 namespace {
 
 int usage(const char* argv0) {
+  std::string workloads;
+  for (const fairsched::exp::WorkloadInfo& info :
+       fairsched::exp::workload_catalog()) {
+    if (!workloads.empty()) workloads += "|";
+    workloads += info.name;
+  }
   std::fprintf(
       stderr,
-      "usage: %s <table1|table2|utilization|rand-convergence|custom|"
-      "list-policies> [flags]\n"
+      "usage: %s <table1|table2|utilization|rand-convergence|fig10|"
+      "horizon-growth|fairshare-decay|custom|list-policies|list-workloads> "
+      "[flags]\n"
       "common flags: --instances=N --duration=T --orgs=K --seed=S "
-      "--scale=X --threads=N --split=zipf|uniform --csv=FILE|- "
-      "--json=FILE|- --per-run --smoke\n"
-      "custom flags: --policies=a,b,c --workload="
-      "all|lpc|pik|ricc|whale|unit|smallrandom\n",
-      argv0);
+      "--scale=X --threads=N --split=zipf|uniform --zipf-s=S --csv=FILE|- "
+      "--json=FILE|- --stream-records=FILE|- --axes=\"name=v1,v2;...\" "
+      "--smoke\n"
+      "custom flags: --policies=a,b,c --workload=%s --config=FILE\n"
+      "fig10 flags: --min-orgs=K --max-orgs=K\n"
+      "axes: orgs, horizon, half-life, zipf-s, split, jobs-per-org, "
+      "random-jobs; values are numbers and lo:hi[:step] ranges\n",
+      argv0, workloads.c_str());
   return 2;
 }
 
@@ -68,12 +88,33 @@ int main(int argc, char** argv) {
     if (command == "rand-convergence") {
       return run_rand_convergence_scenario(options);
     }
+    if (command == "fig10") {
+      return run_sweep_scenario(make_fig10_sweep(options), options);
+    }
+    if (command == "horizon-growth") {
+      return run_sweep_scenario(make_horizon_growth_sweep(options), options);
+    }
+    if (command == "fairshare-decay") {
+      return run_sweep_scenario(make_fairshare_decay_sweep(options), options);
+    }
     if (command == "custom") {
-      return run_sweep_scenario(make_custom_sweep(options), options);
+      const SweepSpec spec =
+          options.config_path.empty()
+              ? make_custom_sweep(options)
+              : load_sweep_config_file(options.config_path, options);
+      return run_sweep_scenario(spec, options);
     }
     if (command == "list-policies") {
-      for (const std::string& name : PolicyRegistry::global().names()) {
-        std::printf("%s\n", name.c_str());
+      for (const auto& [name, description] :
+           PolicyRegistry::global().catalog()) {
+        std::printf("%-20s %s\n", name.c_str(), description.c_str());
+      }
+      return 0;
+    }
+    if (command == "list-workloads") {
+      for (const WorkloadInfo& info : workload_catalog()) {
+        std::printf("%-14s %s\n", info.name.c_str(),
+                    info.description.c_str());
       }
       return 0;
     }

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/cli.h"
+
 namespace fairsched::exp {
 
 namespace {
@@ -45,20 +47,33 @@ PolicyRegistry& PolicyRegistry::global() {
     auto* r = new PolicyRegistry();
     // Every fixed-form algorithm delegates to the runner's parser so the
     // registry and parse_algorithm can never drift apart.
-    for (const char* name :
-         {"fcfs", "roundrobin", "random", "directcontr", "fairshare",
-          "utfairshare", "currfairshare", "ref"}) {
-      r->register_policy(name, [](const std::string& n) {
-        return parse_algorithm(n);
-      });
+    const std::pair<const char*, const char*> fixed[] = {
+        {"fcfs", "first-come-first-served across all organizations"},
+        {"roundrobin", "cycle the organizations, one job each (Section 7.1)"},
+        {"random", "uniformly random waiting organization (extension)"},
+        {"directcontr", "direct-contribution heuristic (Fig. 9)"},
+        {"fairshare", "fair share over cumulative usage (Section 7.1)"},
+        {"utfairshare", "fair share over cumulative utility (Section 7.1)"},
+        {"currfairshare",
+         "fair share over instantaneous usage (Section 7.1)"},
+        {"ref", "exact exponential fair reference (Fig. 3)"},
+    };
+    for (const auto& [name, description] : fixed) {
+      r->register_policy(
+          name, [](const std::string& n) { return parse_algorithm(n); },
+          /*parameterized=*/false, /*fractional=*/false, description);
     }
     r->register_policy(
         "rand", [](const std::string& n) { return parse_algorithm(n); },
-        /*parameterized=*/true);
+        /*parameterized=*/true, /*fractional=*/false,
+        "randomized Shapley approximation, N permutation samples "
+        "(Fig. 6 / Thm 5.6)");
     r->register_policy(
         "decayfairshare",
         [](const std::string& n) { return parse_algorithm(n); },
-        /*parameterized=*/true, /*fractional=*/true);
+        /*parameterized=*/true, /*fractional=*/true,
+        "fair share over exponentially decayed usage, half-life N "
+        "(extension; a half-life axis rebinds N)");
     return r;
   }();
   return *registry;
@@ -66,9 +81,10 @@ PolicyRegistry& PolicyRegistry::global() {
 
 void PolicyRegistry::register_policy(const std::string& key,
                                      PolicyFactory factory,
-                                     bool parameterized, bool fractional) {
+                                     bool parameterized, bool fractional,
+                                     std::string description) {
   entries_[to_lower(key)] = Entry{std::move(factory), parameterized,
-                                  fractional};
+                                  fractional, std::move(description)};
 }
 
 const PolicyRegistry::Entry* PolicyRegistry::find_entry(
@@ -117,6 +133,17 @@ std::vector<std::string> PolicyRegistry::names() const {
   return keys;  // std::map keeps them sorted
 }
 
+std::vector<std::pair<std::string, std::string>> PolicyRegistry::catalog()
+    const {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    out.emplace_back(entry.parameterized ? key + "[N]" : key,
+                     entry.description);
+  }
+  return out;
+}
+
 std::string canonical_policy_name(const AlgorithmSpec& spec) {
   switch (spec.id) {
     case AlgorithmId::kRef:
@@ -163,14 +190,8 @@ std::string canonical_policy_name(const AlgorithmSpec& spec) {
 std::vector<AlgorithmSpec> parse_policy_list(const std::string& csv,
                                              const PolicyRegistry& registry) {
   std::vector<AlgorithmSpec> specs;
-  std::string token;
-  std::istringstream in(csv);
-  while (std::getline(in, token, ',')) {
-    // Trim surrounding whitespace.
-    const auto begin = token.find_first_not_of(" \t");
-    if (begin == std::string::npos) continue;
-    const auto end = token.find_last_not_of(" \t");
-    specs.push_back(registry.make(token.substr(begin, end - begin + 1)));
+  for (const std::string& name : split_and_trim(csv, ',')) {
+    specs.push_back(registry.make(name));
   }
   if (specs.empty()) {
     throw std::invalid_argument("empty policy list: '" + csv + "'");

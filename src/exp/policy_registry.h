@@ -32,9 +32,11 @@ class PolicyRegistry {
   // Registers `key` (lower-case). A parameterized entry also matches
   // key+<number> names ("rand" matches "rand75"); `fractional` additionally
   // allows one decimal point in the number ("decayfairshare2500.5").
+  // `description` is the one-liner `fairsched_exp list-policies` prints.
   // Re-registering a key replaces the previous entry.
   void register_policy(const std::string& key, PolicyFactory factory,
-                       bool parameterized = false, bool fractional = false);
+                       bool parameterized = false, bool fractional = false,
+                       std::string description = "");
 
   // Resolves a name (case-insensitive) to a spec. Throws
   // std::invalid_argument naming the known policies when nothing matches,
@@ -49,11 +51,16 @@ class PolicyRegistry {
   // Sorted registered keys (base names, without parameter suffixes).
   std::vector<std::string> names() const;
 
+  // One (key, description) pair per registered entry, sorted by key.
+  // Parameterized keys are reported with a "[N]" suffix.
+  std::vector<std::pair<std::string, std::string>> catalog() const;
+
  private:
   struct Entry {
     PolicyFactory factory;
     bool parameterized = false;
     bool fractional = false;  // parameter may contain one decimal point
+    std::string description;
   };
   const Entry* find_entry(const std::string& lower) const;
 

@@ -1,13 +1,16 @@
 #pragma once
 
-// Pluggable sweep output. A Reporter consumes a finished SweepResult; the
+// Pluggable sweep output. A Reporter consumes a finished SweepResult (cell
+// aggregates only — per-run records are not retained by the driver); the
 // harness stacks several per run (human table on stdout, machine CSV, JSON
-// perf baseline for CI).
+// perf baseline for CI). Per-run output goes through CsvRecordSink, which
+// streams rows as the driver folds records, in the deterministic order.
 
 #include <ostream>
 #include <string>
 
 #include "exp/sweep.h"
+#include "util/csv.h"
 
 namespace fairsched::exp {
 
@@ -18,17 +21,14 @@ class Reporter {
 };
 
 // Machine-readable aggregates through util/csv, one row per
-// (workload, policy) cell. Wall-clock columns are intentionally absent: this
-// output is asserted bit-identical across thread counts.
-// Columns: sweep, workload, policy, instances, unfairness_mean,
-// unfairness_stdev, unfairness_min, unfairness_max, rel_distance_mean,
-// utilization_mean, work_done_total.
+// (axis point, workload, policy) cell. Wall-clock columns are intentionally
+// absent: this output is asserted bit-identical across thread counts.
+// Columns: sweep, <one per axis>, workload, policy, instances,
+// unfairness_mean, unfairness_stdev, unfairness_min, unfairness_max,
+// rel_distance_mean, utilization_mean, work_done_total.
 class CsvReporter final : public Reporter {
  public:
-  // per_run additionally emits one row per RunRecord (prefixed "run") for
-  // downstream plotting.
-  explicit CsvReporter(std::ostream& out, bool per_run = false)
-      : out_(out), per_run_(per_run) {}
+  explicit CsvReporter(std::ostream& out) : out_(out) {}
   void report(const SweepSpec& spec, const SweepResult& result) override;
 
   // Shared numeric formatting (shortest round-trip-stable form).
@@ -36,11 +36,29 @@ class CsvReporter final : public Reporter {
 
  private:
   std::ostream& out_;
-  bool per_run_;
+};
+
+// Streaming per-run CSV sink for SweepDriver::run: one row per RunRecord,
+// written as records are folded (fixed deterministic order, so the file is
+// bit-identical across thread counts; wall times are excluded). Memory is
+// O(1) — rows are never retained. Columns: sweep, <one per axis>, workload,
+// policy, instance, seed, unfairness, rel_distance, utilization, work_done.
+class CsvRecordSink {
+ public:
+  // Writes the header row immediately. `spec` must outlive the sink.
+  CsvRecordSink(std::ostream& out, const SweepSpec& spec);
+
+  void write(const RunRecord& record);
+  // Adapts to SweepDriver::RecordSink.
+  void operator()(const RunRecord& record) { write(record); }
+
+ private:
+  CsvWriter csv_;
+  const SweepSpec& spec_;
 };
 
 // JSON perf baseline (the BENCH_*.json artifacts CI archives): sweep
-// configuration, per-cell statistics, and wall-time accounting.
+// configuration, axes, per-cell statistics, and wall-time accounting.
 class JsonReporter final : public Reporter {
  public:
   explicit JsonReporter(std::ostream& out) : out_(out) {}
@@ -50,8 +68,9 @@ class JsonReporter final : public Reporter {
   std::ostream& out_;
 };
 
-// Human-readable Tables 1-2 layout: one row per policy, one (Avg, St.dev)
-// column pair per workload, via util/table.
+// Human-readable Tables 1-2 layout: one row per (axis point, policy) with a
+// leading column per axis, one (Avg, St.dev) column pair per workload, via
+// util/table.
 class TableReporter final : public Reporter {
  public:
   explicit TableReporter(std::ostream& out) : out_(out) {}

@@ -4,10 +4,12 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
 #include "exp/reporter.h"
+#include "exp/sweep_config.h"
 #include "metrics/utility.h"
 #include "sched/rand_fair.h"
 #include "sim/engine.h"
@@ -33,6 +35,22 @@ std::vector<std::string> table_policy_names() {
           "fairshare",  "utfairshare", "currfairshare"};
 }
 
+// When the machine-readable stream is stdout ("-"), every human-facing
+// line (title, progress, ASCII table, notes) moves to stderr so the CSV or
+// JSON on stdout stays parseable.
+bool machine_stdout(const ScenarioOptions& options) {
+  return options.csv_path == "-" || options.json_path == "-" ||
+         options.stream_records_path == "-";
+}
+
+std::FILE* human_file(const ScenarioOptions& options) {
+  return machine_stdout(options) ? stderr : stdout;
+}
+
+std::ostream& human_stream(const ScenarioOptions& options) {
+  return machine_stdout(options) ? std::cerr : std::cout;
+}
+
 // Emits the JSON perf baseline ("-" = stdout; --smoke defaults to
 // BENCH_<sweep>.json). Returns a nonzero exit code on I/O failure.
 int emit_json_baseline(const SweepSpec& spec, const SweepResult& result,
@@ -54,8 +72,8 @@ int emit_json_baseline(const SweepSpec& spec, const SweepResult& result,
   }
   JsonReporter json(out);
   json.report(spec, result);
-  std::fprintf(options.csv_path == "-" ? stderr : stdout,
-               "wrote perf baseline: %s\n", json_path.c_str());
+  std::fprintf(human_file(options), "wrote perf baseline: %s\n",
+               json_path.c_str());
   return 0;
 }
 
@@ -75,19 +93,59 @@ std::vector<SweepWorkload> archive_workloads(const ScenarioOptions& options,
   return workloads;
 }
 
-// When the machine-readable stream is stdout ("-"), every human-facing
-// line (title, progress, ASCII table, notes) moves to stderr so the CSV or
-// JSON on stdout stays parseable.
-bool machine_stdout(const ScenarioOptions& options) {
-  return options.csv_path == "-" || options.json_path == "-";
+SweepWorkload lpc_workload(const ScenarioOptions& options) {
+  SweepWorkload w;
+  w.name = preset_lpc_egee().name;
+  w.kind = SweepWorkload::Kind::kSynthetic;
+  w.spec = preset_lpc_egee();
+  w.orgs = options.orgs;
+  w.split = options.split;
+  w.zipf_s = options.zipf_s;
+  return w;
 }
 
-std::FILE* human_file(const ScenarioOptions& options) {
-  return machine_stdout(options) ? stderr : stdout;
+// An explicit --axes flag replaces a scenario's default axes wholesale.
+void apply_axes_override(SweepSpec& spec, const ScenarioOptions& options) {
+  if (!options.axes.empty()) spec.axes = parse_axes_spec(options.axes);
 }
 
-std::ostream& human_stream(const ScenarioOptions& options) {
-  return machine_stdout(options) ? std::cerr : std::cout;
+// The utilization and rand-convergence scenarios post-process per-run
+// data under a single-axis-point assumption (greedy extremes per
+// instance, the per-N convergence table); extra axes would silently
+// corrupt or discard results, so they are rejected instead.
+void reject_axes(const char* scenario, const ScenarioOptions& options) {
+  if (!options.axes.empty()) {
+    throw std::invalid_argument(std::string(scenario) +
+                                " does not support --axes; use `custom` "
+                                "for free-form axis sweeps");
+  }
+}
+
+// The --stream-records sink: an owning CSV writer over a file or stdout.
+// Records arrive in the deterministic fold order, so the emitted file is
+// bit-identical across thread counts.
+struct StreamRecords {
+  std::ofstream file;
+  std::unique_ptr<CsvRecordSink> csv;
+};
+
+// Opens options.stream_records_path for `spec`. Returns a nonzero exit
+// code on I/O failure, 0 otherwise (including when streaming is off).
+int open_stream_records(const SweepSpec& spec, const ScenarioOptions& options,
+                        StreamRecords& stream) {
+  if (options.stream_records_path.empty()) return 0;
+  std::ostream* out = &std::cout;
+  if (options.stream_records_path != "-") {
+    stream.file.open(options.stream_records_path);
+    if (!stream.file) {
+      std::fprintf(stderr, "cannot open per-run CSV output: %s\n",
+                   options.stream_records_path.c_str());
+      return 2;
+    }
+    out = &stream.file;
+  }
+  stream.csv = std::make_unique<CsvRecordSink>(*out, spec);
+  return 0;
 }
 
 }  // namespace
@@ -105,7 +163,9 @@ ScenarioOptions scenario_options_from_flags(const Flags& flags) {
   options.instances = static_cast<std::size_t>(non_negative("instances"));
   options.duration = non_negative("duration");
   const std::int64_t orgs = flags.get_int("orgs", 5);
-  if (orgs < 1) throw std::invalid_argument("--orgs must be >= 1");
+  if (orgs < 1 || orgs > 4294967295) {
+    throw std::invalid_argument("--orgs must be in [1, 2^32-1]");
+  }
   options.orgs = static_cast<std::uint32_t>(orgs);
   options.seed = static_cast<std::uint64_t>(flags.get_int("seed", 2013));
   options.scale = flags.get_double("scale", 0.0);
@@ -117,11 +177,18 @@ ScenarioOptions scenario_options_from_flags(const Flags& flags) {
   options.zipf_s = flags.get_double("zipf-s", 1.0);
   options.csv_path = flags.get_string("csv", "");
   options.json_path = flags.get_string("json", "");
-  options.per_run_csv = flags.get_bool("per-run", false);
+  options.stream_records_path = flags.get_string("stream-records", "");
+  options.axes = flags.get_string("axes", "");
   options.policies = flags.get_string("policies", "");
   options.workload = flags.get_string("workload", "all");
-  options.jobs_per_org =
-      static_cast<std::uint32_t>(flags.get_int("jobs-per-org", 0));
+  options.config_path = flags.get_string("config", "");
+  const std::int64_t jobs_per_org = flags.get_int("jobs-per-org", 0);
+  if (jobs_per_org < 0 || jobs_per_org > 4294967295) {
+    throw std::invalid_argument("--jobs-per-org must be in [0, 2^32-1]");
+  }
+  options.jobs_per_org = static_cast<std::uint32_t>(jobs_per_org);
+  options.min_orgs = static_cast<std::uint32_t>(non_negative("min-orgs"));
+  options.max_orgs = static_cast<std::uint32_t>(non_negative("max-orgs"));
   const std::string split = flags.get_string("split", "zipf");
   if (split == "zipf") {
     options.split = MachineSplit::kZipf;
@@ -130,7 +197,29 @@ ScenarioOptions scenario_options_from_flags(const Flags& flags) {
   } else {
     throw std::invalid_argument("--split must be zipf or uniform");
   }
+  // At most one machine-readable stream may claim stdout, or their
+  // different schemas would interleave into one unparseable file.
+  const int to_stdout = (options.csv_path == "-") +
+                        (options.json_path == "-") +
+                        (options.stream_records_path == "-");
+  if (to_stdout > 1) {
+    throw std::invalid_argument(
+        "at most one of --csv, --json, --stream-records may be '-'");
+  }
   return options;
+}
+
+const std::vector<WorkloadInfo>& workload_catalog() {
+  static const std::vector<WorkloadInfo> catalog = {
+      {"all", "the four archive-shaped synthetic workloads below"},
+      {"lpc", "LPC-EGEE shape: 70 CPUs, 56 users (Section 7.2)"},
+      {"pik", "PIK-IPLEX shape: 2560 CPUs, 225 users (scaled by --scale)"},
+      {"ricc", "RICC shape: 8192 CPUs, 176 users (scaled by --scale)"},
+      {"whale", "SHARCNET-Whale shape: 3072 CPUs, 154 users (scaled)"},
+      {"unit", "unit-size jobs, --jobs-per-org per organization (Thm 5.6)"},
+      {"smallrandom", "small random consortia, 2-4 orgs (Thm 6.2 probe)"},
+  };
+  return catalog;
 }
 
 SweepSpec make_table_sweep(const std::string& which,
@@ -158,6 +247,7 @@ SweepSpec make_table_sweep(const std::string& which,
                            ? options.scale
                            : (options.smoke ? kSmokeScale : 16.0);
   spec.workloads = archive_workloads(options, scale);
+  apply_axes_override(spec, options);
   char title[256];
   std::snprintf(title, sizeof(title),
                 "%s: avg unjustified delay (delta_psi / p_tot), duration "
@@ -177,6 +267,7 @@ SweepSpec make_table_sweep(const std::string& which,
 }
 
 SweepSpec make_rand_convergence_sweep(const ScenarioOptions& options) {
+  reject_axes("rand-convergence", options);
   SweepSpec spec;
   spec.name = "rand-convergence";
   spec.baseline = "ref";
@@ -213,6 +304,7 @@ SweepSpec make_rand_convergence_sweep(const ScenarioOptions& options) {
 }
 
 SweepSpec make_utilization_sweep(const ScenarioOptions& options) {
+  reject_axes("utilization", options);
   SweepSpec spec;
   spec.name = "utilization";
   spec.baseline = "";  // pure utilization sweep, no fairness reference
@@ -233,6 +325,119 @@ SweepSpec make_utilization_sweep(const ScenarioOptions& options) {
                 "horizon %lld",
                 spec.instances, static_cast<long long>(spec.horizon));
   spec.title = title;
+  return spec;
+}
+
+SweepSpec make_fig10_sweep(const ScenarioOptions& options) {
+  SweepSpec spec;
+  spec.name = "fig10";
+  spec.policies = table_policy_names();
+  spec.baseline = "ref";
+  spec.seed = options.seed;
+  spec.threads = options.threads;
+  spec.horizon = options.duration ? options.duration
+                                  : (options.smoke ? kSmokeTableDuration
+                                                   : Time{25000});
+  spec.instances = options.instances ? options.instances
+                                     : (options.smoke ? kSmokeInstances : 20);
+  spec.workloads.push_back(lpc_workload(options));
+  const std::uint32_t min_orgs = options.min_orgs ? options.min_orgs : 2;
+  // REF's cost grows ~3^k with the organization count, so the default stops
+  // at 7 (4 under --smoke); the paper's full figure is --max-orgs=10.
+  const std::uint32_t max_orgs =
+      options.max_orgs ? options.max_orgs : (options.smoke ? 4 : 7);
+  if (max_orgs < min_orgs) {
+    throw std::invalid_argument("--max-orgs must be >= --min-orgs");
+  }
+  std::vector<double> orgs;
+  for (std::uint32_t k = min_orgs; k <= max_orgs; ++k) {
+    orgs.push_back(static_cast<double>(k));
+  }
+  spec.axes.push_back(make_axis("orgs", std::move(orgs)));
+  apply_axes_override(spec, options);
+  char title[256];
+  std::snprintf(title, sizeof(title),
+                "Figure 10: delta_psi / p_tot vs number of organizations "
+                "(%s, duration %lld, %zu instance(s) per point)",
+                spec.workloads[0].name.c_str(),
+                static_cast<long long>(spec.horizon), spec.instances);
+  spec.title = title;
+  spec.note =
+      "Expected shape (paper Fig. 10): every series grows with the number "
+      "of organizations; RoundRobin steepest, Rand/DirectContr flattest.";
+  return spec;
+}
+
+SweepSpec make_horizon_growth_sweep(const ScenarioOptions& options) {
+  if (options.duration != 0) {
+    throw std::invalid_argument(
+        "horizon-growth sweeps the horizon as an axis; use "
+        "--axes=\"horizon=v1,v2,...\" instead of --duration");
+  }
+  SweepSpec spec;
+  spec.name = "horizon-growth";
+  spec.policies = {"roundrobin", "rand15", "directcontr", "fairshare"};
+  spec.baseline = "ref";
+  spec.seed = options.seed;
+  spec.threads = options.threads;
+  spec.instances = options.instances ? options.instances
+                                     : (options.smoke ? kSmokeInstances : 5);
+  spec.workloads.push_back(lpc_workload(options));
+  const std::vector<double> horizons =
+      options.smoke
+          ? std::vector<double>{2500, 5000, 10000}
+          : std::vector<double>{12500, 25000, 50000, 100000, 200000, 400000};
+  spec.horizon = static_cast<Time>(horizons.front());
+  spec.axes.push_back(make_axis("horizon", horizons));
+  apply_axes_override(spec, options);
+  char title[256];
+  std::snprintf(title, sizeof(title),
+                "Unfairness vs horizon (%s, %zu instance(s) per point, %u "
+                "orgs)",
+                spec.workloads[0].name.c_str(), spec.instances, options.orgs);
+  spec.title = title;
+  spec.note =
+      "Expected shape (paper Tables 1 vs 2): every series grows with the "
+      "horizon; RoundRobin fastest, Rand slowest.";
+  return spec;
+}
+
+SweepSpec make_fairshare_decay_sweep(const ScenarioOptions& options) {
+  SweepSpec spec;
+  spec.name = "fairshare-decay";
+  // The half-life axis binds onto decayfairshare; the other policies are
+  // the memoryless/infinite-memory extremes and the Shapley-aware /
+  // no-policy yardsticks, repeated per axis point as a visual baseline.
+  spec.policies = {"currfairshare", "decayfairshare", "fairshare",
+                   "directcontr", "random"};
+  spec.baseline = "ref";
+  spec.seed = options.seed;
+  spec.threads = options.threads;
+  spec.horizon = options.duration ? options.duration
+                                  : (options.smoke ? kSmokeTableDuration
+                                                   : Time{50000});
+  spec.instances = options.instances ? options.instances
+                                     : (options.smoke ? kSmokeInstances : 10);
+  spec.workloads.push_back(lpc_workload(options));
+  const std::vector<double> half_lives =
+      options.smoke ? std::vector<double>{500, 5000}
+                    : std::vector<double>{500, 2500, 10000, 50000};
+  spec.axes.push_back(make_axis("half-life", half_lives));
+  apply_axes_override(spec, options);
+  char title[256];
+  std::snprintf(title, sizeof(title),
+                "Fair-share memory ablation on %s: delta_psi / p_tot, "
+                "duration %lld, %zu instance(s), %u orgs",
+                spec.workloads[0].name.c_str(),
+                static_cast<long long>(spec.horizon), spec.instances,
+                options.orgs);
+  spec.title = title;
+  spec.note =
+      "Reading: the memoryless (currfairshare) and infinite-memory "
+      "(fairshare) extremes bracket the decayed variants; none matches the "
+      "contribution-aware DirectContr, reinforcing the paper's conclusion "
+      "that static/usage-based shares cannot substitute for measuring "
+      "organizations' actual impact.";
   return spec;
 }
 
@@ -292,30 +497,54 @@ SweepSpec make_custom_sweep(const ScenarioOptions& options) {
     w.kind = SweepWorkload::Kind::kSmallRandom;
     spec.workloads.push_back(std::move(w));
   } else {
-    throw std::invalid_argument(
-        "--workload must be all|lpc|pik|ricc|whale|unit|smallrandom, got '" +
-        which + "'");
+    std::string known;
+    for (const WorkloadInfo& info : workload_catalog()) {
+      if (!known.empty()) known += "|";
+      known += info.name;
+    }
+    throw std::invalid_argument("--workload must be " + known + ", got '" +
+                                which + "'");
   }
+  apply_axes_override(spec, options);
+  spec.title = custom_sweep_title(spec);
+  return spec;
+}
+
+std::string custom_sweep_title(const SweepSpec& spec) {
   char title[256];
   std::snprintf(title, sizeof(title),
-                "Custom sweep: %zu policies x %zu workload(s), duration "
-                "%lld, %zu instance(s)",
+                "Custom sweep: %zu policies x %zu workload(s) x %zu axis "
+                "point(s), duration %lld, %zu instance(s)",
                 spec.policies.size(), spec.workloads.size(),
-                static_cast<long long>(spec.horizon), spec.instances);
-  spec.title = title;
-  return spec;
+                num_axis_points(spec), static_cast<long long>(spec.horizon),
+                spec.instances);
+  return title;
 }
 
 int run_sweep_scenario(const SweepSpec& spec,
                        const ScenarioOptions& options) {
   std::FILE* human = human_file(options);
   if (!spec.title.empty()) std::fprintf(human, "%s\n", spec.title.c_str());
+
+  StreamRecords stream;
+  if (const int rc = open_stream_records(spec, options, stream)) return rc;
+  SweepDriver::RecordSink sink;
+  if (stream.csv) {
+    sink = [&stream](const RunRecord& record) { stream.csv->write(record); };
+  }
+
   SweepDriver driver;
-  const SweepResult result =
-      driver.run(spec, [human](const std::string& message) {
+  const SweepResult result = driver.run(
+      spec,
+      [human](const std::string& message) {
         std::fprintf(human, "  finished %s\n", message.c_str());
         std::fflush(human);
-      });
+      },
+      sink);
+  if (stream.file.is_open()) {
+    std::fprintf(human, "wrote per-run CSV: %s\n",
+                 options.stream_records_path.c_str());
+  }
 
   TableReporter table(human_stream(options));
   table.report(spec, result);
@@ -323,7 +552,7 @@ int run_sweep_scenario(const SweepSpec& spec,
 
   if (!options.csv_path.empty()) {
     if (options.csv_path == "-") {
-      CsvReporter csv(std::cout, options.per_run_csv);
+      CsvReporter csv(std::cout);
       csv.report(spec, result);
     } else {
       std::ofstream out(options.csv_path);
@@ -332,7 +561,7 @@ int run_sweep_scenario(const SweepSpec& spec,
                      options.csv_path.c_str());
         return 2;
       }
-      CsvReporter csv(out, options.per_run_csv);
+      CsvReporter csv(out);
       csv.report(spec, result);
       std::fprintf(human, "wrote CSV: %s\n", options.csv_path.c_str());
     }
@@ -382,6 +611,9 @@ double run_priority(const Instance& inst, OrgId pref, Time horizon) {
 }  // namespace
 
 int run_utilization_scenario(const ScenarioOptions& options) {
+  // Built first so option validation (e.g. the --axes rejection) fails
+  // before any output.
+  const SweepSpec spec = make_utilization_sweep(options);
   std::FILE* human = human_file(options);
   // --- Part 1: Figure 7 ----------------------------------------------------
   std::fprintf(human, "Figure 7: greedy resource utilization example (T = 6)\n");
@@ -413,24 +645,38 @@ int run_utilization_scenario(const ScenarioOptions& options) {
   std::fputs(family.to_string().c_str(), human);
 
   // --- Part 3: random instances through the sweep driver --------------------
-  const SweepSpec spec = make_utilization_sweep(options);
   std::fprintf(human, "\n%s\n", spec.title.c_str());
+
+  // The per-run utilizations and seeds are consumed from the streaming
+  // sink (the driver retains only cell aggregates); O(instances) here is
+  // this scenario's own working set, not the driver's.
+  std::vector<std::vector<double>> utils(
+      spec.instances, std::vector<double>(spec.policies.size(), 0.0));
+  std::vector<std::uint64_t> seeds(spec.instances, 0);
+  StreamRecords stream;
+  if (const int rc = open_stream_records(spec, options, stream)) return rc;
+  SweepDriver::RecordSink sink = [&](const RunRecord& record) {
+    utils[record.instance][record.policy] = record.utilization;
+    seeds[record.instance] = record.seed;
+    if (stream.csv) stream.csv->write(record);
+  };
+
   SweepDriver driver;
-  const SweepResult result = driver.run(spec);
+  const SweepResult result = driver.run(spec, nullptr, sink);
 
   double worst = 1.0;
   std::size_t below = 0;
   for (std::size_t i = 0; i < spec.instances; ++i) {
     double lo = 1.0, hi = 0.0;
     for (std::size_t p = 0; p < spec.policies.size(); ++p) {
-      const double util = result.record(spec, 0, i, p).utilization;
+      const double util = utils[i][p];
       lo = std::min(lo, util);
       hi = std::max(hi, util);
     }
     // The registry policies are comparatively tame; the priority extremes
     // (one per organization, regenerated from the run's recorded seed) are
     // the greedy schedules that approach the 3/4 bound.
-    const std::uint64_t seed = result.record(spec, 0, i, 0).seed;
+    const std::uint64_t seed = seeds[i];
     const Instance inst =
         make_workload_instance(spec.workloads[0], spec.horizon, seed);
     for (OrgId pref = 0; pref < inst.num_orgs(); ++pref) {
@@ -482,12 +728,20 @@ int run_rand_convergence_scenario(const ScenarioOptions& options) {
   const SweepSpec spec = make_rand_convergence_sweep(options);
   std::FILE* human = human_file(options);
   std::fprintf(human, "%s\n\n", spec.title.c_str());
+
+  StreamRecords stream;
+  if (const int rc = open_stream_records(spec, options, stream)) return rc;
+  SweepDriver::RecordSink sink;
+  if (stream.csv) {
+    sink = [&stream](const RunRecord& record) { stream.csv->write(record); };
+  }
+
   SweepDriver driver;
-  const SweepResult result = driver.run(spec);
+  const SweepResult result = driver.run(spec, nullptr, sink);
 
   AsciiTable table({"N (samples)", "rel. distance avg", "rel. distance max"});
   for (std::size_t p = 0; p < spec.policies.size(); ++p) {
-    const StatsAccumulator& acc = result.cells[0][p].rel_distance;
+    const StatsAccumulator& acc = result.cell(spec, 0, 0, p).rel_distance;
     table.add_row({spec.policies[p].substr(4),
                    AsciiTable::format_double(acc.mean(), 5),
                    AsciiTable::format_double(acc.max(), 5)});

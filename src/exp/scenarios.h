@@ -1,12 +1,14 @@
 #pragma once
 
 // The paper's experiments as data over the sweep driver. Each scenario
-// builds a SweepSpec (policies x workloads x seeds x horizon), runs it, and
-// reports through the pluggable reporters. The bench/ binaries and the
-// fairsched_exp subcommands are both thin shells over these entry points.
+// builds a SweepSpec (policies x workloads x seeds x parameter axes), runs
+// it, and reports through the pluggable reporters. The bench/ binaries and
+// the fairsched_exp subcommands are both thin shells over these entry
+// points.
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/types.h"
 #include "exp/sweep.h"
@@ -27,20 +29,39 @@ struct ScenarioOptions {
   bool smoke = false;  // tiny instance counts + BENCH_<name>.json baseline
   MachineSplit split = MachineSplit::kZipf;
   double zipf_s = 1.0;
-  std::string csv_path;   // "" = none, "-" = stdout
+  std::string csv_path;   // "" = none, "-" = stdout (cell aggregates)
   std::string json_path;  // "" = none (smoke emits BENCH_<name>.json)
-  bool per_run_csv = false;
+  // Streaming per-run CSV sink: "" = none, "-" = stdout, else a file path.
+  // Rows are written as runs are folded, so memory stays O(cells).
+  std::string stream_records_path;
   std::uint32_t jobs_per_org = 0;  // rand-convergence; 0 = scenario default
 
+  // Axis overrides, e.g. "orgs=2:7;zipf-s=0.5,1". Empty keeps each
+  // scenario's default axes ("custom" then has none).
+  std::string axes;
   // `custom` subcommand.
-  std::string policies;  // comma-separated registry names
-  std::string workload;  // lpc | pik | ricc | whale | all | unit | smallrandom
+  std::string policies;     // comma-separated registry names
+  std::string workload;     // see workload_catalog()
+  std::string config_path;  // sweep config file (see exp/sweep_config.h)
+
+  // `fig10` subcommand: bounds of the default organizations axis.
+  std::uint32_t min_orgs = 0;  // 0 = scenario default
+  std::uint32_t max_orgs = 0;  // 0 = scenario default
 };
 
 // Parses the harness-wide flags (--instances, --duration, --orgs, --seed,
-// --scale, --threads, --split, --zipf-s, --smoke, --csv, --json, --per-run,
-// --policies, --workload).
+// --scale, --threads, --split, --zipf-s, --smoke, --csv, --json,
+// --stream-records, --axes, --config, --policies, --workload, --min-orgs,
+// --max-orgs, --jobs-per-org).
 ScenarioOptions scenario_options_from_flags(const Flags& flags);
+
+// The workload kinds the `custom` subcommand / sweep configs accept, with
+// one-line descriptions (printed by `fairsched_exp list-workloads`).
+struct WorkloadInfo {
+  std::string name;
+  std::string description;
+};
+const std::vector<WorkloadInfo>& workload_catalog();
 
 // Tables 1-2: unfairness delta_psi / p_tot of the polynomial algorithms
 // against REF over the four archive-shaped workloads. `which` is "table1"
@@ -57,12 +78,30 @@ SweepSpec make_rand_convergence_sweep(const ScenarioOptions& options);
 // run_utilization_scenario).
 SweepSpec make_utilization_sweep(const ScenarioOptions& options);
 
-// Free-form sweep from --policies / --workload.
+// Fig. 10: unfairness vs the number of organizations on LPC-EGEE, as an
+// `orgs` axis (paper: 2..10; default stops at 7 — REF grows ~3^k).
+SweepSpec make_fig10_sweep(const ScenarioOptions& options);
+
+// The Table 1 -> Table 2 transition as a series: unfairness vs the
+// experiment horizon on LPC-EGEE, as a `horizon` axis.
+SweepSpec make_horizon_growth_sweep(const ScenarioOptions& options);
+
+// Fair-share memory ablation: decayed-usage fair share across a
+// `half-life` axis, bracketed by the memoryless/infinite-memory extremes
+// and the DirectContr / Random yardsticks.
+SweepSpec make_fairshare_decay_sweep(const ScenarioOptions& options);
+
+// Free-form sweep from --policies / --workload / --axes.
 SweepSpec make_custom_sweep(const ScenarioOptions& options);
 
+// The default "Custom sweep: ..." header for `spec`; sweep configs call it
+// again after overriding dimensions so the header stays truthful.
+std::string custom_sweep_title(const SweepSpec& spec);
+
 // Runs a sweep and reports: ASCII table on stdout, optional CSV
-// (options.csv_path), JSON perf baseline (options.json_path, defaulted to
-// BENCH_<sweep>.json under --smoke). Returns a process exit code.
+// (options.csv_path), streaming per-run CSV (options.stream_records_path),
+// JSON perf baseline (options.json_path, defaulted to BENCH_<sweep>.json
+// under --smoke). Returns a process exit code.
 int run_sweep_scenario(const SweepSpec& spec, const ScenarioOptions& options);
 
 // Figure 7 + Thm 6.2: prints the adversarial 3/4-utilization family, then

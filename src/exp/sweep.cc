@@ -1,6 +1,11 @@
 #include "exp/sweep.h"
 
+#include <algorithm>
+#include <cctype>
 #include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <limits>
 #include <mutex>
 #include <stdexcept>
 
@@ -52,7 +57,125 @@ double elapsed_ms(std::chrono::steady_clock::time_point since) {
       .count();
 }
 
+// Every axis spelling the harness understands. The canonical field is the
+// display / reporter column name; aliases share a canonical ("duration" ->
+// "horizon"), so the error text below dedupes on it.
+struct AxisBinding {
+  const char* key;        // normalized lookup key
+  const char* canonical;  // display / reporter column name
+  SweepAxis::Bind bind;
+};
+constexpr AxisBinding kAxisBindings[] = {
+    {"orgs", "orgs", SweepAxis::Bind::kOrgs},
+    {"horizon", "horizon", SweepAxis::Bind::kHorizon},
+    {"duration", "horizon", SweepAxis::Bind::kHorizon},
+    {"halflife", "half-life", SweepAxis::Bind::kHalfLife},
+    {"zipfs", "zipf-s", SweepAxis::Bind::kZipfS},
+    {"split", "split", SweepAxis::Bind::kSplit},
+    {"jobsperorg", "jobs-per-org", SweepAxis::Bind::kUnitJobsPerOrg},
+    {"randomjobs", "random-jobs", SweepAxis::Bind::kRandomJobs},
+};
+
+bool integral_bind(SweepAxis::Bind bind) {
+  switch (bind) {
+    case SweepAxis::Bind::kOrgs:
+    case SweepAxis::Bind::kHorizon:
+    case SweepAxis::Bind::kUnitJobsPerOrg:
+    case SweepAxis::Bind::kRandomJobs:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Binds one axis value onto the workload parameters shared by every policy
+// of the cell. kHorizon (per-point horizon) and kHalfLife (per-point
+// AlgorithmSpec) do not touch the workload and are resolved separately by
+// the driver.
+void apply_axis_value(const SweepAxis& axis, double value, SweepWorkload& w) {
+  switch (axis.bind) {
+    case SweepAxis::Bind::kOrgs:
+      w.orgs = static_cast<std::uint32_t>(value);
+      break;
+    case SweepAxis::Bind::kZipfS:
+      w.zipf_s = value;
+      break;
+    case SweepAxis::Bind::kSplit:
+      w.split = value == 0.0 ? MachineSplit::kZipf : MachineSplit::kUniform;
+      break;
+    case SweepAxis::Bind::kUnitJobsPerOrg:
+      w.unit_jobs_per_org = static_cast<std::uint32_t>(value);
+      break;
+    case SweepAxis::Bind::kRandomJobs:
+      w.random_jobs = static_cast<std::size_t>(value);
+      break;
+    case SweepAxis::Bind::kHorizon:
+    case SweepAxis::Bind::kHalfLife:
+      break;
+  }
+}
+
+void validate_axis(const SweepSpec& spec, const SweepAxis& axis) {
+  auto fail = [&](const std::string& why) {
+    throw std::invalid_argument("sweep '" + spec.name + "': axis '" +
+                                axis.name + "' " + why);
+  };
+  if (axis.name.empty()) fail("has no name");
+  if (axis.values.empty()) fail("has no values");
+  for (double v : axis.values) {
+    if (integral_bind(axis.bind)) {
+      // Range-check before the round-trip cast: double -> integer overflow
+      // is undefined behavior, and an out-of-range orgs value would
+      // otherwise silently simulate a different consortium than the CSV
+      // row is labeled with. kOrgs/kUnitJobsPerOrg/kRandomJobs bind onto
+      // 32-bit fields; kHorizon onto Time (int64).
+      const double limit = axis.bind == SweepAxis::Bind::kHorizon
+                               ? 9.0e18
+                               : 4294967295.0;  // uint32 max
+      if (!(v >= 0 && v <= limit) ||
+          v != static_cast<double>(static_cast<std::int64_t>(v))) {
+        fail("requires integer values in [0, " +
+             std::to_string(static_cast<std::int64_t>(limit)) + "], got " +
+             std::to_string(v));
+      }
+    }
+    switch (axis.bind) {
+      case SweepAxis::Bind::kOrgs:
+        if (v < 1) fail("values must be >= 1");
+        break;
+      case SweepAxis::Bind::kHorizon:
+      case SweepAxis::Bind::kUnitJobsPerOrg:
+        if (v < 1) fail("values must be >= 1");
+        break;
+      case SweepAxis::Bind::kHalfLife:
+        if (!(v > 0)) fail("values must be positive");
+        break;
+      case SweepAxis::Bind::kZipfS:
+        if (!(v >= 0)) fail("values must be non-negative");
+        break;
+      case SweepAxis::Bind::kSplit:
+        if (v != 0.0 && v != 1.0) {
+          fail("values must be 0 (zipf) or 1 (uniform)");
+        }
+        break;
+      case SweepAxis::Bind::kRandomJobs:
+        if (v < 0) fail("values must be non-negative");
+        break;
+    }
+  }
+}
+
 }  // namespace
+
+std::string normalize_axis_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    if (c == '-' || c == '_') continue;
+    out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
 
 Instance make_workload_instance(const SweepWorkload& workload, Time horizon,
                                 std::uint64_t seed) {
@@ -69,16 +192,79 @@ Instance make_workload_instance(const SweepWorkload& workload, Time horizon,
   throw std::logic_error("make_workload_instance: unknown workload kind");
 }
 
-const RunRecord& SweepResult::record(const SweepSpec& spec,
-                                     std::size_t workload,
-                                     std::size_t instance,
-                                     std::size_t policy) const {
-  return records[(workload * spec.instances + instance) *
-                     spec.policies.size() +
-                 policy];
+SweepAxis make_axis(const std::string& name, std::vector<double> values) {
+  const std::string key = normalize_axis_name(name);
+  for (const AxisBinding& binding : kAxisBindings) {
+    if (key == binding.key) {
+      SweepAxis axis;
+      axis.name = binding.canonical;
+      axis.bind = binding.bind;
+      axis.values = std::move(values);
+      return axis;
+    }
+  }
+  std::string known;
+  for (const AxisBinding& binding : kAxisBindings) {
+    if (known.find(binding.canonical) != std::string::npos) continue;
+    if (!known.empty()) known += ", ";
+    known += binding.canonical;
+  }
+  throw std::invalid_argument("unknown sweep axis '" + name +
+                              "'; known axes: " + known);
 }
 
-SweepResult SweepDriver::run(const SweepSpec& spec, Progress progress) const {
+std::string axis_value_label(const SweepAxis& axis, double value) {
+  if (axis.bind == SweepAxis::Bind::kSplit) {
+    return value == 0.0 ? "zipf" : "uniform";
+  }
+  if (integral_bind(axis.bind)) {
+    return std::to_string(static_cast<std::int64_t>(value));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  return buf;
+}
+
+std::size_t num_axis_points(const SweepSpec& spec) {
+  std::size_t points = 1;
+  for (const SweepAxis& axis : spec.axes) {
+    if (axis.values.empty()) {
+      throw std::invalid_argument("sweep '" + spec.name + "': axis '" +
+                                  axis.name + "' has no values");
+    }
+    if (points > std::numeric_limits<std::size_t>::max() /
+                     axis.values.size()) {
+      throw std::invalid_argument("sweep '" + spec.name +
+                                  "': axis cross product overflows");
+    }
+    points *= axis.values.size();
+  }
+  return points;
+}
+
+std::vector<double> axis_point_values(const SweepSpec& spec,
+                                      std::size_t point) {
+  std::vector<double> values(spec.axes.size());
+  // Mixed radix, axis 0 outermost: peel digits from the innermost axis.
+  for (std::size_t j = spec.axes.size(); j-- > 0;) {
+    const std::vector<double>& axis_values = spec.axes[j].values;
+    values[j] = axis_values[point % axis_values.size()];
+    point /= axis_values.size();
+  }
+  return values;
+}
+
+const SweepCell& SweepResult::cell(const SweepSpec& spec,
+                                   std::size_t axis_point,
+                                   std::size_t workload,
+                                   std::size_t policy) const {
+  return cells[(axis_point * spec.workloads.size() + workload) *
+                   spec.policies.size() +
+               policy];
+}
+
+SweepResult SweepDriver::run(const SweepSpec& spec, Progress progress,
+                             RecordSink sink) const {
   if (spec.policies.empty()) {
     throw std::invalid_argument("sweep '" + spec.name + "': no policies");
   }
@@ -87,6 +273,15 @@ SweepResult SweepDriver::run(const SweepSpec& spec, Progress progress) const {
   }
   if (spec.instances == 0) {
     throw std::invalid_argument("sweep '" + spec.name + "': no instances");
+  }
+  for (const SweepAxis& axis : spec.axes) {
+    validate_axis(spec, axis);
+    for (const SweepAxis& other : spec.axes) {
+      if (&axis != &other && axis.name == other.name) {
+        throw std::invalid_argument("sweep '" + spec.name +
+                                    "': duplicate axis '" + axis.name + "'");
+      }
+    }
   }
   // Resolve every name up front so a typo fails before hours of compute.
   std::vector<AlgorithmSpec> algorithms;
@@ -98,75 +293,168 @@ SweepResult SweepDriver::run(const SweepSpec& spec, Progress progress) const {
   const AlgorithmSpec baseline =
       has_baseline ? registry_.make(spec.baseline) : AlgorithmSpec{};
 
+  const std::size_t num_points = num_axis_points(spec);
+  const std::size_t num_workloads = spec.workloads.size();
   const std::size_t num_policies = spec.policies.size();
-  const std::size_t num_tasks = spec.workloads.size() * spec.instances;
+  const std::size_t num_tasks = num_points * num_workloads * spec.instances;
 
-  SweepResult result;
-  result.records.resize(num_tasks * num_policies);
-  std::vector<double> baseline_walls(num_tasks, 0.0);
-
-  std::mutex progress_mu;
-  ThreadPool pool(spec.threads);
-  // One task per (workload, instance): the window and its baseline are
-  // computed once and shared by every policy. Records land at fixed indices,
-  // so no lock is needed on the result and aggregation order is independent
-  // of scheduling order.
-  pool.parallel_for(num_tasks, [&](std::size_t task) {
-    const std::size_t w = task / spec.instances;
-    const std::size_t i = task % spec.instances;
-    const SweepWorkload& workload = spec.workloads[w];
-    const std::uint64_t seed = mix_seed(spec.seed, task);
-
-    const Instance inst = make_workload_instance(workload, spec.horizon, seed);
-
-    RunResult ref;
-    if (has_baseline) {
-      const auto t0 = std::chrono::steady_clock::now();
-      ref = run_algorithm(inst, baseline, spec.horizon, seed);
-      baseline_walls[task] = elapsed_ms(t0);
-    }
-
+  // Bind every axis point up front: per point the horizon and the policy
+  // specs (kHalfLife), per (point, workload) the workload parameters. All
+  // O(cells), never O(runs).
+  std::vector<Time> horizons(num_points, spec.horizon);
+  std::vector<AlgorithmSpec> bound_algorithms(num_points *
+                                              num_policies);
+  std::vector<SweepWorkload> bound_workloads(num_points * num_workloads);
+  for (std::size_t a = 0; a < num_points; ++a) {
+    const std::vector<double> values = axis_point_values(spec, a);
     for (std::size_t p = 0; p < num_policies; ++p) {
-      const auto t0 = std::chrono::steady_clock::now();
-      const RunResult r =
-          run_algorithm(inst, algorithms[p], spec.horizon, seed);
-      RunRecord& record = result.records[task * num_policies + p];
-      record.workload = w;
-      record.policy = p;
-      record.instance = i;
-      record.seed = seed;
-      record.wall_ms = elapsed_ms(t0);
-      record.work_done = r.work_done;
-      record.utilization =
-          resource_utilization(inst, r.schedule, spec.horizon);
-      if (has_baseline) {
-        record.unfairness =
-            unfairness_ratio(r.utilities2, ref.utilities2, ref.work_done);
-        record.rel_distance = relative_distance(r.utilities2, ref.utilities2);
+      AlgorithmSpec alg = algorithms[p];
+      for (std::size_t j = 0; j < spec.axes.size(); ++j) {
+        if (spec.axes[j].bind == SweepAxis::Bind::kHalfLife &&
+            alg.id == AlgorithmId::kDecayFairShare) {
+          alg.decay_half_life = values[j];
+        }
+      }
+      bound_algorithms[a * num_policies + p] = alg;
+    }
+    for (std::size_t j = 0; j < spec.axes.size(); ++j) {
+      if (spec.axes[j].bind == SweepAxis::Bind::kHorizon) {
+        horizons[a] = static_cast<Time>(values[j]);
       }
     }
+    for (std::size_t w = 0; w < num_workloads; ++w) {
+      SweepWorkload workload = spec.workloads[w];
+      for (std::size_t j = 0; j < spec.axes.size(); ++j) {
+        apply_axis_value(spec.axes[j], values[j], workload);
+      }
+      bound_workloads[a * num_workloads + w] = std::move(workload);
+    }
+  }
 
-    if (progress) {
-      std::lock_guard<std::mutex> lock(progress_mu);
-      progress(workload.name + " #" + std::to_string(i));
+  SweepResult result;
+  result.axis_points = num_points;
+  result.cells.assign(num_points * num_workloads * num_policies,
+                      SweepCell{});
+
+  // Streaming ordered fold. Tasks complete in scheduling order, which is
+  // thread-count dependent; a bounded reorder window buffers completed
+  // tasks until every earlier task has been folded, so the fold (and the
+  // sink) always observe the fixed order (axis point, workload, instance,
+  // policy) and peak memory stays O(window), not O(runs). A worker that
+  // races more than `window` tasks ahead of the fold cursor blocks; the
+  // worker holding the cursor task never blocks (its slot is always free),
+  // so the sweep cannot deadlock.
+  struct TaskOutput {
+    bool ready = false;
+    std::vector<RunRecord> records;
+    double baseline_wall = 0.0;
+    std::string progress_label;
+  };
+  ThreadPool pool(spec.threads);
+  const std::size_t window =
+      std::min(num_tasks, std::max<std::size_t>(64, 4 * pool.size()));
+  std::vector<TaskOutput> slots(window);
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t cursor = 0;  // next task index to fold
+  std::exception_ptr abort_error;
+
+  auto fold_ready_tasks = [&](std::unique_lock<std::mutex>& lock) {
+    bool advanced = false;
+    while (cursor < num_tasks && slots[cursor % window].ready) {
+      TaskOutput out = std::move(slots[cursor % window]);
+      slots[cursor % window] = TaskOutput{};
+      ++cursor;
+      advanced = true;
+      for (const RunRecord& record : out.records) {
+        SweepCell& cell = result.cells[(record.axis_point * num_workloads +
+                                        record.workload) *
+                                           num_policies +
+                                       record.policy];
+        cell.unfairness.add(record.unfairness);
+        cell.rel_distance.add(record.rel_distance);
+        cell.utilization.add(record.utilization);
+        cell.work_done += record.work_done;
+        cell.wall_ms += record.wall_ms;
+        result.total_wall_ms += record.wall_ms;
+        if (sink) sink(record);
+      }
+      result.baseline_wall_ms += out.baseline_wall;
+      result.total_wall_ms += out.baseline_wall;
+      if (progress) progress(out.progress_label);
+    }
+    if (advanced) {
+      lock.unlock();
+      cv.notify_all();
+      lock.lock();
+    }
+  };
+
+  pool.parallel_for(num_tasks, [&](std::size_t task) {
+    try {
+      const std::size_t a = task / (num_workloads * spec.instances);
+      const std::size_t w =
+          (task / spec.instances) % num_workloads;
+      const std::size_t i = task % spec.instances;
+      const SweepWorkload& workload = bound_workloads[a * num_workloads + w];
+      const Time horizon = horizons[a];
+      // The seed depends only on (workload, instance), so every axis point
+      // reruns the same window population: axis series are paired samples,
+      // and axis-free sweeps keep their pre-axis seeding bit-for-bit.
+      const std::uint64_t seed =
+          mix_seed(spec.seed, w * spec.instances + i);
+
+      TaskOutput out;
+      out.records.resize(num_policies);
+      const Instance inst = make_workload_instance(workload, horizon, seed);
+
+      RunResult ref;
+      if (has_baseline) {
+        const auto t0 = std::chrono::steady_clock::now();
+        ref = run_algorithm(inst, baseline, horizon, seed);
+        out.baseline_wall = elapsed_ms(t0);
+      }
+
+      for (std::size_t p = 0; p < num_policies; ++p) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const RunResult r = run_algorithm(
+            inst, bound_algorithms[a * num_policies + p], horizon, seed);
+        RunRecord& record = out.records[p];
+        record.axis_point = a;
+        record.workload = w;
+        record.policy = p;
+        record.instance = i;
+        record.seed = seed;
+        record.wall_ms = elapsed_ms(t0);
+        record.work_done = r.work_done;
+        record.utilization = resource_utilization(inst, r.schedule, horizon);
+        if (has_baseline) {
+          record.unfairness =
+              unfairness_ratio(r.utilities2, ref.utilities2, ref.work_done);
+          record.rel_distance =
+              relative_distance(r.utilities2, ref.utilities2);
+        }
+      }
+      out.progress_label = workload.name + " #" + std::to_string(i);
+      out.ready = true;
+
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] {
+        return abort_error != nullptr || task < cursor + window;
+      });
+      if (abort_error) std::rethrow_exception(abort_error);
+      slots[task % window] = std::move(out);
+      fold_ready_tasks(lock);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!abort_error) abort_error = std::current_exception();
+      }
+      cv.notify_all();
+      throw;
     }
   });
 
-  // Sequential fold in record order: identical floats for 1 or N threads.
-  result.cells.assign(spec.workloads.size(),
-                      std::vector<SweepCell>(num_policies));
-  for (const RunRecord& record : result.records) {
-    SweepCell& cell = result.cells[record.workload][record.policy];
-    cell.unfairness.add(record.unfairness);
-    cell.rel_distance.add(record.rel_distance);
-    cell.utilization.add(record.utilization);
-    cell.wall_ms += record.wall_ms;
-    result.total_wall_ms += record.wall_ms;
-  }
-  for (double wall : baseline_walls) {
-    result.baseline_wall_ms += wall;
-    result.total_wall_ms += wall;
-  }
   return result;
 }
 

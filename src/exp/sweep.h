@@ -2,13 +2,16 @@
 
 // Declarative experiment sweeps.
 //
-// A sweep is data: (policy set) x (workload generators) x (seeds) x
-// (horizon). The SweepDriver executes the cross product by sharding
-// independent (workload, instance) cells across the shared ThreadPool and
-// re-aggregates in a fixed sequential order, so the statistical output is
-// bit-identical whatever the thread count — CI asserts this. Per-run wall
-// times are recorded for the JSON perf baselines but deliberately kept out
-// of the deterministic aggregates.
+// A sweep is data: (policy set) x (workload generators) x (seeds) x a cross
+// product of named parameter axes (number of organizations, horizon,
+// fair-share half-life, ...). The SweepDriver executes the cross product by
+// sharding independent (axis point, workload, instance) cells across the
+// shared ThreadPool and folds the results in a fixed sequential order, so
+// the statistical output is bit-identical whatever the thread count — CI
+// asserts this. Per-run records are streamed to an opt-in sink instead of
+// being retained, so peak memory is O(cells), independent of the run count.
+// Per-run wall times are recorded for the JSON perf baselines but
+// deliberately kept out of the deterministic aggregates.
 
 #include <cstdint>
 #include <functional>
@@ -52,23 +55,71 @@ struct SweepWorkload {
 Instance make_workload_instance(const SweepWorkload& workload, Time horizon,
                                 std::uint64_t seed);
 
+// A named parameter axis. The sweep runs the full cross product of every
+// axis's values; each value is bound onto the run's workload, horizon or
+// policy parameters before execution. Reporters emit one column per axis.
+struct SweepAxis {
+  enum class Bind {
+    kOrgs,            // SweepWorkload::orgs (Fig. 10's dimension)
+    kHorizon,         // per-point experiment horizon (Tables 1 vs 2)
+    kHalfLife,        // decay_half_life of every decayfairshare policy
+    kZipfS,           // Zipf exponent of the machine split
+    kSplit,           // machine split: 0 = zipf, 1 = uniform
+    kUnitJobsPerOrg,  // SweepWorkload::unit_jobs_per_org
+    kRandomJobs,      // SweepWorkload::random_jobs
+  };
+
+  std::string name;  // reporter column name, e.g. "orgs"
+  Bind bind = Bind::kOrgs;
+  std::vector<double> values;
+};
+
+// Builds an axis from a user-facing name: orgs, horizon (alias: duration),
+// half-life, zipf-s, split, jobs-per-org, random-jobs (case-insensitive,
+// '-'/'_' interchangeable). Throws std::invalid_argument on unknown names,
+// listing the valid ones.
+SweepAxis make_axis(const std::string& name, std::vector<double> values);
+
+// The spelling fold behind make_axis (lower-case, '-'/'_' stripped), so
+// "half-life", "half_life" and "HalfLife" all name the same axis. Sweep
+// config keys share these spelling rules (exp/sweep_config).
+std::string normalize_axis_name(const std::string& name);
+
+// Human/CSV label of one axis value: integral binds print as integers,
+// kSplit prints "zipf"/"uniform", the rest shortest-round-trip decimal.
+std::string axis_value_label(const SweepAxis& axis, double value);
+
 struct SweepSpec {
   std::string name;                   // e.g. "table1"
   std::string title;                  // human header printed by the harness
   std::string note;                   // expected-shape remark printed after
   std::vector<std::string> policies;  // PolicyRegistry names
   std::vector<SweepWorkload> workloads;
+  // Extra swept dimensions beyond policies x workloads x instances. May be
+  // empty (a single implicit axis point). Axis 0 varies slowest.
+  std::vector<SweepAxis> axes;
   std::size_t instances = 10;   // independent windows per workload
-  std::uint64_t seed = 2013;    // base seed; runs use mix_seed(seed, index)
-  Time horizon = 50000;
+  std::uint64_t seed = 2013;    // base seed; instances use mix_seed(seed, i)
+  Time horizon = 50000;         // default; a kHorizon axis overrides it
   // Reference policy for the fairness metrics (usually "ref"); empty
   // disables them (pure utilization/perf sweeps).
   std::string baseline = "ref";
   std::size_t threads = 0;  // 0 = hardware concurrency
 };
 
-// One (workload, policy, instance) execution.
+// Number of axis points: the product of all axis value counts (1 when no
+// axes are declared). Throws std::invalid_argument on overflow or an axis
+// with no values.
+std::size_t num_axis_points(const SweepSpec& spec);
+
+// Decodes a flat axis-point index into one value per axis (mixed radix,
+// axis 0 outermost). Returns an empty vector for axis-free sweeps.
+std::vector<double> axis_point_values(const SweepSpec& spec,
+                                      std::size_t point);
+
+// One (axis point, workload, policy, instance) execution.
 struct RunRecord {
+  std::size_t axis_point = 0;  // flat index; decode via axis_point_values
   std::size_t workload = 0;
   std::size_t policy = 0;
   std::size_t instance = 0;
@@ -84,20 +135,21 @@ struct SweepCell {
   StatsAccumulator unfairness;
   StatsAccumulator rel_distance;
   StatsAccumulator utilization;
+  std::int64_t work_done = 0;  // summed over the cell's runs
   double wall_ms = 0.0;
 };
 
 struct SweepResult {
-  // workload-major, then instance, then policy — the deterministic order the
-  // aggregates are folded in.
-  std::vector<RunRecord> records;
-  // cells[workload][policy], aggregated sequentially from `records`.
-  std::vector<std::vector<SweepCell>> cells;
+  std::size_t axis_points = 1;
+  // Flat cell array indexed [(axis_point * workloads + workload) * policies
+  // + policy], aggregated in the deterministic fold order: axis point, then
+  // workload, then instance, then policy.
+  std::vector<SweepCell> cells;
   double baseline_wall_ms = 0.0;
   double total_wall_ms = 0.0;  // sum of per-run walls, not elapsed time
 
-  const RunRecord& record(const SweepSpec& spec, std::size_t workload,
-                          std::size_t instance, std::size_t policy) const;
+  const SweepCell& cell(const SweepSpec& spec, std::size_t axis_point,
+                        std::size_t workload, std::size_t policy) const;
 };
 
 class SweepDriver {
@@ -107,10 +159,18 @@ class SweepDriver {
       : registry_(registry) {}
 
   using Progress = std::function<void(const std::string& message)>;
+  // Streaming per-run consumer, invoked in the deterministic fold order
+  // (axis point, workload, instance, policy) regardless of thread count.
+  // Records are not retained by the driver; a sink that needs them later
+  // must copy. Exceptions thrown by the sink abort the sweep.
+  using RecordSink = std::function<void(const RunRecord&)>;
 
-  // Validates every policy name, executes the sweep, and aggregates.
-  // Throws std::invalid_argument on unknown policies or empty dimensions.
-  SweepResult run(const SweepSpec& spec, Progress progress = nullptr) const;
+  // Validates every policy name and axis up front, executes the sweep, and
+  // streams records through `sink` while folding them into the per-cell
+  // aggregates. Throws std::invalid_argument on unknown policies, malformed
+  // axes or empty dimensions.
+  SweepResult run(const SweepSpec& spec, Progress progress = nullptr,
+                  RecordSink sink = nullptr) const;
 
  private:
   const PolicyRegistry& registry_;

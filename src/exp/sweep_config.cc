@@ -1,0 +1,267 @@
+#include "exp/sweep_config.h"
+
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <stdexcept>
+#include <string>
+
+#include "util/cli.h"
+
+namespace fairsched::exp {
+
+namespace {
+
+constexpr std::size_t kMaxRangeValues = 100000;
+
+std::string trim(const std::string& s) { return trim_whitespace(s); }
+
+double parse_number(const std::string& token) {
+  std::size_t pos = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(token, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("expected a number, got '" + token + "'");
+  }
+  if (pos != token.size()) {
+    throw std::invalid_argument("expected a number, got '" + token + "'");
+  }
+  return value;
+}
+
+std::int64_t parse_integer(const std::string& token) {
+  const double value = parse_number(token);
+  // Range-check before the round-trip cast: double -> int64 overflow is
+  // undefined behavior.
+  constexpr double kIntLimit = 9.0e18;
+  if (!(value > -kIntLimit && value < kIntLimit)) {
+    throw std::invalid_argument("expected an integer, got '" + token + "'");
+  }
+  const auto integral = static_cast<std::int64_t>(value);
+  if (value != static_cast<double>(integral)) {
+    throw std::invalid_argument("expected an integer, got '" + token + "'");
+  }
+  return integral;
+}
+
+// One token of an axis value list: a number, a split label, or an
+// inclusive lo:hi[:step] range.
+void append_axis_token(const SweepAxis& axis, const std::string& token,
+                       std::vector<double>& values) {
+  if (axis.bind == SweepAxis::Bind::kSplit) {
+    if (token == "zipf") {
+      values.push_back(0.0);
+      return;
+    }
+    if (token == "uniform") {
+      values.push_back(1.0);
+      return;
+    }
+  }
+  if (token.find(':') == std::string::npos) {
+    values.push_back(parse_number(token));
+    return;
+  }
+  // split_and_trim drops empty tokens, so catch empty fields ("2::8",
+  // ":2", "2:") explicitly — they are typos, not step-1 ranges.
+  const std::vector<std::string> parts = split_and_trim(token, ':');
+  if (parts.size() < 2 || parts.size() > 3 || token.front() == ':' ||
+      token.back() == ':' || token.find("::") != std::string::npos) {
+    throw std::invalid_argument("malformed range '" + token +
+                                "' (want lo:hi or lo:hi:step)");
+  }
+  const double lo = parse_number(parts[0]);
+  const double hi = parse_number(parts[1]);
+  const double step = parts.size() == 3 ? parse_number(parts[2]) : 1.0;
+  if (!(step > 0)) {
+    throw std::invalid_argument("range step must be positive in '" + token +
+                                "'");
+  }
+  if (hi < lo) {
+    throw std::invalid_argument("empty range '" + token + "'");
+  }
+  // Index-based expansion (lo + i*step, never v += step): accumulation
+  // drift would otherwise drop the documented-inclusive endpoint of long
+  // fractional ranges. Relative slack snaps a nearly-integral span to the
+  // endpoint.
+  const double span = (hi - lo) / step;
+  const double rounded = std::round(span);
+  const bool lands_on_hi =
+      std::abs(span - rounded) <= 1e-6 * std::max(1.0, std::abs(rounded));
+  const double steps_d = lands_on_hi ? rounded : std::floor(span);
+  if (steps_d + 1 > static_cast<double>(kMaxRangeValues)) {
+    throw std::invalid_argument("range '" + token + "' expands to more "
+                                "than " +
+                                std::to_string(kMaxRangeValues) + " values");
+  }
+  const auto steps = static_cast<std::size_t>(steps_d);
+  for (std::size_t i = 0; i <= steps; ++i) {
+    values.push_back(i == steps && lands_on_hi ? hi : lo + i * step);
+  }
+}
+
+SweepAxis parse_axis(const std::string& name, const std::string& value) {
+  SweepAxis axis = make_axis(name, {});
+  const std::vector<std::string> tokens = split_and_trim(value, ',');
+  if (tokens.empty()) {
+    throw std::invalid_argument("axis '" + name + "' has no values");
+  }
+  for (const std::string& token : tokens) {
+    append_axis_token(axis, token, axis.values);
+  }
+  return axis;
+}
+
+}  // namespace
+
+std::vector<SweepAxis> parse_axes_spec(const std::string& text) {
+  std::vector<SweepAxis> axes;
+  for (const std::string& part : split_and_trim(text, ';')) {
+    const std::size_t eq = part.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("malformed axis spec '" + part +
+                                  "' (want name=v1,v2,...)");
+    }
+    axes.push_back(parse_axis(trim(part.substr(0, eq)),
+                              trim(part.substr(eq + 1))));
+  }
+  return axes;
+}
+
+SweepSpec parse_sweep_config(std::istream& in, const std::string& source,
+                             const ScenarioOptions& defaults) {
+  ScenarioOptions options = defaults;
+  std::vector<SweepAxis> axes;
+  bool axes_in_file = false;
+  std::string name, title, note, baseline;
+  bool has_name = false, has_title = false, has_note = false,
+       has_baseline = false;
+
+  std::string line;
+  int lineno = 0;
+  auto fail = [&](const std::string& why) -> void {
+    throw std::invalid_argument(source + ":" + std::to_string(lineno) +
+                                ": " + why);
+  };
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    line = trim(line.substr(0, line.find('#')));
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      fail("expected 'key = value', got '" + line + "'");
+    }
+    std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+
+    try {
+      if (key.rfind("axis ", 0) == 0 || key.rfind("axis\t", 0) == 0) {
+        const SweepAxis axis = parse_axis(trim(key.substr(5)), value);
+        for (const SweepAxis& existing : axes) {
+          if (existing.name == axis.name) {
+            fail("duplicate axis '" + axis.name + "'");
+          }
+        }
+        axes.push_back(axis);
+        axes_in_file = true;
+        continue;
+      }
+      // Config keys follow the same spelling rules as axis names.
+      const std::string normalized = normalize_axis_name(key);
+      if (normalized == "name") {
+        name = value;
+        has_name = true;
+      } else if (normalized == "title") {
+        title = value;
+        has_title = true;
+      } else if (normalized == "note") {
+        note = value;
+        has_note = true;
+      } else if (normalized == "baseline") {
+        baseline = value == "none" ? "" : value;
+        has_baseline = true;
+      } else if (normalized == "policies") {
+        options.policies = value;
+      } else if (normalized == "workload") {
+        options.workload = value;
+      } else if (normalized == "instances") {
+        const std::int64_t v = parse_integer(value);
+        if (v < 1) fail("instances must be >= 1");
+        options.instances = static_cast<std::size_t>(v);
+      } else if (normalized == "duration" || normalized == "horizon") {
+        const std::int64_t v = parse_integer(value);
+        if (v < 1) fail("duration must be >= 1");
+        options.duration = static_cast<Time>(v);
+      } else if (normalized == "orgs") {
+        const std::int64_t v = parse_integer(value);
+        if (v < 1 || v > 4294967295) fail("orgs must be in [1, 2^32-1]");
+        options.orgs = static_cast<std::uint32_t>(v);
+      } else if (normalized == "seed") {
+        options.seed = static_cast<std::uint64_t>(parse_integer(value));
+      } else if (normalized == "scale") {
+        const double v = parse_number(value);
+        if (!(v > 0)) fail("scale must be positive");
+        options.scale = v;
+      } else if (normalized == "split") {
+        if (value == "zipf") {
+          options.split = MachineSplit::kZipf;
+        } else if (value == "uniform") {
+          options.split = MachineSplit::kUniform;
+        } else {
+          fail("split must be zipf or uniform, got '" + value + "'");
+        }
+      } else if (normalized == "zipfs") {
+        options.zipf_s = parse_number(value);
+      } else if (normalized == "threads") {
+        const std::int64_t v = parse_integer(value);
+        if (v < 0) fail("threads must be non-negative");
+        options.threads = static_cast<std::size_t>(v);
+      } else if (normalized == "jobsperorg") {
+        const std::int64_t v = parse_integer(value);
+        if (v < 1 || v > 4294967295) {
+          fail("jobs-per-org must be in [1, 2^32-1]");
+        }
+        options.jobs_per_org = static_cast<std::uint32_t>(v);
+      } else {
+        fail("unknown key '" + key +
+             "'; known keys: name, title, note, baseline, policies, "
+             "workload, instances, duration, orgs, seed, scale, split, "
+             "zipf-s, threads, jobs-per-org, axis <name>");
+      }
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
+      // Errors from the helpers lack the <source>:<line> prefix; fail()'s
+      // own exceptions already carry it.
+      if (what.rfind(source + ":", 0) == 0) throw;
+      fail(what);
+    }
+  }
+
+  SweepSpec spec;
+  try {
+    spec = make_custom_sweep(options);
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(source + ": " + e.what());
+  }
+  if (axes_in_file) spec.axes = axes;
+  if (has_name) spec.name = name;
+  // The default title was composed before the file's axes were applied;
+  // recompute it unless the file supplies its own.
+  spec.title = has_title ? title : custom_sweep_title(spec);
+  if (has_note) spec.note = note;
+  if (has_baseline) spec.baseline = baseline;
+  return spec;
+}
+
+SweepSpec load_sweep_config_file(const std::string& path,
+                                 const ScenarioOptions& defaults) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::invalid_argument("cannot read sweep config: " + path);
+  }
+  return parse_sweep_config(in, path, defaults);
+}
+
+}  // namespace fairsched::exp

@@ -1,0 +1,39 @@
+#pragma once
+
+// Declarative sweep configs: build a SweepSpec from a text file (or a CLI
+// axis string) so new scenarios need no recompile. The format is one
+// `key = value` per line with `#` comments; `axis <name> = <values>` lines
+// add sweep axes, where <values> is a comma list of numbers and/or
+// inclusive `lo:hi[:step]` ranges ("2:7" expands to 2,3,...,7). See
+// docs/EXPERIMENTS.md for the full reference and a worked example.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "exp/scenarios.h"
+#include "exp/sweep.h"
+
+namespace fairsched::exp {
+
+// Parses a "name=v1,v2;other=lo:hi:step" axis list (';' between axes), the
+// value of the --axes flag. Axis names resolve through make_axis; a kSplit
+// axis also accepts the labels zipf/uniform. Throws std::invalid_argument
+// on malformed input. An empty string yields no axes.
+std::vector<SweepAxis> parse_axes_spec(const std::string& text);
+
+// Parses a sweep-config stream. Scalar keys (policies, workload, instances,
+// duration, orgs, seed, scale, split, zipf-s, threads, jobs-per-org, name,
+// title, note, baseline) and axis lines set in the file win over the
+// command-line `defaults`; everything else falls back to them. `source`
+// names the stream in "<source>:<line>: ..." parse errors
+// (std::invalid_argument).
+SweepSpec parse_sweep_config(std::istream& in, const std::string& source,
+                             const ScenarioOptions& defaults);
+
+// Opens `path` and parses it; throws std::invalid_argument when the file
+// cannot be read.
+SweepSpec load_sweep_config_file(const std::string& path,
+                                 const ScenarioOptions& defaults);
+
+}  // namespace fairsched::exp

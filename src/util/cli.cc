@@ -72,6 +72,26 @@ double Flags::get_double(const std::string& name, double fallback) const {
   }
 }
 
+std::string trim_whitespace(const std::string& s) {
+  const std::size_t first = s.find_first_not_of(" \t");
+  if (first == std::string::npos) return "";
+  const std::size_t last = s.find_last_not_of(" \t");
+  return s.substr(first, last - first + 1);
+}
+
+std::vector<std::string> split_and_trim(const std::string& s, char sep) {
+  std::vector<std::string> tokens;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    std::size_t end = s.find(sep, start);
+    if (end == std::string::npos) end = s.size();
+    const std::string token = trim_whitespace(s.substr(start, end - start));
+    if (!token.empty()) tokens.push_back(token);
+    start = end + 1;
+  }
+  return tokens;
+}
+
 bool Flags::get_bool(const std::string& name, bool fallback) const {
   const std::string raw = get_string(name, "");
   if (raw.empty()) return fallback;

@@ -39,4 +39,12 @@ class Flags {
   std::vector<std::string> positional_;
 };
 
+// Strips leading/trailing ASCII whitespace (spaces and tabs).
+std::string trim_whitespace(const std::string& s);
+
+// Splits `s` on `sep`, trims ASCII whitespace around each token, and drops
+// empty tokens. Shared by the policy-list, axis-spec and sweep-config
+// parsers.
+std::vector<std::string> split_and_trim(const std::string& s, char sep);
+
 }  // namespace fairsched

@@ -1,6 +1,6 @@
 // Tests for the src/exp experiment harness: PolicyRegistry resolution,
-// SweepDriver determinism across thread counts, and reporter round-trips
-// through util/csv.
+// SweepDriver axis expansion and streaming-fold determinism across thread
+// counts, and reporter/sink round-trips through util/csv.
 
 #include <gtest/gtest.h>
 
@@ -111,6 +111,17 @@ TEST(PolicyRegistry, ParsesPolicyLists) {
   EXPECT_THROW(parse_policy_list("fcfs,bogus"), std::invalid_argument);
 }
 
+TEST(PolicyRegistry, CatalogDescribesEveryEntry) {
+  const auto catalog = PolicyRegistry::global().catalog();
+  ASSERT_EQ(catalog.size(), PolicyRegistry::global().names().size());
+  bool saw_rand = false;
+  for (const auto& [name, description] : catalog) {
+    EXPECT_FALSE(description.empty()) << name;
+    if (name == "rand[N]") saw_rand = true;
+  }
+  EXPECT_TRUE(saw_rand) << "parameterized keys carry the [N] suffix";
+}
+
 // --- SweepDriver ------------------------------------------------------------
 
 SweepSpec small_sweep(std::size_t threads) {
@@ -131,6 +142,16 @@ SweepSpec small_sweep(std::size_t threads) {
   return spec;
 }
 
+// Runs the sweep and returns (result, streamed records in sink order).
+std::pair<SweepResult, std::vector<RunRecord>> run_collecting(
+    const SweepSpec& spec) {
+  std::vector<RunRecord> records;
+  SweepResult result = SweepDriver().run(
+      spec, nullptr,
+      [&records](const RunRecord& record) { records.push_back(record); });
+  return {std::move(result), std::move(records)};
+}
+
 TEST(SweepDriver, ValidatesSpecUpFront) {
   SweepDriver driver;
   SweepSpec bad = small_sweep(1);
@@ -145,15 +166,38 @@ TEST(SweepDriver, ValidatesSpecUpFront) {
   bad = small_sweep(1);
   bad.workloads.clear();
   EXPECT_THROW(driver.run(bad), std::invalid_argument);
+  // Malformed axes fail before any compute too.
+  bad = small_sweep(1);
+  bad.axes.push_back(make_axis("orgs", {}));
+  EXPECT_THROW(driver.run(bad), std::invalid_argument);
+  bad = small_sweep(1);
+  bad.axes.push_back(make_axis("orgs", {0}));
+  EXPECT_THROW(driver.run(bad), std::invalid_argument);
+  bad = small_sweep(1);
+  bad.axes.push_back(make_axis("orgs", {2.5}));
+  EXPECT_THROW(driver.run(bad), std::invalid_argument);
+  bad = small_sweep(1);
+  bad.axes.push_back(make_axis("orgs", {2, 3}));
+  bad.axes.push_back(make_axis("orgs", {4, 5}));
+  EXPECT_THROW(driver.run(bad), std::invalid_argument);
+  // Values beyond the bound field's 32-bit range would wrap into a
+  // different consortium than the reported label.
+  bad = small_sweep(1);
+  bad.axes.push_back(make_axis("orgs", {4294967298.0}));
+  EXPECT_THROW(driver.run(bad), std::invalid_argument);
+  bad = small_sweep(1);
+  bad.axes.push_back(make_axis("jobs-per-org", {1e12}));
+  EXPECT_THROW(driver.run(bad), std::invalid_argument);
 }
 
-TEST(SweepDriver, RecordsAreCompleteAndOrdered) {
+TEST(SweepDriver, StreamsRecordsCompleteAndOrdered) {
   const SweepSpec spec = small_sweep(2);
-  const SweepResult result = SweepDriver().run(spec);
-  ASSERT_EQ(result.records.size(), spec.instances * spec.policies.size());
+  const auto [result, records] = run_collecting(spec);
+  ASSERT_EQ(records.size(), spec.instances * spec.policies.size());
   for (std::size_t i = 0; i < spec.instances; ++i) {
     for (std::size_t p = 0; p < spec.policies.size(); ++p) {
-      const RunRecord& record = result.record(spec, 0, i, p);
+      const RunRecord& record = records[i * spec.policies.size() + p];
+      EXPECT_EQ(record.axis_point, 0u);
       EXPECT_EQ(record.workload, 0u);
       EXPECT_EQ(record.instance, i);
       EXPECT_EQ(record.policy, p);
@@ -162,61 +206,170 @@ TEST(SweepDriver, RecordsAreCompleteAndOrdered) {
       EXPECT_LE(record.utilization, 1.0);
     }
   }
-  ASSERT_EQ(result.cells.size(), 1u);
-  ASSERT_EQ(result.cells[0].size(), spec.policies.size());
-  for (const SweepCell& cell : result.cells[0]) {
-    EXPECT_EQ(cell.unfairness.count(), spec.instances);
+  EXPECT_EQ(result.axis_points, 1u);
+  ASSERT_EQ(result.cells.size(), spec.policies.size());
+  for (std::size_t p = 0; p < spec.policies.size(); ++p) {
+    EXPECT_EQ(result.cell(spec, 0, 0, p).unfairness.count(), spec.instances);
   }
 }
 
-TEST(SweepDriver, SameSeedsGiveIdenticalCsvAcrossThreadCounts) {
-  const SweepResult one = SweepDriver().run(small_sweep(1));
-  const SweepResult many = SweepDriver().run(small_sweep(8));
+TEST(SweepDriver, SameSeedsGiveIdenticalOutputAcrossThreadCounts) {
+  const auto [one, records_one] = run_collecting(small_sweep(1));
+  const auto [many, records_many] = run_collecting(small_sweep(8));
 
   // Metric-by-metric equality must be exact (bitwise), not approximate:
-  // aggregation order is fixed regardless of scheduling order.
-  ASSERT_EQ(one.records.size(), many.records.size());
-  for (std::size_t i = 0; i < one.records.size(); ++i) {
-    EXPECT_EQ(one.records[i].seed, many.records[i].seed);
-    EXPECT_EQ(one.records[i].unfairness, many.records[i].unfairness);
-    EXPECT_EQ(one.records[i].rel_distance, many.records[i].rel_distance);
-    EXPECT_EQ(one.records[i].utilization, many.records[i].utilization);
-    EXPECT_EQ(one.records[i].work_done, many.records[i].work_done);
+  // the streaming fold order is fixed regardless of scheduling order.
+  ASSERT_EQ(records_one.size(), records_many.size());
+  for (std::size_t i = 0; i < records_one.size(); ++i) {
+    EXPECT_EQ(records_one[i].seed, records_many[i].seed);
+    EXPECT_EQ(records_one[i].unfairness, records_many[i].unfairness);
+    EXPECT_EQ(records_one[i].rel_distance, records_many[i].rel_distance);
+    EXPECT_EQ(records_one[i].utilization, records_many[i].utilization);
+    EXPECT_EQ(records_one[i].work_done, records_many[i].work_done);
   }
 
   std::ostringstream csv_one, csv_many;
-  CsvReporter(csv_one, /*per_run=*/true).report(small_sweep(1), one);
-  CsvReporter(csv_many, /*per_run=*/true).report(small_sweep(8), many);
+  CsvReporter(csv_one).report(small_sweep(1), one);
+  CsvReporter(csv_many).report(small_sweep(8), many);
   EXPECT_EQ(csv_one.str(), csv_many.str());
 }
 
 TEST(SweepDriver, BaselinelessSweepSkipsFairnessMetrics) {
   SweepSpec spec = small_sweep(2);
   spec.baseline.clear();
-  const SweepResult result = SweepDriver().run(spec);
-  for (const RunRecord& record : result.records) {
+  const auto [result, records] = run_collecting(spec);
+  for (const RunRecord& record : records) {
     EXPECT_EQ(record.unfairness, 0.0);
     EXPECT_EQ(record.rel_distance, 0.0);
     EXPECT_GT(record.utilization, 0.0);
   }
 }
 
+// --- Axes -------------------------------------------------------------------
+
+TEST(SweepAxis, MakeAxisResolvesNamesAndAliases) {
+  EXPECT_EQ(make_axis("orgs", {2}).bind, SweepAxis::Bind::kOrgs);
+  EXPECT_EQ(make_axis("half_life", {5}).name, "half-life");
+  EXPECT_EQ(make_axis("HalfLife", {5}).bind, SweepAxis::Bind::kHalfLife);
+  EXPECT_EQ(make_axis("duration", {5}).name, "horizon");
+  EXPECT_EQ(make_axis("duration", {5}).bind, SweepAxis::Bind::kHorizon);
+  EXPECT_EQ(make_axis("zipf-s", {1}).bind, SweepAxis::Bind::kZipfS);
+  EXPECT_EQ(make_axis("jobs-per-org", {4}).bind,
+            SweepAxis::Bind::kUnitJobsPerOrg);
+  try {
+    make_axis("bogus", {1});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("known axes"), std::string::npos);
+  }
+}
+
+TEST(SweepAxis, ValueLabels) {
+  EXPECT_EQ(axis_value_label(make_axis("orgs", {}), 7.0), "7");
+  EXPECT_EQ(axis_value_label(make_axis("horizon", {}), 400000.0), "400000");
+  EXPECT_EQ(axis_value_label(make_axis("split", {}), 0.0), "zipf");
+  EXPECT_EQ(axis_value_label(make_axis("split", {}), 1.0), "uniform");
+  EXPECT_EQ(axis_value_label(make_axis("zipf-s", {}), 0.5), "0.5");
+  EXPECT_EQ(axis_value_label(make_axis("half-life", {}), 2500.0), "2500");
+}
+
+TEST(SweepAxis, ExpansionProducesProductOfCells) {
+  SweepSpec spec = small_sweep(2);
+  spec.axes.push_back(make_axis("orgs", {2, 3, 4}));
+  spec.axes.push_back(make_axis("jobs-per-org", {20, 40}));
+  EXPECT_EQ(num_axis_points(spec), 6u);
+
+  const auto [result, records] = run_collecting(spec);
+  EXPECT_EQ(result.axis_points, 6u);
+  ASSERT_EQ(result.cells.size(), 6u * spec.policies.size());
+  ASSERT_EQ(records.size(),
+            6u * spec.instances * spec.policies.size());
+  // Every cell aggregates exactly `instances` runs.
+  for (std::size_t a = 0; a < 6; ++a) {
+    for (std::size_t p = 0; p < spec.policies.size(); ++p) {
+      EXPECT_EQ(result.cell(spec, a, 0, p).unfairness.count(),
+                spec.instances);
+    }
+  }
+  // Streamed order is axis-major; axis 0 varies slowest.
+  for (std::size_t r = 0; r < records.size(); ++r) {
+    const std::size_t expected_point =
+        r / (spec.instances * spec.policies.size());
+    EXPECT_EQ(records[r].axis_point, expected_point);
+  }
+  // Mixed-radix decode recovers the per-axis values.
+  EXPECT_EQ(axis_point_values(spec, 0), (std::vector<double>{2, 20}));
+  EXPECT_EQ(axis_point_values(spec, 1), (std::vector<double>{2, 40}));
+  EXPECT_EQ(axis_point_values(spec, 5), (std::vector<double>{4, 40}));
+}
+
+TEST(SweepAxis, AxisSweepDeterministicAcrossThreadCounts) {
+  auto make = [](std::size_t threads) {
+    SweepSpec spec = small_sweep(threads);
+    spec.instances = 4;
+    spec.axes.push_back(make_axis("orgs", {2, 3, 5}));
+    spec.axes.push_back(make_axis("horizon", {60, 120}));
+    return spec;
+  };
+  const auto [one, records_one] = run_collecting(make(1));
+  const auto [many, records_many] = run_collecting(make(8));
+  ASSERT_EQ(records_one.size(), records_many.size());
+  for (std::size_t i = 0; i < records_one.size(); ++i) {
+    EXPECT_EQ(records_one[i].axis_point, records_many[i].axis_point);
+    EXPECT_EQ(records_one[i].seed, records_many[i].seed);
+    EXPECT_EQ(records_one[i].unfairness, records_many[i].unfairness);
+    EXPECT_EQ(records_one[i].utilization, records_many[i].utilization);
+    EXPECT_EQ(records_one[i].work_done, records_many[i].work_done);
+  }
+  std::ostringstream csv_one, csv_many;
+  CsvReporter(csv_one).report(make(1), one);
+  CsvReporter(csv_many).report(make(8), many);
+  EXPECT_EQ(csv_one.str(), csv_many.str());
+}
+
+TEST(SweepAxis, HorizonAxisChangesTheRuns) {
+  SweepSpec spec = small_sweep(2);
+  spec.baseline.clear();
+  // Enough jobs that neither horizon drains the queue: completed work must
+  // then strictly grow with the horizon.
+  spec.workloads[0].unit_jobs_per_org = 200;
+  spec.axes.push_back(make_axis("horizon", {30, 60}));
+  const auto [result, records] = run_collecting(spec);
+  // More horizon, more completed work: the two axis points must differ.
+  std::int64_t work0 = 0, work1 = 0;
+  for (std::size_t p = 0; p < spec.policies.size(); ++p) {
+    work0 += result.cell(spec, 0, 0, p).work_done;
+    work1 += result.cell(spec, 1, 0, p).work_done;
+  }
+  EXPECT_LT(work0, work1);
+}
+
+TEST(SweepAxis, HalfLifeAxisBindsOnlyDecayPolicies) {
+  SweepSpec spec = small_sweep(2);
+  spec.policies = {"decayfairshare", "fairshare"};
+  spec.instances = 3;
+  spec.axes.push_back(make_axis("half-life", {20, 100000}));
+  const auto [result, records] = run_collecting(spec);
+  ASSERT_EQ(records.size(), 2u * spec.instances * 2u);
+  // Axis points share instance seeds (paired samples), so a policy the
+  // axis does not bind must reproduce bit-identical runs on both points.
+  for (std::size_t i = 0; i < spec.instances; ++i) {
+    const RunRecord& a0 = records[i * 2 + 1];  // fairshare, first point
+    const RunRecord& a1 =
+        records[(spec.instances + i) * 2 + 1];  // fairshare, second point
+    EXPECT_EQ(a0.seed, a1.seed);
+    EXPECT_EQ(a0.unfairness, a1.unfairness);
+    EXPECT_EQ(a0.work_done, a1.work_done);
+  }
+}
+
 // --- Reporters --------------------------------------------------------------
 
-TEST(Reporter, CsvRoundTripsThroughUtilCsv) {
-  // A workload name with CSV metacharacters must survive escape + parse.
-  SweepSpec spec = small_sweep(2);
-  spec.name = "round,trip \"sweep\"";
-  spec.workloads[0].name = "unit, \"jobs\"\nline2";
-  const SweepResult result = SweepDriver().run(spec);
-
-  std::ostringstream out;
-  CsvReporter(out, /*per_run=*/true).report(spec, result);
-
-  // Re-join quoted newlines, then parse each record back.
+// Re-joins quoted newlines, then splits reporter output into CSV lines.
+std::vector<std::string> csv_lines(const std::string& text) {
   std::vector<std::string> lines;
   std::string current;
-  for (char c : out.str()) {
+  for (char c : text) {
     if (c == '\n') {
       // Inside an open quote the newline belongs to the cell.
       std::size_t quotes = 0;
@@ -231,6 +384,19 @@ TEST(Reporter, CsvRoundTripsThroughUtilCsv) {
       current += c;
     }
   }
+  return lines;
+}
+
+TEST(Reporter, CsvRoundTripsThroughUtilCsv) {
+  // A workload name with CSV metacharacters must survive escape + parse.
+  SweepSpec spec = small_sweep(2);
+  spec.name = "round,trip \"sweep\"";
+  spec.workloads[0].name = "unit, \"jobs\"\nline2";
+  const auto [result, records] = run_collecting(spec);
+
+  std::ostringstream out;
+  CsvReporter(out).report(spec, result);
+  const std::vector<std::string> lines = csv_lines(out.str());
   ASSERT_FALSE(lines.empty());
 
   const std::vector<std::string> header = parse_csv_line(lines[0]);
@@ -239,6 +405,7 @@ TEST(Reporter, CsvRoundTripsThroughUtilCsv) {
   EXPECT_EQ(header[4], "unfairness_mean");
 
   // Aggregate rows: one per (workload, policy), values match the cells.
+  ASSERT_EQ(lines.size(), 1 + spec.policies.size());
   for (std::size_t p = 0; p < spec.policies.size(); ++p) {
     const std::vector<std::string> row = parse_csv_line(lines[1 + p]);
     ASSERT_EQ(row.size(), 11u);
@@ -246,19 +413,74 @@ TEST(Reporter, CsvRoundTripsThroughUtilCsv) {
     EXPECT_EQ(row[1], spec.workloads[0].name);
     EXPECT_EQ(row[2], spec.policies[p]);
     EXPECT_EQ(row[3], std::to_string(spec.instances));
-    EXPECT_EQ(row[4], CsvReporter::format(result.cells[0][p].unfairness.mean()));
+    EXPECT_EQ(row[4],
+              CsvReporter::format(result.cell(spec, 0, 0, p)
+                                      .unfairness.mean()));
     EXPECT_EQ(row[9],
-              CsvReporter::format(result.cells[0][p].utilization.mean()));
+              CsvReporter::format(result.cell(spec, 0, 0, p)
+                                      .utilization.mean()));
   }
+}
 
-  // Per-run section: header + one row per record.
-  const std::size_t per_run_header = 1 + spec.policies.size();
-  EXPECT_EQ(lines.size(), per_run_header + 1 + result.records.size());
-  const std::vector<std::string> run_row =
-      parse_csv_line(lines[per_run_header + 1]);
-  ASSERT_EQ(run_row.size(), 9u);
-  EXPECT_EQ(run_row[0], "run");
-  EXPECT_EQ(run_row[1], spec.workloads[0].name);
+TEST(Reporter, StreamingSinkCsvRoundTrip) {
+  SweepSpec spec = small_sweep(2);
+  spec.axes.push_back(make_axis("orgs", {2, 3}));
+  std::ostringstream out;
+  CsvRecordSink sink(out, spec);
+  std::vector<RunRecord> records;
+  const SweepResult result =
+      SweepDriver().run(spec, nullptr, [&](const RunRecord& record) {
+        sink.write(record);
+        records.push_back(record);
+      });
+
+  const std::vector<std::string> lines = csv_lines(out.str());
+  ASSERT_EQ(lines.size(), 1 + records.size());
+  const std::vector<std::string> header = parse_csv_line(lines[0]);
+  // sweep + 1 axis column + workload, policy, instance, seed, unfairness,
+  // rel_distance, utilization, work_done.
+  ASSERT_EQ(header.size(), 10u);
+  EXPECT_EQ(header[0], "sweep");
+  EXPECT_EQ(header[1], "orgs");
+  EXPECT_EQ(header[2], "workload");
+  for (std::size_t r = 0; r < records.size(); ++r) {
+    const std::vector<std::string> row = parse_csv_line(lines[1 + r]);
+    ASSERT_EQ(row.size(), 10u);
+    EXPECT_EQ(row[0], spec.name);
+    EXPECT_EQ(row[1],
+              axis_value_label(spec.axes[0],
+                               axis_point_values(spec,
+                                                 records[r].axis_point)[0]));
+    EXPECT_EQ(row[2], spec.workloads[records[r].workload].name);
+    EXPECT_EQ(row[3], spec.policies[records[r].policy]);
+    EXPECT_EQ(row[4], std::to_string(records[r].instance));
+    EXPECT_EQ(row[5], std::to_string(records[r].seed));
+    EXPECT_EQ(row[6], CsvReporter::format(records[r].unfairness));
+    EXPECT_EQ(row[9], std::to_string(records[r].work_done));
+  }
+}
+
+TEST(Reporter, CsvAggregateEmitsOneColumnPerAxis) {
+  SweepSpec spec = small_sweep(1);
+  spec.instances = 2;
+  spec.baseline.clear();
+  spec.axes.push_back(make_axis("orgs", {2, 3}));
+  spec.axes.push_back(make_axis("jobs-per-org", {10, 20}));
+  const SweepResult result = SweepDriver().run(spec);
+  std::ostringstream out;
+  CsvReporter(out).report(spec, result);
+  const std::vector<std::string> lines = csv_lines(out.str());
+  const std::vector<std::string> header = parse_csv_line(lines[0]);
+  ASSERT_EQ(header.size(), 13u);  // 11 fixed + 2 axis columns
+  EXPECT_EQ(header[1], "orgs");
+  EXPECT_EQ(header[2], "jobs-per-org");
+  ASSERT_EQ(lines.size(), 1 + 4 * spec.policies.size());
+  const std::vector<std::string> first = parse_csv_line(lines[1]);
+  EXPECT_EQ(first[1], "2");
+  EXPECT_EQ(first[2], "10");
+  const std::vector<std::string> last = parse_csv_line(lines.back());
+  EXPECT_EQ(last[1], "3");
+  EXPECT_EQ(last[2], "20");
 }
 
 TEST(Reporter, JsonBaselineContainsEveryCell) {
@@ -269,6 +491,7 @@ TEST(Reporter, JsonBaselineContainsEveryCell) {
   const std::string json = out.str();
   EXPECT_NE(json.find("\"sweep\": \"test\""), std::string::npos);
   EXPECT_NE(json.find("\"total_wall_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"runs\": 24"), std::string::npos);
   for (const std::string& policy : spec.policies) {
     EXPECT_NE(json.find("\"policy\": \"" + policy + "\""), std::string::npos)
         << policy;
@@ -288,6 +511,19 @@ TEST(Reporter, JsonEscapesStringMetacharacters) {
   EXPECT_NE(json.find("line\\nbreak\\ttab"), std::string::npos);
   // No raw control characters may survive inside the output.
   EXPECT_EQ(json.find("line\nbreak"), std::string::npos);
+}
+
+TEST(Reporter, TableLeadsWithAxisColumns) {
+  SweepSpec spec = small_sweep(1);
+  spec.instances = 2;
+  spec.baseline.clear();
+  spec.axes.push_back(make_axis("orgs", {2, 3}));
+  const SweepResult result = SweepDriver().run(spec);
+  std::ostringstream out;
+  TableReporter(out).report(spec, result);
+  const std::string table = out.str();
+  EXPECT_NE(table.find("orgs"), std::string::npos);
+  EXPECT_NE(table.find("Policy"), std::string::npos);
 }
 
 // --- Scenario configs -------------------------------------------------------
@@ -324,6 +560,83 @@ TEST(Scenarios, CustomSweepResolvesPoliciesAndWorkloads) {
   EXPECT_EQ(spec.workloads[0].kind, SweepWorkload::Kind::kUnitJobs);
   options.workload = "bogus";
   EXPECT_THROW(make_custom_sweep(options), std::invalid_argument);
+}
+
+TEST(Scenarios, Fig10IsADeclarativeOrgsAxis) {
+  ScenarioOptions options;
+  const SweepSpec spec = make_fig10_sweep(options);
+  ASSERT_EQ(spec.axes.size(), 1u);
+  EXPECT_EQ(spec.axes[0].name, "orgs");
+  EXPECT_EQ(spec.axes[0].bind, SweepAxis::Bind::kOrgs);
+  EXPECT_EQ(spec.axes[0].values, (std::vector<double>{2, 3, 4, 5, 6, 7}));
+  ASSERT_EQ(spec.workloads.size(), 1u);
+  // --min-orgs/--max-orgs reshape the axis; smoke shrinks it.
+  ScenarioOptions bounded;
+  bounded.min_orgs = 3;
+  bounded.max_orgs = 5;
+  EXPECT_EQ(make_fig10_sweep(bounded).axes[0].values,
+            (std::vector<double>{3, 4, 5}));
+  bounded.max_orgs = 2;
+  EXPECT_THROW(make_fig10_sweep(bounded), std::invalid_argument);
+  ScenarioOptions smoke;
+  smoke.smoke = true;
+  EXPECT_LT(make_fig10_sweep(smoke).axes[0].values.size(),
+            spec.axes[0].values.size());
+}
+
+TEST(Scenarios, HorizonGrowthIsADeclarativeHorizonAxis) {
+  ScenarioOptions options;
+  const SweepSpec spec = make_horizon_growth_sweep(options);
+  ASSERT_EQ(spec.axes.size(), 1u);
+  EXPECT_EQ(spec.axes[0].name, "horizon");
+  EXPECT_EQ(spec.axes[0].bind, SweepAxis::Bind::kHorizon);
+  EXPECT_EQ(spec.axes[0].values.size(), 6u);
+  // --duration would be silently shadowed by the horizon axis; it must be
+  // rejected, not dropped.
+  options.duration = 999;
+  EXPECT_THROW(make_horizon_growth_sweep(options), std::invalid_argument);
+  options.duration = 0;
+  options.axes = "horizon=100,200";
+  EXPECT_EQ(make_horizon_growth_sweep(options).axes[0].values,
+            (std::vector<double>{100, 200}));
+}
+
+TEST(Scenarios, FairshareDecayIsADeclarativeHalfLifeAxis) {
+  ScenarioOptions options;
+  const SweepSpec spec = make_fairshare_decay_sweep(options);
+  ASSERT_EQ(spec.axes.size(), 1u);
+  EXPECT_EQ(spec.axes[0].name, "half-life");
+  EXPECT_EQ(spec.axes[0].bind, SweepAxis::Bind::kHalfLife);
+  EXPECT_EQ(spec.axes[0].values, (std::vector<double>{500, 2500, 10000,
+                                                      50000}));
+  // decayfairshare is in the policy set for the axis to bind onto.
+  bool has_decay = false;
+  for (const std::string& policy : spec.policies) {
+    if (policy == "decayfairshare") has_decay = true;
+  }
+  EXPECT_TRUE(has_decay);
+}
+
+TEST(Scenarios, SingleAxisPointScenariosRejectAxes) {
+  // utilization and rand-convergence post-process per-run data assuming a
+  // single axis point; --axes must fail loudly, not corrupt the analysis.
+  ScenarioOptions options;
+  options.axes = "orgs=2,6";
+  EXPECT_THROW(make_utilization_sweep(options), std::invalid_argument);
+  EXPECT_THROW(make_rand_convergence_sweep(options), std::invalid_argument);
+  options.axes.clear();
+  EXPECT_NO_THROW(make_utilization_sweep(options));
+  EXPECT_NO_THROW(make_rand_convergence_sweep(options));
+}
+
+TEST(Scenarios, AxesFlagOverridesScenarioDefaults) {
+  ScenarioOptions options;
+  options.axes = "orgs=2,4;zipf-s=0.5,1.5";
+  const SweepSpec spec = make_fig10_sweep(options);
+  ASSERT_EQ(spec.axes.size(), 2u);
+  EXPECT_EQ(spec.axes[0].name, "orgs");
+  EXPECT_EQ(spec.axes[0].values, (std::vector<double>{2, 4}));
+  EXPECT_EQ(spec.axes[1].name, "zipf-s");
 }
 
 }  // namespace

@@ -1,0 +1,179 @@
+// Tests for the declarative sweep-config front end (exp/sweep_config):
+// key = value parsing, axis lines with lo:hi[:step] ranges, precedence over
+// command-line defaults, and error reporting with <source>:<line> context.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/scenarios.h"
+#include "exp/sweep.h"
+#include "exp/sweep_config.h"
+#include "util/cli.h"
+
+namespace fairsched::exp {
+namespace {
+
+SweepSpec parse(const std::string& text,
+                const ScenarioOptions& defaults = ScenarioOptions{}) {
+  std::istringstream in(text);
+  return parse_sweep_config(in, "test.cfg", defaults);
+}
+
+// Expects parse(text) to throw std::invalid_argument whose message contains
+// every needle (e.g. the "test.cfg:<line>:" prefix and the offending key).
+void expect_parse_error(const std::string& text,
+                        const std::vector<std::string>& needles) {
+  try {
+    parse(text);
+    FAIL() << "expected std::invalid_argument for:\n" << text;
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    for (const std::string& needle : needles) {
+      EXPECT_NE(message.find(needle), std::string::npos)
+          << "missing '" << needle << "' in: " << message;
+    }
+  }
+}
+
+TEST(SweepConfig, ParsesAFullConfig) {
+  const SweepSpec spec = parse(
+      "# Fig. 10 over two machine splits, no recompile\n"
+      "name = fig10-splits\n"
+      "title = custom title\n"
+      "note = custom note\n"
+      "policies = roundrobin, rand5\n"
+      "workload = unit\n"
+      "instances = 4\n"
+      "duration = 300\n"
+      "seed = 99\n"
+      "jobs-per-org = 30\n"
+      "axis orgs = 2:4\n"
+      "axis split = zipf, uniform\n");
+  EXPECT_EQ(spec.name, "fig10-splits");
+  EXPECT_EQ(spec.title, "custom title");
+  EXPECT_EQ(spec.note, "custom note");
+  EXPECT_EQ(spec.policies,
+            (std::vector<std::string>{"roundrobin", "rand5"}));
+  ASSERT_EQ(spec.workloads.size(), 1u);
+  EXPECT_EQ(spec.workloads[0].kind, SweepWorkload::Kind::kUnitJobs);
+  EXPECT_EQ(spec.workloads[0].unit_jobs_per_org, 30u);
+  EXPECT_EQ(spec.instances, 4u);
+  EXPECT_EQ(spec.horizon, 300);
+  EXPECT_EQ(spec.seed, 99u);
+  ASSERT_EQ(spec.axes.size(), 2u);
+  EXPECT_EQ(spec.axes[0].name, "orgs");
+  EXPECT_EQ(spec.axes[0].values, (std::vector<double>{2, 3, 4}));
+  EXPECT_EQ(spec.axes[1].name, "split");
+  EXPECT_EQ(spec.axes[1].values, (std::vector<double>{0, 1}));
+  EXPECT_EQ(num_axis_points(spec), 6u);
+}
+
+TEST(SweepConfig, FileKeysWinOverCommandLineDefaults) {
+  ScenarioOptions defaults;
+  defaults.instances = 3;
+  defaults.orgs = 7;
+  defaults.workload = "unit";
+  // The file overrides instances but inherits orgs and the workload.
+  const SweepSpec spec = parse("instances = 5\npolicies = fcfs\n", defaults);
+  EXPECT_EQ(spec.instances, 5u);
+  ASSERT_EQ(spec.workloads.size(), 1u);
+  EXPECT_EQ(spec.workloads[0].orgs, 7u);
+}
+
+TEST(SweepConfig, BaselineNoneDisablesFairnessMetrics) {
+  EXPECT_EQ(parse("policies = fcfs\nbaseline = none\n").baseline, "");
+  EXPECT_EQ(parse("policies = fcfs\nbaseline = fairshare\n").baseline,
+            "fairshare");
+  EXPECT_EQ(parse("policies = fcfs\n").baseline, "ref");
+}
+
+TEST(SweepConfig, RangesExpandInclusively) {
+  const SweepSpec spec = parse(
+      "policies = fcfs\nworkload = unit\n"
+      "axis horizon = 100:400:150, 1000\n"
+      "axis zipf-s = 0.5:1.5:0.5\n");
+  ASSERT_EQ(spec.axes.size(), 2u);
+  EXPECT_EQ(spec.axes[0].values, (std::vector<double>{100, 250, 400, 1000}));
+  ASSERT_EQ(spec.axes[1].values.size(), 3u);
+  EXPECT_DOUBLE_EQ(spec.axes[1].values[0], 0.5);
+  EXPECT_DOUBLE_EQ(spec.axes[1].values[2], 1.5);
+}
+
+TEST(SweepConfig, LongFractionalRangeKeepsItsEndpoint) {
+  // v += step accumulation would drop the inclusive endpoint here; the
+  // expansion must be index-based.
+  const SweepSpec spec = parse(
+      "policies = fcfs\nworkload = unit\naxis zipf-s = 0:5000:0.1\n");
+  ASSERT_EQ(spec.axes[0].values.size(), 50001u);
+  EXPECT_DOUBLE_EQ(spec.axes[0].values.back(), 5000.0);
+  EXPECT_DOUBLE_EQ(spec.axes[0].values.front(), 0.0);
+}
+
+TEST(SweepConfig, ReportsErrorsWithSourceAndLine) {
+  expect_parse_error("policies = fcfs\nbogus = 1\n",
+                     {"test.cfg:2", "unknown key 'bogus'", "known keys"});
+  expect_parse_error("instances = nope\n", {"test.cfg:1", "number"});
+  expect_parse_error("instances = 2.5\n", {"test.cfg:1", "integer"});
+  expect_parse_error("instances = 0\n", {"test.cfg:1", ">= 1"});
+  expect_parse_error("just some words\n", {"test.cfg:1", "key = value"});
+  expect_parse_error("axis bogus = 1,2\n",
+                     {"test.cfg:1", "unknown sweep axis", "known axes"});
+  expect_parse_error("axis orgs =\n", {"test.cfg:1", "no values"});
+  expect_parse_error("axis orgs = 4:2\n", {"test.cfg:1", "empty range"});
+  expect_parse_error("axis orgs = 2:4:0\n",
+                     {"test.cfg:1", "step must be positive"});
+  expect_parse_error("axis orgs = 2:3:4:5\n",
+                     {"test.cfg:1", "malformed range"});
+  // Empty range fields are typos, not step-1 ranges.
+  expect_parse_error("axis orgs = 2::8\n", {"test.cfg:1", "malformed range"});
+  expect_parse_error("axis orgs = :8\n", {"test.cfg:1", "malformed range"});
+  expect_parse_error("axis orgs = 2:\n", {"test.cfg:1", "malformed range"});
+  expect_parse_error("orgs = 4294967297\n", {"test.cfg:1", "2^32-1"});
+  expect_parse_error("axis orgs = 2,3\naxis orgs = 4\n",
+                     {"test.cfg:2", "duplicate axis"});
+  expect_parse_error("split = sideways\n", {"test.cfg:1", "zipf or uniform"});
+  expect_parse_error("scale = -2\n", {"test.cfg:1", "positive"});
+  // Errors surfaced while building the spec carry the source name.
+  expect_parse_error("workload = bogus\n", {"test.cfg", "--workload"});
+  expect_parse_error("policies = fcfs,nope\n", {"test.cfg", "nope"});
+}
+
+TEST(SweepConfig, ParsesAxesSpecFlag) {
+  const std::vector<SweepAxis> axes =
+      parse_axes_spec("orgs=2,3 ; half_life = 500:1500:500");
+  ASSERT_EQ(axes.size(), 2u);
+  EXPECT_EQ(axes[0].name, "orgs");
+  EXPECT_EQ(axes[0].values, (std::vector<double>{2, 3}));
+  EXPECT_EQ(axes[1].name, "half-life");
+  EXPECT_EQ(axes[1].values, (std::vector<double>{500, 1000, 1500}));
+  EXPECT_TRUE(parse_axes_spec("").empty());
+  EXPECT_THROW(parse_axes_spec("orgs"), std::invalid_argument);
+  EXPECT_THROW(parse_axes_spec("bogus=1"), std::invalid_argument);
+}
+
+TEST(SweepConfig, ParsedConfigRunsEndToEnd) {
+  const SweepSpec spec = parse(
+      "name = e2e\npolicies = fcfs, roundrobin\nworkload = unit\n"
+      "instances = 2\nduration = 100\njobs-per-org = 20\n"
+      "axis orgs = 2,3\n");
+  std::size_t runs = 0;
+  const SweepResult result = SweepDriver().run(
+      spec, nullptr, [&runs](const RunRecord&) { ++runs; });
+  EXPECT_EQ(result.axis_points, 2u);
+  EXPECT_EQ(runs, 2u * 2u * 2u);  // points x instances x policies
+  EXPECT_EQ(result.cells.size(), 4u);
+}
+
+TEST(SweepConfig, SplitAndTrimHandlesWhitespaceAndEmpties) {
+  EXPECT_EQ(split_and_trim(" a, b ,,c ", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(split_and_trim("  ", ',').empty());
+  EXPECT_TRUE(split_and_trim("", ',').empty());
+  EXPECT_EQ(split_and_trim("x", ';'), (std::vector<std::string>{"x"}));
+}
+
+}  // namespace
+}  // namespace fairsched::exp
