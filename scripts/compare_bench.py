@@ -1,0 +1,209 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the BENCH_*.json sweep baselines.
+
+CI runs the --smoke matrix twice — workload/baseline cache on (default) and
+off (--no-cache) — and feeds both JSON directories here:
+
+    compare_bench.py record --cached DIR --uncached DIR --out bench/baselines
+    compare_bench.py check  --cached DIR --uncached DIR \
+        --baselines bench/baselines [--tolerance 0.25]
+
+`record` distills each sweep pair into a committed baseline under
+bench/baselines/. `check` fails (exit 1) when the current run regresses.
+
+What is compared, and why these metrics:
+
+* runs — the matrix shape. An accidental shrink of the smoke matrix would
+  make every timing look great; compared exactly.
+* cache hit_rate — deterministic for a fixed sweep plan under the default
+  budget (no evictions), so compared exactly (tiny epsilon). A drop means
+  the prefix planner stopped sharing work.
+* speedup = uncached total_wall_ms / cached total_wall_ms — the cache's
+  work-based win. Both sides run the same instruction mix on the same
+  machine, so the *ratio* transfers across machines far better than
+  absolute wall times do; it degrading by more than --tolerance (default
+  25%) is the perf regression this gate exists to catch. Gated only on
+  sweeps whose baseline replays simulation runs from the cache — where
+  nothing substantial is shared the ratio is timing noise around 1.0,
+  recorded for the trajectory but not gated. Absolute wall times are
+  still recorded in the baselines and artifacts so the BENCH_*.json
+  trajectory stays inspectable.
+* elapsed_speedup — same ratio over driver wall clock; recorded and
+  reported for the artifact trajectory, but not hard-gated: a smoke sweep
+  elapses ~30 ms, so a single scheduling hiccup on a shared runner could
+  swing the ratio arbitrarily.
+
+MIN_SPEEDUP holds hard, machine-independent floors over the work-based
+speedup. fairshare-decay is the acceptance bar for the prefix cache: four
+half-life values share one instance + REF baseline, so cache-on must do
+at least 2x less measured work than --no-cache.
+"""
+
+import argparse
+import json
+import math
+import pathlib
+import sys
+
+SWEEPS = [
+    "table1",
+    "table2",
+    "utilization",
+    "rand-convergence",
+    "fig10",
+    "horizon-growth",
+    "fairshare-decay",
+]
+
+# Hard work-based speedup floors (sweep -> min uncached/cached
+# total_wall_ms ratio), enforced by `check` independent of the recorded
+# baseline.
+MIN_SPEEDUP = {"fairshare-decay": 2.0}
+
+HIT_RATE_EPSILON = 1e-6
+
+
+def load_bench(directory, sweep):
+    path = pathlib.Path(directory) / f"BENCH_{sweep}.json"
+    if not path.is_file():
+        raise SystemExit(f"error: missing bench output {path}")
+    with open(path) as handle:
+        data = json.load(handle)
+    if data.get("sweep") != sweep:
+        raise SystemExit(f"error: {path} reports sweep {data.get('sweep')!r}")
+    return data
+
+
+def safe_ratio(numerator, denominator):
+    return numerator / denominator if denominator > 0 else math.inf
+
+
+def distill(cached, uncached, sweep):
+    """One baseline record from a (cache-on, cache-off) BENCH pair."""
+    if not cached["cache"]["enabled"]:
+        raise SystemExit(f"error: {sweep}: the --cached run had its cache off")
+    if uncached["cache"]["enabled"]:
+        raise SystemExit(f"error: {sweep}: the --uncached run had its cache on")
+    if cached["runs"] != uncached["runs"]:
+        raise SystemExit(
+            f"error: {sweep}: cached and uncached run counts differ "
+            f"({cached['runs']} vs {uncached['runs']})"
+        )
+    return {
+        "sweep": sweep,
+        "runs": cached["runs"],
+        "hit_rate": cached["cache"]["hit_rate"],
+        "replayed_runs": cached["cache"]["replayed_runs"],
+        "speedup": safe_ratio(
+            uncached["total_wall_ms"], cached["total_wall_ms"]
+        ),
+        "elapsed_speedup": safe_ratio(
+            uncached["elapsed_ms"], cached["elapsed_ms"]
+        ),
+        "cached_total_wall_ms": cached["total_wall_ms"],
+        "uncached_total_wall_ms": uncached["total_wall_ms"],
+        "cached_elapsed_ms": cached["elapsed_ms"],
+        "uncached_elapsed_ms": uncached["elapsed_ms"],
+    }
+
+
+def record(args):
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    for sweep in SWEEPS:
+        current = distill(
+            load_bench(args.cached, sweep), load_bench(args.uncached, sweep),
+            sweep,
+        )
+        path = out / f"{sweep}.json"
+        with open(path, "w") as handle:
+            json.dump(current, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(
+            f"recorded {path}: runs={current['runs']} "
+            f"hit_rate={current['hit_rate']:.3f} "
+            f"speedup={current['speedup']:.2f} "
+            f"elapsed_speedup={current['elapsed_speedup']:.2f}"
+        )
+    return 0
+
+
+def check(args):
+    failures = []
+    for sweep in SWEEPS:
+        baseline_path = pathlib.Path(args.baselines) / f"{sweep}.json"
+        if not baseline_path.is_file():
+            failures.append(f"{sweep}: no committed baseline {baseline_path}")
+            continue
+        with open(baseline_path) as handle:
+            baseline = json.load(handle)
+        current = distill(
+            load_bench(args.cached, sweep), load_bench(args.uncached, sweep),
+            sweep,
+        )
+
+        if current["runs"] != baseline["runs"]:
+            failures.append(
+                f"{sweep}: run count changed {baseline['runs']} -> "
+                f"{current['runs']} (re-record bench/baselines if intended)"
+            )
+        if current["hit_rate"] < baseline["hit_rate"] - HIT_RATE_EPSILON:
+            failures.append(
+                f"{sweep}: cache hit rate dropped "
+                f"{baseline['hit_rate']:.3f} -> {current['hit_rate']:.3f}"
+            )
+        # The ratio gate only where the cache shares real simulation work
+        # (replayed_runs > 0). Elsewhere — including fig10, whose hits are
+        # only cheap window-generation reuse — both runs do essentially
+        # identical work and the recorded "speedup" is timing noise around
+        # 1.0; hard-gating it would fail unrelated PRs on a loaded runner.
+        if baseline["replayed_runs"] > 0:
+            floor = baseline["speedup"] * (1.0 - args.tolerance)
+            if current["speedup"] < floor:
+                failures.append(
+                    f"{sweep}: cache speedup regressed >"
+                    f"{args.tolerance:.0%}: {current['speedup']:.2f} < "
+                    f"{floor:.2f} (baseline {baseline['speedup']:.2f})"
+                )
+        min_speedup = MIN_SPEEDUP.get(sweep)
+        if min_speedup and current["speedup"] < min_speedup:
+            failures.append(
+                f"{sweep}: cache speedup {current['speedup']:.2f} below "
+                f"the hard {min_speedup:.1f}x floor"
+            )
+        print(
+            f"{sweep}: runs={current['runs']} "
+            f"hit_rate={current['hit_rate']:.3f} "
+            f"speedup={current['speedup']:.2f} "
+            f"(baseline {baseline['speedup']:.2f}) "
+            f"elapsed_speedup={current['elapsed_speedup']:.2f}"
+        )
+
+    if failures:
+        print("\nPERF REGRESSION:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nall bench baselines within tolerance")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, fn in (("record", record), ("check", check)):
+        p = sub.add_parser(name)
+        p.add_argument("--cached", required=True,
+                       help="dir of BENCH_*.json from the default (cached) run")
+        p.add_argument("--uncached", required=True,
+                       help="dir of BENCH_*.json from the --no-cache run")
+        p.set_defaults(fn=fn)
+    sub.choices["record"].add_argument("--out", default="bench/baselines")
+    sub.choices["check"].add_argument("--baselines", default="bench/baselines")
+    sub.choices["check"].add_argument("--tolerance", type=float, default=0.25)
+    args = parser.parse_args()
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

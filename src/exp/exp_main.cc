@@ -20,6 +20,8 @@
 //   --stream-records=FILE|-   stream one CSV row per run (O(cells) memory)
 //   --axes="name=v1,v2;..."   override a scenario's sweep axes
 //   --smoke   tiny instance counts for CI; emits BENCH_<sweep>.json
+//   --cache-mb=N --no-cache   workload/baseline cache budget (default 256
+//                             MB); output is bit-identical either way
 //
 // `custom` extras: --policies=a,b,c (registry names, e.g.
 // "fcfs,rand75,decayfairshare2000"), --workload=<kind> (see
@@ -53,7 +55,7 @@ int usage(const char* argv0) {
       "common flags: --instances=N --duration=T --orgs=K --seed=S "
       "--scale=X --threads=N --split=zipf|uniform --zipf-s=S --csv=FILE|- "
       "--json=FILE|- --stream-records=FILE|- --axes=\"name=v1,v2;...\" "
-      "--smoke\n"
+      "--smoke --cache-mb=N --no-cache\n"
       "custom flags: --policies=a,b,c --workload=%s --config=FILE\n"
       "fig10 flags: --min-orgs=K --max-orgs=K\n"
       "axes: orgs, horizon, half-life, zipf-s, split, jobs-per-org, "

@@ -73,7 +73,8 @@ PolicyRegistry& PolicyRegistry::global() {
         [](const std::string& n) { return parse_algorithm(n); },
         /*parameterized=*/true, /*fractional=*/true,
         "fair share over exponentially decayed usage, half-life N "
-        "(extension; a half-life axis rebinds N)");
+        "(extension; a half-life axis rebinds N)",
+        /*bound_axes=*/{"half-life"});
     return r;
   }();
   return *registry;
@@ -82,9 +83,11 @@ PolicyRegistry& PolicyRegistry::global() {
 void PolicyRegistry::register_policy(const std::string& key,
                                      PolicyFactory factory,
                                      bool parameterized, bool fractional,
-                                     std::string description) {
-  entries_[to_lower(key)] = Entry{std::move(factory), parameterized,
-                                  fractional, std::move(description)};
+                                     std::string description,
+                                     std::vector<std::string> bound_axes) {
+  entries_[to_lower(key)] =
+      Entry{std::move(factory), parameterized, fractional,
+            std::move(description), std::move(bound_axes)};
 }
 
 const PolicyRegistry::Entry* PolicyRegistry::find_entry(
@@ -131,6 +134,12 @@ std::vector<std::string> PolicyRegistry::names() const {
   keys.reserve(entries_.size());
   for (const auto& [key, entry] : entries_) keys.push_back(key);
   return keys;  // std::map keeps them sorted
+}
+
+std::vector<std::string> PolicyRegistry::bound_axes(
+    const std::string& name) const {
+  const Entry* entry = find_entry(to_lower(name));
+  return entry ? entry->bound_axes : std::vector<std::string>{};
 }
 
 std::vector<std::pair<std::string, std::string>> PolicyRegistry::catalog()

@@ -33,10 +33,15 @@ class PolicyRegistry {
   // key+<number> names ("rand" matches "rand75"); `fractional` additionally
   // allows one decimal point in the number ("decayfairshare2500.5").
   // `description` is the one-liner `fairsched_exp list-policies` prints.
-  // Re-registering a key replaces the previous entry.
+  // `bound_axes` declares which sweep axes rebind this policy's parameters
+  // per axis point (axis names as make_axis accepts them, e.g. "half-life");
+  // the sweep engine uses the declarations to reject inert policy-bound
+  // axes and to decide which runs its workload/baseline cache may share
+  // across axis points. Re-registering a key replaces the previous entry.
   void register_policy(const std::string& key, PolicyFactory factory,
                        bool parameterized = false, bool fractional = false,
-                       std::string description = "");
+                       std::string description = "",
+                       std::vector<std::string> bound_axes = {});
 
   // Resolves a name (case-insensitive) to a spec. Throws
   // std::invalid_argument naming the known policies when nothing matches,
@@ -55,12 +60,18 @@ class PolicyRegistry {
   // Parameterized keys are reported with a "[N]" suffix.
   std::vector<std::pair<std::string, std::string>> catalog() const;
 
+  // The axes `name`'s entry declared as binding its parameters (empty when
+  // the policy declares none, or when `name` is unknown — resolve-time
+  // errors stay make()'s job).
+  std::vector<std::string> bound_axes(const std::string& name) const;
+
  private:
   struct Entry {
     PolicyFactory factory;
     bool parameterized = false;
     bool fractional = false;  // parameter may contain one decimal point
     std::string description;
+    std::vector<std::string> bound_axes;
   };
   const Entry* find_entry(const std::string& lower) const;
 

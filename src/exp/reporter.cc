@@ -146,6 +146,16 @@ void JsonReporter::report(const SweepSpec& spec, const SweepResult& result) {
        << ",\n";
   out_ << "  \"baseline_wall_ms\": " << num(result.baseline_wall_ms) << ",\n";
   out_ << "  \"total_wall_ms\": " << num(result.total_wall_ms) << ",\n";
+  out_ << "  \"elapsed_ms\": " << num(result.elapsed_ms) << ",\n";
+  out_ << "  \"cache\": {\"enabled\": "
+       << (result.cache_enabled ? "true" : "false")
+       << ", \"hits\": " << result.cache.hits
+       << ", \"misses\": " << result.cache.misses
+       << ", \"evictions\": " << result.cache.evictions
+       << ", \"hit_rate\": " << num(result.cache.hit_rate())
+       << ", \"replayed_runs\": " << result.replayed_runs
+       << ", \"prefix_groups\": " << result.prefix_groups
+       << ", \"peak_bytes\": " << result.cache.peak_bytes << "},\n";
   out_ << "  \"cells\": [\n";
   bool first = true;
   for (std::size_t a = 0; a < result.axis_points; ++a) {

@@ -58,7 +58,10 @@ class CsvRecordSink {
 };
 
 // JSON perf baseline (the BENCH_*.json artifacts CI archives): sweep
-// configuration, axes, per-cell statistics, and wall-time accounting.
+// configuration, axes, per-cell statistics, wall-time accounting
+// (total_wall_ms = summed per-run walls, elapsed_ms = driver wall clock),
+// and workload/baseline-cache counters (scripts/compare_bench.py reads
+// these for the perf-regression gate).
 class JsonReporter final : public Reporter {
  public:
   explicit JsonReporter(std::ostream& out) : out_(out) {}

@@ -109,6 +109,32 @@ void apply_axes_override(SweepSpec& spec, const ScenarioOptions& options) {
   if (!options.axes.empty()) spec.axes = parse_axes_spec(options.axes);
 }
 
+// The execution knobs every scenario forwards verbatim: seeding, thread
+// count, and the workload/baseline cache budget.
+void apply_execution_options(SweepSpec& spec,
+                             const ScenarioOptions& options) {
+  spec.seed = options.seed;
+  spec.threads = options.threads;
+  spec.cache_bytes = options.cache_bytes();
+}
+
+// One grep-friendly line of workload/baseline-cache accounting, printed
+// after a sweep's summary table (CI greps hits= on the half-life smoke
+// sweep). Skipped when the cache was disabled (--no-cache / --cache-mb=0).
+void print_cache_stats(const SweepResult& result, std::FILE* human) {
+  if (!result.cache_enabled) return;
+  const CacheStats& cache = result.cache;
+  std::fprintf(
+      human,
+      "cache-stats: hits=%llu misses=%llu evictions=%llu hit-rate=%.3f "
+      "replayed-runs=%llu prefix-groups=%zu peak-bytes=%zu\n",
+      static_cast<unsigned long long>(cache.hits),
+      static_cast<unsigned long long>(cache.misses),
+      static_cast<unsigned long long>(cache.evictions), cache.hit_rate(),
+      static_cast<unsigned long long>(result.replayed_runs),
+      result.prefix_groups, cache.peak_bytes);
+}
+
 // The utilization and rand-convergence scenarios post-process per-run
 // data under a single-axis-point assumption (greedy extremes per
 // instance, the per-N convergence table); extra axes would silently
@@ -174,6 +200,14 @@ ScenarioOptions scenario_options_from_flags(const Flags& flags) {
   }
   options.threads = static_cast<std::size_t>(non_negative("threads"));
   options.smoke = flags.get_bool("smoke", false);
+  // --cache-mb=0 and --no-cache both disable the workload/baseline cache.
+  const std::int64_t cache_mb =
+      flags.get_int("cache-mb", static_cast<std::int64_t>(options.cache_mb));
+  if (cache_mb < 0) {
+    throw std::invalid_argument("--cache-mb must be non-negative");
+  }
+  options.cache_mb = static_cast<std::size_t>(cache_mb);
+  options.no_cache = flags.get_bool("no-cache", false);
   options.zipf_s = flags.get_double("zipf-s", 1.0);
   options.csv_path = flags.get_string("csv", "");
   options.json_path = flags.get_string("json", "");
@@ -231,8 +265,7 @@ SweepSpec make_table_sweep(const std::string& which,
   SweepSpec spec;
   spec.name = which;
   spec.policies = table_policy_names();
-  spec.seed = options.seed;
-  spec.threads = options.threads;
+  apply_execution_options(spec, options);
   spec.baseline = "ref";
   if (options.smoke) {
     spec.horizon = options.duration ? options.duration : kSmokeTableDuration;
@@ -271,8 +304,7 @@ SweepSpec make_rand_convergence_sweep(const ScenarioOptions& options) {
   SweepSpec spec;
   spec.name = "rand-convergence";
   spec.baseline = "ref";
-  spec.seed = options.seed;
-  spec.threads = options.threads;
+  apply_execution_options(spec, options);
   spec.horizon = options.duration ? options.duration : 150;
   spec.instances = options.instances ? options.instances
                                      : (options.smoke ? kSmokeInstances : 5);
@@ -308,8 +340,7 @@ SweepSpec make_utilization_sweep(const ScenarioOptions& options) {
   SweepSpec spec;
   spec.name = "utilization";
   spec.baseline = "";  // pure utilization sweep, no fairness reference
-  spec.seed = options.seed;
-  spec.threads = options.threads;
+  apply_execution_options(spec, options);
   spec.horizon = options.duration ? options.duration : 60;
   spec.instances = options.instances ? options.instances
                                      : (options.smoke ? 24 : 200);
@@ -333,8 +364,7 @@ SweepSpec make_fig10_sweep(const ScenarioOptions& options) {
   spec.name = "fig10";
   spec.policies = table_policy_names();
   spec.baseline = "ref";
-  spec.seed = options.seed;
-  spec.threads = options.threads;
+  apply_execution_options(spec, options);
   spec.horizon = options.duration ? options.duration
                                   : (options.smoke ? kSmokeTableDuration
                                                    : Time{25000});
@@ -378,8 +408,7 @@ SweepSpec make_horizon_growth_sweep(const ScenarioOptions& options) {
   spec.name = "horizon-growth";
   spec.policies = {"roundrobin", "rand15", "directcontr", "fairshare"};
   spec.baseline = "ref";
-  spec.seed = options.seed;
-  spec.threads = options.threads;
+  apply_execution_options(spec, options);
   spec.instances = options.instances ? options.instances
                                      : (options.smoke ? kSmokeInstances : 5);
   spec.workloads.push_back(lpc_workload(options));
@@ -411,17 +440,17 @@ SweepSpec make_fairshare_decay_sweep(const ScenarioOptions& options) {
   spec.policies = {"currfairshare", "decayfairshare", "fairshare",
                    "directcontr", "random"};
   spec.baseline = "ref";
-  spec.seed = options.seed;
-  spec.threads = options.threads;
+  apply_execution_options(spec, options);
   spec.horizon = options.duration ? options.duration
                                   : (options.smoke ? kSmokeTableDuration
                                                    : Time{50000});
   spec.instances = options.instances ? options.instances
                                      : (options.smoke ? kSmokeInstances : 10);
   spec.workloads.push_back(lpc_workload(options));
-  const std::vector<double> half_lives =
-      options.smoke ? std::vector<double>{500, 5000}
-                    : std::vector<double>{500, 2500, 10000, 50000};
+  // Smoke keeps the full four-point axis: it is the CI perf-regression
+  // workload for the prefix cache, and the cached/uncached wall-time ratio
+  // scales with the number of half-life values sharing one prefix.
+  const std::vector<double> half_lives = {500, 2500, 10000, 50000};
   spec.axes.push_back(make_axis("half-life", half_lives));
   apply_axes_override(spec, options);
   char title[256];
@@ -444,8 +473,7 @@ SweepSpec make_fairshare_decay_sweep(const ScenarioOptions& options) {
 SweepSpec make_custom_sweep(const ScenarioOptions& options) {
   SweepSpec spec;
   spec.name = "custom";
-  spec.seed = options.seed;
-  spec.threads = options.threads;
+  apply_execution_options(spec, options);
   spec.horizon = options.duration
                      ? options.duration
                      : (options.smoke ? kSmokeTableDuration : Time{50000});
@@ -548,6 +576,7 @@ int run_sweep_scenario(const SweepSpec& spec,
 
   TableReporter table(human_stream(options));
   table.report(spec, result);
+  print_cache_stats(result, human);
   if (!spec.note.empty()) std::fprintf(human, "\n%s\n", spec.note.c_str());
 
   if (!options.csv_path.empty()) {
@@ -718,6 +747,7 @@ int run_utilization_scenario(const ScenarioOptions& options) {
                "  worst pairwise greedy ratio: %.4f  (violations of 0.75: "
                "%zu; Thm 6.2 guarantees >= 0.75)\n",
                worst, below);
+  print_cache_stats(result, human);
 
   const int json_rc = emit_json_baseline(spec, result, options);
   if (below > 0) return 1;
@@ -762,6 +792,7 @@ int run_rand_convergence_scenario(const ScenarioOptions& options) {
     }
   }
   std::fputs(bounds.to_string().c_str(), human);
+  print_cache_stats(result, human);
   std::fprintf(human, "\n%s\n", spec.note.c_str());
 
   return emit_json_baseline(spec, result, options);

@@ -27,6 +27,15 @@ struct ScenarioOptions {
   double scale = 0.0;
   std::size_t threads = 0;
   bool smoke = false;  // tiny instance counts + BENCH_<name>.json baseline
+  // Workload/baseline cache budget: --cache-mb (default: the library's
+  // kDefaultCacheBytes) and the --no-cache escape hatch. cache_bytes()
+  // folds both into the SweepSpec field (0 = disabled). Purely a time
+  // optimization: output is bit-identical with the cache on or off.
+  std::size_t cache_mb = kDefaultCacheBytes >> 20;
+  bool no_cache = false;
+  std::size_t cache_bytes() const {
+    return no_cache ? 0 : cache_mb * (std::size_t{1} << 20);
+  }
   MachineSplit split = MachineSplit::kZipf;
   double zipf_s = 1.0;
   std::string csv_path;   // "" = none, "-" = stdout (cell aggregates)
@@ -52,7 +61,7 @@ struct ScenarioOptions {
 // Parses the harness-wide flags (--instances, --duration, --orgs, --seed,
 // --scale, --threads, --split, --zipf-s, --smoke, --csv, --json,
 // --stream-records, --axes, --config, --policies, --workload, --min-orgs,
-// --max-orgs, --jobs-per-org).
+// --max-orgs, --jobs-per-org, --cache-mb, --no-cache).
 ScenarioOptions scenario_options_from_flags(const Flags& flags);
 
 // The workload kinds the `custom` subcommand / sweep configs accept, with

@@ -9,6 +9,10 @@
 #include <mutex>
 #include <stdexcept>
 
+#include <map>
+#include <memory>
+
+#include "exp/workload_cache.h"
 #include "metrics/fairness.h"
 #include "metrics/utility.h"
 #include "util/rng.h"
@@ -122,6 +126,13 @@ void validate_axis(const SweepSpec& spec, const SweepAxis& axis) {
   };
   if (axis.name.empty()) fail("has no name");
   if (axis.values.empty()) fail("has no values");
+  if (axis.scope == SweepAxis::Scope::kPolicy &&
+      default_axis_scope(axis.bind) != SweepAxis::Scope::kPolicy) {
+    // A policy-scoped axis shares one generated instance across all its
+    // values; an axis that reshapes the workload (or horizon) must not,
+    // or every non-representative value would simulate the wrong world.
+    fail("cannot be policy-scoped: its bind reshapes the workload");
+  }
   for (double v : axis.values) {
     if (integral_bind(axis.bind)) {
       // Range-check before the round-trip cast: double -> integer overflow
@@ -165,7 +176,38 @@ void validate_axis(const SweepSpec& spec, const SweepAxis& axis) {
   }
 }
 
+// The policy-independent prefix of one (prefix group, workload, instance)
+// cell family: the constructed instance, the baseline reference outcome,
+// and the records of every policy run the whole group shares. Stored in
+// the WorkloadCache; immutable once published.
+struct SweepPrefix {
+  Instance instance;
+  std::vector<HalfUtil> baseline_utilities2;
+  std::int64_t baseline_work_done = 0;
+  double baseline_wall_ms = 0.0;  // reported once, by the computing task
+  std::vector<RunRecord> shared_records;  // group-invariant policies, p order
+};
+
+std::size_t instance_bytes(const Instance& inst) {
+  return sizeof(Instance) + inst.num_jobs() * sizeof(Job) +
+         inst.total_machines() * sizeof(OrgId) +
+         static_cast<std::size_t>(inst.num_orgs()) *
+             (sizeof(Organization) + sizeof(std::vector<Job>) +
+              sizeof(MachineId) + 32 /* name storage */);
+}
+
+std::size_t prefix_bytes(const SweepPrefix& prefix) {
+  return sizeof(SweepPrefix) + instance_bytes(prefix.instance) +
+         prefix.baseline_utilities2.size() * sizeof(HalfUtil) +
+         prefix.shared_records.size() * sizeof(RunRecord);
+}
+
 }  // namespace
+
+SweepAxis::Scope default_axis_scope(SweepAxis::Bind bind) {
+  return bind == SweepAxis::Bind::kHalfLife ? SweepAxis::Scope::kPolicy
+                                            : SweepAxis::Scope::kWorkload;
+}
 
 std::string normalize_axis_name(const std::string& name) {
   std::string out;
@@ -199,6 +241,7 @@ SweepAxis make_axis(const std::string& name, std::vector<double> values) {
       SweepAxis axis;
       axis.name = binding.canonical;
       axis.bind = binding.bind;
+      axis.scope = default_axis_scope(binding.bind);
       axis.values = std::move(values);
       return axis;
     }
@@ -293,6 +336,8 @@ SweepResult SweepDriver::run(const SweepSpec& spec, Progress progress,
   const AlgorithmSpec baseline =
       has_baseline ? registry_.make(spec.baseline) : AlgorithmSpec{};
 
+  const auto run_started = std::chrono::steady_clock::now();
+
   const std::size_t num_points = num_axis_points(spec);
   const std::size_t num_workloads = spec.workloads.size();
   const std::size_t num_policies = spec.policies.size();
@@ -331,10 +376,112 @@ SweepResult SweepDriver::run(const SweepSpec& spec, Progress progress,
     }
   }
 
+  // --- Prefix planning ------------------------------------------------------
+  // Group axis points sharing every workload-scoped axis value: points of a
+  // group differ only in policy-scoped values, so for a fixed (workload,
+  // instance) they share the generated instance, the baseline run, and the
+  // runs of every policy whose bound spec the group does not vary. Cells of
+  // a group map onto one cache shard keyed by (group, workload, instance).
+  std::vector<std::size_t> group_of(num_points, 0);
+  std::vector<std::size_t> group_rep;   // first axis point of each group
+  std::vector<std::size_t> group_size;
+  {
+    std::map<std::vector<double>, std::size_t> index;
+    for (std::size_t a = 0; a < num_points; ++a) {
+      const std::vector<double> values = axis_point_values(spec, a);
+      std::vector<double> key;
+      key.reserve(values.size());
+      for (std::size_t j = 0; j < spec.axes.size(); ++j) {
+        if (spec.axes[j].scope == SweepAxis::Scope::kWorkload) {
+          key.push_back(values[j]);
+        }
+      }
+      const auto [it, inserted] = index.try_emplace(std::move(key),
+                                                    group_rep.size());
+      if (inserted) {
+        group_rep.push_back(a);
+        group_size.push_back(0);
+      }
+      group_of[a] = it->second;
+      ++group_size[it->second];
+    }
+  }
+  const std::size_t num_groups = group_rep.size();
+
+  // Per (group, policy): slot of the policy's record inside the group's
+  // cached prefix, or kNoSlot when the policy's bound spec varies within
+  // the group (the policy-dependent suffix, re-run per axis point).
+  constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> shared_slot(num_groups * num_policies, kNoSlot);
+  {
+    std::vector<char> invariant(num_groups * num_policies, 1);
+    for (std::size_t a = 0; a < num_points; ++a) {
+      const std::size_t g = group_of[a];
+      for (std::size_t p = 0; p < num_policies; ++p) {
+        invariant[g * num_policies + p] &=
+            bound_algorithms[a * num_policies + p] ==
+            bound_algorithms[group_rep[g] * num_policies + p];
+      }
+    }
+    for (std::size_t g = 0; g < num_groups; ++g) {
+      std::size_t slot = 0;
+      for (std::size_t p = 0; p < num_policies; ++p) {
+        if (invariant[g * num_policies + p]) {
+          shared_slot[g * num_policies + p] = slot++;
+        }
+      }
+    }
+
+    // A policy-scoped axis must bind some selected policy, or it sweeps
+    // every cell into identical copies — a config error worth failing
+    // loudly on, not silently cache-deduplicating. Two signals, so the
+    // declarative registry metadata cannot veto reality: the axis passes
+    // if a selected policy *declares* it (registry bound_axes), or if the
+    // bound specs observably vary within a prefix group (the ground truth;
+    // covers custom-registered policies that forgot to declare). Variation
+    // is attributed group-wide, which is exact while half-life is the only
+    // policy-scoped bind.
+    std::string inert_axes;
+    for (const SweepAxis& axis : spec.axes) {
+      if (axis.scope != SweepAxis::Scope::kPolicy) continue;
+      bool declared = false;
+      for (const std::string& name : spec.policies) {
+        for (const std::string& bound : registry_.bound_axes(name)) {
+          declared |= normalize_axis_name(bound) ==
+                      normalize_axis_name(axis.name);
+        }
+      }
+      if (!declared) {
+        if (!inert_axes.empty()) inert_axes += "', '";
+        inert_axes += axis.name;
+      }
+    }
+    if (!inert_axes.empty() &&
+        std::all_of(invariant.begin(), invariant.end(),
+                    [](char inv) { return inv != 0; })) {
+      throw std::invalid_argument(
+          "sweep '" + spec.name + "': axis '" + inert_axes +
+          "' binds no selected policy (e.g. half-life needs a "
+          "decayfairshare entry); add such a policy or drop the axis");
+    }
+  }
+
+  // Synthetic workload windows depend only on (workload, instance, horizon)
+  // — not on orgs/split/zipf-s — so groups that differ only in consortium
+  // shape share one generated window. Planned uses per horizon value:
+  std::map<Time, std::size_t> groups_per_horizon;
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    ++groups_per_horizon[horizons[group_rep[g]]];
+  }
+
+  WorkloadCache cache(spec.cache_bytes);
+
   SweepResult result;
   result.axis_points = num_points;
   result.cells.assign(num_points * num_workloads * num_policies,
                       SweepCell{});
+  result.cache_enabled = cache.enabled();
+  result.prefix_groups = num_groups;
 
   // Streaming ordered fold. Tasks complete in scheduling order, which is
   // thread-count dependent; a bounded reorder window buffers completed
@@ -377,6 +524,7 @@ SweepResult SweepDriver::run(const SweepSpec& spec, Progress progress,
         cell.work_done += record.work_done;
         cell.wall_ms += record.wall_ms;
         result.total_wall_ms += record.wall_ms;
+        result.replayed_runs += record.replayed ? 1 : 0;
         if (sink) sink(record);
       }
       result.baseline_wall_ms += out.baseline_wall;
@@ -396,30 +544,26 @@ SweepResult SweepDriver::run(const SweepSpec& spec, Progress progress,
       const std::size_t w =
           (task / spec.instances) % num_workloads;
       const std::size_t i = task % spec.instances;
+      const std::size_t g = group_of[a];
       const SweepWorkload& workload = bound_workloads[a * num_workloads + w];
       const Time horizon = horizons[a];
       // The seed depends only on (workload, instance), so every axis point
       // reruns the same window population: axis series are paired samples,
-      // and axis-free sweeps keep their pre-axis seeding bit-for-bit.
+      // and axis-free sweeps keep their pre-axis seeding bit-for-bit. It is
+      // also what lets axis points of one prefix group share cached work.
       const std::uint64_t seed =
           mix_seed(spec.seed, w * spec.instances + i);
 
-      TaskOutput out;
-      out.records.resize(num_policies);
-      const Instance inst = make_workload_instance(workload, horizon, seed);
-
-      RunResult ref;
-      if (has_baseline) {
-        const auto t0 = std::chrono::steady_clock::now();
-        ref = run_algorithm(inst, baseline, horizon, seed);
-        out.baseline_wall = elapsed_ms(t0);
-      }
-
-      for (std::size_t p = 0; p < num_policies; ++p) {
+      // One policy execution against a prefix's instance/baseline. Group-
+      // invariant policies have equal bound specs at every point of the
+      // group, so a record computed here is bit-identical wherever in the
+      // group it is replayed (axis_point is patched by the consumer).
+      auto run_policy = [&](const SweepPrefix& prefix, std::size_t p) {
         const auto t0 = std::chrono::steady_clock::now();
         const RunResult r = run_algorithm(
-            inst, bound_algorithms[a * num_policies + p], horizon, seed);
-        RunRecord& record = out.records[p];
+            prefix.instance, bound_algorithms[a * num_policies + p], horizon,
+            seed);
+        RunRecord record;
         record.axis_point = a;
         record.workload = w;
         record.policy = p;
@@ -427,12 +571,84 @@ SweepResult SweepDriver::run(const SweepSpec& spec, Progress progress,
         record.seed = seed;
         record.wall_ms = elapsed_ms(t0);
         record.work_done = r.work_done;
-        record.utilization = resource_utilization(inst, r.schedule, horizon);
+        record.utilization =
+            resource_utilization(prefix.instance, r.schedule, horizon);
         if (has_baseline) {
           record.unfairness =
-              unfairness_ratio(r.utilities2, ref.utilities2, ref.work_done);
+              unfairness_ratio(r.utilities2, prefix.baseline_utilities2,
+                               prefix.baseline_work_done);
           record.rel_distance =
-              relative_distance(r.utilities2, ref.utilities2);
+              relative_distance(r.utilities2, prefix.baseline_utilities2);
+        }
+        return record;
+      };
+
+      // The policy-independent prefix: instance (through the shared-window
+      // sub-cache for synthetic workloads), baseline run, group-invariant
+      // policy runs. Computed by the first task of the prefix group to get
+      // here; the cache latches the rest until it is ready.
+      auto compute_prefix = [&]() -> WorkloadCache::Computed {
+        auto entry = std::make_shared<SweepPrefix>();
+        // Route synthetic generation through the shared-window sub-cache
+        // only when a second prefix group will ever ask for the window
+        // (groups differing in consortium shape but not horizon).
+        if (workload.kind == SweepWorkload::Kind::kSynthetic &&
+            cache.enabled() && groups_per_horizon.at(horizon) > 1) {
+          const std::string window_key =
+              "w|" + std::to_string(w) + "|" + std::to_string(i) + "|" +
+              std::to_string(horizon);
+          const auto window = std::static_pointer_cast<const SwfTrace>(
+              cache.get_or_compute(
+                  window_key, groups_per_horizon.at(horizon), [&]() {
+                    auto trace = std::make_shared<const SwfTrace>(
+                        generate_window(workload.spec, horizon, seed));
+                    return WorkloadCache::Computed{trace,
+                                                   window_bytes(*trace)};
+                  }));
+          entry->instance = assign_synthetic_window(
+              workload.spec, *window, workload.orgs, workload.split,
+              workload.zipf_s, seed);
+        } else {
+          entry->instance = make_workload_instance(workload, horizon, seed);
+        }
+        if (has_baseline) {
+          const auto t0 = std::chrono::steady_clock::now();
+          RunResult ref =
+              run_algorithm(entry->instance, baseline, horizon, seed);
+          entry->baseline_wall_ms = elapsed_ms(t0);
+          entry->baseline_utilities2 = std::move(ref.utilities2);
+          entry->baseline_work_done = ref.work_done;
+        }
+        for (std::size_t p = 0; p < num_policies; ++p) {
+          if (shared_slot[g * num_policies + p] == kNoSlot) continue;
+          entry->shared_records.push_back(run_policy(*entry, p));
+        }
+        return {entry, prefix_bytes(*entry)};
+      };
+
+      bool computed_here = true;
+      const std::string prefix_key = "p|" + std::to_string(g) + "|" +
+                                     std::to_string(w) + "|" +
+                                     std::to_string(i);
+      const auto prefix = std::static_pointer_cast<const SweepPrefix>(
+          cache.get_or_compute(prefix_key, group_size[g], compute_prefix,
+                               &computed_here));
+
+      TaskOutput out;
+      out.records.resize(num_policies);
+      out.baseline_wall = computed_here ? prefix->baseline_wall_ms : 0.0;
+      for (std::size_t p = 0; p < num_policies; ++p) {
+        const std::size_t slot = shared_slot[g * num_policies + p];
+        if (slot != kNoSlot) {
+          RunRecord record = prefix->shared_records[slot];
+          record.axis_point = a;  // any group member may have computed it
+          if (!computed_here) {
+            record.wall_ms = 0.0;  // walls stay with the task that paid them
+            record.replayed = true;
+          }
+          out.records[p] = record;
+        } else {
+          out.records[p] = run_policy(*prefix, p);
         }
       }
       out.progress_label = workload.name + " #" + std::to_string(i);
@@ -455,6 +671,8 @@ SweepResult SweepDriver::run(const SweepSpec& spec, Progress progress,
     }
   });
 
+  result.cache = cache.stats();
+  result.elapsed_ms = elapsed_ms(run_started);
   return result;
 }
 

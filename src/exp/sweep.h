@@ -12,6 +12,13 @@
 // being retained, so peak memory is O(cells), independent of the run count.
 // Per-run wall times are recorded for the JSON perf baselines but
 // deliberately kept out of the deterministic aggregates.
+//
+// Cells that differ only in policy-scoped axis values (e.g. the fair-share
+// half-life) share a *prefix* — generated workload, constructed instance,
+// baseline reference run, and the runs of every policy those axes do not
+// bind. The driver plans the cross product into prefix groups and computes
+// each prefix once through a bounded WorkloadCache (exp/workload_cache.h);
+// caching is a pure time optimization and never changes output.
 
 #include <cstdint>
 #include <functional>
@@ -21,6 +28,7 @@
 #include "core/instance.h"
 #include "core/types.h"
 #include "exp/policy_registry.h"
+#include "exp/workload_cache.h"
 #include "util/stats.h"
 #include "workload/assignment.h"
 #include "workload/synthetic.h"
@@ -69,10 +77,27 @@ struct SweepAxis {
     kRandomJobs,      // SweepWorkload::random_jobs
   };
 
+  // What the axis parameterizes, which decides what the workload/baseline
+  // cache may share across its values. kWorkload axes reshape the generated
+  // instance (or the horizon), so every value is a distinct cell prefix;
+  // kPolicy axes only rebind policy parameters, so all their values share
+  // one prefix — instance, baseline run, and the runs of every policy the
+  // axis does not bind. make_axis sets the default per Bind (only kHalfLife
+  // is policy-scoped); a scenario may widen a policy axis to kWorkload to
+  // opt out of sharing, but never the reverse — the driver rejects a
+  // policy-scoped axis whose bind reshapes the workload, because grouping
+  // such cells onto one prefix would simulate the wrong consortium.
+  enum class Scope { kWorkload, kPolicy };
+
   std::string name;  // reporter column name, e.g. "orgs"
   Bind bind = Bind::kOrgs;
+  Scope scope = Scope::kWorkload;
   std::vector<double> values;
 };
+
+// The default scope of a bind: Scope::kPolicy for kHalfLife, kWorkload for
+// everything else.
+SweepAxis::Scope default_axis_scope(SweepAxis::Bind bind);
 
 // Builds an axis from a user-facing name: orgs, horizon (alias: duration),
 // half-life, zipf-s, split, jobs-per-org, random-jobs (case-insensitive,
@@ -88,6 +113,9 @@ std::string normalize_axis_name(const std::string& name);
 // Human/CSV label of one axis value: integral binds print as integers,
 // kSplit prints "zipf"/"uniform", the rest shortest-round-trip decimal.
 std::string axis_value_label(const SweepAxis& axis, double value);
+
+// Default byte budget of the sweep workload/baseline cache (--cache-mb=256).
+inline constexpr std::size_t kDefaultCacheBytes = std::size_t{256} << 20;
 
 struct SweepSpec {
   std::string name;                   // e.g. "table1"
@@ -105,6 +133,10 @@ struct SweepSpec {
   // disables them (pure utilization/perf sweeps).
   std::string baseline = "ref";
   std::size_t threads = 0;  // 0 = hardware concurrency
+  // Byte budget of the workload/baseline cache (--cache-mb); 0 disables
+  // caching entirely (--no-cache). Output is bit-identical either way —
+  // the cache only skips recomputing deterministic prefixes.
+  std::size_t cache_bytes = kDefaultCacheBytes;
 };
 
 // Number of axis points: the product of all axis value counts (1 when no
@@ -129,6 +161,10 @@ struct RunRecord {
   double utilization = 0.0;   // resource utilization of the run's schedule
   std::int64_t work_done = 0;
   double wall_ms = 0.0;       // this run only; excluded from aggregates
+  // True when the run's metrics were replayed from the workload/baseline
+  // cache instead of re-simulated (the values are bit-identical either
+  // way). Reporters ignore it; summaries count it.
+  bool replayed = false;
 };
 
 struct SweepCell {
@@ -147,6 +183,17 @@ struct SweepResult {
   std::vector<SweepCell> cells;
   double baseline_wall_ms = 0.0;
   double total_wall_ms = 0.0;  // sum of per-run walls, not elapsed time
+  double elapsed_ms = 0.0;     // wall clock of the whole driver run
+
+  // Workload/baseline cache accounting (all zero when the cache was
+  // disabled). prefix_groups is the number of distinct cell prefixes per
+  // (workload, instance) — axis points merge into one group when they
+  // differ only in policy-scoped axis values. replayed_runs counts records
+  // copied from a cached prefix instead of re-simulated.
+  bool cache_enabled = false;
+  CacheStats cache;
+  std::size_t prefix_groups = 1;
+  std::uint64_t replayed_runs = 0;
 
   const SweepCell& cell(const SweepSpec& spec, std::size_t axis_point,
                         std::size_t workload, std::size_t policy) const;

@@ -218,6 +218,22 @@ SweepSpec parse_sweep_config(std::istream& in, const std::string& source,
         const std::int64_t v = parse_integer(value);
         if (v < 0) fail("threads must be non-negative");
         options.threads = static_cast<std::size_t>(v);
+      } else if (normalized == "cachemb") {
+        const std::int64_t v = parse_integer(value);
+        if (v < 0) fail("cache-mb must be non-negative");
+        options.cache_mb = static_cast<std::size_t>(v);
+        // cache-mb sizes the budget; only 0 is also a disable. A positive
+        // value must not silently override an explicit --no-cache — the
+        // `cache = on` key is the deliberate re-enable.
+        if (v == 0) options.no_cache = true;
+      } else if (normalized == "cache") {
+        if (value == "on") {
+          options.no_cache = false;
+        } else if (value == "off") {
+          options.no_cache = true;
+        } else {
+          fail("cache must be on or off, got '" + value + "'");
+        }
       } else if (normalized == "jobsperorg") {
         const std::int64_t v = parse_integer(value);
         if (v < 1 || v > 4294967295) {
@@ -228,7 +244,7 @@ SweepSpec parse_sweep_config(std::istream& in, const std::string& source,
         fail("unknown key '" + key +
              "'; known keys: name, title, note, baseline, policies, "
              "workload, instances, duration, orgs, seed, scale, split, "
-             "zipf-s, threads, jobs-per-org, axis <name>");
+             "zipf-s, threads, cache-mb, cache, jobs-per-org, axis <name>");
       }
     } catch (const std::invalid_argument& e) {
       const std::string what = e.what();

@@ -23,11 +23,11 @@ namespace fairsched::exp {
 std::vector<SweepAxis> parse_axes_spec(const std::string& text);
 
 // Parses a sweep-config stream. Scalar keys (policies, workload, instances,
-// duration, orgs, seed, scale, split, zipf-s, threads, jobs-per-org, name,
-// title, note, baseline) and axis lines set in the file win over the
-// command-line `defaults`; everything else falls back to them. `source`
-// names the stream in "<source>:<line>: ..." parse errors
-// (std::invalid_argument).
+// duration, orgs, seed, scale, split, zipf-s, threads, cache-mb, cache
+// (on|off), jobs-per-org, name, title, note, baseline) and axis lines set
+// in the file win over the command-line `defaults`; everything else falls
+// back to them. `source` names the stream in "<source>:<line>: ..." parse
+// errors (std::invalid_argument).
 SweepSpec parse_sweep_config(std::istream& in, const std::string& source,
                              const ScenarioOptions& defaults);
 

@@ -34,6 +34,11 @@ struct AlgorithmSpec {
   std::size_t rand_samples = 15;    // N for kRand
   double decay_half_life = 5000.0;  // for kDecayFairShare
   std::string display_name() const;
+
+  // Specs comparing equal produce bit-identical runs for the same
+  // (instance, horizon, seed); the sweep engine's workload/baseline cache
+  // relies on this to share runs across axis points (exp/workload_cache.h).
+  friend bool operator==(const AlgorithmSpec&, const AlgorithmSpec&) = default;
 };
 
 // Parses names like "ref", "rand15", "rand75", "directcontr", "roundrobin",

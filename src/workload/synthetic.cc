@@ -202,8 +202,23 @@ Instance make_synthetic_instance(const SyntheticSpec& spec, std::uint32_t orgs,
                                  Time duration, MachineSplit split,
                                  double zipf_s, std::uint64_t seed) {
   const SwfTrace trace = generate_window(spec, duration, seed);
-  return instance_from_swf(trace, orgs, spec.total_machines, split, zipf_s,
+  return assign_synthetic_window(spec, trace, orgs, split, zipf_s, seed);
+}
+
+Instance assign_synthetic_window(const SyntheticSpec& spec,
+                                 const SwfTrace& window, std::uint32_t orgs,
+                                 MachineSplit split, double zipf_s,
+                                 std::uint64_t seed) {
+  return instance_from_swf(window, orgs, spec.total_machines, split, zipf_s,
                            mix_seed(seed, 0x5eedA551u));
+}
+
+std::size_t window_bytes(const SwfTrace& window) {
+  std::size_t bytes = sizeof(SwfTrace) + window.jobs.size() * sizeof(SwfJob);
+  for (const std::string& line : window.header) {
+    bytes += sizeof(std::string) + line.capacity();
+  }
+  return bytes;
 }
 
 }  // namespace fairsched

@@ -17,6 +17,7 @@
 // A generated window is an SwfTrace, so it flows through the same
 // assignment code as a real SWF file would.
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -91,5 +92,20 @@ SwfTrace generate_window(const SyntheticSpec& spec, Time duration,
 Instance make_synthetic_instance(const SyntheticSpec& spec, std::uint32_t orgs,
                                  Time duration, MachineSplit split,
                                  double zipf_s, std::uint64_t seed);
+
+// The second half of make_synthetic_instance: maps an already-generated
+// window onto a consortium. `seed` is the same seed the window was generated
+// from; the assignment draws from an independently mixed stream, so
+// splitting generation from assignment is bit-identical to the one-shot
+// call. This is what lets the sweep engine's workload cache reuse one
+// generated window across axis points that only reshape the consortium
+// (orgs / split / zipf-s).
+Instance assign_synthetic_window(const SyntheticSpec& spec,
+                                 const SwfTrace& window, std::uint32_t orgs,
+                                 MachineSplit split, double zipf_s,
+                                 std::uint64_t seed);
+
+// Estimated heap footprint of a generated window, for cache accounting.
+std::size_t window_bytes(const SwfTrace& window);
 
 }  // namespace fairsched

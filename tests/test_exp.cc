@@ -363,6 +363,199 @@ TEST(SweepAxis, HalfLifeAxisBindsOnlyDecayPolicies) {
   }
 }
 
+// --- Workload/baseline cache ------------------------------------------------
+
+// A sweep where the cache has real sharing to do: a policy-scoped
+// half-life axis (all four points share instance + baseline + every
+// non-decay policy run) on top of the unit-jobs workload.
+SweepSpec decay_sweep(std::size_t threads, std::size_t cache_bytes) {
+  SweepSpec spec = small_sweep(threads);
+  spec.policies = {"decayfairshare", "fairshare", "roundrobin", "rand5"};
+  spec.instances = 3;
+  spec.axes.push_back(make_axis("half-life", {20, 60, 500, 100000}));
+  spec.cache_bytes = cache_bytes;
+  return spec;
+}
+
+// Strips the fields the determinism contract deliberately excludes, so the
+// comparison below is exact on everything else.
+void expect_same_records(const std::vector<RunRecord>& lhs,
+                         const std::vector<RunRecord>& rhs) {
+  ASSERT_EQ(lhs.size(), rhs.size());
+  for (std::size_t i = 0; i < lhs.size(); ++i) {
+    EXPECT_EQ(lhs[i].axis_point, rhs[i].axis_point);
+    EXPECT_EQ(lhs[i].workload, rhs[i].workload);
+    EXPECT_EQ(lhs[i].policy, rhs[i].policy);
+    EXPECT_EQ(lhs[i].instance, rhs[i].instance);
+    EXPECT_EQ(lhs[i].seed, rhs[i].seed);
+    EXPECT_EQ(lhs[i].unfairness, rhs[i].unfairness);
+    EXPECT_EQ(lhs[i].rel_distance, rhs[i].rel_distance);
+    EXPECT_EQ(lhs[i].utilization, rhs[i].utilization);
+    EXPECT_EQ(lhs[i].work_done, rhs[i].work_done);
+  }
+}
+
+TEST(WorkloadCacheSweep, CachedOutputBitIdenticalToUncachedAcrossThreads) {
+  const auto [uncached, records_uncached] =
+      run_collecting(decay_sweep(1, 0));
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    const SweepSpec spec = decay_sweep(threads, kDefaultCacheBytes);
+    const auto [cached, records_cached] = run_collecting(spec);
+    expect_same_records(records_uncached, records_cached);
+    std::ostringstream csv_uncached, csv_cached;
+    CsvReporter(csv_uncached).report(spec, uncached);
+    CsvReporter(csv_cached).report(spec, cached);
+    EXPECT_EQ(csv_uncached.str(), csv_cached.str()) << threads;
+    // The streamed per-run CSV (what CI diffs) is identical too.
+    std::ostringstream rows_uncached, rows_cached;
+    CsvRecordSink sink_uncached(rows_uncached, spec);
+    for (const RunRecord& r : records_uncached) sink_uncached.write(r);
+    CsvRecordSink sink_cached(rows_cached, spec);
+    for (const RunRecord& r : records_cached) sink_cached.write(r);
+    EXPECT_EQ(rows_uncached.str(), rows_cached.str()) << threads;
+    EXPECT_TRUE(cached.cache_enabled);
+    EXPECT_GT(cached.cache.hits, 0u);
+    EXPECT_GT(cached.replayed_runs, 0u);
+  }
+  EXPECT_FALSE(uncached.cache_enabled);
+  EXPECT_EQ(uncached.cache.hits + uncached.cache.misses, 0u);
+  EXPECT_EQ(uncached.replayed_runs, 0u);
+}
+
+TEST(WorkloadCacheSweep, MixedAxesPrefixComputeCounts) {
+  // half-life (policy-scoped, 3 values) x orgs (workload-scoped, 2 values):
+  // 6 axis points collapse into 2 prefix groups, so per (workload,
+  // instance) the prefix is computed twice, not six times.
+  SweepSpec spec = small_sweep(4);
+  spec.policies = {"decayfairshare", "fairshare", "roundrobin"};
+  spec.instances = 3;
+  spec.axes.push_back(make_axis("half-life", {20, 60, 100000}));
+  spec.axes.push_back(make_axis("orgs", {3, 4}));
+  EXPECT_EQ(spec.axes[0].scope, SweepAxis::Scope::kPolicy);
+  EXPECT_EQ(spec.axes[1].scope, SweepAxis::Scope::kWorkload);
+  const auto [result, records] = run_collecting(spec);
+
+  const std::size_t groups = 2, points = 6;
+  EXPECT_EQ(result.prefix_groups, groups);
+  // One prefix lookup per task (unit workload: no window sub-cache keys).
+  EXPECT_EQ(result.cache.misses, groups * spec.instances);
+  EXPECT_EQ(result.cache.hits, (points - groups) * spec.instances);
+  EXPECT_EQ(result.cache.evictions, 0u);
+  // fairshare + roundrobin replay at every non-computing point of a group;
+  // decayfairshare varies within each group and re-runs everywhere.
+  EXPECT_EQ(result.replayed_runs, (points - groups) * spec.instances * 2);
+  ASSERT_EQ(records.size(), points * spec.instances * spec.policies.size());
+  for (const RunRecord& record : records) {
+    EXPECT_FALSE(record.policy == 0 && record.replayed);
+  }
+}
+
+TEST(WorkloadCacheSweep, EvictionUnderTinyBudgetKeepsOutputIdentical) {
+  const auto [reference, records_reference] =
+      run_collecting(decay_sweep(4, 0));
+  SweepSpec tiny = decay_sweep(4, 1);  // 1 byte: nothing can stay resident
+  const auto [result, records] = run_collecting(tiny);
+  expect_same_records(records_reference, records);
+  EXPECT_GT(result.cache.evictions, 0u);
+  EXPECT_EQ(result.cache.bytes_in_use, 0u);
+}
+
+TEST(WorkloadCacheSweep, SyntheticWindowsShareAcrossConsortiumAxes) {
+  // An orgs axis over a synthetic workload: every axis point is its own
+  // prefix group (REF really differs), but the generated window depends
+  // only on (workload, instance, horizon) and is reused across points.
+  SweepSpec spec;
+  spec.name = "window-share";
+  spec.policies = {"roundrobin", "fairshare"};
+  spec.baseline = "ref";
+  spec.seed = 7;
+  spec.threads = 2;
+  spec.horizon = 400;
+  spec.instances = 2;
+  SweepWorkload w;
+  w.name = "lpc";
+  w.kind = SweepWorkload::Kind::kSynthetic;
+  w.spec = preset_lpc_egee();
+  spec.workloads.push_back(std::move(w));
+  spec.axes.push_back(make_axis("orgs", {2, 3, 4}));
+
+  const auto [cached, records_cached] = run_collecting(spec);
+  EXPECT_EQ(cached.prefix_groups, 3u);
+  // Window keys: 1 miss + 2 hits per instance. Prefix keys are single-use
+  // (every group has one point) and count as misses.
+  EXPECT_EQ(cached.cache.hits, 2 * spec.instances);
+  EXPECT_EQ(cached.cache.misses, 4 * spec.instances);
+  EXPECT_EQ(cached.replayed_runs, 0u);
+
+  SweepSpec uncached = spec;
+  uncached.cache_bytes = 0;
+  const auto [reference, records_reference] = run_collecting(uncached);
+  expect_same_records(records_reference, records_cached);
+}
+
+TEST(WorkloadCacheSweep, PolicyScopedAxisMustBindAPolicy) {
+  // A half-life axis over a policy set with no decayfairshare would sweep
+  // identical cells; the registry's bound-axes declarations let the driver
+  // reject it up front.
+  SweepSpec spec = small_sweep(1);
+  spec.axes.push_back(make_axis("half-life", {100, 1000}));
+  try {
+    SweepDriver().run(spec);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("binds no selected policy"),
+              std::string::npos);
+  }
+  spec.policies.push_back("decayfairshare");
+  EXPECT_NO_THROW(SweepDriver().run(spec));
+  // Registry declarations behind the check:
+  EXPECT_EQ(PolicyRegistry::global().bound_axes("decayfairshare"),
+            (std::vector<std::string>{"half-life"}));
+  EXPECT_TRUE(PolicyRegistry::global().bound_axes("fairshare").empty());
+}
+
+TEST(WorkloadCacheSweep, UndeclaredButActuallyBoundPolicyIsAccepted) {
+  // The declarative bound_axes metadata must not veto reality: a custom
+  // registration that forgets to declare "half-life" but resolves to a
+  // decaying spec genuinely varies along the axis, and the driver's
+  // ground-truth check (bound-spec variation) lets it run.
+  PolicyRegistry::global().register_policy(
+      "shadowdecay",
+      [](const std::string&) { return parse_algorithm("decayfairshare"); },
+      /*parameterized=*/false, /*fractional=*/false,
+      "decaying fair share registered without bound_axes (test double)");
+  SweepSpec spec = small_sweep(1);
+  spec.policies = {"shadowdecay", "fairshare"};
+  spec.instances = 2;
+  spec.axes.push_back(make_axis("half-life", {20, 100000}));
+  const auto [result, records] = run_collecting(spec);
+  EXPECT_EQ(result.prefix_groups, 1u);
+  // fairshare replays across the group; shadowdecay re-runs per point.
+  EXPECT_EQ(result.replayed_runs, spec.instances);
+}
+
+TEST(WorkloadCacheSweep, WorkloadScopedBindsRejectPolicyScope) {
+  // Scope can be widened to kWorkload (opting out of sharing) but a
+  // workload-reshaping bind can never be narrowed to kPolicy.
+  SweepSpec spec = small_sweep(1);
+  SweepAxis axis = make_axis("orgs", {2, 3});
+  axis.scope = SweepAxis::Scope::kPolicy;
+  spec.axes.push_back(axis);
+  EXPECT_THROW(SweepDriver().run(spec), std::invalid_argument);
+
+  // Widening half-life to kWorkload is allowed and simply disables prefix
+  // sharing: every axis point becomes its own group.
+  SweepSpec widened = small_sweep(1);
+  widened.policies = {"decayfairshare", "fairshare"};
+  widened.instances = 2;
+  SweepAxis half_life = make_axis("half-life", {20, 100000});
+  half_life.scope = SweepAxis::Scope::kWorkload;
+  widened.axes.push_back(half_life);
+  const auto [result, records] = run_collecting(widened);
+  EXPECT_EQ(result.prefix_groups, 2u);
+  EXPECT_EQ(result.replayed_runs, 0u);
+}
+
 // --- Reporters --------------------------------------------------------------
 
 // Re-joins quoted newlines, then splits reporter output into CSV lines.

@@ -71,6 +71,29 @@ TEST(SweepConfig, ParsesAFullConfig) {
   EXPECT_EQ(num_axis_points(spec), 6u);
 }
 
+TEST(SweepConfig, CacheKeysControlTheWorkloadCache) {
+  // cache-mb sizes the budget; cache = off is the config-file --no-cache.
+  EXPECT_EQ(parse("cache-mb = 64\n").cache_bytes,
+            std::size_t{64} << 20);
+  EXPECT_EQ(parse("cache = off\n").cache_bytes, 0u);
+  EXPECT_EQ(parse("cache-mb = 0\n").cache_bytes, 0u);
+  // cache = on restores caching after a --no-cache default on the CLI;
+  // a positive cache-mb only sizes the budget and must NOT override an
+  // explicit --no-cache.
+  ScenarioOptions no_cache;
+  no_cache.no_cache = true;
+  EXPECT_EQ(parse("", no_cache).cache_bytes, 0u);
+  EXPECT_EQ(parse("cache-mb = 64\n", no_cache).cache_bytes, 0u);
+  EXPECT_EQ(parse("cache = on\n", no_cache).cache_bytes,
+            kDefaultCacheBytes);
+  EXPECT_EQ(parse("cache = on\ncache-mb = 64\n", no_cache).cache_bytes,
+            std::size_t{64} << 20);
+  expect_parse_error("cache = sometimes\n",
+                     {"test.cfg:1", "cache must be on or off"});
+  expect_parse_error("cache-mb = -3\n",
+                     {"test.cfg:1", "cache-mb must be non-negative"});
+}
+
 TEST(SweepConfig, FileKeysWinOverCommandLineDefaults) {
   ScenarioOptions defaults;
   defaults.instances = 3;
