@@ -1,0 +1,583 @@
+#include "exp/executor.h"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "exp/sweep_artifact.h"
+#include "exp/workload_cache.h"
+#include "metrics/fairness.h"
+#include "metrics/utility.h"
+#include "util/json.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "workload/swf.h"
+#include "workload/synthetic.h"
+
+namespace fairsched::exp {
+
+namespace {
+
+double elapsed_ms(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+// The policy-independent prefix of one (prefix group, workload, instance)
+// cell family: the constructed instance, the baseline reference outcome,
+// and the records of every policy run the whole group shares. Stored in
+// the WorkloadCache; immutable once published.
+struct SweepPrefix {
+  Instance instance;
+  std::vector<HalfUtil> baseline_utilities2;
+  std::int64_t baseline_work_done = 0;
+  double baseline_wall_ms = 0.0;  // reported once, by the computing task
+  std::vector<RunRecord> shared_records;  // group-invariant policies, p order
+};
+
+std::size_t instance_bytes(const Instance& inst) {
+  return sizeof(Instance) + inst.num_jobs() * sizeof(Job) +
+         inst.total_machines() * sizeof(OrgId) +
+         static_cast<std::size_t>(inst.num_orgs()) *
+             (sizeof(Organization) + sizeof(std::vector<Job>) +
+              sizeof(MachineId) + 32 /* name storage */);
+}
+
+std::size_t prefix_bytes(const SweepPrefix& prefix) {
+  return sizeof(SweepPrefix) + instance_bytes(prefix.instance) +
+         prefix.baseline_utilities2.size() * sizeof(HalfUtil) +
+         prefix.shared_records.size() * sizeof(RunRecord);
+}
+
+// --- Disk tier payload codecs ----------------------------------------------
+// Line-oriented exact text. The expensive results (baseline run, shared
+// policy records) are persisted; the instance is NOT — it is rebuilt from
+// the seed at decode time (cheap next to the exponential REF baseline),
+// which keeps the payload small and the decode independent of Instance's
+// in-memory layout.
+
+std::string encode_window_payload(const SwfTrace& window) {
+  std::ostringstream out;
+  write_swf(out, window);
+  return out.str();
+}
+
+SwfTrace decode_window_payload(const std::string& payload) {
+  std::istringstream in(payload);
+  return parse_swf(in);
+}
+
+std::string encode_prefix_payload(const SweepPrefix& prefix) {
+  std::ostringstream out;
+  out << "baseline " << prefix.baseline_utilities2.size() << ' '
+      << prefix.baseline_work_done << '\n';
+  for (std::size_t i = 0; i < prefix.baseline_utilities2.size(); ++i) {
+    out << (i ? " " : "") << prefix.baseline_utilities2[i];
+  }
+  out << '\n';
+  out << "records " << prefix.shared_records.size() << '\n';
+  for (const RunRecord& r : prefix.shared_records) {
+    out << json_exact_double(r.unfairness) << ' '
+        << json_exact_double(r.rel_distance) << ' '
+        << json_exact_double(r.utilization) << ' ' << r.work_done << '\n';
+  }
+  return out.str();
+}
+
+// Fills the baseline/record fields of `prefix` from a payload written by
+// encode_prefix_payload. Throws on any shape mismatch (the cache then
+// recomputes). Record indices are the decoder's to assign.
+void decode_prefix_payload(const std::string& payload, SweepPrefix& prefix) {
+  std::istringstream in(payload);
+  std::string tag;
+  std::size_t utilities = 0, records = 0;
+  if (!(in >> tag >> utilities >> prefix.baseline_work_done) ||
+      tag != "baseline") {
+    throw std::invalid_argument("bad prefix payload: baseline header");
+  }
+  prefix.baseline_utilities2.resize(utilities);
+  for (std::size_t i = 0; i < utilities; ++i) {
+    if (!(in >> prefix.baseline_utilities2[i])) {
+      throw std::invalid_argument("bad prefix payload: utilities");
+    }
+  }
+  if (!(in >> tag >> records) || tag != "records") {
+    throw std::invalid_argument("bad prefix payload: records header");
+  }
+  prefix.shared_records.resize(records);
+  for (RunRecord& r : prefix.shared_records) {
+    if (!(in >> r.unfairness >> r.rel_distance >> r.utilization >>
+          r.work_done)) {
+      throw std::invalid_argument("bad prefix payload: record row");
+    }
+  }
+}
+
+std::string window_content_key(const SyntheticSpec& s, Time horizon,
+                               std::uint64_t seed) {
+  // Window generation depends on the synthetic shape, horizon and seed
+  // only — deliberately NOT on orgs/split/zipf-s, so consortium-reshaping
+  // sweeps (e.g. Fig. 10's orgs axis) share one persisted window.
+  return "window:" + synthetic_content_key(s) +
+         ":horizon=" + std::to_string(horizon) +
+         ":seed=" + std::to_string(seed);
+}
+
+std::string prefix_content_key(const SweepPlan& plan, std::size_t group,
+                               const SweepWorkload& workload, Time horizon,
+                               std::uint64_t seed) {
+  // Everything the prefix value is a function of: the exact instance
+  // identity (workload parameters + horizon + seed), the baseline spec,
+  // and the ordered specs of the shared policy runs it embeds.
+  std::string key =
+      "prefix:" + workload_content_key(workload, horizon, seed) +
+      ":base=" + (plan.has_baseline ? algorithm_content_key(plan.baseline)
+                                    : std::string("none"));
+  const std::size_t rep = plan.group_rep[group];
+  key += ":shared=";
+  for (std::size_t p = 0; p < plan.num_policies; ++p) {
+    if (plan.shared_slot[group * plan.num_policies + p] == SweepPlan::kNoSlot)
+      continue;
+    key += algorithm_content_key(
+               plan.bound_algorithms[rep * plan.num_policies + p]) +
+           ";";
+  }
+  return key;
+}
+
+}  // namespace
+
+SweepResult ThreadPoolExecutor::execute(const SweepPlan& plan,
+                                        Progress progress, RecordSink sink) {
+  const SweepSpec& spec = plan.spec;
+  const std::size_t num_workloads = plan.num_workloads;
+  const std::size_t num_policies = plan.num_policies;
+  const std::size_t num_local = plan.shard_tasks.size();
+
+  const auto run_started = std::chrono::steady_clock::now();
+
+  WorkloadCache cache(spec.cache_bytes, spec.cache_dir);
+
+  SweepResult result;
+  result.axis_points = plan.num_points;
+  result.cells.assign(plan.num_cells(), SweepCell{});
+  result.cache_enabled = cache.enabled();
+  result.prefix_groups = plan.num_groups;
+
+  // Streaming ordered fold. Tasks complete in scheduling order, which is
+  // thread-count dependent; a bounded reorder window buffers completed
+  // tasks until every earlier task has been folded, so the fold (and the
+  // sink) always observe the fixed order (axis point, workload, instance,
+  // policy) restricted to this shard, and peak memory stays O(window), not
+  // O(runs). A worker that races more than `window` tasks ahead of the
+  // fold cursor blocks; the worker holding the cursor task never blocks
+  // (its slot is always free), so the sweep cannot deadlock.
+  struct TaskOutput {
+    bool ready = false;
+    std::vector<RunRecord> records;
+    double baseline_wall = 0.0;
+    std::string progress_label;
+  };
+  ThreadPool pool(spec.threads);
+  const std::size_t window =
+      std::min(std::max<std::size_t>(num_local, 1),
+               std::max<std::size_t>(64, 4 * pool.size()));
+  std::vector<TaskOutput> slots(window);
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t cursor = 0;  // next local task index to fold
+  std::exception_ptr abort_error;
+
+  auto fold_ready_tasks = [&](std::unique_lock<std::mutex>& lock) {
+    bool advanced = false;
+    while (cursor < num_local && slots[cursor % window].ready) {
+      TaskOutput out = std::move(slots[cursor % window]);
+      slots[cursor % window] = TaskOutput{};
+      ++cursor;
+      advanced = true;
+      for (const RunRecord& record : out.records) {
+        SweepCell& cell = result.cells[(record.axis_point * num_workloads +
+                                        record.workload) *
+                                           num_policies +
+                                       record.policy];
+        cell.unfairness.add(record.unfairness);
+        cell.rel_distance.add(record.rel_distance);
+        cell.utilization.add(record.utilization);
+        cell.work_done += record.work_done;
+        cell.wall_ms += record.wall_ms;
+        result.total_wall_ms += record.wall_ms;
+        result.replayed_runs += record.replayed ? 1 : 0;
+        if (sink) sink(record);
+      }
+      result.baseline_wall_ms += out.baseline_wall;
+      result.total_wall_ms += out.baseline_wall;
+      if (progress) progress(out.progress_label);
+    }
+    if (advanced) {
+      lock.unlock();
+      cv.notify_all();
+      lock.lock();
+    }
+  };
+
+  pool.parallel_for(num_local, [&](std::size_t local) {
+    try {
+      const std::size_t task = plan.shard_tasks[local];
+      const std::size_t a = plan.task_point(task);
+      const std::size_t w = plan.task_workload(task);
+      const std::size_t i = plan.task_instance(task);
+      const std::size_t g = plan.group_of[a];
+      const SweepWorkload& workload =
+          plan.bound_workloads[a * num_workloads + w];
+      const Time horizon = plan.horizons[a];
+      // The seed depends only on (workload, instance), so every axis point
+      // reruns the same window population: axis series are paired samples,
+      // and axis-free sweeps keep their pre-axis seeding bit-for-bit. It is
+      // also what lets axis points of one prefix group share cached work.
+      const std::uint64_t seed = mix_seed(spec.seed, w * spec.instances + i);
+
+      // One policy execution against a prefix's instance/baseline. Group-
+      // invariant policies have equal bound specs at every point of the
+      // group, so a record computed here is bit-identical wherever in the
+      // group it is replayed (axis_point is patched by the consumer).
+      auto run_policy = [&](const SweepPrefix& prefix, std::size_t p) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const RunResult r = run_algorithm(
+            prefix.instance, plan.bound_algorithms[a * num_policies + p],
+            horizon, seed);
+        RunRecord record;
+        record.axis_point = a;
+        record.workload = w;
+        record.policy = p;
+        record.instance = i;
+        record.seed = seed;
+        record.wall_ms = elapsed_ms(t0);
+        record.work_done = r.work_done;
+        record.utilization =
+            resource_utilization(prefix.instance, r.schedule, horizon);
+        if (plan.has_baseline) {
+          record.unfairness =
+              unfairness_ratio(r.utilities2, prefix.baseline_utilities2,
+                               prefix.baseline_work_done);
+          record.rel_distance =
+              relative_distance(r.utilities2, prefix.baseline_utilities2);
+        }
+        return record;
+      };
+
+      // Instance construction, shared by the prefix compute and the
+      // disk-tier decode. Synthetic generation routes through the shared-
+      // window sub-cache when a second prefix family will ask for the
+      // window in this shard (families differing in consortium shape but
+      // not horizon), or when the disk tier can persist it for other
+      // processes.
+      auto make_instance = [&]() -> Instance {
+        const std::size_t planned_uses = plan.window_uses.at({w, horizon});
+        if (workload.kind == SweepWorkload::Kind::kSynthetic &&
+            cache.enabled() &&
+            (planned_uses > 1 || cache.disk_enabled())) {
+          const std::string window_key = "w|" + std::to_string(w) + "|" +
+                                         std::to_string(i) + "|" +
+                                         std::to_string(horizon);
+          WorkloadCache::DiskCodec codec;
+          codec.content_key = window_content_key(workload.spec, horizon,
+                                                 seed);
+          codec.encode = [](const std::shared_ptr<const void>& value) {
+            return encode_window_payload(
+                *std::static_pointer_cast<const SwfTrace>(value));
+          };
+          codec.decode = [](const std::string& payload) {
+            auto trace = std::make_shared<const SwfTrace>(
+                decode_window_payload(payload));
+            return WorkloadCache::Computed{trace, window_bytes(*trace)};
+          };
+          const auto window = std::static_pointer_cast<const SwfTrace>(
+              cache.get_or_compute(
+                  window_key, planned_uses,
+                  [&]() {
+                    auto trace = std::make_shared<const SwfTrace>(
+                        generate_window(workload.spec, horizon, seed));
+                    return WorkloadCache::Computed{trace,
+                                                   window_bytes(*trace)};
+                  },
+                  nullptr, &codec));
+          return assign_synthetic_window(workload.spec, *window,
+                                         workload.orgs, workload.split,
+                                         workload.zipf_s, seed);
+        }
+        return make_workload_instance(workload, horizon, seed);
+      };
+
+      // The policy-independent prefix: instance, baseline run, group-
+      // invariant policy runs. Computed by the first task of the prefix
+      // group to get here; the cache latches the rest until it is ready.
+      auto compute_prefix = [&]() -> WorkloadCache::Computed {
+        auto entry = std::make_shared<SweepPrefix>();
+        entry->instance = make_instance();
+        if (plan.has_baseline) {
+          const auto t0 = std::chrono::steady_clock::now();
+          RunResult ref =
+              run_algorithm(entry->instance, plan.baseline, horizon, seed);
+          entry->baseline_wall_ms = elapsed_ms(t0);
+          entry->baseline_utilities2 = std::move(ref.utilities2);
+          entry->baseline_work_done = ref.work_done;
+        }
+        for (std::size_t p = 0; p < num_policies; ++p) {
+          if (plan.shared_slot[g * num_policies + p] == SweepPlan::kNoSlot) {
+            continue;
+          }
+          entry->shared_records.push_back(run_policy(*entry, p));
+        }
+        return {entry, prefix_bytes(*entry)};
+      };
+
+      // Disk-tier codec for the whole prefix: the persisted payload holds
+      // the baseline outcome and shared record metrics; the instance is
+      // rebuilt from the seed at decode (cheap next to REF).
+      WorkloadCache::DiskCodec prefix_codec;
+      prefix_codec.content_key =
+          prefix_content_key(plan, g, workload, horizon, seed);
+      prefix_codec.encode = [](const std::shared_ptr<const void>& value) {
+        return encode_prefix_payload(
+            *std::static_pointer_cast<const SweepPrefix>(value));
+      };
+      prefix_codec.decode =
+          [&](const std::string& payload) -> WorkloadCache::Computed {
+        auto entry = std::make_shared<SweepPrefix>();
+        decode_prefix_payload(payload, *entry);
+        entry->instance = make_instance();
+        if (plan.has_baseline &&
+            entry->baseline_utilities2.size() !=
+                entry->instance.num_orgs()) {
+          throw std::invalid_argument("prefix payload shape mismatch");
+        }
+        std::size_t slot = 0;
+        for (std::size_t p = 0; p < num_policies; ++p) {
+          if (plan.shared_slot[g * num_policies + p] == SweepPlan::kNoSlot) {
+            continue;
+          }
+          if (slot >= entry->shared_records.size()) {
+            throw std::invalid_argument("prefix payload shape mismatch");
+          }
+          RunRecord& record = entry->shared_records[slot++];
+          record.axis_point = a;
+          record.workload = w;
+          record.policy = p;
+          record.instance = i;
+          record.seed = seed;
+          record.wall_ms = 0.0;  // nothing was simulated here
+        }
+        if (slot != entry->shared_records.size()) {
+          throw std::invalid_argument("prefix payload shape mismatch");
+        }
+        return {entry, prefix_bytes(*entry)};
+      };
+
+      bool computed_here = true;
+      const std::string prefix_key = "p|" + std::to_string(g) + "|" +
+                                     std::to_string(w) + "|" +
+                                     std::to_string(i);
+      const auto prefix = std::static_pointer_cast<const SweepPrefix>(
+          cache.get_or_compute(prefix_key, plan.group_size[g],
+                               compute_prefix, &computed_here,
+                               &prefix_codec));
+
+      TaskOutput out;
+      out.records.resize(num_policies);
+      out.baseline_wall = computed_here ? prefix->baseline_wall_ms : 0.0;
+      for (std::size_t p = 0; p < num_policies; ++p) {
+        const std::size_t slot = plan.shared_slot[g * num_policies + p];
+        if (slot != SweepPlan::kNoSlot) {
+          RunRecord record = prefix->shared_records[slot];
+          record.axis_point = a;  // any group member may have computed it
+          if (!computed_here) {
+            record.wall_ms = 0.0;  // walls stay with the task that paid them
+            record.replayed = true;
+          }
+          out.records[p] = record;
+        } else {
+          out.records[p] = run_policy(*prefix, p);
+        }
+        out.records[p].run_id = plan.run_id(task, p);
+      }
+      out.progress_label = workload.name + " #" + std::to_string(i);
+      out.ready = true;
+
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] {
+        return abort_error != nullptr || local < cursor + window;
+      });
+      if (abort_error) std::rethrow_exception(abort_error);
+      slots[local % window] = std::move(out);
+      fold_ready_tasks(lock);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!abort_error) abort_error = std::current_exception();
+      }
+      cv.notify_all();
+      throw;
+    }
+  });
+
+  result.cache = cache.stats();
+  result.elapsed_ms = elapsed_ms(run_started);
+  return result;
+}
+
+MultiProcessExecutor::MultiProcessExecutor(
+    std::vector<std::string> worker_command, std::size_t processes)
+    : worker_command_(std::move(worker_command)), processes_(processes) {
+  if (worker_command_.empty()) {
+    throw std::invalid_argument(
+        "MultiProcessExecutor: empty worker command");
+  }
+  if (processes_ < 2) {
+    throw std::invalid_argument(
+        "MultiProcessExecutor: need at least 2 processes (use "
+        "ThreadPoolExecutor for in-process runs)");
+  }
+}
+
+SweepResult MultiProcessExecutor::execute(const SweepPlan& plan,
+                                          Progress progress,
+                                          RecordSink sink) {
+  if (sink) {
+    throw std::invalid_argument(
+        "multi-process sweeps do not support per-run record sinks "
+        "(--stream-records); run shards explicitly and keep their streams");
+  }
+  if (!plan.shard.whole()) {
+    throw std::invalid_argument(
+        "multi-process execution partitions the whole plan; it cannot run "
+        "an already-sharded one");
+  }
+
+  const auto run_started = std::chrono::steady_clock::now();
+
+  namespace fs = std::filesystem;
+  static std::atomic<std::uint64_t> scratch_seq{0};
+  const fs::path scratch =
+      fs::temp_directory_path() /
+      ("fairsched-mp-" + std::to_string(::getpid()) + "-" +
+       std::to_string(scratch_seq.fetch_add(1)));
+  fs::create_directories(scratch);
+  struct ScratchGuard {
+    fs::path dir;
+    ~ScratchGuard() {
+      std::error_code ec;
+      fs::remove_all(dir, ec);
+    }
+  } guard{scratch};
+
+  // Split the parent's thread budget across the workers: --threads (or
+  // the hardware concurrency it defaults to) is the machine's budget, and
+  // N workers each running a full-size pool would oversubscribe it N-fold
+  // and run *slower* than one process.
+  const std::size_t thread_budget =
+      plan.spec.threads ? plan.spec.threads
+                        : std::max<std::size_t>(
+                              1, std::thread::hardware_concurrency());
+  const std::size_t worker_threads =
+      std::max<std::size_t>(1, thread_budget / processes_);
+
+  std::vector<fs::path> artifact_paths;
+  std::vector<pid_t> pids;
+  for (std::size_t s = 0; s < processes_; ++s) {
+    artifact_paths.push_back(scratch /
+                             ("shard-" + std::to_string(s) + ".json"));
+    std::vector<std::string> args = worker_command_;
+    args.push_back("--shard=" + std::to_string(s) + "/" +
+                   std::to_string(processes_));
+    args.push_back("--partial-out=" + artifact_paths.back().string());
+    // Pin the orchestration flags explicitly so inherited FAIRSCHED_*
+    // environment variables cannot leak in: FAIRSCHED_PROCESSES would
+    // fork grandchildren recursively, and FAIRSCHED_CSV/JSON/
+    // STREAM_RECORDS would trip the worker's --partial-out validation
+    // (an explicit empty value beats the env fallback).
+    args.push_back("--processes=1");
+    args.push_back("--threads=" + std::to_string(worker_threads));
+    args.push_back("--csv=");
+    args.push_back("--json=");
+    args.push_back("--stream-records=");
+
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& arg : args) argv.push_back(arg.data());
+    argv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      // Tear down the workers spawned so far before unwinding: they are
+      // producing artifacts nobody will read, and ~ScratchGuard is about
+      // to delete the directory they are writing into.
+      for (pid_t spawned : pids) ::kill(spawned, SIGTERM);
+      for (pid_t spawned : pids) ::waitpid(spawned, nullptr, 0);
+      throw std::runtime_error("fork() failed spawning sweep shard " +
+                               std::to_string(s));
+    }
+    if (pid == 0) {
+      ::execvp(argv[0], argv.data());
+      // Only reached when exec fails; report and die without running the
+      // parent's destructors twice.
+      std::perror("execvp");
+      ::_exit(127);
+    }
+    pids.push_back(pid);
+  }
+
+  std::string failure;
+  for (std::size_t s = 0; s < pids.size(); ++s) {
+    int status = 0;
+    if (::waitpid(pids[s], &status, 0) < 0) {
+      failure = "waitpid failed for shard " + std::to_string(s);
+      continue;
+    }
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      failure = "sweep shard " + std::to_string(s) + "/" +
+                std::to_string(processes_) + " worker failed (" +
+                (WIFEXITED(status)
+                     ? "exit code " + std::to_string(WEXITSTATUS(status))
+                     : "signal " + std::to_string(WTERMSIG(status))) +
+                ")";
+      continue;
+    }
+    if (progress) {
+      progress("shard " + std::to_string(s) + "/" +
+               std::to_string(processes_));
+    }
+  }
+  if (!failure.empty()) throw std::runtime_error(failure);
+
+  std::vector<ShardArtifact> artifacts;
+  artifacts.reserve(artifact_paths.size());
+  for (const fs::path& path : artifact_paths) {
+    artifacts.push_back(load_shard_artifact(path.string()));
+    if (artifacts.back().fingerprint != plan.fingerprint) {
+      throw std::runtime_error(
+          "shard artifact " + path.string() +
+          " was produced by a different sweep plan (fingerprint "
+          "mismatch): the worker command did not reproduce this sweep");
+    }
+  }
+  MergedSweep merged = merge_shard_artifacts(std::move(artifacts));
+  merged.result.elapsed_ms = elapsed_ms(run_started);
+  return std::move(merged.result);
+}
+
+}  // namespace fairsched::exp

@@ -1,0 +1,84 @@
+#pragma once
+
+// The execution layer of the sweep engine: everything below a SweepPlan.
+//
+// An Executor turns a plan (exp/sweep_plan.h) into a SweepResult. Two
+// implementations:
+//
+//   * ThreadPoolExecutor — in-process: shards the plan's owned tasks over
+//     the shared ThreadPool and folds records through a bounded reorder
+//     window in the fixed deterministic order (axis point, workload,
+//     instance, policy), so output is bit-identical whatever the thread
+//     count. Policy-independent prefixes flow through the WorkloadCache,
+//     including its optional disk tier (spec.cache_dir).
+//
+//   * MultiProcessExecutor — forks one `fairsched_exp` worker subprocess
+//     per shard (re-invoking the caller's own command line with
+//     --shard=s/N --partial-out=...), waits for all of them, and folds
+//     their partial artifacts (exp/sweep_artifact.h) in plan order. The
+//     merged result is bit-identical to a whole single-process run: each
+//     per-cell aggregate is computed entirely within one shard, in the
+//     same relative fold order a whole run would use.
+//
+// SweepDriver (exp/sweep.h) is the convenience facade over
+// build_sweep_plan + ThreadPoolExecutor for whole in-process runs.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exp/sweep_plan.h"
+
+namespace fairsched::exp {
+
+class Executor {
+ public:
+  using Progress = std::function<void(const std::string& message)>;
+  // Streaming per-run consumer, invoked in the deterministic fold order
+  // restricted to the plan's shard. Records are not retained by the
+  // executor; a sink that needs them later must copy.
+  using RecordSink = std::function<void(const RunRecord&)>;
+
+  virtual ~Executor() = default;
+
+  // Executes the plan's owned tasks and returns the aggregate result
+  // (cells the shard does not own stay empty). Throws on execution
+  // failures; plans are validated at build time.
+  virtual SweepResult execute(const SweepPlan& plan,
+                              Progress progress = nullptr,
+                              RecordSink sink = nullptr) = 0;
+};
+
+class ThreadPoolExecutor final : public Executor {
+ public:
+  SweepResult execute(const SweepPlan& plan, Progress progress = nullptr,
+                      RecordSink sink = nullptr) override;
+};
+
+class MultiProcessExecutor final : public Executor {
+ public:
+  // `worker_command` is the argv that reproduces the caller's sweep (the
+  // harness binary, subcommand and flags); for each worker the executor
+  // appends --shard=s/N, --partial-out=<scratch>/shard-s.json, pinned
+  // orchestration/reporting flags (--processes=1, --csv=, --json=,
+  // --stream-records=, so inherited FAIRSCHED_* env vars can neither
+  // recurse nor trip the worker's validation), and --threads=B/N — the
+  // plan's thread budget (spec.threads, or the hardware concurrency it
+  // defaults to) is divided across the workers, not multiplied by them.
+  MultiProcessExecutor(std::vector<std::string> worker_command,
+                       std::size_t processes);
+
+  // Spawns the workers, waits, merges their artifacts. The plan must be a
+  // whole-run plan (shard {0, 1}); per-run sinks are not supported across
+  // process boundaries (--stream-records within a shard still is) and a
+  // non-null `sink` is rejected. Throws std::runtime_error when a worker
+  // exits nonzero or its artifact does not match the plan's fingerprint.
+  SweepResult execute(const SweepPlan& plan, Progress progress = nullptr,
+                      RecordSink sink = nullptr) override;
+
+ private:
+  std::vector<std::string> worker_command_;
+  std::size_t processes_;
+};
+
+}  // namespace fairsched::exp

@@ -9,10 +9,15 @@
 //   fairsched_exp fig10             Figure 10: unfairness vs #organizations
 //   fairsched_exp horizon-growth    unfairness vs horizon (Table 1 -> 2)
 //   fairsched_exp fairshare-decay   fair-share half-life ablation
+//   fairsched_exp ref-scaling       REF wall time vs orgs / window length
 //   fairsched_exp custom            free-form sweep (--policies/--workload/
 //                                   --axes, or --config=FILE)
+//   fairsched_exp plan              print the sweep plan (same flags as
+//                                   custom) without executing anything
+//   fairsched_exp merge A B ...     fold shard --partial-out artifacts
 //   fairsched_exp list-policies     registered PolicyRegistry names
 //   fairsched_exp list-workloads    workload kinds `custom` accepts
+//   fairsched_exp list-axes         sweep axes with scopes and ranges
 //
 // Common flags (also settable as FAIRSCHED_* env vars, see util/cli.h):
 //   --instances=N --duration=T --orgs=K --seed=S --scale=X --threads=N
@@ -22,16 +27,26 @@
 //   --smoke   tiny instance counts for CI; emits BENCH_<sweep>.json
 //   --cache-mb=N --no-cache   workload/baseline cache budget (default 256
 //                             MB); output is bit-identical either way
+//   --cache-dir=DIR  disk cache tier shared across processes/invocations
+//
+// Sharded execution (docs/ARCHITECTURE.md, docs/EXPERIMENTS.md):
+//   --shard=i/N       execute only shard i of the plan's N-way partition
+//   --partial-out=F   write the shard's result artifact for `merge`
+//   --processes=N     fork N shard workers and merge them in-process;
+//                     output is byte-identical to a single-process run
 //
 // `custom` extras: --policies=a,b,c (registry names, e.g.
 // "fcfs,rand75,decayfairshare2000"), --workload=<kind> (see
 // list-workloads), --config=FILE (declarative sweep config; file keys win
-// over flags — see docs/EXPERIMENTS.md). `fig10` extras: --min-orgs,
-// --max-orgs.
+// over flags — see docs/EXPERIMENTS.md). `fig10`/`ref-scaling` extras:
+// --min-orgs, --max-orgs.
+
+#include <unistd.h>
 
 #include <cstdio>
 #include <exception>
 #include <string>
+#include <vector>
 
 #include "exp/policy_registry.h"
 #include "exp/scenarios.h"
@@ -50,18 +65,31 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s <table1|table2|utilization|rand-convergence|fig10|"
-      "horizon-growth|fairshare-decay|custom|list-policies|list-workloads> "
-      "[flags]\n"
+      "horizon-growth|fairshare-decay|ref-scaling|custom|plan|merge|"
+      "list-policies|list-workloads|list-axes> [flags]\n"
       "common flags: --instances=N --duration=T --orgs=K --seed=S "
       "--scale=X --threads=N --split=zipf|uniform --zipf-s=S --csv=FILE|- "
       "--json=FILE|- --stream-records=FILE|- --axes=\"name=v1,v2;...\" "
-      "--smoke --cache-mb=N --no-cache\n"
-      "custom flags: --policies=a,b,c --workload=%s --config=FILE\n"
-      "fig10 flags: --min-orgs=K --max-orgs=K\n"
-      "axes: orgs, horizon, half-life, zipf-s, split, jobs-per-org, "
-      "random-jobs; values are numbers and lo:hi[:step] ranges\n",
+      "--smoke --cache-mb=N --no-cache --cache-dir=DIR\n"
+      "sharding flags: --shard=i/N --partial-out=FILE --processes=N "
+      "(merge folds --partial-out artifacts; see docs/EXPERIMENTS.md)\n"
+      "custom/plan flags: --policies=a,b,c --workload=%s --config=FILE\n"
+      "fig10/ref-scaling flags: --min-orgs=K --max-orgs=K\n"
+      "axes: see `list-axes`; values are numbers and lo:hi[:step] ranges\n",
       argv0, workloads.c_str());
   return 2;
+}
+
+// The path workers re-exec: /proc/self/exe where available (immune to
+// PATH and cwd changes), the original argv[0] otherwise.
+std::string self_program(const char* argv0) {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return buf;
+  }
+  return argv0;
 }
 
 }  // namespace
@@ -79,7 +107,9 @@ int main(int argc, char** argv) {
 
   try {
     const Flags flags(argc - 1, argv + 1);
-    const ScenarioOptions options = scenario_options_from_flags(flags);
+    ScenarioOptions options = scenario_options_from_flags(flags);
+    options.program = self_program(argv[0]);
+    options.raw_args.assign(argv + 1, argv + argc);
 
     if (command == "table1" || command == "table2") {
       return run_sweep_scenario(make_table_sweep(command, options), options);
@@ -99,12 +129,19 @@ int main(int argc, char** argv) {
     if (command == "fairshare-decay") {
       return run_sweep_scenario(make_fairshare_decay_sweep(options), options);
     }
-    if (command == "custom") {
+    if (command == "ref-scaling") {
+      return run_ref_scaling_scenario(options);
+    }
+    if (command == "custom" || command == "plan") {
       const SweepSpec spec =
           options.config_path.empty()
               ? make_custom_sweep(options)
               : load_sweep_config_file(options.config_path, options);
-      return run_sweep_scenario(spec, options);
+      return command == "plan" ? run_plan_scenario(spec, options)
+                               : run_sweep_scenario(spec, options);
+    }
+    if (command == "merge") {
+      return run_merge_scenario(flags.positional(), options);
     }
     if (command == "list-policies") {
       for (const auto& [name, description] :
@@ -117,6 +154,19 @@ int main(int argc, char** argv) {
       for (const WorkloadInfo& info : workload_catalog()) {
         std::printf("%-14s %s\n", info.name.c_str(),
                     info.description.c_str());
+      }
+      return 0;
+    }
+    if (command == "list-axes") {
+      std::printf("%-14s %-9s %-22s %s\n", "axis", "scope", "typical range",
+                  "binds");
+      for (const AxisInfo& info : axis_catalog()) {
+        std::string name = info.name;
+        if (!info.aliases.empty()) name += " (" + info.aliases + ")";
+        std::printf("%-14s %-9s %-22s %s\n", name.c_str(),
+                    info.scope == SweepAxis::Scope::kPolicy ? "policy"
+                                                            : "workload",
+                    info.values_hint.c_str(), info.description.c_str());
       }
       return 0;
     }

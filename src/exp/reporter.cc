@@ -4,45 +4,12 @@
 #include <string>
 #include <vector>
 
+#include "util/json.h"
 #include "util/table.h"
 
 namespace fairsched::exp {
 
 namespace {
-
-// Escapes a string for use inside a JSON string literal.
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
 
 // One label per axis for a flat axis-point index.
 std::vector<std::string> axis_labels(const SweepSpec& spec,
@@ -147,6 +114,10 @@ void JsonReporter::report(const SweepSpec& spec, const SweepResult& result) {
   out_ << "  \"baseline_wall_ms\": " << num(result.baseline_wall_ms) << ",\n";
   out_ << "  \"total_wall_ms\": " << num(result.total_wall_ms) << ",\n";
   out_ << "  \"elapsed_ms\": " << num(result.elapsed_ms) << ",\n";
+  // `shards` and the disk_* counters are additive schema: absent before
+  // the planner/executor split, so scripts/compare_bench.py and older
+  // tooling keep working against both generations of BENCH files.
+  out_ << "  \"shards\": " << result.shards << ",\n";
   out_ << "  \"cache\": {\"enabled\": "
        << (result.cache_enabled ? "true" : "false")
        << ", \"hits\": " << result.cache.hits
@@ -155,7 +126,10 @@ void JsonReporter::report(const SweepSpec& spec, const SweepResult& result) {
        << ", \"hit_rate\": " << num(result.cache.hit_rate())
        << ", \"replayed_runs\": " << result.replayed_runs
        << ", \"prefix_groups\": " << result.prefix_groups
-       << ", \"peak_bytes\": " << result.cache.peak_bytes << "},\n";
+       << ", \"peak_bytes\": " << result.cache.peak_bytes
+       << ", \"disk_hits\": " << result.cache.disk_hits
+       << ", \"disk_misses\": " << result.cache.disk_misses
+       << ", \"disk_writes\": " << result.cache.disk_writes << "},\n";
   out_ << "  \"cells\": [\n";
   bool first = true;
   for (std::size_t a = 0; a < result.axis_points; ++a) {

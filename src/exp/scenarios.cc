@@ -8,8 +8,11 @@
 #include <stdexcept>
 #include <vector>
 
+#include "exp/executor.h"
 #include "exp/reporter.h"
+#include "exp/sweep_artifact.h"
 #include "exp/sweep_config.h"
+#include "exp/sweep_plan.h"
 #include "metrics/utility.h"
 #include "sched/rand_fair.h"
 #include "sim/engine.h"
@@ -77,6 +80,29 @@ int emit_json_baseline(const SweepSpec& spec, const SweepResult& result,
   return 0;
 }
 
+// Emits the cell-aggregate CSV ("-" = stdout). Returns a nonzero exit
+// code on I/O failure, 0 otherwise (including when --csv is unset).
+int emit_csv_output(const SweepSpec& spec, const SweepResult& result,
+                    const ScenarioOptions& options) {
+  if (options.csv_path.empty()) return 0;
+  if (options.csv_path == "-") {
+    CsvReporter csv(std::cout);
+    csv.report(spec, result);
+    return 0;
+  }
+  std::ofstream out(options.csv_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open CSV output: %s\n",
+                 options.csv_path.c_str());
+    return 2;
+  }
+  CsvReporter csv(out);
+  csv.report(spec, result);
+  std::fprintf(human_file(options), "wrote CSV: %s\n",
+               options.csv_path.c_str());
+  return 0;
+}
+
 std::vector<SweepWorkload> archive_workloads(const ScenarioOptions& options,
                                              double scale) {
   std::vector<SweepWorkload> workloads;
@@ -110,29 +136,61 @@ void apply_axes_override(SweepSpec& spec, const ScenarioOptions& options) {
 }
 
 // The execution knobs every scenario forwards verbatim: seeding, thread
-// count, and the workload/baseline cache budget.
+// count, and the workload/baseline cache budget and disk tier.
 void apply_execution_options(SweepSpec& spec,
                              const ScenarioOptions& options) {
   spec.seed = options.seed;
   spec.threads = options.threads;
   spec.cache_bytes = options.cache_bytes();
+  spec.cache_dir = options.cache_dir;
 }
 
-// One grep-friendly line of workload/baseline-cache accounting, printed
-// after a sweep's summary table (CI greps hits= on the half-life smoke
-// sweep). Skipped when the cache was disabled (--no-cache / --cache-mb=0).
-void print_cache_stats(const SweepResult& result, std::FILE* human) {
-  if (!result.cache_enabled) return;
-  const CacheStats& cache = result.cache;
+// One grep-friendly cache-stats line. `label` distinguishes the per-shard
+// breakdown of a merged result ("[shard 0/3]") from the totals ("").
+void print_cache_stats_line(const CacheStats& cache,
+                            std::uint64_t replayed_runs,
+                            std::size_t prefix_groups,
+                            const std::string& label, std::FILE* human) {
   std::fprintf(
       human,
-      "cache-stats: hits=%llu misses=%llu evictions=%llu hit-rate=%.3f "
-      "replayed-runs=%llu prefix-groups=%zu peak-bytes=%zu\n",
-      static_cast<unsigned long long>(cache.hits),
+      "cache-stats%s: hits=%llu misses=%llu evictions=%llu hit-rate=%.3f "
+      "replayed-runs=%llu prefix-groups=%zu peak-bytes=%zu",
+      label.c_str(), static_cast<unsigned long long>(cache.hits),
       static_cast<unsigned long long>(cache.misses),
       static_cast<unsigned long long>(cache.evictions), cache.hit_rate(),
-      static_cast<unsigned long long>(result.replayed_runs),
-      result.prefix_groups, cache.peak_bytes);
+      static_cast<unsigned long long>(replayed_runs), prefix_groups,
+      cache.peak_bytes);
+  // Disk-tier counters only when the tier saw traffic, so the line stays
+  // unchanged (and CI greps stay valid) for memory-only runs.
+  if (cache.disk_hits + cache.disk_misses + cache.disk_writes > 0) {
+    std::fprintf(human,
+                 " disk-hits=%llu disk-misses=%llu disk-writes=%llu",
+                 static_cast<unsigned long long>(cache.disk_hits),
+                 static_cast<unsigned long long>(cache.disk_misses),
+                 static_cast<unsigned long long>(cache.disk_writes));
+  }
+  std::fprintf(human, "\n");
+}
+
+// The workload/baseline-cache accounting printed after a sweep's summary
+// table (CI greps hits= on the half-life smoke sweep). A merged or
+// multi-process result prints one line per shard, then the totals.
+// Skipped when the cache was disabled (--no-cache / --cache-mb=0).
+void print_cache_stats(const SweepResult& result, std::FILE* human) {
+  if (!result.cache_enabled) return;
+  if (result.shards > 1 &&
+      result.per_shard_cache.size() == result.shards) {
+    for (std::size_t s = 0; s < result.shards; ++s) {
+      print_cache_stats_line(
+          result.per_shard_cache[s], result.per_shard_replayed[s],
+          result.prefix_groups,
+          "[shard " + std::to_string(s) + "/" +
+              std::to_string(result.shards) + "]",
+          human);
+    }
+  }
+  print_cache_stats_line(result.cache, result.replayed_runs,
+                         result.prefix_groups, "", human);
 }
 
 // The utilization and rand-convergence scenarios post-process per-run
@@ -145,6 +203,65 @@ void reject_axes(const char* scenario, const ScenarioOptions& options) {
                                 " does not support --axes; use `custom` "
                                 "for free-form axis sweeps");
   }
+}
+
+// Scenarios that post-process per-run data (or run several sweeps) cannot
+// be partitioned into mergeable shards; reject the sharding flags loudly
+// instead of producing a partial analysis.
+void reject_sharding(const char* scenario, const ScenarioOptions& options) {
+  if (!options.shard.empty() || !options.partial_out.empty() ||
+      options.processes > 1) {
+    throw std::invalid_argument(
+        std::string(scenario) +
+        " does not support --shard/--partial-out/--processes; only plain "
+        "sweep scenarios (and `custom`) can be sharded");
+  }
+}
+
+// Drops `--name=value`, `--name value` and bare `--name` occurrences of
+// the given flags from a raw argv tail — used to rebuild a worker command
+// line without the orchestration flags the executor re-appends itself.
+std::vector<std::string> drop_flag_tokens(
+    const std::vector<std::string>& args,
+    const std::vector<std::string>& names) {
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& token = args[i];
+    bool dropped = false;
+    for (const std::string& name : names) {
+      const std::string bare = "--" + name;
+      if (token == bare) {
+        // `--name value` consumes the value token too (mirrors Flags).
+        if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) ++i;
+        dropped = true;
+        break;
+      }
+      if (token.rfind(bare + "=", 0) == 0) {
+        dropped = true;
+        break;
+      }
+    }
+    if (!dropped) out.push_back(token);
+  }
+  return out;
+}
+
+// The command a multi-process sweep's workers run: the same program and
+// arguments, minus the orchestration flags (the executor appends fresh
+// --shard/--partial-out/--processes per worker) and the reporting flags
+// (a worker's only output is its artifact; the parent reports the merge).
+std::vector<std::string> worker_command(const ScenarioOptions& options) {
+  if (options.program.empty()) {
+    throw std::invalid_argument(
+        "--processes needs the harness's own command line; run through "
+        "fairsched_exp (or use --shard workers and `merge` manually)");
+  }
+  std::vector<std::string> command{options.program};
+  const std::vector<std::string> kept = drop_flag_tokens(
+      options.raw_args, {"processes", "shard", "partial-out", "csv",
+                         "json", "stream-records"});
+  command.insert(command.end(), kept.begin(), kept.end());
+  return command;
 }
 
 // The --stream-records sink: an owning CSV writer over a file or stdout.
@@ -208,6 +325,13 @@ ScenarioOptions scenario_options_from_flags(const Flags& flags) {
   }
   options.cache_mb = static_cast<std::size_t>(cache_mb);
   options.no_cache = flags.get_bool("no-cache", false);
+  options.cache_dir = flags.get_string("cache-dir", "");
+  options.shard = flags.get_string("shard", "");
+  // Validate the spec now so a malformed --shard fails before any
+  // compute, with parse_shard_spec's message.
+  parse_shard_spec(options.shard);
+  options.partial_out = flags.get_string("partial-out", "");
+  options.processes = static_cast<std::size_t>(non_negative("processes"));
   options.zipf_s = flags.get_double("zipf-s", 1.0);
   options.csv_path = flags.get_string("csv", "");
   options.json_path = flags.get_string("json", "");
@@ -301,6 +425,7 @@ SweepSpec make_table_sweep(const std::string& which,
 
 SweepSpec make_rand_convergence_sweep(const ScenarioOptions& options) {
   reject_axes("rand-convergence", options);
+  reject_sharding("rand-convergence", options);
   SweepSpec spec;
   spec.name = "rand-convergence";
   spec.baseline = "ref";
@@ -337,6 +462,7 @@ SweepSpec make_rand_convergence_sweep(const ScenarioOptions& options) {
 
 SweepSpec make_utilization_sweep(const ScenarioOptions& options) {
   reject_axes("utilization", options);
+  reject_sharding("utilization", options);
   SweepSpec spec;
   spec.name = "utilization";
   spec.baseline = "";  // pure utilization sweep, no fairness reference
@@ -538,6 +664,80 @@ SweepSpec make_custom_sweep(const ScenarioOptions& options) {
   return spec;
 }
 
+std::vector<SweepSpec> make_ref_scaling_sweeps(
+    const ScenarioOptions& options) {
+  reject_axes("ref-scaling", options);
+  reject_sharding("ref-scaling", options);
+  std::vector<SweepSpec> sweeps;
+
+  // Sweep 1: REF's cost vs the number of organizations at a fixed
+  // horizon — the exponential (~3^k) FPT parameter of Prop. 3.4.
+  {
+    SweepSpec spec;
+    spec.name = "ref-scaling-orgs";
+    spec.policies = {"ref"};
+    spec.baseline = "";  // REF is the subject here, not the reference
+    apply_execution_options(spec, options);
+    spec.horizon = options.duration ? options.duration
+                                    : (options.smoke ? Time{500} : Time{2000});
+    spec.instances =
+        options.instances ? options.instances : (options.smoke ? 1 : 3);
+    spec.workloads.push_back(lpc_workload(options));
+    const std::uint32_t min_orgs = options.min_orgs ? options.min_orgs : 2;
+    const std::uint32_t max_orgs =
+        options.max_orgs ? options.max_orgs : (options.smoke ? 4 : 8);
+    if (max_orgs < min_orgs) {
+      throw std::invalid_argument("--max-orgs must be >= --min-orgs");
+    }
+    std::vector<double> orgs;
+    for (std::uint32_t k = min_orgs; k <= max_orgs; ++k) {
+      orgs.push_back(static_cast<double>(k));
+    }
+    spec.axes.push_back(make_axis("orgs", std::move(orgs)));
+    char title[256];
+    std::snprintf(title, sizeof(title),
+                  "REF scaling vs organizations (Prop. 3.4): %s, duration "
+                  "%lld, %zu instance(s) per point",
+                  spec.workloads[0].name.c_str(),
+                  static_cast<long long>(spec.horizon), spec.instances);
+    spec.title = title;
+    spec.note =
+        "Expected shape (Prop. 3.4 / Cor. 3.5): per-run wall time grows "
+        "roughly 3x per added organization (FPT in k).";
+    sweeps.push_back(std::move(spec));
+  }
+
+  // Sweep 2: REF's cost vs the window length at a fixed consortium — the
+  // polynomial part of the FPT claim (runtime ~linear in the jobs).
+  {
+    SweepSpec spec;
+    spec.name = "ref-scaling-jobs";
+    spec.policies = {"ref"};
+    spec.baseline = "";
+    apply_execution_options(spec, options);
+    spec.instances =
+        options.instances ? options.instances : (options.smoke ? 1 : 3);
+    spec.workloads.push_back(lpc_workload(options));
+    const std::vector<double> horizons =
+        options.smoke ? std::vector<double>{250, 500, 1000}
+                      : std::vector<double>{1000, 2000, 4000, 8000};
+    spec.horizon = static_cast<Time>(horizons.front());
+    spec.axes.push_back(make_axis("horizon", horizons));
+    char title[256];
+    std::snprintf(title, sizeof(title),
+                  "REF scaling vs window length (Cor. 3.5): %s, %u orgs, "
+                  "%zu instance(s) per point",
+                  spec.workloads[0].name.c_str(), options.orgs,
+                  spec.instances);
+    spec.title = title;
+    spec.note =
+        "Expected shape: per-run wall time grows ~linearly (times log "
+        "factors) with the horizon/job count.";
+    sweeps.push_back(std::move(spec));
+  }
+  return sweeps;
+}
+
 std::string custom_sweep_title(const SweepSpec& spec) {
   char title[256];
   std::snprintf(title, sizeof(title),
@@ -551,24 +751,96 @@ std::string custom_sweep_title(const SweepSpec& spec) {
 
 int run_sweep_scenario(const SweepSpec& spec,
                        const ScenarioOptions& options) {
+  const SweepShard shard = parse_shard_spec(options.shard);
+  if (options.partial_out == "-") {
+    throw std::invalid_argument("--partial-out must be a file path");
+  }
+  if (options.processes > 1) {
+    if (!shard.whole()) {
+      throw std::invalid_argument(
+          "--processes and --shard are mutually exclusive: --processes "
+          "partitions the whole sweep itself");
+    }
+    if (!options.partial_out.empty()) {
+      throw std::invalid_argument(
+          "--processes merges its workers' artifacts in-process; use "
+          "--shard workers for explicit --partial-out files");
+    }
+    if (!options.stream_records_path.empty()) {
+      throw std::invalid_argument(
+          "--stream-records does not cross process boundaries; run the "
+          "shards explicitly (--shard=i/N --stream-records=...) and keep "
+          "their per-shard streams");
+    }
+  }
+  const bool worker = !options.partial_out.empty();
+  if (worker &&
+      (!options.csv_path.empty() || !options.json_path.empty())) {
+    // Cell aggregates belong to the merged whole; per-run records are
+    // inherently per-shard, so --stream-records stays valid on a worker.
+    throw std::invalid_argument(
+        "--partial-out writes only the shard artifact; put --csv/--json "
+        "on the `merge` invocation instead");
+  }
+
   std::FILE* human = human_file(options);
-  if (!spec.title.empty()) std::fprintf(human, "%s\n", spec.title.c_str());
+  if (!worker && !spec.title.empty()) {
+    std::fprintf(human, "%s\n", spec.title.c_str());
+  }
 
   StreamRecords stream;
   if (const int rc = open_stream_records(spec, options, stream)) return rc;
-  SweepDriver::RecordSink sink;
+  Executor::RecordSink sink;
   if (stream.csv) {
     sink = [&stream](const RunRecord& record) { stream.csv->write(record); };
   }
+  Executor::Progress progress;
+  if (!worker) {
+    progress = [human](const std::string& message) {
+      std::fprintf(human, "  finished %s\n", message.c_str());
+      std::fflush(human);
+    };
+  }
 
-  SweepDriver driver;
-  const SweepResult result = driver.run(
-      spec,
-      [human](const std::string& message) {
-        std::fprintf(human, "  finished %s\n", message.c_str());
-        std::fflush(human);
-      },
-      sink);
+  const SweepPlan plan =
+      build_sweep_plan(spec, PolicyRegistry::global(), shard);
+  SweepResult result;
+  if (options.processes > 1) {
+    MultiProcessExecutor executor(worker_command(options),
+                                  options.processes);
+    result = executor.execute(plan, progress, nullptr);
+  } else {
+    ThreadPoolExecutor executor;
+    result = executor.execute(plan, progress, sink);
+  }
+
+  if (worker) {
+    // A shard worker reports nothing itself: its whole output is the
+    // artifact (plus one stderr breadcrumb), and `merge` does the rest.
+    std::ofstream out(options.partial_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open shard artifact output: %s\n",
+                   options.partial_out.c_str());
+      return 2;
+    }
+    write_shard_artifact(out, plan, result);
+    out.flush();
+    if (!out.good()) {
+      std::fprintf(stderr, "failed writing shard artifact: %s\n",
+                   options.partial_out.c_str());
+      return 2;
+    }
+    if (stream.file.is_open()) {
+      std::fprintf(stderr, "shard %zu/%zu: wrote per-run CSV: %s\n",
+                   shard.index, shard.count,
+                   options.stream_records_path.c_str());
+    }
+    std::fprintf(stderr, "shard %zu/%zu: wrote %s (%zu of %zu tasks)\n",
+                 shard.index, shard.count, options.partial_out.c_str(),
+                 plan.shard_tasks.size(), plan.num_tasks);
+    return 0;
+  }
+
   if (stream.file.is_open()) {
     std::fprintf(human, "wrote per-run CSV: %s\n",
                  options.stream_records_path.c_str());
@@ -577,26 +849,102 @@ int run_sweep_scenario(const SweepSpec& spec,
   TableReporter table(human_stream(options));
   table.report(spec, result);
   print_cache_stats(result, human);
+  if (!shard.whole()) {
+    std::fprintf(human,
+                 "note: partial result of shard %zu/%zu — cells owned by "
+                 "other shards read as zero (write --partial-out files "
+                 "and `merge` them for the full sweep)\n",
+                 shard.index, shard.count);
+  }
   if (!spec.note.empty()) std::fprintf(human, "\n%s\n", spec.note.c_str());
 
-  if (!options.csv_path.empty()) {
-    if (options.csv_path == "-") {
-      CsvReporter csv(std::cout);
-      csv.report(spec, result);
-    } else {
-      std::ofstream out(options.csv_path);
-      if (!out) {
-        std::fprintf(stderr, "cannot open CSV output: %s\n",
-                     options.csv_path.c_str());
-        return 2;
-      }
-      CsvReporter csv(out);
-      csv.report(spec, result);
-      std::fprintf(human, "wrote CSV: %s\n", options.csv_path.c_str());
-    }
-  }
-
+  if (const int rc = emit_csv_output(spec, result, options)) return rc;
   return emit_json_baseline(spec, result, options);
+}
+
+int run_ref_scaling_scenario(const ScenarioOptions& options) {
+  if (!options.csv_path.empty() || !options.json_path.empty() ||
+      !options.stream_records_path.empty()) {
+    throw std::invalid_argument(
+        "ref-scaling runs two sweeps, so --csv/--json/--stream-records "
+        "are ambiguous; --smoke still writes one BENCH_ref-scaling-*.json "
+        "per sweep");
+  }
+  const std::vector<SweepSpec> sweeps = make_ref_scaling_sweeps(options);
+  std::FILE* human = human_file(options);
+  for (const SweepSpec& spec : sweeps) {
+    std::fprintf(human, "%s\n", spec.title.c_str());
+    SweepDriver driver;
+    const SweepResult result = driver.run(spec);
+    // The subject is REF's running time, so the summary is the wall-time
+    // column the generic unfairness table would bury.
+    AsciiTable table(
+        {spec.axes[0].name, "runs", "wall ms/run", "work done"});
+    for (std::size_t a = 0; a < result.axis_points; ++a) {
+      const SweepCell& cell = result.cell(spec, a, 0, 0);
+      const std::size_t runs = cell.utilization.count();
+      table.add_row(
+          {axis_value_label(spec.axes[0], axis_point_values(spec, a)[0]),
+           std::to_string(runs),
+           AsciiTable::format_double(
+               runs ? cell.wall_ms / static_cast<double>(runs) : 0.0, 2),
+           std::to_string(cell.work_done)});
+    }
+    std::fputs(table.to_string().c_str(), human);
+    print_cache_stats(result, human);
+    if (const int rc = emit_json_baseline(spec, result, options)) return rc;
+    std::fprintf(human, "\n%s\n\n", spec.note.c_str());
+  }
+  return 0;
+}
+
+int run_merge_scenario(const std::vector<std::string>& paths,
+                       const ScenarioOptions& options) {
+  if (paths.empty()) {
+    throw std::invalid_argument(
+        "merge needs shard artifact paths: fairsched_exp merge "
+        "shard-0.json shard-1.json ...");
+  }
+  if (!options.stream_records_path.empty()) {
+    throw std::invalid_argument(
+        "merge folds cell aggregates; per-run records live in the shards' "
+        "own --stream-records files");
+  }
+  reject_sharding("merge", options);
+
+  std::vector<ShardArtifact> artifacts;
+  artifacts.reserve(paths.size());
+  for (const std::string& path : paths) {
+    artifacts.push_back(load_shard_artifact(path));
+  }
+  const MergedSweep merged = merge_shard_artifacts(std::move(artifacts));
+  const SweepSpec& spec = merged.spec;
+  const SweepResult& result = merged.result;
+
+  std::FILE* human = human_file(options);
+  if (!spec.title.empty()) std::fprintf(human, "%s\n", spec.title.c_str());
+  std::fprintf(human, "merged %zu shard artifact(s)\n", result.shards);
+
+  TableReporter table(human_stream(options));
+  table.report(spec, result);
+  print_cache_stats(result, human);
+  if (!spec.note.empty()) std::fprintf(human, "\n%s\n", spec.note.c_str());
+
+  if (const int rc = emit_csv_output(spec, result, options)) return rc;
+  return emit_json_baseline(spec, result, options);
+}
+
+int run_plan_scenario(const SweepSpec& spec,
+                      const ScenarioOptions& options) {
+  if (!options.partial_out.empty() || options.processes > 1) {
+    throw std::invalid_argument(
+        "plan only prints the sweep plan; --partial-out/--processes "
+        "belong on the executing invocation");
+  }
+  const SweepPlan plan = build_sweep_plan(spec, PolicyRegistry::global(),
+                                          parse_shard_spec(options.shard));
+  write_plan_json(std::cout, plan);
+  return 0;
 }
 
 namespace {

@@ -36,6 +36,27 @@ struct ScenarioOptions {
   std::size_t cache_bytes() const {
     return no_cache ? 0 : cache_mb * (std::size_t{1} << 20);
   }
+  // Disk-backed cache tier (--cache-dir): persists generated windows and
+  // baseline runs across processes, so repeated invocations and the
+  // shards of a multi-process sweep share them. Empty = off; requires the
+  // in-memory cache (--no-cache disables both).
+  std::string cache_dir;
+
+  // Planner/executor split (docs/ARCHITECTURE.md). --shard=i/N executes
+  // only shard i of the plan's N-way partition (by prefix family, so
+  // cache locality survives); --partial-out writes the shard's result as
+  // a versioned artifact for `fairsched_exp merge`; --processes=N forks N
+  // worker subprocesses, one per shard, and merges their artifacts
+  // in-process — output stays bit-identical to a single-process run.
+  std::string shard;        // "" = whole run
+  std::string partial_out;  // "" = report normally
+  std::size_t processes = 0;  // 0/1 = in-process execution
+
+  // How `fairsched_exp` was invoked, for the multi-process executor's
+  // self-re-invocation: the resolved program path and every original
+  // argv token after it (subcommand included). Filled by exp_main.
+  std::string program;
+  std::vector<std::string> raw_args;
   MachineSplit split = MachineSplit::kZipf;
   double zipf_s = 1.0;
   std::string csv_path;   // "" = none, "-" = stdout (cell aggregates)
@@ -61,7 +82,8 @@ struct ScenarioOptions {
 // Parses the harness-wide flags (--instances, --duration, --orgs, --seed,
 // --scale, --threads, --split, --zipf-s, --smoke, --csv, --json,
 // --stream-records, --axes, --config, --policies, --workload, --min-orgs,
-// --max-orgs, --jobs-per-org, --cache-mb, --no-cache).
+// --max-orgs, --jobs-per-org, --cache-mb, --no-cache, --cache-dir,
+// --shard, --partial-out, --processes).
 ScenarioOptions scenario_options_from_flags(const Flags& flags);
 
 // The workload kinds the `custom` subcommand / sweep configs accept, with
@@ -103,6 +125,13 @@ SweepSpec make_fairshare_decay_sweep(const ScenarioOptions& options);
 // Free-form sweep from --policies / --workload / --axes.
 SweepSpec make_custom_sweep(const ScenarioOptions& options);
 
+// REF's running-time scaling (Prop. 3.4 / Cor. 3.5: FPT in the number of
+// organizations k, ~3^k per decision, polynomial in the jobs): two pure
+// perf sweeps over the `ref` policy on LPC-EGEE — one along an `orgs`
+// axis at a fixed horizon, one along a `horizon` axis at fixed orgs.
+// Replaces the standalone bench_ref_scaling binary.
+std::vector<SweepSpec> make_ref_scaling_sweeps(const ScenarioOptions& options);
+
 // The default "Custom sweep: ..." header for `spec`; sweep configs call it
 // again after overriding dimensions so the header stays truthful.
 std::string custom_sweep_title(const SweepSpec& spec);
@@ -121,5 +150,21 @@ int run_utilization_scenario(const ScenarioOptions& options);
 // Runs make_rand_convergence_sweep and prints the per-N distance table plus
 // the Hoeffding sample bounds of Thm 5.6.
 int run_rand_convergence_scenario(const ScenarioOptions& options);
+
+// Runs both ref-scaling sweeps and prints the wall-time-per-run tables
+// (the quantity the old Google-benchmark binary measured).
+int run_ref_scaling_scenario(const ScenarioOptions& options);
+
+// `fairsched_exp merge`: loads the shard partial artifacts at `paths`,
+// folds them (exp/sweep_artifact.h) and reports exactly like the
+// equivalent whole run — ASCII table, per-shard + total cache-stats
+// lines, --csv / --json. The merged CSV is byte-identical to the
+// unsharded run's.
+int run_merge_scenario(const std::vector<std::string>& paths,
+                       const ScenarioOptions& options);
+
+// `fairsched_exp plan`: builds the sweep like `custom` would, then prints
+// the plan JSON (exp/sweep_plan.h) instead of executing anything.
+int run_plan_scenario(const SweepSpec& spec, const ScenarioOptions& options);
 
 }  // namespace fairsched::exp

@@ -1,22 +1,14 @@
 #include "exp/sweep.h"
 
-#include <algorithm>
 #include <cctype>
-#include <chrono>
-#include <condition_variable>
 #include <cstdio>
 #include <limits>
-#include <mutex>
 #include <stdexcept>
 
-#include <map>
-#include <memory>
-
-#include "exp/workload_cache.h"
-#include "metrics/fairness.h"
-#include "metrics/utility.h"
+#include "exp/executor.h"
+#include "exp/sweep_plan.h"
+#include "util/cli.h"
 #include "util/rng.h"
-#include "util/thread_pool.h"
 
 namespace fairsched::exp {
 
@@ -55,153 +47,6 @@ Instance make_small_random_instance(std::size_t base_jobs,
   return std::move(b).build();
 }
 
-double elapsed_ms(std::chrono::steady_clock::time_point since) {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - since)
-      .count();
-}
-
-// Every axis spelling the harness understands. The canonical field is the
-// display / reporter column name; aliases share a canonical ("duration" ->
-// "horizon"), so the error text below dedupes on it.
-struct AxisBinding {
-  const char* key;        // normalized lookup key
-  const char* canonical;  // display / reporter column name
-  SweepAxis::Bind bind;
-};
-constexpr AxisBinding kAxisBindings[] = {
-    {"orgs", "orgs", SweepAxis::Bind::kOrgs},
-    {"horizon", "horizon", SweepAxis::Bind::kHorizon},
-    {"duration", "horizon", SweepAxis::Bind::kHorizon},
-    {"halflife", "half-life", SweepAxis::Bind::kHalfLife},
-    {"zipfs", "zipf-s", SweepAxis::Bind::kZipfS},
-    {"split", "split", SweepAxis::Bind::kSplit},
-    {"jobsperorg", "jobs-per-org", SweepAxis::Bind::kUnitJobsPerOrg},
-    {"randomjobs", "random-jobs", SweepAxis::Bind::kRandomJobs},
-};
-
-bool integral_bind(SweepAxis::Bind bind) {
-  switch (bind) {
-    case SweepAxis::Bind::kOrgs:
-    case SweepAxis::Bind::kHorizon:
-    case SweepAxis::Bind::kUnitJobsPerOrg:
-    case SweepAxis::Bind::kRandomJobs:
-      return true;
-    default:
-      return false;
-  }
-}
-
-// Binds one axis value onto the workload parameters shared by every policy
-// of the cell. kHorizon (per-point horizon) and kHalfLife (per-point
-// AlgorithmSpec) do not touch the workload and are resolved separately by
-// the driver.
-void apply_axis_value(const SweepAxis& axis, double value, SweepWorkload& w) {
-  switch (axis.bind) {
-    case SweepAxis::Bind::kOrgs:
-      w.orgs = static_cast<std::uint32_t>(value);
-      break;
-    case SweepAxis::Bind::kZipfS:
-      w.zipf_s = value;
-      break;
-    case SweepAxis::Bind::kSplit:
-      w.split = value == 0.0 ? MachineSplit::kZipf : MachineSplit::kUniform;
-      break;
-    case SweepAxis::Bind::kUnitJobsPerOrg:
-      w.unit_jobs_per_org = static_cast<std::uint32_t>(value);
-      break;
-    case SweepAxis::Bind::kRandomJobs:
-      w.random_jobs = static_cast<std::size_t>(value);
-      break;
-    case SweepAxis::Bind::kHorizon:
-    case SweepAxis::Bind::kHalfLife:
-      break;
-  }
-}
-
-void validate_axis(const SweepSpec& spec, const SweepAxis& axis) {
-  auto fail = [&](const std::string& why) {
-    throw std::invalid_argument("sweep '" + spec.name + "': axis '" +
-                                axis.name + "' " + why);
-  };
-  if (axis.name.empty()) fail("has no name");
-  if (axis.values.empty()) fail("has no values");
-  if (axis.scope == SweepAxis::Scope::kPolicy &&
-      default_axis_scope(axis.bind) != SweepAxis::Scope::kPolicy) {
-    // A policy-scoped axis shares one generated instance across all its
-    // values; an axis that reshapes the workload (or horizon) must not,
-    // or every non-representative value would simulate the wrong world.
-    fail("cannot be policy-scoped: its bind reshapes the workload");
-  }
-  for (double v : axis.values) {
-    if (integral_bind(axis.bind)) {
-      // Range-check before the round-trip cast: double -> integer overflow
-      // is undefined behavior, and an out-of-range orgs value would
-      // otherwise silently simulate a different consortium than the CSV
-      // row is labeled with. kOrgs/kUnitJobsPerOrg/kRandomJobs bind onto
-      // 32-bit fields; kHorizon onto Time (int64).
-      const double limit = axis.bind == SweepAxis::Bind::kHorizon
-                               ? 9.0e18
-                               : 4294967295.0;  // uint32 max
-      if (!(v >= 0 && v <= limit) ||
-          v != static_cast<double>(static_cast<std::int64_t>(v))) {
-        fail("requires integer values in [0, " +
-             std::to_string(static_cast<std::int64_t>(limit)) + "], got " +
-             std::to_string(v));
-      }
-    }
-    switch (axis.bind) {
-      case SweepAxis::Bind::kOrgs:
-        if (v < 1) fail("values must be >= 1");
-        break;
-      case SweepAxis::Bind::kHorizon:
-      case SweepAxis::Bind::kUnitJobsPerOrg:
-        if (v < 1) fail("values must be >= 1");
-        break;
-      case SweepAxis::Bind::kHalfLife:
-        if (!(v > 0)) fail("values must be positive");
-        break;
-      case SweepAxis::Bind::kZipfS:
-        if (!(v >= 0)) fail("values must be non-negative");
-        break;
-      case SweepAxis::Bind::kSplit:
-        if (v != 0.0 && v != 1.0) {
-          fail("values must be 0 (zipf) or 1 (uniform)");
-        }
-        break;
-      case SweepAxis::Bind::kRandomJobs:
-        if (v < 0) fail("values must be non-negative");
-        break;
-    }
-  }
-}
-
-// The policy-independent prefix of one (prefix group, workload, instance)
-// cell family: the constructed instance, the baseline reference outcome,
-// and the records of every policy run the whole group shares. Stored in
-// the WorkloadCache; immutable once published.
-struct SweepPrefix {
-  Instance instance;
-  std::vector<HalfUtil> baseline_utilities2;
-  std::int64_t baseline_work_done = 0;
-  double baseline_wall_ms = 0.0;  // reported once, by the computing task
-  std::vector<RunRecord> shared_records;  // group-invariant policies, p order
-};
-
-std::size_t instance_bytes(const Instance& inst) {
-  return sizeof(Instance) + inst.num_jobs() * sizeof(Job) +
-         inst.total_machines() * sizeof(OrgId) +
-         static_cast<std::size_t>(inst.num_orgs()) *
-             (sizeof(Organization) + sizeof(std::vector<Job>) +
-              sizeof(MachineId) + 32 /* name storage */);
-}
-
-std::size_t prefix_bytes(const SweepPrefix& prefix) {
-  return sizeof(SweepPrefix) + instance_bytes(prefix.instance) +
-         prefix.baseline_utilities2.size() * sizeof(HalfUtil) +
-         prefix.shared_records.size() * sizeof(RunRecord);
-}
-
 }  // namespace
 
 SweepAxis::Scope default_axis_scope(SweepAxis::Bind bind) {
@@ -217,6 +62,43 @@ std::string normalize_axis_name(const std::string& name) {
     out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
   }
   return out;
+}
+
+bool integral_axis_bind(SweepAxis::Bind bind) {
+  switch (bind) {
+    case SweepAxis::Bind::kOrgs:
+    case SweepAxis::Bind::kHorizon:
+    case SweepAxis::Bind::kUnitJobsPerOrg:
+    case SweepAxis::Bind::kRandomJobs:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const std::vector<AxisInfo>& axis_catalog() {
+  static const std::vector<AxisInfo> catalog = {
+      {"orgs", "", SweepAxis::Bind::kOrgs, SweepAxis::Scope::kWorkload,
+       "2:7", "number of organizations in the consortium (Fig. 10)"},
+      {"horizon", "duration", SweepAxis::Bind::kHorizon,
+       SweepAxis::Scope::kWorkload, "12500:400000:12500",
+       "per-point experiment horizon (the Table 1 -> Table 2 dimension)"},
+      {"half-life", "", SweepAxis::Bind::kHalfLife,
+       SweepAxis::Scope::kPolicy, "500,2500,10000,50000",
+       "decay_half_life of every decayfairshare policy in the sweep"},
+      {"zipf-s", "", SweepAxis::Bind::kZipfS, SweepAxis::Scope::kWorkload,
+       "0.5,1,1.5", "Zipf exponent of the machine split"},
+      {"split", "", SweepAxis::Bind::kSplit, SweepAxis::Scope::kWorkload,
+       "zipf,uniform", "machine split across organizations (0/zipf, "
+       "1/uniform)"},
+      {"jobs-per-org", "", SweepAxis::Bind::kUnitJobsPerOrg,
+       SweepAxis::Scope::kWorkload, "20:80:20",
+       "unit-jobs workload: jobs per organization (Thm 5.6)"},
+      {"random-jobs", "", SweepAxis::Bind::kRandomJobs,
+       SweepAxis::Scope::kWorkload, "10,50",
+       "small-random workload: base job count (Thm 6.2 probe)"},
+  };
+  return catalog;
 }
 
 Instance make_workload_instance(const SweepWorkload& workload, Time horizon,
@@ -236,21 +118,24 @@ Instance make_workload_instance(const SweepWorkload& workload, Time horizon,
 
 SweepAxis make_axis(const std::string& name, std::vector<double> values) {
   const std::string key = normalize_axis_name(name);
-  for (const AxisBinding& binding : kAxisBindings) {
-    if (key == binding.key) {
+  for (const AxisInfo& info : axis_catalog()) {
+    bool matches = key == normalize_axis_name(info.name);
+    for (const std::string& alias : split_and_trim(info.aliases, ',')) {
+      matches |= key == normalize_axis_name(alias);
+    }
+    if (matches) {
       SweepAxis axis;
-      axis.name = binding.canonical;
-      axis.bind = binding.bind;
-      axis.scope = default_axis_scope(binding.bind);
+      axis.name = info.name;
+      axis.bind = info.bind;
+      axis.scope = default_axis_scope(info.bind);
       axis.values = std::move(values);
       return axis;
     }
   }
   std::string known;
-  for (const AxisBinding& binding : kAxisBindings) {
-    if (known.find(binding.canonical) != std::string::npos) continue;
+  for (const AxisInfo& info : axis_catalog()) {
     if (!known.empty()) known += ", ";
-    known += binding.canonical;
+    known += info.name;
   }
   throw std::invalid_argument("unknown sweep axis '" + name +
                               "'; known axes: " + known);
@@ -260,7 +145,7 @@ std::string axis_value_label(const SweepAxis& axis, double value) {
   if (axis.bind == SweepAxis::Bind::kSplit) {
     return value == 0.0 ? "zipf" : "uniform";
   }
-  if (integral_bind(axis.bind)) {
+  if (integral_axis_bind(axis.bind)) {
     return std::to_string(static_cast<std::int64_t>(value));
   }
   char buf[64];
@@ -308,372 +193,13 @@ const SweepCell& SweepResult::cell(const SweepSpec& spec,
 
 SweepResult SweepDriver::run(const SweepSpec& spec, Progress progress,
                              RecordSink sink) const {
-  if (spec.policies.empty()) {
-    throw std::invalid_argument("sweep '" + spec.name + "': no policies");
-  }
-  if (spec.workloads.empty()) {
-    throw std::invalid_argument("sweep '" + spec.name + "': no workloads");
-  }
-  if (spec.instances == 0) {
-    throw std::invalid_argument("sweep '" + spec.name + "': no instances");
-  }
-  for (const SweepAxis& axis : spec.axes) {
-    validate_axis(spec, axis);
-    for (const SweepAxis& other : spec.axes) {
-      if (&axis != &other && axis.name == other.name) {
-        throw std::invalid_argument("sweep '" + spec.name +
-                                    "': duplicate axis '" + axis.name + "'");
-      }
-    }
-  }
-  // Resolve every name up front so a typo fails before hours of compute.
-  std::vector<AlgorithmSpec> algorithms;
-  algorithms.reserve(spec.policies.size());
-  for (const std::string& name : spec.policies) {
-    algorithms.push_back(registry_.make(name));
-  }
-  const bool has_baseline = !spec.baseline.empty();
-  const AlgorithmSpec baseline =
-      has_baseline ? registry_.make(spec.baseline) : AlgorithmSpec{};
-
-  const auto run_started = std::chrono::steady_clock::now();
-
-  const std::size_t num_points = num_axis_points(spec);
-  const std::size_t num_workloads = spec.workloads.size();
-  const std::size_t num_policies = spec.policies.size();
-  const std::size_t num_tasks = num_points * num_workloads * spec.instances;
-
-  // Bind every axis point up front: per point the horizon and the policy
-  // specs (kHalfLife), per (point, workload) the workload parameters. All
-  // O(cells), never O(runs).
-  std::vector<Time> horizons(num_points, spec.horizon);
-  std::vector<AlgorithmSpec> bound_algorithms(num_points *
-                                              num_policies);
-  std::vector<SweepWorkload> bound_workloads(num_points * num_workloads);
-  for (std::size_t a = 0; a < num_points; ++a) {
-    const std::vector<double> values = axis_point_values(spec, a);
-    for (std::size_t p = 0; p < num_policies; ++p) {
-      AlgorithmSpec alg = algorithms[p];
-      for (std::size_t j = 0; j < spec.axes.size(); ++j) {
-        if (spec.axes[j].bind == SweepAxis::Bind::kHalfLife &&
-            alg.id == AlgorithmId::kDecayFairShare) {
-          alg.decay_half_life = values[j];
-        }
-      }
-      bound_algorithms[a * num_policies + p] = alg;
-    }
-    for (std::size_t j = 0; j < spec.axes.size(); ++j) {
-      if (spec.axes[j].bind == SweepAxis::Bind::kHorizon) {
-        horizons[a] = static_cast<Time>(values[j]);
-      }
-    }
-    for (std::size_t w = 0; w < num_workloads; ++w) {
-      SweepWorkload workload = spec.workloads[w];
-      for (std::size_t j = 0; j < spec.axes.size(); ++j) {
-        apply_axis_value(spec.axes[j], values[j], workload);
-      }
-      bound_workloads[a * num_workloads + w] = std::move(workload);
-    }
-  }
-
-  // --- Prefix planning ------------------------------------------------------
-  // Group axis points sharing every workload-scoped axis value: points of a
-  // group differ only in policy-scoped values, so for a fixed (workload,
-  // instance) they share the generated instance, the baseline run, and the
-  // runs of every policy whose bound spec the group does not vary. Cells of
-  // a group map onto one cache shard keyed by (group, workload, instance).
-  std::vector<std::size_t> group_of(num_points, 0);
-  std::vector<std::size_t> group_rep;   // first axis point of each group
-  std::vector<std::size_t> group_size;
-  {
-    std::map<std::vector<double>, std::size_t> index;
-    for (std::size_t a = 0; a < num_points; ++a) {
-      const std::vector<double> values = axis_point_values(spec, a);
-      std::vector<double> key;
-      key.reserve(values.size());
-      for (std::size_t j = 0; j < spec.axes.size(); ++j) {
-        if (spec.axes[j].scope == SweepAxis::Scope::kWorkload) {
-          key.push_back(values[j]);
-        }
-      }
-      const auto [it, inserted] = index.try_emplace(std::move(key),
-                                                    group_rep.size());
-      if (inserted) {
-        group_rep.push_back(a);
-        group_size.push_back(0);
-      }
-      group_of[a] = it->second;
-      ++group_size[it->second];
-    }
-  }
-  const std::size_t num_groups = group_rep.size();
-
-  // Per (group, policy): slot of the policy's record inside the group's
-  // cached prefix, or kNoSlot when the policy's bound spec varies within
-  // the group (the policy-dependent suffix, re-run per axis point).
-  constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
-  std::vector<std::size_t> shared_slot(num_groups * num_policies, kNoSlot);
-  {
-    std::vector<char> invariant(num_groups * num_policies, 1);
-    for (std::size_t a = 0; a < num_points; ++a) {
-      const std::size_t g = group_of[a];
-      for (std::size_t p = 0; p < num_policies; ++p) {
-        invariant[g * num_policies + p] &=
-            bound_algorithms[a * num_policies + p] ==
-            bound_algorithms[group_rep[g] * num_policies + p];
-      }
-    }
-    for (std::size_t g = 0; g < num_groups; ++g) {
-      std::size_t slot = 0;
-      for (std::size_t p = 0; p < num_policies; ++p) {
-        if (invariant[g * num_policies + p]) {
-          shared_slot[g * num_policies + p] = slot++;
-        }
-      }
-    }
-
-    // A policy-scoped axis must bind some selected policy, or it sweeps
-    // every cell into identical copies — a config error worth failing
-    // loudly on, not silently cache-deduplicating. Two signals, so the
-    // declarative registry metadata cannot veto reality: the axis passes
-    // if a selected policy *declares* it (registry bound_axes), or if the
-    // bound specs observably vary within a prefix group (the ground truth;
-    // covers custom-registered policies that forgot to declare). Variation
-    // is attributed group-wide, which is exact while half-life is the only
-    // policy-scoped bind.
-    std::string inert_axes;
-    for (const SweepAxis& axis : spec.axes) {
-      if (axis.scope != SweepAxis::Scope::kPolicy) continue;
-      bool declared = false;
-      for (const std::string& name : spec.policies) {
-        for (const std::string& bound : registry_.bound_axes(name)) {
-          declared |= normalize_axis_name(bound) ==
-                      normalize_axis_name(axis.name);
-        }
-      }
-      if (!declared) {
-        if (!inert_axes.empty()) inert_axes += "', '";
-        inert_axes += axis.name;
-      }
-    }
-    if (!inert_axes.empty() &&
-        std::all_of(invariant.begin(), invariant.end(),
-                    [](char inv) { return inv != 0; })) {
-      throw std::invalid_argument(
-          "sweep '" + spec.name + "': axis '" + inert_axes +
-          "' binds no selected policy (e.g. half-life needs a "
-          "decayfairshare entry); add such a policy or drop the axis");
-    }
-  }
-
-  // Synthetic workload windows depend only on (workload, instance, horizon)
-  // — not on orgs/split/zipf-s — so groups that differ only in consortium
-  // shape share one generated window. Planned uses per horizon value:
-  std::map<Time, std::size_t> groups_per_horizon;
-  for (std::size_t g = 0; g < num_groups; ++g) {
-    ++groups_per_horizon[horizons[group_rep[g]]];
-  }
-
-  WorkloadCache cache(spec.cache_bytes);
-
-  SweepResult result;
-  result.axis_points = num_points;
-  result.cells.assign(num_points * num_workloads * num_policies,
-                      SweepCell{});
-  result.cache_enabled = cache.enabled();
-  result.prefix_groups = num_groups;
-
-  // Streaming ordered fold. Tasks complete in scheduling order, which is
-  // thread-count dependent; a bounded reorder window buffers completed
-  // tasks until every earlier task has been folded, so the fold (and the
-  // sink) always observe the fixed order (axis point, workload, instance,
-  // policy) and peak memory stays O(window), not O(runs). A worker that
-  // races more than `window` tasks ahead of the fold cursor blocks; the
-  // worker holding the cursor task never blocks (its slot is always free),
-  // so the sweep cannot deadlock.
-  struct TaskOutput {
-    bool ready = false;
-    std::vector<RunRecord> records;
-    double baseline_wall = 0.0;
-    std::string progress_label;
-  };
-  ThreadPool pool(spec.threads);
-  const std::size_t window =
-      std::min(num_tasks, std::max<std::size_t>(64, 4 * pool.size()));
-  std::vector<TaskOutput> slots(window);
-  std::mutex mu;
-  std::condition_variable cv;
-  std::size_t cursor = 0;  // next task index to fold
-  std::exception_ptr abort_error;
-
-  auto fold_ready_tasks = [&](std::unique_lock<std::mutex>& lock) {
-    bool advanced = false;
-    while (cursor < num_tasks && slots[cursor % window].ready) {
-      TaskOutput out = std::move(slots[cursor % window]);
-      slots[cursor % window] = TaskOutput{};
-      ++cursor;
-      advanced = true;
-      for (const RunRecord& record : out.records) {
-        SweepCell& cell = result.cells[(record.axis_point * num_workloads +
-                                        record.workload) *
-                                           num_policies +
-                                       record.policy];
-        cell.unfairness.add(record.unfairness);
-        cell.rel_distance.add(record.rel_distance);
-        cell.utilization.add(record.utilization);
-        cell.work_done += record.work_done;
-        cell.wall_ms += record.wall_ms;
-        result.total_wall_ms += record.wall_ms;
-        result.replayed_runs += record.replayed ? 1 : 0;
-        if (sink) sink(record);
-      }
-      result.baseline_wall_ms += out.baseline_wall;
-      result.total_wall_ms += out.baseline_wall;
-      if (progress) progress(out.progress_label);
-    }
-    if (advanced) {
-      lock.unlock();
-      cv.notify_all();
-      lock.lock();
-    }
-  };
-
-  pool.parallel_for(num_tasks, [&](std::size_t task) {
-    try {
-      const std::size_t a = task / (num_workloads * spec.instances);
-      const std::size_t w =
-          (task / spec.instances) % num_workloads;
-      const std::size_t i = task % spec.instances;
-      const std::size_t g = group_of[a];
-      const SweepWorkload& workload = bound_workloads[a * num_workloads + w];
-      const Time horizon = horizons[a];
-      // The seed depends only on (workload, instance), so every axis point
-      // reruns the same window population: axis series are paired samples,
-      // and axis-free sweeps keep their pre-axis seeding bit-for-bit. It is
-      // also what lets axis points of one prefix group share cached work.
-      const std::uint64_t seed =
-          mix_seed(spec.seed, w * spec.instances + i);
-
-      // One policy execution against a prefix's instance/baseline. Group-
-      // invariant policies have equal bound specs at every point of the
-      // group, so a record computed here is bit-identical wherever in the
-      // group it is replayed (axis_point is patched by the consumer).
-      auto run_policy = [&](const SweepPrefix& prefix, std::size_t p) {
-        const auto t0 = std::chrono::steady_clock::now();
-        const RunResult r = run_algorithm(
-            prefix.instance, bound_algorithms[a * num_policies + p], horizon,
-            seed);
-        RunRecord record;
-        record.axis_point = a;
-        record.workload = w;
-        record.policy = p;
-        record.instance = i;
-        record.seed = seed;
-        record.wall_ms = elapsed_ms(t0);
-        record.work_done = r.work_done;
-        record.utilization =
-            resource_utilization(prefix.instance, r.schedule, horizon);
-        if (has_baseline) {
-          record.unfairness =
-              unfairness_ratio(r.utilities2, prefix.baseline_utilities2,
-                               prefix.baseline_work_done);
-          record.rel_distance =
-              relative_distance(r.utilities2, prefix.baseline_utilities2);
-        }
-        return record;
-      };
-
-      // The policy-independent prefix: instance (through the shared-window
-      // sub-cache for synthetic workloads), baseline run, group-invariant
-      // policy runs. Computed by the first task of the prefix group to get
-      // here; the cache latches the rest until it is ready.
-      auto compute_prefix = [&]() -> WorkloadCache::Computed {
-        auto entry = std::make_shared<SweepPrefix>();
-        // Route synthetic generation through the shared-window sub-cache
-        // only when a second prefix group will ever ask for the window
-        // (groups differing in consortium shape but not horizon).
-        if (workload.kind == SweepWorkload::Kind::kSynthetic &&
-            cache.enabled() && groups_per_horizon.at(horizon) > 1) {
-          const std::string window_key =
-              "w|" + std::to_string(w) + "|" + std::to_string(i) + "|" +
-              std::to_string(horizon);
-          const auto window = std::static_pointer_cast<const SwfTrace>(
-              cache.get_or_compute(
-                  window_key, groups_per_horizon.at(horizon), [&]() {
-                    auto trace = std::make_shared<const SwfTrace>(
-                        generate_window(workload.spec, horizon, seed));
-                    return WorkloadCache::Computed{trace,
-                                                   window_bytes(*trace)};
-                  }));
-          entry->instance = assign_synthetic_window(
-              workload.spec, *window, workload.orgs, workload.split,
-              workload.zipf_s, seed);
-        } else {
-          entry->instance = make_workload_instance(workload, horizon, seed);
-        }
-        if (has_baseline) {
-          const auto t0 = std::chrono::steady_clock::now();
-          RunResult ref =
-              run_algorithm(entry->instance, baseline, horizon, seed);
-          entry->baseline_wall_ms = elapsed_ms(t0);
-          entry->baseline_utilities2 = std::move(ref.utilities2);
-          entry->baseline_work_done = ref.work_done;
-        }
-        for (std::size_t p = 0; p < num_policies; ++p) {
-          if (shared_slot[g * num_policies + p] == kNoSlot) continue;
-          entry->shared_records.push_back(run_policy(*entry, p));
-        }
-        return {entry, prefix_bytes(*entry)};
-      };
-
-      bool computed_here = true;
-      const std::string prefix_key = "p|" + std::to_string(g) + "|" +
-                                     std::to_string(w) + "|" +
-                                     std::to_string(i);
-      const auto prefix = std::static_pointer_cast<const SweepPrefix>(
-          cache.get_or_compute(prefix_key, group_size[g], compute_prefix,
-                               &computed_here));
-
-      TaskOutput out;
-      out.records.resize(num_policies);
-      out.baseline_wall = computed_here ? prefix->baseline_wall_ms : 0.0;
-      for (std::size_t p = 0; p < num_policies; ++p) {
-        const std::size_t slot = shared_slot[g * num_policies + p];
-        if (slot != kNoSlot) {
-          RunRecord record = prefix->shared_records[slot];
-          record.axis_point = a;  // any group member may have computed it
-          if (!computed_here) {
-            record.wall_ms = 0.0;  // walls stay with the task that paid them
-            record.replayed = true;
-          }
-          out.records[p] = record;
-        } else {
-          out.records[p] = run_policy(*prefix, p);
-        }
-      }
-      out.progress_label = workload.name + " #" + std::to_string(i);
-      out.ready = true;
-
-      std::unique_lock<std::mutex> lock(mu);
-      cv.wait(lock, [&] {
-        return abort_error != nullptr || task < cursor + window;
-      });
-      if (abort_error) std::rethrow_exception(abort_error);
-      slots[task % window] = std::move(out);
-      fold_ready_tasks(lock);
-    } catch (...) {
-      {
-        std::lock_guard<std::mutex> lock(mu);
-        if (!abort_error) abort_error = std::current_exception();
-      }
-      cv.notify_all();
-      throw;
-    }
-  });
-
-  result.cache = cache.stats();
-  result.elapsed_ms = elapsed_ms(run_started);
-  return result;
+  // The driver is the whole-run facade over the planner/executor split:
+  // build the (unsharded) plan, execute it in process. Sharded and
+  // multi-process execution use build_sweep_plan + an Executor directly
+  // (exp/sweep_plan.h, exp/executor.h).
+  const SweepPlan plan = build_sweep_plan(spec, registry_);
+  ThreadPoolExecutor executor;
+  return executor.execute(plan, std::move(progress), std::move(sink));
 }
 
 }  // namespace fairsched::exp

@@ -4,14 +4,18 @@
 //
 // A sweep is data: (policy set) x (workload generators) x (seeds) x a cross
 // product of named parameter axes (number of organizations, horizon,
-// fair-share half-life, ...). The SweepDriver executes the cross product by
-// sharding independent (axis point, workload, instance) cells across the
-// shared ThreadPool and folds the results in a fixed sequential order, so
-// the statistical output is bit-identical whatever the thread count — CI
-// asserts this. Per-run records are streamed to an opt-in sink instead of
-// being retained, so peak memory is O(cells), independent of the run count.
-// Per-run wall times are recorded for the JSON perf baselines but
-// deliberately kept out of the deterministic aggregates.
+// fair-share half-life, ...). Execution is layered (docs/ARCHITECTURE.md):
+// exp/sweep_plan.h expands a spec into a pure, serializable, shardable
+// SweepPlan; exp/executor.h runs a plan in-process (thread pool) or across
+// worker subprocesses; exp/sweep_artifact.h merges shard partials. The
+// SweepDriver below is the whole-run facade over those layers: it shards
+// independent (axis point, workload, instance) cells across the shared
+// ThreadPool and folds the results in a fixed sequential order, so the
+// statistical output is bit-identical whatever the thread count (or shard
+// partition) — CI asserts this. Per-run records are streamed to an opt-in
+// sink instead of being retained, so peak memory is O(cells), independent
+// of the run count. Per-run wall times are recorded for the JSON perf
+// baselines but deliberately kept out of the deterministic aggregates.
 //
 // Cells that differ only in policy-scoped axis values (e.g. the fair-share
 // half-life) share a *prefix* — generated workload, constructed instance,
@@ -110,6 +114,24 @@ SweepAxis make_axis(const std::string& name, std::vector<double> values);
 // config keys share these spelling rules (exp/sweep_config).
 std::string normalize_axis_name(const std::string& name);
 
+// True for axes whose bound field is integral (orgs, horizon,
+// jobs-per-org, random-jobs): their values must be whole numbers and
+// their labels print without a decimal point.
+bool integral_axis_bind(SweepAxis::Bind bind);
+
+// One entry per axis the harness understands — the single source of truth
+// behind make_axis, `fairsched_exp list-axes`, and the axis reference in
+// docs/EXPERIMENTS.md.
+struct AxisInfo {
+  std::string name;     // canonical reporter column name
+  std::string aliases;  // extra accepted spellings, comma-joined ("" = none)
+  SweepAxis::Bind bind;
+  SweepAxis::Scope scope;   // default scope (see default_axis_scope)
+  std::string values_hint;  // typical range, e.g. "2:7"
+  std::string description;
+};
+const std::vector<AxisInfo>& axis_catalog();
+
 // Human/CSV label of one axis value: integral binds print as integers,
 // kSplit prints "zipf"/"uniform", the rest shortest-round-trip decimal.
 std::string axis_value_label(const SweepAxis& axis, double value);
@@ -137,6 +159,11 @@ struct SweepSpec {
   // caching entirely (--no-cache). Output is bit-identical either way —
   // the cache only skips recomputing deterministic prefixes.
   std::size_t cache_bytes = kDefaultCacheBytes;
+  // Directory of the optional disk-backed cache tier (--cache-dir); empty
+  // disables it. Persisted entries are content-keyed, so repeated and
+  // sharded invocations share generated windows and baseline runs across
+  // processes. Like the in-memory tier, it never changes output.
+  std::string cache_dir;
 };
 
 // Number of axis points: the product of all axis value counts (1 when no
@@ -151,6 +178,11 @@ std::vector<double> axis_point_values(const SweepSpec& spec,
 
 // One (axis point, workload, policy, instance) execution.
 struct RunRecord {
+  // Stable global run id: (task * policies + policy) where task = (point *
+  // workloads + workload) * instances + instance. Equal to the record's
+  // position in the deterministic fold/stream order, and independent of
+  // thread count and sharding (exp/sweep_plan.h).
+  std::uint64_t run_id = 0;
   std::size_t axis_point = 0;  // flat index; decode via axis_point_values
   std::size_t workload = 0;
   std::size_t policy = 0;
@@ -194,6 +226,15 @@ struct SweepResult {
   CacheStats cache;
   std::size_t prefix_groups = 1;
   std::uint64_t replayed_runs = 0;
+
+  // How many shard executions produced this result: 1 for an in-process
+  // run, N for a multi-process run or a `merge` of N partial artifacts.
+  // When > 1, `cache` holds the component-wise totals and the per-shard
+  // vectors (index == shard index) keep the individual breakdowns for the
+  // summary lines.
+  std::size_t shards = 1;
+  std::vector<CacheStats> per_shard_cache;
+  std::vector<std::uint64_t> per_shard_replayed;
 
   const SweepCell& cell(const SweepSpec& spec, std::size_t axis_point,
                         std::size_t workload, std::size_t policy) const;

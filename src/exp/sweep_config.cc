@@ -76,10 +76,13 @@ void append_axis_token(const SweepAxis& axis, const std::string& token,
   const double step = parts.size() == 3 ? parse_number(parts[2]) : 1.0;
   if (!(step > 0)) {
     throw std::invalid_argument("range step must be positive in '" + token +
-                                "'");
+                                "' (ranges expand ascending; list values "
+                                "explicitly for descending order)");
   }
   if (hi < lo) {
-    throw std::invalid_argument("empty range '" + token + "'");
+    throw std::invalid_argument("descending range '" + token +
+                                "' (hi < lo): ranges expand ascending; "
+                                "list the values explicitly instead");
   }
   // Index-based expansion (lo + i*step, never v += step): accumulation
   // drift would otherwise drop the documented-inclusive endpoint of long

@@ -1,0 +1,511 @@
+#include "exp/sweep_plan.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "util/json.h"
+#include "util/rng.h"
+
+namespace fairsched::exp {
+
+namespace {
+
+std::string exact(double v) { return json_exact_double(v); }
+
+// Binds one axis value onto the workload parameters shared by every policy
+// of the cell. kHorizon (per-point horizon) and kHalfLife (per-point
+// AlgorithmSpec) do not touch the workload and are bound separately.
+void apply_axis_value(const SweepAxis& axis, double value, SweepWorkload& w) {
+  switch (axis.bind) {
+    case SweepAxis::Bind::kOrgs:
+      w.orgs = static_cast<std::uint32_t>(value);
+      break;
+    case SweepAxis::Bind::kZipfS:
+      w.zipf_s = value;
+      break;
+    case SweepAxis::Bind::kSplit:
+      w.split = value == 0.0 ? MachineSplit::kZipf : MachineSplit::kUniform;
+      break;
+    case SweepAxis::Bind::kUnitJobsPerOrg:
+      w.unit_jobs_per_org = static_cast<std::uint32_t>(value);
+      break;
+    case SweepAxis::Bind::kRandomJobs:
+      w.random_jobs = static_cast<std::size_t>(value);
+      break;
+    case SweepAxis::Bind::kHorizon:
+    case SweepAxis::Bind::kHalfLife:
+      break;
+  }
+}
+
+void validate_axis(const SweepSpec& spec, const SweepAxis& axis) {
+  auto fail = [&](const std::string& why) {
+    throw std::invalid_argument("sweep '" + spec.name + "': axis '" +
+                                axis.name + "' " + why);
+  };
+  if (axis.name.empty()) fail("has no name");
+  if (axis.values.empty()) fail("has no values");
+  if (axis.scope == SweepAxis::Scope::kPolicy &&
+      default_axis_scope(axis.bind) != SweepAxis::Scope::kPolicy) {
+    // A policy-scoped axis shares one generated instance across all its
+    // values; an axis that reshapes the workload (or horizon) must not,
+    // or every non-representative value would simulate the wrong world.
+    fail("cannot be policy-scoped: its bind reshapes the workload");
+  }
+  for (double v : axis.values) {
+    if (integral_axis_bind(axis.bind)) {
+      // Range-check before the round-trip cast: double -> integer overflow
+      // is undefined behavior, and an out-of-range orgs value would
+      // otherwise silently simulate a different consortium than the CSV
+      // row is labeled with. kOrgs/kUnitJobsPerOrg/kRandomJobs bind onto
+      // 32-bit fields; kHorizon onto Time (int64).
+      const double limit = axis.bind == SweepAxis::Bind::kHorizon
+                               ? 9.0e18
+                               : 4294967295.0;  // uint32 max
+      if (!(v >= 0 && v <= limit) ||
+          v != static_cast<double>(static_cast<std::int64_t>(v))) {
+        fail("requires integer values in [0, " +
+             std::to_string(static_cast<std::int64_t>(limit)) + "], got " +
+             std::to_string(v));
+      }
+    }
+    switch (axis.bind) {
+      case SweepAxis::Bind::kOrgs:
+        if (v < 1) fail("values must be >= 1");
+        break;
+      case SweepAxis::Bind::kHorizon:
+      case SweepAxis::Bind::kUnitJobsPerOrg:
+        if (v < 1) fail("values must be >= 1");
+        break;
+      case SweepAxis::Bind::kHalfLife:
+        if (!(v > 0)) fail("values must be positive");
+        break;
+      case SweepAxis::Bind::kZipfS:
+        if (!(v >= 0)) fail("values must be non-negative");
+        break;
+      case SweepAxis::Bind::kSplit:
+        if (v != 0.0 && v != 1.0) {
+          fail("values must be 0 (zipf) or 1 (uniform)");
+        }
+        break;
+      case SweepAxis::Bind::kRandomJobs:
+        if (v < 0) fail("values must be non-negative");
+        break;
+    }
+  }
+}
+
+const char* scope_label(SweepAxis::Scope scope) {
+  return scope == SweepAxis::Scope::kPolicy ? "policy" : "workload";
+}
+
+// The canonical string the plan fingerprint hashes: every spec dimension
+// that shapes output, nothing that only shapes execution (threads, cache
+// budget/dir, title/note).
+std::string fingerprint_content(const SweepPlan& plan) {
+  const SweepSpec& spec = plan.spec;
+  std::string content = "plan|v1|name=" + spec.name +
+                        "|instances=" + std::to_string(spec.instances) +
+                        "|seed=" + std::to_string(spec.seed) +
+                        "|horizon=" + std::to_string(spec.horizon) +
+                        "|baseline=" + spec.baseline;
+  for (const std::string& policy : spec.policies) {
+    content += "|policy=" + policy;
+  }
+  for (const SweepWorkload& workload : spec.workloads) {
+    content += "|workload=" +
+               workload_content_key(workload, spec.horizon, spec.seed);
+  }
+  for (const SweepAxis& axis : spec.axes) {
+    content += "|axis=" + axis.name;
+    content += std::string("|scope=") + scope_label(axis.scope);
+    for (double v : axis.values) content += "," + exact(v);
+  }
+  return content;
+}
+
+}  // namespace
+
+SweepShard parse_shard_spec(const std::string& text) {
+  if (text.empty()) return {};
+  auto fail = [&](const std::string& why) {
+    throw std::invalid_argument("malformed shard spec '" + text + "': " +
+                                why + " (want --shard=INDEX/COUNT, e.g. "
+                                "--shard=0/3)");
+  };
+  const std::size_t slash = text.find('/');
+  if (slash == std::string::npos) fail("missing '/'");
+  auto parse_part = [&](const std::string& part, const char* what) {
+    if (part.empty()) fail(std::string(what) + " is empty");
+    for (char c : part) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) {
+        fail(std::string(what) + " '" + part +
+             "' is not a non-negative integer");
+      }
+    }
+    if (part.size() > 9) fail(std::string(what) + " '" + part + "' is huge");
+    return static_cast<std::size_t>(std::stoul(part));
+  };
+  SweepShard shard;
+  shard.index = parse_part(text.substr(0, slash), "shard index");
+  shard.count = parse_part(text.substr(slash + 1), "shard count");
+  if (shard.count == 0) fail("shard count must be >= 1");
+  if (shard.index >= shard.count) {
+    fail("shard index " + std::to_string(shard.index) +
+         " must be < count " + std::to_string(shard.count));
+  }
+  return shard;
+}
+
+std::string synthetic_content_key(const SyntheticSpec& s) {
+  return "syn:" + std::to_string(s.total_machines) + "," +
+         std::to_string(s.users) + "," + exact(s.session_rate) + "," +
+         exact(s.mean_batch) + "," + exact(s.batch_spacing) + "," +
+         exact(s.job_mu) + "," + exact(s.job_sigma) + "," +
+         std::to_string(s.min_job) + "," + std::to_string(s.max_job) +
+         "," + exact(s.load_jitter_sigma) + "," +
+         std::to_string(s.jitter_period) + "," +
+         exact(s.user_weight_sigma) + "," + exact(s.user_mu_sigma);
+}
+
+std::string algorithm_content_key(const AlgorithmSpec& spec) {
+  return "alg:" + std::to_string(static_cast<int>(spec.id)) + ":" +
+         std::to_string(spec.rand_samples) + ":" +
+         exact(spec.decay_half_life);
+}
+
+std::string workload_content_key(const SweepWorkload& workload, Time horizon,
+                                 std::uint64_t seed) {
+  std::string key =
+      "wl:" + std::to_string(static_cast<int>(workload.kind)) + ":";
+  switch (workload.kind) {
+    case SweepWorkload::Kind::kSynthetic:
+      key += synthetic_content_key(workload.spec) +
+             ":orgs=" + std::to_string(workload.orgs) +
+             ":split=" + std::to_string(static_cast<int>(workload.split)) +
+             ":zipf=" + exact(workload.zipf_s);
+      break;
+    case SweepWorkload::Kind::kUnitJobs:
+      key += "unit:orgs=" + std::to_string(workload.orgs) +
+             ":jobs=" + std::to_string(workload.unit_jobs_per_org);
+      break;
+    case SweepWorkload::Kind::kSmallRandom:
+      key += "smallrandom:jobs=" + std::to_string(workload.random_jobs);
+      break;
+  }
+  key += ":horizon=" + std::to_string(horizon) +
+         ":seed=" + std::to_string(seed);
+  return key;
+}
+
+SweepPlan build_sweep_plan(const SweepSpec& spec,
+                           const PolicyRegistry& registry, SweepShard shard) {
+  if (spec.policies.empty()) {
+    throw std::invalid_argument("sweep '" + spec.name + "': no policies");
+  }
+  if (spec.workloads.empty()) {
+    throw std::invalid_argument("sweep '" + spec.name + "': no workloads");
+  }
+  if (spec.instances == 0) {
+    throw std::invalid_argument("sweep '" + spec.name + "': no instances");
+  }
+  for (const SweepAxis& axis : spec.axes) {
+    validate_axis(spec, axis);
+    for (const SweepAxis& other : spec.axes) {
+      if (&axis != &other && axis.name == other.name) {
+        throw std::invalid_argument("sweep '" + spec.name +
+                                    "': duplicate axis '" + axis.name + "'");
+      }
+    }
+  }
+
+  SweepPlan plan;
+  plan.spec = spec;
+  plan.shard = shard;
+
+  // Resolve every name up front so a typo fails before hours of compute.
+  plan.algorithms.reserve(spec.policies.size());
+  for (const std::string& name : spec.policies) {
+    plan.algorithms.push_back(registry.make(name));
+  }
+  plan.has_baseline = !spec.baseline.empty();
+  if (plan.has_baseline) plan.baseline = registry.make(spec.baseline);
+
+  plan.num_points = num_axis_points(spec);
+  plan.num_workloads = spec.workloads.size();
+  plan.num_policies = spec.policies.size();
+  plan.num_tasks = plan.num_points * plan.num_workloads * spec.instances;
+
+  // Bind every axis point up front: per point the horizon and the policy
+  // specs (kHalfLife), per (point, workload) the workload parameters. All
+  // O(cells), never O(runs).
+  plan.horizons.assign(plan.num_points, spec.horizon);
+  plan.bound_algorithms.resize(plan.num_points * plan.num_policies);
+  plan.bound_workloads.resize(plan.num_points * plan.num_workloads);
+  for (std::size_t a = 0; a < plan.num_points; ++a) {
+    const std::vector<double> values = axis_point_values(spec, a);
+    for (std::size_t p = 0; p < plan.num_policies; ++p) {
+      AlgorithmSpec alg = plan.algorithms[p];
+      for (std::size_t j = 0; j < spec.axes.size(); ++j) {
+        if (spec.axes[j].bind == SweepAxis::Bind::kHalfLife &&
+            alg.id == AlgorithmId::kDecayFairShare) {
+          alg.decay_half_life = values[j];
+        }
+      }
+      plan.bound_algorithms[a * plan.num_policies + p] = alg;
+    }
+    for (std::size_t j = 0; j < spec.axes.size(); ++j) {
+      if (spec.axes[j].bind == SweepAxis::Bind::kHorizon) {
+        plan.horizons[a] = static_cast<Time>(values[j]);
+      }
+    }
+    for (std::size_t w = 0; w < plan.num_workloads; ++w) {
+      SweepWorkload workload = spec.workloads[w];
+      for (std::size_t j = 0; j < spec.axes.size(); ++j) {
+        apply_axis_value(spec.axes[j], values[j], workload);
+      }
+      plan.bound_workloads[a * plan.num_workloads + w] = std::move(workload);
+    }
+  }
+
+  // Group axis points sharing every workload-scoped axis value: points of
+  // a group differ only in policy-scoped values, so for a fixed (workload,
+  // instance) they share the generated instance, the baseline run, and the
+  // runs of every policy whose bound spec the group does not vary.
+  plan.group_of.assign(plan.num_points, 0);
+  {
+    std::map<std::vector<double>, std::size_t> index;
+    for (std::size_t a = 0; a < plan.num_points; ++a) {
+      const std::vector<double> values = axis_point_values(spec, a);
+      std::vector<double> key;
+      key.reserve(values.size());
+      for (std::size_t j = 0; j < spec.axes.size(); ++j) {
+        if (spec.axes[j].scope == SweepAxis::Scope::kWorkload) {
+          key.push_back(values[j]);
+        }
+      }
+      const auto [it, inserted] =
+          index.try_emplace(std::move(key), plan.group_rep.size());
+      if (inserted) {
+        plan.group_rep.push_back(a);
+        plan.group_size.push_back(0);
+      }
+      plan.group_of[a] = it->second;
+      ++plan.group_size[it->second];
+    }
+  }
+  plan.num_groups = plan.group_rep.size();
+
+  // Per (group, policy): slot of the policy's record inside the group's
+  // cached prefix, or kNoSlot when the policy's bound spec varies within
+  // the group (the policy-dependent suffix, re-run per axis point).
+  plan.shared_slot.assign(plan.num_groups * plan.num_policies,
+                          SweepPlan::kNoSlot);
+  std::vector<char> invariant(plan.num_groups * plan.num_policies, 1);
+  for (std::size_t a = 0; a < plan.num_points; ++a) {
+    const std::size_t g = plan.group_of[a];
+    for (std::size_t p = 0; p < plan.num_policies; ++p) {
+      invariant[g * plan.num_policies + p] &=
+          plan.bound_algorithms[a * plan.num_policies + p] ==
+          plan.bound_algorithms[plan.group_rep[g] * plan.num_policies + p];
+    }
+  }
+  for (std::size_t g = 0; g < plan.num_groups; ++g) {
+    std::size_t slot = 0;
+    for (std::size_t p = 0; p < plan.num_policies; ++p) {
+      if (invariant[g * plan.num_policies + p]) {
+        plan.shared_slot[g * plan.num_policies + p] = slot++;
+      }
+    }
+  }
+
+  // A policy-scoped axis must bind some selected policy, or it sweeps
+  // every cell into identical copies — a config error worth failing
+  // loudly on, not silently cache-deduplicating. Two signals, so the
+  // declarative registry metadata cannot veto reality: the axis passes
+  // if a selected policy *declares* it (registry bound_axes), or if the
+  // bound specs observably vary within a prefix group (the ground truth;
+  // covers custom-registered policies that forgot to declare). Variation
+  // is attributed group-wide, which is exact while half-life is the only
+  // policy-scoped bind.
+  std::string inert_axes;
+  for (const SweepAxis& axis : spec.axes) {
+    if (axis.scope != SweepAxis::Scope::kPolicy) continue;
+    bool declared = false;
+    for (const std::string& name : spec.policies) {
+      for (const std::string& bound : registry.bound_axes(name)) {
+        declared |=
+            normalize_axis_name(bound) == normalize_axis_name(axis.name);
+      }
+    }
+    if (!declared) {
+      if (!inert_axes.empty()) inert_axes += "', '";
+      inert_axes += axis.name;
+    }
+  }
+  if (!inert_axes.empty() &&
+      std::all_of(invariant.begin(), invariant.end(),
+                  [](char inv) { return inv != 0; })) {
+    throw std::invalid_argument(
+        "sweep '" + spec.name + "': axis '" + inert_axes +
+        "' binds no selected policy (e.g. half-life needs a "
+        "decayfairshare entry); add such a policy or drop the axis");
+  }
+
+  // Shard ownership: tasks of the families `shard` owns, ascending (the
+  // shard's fold order), plus this shard's planned uses of each synthetic
+  // window key — the number of owned (group, workload) families per
+  // (workload, horizon), since each one's prefix computes ask for the
+  // window once per instance.
+  plan.shard_tasks.reserve(shard.whole()
+                               ? plan.num_tasks
+                               : plan.num_tasks / shard.count + 1);
+  for (std::size_t t = 0; t < plan.num_tasks; ++t) {
+    if (plan.owns_task(t)) plan.shard_tasks.push_back(t);
+  }
+  for (std::size_t g = 0; g < plan.num_groups; ++g) {
+    for (std::size_t w = 0; w < plan.num_workloads; ++w) {
+      if (plan.shard_of_family(g * plan.num_workloads + w) != shard.index) {
+        continue;
+      }
+      ++plan.window_uses[{w, plan.horizons[plan.group_rep[g]]}];
+    }
+  }
+
+  plan.fingerprint = hash_fnv1a64(fingerprint_content(plan));
+  return plan;
+}
+
+void write_spec_summary_json(std::ostream& out, const SweepSpec& spec,
+                             const std::string& indent) {
+  const std::string inner = indent + "  ";
+  out << "{\n";
+  out << inner << "\"name\": \"" << json_escape(spec.name) << "\",\n";
+  out << inner << "\"title\": \"" << json_escape(spec.title) << "\",\n";
+  out << inner << "\"note\": \"" << json_escape(spec.note) << "\",\n";
+  out << inner << "\"instances\": " << spec.instances << ",\n";
+  out << inner << "\"seed\": " << spec.seed << ",\n";
+  out << inner << "\"horizon\": " << spec.horizon << ",\n";
+  out << inner << "\"baseline\": \"" << json_escape(spec.baseline)
+      << "\",\n";
+  out << inner << "\"policies\": [";
+  for (std::size_t p = 0; p < spec.policies.size(); ++p) {
+    if (p) out << ", ";
+    out << '"' << json_escape(spec.policies[p]) << '"';
+  }
+  out << "],\n";
+  out << inner << "\"workloads\": [";
+  for (std::size_t w = 0; w < spec.workloads.size(); ++w) {
+    if (w) out << ", ";
+    out << '"' << json_escape(spec.workloads[w].name) << '"';
+  }
+  out << "],\n";
+  out << inner << "\"axes\": [";
+  for (std::size_t j = 0; j < spec.axes.size(); ++j) {
+    const SweepAxis& axis = spec.axes[j];
+    if (j) out << ", ";
+    out << "{\"name\": \"" << json_escape(axis.name) << "\", \"scope\": \""
+        << scope_label(axis.scope) << "\", \"values\": [";
+    for (std::size_t v = 0; v < axis.values.size(); ++v) {
+      if (v) out << ", ";
+      out << exact(axis.values[v]);
+    }
+    out << "]}";
+  }
+  out << "]\n" << indent << "}";
+}
+
+SweepSpec spec_from_summary_json(const JsonValue& summary) {
+  SweepSpec spec;
+  spec.name = summary.at("name").as_string();
+  spec.title = summary.at("title").as_string();
+  spec.note = summary.at("note").as_string();
+  spec.instances = static_cast<std::size_t>(summary.at("instances")
+                                                .as_uint());
+  spec.seed = summary.at("seed").as_uint();
+  spec.horizon = summary.at("horizon").as_int();
+  spec.baseline = summary.at("baseline").as_string();
+  for (const JsonValue& policy : summary.at("policies").items()) {
+    spec.policies.push_back(policy.as_string());
+  }
+  for (const JsonValue& name : summary.at("workloads").items()) {
+    // Only the reporter-visible name survives the artifact round trip;
+    // the generator parameters do not, so a reconstructed spec reports a
+    // finished sweep but cannot re-run one.
+    SweepWorkload workload;
+    workload.name = name.as_string();
+    spec.workloads.push_back(std::move(workload));
+  }
+  for (const JsonValue& axis_json : summary.at("axes").items()) {
+    std::vector<double> values;
+    for (const JsonValue& v : axis_json.at("values").items()) {
+      values.push_back(v.as_double());
+    }
+    SweepAxis axis =
+        make_axis(axis_json.at("name").as_string(), std::move(values));
+    const std::string& scope = axis_json.at("scope").as_string();
+    if (scope != "workload" && scope != "policy") {
+      throw std::invalid_argument("bad axis scope '" + scope + "'");
+    }
+    axis.scope = scope == "policy" ? SweepAxis::Scope::kPolicy
+                                   : SweepAxis::Scope::kWorkload;
+    spec.axes.push_back(std::move(axis));
+  }
+  return spec;
+}
+
+void write_plan_json(std::ostream& out, const SweepPlan& plan,
+                     bool include_tasks) {
+  char fp[32];
+  std::snprintf(fp, sizeof(fp), "%016llx",
+                static_cast<unsigned long long>(plan.fingerprint));
+  out << "{\n";
+  out << "  \"format\": \"fairsched-sweep-plan\",\n";
+  out << "  \"version\": 1,\n";
+  out << "  \"fingerprint\": \"" << fp << "\",\n";
+  out << "  \"shard\": {\"index\": " << plan.shard.index
+      << ", \"count\": " << plan.shard.count << "},\n";
+  out << "  \"spec\": ";
+  write_spec_summary_json(out, plan.spec, "  ");
+  out << ",\n";
+  out << "  \"axis_points\": " << plan.num_points << ",\n";
+  out << "  \"prefix_groups\": " << plan.num_groups << ",\n";
+  out << "  \"tasks\": " << plan.num_tasks << ",\n";
+  out << "  \"runs\": " << plan.num_tasks * plan.num_policies << ",\n";
+  out << "  \"runs_per_task\": " << plan.num_policies << ",\n";
+  out << "  \"shard_tasks\": " << plan.shard_tasks.size() << ",\n";
+  out << "  \"groups\": [\n";
+  for (std::size_t g = 0; g < plan.num_groups; ++g) {
+    out << "    {\"group\": " << g
+        << ", \"representative_point\": " << plan.group_rep[g]
+        << ", \"points\": " << plan.group_size[g] << "}"
+        << (g + 1 < plan.num_groups ? ",\n" : "\n");
+  }
+  out << "  ]";
+  if (include_tasks) {
+    out << ",\n  \"task_list\": [\n";
+    for (std::size_t t = 0; t < plan.num_tasks; ++t) {
+      const std::size_t a = plan.task_point(t);
+      const std::size_t w = plan.task_workload(t);
+      const std::size_t i = plan.task_instance(t);
+      const std::size_t family = plan.family_of_task(t);
+      out << "    {\"task\": " << t << ", \"point\": " << a
+          << ", \"workload\": " << w << ", \"instance\": " << i
+          << ", \"seed\": "
+          << mix_seed(plan.spec.seed, w * plan.spec.instances + i)
+          << ", \"group\": " << plan.group_of[a]
+          << ", \"family\": " << family
+          << ", \"shard\": " << plan.shard_of_family(family)
+          << ", \"first_run\": " << plan.run_id(t, 0) << "}"
+          << (t + 1 < plan.num_tasks ? ",\n" : "\n");
+    }
+    out << "  ]";
+  }
+  out << "\n}\n";
+}
+
+}  // namespace fairsched::exp

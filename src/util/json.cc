@@ -1,0 +1,384 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace fairsched {
+
+namespace {
+
+const char* kind_name(JsonValue::Kind kind) {
+  switch (kind) {
+    case JsonValue::Kind::kNull:
+      return "null";
+    case JsonValue::Kind::kBool:
+      return "bool";
+    case JsonValue::Kind::kNumber:
+      return "number";
+    case JsonValue::Kind::kString:
+      return "string";
+    case JsonValue::Kind::kArray:
+      return "array";
+    case JsonValue::Kind::kObject:
+      return "object";
+  }
+  return "?";
+}
+
+[[noreturn]] void type_error(JsonValue::Kind want, JsonValue::Kind got) {
+  throw std::invalid_argument(std::string("JSON: expected ") +
+                              kind_name(want) + ", got " + kind_name(got));
+}
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::kBool) type_error(Kind::kBool, kind_);
+  return bool_;
+}
+
+double JsonValue::as_double() const {
+  if (kind_ != Kind::kNumber) type_error(Kind::kNumber, kind_);
+  return std::strtod(text_.c_str(), nullptr);
+}
+
+std::int64_t JsonValue::as_int() const {
+  if (kind_ != Kind::kNumber) type_error(Kind::kNumber, kind_);
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text_.c_str(), &end, 10);
+  if (errno == ERANGE || end == text_.c_str() || *end != '\0') {
+    throw std::invalid_argument("JSON: '" + text_ +
+                                "' is not a 64-bit integer");
+  }
+  return v;
+}
+
+std::uint64_t JsonValue::as_uint() const {
+  if (kind_ != Kind::kNumber) type_error(Kind::kNumber, kind_);
+  if (!text_.empty() && text_[0] == '-') {
+    throw std::invalid_argument("JSON: '" + text_ + "' is negative");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text_.c_str(), &end, 10);
+  if (errno == ERANGE || end == text_.c_str() || *end != '\0') {
+    throw std::invalid_argument("JSON: '" + text_ +
+                                "' is not a 64-bit unsigned integer");
+  }
+  return v;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::kString) type_error(Kind::kString, kind_);
+  return text_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  if (kind_ != Kind::kArray) type_error(Kind::kArray, kind_);
+  return array_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::fields()
+    const {
+  if (kind_ != Kind::kObject) type_error(Kind::kObject, kind_);
+  return object_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (kind_ != Kind::kObject) type_error(Kind::kObject, kind_);
+  for (const auto& [name, value] : object_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const JsonValue* value = find(key);
+  if (!value) {
+    throw std::invalid_argument("JSON: missing key '" + key + "'");
+  }
+  return *value;
+}
+
+// Recursive-descent parser over the byte string. Offsets in error messages
+// are 0-based byte positions.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::invalid_argument("JSON parse error at byte " +
+                                std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "', got '" + peek() + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(const char* literal) {
+    const std::size_t n = std::char_traits<char>::length(literal);
+    if (text_.compare(pos_, n, literal) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue parse_value() {
+    if (++depth_ > kMaxDepth) fail("nesting too deep");
+    skip_whitespace();
+    JsonValue value;
+    switch (peek()) {
+      case '{':
+        parse_object(value);
+        break;
+      case '[':
+        parse_array(value);
+        break;
+      case '"':
+        value.kind_ = JsonValue::Kind::kString;
+        value.text_ = parse_string();
+        break;
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        value.kind_ = JsonValue::Kind::kBool;
+        value.bool_ = true;
+        break;
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        value.kind_ = JsonValue::Kind::kBool;
+        value.bool_ = false;
+        break;
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        value.kind_ = JsonValue::Kind::kNull;
+        break;
+      default:
+        value.kind_ = JsonValue::Kind::kNumber;
+        value.text_ = parse_number();
+        break;
+    }
+    --depth_;
+    return value;
+  }
+
+  void parse_object(JsonValue& value) {
+    value.kind_ = JsonValue::Kind::kObject;
+    expect('{');
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return;
+    }
+    for (;;) {
+      skip_whitespace();
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      value.object_.emplace_back(std::move(key), parse_value());
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return;
+    }
+  }
+
+  void parse_array(JsonValue& value) {
+    value.kind_ = JsonValue::Kind::kArray;
+    expect('[');
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return;
+    }
+    for (;;) {
+      value.array_.push_back(parse_value());
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"':
+        case '\\':
+        case '/':
+          out += escape;
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad hex digit in \\u escape");
+            }
+          }
+          // UTF-8 encode the code point. Surrogate pairs are not combined
+          // — the harness's own writers only emit \u00xx control escapes.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          }
+          break;
+        }
+        default:
+          fail("unknown escape");
+      }
+    }
+  }
+
+  std::string parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    auto digits = [&] {
+      std::size_t n = 0;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        ++n;
+      }
+      return n;
+    };
+    if (digits() == 0) fail("malformed number");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (digits() == 0) fail("malformed number");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (digits() == 0) fail("malformed number");
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  static constexpr int kMaxDepth = 64;
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+JsonValue parse_json(const std::string& text) {
+  return JsonParser(text).parse_document();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_exact_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace fairsched

@@ -1,0 +1,71 @@
+#pragma once
+
+// A minimal JSON value, parser and escaping helpers.
+//
+// The experiment harness writes machine-readable JSON in several places
+// (the BENCH_*.json perf baselines, sweep plans, shard partial-result
+// artifacts) and, since the planner/executor split, also needs to read
+// some of it back (the `merge` subcommand folds shard artifacts). This is
+// a deliberately small, dependency-free implementation covering exactly
+// the JSON the harness itself emits: objects, arrays, strings with
+// escapes, numbers, booleans and null.
+//
+// Numbers keep their raw source text so integer fields round-trip exactly
+// (a shard artifact stores Welford accumulator state; re-parsing it must
+// reproduce the bits that were written — see util/stats.h). as_double()
+// uses strtod, which round-trips a double printed with "%.17g".
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fairsched {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  // Typed accessors; each throws std::invalid_argument when the value has
+  // a different kind (naming the expected one) or, for the integer forms,
+  // when the raw number does not fit the target type.
+  bool as_bool() const;
+  double as_double() const;
+  std::int64_t as_int() const;
+  std::uint64_t as_uint() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& items() const;  // array elements
+
+  // Object access. at() throws std::invalid_argument naming the missing
+  // key; find() returns nullptr instead.
+  const JsonValue& at(const std::string& key) const;
+  const JsonValue* find(const std::string& key) const;
+  const std::vector<std::pair<std::string, JsonValue>>& fields() const;
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::string text_;  // raw number text, or string contents
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;  // source order
+};
+
+// Parses one JSON document (trailing whitespace allowed, nothing else).
+// Throws std::invalid_argument with a byte offset on malformed input.
+JsonValue parse_json(const std::string& text);
+
+// Escapes `s` for use inside a JSON string literal (quotes, backslashes,
+// control characters). Shared by every JSON writer in the harness.
+std::string json_escape(const std::string& s);
+
+// Shortest-exact formatting for doubles destined to be re-parsed: "%.17g"
+// round-trips every finite IEEE double through strtod bit-exactly.
+std::string json_exact_double(double v);
+
+}  // namespace fairsched

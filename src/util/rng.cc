@@ -19,6 +19,15 @@ std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b) {
   return splitmix64(state);
 }
 
+std::uint64_t hash_fnv1a64(const std::string& text) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
 namespace {
 inline std::uint64_t rotl(std::uint64_t x, int k) {
   return (x << k) | (x >> (64 - k));

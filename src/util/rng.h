@@ -13,6 +13,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace fairsched {
@@ -23,6 +24,12 @@ std::uint64_t splitmix64(std::uint64_t& state);
 // Mixes two 64-bit values into one; handy for deriving per-instance seeds
 // from (experiment seed, instance index) without correlation.
 std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b);
+
+// FNV-1a over a byte string: a stable, platform-independent 64-bit hash
+// for content-addressed keys (the sweep plan fingerprint and the disk
+// cache tier's file names). Not cryptographic — collisions are guarded by
+// storing and comparing the full key, never by the hash alone.
+std::uint64_t hash_fnv1a64(const std::string& text);
 
 // xoshiro256** generator. Satisfies UniformRandomBitGenerator so it can also
 // be plugged into <random> facilities when convenient.

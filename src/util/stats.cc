@@ -6,6 +6,21 @@
 
 namespace fairsched {
 
+StatsAccumulator StatsAccumulator::from_state(const State& state) {
+  StatsAccumulator acc;
+  acc.count_ = state.count;
+  acc.mean_ = state.mean;
+  acc.m2_ = state.m2;
+  acc.min_ = state.min;
+  acc.max_ = state.max;
+  acc.sum_ = state.sum;
+  return acc;
+}
+
+StatsAccumulator::State StatsAccumulator::state() const {
+  return State{count_, mean_, m2_, min_, max_, sum_};
+}
+
 void StatsAccumulator::add(double x) {
   if (count_ == 0) {
     min_ = max_ = x;

@@ -12,6 +12,24 @@ namespace fairsched {
 // Numerically stable streaming accumulator (Welford's algorithm).
 class StatsAccumulator {
  public:
+  // The accumulator's exact internal state, for serialization. A sharded
+  // sweep writes each cell's accumulator into its partial-result artifact
+  // and the merge step restores it; round-tripping the state (rather than
+  // re-adding samples) is what keeps merged aggregates bit-identical to a
+  // single-process run (exp/sweep_artifact.h).
+  struct State {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double sum = 0.0;
+  };
+
+  StatsAccumulator() = default;
+  static StatsAccumulator from_state(const State& state);
+  State state() const;
+
   void add(double x);
   void merge(const StatsAccumulator& other);
 

@@ -4,14 +4,19 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "exp/executor.h"
 #include "exp/policy_registry.h"
 #include "exp/reporter.h"
 #include "exp/scenarios.h"
 #include "exp/sweep.h"
+#include "exp/sweep_artifact.h"
+#include "exp/sweep_plan.h"
 #include "util/csv.h"
 
 namespace fairsched::exp {
@@ -554,6 +559,294 @@ TEST(WorkloadCacheSweep, WorkloadScopedBindsRejectPolicyScope) {
   const auto [result, records] = run_collecting(widened);
   EXPECT_EQ(result.prefix_groups, 2u);
   EXPECT_EQ(result.replayed_runs, 0u);
+}
+
+// --- Planner/executor split: shards, artifacts, merge -----------------------
+
+// A sweep with several prefix families (2 groups x 2 workloads) so an
+// N-way shard partition actually distributes work.
+SweepSpec sharded_sweep(std::size_t threads) {
+  SweepSpec spec;
+  spec.name = "sharded";
+  spec.policies = {"decayfairshare", "fairshare", "roundrobin"};
+  SweepWorkload unit;
+  unit.name = "unit-jobs";
+  unit.kind = SweepWorkload::Kind::kUnitJobs;
+  unit.orgs = 4;
+  unit.unit_jobs_per_org = 30;
+  SweepWorkload random;
+  random.name = "small-random";
+  random.kind = SweepWorkload::Kind::kSmallRandom;
+  spec.workloads = {unit, random};
+  spec.instances = 2;
+  spec.seed = 7;
+  spec.horizon = 100;
+  spec.baseline = "ref";
+  spec.threads = threads;
+  spec.axes.push_back(make_axis("half-life", {20, 100000}));
+  spec.axes.push_back(make_axis("orgs", {3, 4}));
+  return spec;
+}
+
+std::string aggregate_csv(const SweepSpec& spec, const SweepResult& result) {
+  std::ostringstream out;
+  CsvReporter(out).report(spec, result);
+  return out.str();
+}
+
+std::string human_table(const SweepSpec& spec, const SweepResult& result) {
+  std::ostringstream out;
+  TableReporter(out).report(spec, result);
+  return out.str();
+}
+
+// Executes shard s/N of `spec` and round-trips the result through the
+// artifact text format, as a worker process would.
+ShardArtifact run_shard(const SweepSpec& spec, std::size_t index,
+                        std::size_t count) {
+  const SweepPlan plan =
+      build_sweep_plan(spec, PolicyRegistry::global(), {index, count});
+  ThreadPoolExecutor executor;
+  const SweepResult result = executor.execute(plan);
+  std::ostringstream artifact;
+  write_shard_artifact(artifact, plan, result);
+  return parse_shard_artifact(artifact.str(),
+                              "shard-" + std::to_string(index));
+}
+
+TEST(ShardedSweep, MergedShardsBitIdenticalToWholeRunAtAnyShardCount) {
+  const SweepSpec spec = sharded_sweep(2);
+  const SweepResult whole = SweepDriver().run(spec);
+  const std::string whole_csv = aggregate_csv(spec, whole);
+  const std::string whole_table = human_table(spec, whole);
+
+  for (std::size_t count : {2u, 3u, 5u}) {
+    std::vector<ShardArtifact> artifacts;
+    for (std::size_t s = 0; s < count; ++s) {
+      // Vary the thread count per shard: the contract holds regardless.
+      SweepSpec shard_spec = spec;
+      shard_spec.threads = 1 + s % 3;
+      artifacts.push_back(run_shard(shard_spec, s, count));
+    }
+    const MergedSweep merged = merge_shard_artifacts(std::move(artifacts));
+    // Byte-identical statistical output, through the reconstructed spec.
+    EXPECT_EQ(aggregate_csv(merged.spec, merged.result), whole_csv)
+        << count;
+    EXPECT_EQ(human_table(merged.spec, merged.result), whole_table)
+        << count;
+    EXPECT_EQ(merged.result.shards, count);
+    ASSERT_EQ(merged.result.per_shard_cache.size(), count);
+    EXPECT_EQ(merged.result.prefix_groups, whole.prefix_groups);
+  }
+}
+
+TEST(ShardedSweep, MergeMatchesWholeRunWithCacheDisabled) {
+  SweepSpec spec = sharded_sweep(2);
+  const std::string whole_csv =
+      aggregate_csv(spec, SweepDriver().run(spec));
+  spec.cache_bytes = 0;  // shards run uncached; output must not move
+  std::vector<ShardArtifact> artifacts;
+  for (std::size_t s = 0; s < 3; ++s) {
+    artifacts.push_back(run_shard(spec, s, 3));
+  }
+  const MergedSweep merged = merge_shard_artifacts(std::move(artifacts));
+  EXPECT_EQ(aggregate_csv(merged.spec, merged.result), whole_csv);
+  EXPECT_FALSE(merged.result.cache_enabled);
+}
+
+TEST(ShardedSweep, ShardRunsOnlyOwnedCellsAndRecordsCarryRunIds) {
+  const SweepSpec spec = sharded_sweep(1);
+  // Whole-run records stream exactly in run-id order.
+  const auto [whole, whole_records] = run_collecting(spec);
+  for (std::size_t r = 0; r < whole_records.size(); ++r) {
+    EXPECT_EQ(whole_records[r].run_id, r);
+  }
+
+  const SweepPlan plan =
+      build_sweep_plan(spec, PolicyRegistry::global(), {1, 3});
+  ThreadPoolExecutor executor;
+  std::vector<RunRecord> records;
+  const SweepResult result = executor.execute(
+      plan, nullptr,
+      [&records](const RunRecord& record) { records.push_back(record); });
+  ASSERT_EQ(records.size(),
+            plan.shard_tasks.size() * spec.policies.size());
+  ASSERT_FALSE(records.empty());
+  // The shard's stream is the whole run's restricted to its tasks: same
+  // run ids, same values, ascending order.
+  std::size_t previous = 0;
+  bool first = true;
+  for (const RunRecord& record : records) {
+    if (!first) EXPECT_GT(record.run_id, previous);
+    first = false;
+    previous = record.run_id;
+    const RunRecord& reference = whole_records[record.run_id];
+    EXPECT_EQ(record.axis_point, reference.axis_point);
+    EXPECT_EQ(record.unfairness, reference.unfairness);
+    EXPECT_EQ(record.work_done, reference.work_done);
+  }
+  // Unowned cells stay empty; owned ones match the whole run bit-for-bit.
+  for (std::size_t cell = 0; cell < result.cells.size(); ++cell) {
+    if (plan.owns_cell(cell)) {
+      EXPECT_EQ(result.cells[cell].unfairness.count(), spec.instances);
+      EXPECT_EQ(result.cells[cell].unfairness.mean(),
+                whole.cells[cell].unfairness.mean());
+    } else {
+      EXPECT_EQ(result.cells[cell].unfairness.count(), 0u);
+    }
+  }
+}
+
+TEST(ShardedSweep, MergeRejectsInconsistentArtifactSets) {
+  const SweepSpec spec = sharded_sweep(1);
+  std::vector<ShardArtifact> artifacts;
+  for (std::size_t s = 0; s < 3; ++s) {
+    artifacts.push_back(run_shard(spec, s, 3));
+  }
+  EXPECT_THROW(merge_shard_artifacts({}), std::invalid_argument);
+  // Missing one shard.
+  EXPECT_THROW(merge_shard_artifacts({artifacts[0], artifacts[1]}),
+               std::invalid_argument);
+  // The same shard twice.
+  EXPECT_THROW(
+      merge_shard_artifacts({artifacts[0], artifacts[1], artifacts[1]}),
+      std::invalid_argument);
+  // A shard of a different plan (different seed => fingerprint).
+  SweepSpec other = spec;
+  other.seed = spec.seed + 1;
+  EXPECT_THROW(merge_shard_artifacts(
+                   {artifacts[0], artifacts[1], run_shard(other, 2, 3)}),
+               std::invalid_argument);
+  // The intact set still merges.
+  EXPECT_NO_THROW(merge_shard_artifacts(std::move(artifacts)));
+}
+
+TEST(ShardedSweep, ArtifactTextRejectsTampering) {
+  const SweepSpec spec = sharded_sweep(1);
+  const SweepPlan plan =
+      build_sweep_plan(spec, PolicyRegistry::global(), {0, 2});
+  ThreadPoolExecutor executor;
+  const SweepResult result = executor.execute(plan);
+  std::ostringstream artifact;
+  write_shard_artifact(artifact, plan, result);
+  const std::string text = artifact.str();
+  EXPECT_NO_THROW(parse_shard_artifact(text, "ok"));
+  EXPECT_THROW(parse_shard_artifact(text.substr(0, text.size() / 2),
+                                    "truncated"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_shard_artifact("{}", "empty"), std::invalid_argument);
+  std::string wrong_version = text;
+  const std::size_t at = wrong_version.find("\"version\": 1");
+  ASSERT_NE(at, std::string::npos);
+  wrong_version.replace(at, 12, "\"version\": 9");
+  try {
+    parse_shard_artifact(wrong_version, "vers");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("unsupported version"),
+              std::string::npos);
+  }
+}
+
+// --- Disk cache tier through the sweep engine -------------------------------
+
+// A private scratch directory per test, cleaned before use.
+std::filesystem::path disk_tier_dir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / ("fairsched_" + name);
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(DiskCacheSweep, SecondInvocationReplaysPersistedPrefixes) {
+  const std::filesystem::path dir = disk_tier_dir("disk_prefix");
+  SweepSpec spec = decay_sweep(2, kDefaultCacheBytes);
+  spec.cache_dir = dir.string();
+
+  const auto [reference, records_reference] =
+      run_collecting(decay_sweep(2, 0));  // uncached ground truth
+
+  const auto [cold, records_cold] = run_collecting(spec);
+  EXPECT_GT(cold.cache.disk_writes, 0u);
+  EXPECT_EQ(cold.cache.disk_hits, 0u);
+  expect_same_records(records_reference, records_cold);
+
+  // A fresh driver run = a fresh process as far as the cache is
+  // concerned: everything expensive comes back from disk.
+  const auto [warm, records_warm] = run_collecting(spec);
+  EXPECT_GT(warm.cache.disk_hits, 0u);
+  EXPECT_EQ(warm.cache.disk_misses, 0u);
+  expect_same_records(records_reference, records_warm);
+  // The baseline and shared runs were not re-simulated: all their runs
+  // replay, and no baseline wall time was paid.
+  EXPECT_GT(warm.replayed_runs, cold.replayed_runs);
+  EXPECT_EQ(warm.baseline_wall_ms, 0.0);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DiskCacheSweep, CorruptOrForeignFilesDegradeToRecompute) {
+  const std::filesystem::path dir = disk_tier_dir("disk_corrupt");
+  SweepSpec spec = decay_sweep(2, kDefaultCacheBytes);
+  spec.cache_dir = dir.string();
+  const auto [cold, records_cold] = run_collecting(spec);
+
+  // Vandalize every persisted file: truncate one, scramble the rest.
+  bool truncated = false;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!truncated) {
+      std::ofstream(entry.path(), std::ios::trunc);
+      truncated = true;
+    } else {
+      std::ofstream out(entry.path(), std::ios::trunc);
+      out << "fairsched-cache 1\nsome-other-key\ngarbage\n";
+    }
+  }
+  ASSERT_TRUE(truncated);
+
+  const auto [rerun, records_rerun] = run_collecting(spec);
+  EXPECT_EQ(rerun.cache.disk_hits, 0u);
+  EXPECT_GT(rerun.cache.disk_misses, 0u);
+  expect_same_records(records_cold, records_rerun);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DiskCacheSweep, SyntheticWindowsPersistAcrossInvocations) {
+  const std::filesystem::path dir = disk_tier_dir("disk_window");
+  // The window-sharing sweep from above, now with a disk tier: the second
+  // invocation must reload both windows and prefixes.
+  SweepSpec spec;
+  spec.name = "window-disk";
+  spec.policies = {"roundrobin", "fairshare"};
+  spec.baseline = "ref";
+  spec.seed = 7;
+  spec.threads = 2;
+  spec.horizon = 400;
+  spec.instances = 2;
+  SweepWorkload w;
+  w.name = "lpc";
+  w.kind = SweepWorkload::Kind::kSynthetic;
+  w.spec = preset_lpc_egee();
+  spec.workloads.push_back(std::move(w));
+  spec.axes.push_back(make_axis("orgs", {2, 3}));
+
+  SweepSpec uncached = spec;
+  uncached.cache_bytes = 0;
+  const auto [reference, records_reference] = run_collecting(uncached);
+
+  spec.cache_dir = dir.string();
+  const auto [cold, records_cold] = run_collecting(spec);
+  expect_same_records(records_reference, records_cold);
+  // Windows (1 per instance) and prefixes (2 groups x 2 instances).
+  EXPECT_GE(cold.cache.disk_writes, 2u + 4u);
+
+  const auto [warm, records_warm] = run_collecting(spec);
+  expect_same_records(records_reference, records_warm);
+  EXPECT_EQ(warm.cache.disk_misses, 0u);
+  EXPECT_GE(warm.cache.disk_hits, 2u + 4u);
+
+  std::filesystem::remove_all(dir);
 }
 
 // --- Reporters --------------------------------------------------------------

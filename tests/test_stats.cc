@@ -52,6 +52,32 @@ TEST(Stats, MergeMatchesSequential) {
   EXPECT_DOUBLE_EQ(a.max(), whole.max());
 }
 
+TEST(Stats, StateRoundTripsBitForBit) {
+  // Shard artifacts serialize accumulator state and the merge restores
+  // it; the round trip must preserve every bit, including the running
+  // mean/m2 that no public accessor exposes exactly.
+  StatsAccumulator acc;
+  for (double x : {0.25, -3.5, 1.0 / 3.0, 7.125, 0.1}) acc.add(x);
+  const StatsAccumulator back =
+      StatsAccumulator::from_state(acc.state());
+  EXPECT_EQ(back.count(), acc.count());
+  EXPECT_EQ(back.mean(), acc.mean());
+  EXPECT_EQ(back.variance(), acc.variance());
+  EXPECT_EQ(back.min(), acc.min());
+  EXPECT_EQ(back.max(), acc.max());
+  EXPECT_EQ(back.sum(), acc.sum());
+  // Continuing to add on the restored copy tracks the original exactly.
+  StatsAccumulator original = acc;
+  StatsAccumulator restored = back;
+  original.add(9.75);
+  restored.add(9.75);
+  EXPECT_EQ(original.mean(), restored.mean());
+  EXPECT_EQ(original.variance(), restored.variance());
+
+  const StatsAccumulator empty;
+  EXPECT_EQ(StatsAccumulator::from_state(empty.state()).count(), 0u);
+}
+
 TEST(Stats, MergeWithEmpty) {
   StatsAccumulator a, empty;
   a.add(1.0);

@@ -145,7 +145,8 @@ TEST(SweepConfig, ReportsErrorsWithSourceAndLine) {
   expect_parse_error("axis bogus = 1,2\n",
                      {"test.cfg:1", "unknown sweep axis", "known axes"});
   expect_parse_error("axis orgs =\n", {"test.cfg:1", "no values"});
-  expect_parse_error("axis orgs = 4:2\n", {"test.cfg:1", "empty range"});
+  expect_parse_error("axis orgs = 4:2\n",
+                     {"test.cfg:1", "descending range", "hi < lo"});
   expect_parse_error("axis orgs = 2:4:0\n",
                      {"test.cfg:1", "step must be positive"});
   expect_parse_error("axis orgs = 2:3:4:5\n",
@@ -162,6 +163,74 @@ TEST(SweepConfig, ReportsErrorsWithSourceAndLine) {
   // Errors surfaced while building the spec carry the source name.
   expect_parse_error("workload = bogus\n", {"test.cfg", "--workload"});
   expect_parse_error("policies = fcfs,nope\n", {"test.cfg", "nope"});
+}
+
+TEST(SweepConfig, DescendingAndNegativeRangesAreHandledExplicitly) {
+  // Descending lo:hi is a typo, not an implicit reversal: the error says
+  // what happened and what to do instead.
+  try {
+    parse_axes_spec("horizon=400:100");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("descending range '400:100'"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("list the values explicitly"), std::string::npos)
+        << what;
+  }
+  // ...and so is a negative step, even when it would "reach" hi.
+  try {
+    parse_axes_spec("horizon=400:100:-100");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("step must be positive"),
+              std::string::npos);
+  }
+  // Negative bounds are legal range arithmetic (the axis's own value
+  // validation decides whether negatives make sense for its bind).
+  const std::vector<SweepAxis> axes = parse_axes_spec("zipf-s=-2:-1:0.5");
+  ASSERT_EQ(axes.size(), 1u);
+  EXPECT_EQ(axes[0].values, (std::vector<double>{-2, -1.5, -1}));
+  // zipf-s rejects negative values at plan time with the axis named.
+  SweepSpec spec;
+  spec.name = "negative";
+  spec.policies = {"fcfs"};
+  SweepWorkload w;
+  w.name = "unit-jobs";
+  w.kind = SweepWorkload::Kind::kUnitJobs;
+  spec.workloads.push_back(w);
+  spec.axes = axes;
+  try {
+    SweepDriver().run(spec);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("zipf-s"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("non-negative"),
+              std::string::npos);
+  }
+}
+
+TEST(SweepConfig, DuplicateAxesAreRejectedWhereverTheyAppear) {
+  // In a config file (same axis key twice, aliases included)...
+  expect_parse_error("policies = fcfs\naxis horizon = 1000\n"
+                     "axis duration = 2000\n",
+                     {"test.cfg:3", "duplicate axis 'horizon'"});
+  // ...and on the --axes flag, caught by plan validation.
+  SweepSpec spec;
+  spec.name = "dup";
+  spec.policies = {"fcfs"};
+  SweepWorkload w;
+  w.name = "unit-jobs";
+  w.kind = SweepWorkload::Kind::kUnitJobs;
+  spec.workloads.push_back(w);
+  spec.axes = parse_axes_spec("orgs=2,3;orgs=4,5");
+  try {
+    SweepDriver().run(spec);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate axis 'orgs'"),
+              std::string::npos);
+  }
 }
 
 TEST(SweepConfig, ParsesAxesSpecFlag) {
