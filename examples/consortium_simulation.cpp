@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "exp/policy_registry.h"
 #include "metrics/fairness.h"
 #include "sched/runner.h"
 #include "util/cli.h"
@@ -55,7 +56,7 @@ int main(int argc, char** argv) {
       if (entry.advantage < worst->advantage) worst = &entry;
     }
     table.add_row(
-        {parse_algorithm(alg).display_name(),
+        {exp::canonical_policy_name(parse_algorithm(alg)),
          AsciiTable::format_double(ratio, 2),
          inst.org(best->org).name + " (+" +
              AsciiTable::format_double(best->advantage, 0) + ")",

@@ -53,6 +53,10 @@ SWEEPS = [
     "fig10",
     "horizon-growth",
     "fairshare-decay",
+    # The config-defined policy smoke (bench/configs/custom_policy.cfg):
+    # CI runs `custom --config=... --smoke`, so the open policy API's
+    # registry/composition path sits under the same perf gate.
+    "custom",
 ]
 
 # Hard work-based speedup floors (sweep -> min uncached/cached

@@ -146,14 +146,15 @@ std::string prefix_content_key(const SweepPlan& plan, std::size_t group,
   // and the ordered specs of the shared policy runs it embeds.
   std::string key =
       "prefix:" + workload_content_key(workload, horizon, seed) +
-      ":base=" + (plan.has_baseline ? algorithm_content_key(plan.baseline)
-                                    : std::string("none"));
+      ":base=" +
+      (plan.has_baseline ? plan.registry->content_key(plan.baseline)
+                         : std::string("none"));
   const std::size_t rep = plan.group_rep[group];
   key += ":shared=";
   for (std::size_t p = 0; p < plan.num_policies; ++p) {
     if (plan.shared_slot[group * plan.num_policies + p] == SweepPlan::kNoSlot)
       continue;
-    key += algorithm_content_key(
+    key += plan.registry->content_key(
                plan.bound_algorithms[rep * plan.num_policies + p]) +
            ";";
   }
@@ -257,9 +258,13 @@ SweepResult ThreadPoolExecutor::execute(const SweepPlan& plan,
       // group it is replayed (axis_point is patched by the consumer).
       auto run_policy = [&](const SweepPrefix& prefix, std::size_t p) {
         const auto t0 = std::chrono::steady_clock::now();
-        const RunResult r = run_algorithm(
-            prefix.instance, plan.bound_algorithms[a * num_policies + p],
-            horizon, seed);
+        // The registry seam: every policy runs behind the one Algorithm
+        // interface, whatever its shape (engine policy, REF, RAND, or a
+        // config-defined composition).
+        const RunResult r =
+            plan.registry
+                ->instantiate(plan.bound_algorithms[a * num_policies + p])
+                ->run(prefix.instance, horizon, seed);
         RunRecord record;
         record.axis_point = a;
         record.workload = w;
@@ -331,8 +336,8 @@ SweepResult ThreadPoolExecutor::execute(const SweepPlan& plan,
         entry->instance = make_instance();
         if (plan.has_baseline) {
           const auto t0 = std::chrono::steady_clock::now();
-          RunResult ref =
-              run_algorithm(entry->instance, plan.baseline, horizon, seed);
+          RunResult ref = plan.registry->instantiate(plan.baseline)
+                              ->run(entry->instance, horizon, seed);
           entry->baseline_wall_ms = elapsed_ms(t0);
           entry->baseline_utilities2 = std::move(ref.utilities2);
           entry->baseline_work_done = ref.work_done;

@@ -16,8 +16,12 @@
 //                                   custom) without executing anything
 //   fairsched_exp merge A B ...     fold shard --partial-out artifacts
 //   fairsched_exp list-policies     registered PolicyRegistry names
+//                                   (--json: machine-readable catalog with
+//                                   declared parameters/ranges/defaults)
 //   fairsched_exp list-workloads    workload kinds `custom` accepts
 //   fairsched_exp list-axes         sweep axes with scopes and ranges
+//                                   (--config=FILE includes its [policy]
+//                                   blocks' parameter axes)
 //
 // Common flags (also settable as FAIRSCHED_* env vars, see util/cli.h):
 //   --instances=N --duration=T --orgs=K --seed=S --scale=X --threads=N
@@ -45,6 +49,7 @@
 
 #include <cstdio>
 #include <exception>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -144,6 +149,15 @@ int main(int argc, char** argv) {
       return run_merge_scenario(flags.positional(), options);
     }
     if (command == "list-policies") {
+      // --json: the machine-readable catalog (names, descriptions, and
+      // every declared parameter with type/range/default and its sweep
+      // axis). CI diffs this against a committed golden file.
+      if (flags.get_bool("json", false)) {
+        std::ostringstream out;
+        PolicyRegistry::global().write_catalog_json(out);
+        std::fputs(out.str().c_str(), stdout);
+        return 0;
+      }
       for (const auto& [name, description] :
            PolicyRegistry::global().catalog()) {
         std::printf("%-20s %s\n", name.c_str(), description.c_str());
@@ -158,6 +172,11 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (command == "list-axes") {
+      // --config loads its [policy NAME] blocks first, so config-defined
+      // parameter axes appear in the listing too.
+      if (!options.config_path.empty()) {
+        load_sweep_config_file(options.config_path, options);
+      }
       std::printf("%-14s %-9s %-22s %s\n", "axis", "scope", "typical range",
                   "binds");
       for (const AxisInfo& info : axis_catalog()) {

@@ -2,10 +2,20 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
+#include <ostream>
 #include <sstream>
 #include <stdexcept>
 
+#include "sched/decaying_fair_share.h"
+#include "sched/direct_contr.h"
+#include "sched/fair_share.h"
+#include "sched/fcfs.h"
+#include "sched/random_policy.h"
+#include "sched/round_robin.h"
 #include "util/cli.h"
+#include "util/json.h"
+#include "util/rng.h"
 
 namespace fairsched::exp {
 
@@ -20,10 +30,23 @@ std::string to_lower(const std::string& s) {
   return lower;
 }
 
-// A parameter suffix must look like a plain non-negative number: at least
-// one digit, and (only for fractional parameters) at most one dot. Anything
-// else ("rand.", "rand1.5", "decayfairshare1.2.3") is treated as an unknown
-// policy name, keeping contains() and make() in agreement.
+// Parameter keys and axis names share one spelling fold: lower-case with
+// '-'/'_' stripped, so "half-life", "half_life" and "HalfLife" match.
+// (exp/sweep.h's normalize_axis_name applies the same rule.)
+std::string normalize_key(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '-' || c == '_') continue;
+    out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+// A legacy parameter suffix must look like a plain non-negative number: at
+// least one digit, and (only for real-typed parameters) at most one dot.
+// Anything else ("rand.", "rand1.5", "decayfairshare1.2.3") is treated as
+// an unknown policy name, keeping contains() and make() in agreement.
 bool numeric_suffix(const std::string& s, bool fractional) {
   if (s.empty()) return false;
   bool has_digit = false;
@@ -40,165 +63,816 @@ bool numeric_suffix(const std::string& s, bool fractional) {
   return has_digit;
 }
 
+// Levenshtein distance for the did-you-mean parameter suggestions; the
+// catalogs are tiny, so the quadratic table is irrelevant.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diagonal = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t substitution =
+          diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diagonal = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitution});
+    }
+  }
+  return row[b.size()];
+}
+
+// Workload-scoped axis names (and aliases) owned by exp/sweep.h's
+// axis_catalog. A declared parameter may not bind an axis with one of
+// these names — the workload axis would silently shadow it. Kept as a
+// literal list (axis_catalog itself consults the registry for parameter
+// axes, so calling it here would recurse during global() construction).
+bool reserved_axis_name(const std::string& normalized) {
+  for (const char* reserved : {"orgs", "horizon", "duration", "zipfs",
+                               "split", "jobsperorg", "randomjobs"}) {
+    if (normalized == reserved) return true;
+  }
+  return false;
+}
+
+PolicyParam parse_param_value(const ParamDecl& decl, const std::string& text,
+                              const std::string& context) {
+  auto fail = [&](const std::string& why) -> void {
+    throw std::invalid_argument("parameter '" + decl.key + "' " + why +
+                                " in '" + context + "'");
+  };
+  if (decl.type == PolicyParam::Type::kInt) {
+    if (!numeric_suffix(text, /*fractional=*/false)) {
+      fail("must be a non-negative integer, got '" + text + "'");
+    }
+    try {
+      return PolicyParam::of_int(std::stoll(text));
+    } catch (const std::out_of_range&) {
+      throw std::invalid_argument("policy parameter out of range in '" +
+                                  context + "'");
+    }
+  }
+  std::size_t pos = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &pos);
+  } catch (const std::out_of_range&) {
+    throw std::invalid_argument("policy parameter out of range in '" +
+                                context + "'");
+  } catch (const std::exception&) {
+    pos = std::string::npos;
+  }
+  if (pos != text.size() || !std::isfinite(value)) {
+    // stod accepts "inf"/"nan"; neither is a usable parameter value.
+    fail("must be a finite number, got '" + text + "'");
+  }
+  return PolicyParam::of_real(value);
+}
+
+void check_range(const ParamDecl& decl, const PolicyParam& value,
+                 const std::string& context) {
+  if (!decl.in_range(value.as_double())) {
+    throw std::invalid_argument("parameter '" + decl.key + "' must be " +
+                                decl.range_text() + " in '" + context +
+                                "', got " + value.to_string());
+  }
+}
+
+const char* type_label(PolicyParam::Type type) {
+  return type == PolicyParam::Type::kInt ? "int" : "real";
+}
+
 }  // namespace
+
+std::string ParamDecl::range_text() const {
+  const bool has_min = min_value != std::numeric_limits<double>::lowest();
+  const bool has_max = max_value != std::numeric_limits<double>::max();
+  // The bound -> text conversion happens only for bounds that are really
+  // declared: casting the double sentinel limits to int64 would be UB.
+  auto bound_text = [this](double bound) {
+    return type == PolicyParam::Type::kInt
+               ? PolicyParam::of_int(static_cast<std::int64_t>(bound))
+                     .to_string()
+               : PolicyParam::of_real(bound).to_string();
+  };
+  if (has_min && has_max) {
+    return "in " + std::string(min_exclusive ? "(" : "[") +
+           bound_text(min_value) + ", " + bound_text(max_value) + "]";
+  }
+  if (has_min) {
+    return (min_exclusive ? "> " : ">= ") + bound_text(min_value);
+  }
+  if (has_max) return "<= " + bound_text(max_value);
+  return "any number";
+}
+
+bool ParamDecl::in_range(double v) const {
+  if (min_exclusive ? !(v > min_value) : !(v >= min_value)) return false;
+  return v <= max_value;
+}
 
 PolicyRegistry& PolicyRegistry::global() {
   static PolicyRegistry* registry = [] {
     auto* r = new PolicyRegistry();
-    // Every fixed-form algorithm delegates to the runner's parser so the
-    // registry and parse_algorithm can never drift apart.
-    const std::pair<const char*, const char*> fixed[] = {
-        {"fcfs", "first-come-first-served across all organizations"},
-        {"roundrobin", "cycle the organizations, one job each (Section 7.1)"},
-        {"random", "uniformly random waiting organization (extension)"},
-        {"directcontr", "direct-contribution heuristic (Fig. 9)"},
-        {"fairshare", "fair share over cumulative usage (Section 7.1)"},
-        {"utfairshare", "fair share over cumulative utility (Section 7.1)"},
-        {"currfairshare",
-         "fair share over instantaneous usage (Section 7.1)"},
-        {"ref", "exact exponential fair reference (Fig. 3)"},
+    auto simple = [](PolicyFactory factory, std::string description,
+                     EngineOptions options = {}) {
+      Definition def;
+      def.description = std::move(description);
+      def.policy = std::move(factory);
+      def.engine_options = options;
+      return def;
     };
-    for (const auto& [name, description] : fixed) {
+    r->register_policy(
+        "fcfs", simple([](const PolicySpec&, std::uint64_t) {
+                  return std::make_unique<FcfsPolicy>();
+                },
+                "first-come-first-served across all organizations"));
+    r->register_policy(
+        "roundrobin",
+        simple([](const PolicySpec&, std::uint64_t) {
+          return std::make_unique<RoundRobinPolicy>();
+        },
+        "cycle the organizations, one job each (Section 7.1)"));
+    r->register_policy(
+        "random", simple([](const PolicySpec&, std::uint64_t seed) {
+                    return std::make_unique<RandomPolicy>(seed);
+                  },
+                  "uniformly random waiting organization (extension)"));
+    {
+      // Fig. 9 considers processors in a random order; the owner of the
+      // machine a job lands on receives the contribution credit.
+      EngineOptions options;
+      options.machine_pick = MachinePick::kRandomFree;
       r->register_policy(
-          name, [](const std::string& n) { return parse_algorithm(n); },
-          /*parameterized=*/false, /*fractional=*/false, description);
+          "directcontr",
+          simple([](const PolicySpec&, std::uint64_t) {
+            return std::make_unique<DirectContrPolicy>();
+          },
+          "direct-contribution heuristic (Fig. 9)", options));
     }
     r->register_policy(
-        "rand", [](const std::string& n) { return parse_algorithm(n); },
-        /*parameterized=*/true, /*fractional=*/false,
-        "randomized Shapley approximation, N permutation samples "
-        "(Fig. 6 / Thm 5.6)");
+        "fairshare", simple([](const PolicySpec&, std::uint64_t) {
+                       return std::make_unique<FairSharePolicy>();
+                     },
+                     "fair share over cumulative usage (Section 7.1)"));
     r->register_policy(
-        "decayfairshare",
-        [](const std::string& n) { return parse_algorithm(n); },
-        /*parameterized=*/true, /*fractional=*/true,
-        "fair share over exponentially decayed usage, half-life N "
-        "(extension; a half-life axis rebinds N)",
-        /*bound_axes=*/{"half-life"});
+        "utfairshare",
+        simple([](const PolicySpec&, std::uint64_t) {
+          return std::make_unique<UtFairSharePolicy>();
+        },
+        "fair share over cumulative utility (Section 7.1)"));
+    r->register_policy(
+        "currfairshare",
+        simple([](const PolicySpec&, std::uint64_t) {
+          return std::make_unique<CurrFairSharePolicy>();
+        },
+        "fair share over instantaneous usage (Section 7.1)"));
+    {
+      Definition def;
+      def.description = "exact exponential fair reference (Fig. 3)";
+      def.algorithm = [](const PolicySpec&) {
+        return std::make_unique<RefAlgorithm>();
+      };
+      r->register_policy("ref", std::move(def));
+    }
+    {
+      Definition def;
+      def.description =
+          "randomized Shapley approximation, N permutation samples "
+          "(Fig. 6 / Thm 5.6)";
+      ParamDecl samples;
+      samples.key = "samples";
+      samples.type = PolicyParam::Type::kInt;
+      samples.min_value = 1;
+      samples.default_value = PolicyParam::of_int(15);
+      samples.description = "permutation sample count N (Thm 5.6)";
+      samples.axis_hint = "1,5,15,75";
+      def.params.push_back(std::move(samples));
+      def.suffix_param = 0;
+      def.algorithm = [](const PolicySpec& spec) {
+        return std::make_unique<RandAlgorithm>(static_cast<std::size_t>(
+            spec.params.at("samples").int_value));
+      };
+      r->register_policy("rand", std::move(def));
+    }
+    {
+      Definition def;
+      def.description =
+          "fair share over exponentially decayed usage, half-life N "
+          "(extension; a half-life axis rebinds N)";
+      ParamDecl half_life;
+      half_life.key = "half-life";
+      half_life.type = PolicyParam::Type::kReal;
+      half_life.min_value = 0;
+      half_life.min_exclusive = true;
+      half_life.default_value = PolicyParam::of_real(5000.0);
+      half_life.description = "exponential usage-decay half-life";
+      half_life.axis_hint = "500,2500,10000,50000";
+      def.params.push_back(std::move(half_life));
+      def.suffix_param = 0;
+      def.policy = [](const PolicySpec& spec, std::uint64_t) {
+        return std::make_unique<DecayingFairSharePolicy>(
+            spec.params.at("half-life").real_value);
+      };
+      r->register_policy("decayfairshare", std::move(def));
+    }
     return r;
   }();
   return *registry;
 }
 
 void PolicyRegistry::register_policy(const std::string& key,
-                                     PolicyFactory factory,
-                                     bool parameterized, bool fractional,
-                                     std::string description,
-                                     std::vector<std::string> bound_axes) {
-  entries_[to_lower(key)] =
-      Entry{std::move(factory), parameterized, fractional,
-            std::move(description), std::move(bound_axes)};
+                                     Definition definition) {
+  const std::string lower = to_lower(trim_whitespace(key));
+  auto fail = [&](const std::string& why) -> void {
+    throw std::invalid_argument("register_policy '" + key + "': " + why);
+  };
+  if (lower.empty()) fail("empty name");
+  for (char c : lower) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-' &&
+        c != '_') {
+      fail("name may only contain letters, digits, '-' and '_'");
+    }
+  }
+  if (std::isdigit(static_cast<unsigned char>(lower.front()))) {
+    fail("name may not start with a digit");
+  }
+  if ((definition.policy == nullptr) == (definition.algorithm == nullptr)) {
+    fail("exactly one of policy/algorithm must be set");
+  }
+  if (definition.suffix_param != kNoSuffix &&
+      definition.suffix_param >= definition.params.size()) {
+    fail("suffix_param index out of range");
+  }
+  for (std::size_t i = 0; i < definition.params.size(); ++i) {
+    const ParamDecl& decl = definition.params[i];
+    if (decl.key.empty()) fail("parameter with empty key");
+    check_range(decl, decl.default_value, key + " (default)");
+    if (reserved_axis_name(normalize_key(decl.axis_name()))) {
+      fail("parameter '" + decl.key + "' binds axis '" + decl.axis_name() +
+           "', which is a workload axis name");
+    }
+    for (std::size_t j = i + 1; j < definition.params.size(); ++j) {
+      if (normalize_key(decl.key) ==
+          normalize_key(definition.params[j].key)) {
+        fail("duplicate parameter '" + decl.key + "'");
+      }
+    }
+  }
+  const auto it = entries_.find(lower);
+  if (it != entries_.end() && !it->second.config_defined &&
+      definition.config_defined) {
+    fail("'" + lower + "' is a built-in policy and cannot be redefined");
+  }
+  entries_[lower] = std::move(definition);
 }
 
-const PolicyRegistry::Entry* PolicyRegistry::find_entry(
-    const std::string& lower) const {
-  auto it = entries_.find(lower);
-  if (it != entries_.end()) return &it->second;
-  // Longest parameterized prefix whose remainder is a number:
+const PolicyRegistry::Definition* PolicyRegistry::find(
+    const std::string& base) const {
+  const auto it = entries_.find(base);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+PolicyRegistry::Resolved PolicyRegistry::resolve(
+    const std::string& name) const {
+  const std::string lower = to_lower(trim_whitespace(name));
+  auto unknown = [&]() -> void {
+    std::ostringstream msg;
+    msg << "unknown policy '" << name << "'; known policies:";
+    for (const std::string& key : names()) msg << ' ' << key;
+    throw std::invalid_argument(msg.str());
+  };
+
+  Resolved resolved;
+  const std::size_t open = lower.find('(');
+  if (open != std::string::npos) {
+    // Bracket form: base(key=value, ...).
+    if (lower.back() != ')') {
+      throw std::invalid_argument("malformed policy name '" + name +
+                                  "': missing closing ')'");
+    }
+    resolved.base = trim_whitespace(lower.substr(0, open));
+    resolved.definition = find(resolved.base);
+    if (!resolved.definition) unknown();
+    const std::string args =
+        lower.substr(open + 1, lower.size() - open - 2);
+    for (const std::string& assignment : split_and_trim(args, ',')) {
+      const std::size_t eq = assignment.find('=');
+      if (eq == std::string::npos) {
+        throw std::invalid_argument("malformed policy parameter '" +
+                                    assignment + "' in '" + name +
+                                    "' (want key=value)");
+      }
+      const std::string raw_key = trim_whitespace(assignment.substr(0, eq));
+      const std::string value = trim_whitespace(assignment.substr(eq + 1));
+      const ParamDecl* decl = nullptr;
+      for (const ParamDecl& candidate : resolved.definition->params) {
+        if (normalize_key(candidate.key) == normalize_key(raw_key)) {
+          decl = &candidate;
+          break;
+        }
+      }
+      if (!decl) {
+        // Did-you-mean: the closest declared key, if it is close at all.
+        std::ostringstream msg;
+        msg << "unknown parameter '" << raw_key << "' for policy '"
+            << resolved.base << "'";
+        const ParamDecl* best = nullptr;
+        std::size_t best_distance = 3;  // suggest only near misses
+        for (const ParamDecl& candidate : resolved.definition->params) {
+          const std::size_t distance =
+              edit_distance(normalize_key(raw_key),
+                            normalize_key(candidate.key));
+          if (distance < best_distance) {
+            best = &candidate;
+            best_distance = distance;
+          }
+        }
+        if (best) msg << " (did you mean '" << best->key << "'?)";
+        msg << "; declared parameters:";
+        if (resolved.definition->params.empty()) msg << " none";
+        for (const ParamDecl& candidate : resolved.definition->params) {
+          msg << ' ' << candidate.key;
+        }
+        throw std::invalid_argument(msg.str());
+      }
+      for (const auto& [existing, unused] : resolved.assignments) {
+        if (existing == decl) {
+          throw std::invalid_argument("duplicate parameter '" + decl->key +
+                                      "' in '" + name + "'");
+        }
+      }
+      resolved.assignments.emplace_back(decl, value);
+    }
+    return resolved;
+  }
+
+  const auto exact = entries_.find(lower);
+  if (exact != entries_.end()) {
+    resolved.base = lower;
+    resolved.definition = &exact->second;
+    return resolved;
+  }
+  // Legacy suffix form: longest key whose remainder is a number —
   // "decayfairshare2000" must match "decayfairshare", not "decay".
-  const Entry* best = nullptr;
   std::size_t best_len = 0;
-  for (const auto& [key, entry] : entries_) {
-    if (!entry.parameterized || key.size() <= best_len) continue;
+  for (const auto& [key, definition] : entries_) {
+    if (definition.suffix_param == kNoSuffix || key.size() <= best_len) {
+      continue;
+    }
+    const ParamDecl& decl = definition.params[definition.suffix_param];
     if (lower.rfind(key, 0) == 0 &&
-        numeric_suffix(lower.substr(key.size()), entry.fractional)) {
-      best = &entry;
+        numeric_suffix(lower.substr(key.size()),
+                       decl.type == PolicyParam::Type::kReal)) {
+      resolved.base = key;
+      resolved.definition = &definition;
+      resolved.assignments.assign(
+          {{&decl, lower.substr(key.size())}});
       best_len = key.size();
     }
   }
-  return best;
+  if (!resolved.definition) unknown();
+  return resolved;
 }
 
-AlgorithmSpec PolicyRegistry::make(const std::string& name) const {
-  const std::string lower = to_lower(name);
-  if (const Entry* entry = find_entry(lower)) {
-    try {
-      return entry->factory(lower);
-    } catch (const std::out_of_range&) {
-      throw std::invalid_argument("policy parameter out of range in '" +
-                                  name + "'");
-    }
+PolicySpec PolicyRegistry::bind_resolved(const Resolved& resolved,
+                                         const std::string& original) const {
+  PolicySpec spec;
+  spec.base = resolved.base;
+  for (const ParamDecl& decl : resolved.definition->params) {
+    spec.params[decl.key] = decl.default_value;
   }
-  std::ostringstream msg;
-  msg << "unknown policy '" << name << "'; known policies:";
-  for (const std::string& key : names()) msg << ' ' << key;
-  throw std::invalid_argument(msg.str());
+  for (const auto& [decl, text] : resolved.assignments) {
+    const PolicyParam value = parse_param_value(*decl, text, original);
+    check_range(*decl, value, original);
+    spec.params[decl->key] = value;
+  }
+  return spec;
+}
+
+PolicySpec PolicyRegistry::make(const std::string& name) const {
+  return bind_resolved(resolve(name), name);
 }
 
 bool PolicyRegistry::contains(const std::string& name) const {
-  return find_entry(to_lower(name)) != nullptr;
+  try {
+    resolve(name);
+    return true;
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+}
+
+std::unique_ptr<Algorithm> PolicyRegistry::instantiate(
+    const PolicySpec& spec) const {
+  const Definition* definition = find(spec.base);
+  if (!definition) {
+    std::ostringstream msg;
+    msg << "unknown policy '" << spec.base << "'; known policies:";
+    for (const std::string& key : names()) msg << ' ' << key;
+    throw std::invalid_argument(msg.str());
+  }
+  // Specs are plain data; re-validate so hand-built ones cannot smuggle
+  // out-of-range parameters past the factories.
+  for (const ParamDecl& decl : definition->params) {
+    const auto it = spec.params.find(decl.key);
+    if (it == spec.params.end()) {
+      throw std::invalid_argument("policy '" + spec.base +
+                                  "': missing parameter '" + decl.key +
+                                  "'");
+    }
+    check_range(decl, it->second, spec.to_string());
+  }
+  if (definition->algorithm) return definition->algorithm(spec);
+  return std::make_unique<PolicyAlgorithm>(
+      [this, spec](std::uint64_t seed) { return make_policy(spec, seed); },
+      definition->engine_options);
+}
+
+std::unique_ptr<Policy> PolicyRegistry::make_policy(
+    const PolicySpec& spec, std::uint64_t seed) const {
+  const Definition* definition = find(spec.base);
+  if (!definition) {
+    throw std::invalid_argument("make_policy: unknown policy '" +
+                                spec.base + "'");
+  }
+  if (!definition->policy) {
+    throw std::invalid_argument(
+        "make_policy: '" + spec.base +
+        "' is a whole-schedule algorithm (REF/RAND-shaped), not an engine "
+        "policy");
+  }
+  return definition->policy(spec, seed);
+}
+
+bool PolicyRegistry::policy_shaped(const std::string& base) const {
+  const Definition* definition = find(base);
+  return definition != nullptr && definition->policy != nullptr;
+}
+
+std::string PolicyRegistry::canonical_name(const PolicySpec& spec) const {
+  const Definition* definition = find(spec.base);
+  if (!definition) {
+    throw std::invalid_argument("canonical_name: unknown policy '" +
+                                spec.base + "'");
+  }
+  std::string name = spec.base;
+  const ParamDecl* suffix_decl =
+      definition->suffix_param == kNoSuffix
+          ? nullptr
+          : &definition->params[definition->suffix_param];
+  bool suffix_printed = false;
+  if (suffix_decl) {
+    // The suffix parameter always prints ("rand" -> "rand15"), matching
+    // the legacy canonical names — unless its exact text does not fit the
+    // suffix grammar (e.g. an exponent), in which case it joins the
+    // bracket parameters below.
+    const std::string text = spec.params.at(suffix_decl->key).to_string();
+    if (numeric_suffix(text,
+                       suffix_decl->type == PolicyParam::Type::kReal)) {
+      name += text;
+      suffix_printed = true;
+    }
+  }
+  std::string brackets;
+  for (const ParamDecl& decl : definition->params) {
+    const PolicyParam& value = spec.params.at(decl.key);
+    if (suffix_printed && &decl == suffix_decl) continue;
+    if (!suffix_printed && suffix_decl == &decl) {
+      // Unprintable suffix value: always emitted, like the suffix form.
+    } else if (value == decl.default_value) {
+      continue;  // defaults are implied; the map is always complete
+    }
+    if (!brackets.empty()) brackets += ",";
+    brackets += decl.key + "=" + value.to_string();
+  }
+  if (!brackets.empty()) name += "(" + brackets + ")";
+  return name;
+}
+
+std::string PolicyRegistry::content_key(const PolicySpec& spec) const {
+  const Definition* definition = find(spec.base);
+  if (!definition) {
+    throw std::invalid_argument("content_key: unknown policy '" +
+                                spec.base + "'");
+  }
+  std::string key = definition->content.empty()
+                        ? "builtin:" + spec.base
+                        : definition->content;
+  for (const auto& [param, value] : spec.params) {
+    key += "|" + param + "=" + value.to_string();
+  }
+  return key;
 }
 
 std::vector<std::string> PolicyRegistry::names() const {
   std::vector<std::string> keys;
   keys.reserve(entries_.size());
-  for (const auto& [key, entry] : entries_) keys.push_back(key);
+  for (const auto& [key, definition] : entries_) keys.push_back(key);
   return keys;  // std::map keeps them sorted
-}
-
-std::vector<std::string> PolicyRegistry::bound_axes(
-    const std::string& name) const {
-  const Entry* entry = find_entry(to_lower(name));
-  return entry ? entry->bound_axes : std::vector<std::string>{};
 }
 
 std::vector<std::pair<std::string, std::string>> PolicyRegistry::catalog()
     const {
   std::vector<std::pair<std::string, std::string>> out;
   out.reserve(entries_.size());
-  for (const auto& [key, entry] : entries_) {
-    out.emplace_back(entry.parameterized ? key + "[N]" : key,
-                     entry.description);
+  for (const auto& [key, definition] : entries_) {
+    out.emplace_back(definition.suffix_param != kNoSuffix ? key + "[N]"
+                                                          : key,
+                     definition.description);
   }
   return out;
 }
 
-std::string canonical_policy_name(const AlgorithmSpec& spec) {
-  switch (spec.id) {
-    case AlgorithmId::kRef:
-      return "ref";
-    case AlgorithmId::kRand:
-      return "rand" + std::to_string(spec.rand_samples);
-    case AlgorithmId::kDirectContr:
-      return "directcontr";
-    case AlgorithmId::kRoundRobin:
-      return "roundrobin";
-    case AlgorithmId::kFairShare:
-      return "fairshare";
-    case AlgorithmId::kUtFairShare:
-      return "utfairshare";
-    case AlgorithmId::kCurrFairShare:
-      return "currfairshare";
-    case AlgorithmId::kDecayFairShare: {
-      // Plain decimal, trailing zeros trimmed: scientific notation
-      // ("1e+06") would not survive the registry's numeric-suffix check.
-      // The buffer fits any finite double in %f form (<= ~316 chars); a
-      // half-life below the 6-fractional-digit resolution would print as
-      // "0" and silently round-trip to an invalid policy, so reject it
-      // loudly instead.
-      char buf[352];
-      std::snprintf(buf, sizeof(buf), "%.6f", spec.decay_half_life);
-      std::string digits = buf;
-      digits.erase(digits.find_last_not_of('0') + 1);
-      if (!digits.empty() && digits.back() == '.') digits.pop_back();
-      if (digits == "0") {
-        throw std::invalid_argument(
-            "canonical_policy_name: decay half-life too small to represent "
-            "in a policy name");
+void PolicyRegistry::write_catalog_json(std::ostream& out) const {
+  out << "{\n";
+  out << "  \"format\": \"fairsched-policy-catalog\",\n";
+  out << "  \"version\": 1,\n";
+  out << "  \"policies\": [\n";
+  bool first_entry = true;
+  for (const auto& [key, definition] : entries_) {
+    if (!first_entry) out << ",\n";
+    first_entry = false;
+    out << "    {\"name\": \"" << json_escape(key) << "\",\n";
+    out << "     \"description\": \"" << json_escape(definition.description)
+        << "\",\n";
+    out << "     \"kind\": \""
+        << (definition.config_defined ? "config" : "builtin") << "\",\n";
+    out << "     \"policy_shaped\": "
+        << (definition.policy ? "true" : "false") << ",\n";
+    out << "     \"parameters\": [";
+    bool first_param = true;
+    for (std::size_t i = 0; i < definition.params.size(); ++i) {
+      const ParamDecl& decl = definition.params[i];
+      if (!first_param) out << ", ";
+      first_param = false;
+      out << "{\"key\": \"" << json_escape(decl.key) << "\", \"type\": \""
+          << type_label(decl.type) << "\", \"default\": "
+          << decl.default_value.to_string();
+      if (decl.min_value != std::numeric_limits<double>::lowest()) {
+        out << ", \"min\": " << json_exact_double(decl.min_value)
+            << ", \"min_exclusive\": "
+            << (decl.min_exclusive ? "true" : "false");
       }
-      return "decayfairshare" + digits;
+      if (decl.max_value != std::numeric_limits<double>::max()) {
+        out << ", \"max\": " << json_exact_double(decl.max_value);
+      }
+      out << ", \"suffix\": "
+          << (definition.suffix_param == i ? "true" : "false");
+      out << ", \"axis\": \"" << json_escape(decl.axis_name()) << "\"";
+      out << ", \"description\": \"" << json_escape(decl.description)
+          << "\"}";
     }
-    case AlgorithmId::kRandom:
-      return "random";
-    case AlgorithmId::kFcfs:
-      return "fcfs";
+    out << "]}";
   }
-  throw std::logic_error("canonical_policy_name: unknown algorithm id");
+  out << "\n  ]\n}\n";
 }
 
-std::vector<AlgorithmSpec> parse_policy_list(const std::string& csv,
-                                             const PolicyRegistry& registry) {
-  std::vector<AlgorithmSpec> specs;
+const ParamDecl* PolicyRegistry::param_for_axis(
+    const std::string& base, const std::string& axis) const {
+  const Definition* definition = find(to_lower(base));
+  if (!definition) return nullptr;
+  const std::string normalized = normalize_key(axis);
+  for (const ParamDecl& decl : definition->params) {
+    if (normalize_key(decl.axis_name()) == normalized) return &decl;
+  }
+  return nullptr;
+}
+
+void PolicyRegistry::bind_axis_value(PolicySpec& spec,
+                                     const std::string& axis,
+                                     double value) const {
+  const ParamDecl* decl = param_for_axis(spec.base, axis);
+  if (!decl) return;
+  spec.params[decl->key] =
+      decl->type == PolicyParam::Type::kInt
+          ? PolicyParam::of_int(static_cast<std::int64_t>(value))
+          : PolicyParam::of_real(value);
+}
+
+std::vector<PolicyRegistry::ParamAxis> PolicyRegistry::param_axes() const {
+  std::map<std::string, ParamAxis> axes;  // by normalized name, sorted
+  for (const auto& [key, definition] : entries_) {
+    for (const ParamDecl& decl : definition.params) {
+      ParamAxis& axis = axes[normalize_key(decl.axis_name())];
+      if (axis.name.empty()) {
+        axis.name = decl.axis_name();
+        axis.type = decl.type;
+        axis.hint = decl.axis_hint;
+        axis.description = decl.description;
+      }
+      axis.policies.push_back(key);
+    }
+  }
+  std::vector<ParamAxis> out;
+  out.reserve(axes.size());
+  for (auto& [normalized, axis] : axes) out.push_back(std::move(axis));
+  return out;
+}
+
+// --- Config-defined policies ------------------------------------------------
+
+void register_config_policy(PolicyRegistry& registry,
+                            const ConfigPolicyDef& def) {
+  auto fail = [&](const std::string& why) -> void {
+    throw std::invalid_argument("policy '" + def.name + "': " + why);
+  };
+  const int shapes = (!def.base.empty() ? 1 : 0) +
+                     (!def.switch_policies.empty() ? 1 : 0) +
+                     (!def.mixture.empty() ? 1 : 0);
+  if (shapes != 1) {
+    fail("needs exactly one of 'base = NAME', 'switch = A, B' or "
+         "'mix = A:w, B:w'");
+  }
+  if (def.base.empty() && !def.overrides.empty()) {
+    fail("parameter overrides ('" + def.overrides.front().first +
+         " = ...') are only valid with 'base = NAME'");
+  }
+  if (def.switch_policies.empty() && !def.switch_at.empty()) {
+    fail("'switch-at' is only valid with 'switch = A, B'");
+  }
+
+  PolicyRegistry::Definition definition;
+  definition.config_defined = true;
+  definition.description = def.description;
+  // The registry must outlive the entry (the process-wide global() always
+  // does); factories capture it to resolve their building blocks.
+  PolicyRegistry* owner = &registry;
+
+  if (!def.base.empty()) {
+    // Derived policy: the base's declared parameters with new defaults.
+    const PolicySpec base_spec = registry.make(def.base);
+    const PolicyRegistry::Definition* base_definition =
+        registry.find(base_spec.base);
+    definition.params = base_definition->params;
+    for (ParamDecl& decl : definition.params) {
+      decl.default_value = base_spec.params.at(decl.key);
+    }
+    for (const auto& [raw_key, raw_value] : def.overrides) {
+      ParamDecl* decl = nullptr;
+      for (ParamDecl& candidate : definition.params) {
+        if (normalize_key(candidate.key) == normalize_key(raw_key)) {
+          decl = &candidate;
+        }
+      }
+      if (!decl) {
+        // Same did-you-mean shape as the name grammar's bracket form.
+        std::string message = "base '" + base_spec.base +
+                              "' declares no parameter '" + raw_key + "'";
+        const ParamDecl* best = nullptr;
+        std::size_t best_distance = 3;
+        for (const ParamDecl& candidate : definition.params) {
+          const std::size_t distance = edit_distance(
+              normalize_key(raw_key), normalize_key(candidate.key));
+          if (distance < best_distance) {
+            best = &candidate;
+            best_distance = distance;
+          }
+        }
+        if (best) message += " (did you mean '" + best->key + "'?)";
+        message += "; declared parameters:";
+        if (definition.params.empty()) message += " none";
+        for (const ParamDecl& candidate : definition.params) {
+          message += " " + candidate.key;
+        }
+        fail(message);
+      }
+      decl->default_value =
+          parse_param_value(*decl, raw_value, def.name + "." + raw_key);
+      check_range(*decl, decl->default_value, def.name + "." + raw_key);
+    }
+    if (definition.description.empty()) {
+      definition.description = "config-defined: " +
+                               registry.canonical_name(base_spec) +
+                               " with overridden defaults";
+    }
+    definition.content =
+        "cfg:" + def.name + "{base=" +
+        (base_definition->content.empty() ? "builtin:" + base_spec.base
+                                          : base_definition->content) +
+        "}";
+    const std::string base_key = base_spec.base;
+    if (base_definition->policy) {
+      definition.engine_options = base_definition->engine_options;
+      definition.policy = [owner, base_key](const PolicySpec& spec,
+                                            std::uint64_t seed) {
+        PolicySpec inner = spec;
+        inner.base = base_key;
+        return owner->make_policy(inner, seed);
+      };
+    } else {
+      definition.algorithm = [owner, base_key](const PolicySpec& spec) {
+        PolicySpec inner = spec;
+        inner.base = base_key;
+        return owner->instantiate(inner);
+      };
+    }
+  } else if (!def.switch_policies.empty()) {
+    if (def.switch_policies.size() != 2) {
+      fail("switch needs exactly two policies, got " +
+           std::to_string(def.switch_policies.size()));
+    }
+    if (def.switch_at.empty()) {
+      fail("switch needs a 'switch-at = TIME' key");
+    }
+    std::vector<PolicySpec> parts;
+    for (const std::string& part : def.switch_policies) {
+      parts.push_back(registry.make(part));
+      if (!registry.policy_shaped(parts.back().base)) {
+        fail("switch member '" + part +
+             "' is a whole-schedule algorithm (REF/RAND); compositions "
+             "need engine policies");
+      }
+    }
+    ParamDecl switch_at;
+    switch_at.key = "switch-at";
+    switch_at.type = PolicyParam::Type::kInt;
+    switch_at.min_value = 0;
+    switch_at.description =
+        "time at which '" + def.name + "' switches from " +
+        registry.canonical_name(parts[0]) + " to " +
+        registry.canonical_name(parts[1]);
+    switch_at.default_value =
+        parse_param_value(switch_at, def.switch_at,
+                          def.name + ".switch-at");
+    check_range(switch_at, switch_at.default_value,
+                def.name + ".switch-at");
+    // Distinct per-policy axis name: two switch policies in one sweep
+    // should be independently sweepable.
+    switch_at.axis = def.name + "-switch-at";
+    switch_at.axis_hint = switch_at.default_value.to_string();
+    definition.params.push_back(std::move(switch_at));
+    if (definition.description.empty()) {
+      definition.description = "config-defined: " +
+                               registry.canonical_name(parts[0]) +
+                               " then " +
+                               registry.canonical_name(parts[1]) +
+                               " from t=switch-at";
+    }
+    definition.content = "cfg:" + def.name + "{switch=" +
+                         registry.content_key(parts[0]) + "->" +
+                         registry.content_key(parts[1]) + "}";
+    definition.policy = [owner, parts](const PolicySpec& spec,
+                                       std::uint64_t seed) {
+      return std::make_unique<SwitchPolicy>(
+          owner->make_policy(parts[0], mix_seed(seed, 0x5101)),
+          owner->make_policy(parts[1], mix_seed(seed, 0x5102)),
+          static_cast<Time>(spec.params.at("switch-at").int_value));
+    };
+  } else {
+    std::vector<PolicySpec> parts;
+    std::vector<double> weights;
+    std::string mix_content;
+    for (const auto& [part, weight] : def.mixture) {
+      parts.push_back(registry.make(part));
+      if (!registry.policy_shaped(parts.back().base)) {
+        fail("mix member '" + part +
+             "' is a whole-schedule algorithm (REF/RAND); compositions "
+             "need engine policies");
+      }
+      if (!(weight > 0)) {
+        fail("mix weight for '" + part + "' must be positive");
+      }
+      weights.push_back(weight);
+      if (!mix_content.empty()) mix_content += ",";
+      mix_content += registry.content_key(parts.back()) + ":" +
+                     PolicyParam::of_real(weight).to_string();
+    }
+    if (parts.size() < 2) fail("mix needs at least two policies");
+    if (definition.description.empty()) {
+      std::string names;
+      for (const PolicySpec& part : parts) {
+        if (!names.empty()) names += "/";
+        names += registry.canonical_name(part);
+      }
+      definition.description =
+          "config-defined: weighted random mixture of " + names;
+    }
+    definition.content = "cfg:" + def.name + "{mix=" + mix_content + "}";
+    definition.policy = [owner, parts, weights](const PolicySpec&,
+                                                std::uint64_t seed) {
+      std::vector<MixturePolicy::Component> components;
+      components.reserve(parts.size());
+      for (std::size_t i = 0; i < parts.size(); ++i) {
+        components.push_back(MixturePolicy::Component{
+            owner->make_policy(parts[i], mix_seed(seed, 0x6d10 + i)),
+            weights[i]});
+      }
+      return std::make_unique<MixturePolicy>(std::move(components),
+                                             mix_seed(seed, 0x6d00));
+    };
+  }
+
+  registry.register_policy(def.name, std::move(definition));
+}
+
+std::string canonical_policy_name(const PolicySpec& spec,
+                                  const PolicyRegistry& registry) {
+  return registry.canonical_name(spec);
+}
+
+std::vector<PolicySpec> parse_policy_list(const std::string& csv,
+                                          const PolicyRegistry& registry) {
+  std::vector<PolicySpec> specs;
   for (const std::string& name : split_and_trim(csv, ',')) {
     specs.push_back(registry.make(name));
   }

@@ -15,6 +15,7 @@
 #include "exp/sweep_plan.h"
 #include "metrics/utility.h"
 #include "sched/rand_fair.h"
+#include "sched/runner.h"
 #include "sim/engine.h"
 #include "util/rng.h"
 #include "util/table.h"
@@ -609,8 +610,7 @@ SweepSpec make_custom_sweep(const ScenarioOptions& options) {
   if (options.policies.empty()) {
     spec.policies = table_policy_names();
   } else {
-    for (const AlgorithmSpec& algorithm :
-         parse_policy_list(options.policies)) {
+    for (const PolicySpec& algorithm : parse_policy_list(options.policies)) {
       spec.policies.push_back(canonical_policy_name(algorithm));
     }
   }

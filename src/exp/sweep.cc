@@ -50,8 +50,8 @@ Instance make_small_random_instance(std::size_t base_jobs,
 }  // namespace
 
 SweepAxis::Scope default_axis_scope(SweepAxis::Bind bind) {
-  return bind == SweepAxis::Bind::kHalfLife ? SweepAxis::Scope::kPolicy
-                                            : SweepAxis::Scope::kWorkload;
+  return bind == SweepAxis::Bind::kPolicyParam ? SweepAxis::Scope::kPolicy
+                                               : SweepAxis::Scope::kWorkload;
 }
 
 std::string normalize_axis_name(const std::string& name) {
@@ -76,28 +76,42 @@ bool integral_axis_bind(SweepAxis::Bind bind) {
   }
 }
 
-const std::vector<AxisInfo>& axis_catalog() {
-  static const std::vector<AxisInfo> catalog = {
-      {"orgs", "", SweepAxis::Bind::kOrgs, SweepAxis::Scope::kWorkload,
-       "2:7", "number of organizations in the consortium (Fig. 10)"},
-      {"horizon", "duration", SweepAxis::Bind::kHorizon,
+std::vector<AxisInfo> axis_catalog(const PolicyRegistry& registry) {
+  std::vector<AxisInfo> catalog = {
+      {"orgs", "", SweepAxis::Bind::kOrgs, "", true,
+       SweepAxis::Scope::kWorkload, "2:7",
+       "number of organizations in the consortium (Fig. 10)"},
+      {"horizon", "duration", SweepAxis::Bind::kHorizon, "", true,
        SweepAxis::Scope::kWorkload, "12500:400000:12500",
        "per-point experiment horizon (the Table 1 -> Table 2 dimension)"},
-      {"half-life", "", SweepAxis::Bind::kHalfLife,
-       SweepAxis::Scope::kPolicy, "500,2500,10000,50000",
-       "decay_half_life of every decayfairshare policy in the sweep"},
-      {"zipf-s", "", SweepAxis::Bind::kZipfS, SweepAxis::Scope::kWorkload,
-       "0.5,1,1.5", "Zipf exponent of the machine split"},
-      {"split", "", SweepAxis::Bind::kSplit, SweepAxis::Scope::kWorkload,
-       "zipf,uniform", "machine split across organizations (0/zipf, "
-       "1/uniform)"},
-      {"jobs-per-org", "", SweepAxis::Bind::kUnitJobsPerOrg,
+      {"zipf-s", "", SweepAxis::Bind::kZipfS, "", false,
+       SweepAxis::Scope::kWorkload, "0.5,1,1.5",
+       "Zipf exponent of the machine split"},
+      {"split", "", SweepAxis::Bind::kSplit, "", false,
+       SweepAxis::Scope::kWorkload, "zipf,uniform",
+       "machine split across organizations (0/zipf, 1/uniform)"},
+      {"jobs-per-org", "", SweepAxis::Bind::kUnitJobsPerOrg, "", true,
        SweepAxis::Scope::kWorkload, "20:80:20",
        "unit-jobs workload: jobs per organization (Thm 5.6)"},
-      {"random-jobs", "", SweepAxis::Bind::kRandomJobs,
+      {"random-jobs", "", SweepAxis::Bind::kRandomJobs, "", true,
        SweepAxis::Scope::kWorkload, "10,50",
        "small-random workload: base job count (Thm 6.2 probe)"},
   };
+  // One axis per distinct parameter-axis name the registry's entries
+  // declare (sorted by name): "half-life", "samples", and whatever
+  // config-defined policies add.
+  for (const PolicyRegistry::ParamAxis& axis : registry.param_axes()) {
+    std::string description = axis.description;
+    description += " (rebinds:";
+    for (const std::string& policy : axis.policies) {
+      description += " " + policy;
+    }
+    description += ")";
+    catalog.push_back({axis.name, "", SweepAxis::Bind::kPolicyParam,
+                       axis.name, axis.type == PolicyParam::Type::kInt,
+                       SweepAxis::Scope::kPolicy, axis.hint,
+                       std::move(description)});
+  }
   return catalog;
 }
 
@@ -116,9 +130,11 @@ Instance make_workload_instance(const SweepWorkload& workload, Time horizon,
   throw std::logic_error("make_workload_instance: unknown workload kind");
 }
 
-SweepAxis make_axis(const std::string& name, std::vector<double> values) {
+SweepAxis make_axis(const std::string& name, std::vector<double> values,
+                    const PolicyRegistry& registry) {
   const std::string key = normalize_axis_name(name);
-  for (const AxisInfo& info : axis_catalog()) {
+  const std::vector<AxisInfo> catalog = axis_catalog(registry);
+  for (const AxisInfo& info : catalog) {
     bool matches = key == normalize_axis_name(info.name);
     for (const std::string& alias : split_and_trim(info.aliases, ',')) {
       matches |= key == normalize_axis_name(alias);
@@ -127,13 +143,15 @@ SweepAxis make_axis(const std::string& name, std::vector<double> values) {
       SweepAxis axis;
       axis.name = info.name;
       axis.bind = info.bind;
+      axis.param = info.param;
+      axis.integral = info.integral;
       axis.scope = default_axis_scope(info.bind);
       axis.values = std::move(values);
       return axis;
     }
   }
   std::string known;
-  for (const AxisInfo& info : axis_catalog()) {
+  for (const AxisInfo& info : catalog) {
     if (!known.empty()) known += ", ";
     known += info.name;
   }
@@ -145,7 +163,7 @@ std::string axis_value_label(const SweepAxis& axis, double value) {
   if (axis.bind == SweepAxis::Bind::kSplit) {
     return value == 0.0 ? "zipf" : "uniform";
   }
-  if (integral_axis_bind(axis.bind)) {
+  if (axis.integral) {
     return std::to_string(static_cast<std::int64_t>(value));
   }
   char buf[64];

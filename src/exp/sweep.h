@@ -74,11 +74,17 @@ struct SweepAxis {
   enum class Bind {
     kOrgs,            // SweepWorkload::orgs (Fig. 10's dimension)
     kHorizon,         // per-point experiment horizon (Tables 1 vs 2)
-    kHalfLife,        // decay_half_life of every decayfairshare policy
     kZipfS,           // Zipf exponent of the machine split
     kSplit,           // machine split: 0 = zipf, 1 = uniform
     kUnitJobsPerOrg,  // SweepWorkload::unit_jobs_per_org
     kRandomJobs,      // SweepWorkload::random_jobs
+    // A declared policy parameter (exp/policy_registry.h): the axis
+    // rebinds `param` in every selected policy whose registry entry
+    // declares a parameter bound to this axis name — e.g. "half-life"
+    // rebinds every decayfairshare-derived policy, "samples" every rand.
+    // Any declared numeric parameter is sweepable this way; no axis code
+    // changes when a policy (or a config-defined one) adds a parameter.
+    kPolicyParam,
   };
 
   // What the axis parameterizes, which decides what the workload/baseline
@@ -86,51 +92,67 @@ struct SweepAxis {
   // instance (or the horizon), so every value is a distinct cell prefix;
   // kPolicy axes only rebind policy parameters, so all their values share
   // one prefix — instance, baseline run, and the runs of every policy the
-  // axis does not bind. make_axis sets the default per Bind (only kHalfLife
-  // is policy-scoped); a scenario may widen a policy axis to kWorkload to
-  // opt out of sharing, but never the reverse — the driver rejects a
-  // policy-scoped axis whose bind reshapes the workload, because grouping
-  // such cells onto one prefix would simulate the wrong consortium.
+  // axis does not bind. make_axis sets the default per Bind (only
+  // kPolicyParam is policy-scoped); a scenario may widen a policy axis to
+  // kWorkload to opt out of sharing, but never the reverse — the driver
+  // rejects a policy-scoped axis whose bind reshapes the workload, because
+  // grouping such cells onto one prefix would simulate the wrong
+  // consortium.
   enum class Scope { kWorkload, kPolicy };
 
   std::string name;  // reporter column name, e.g. "orgs"
   Bind bind = Bind::kOrgs;
+  // kPolicyParam only: the axis name the registry declarations bind
+  // (normalized spelling; PolicyRegistry::bind_axis_value matches it).
+  std::string param;
+  // Values must be whole numbers and labels print without a decimal point
+  // (workload binds with integral fields, int-typed policy parameters).
+  bool integral = false;
   Scope scope = Scope::kWorkload;
   std::vector<double> values;
 };
 
-// The default scope of a bind: Scope::kPolicy for kHalfLife, kWorkload for
-// everything else.
+// The default scope of a bind: Scope::kPolicy for kPolicyParam, kWorkload
+// for everything else.
 SweepAxis::Scope default_axis_scope(SweepAxis::Bind bind);
 
-// Builds an axis from a user-facing name: orgs, horizon (alias: duration),
-// half-life, zipf-s, split, jobs-per-org, random-jobs (case-insensitive,
-// '-'/'_' interchangeable). Throws std::invalid_argument on unknown names,
-// listing the valid ones.
-SweepAxis make_axis(const std::string& name, std::vector<double> values);
+// Builds an axis from a user-facing name: the workload axes (orgs, horizon
+// (alias: duration), zipf-s, split, jobs-per-org, random-jobs), or any
+// parameter axis a registered policy declares ("half-life", "samples",
+// ...). Case-insensitive, '-'/'_' interchangeable. Throws
+// std::invalid_argument on unknown names, listing the valid ones.
+SweepAxis make_axis(const std::string& name, std::vector<double> values,
+                    const PolicyRegistry& registry =
+                        PolicyRegistry::global());
 
 // The spelling fold behind make_axis (lower-case, '-'/'_' stripped), so
 // "half-life", "half_life" and "HalfLife" all name the same axis. Sweep
-// config keys share these spelling rules (exp/sweep_config).
+// config keys and policy parameter keys share these spelling rules
+// (exp/sweep_config, exp/policy_registry).
 std::string normalize_axis_name(const std::string& name);
 
-// True for axes whose bound field is integral (orgs, horizon,
-// jobs-per-org, random-jobs): their values must be whole numbers and
-// their labels print without a decimal point.
+// True for workload binds whose bound field is integral (orgs, horizon,
+// jobs-per-org, random-jobs). Policy-parameter axes take their
+// integrality from the parameter declaration (SweepAxis::integral).
 bool integral_axis_bind(SweepAxis::Bind bind);
 
-// One entry per axis the harness understands — the single source of truth
-// behind make_axis, `fairsched_exp list-axes`, and the axis reference in
-// docs/EXPERIMENTS.md.
+// One entry per axis the harness understands — the basis of make_axis,
+// `fairsched_exp list-axes`, and the axis reference in
+// docs/EXPERIMENTS.md. The workload axes are fixed; one policy-parameter
+// axis is appended per distinct axis name declared by the registry's
+// entries (so config-defined policies surface here too).
 struct AxisInfo {
   std::string name;     // canonical reporter column name
   std::string aliases;  // extra accepted spellings, comma-joined ("" = none)
   SweepAxis::Bind bind;
+  std::string param;        // kPolicyParam: bound parameter axis name
+  bool integral = false;    // see SweepAxis::integral
   SweepAxis::Scope scope;   // default scope (see default_axis_scope)
   std::string values_hint;  // typical range, e.g. "2:7"
   std::string description;
 };
-const std::vector<AxisInfo>& axis_catalog();
+std::vector<AxisInfo> axis_catalog(const PolicyRegistry& registry =
+                                       PolicyRegistry::global());
 
 // Human/CSV label of one axis value: integral binds print as integers,
 // kSplit prints "zipf"/"uniform", the rest shortest-round-trip decimal.

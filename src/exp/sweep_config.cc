@@ -46,7 +46,9 @@ std::int64_t parse_integer(const std::string& token) {
 }
 
 // One token of an axis value list: a number, a split label, or an
-// inclusive lo:hi[:step] range.
+// inclusive lo:hi[:step] range. Axis names resolve through the registry
+// that also receives the file's [policy NAME] blocks, so config-declared
+// parameter axes work whatever registry the caller supplied.
 void append_axis_token(const SweepAxis& axis, const std::string& token,
                        std::vector<double>& values) {
   if (axis.bind == SweepAxis::Bind::kSplit) {
@@ -104,8 +106,10 @@ void append_axis_token(const SweepAxis& axis, const std::string& token,
   }
 }
 
-SweepAxis parse_axis(const std::string& name, const std::string& value) {
-  SweepAxis axis = make_axis(name, {});
+SweepAxis parse_axis(const std::string& name, const std::string& value,
+                     const PolicyRegistry& registry =
+                         PolicyRegistry::global()) {
+  SweepAxis axis = make_axis(name, {}, registry);
   const std::vector<std::string> tokens = split_and_trim(value, ',');
   if (tokens.empty()) {
     throw std::invalid_argument("axis '" + name + "' has no values");
@@ -133,7 +137,8 @@ std::vector<SweepAxis> parse_axes_spec(const std::string& text) {
 }
 
 SweepSpec parse_sweep_config(std::istream& in, const std::string& source,
-                             const ScenarioOptions& defaults) {
+                             const ScenarioOptions& defaults,
+                             PolicyRegistry& registry) {
   ScenarioOptions options = defaults;
   std::vector<SweepAxis> axes;
   bool axes_in_file = false;
@@ -148,10 +153,65 @@ SweepSpec parse_sweep_config(std::istream& in, const std::string& source,
                                 ": " + why);
   };
 
+  // Axis lines, parsed only after every [policy NAME] block is
+  // registered so policy-parameter axes resolve regardless of file order.
+  struct AxisLine {
+    int lineno = 0;
+    std::string name;
+    std::string value;
+  };
+  std::vector<AxisLine> axis_lines;
+
+  // `[policy NAME]` section state. Blocks register as they end (the next
+  // section header or EOF), in file order, so later blocks and the
+  // `policies` list can reference earlier names.
+  bool in_policy_block = false;
+  ConfigPolicyDef block;
+  int block_line = 0;
+  std::vector<std::string> defined_names;
+  auto finish_policy_block = [&]() -> void {
+    if (!in_policy_block) return;
+    in_policy_block = false;
+    try {
+      register_config_policy(registry, block);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument(source + ":" +
+                                  std::to_string(block_line) + ": " +
+                                  e.what());
+    }
+    defined_names.push_back(block.name);
+    block = ConfigPolicyDef{};
+  };
+
   while (std::getline(in, line)) {
     ++lineno;
     line = trim(line.substr(0, line.find('#')));
     if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      finish_policy_block();
+      if (line.back() != ']') fail("section header missing ']'");
+      const std::vector<std::string> header =
+          split_and_trim(line.substr(1, line.size() - 2), ' ');
+      if (header.size() == 1 && header[0] == "sweep") {
+        continue;  // back to top-level keys after a [policy] block
+      }
+      if (header.size() != 2 || header[0] != "policy") {
+        fail("unknown section '" + line +
+             "' (want [policy NAME] or [sweep])");
+      }
+      in_policy_block = true;
+      block = ConfigPolicyDef{};
+      block.name = header[1];
+      block_line = lineno;
+      for (const std::string& existing : defined_names) {
+        if (existing == block.name) {
+          fail("duplicate [policy " + block.name + "] section");
+        }
+      }
+      continue;
+    }
+
     const std::size_t eq = line.find('=');
     if (eq == std::string::npos) {
       fail("expected 'key = value', got '" + line + "'");
@@ -159,15 +219,43 @@ SweepSpec parse_sweep_config(std::istream& in, const std::string& source,
     std::string key = trim(line.substr(0, eq));
     const std::string value = trim(line.substr(eq + 1));
 
+    if (in_policy_block) {
+      const std::string normalized = normalize_axis_name(key);
+      if (normalized == "base") {
+        block.base = value;
+      } else if (normalized == "description") {
+        block.description = value;
+      } else if (normalized == "switch") {
+        block.switch_policies = split_and_trim(value, ',');
+      } else if (normalized == "switchat") {
+        block.switch_at = value;
+      } else if (normalized == "mix") {
+        for (const std::string& part : split_and_trim(value, ',')) {
+          const std::size_t colon = part.rfind(':');
+          if (colon == std::string::npos) {
+            fail("mix entry '" + part + "' needs a ':WEIGHT' suffix");
+          }
+          double weight = 0.0;
+          try {
+            weight = parse_number(trim(part.substr(colon + 1)));
+          } catch (const std::invalid_argument& e) {
+            fail(e.what());
+          }
+          block.mixture.emplace_back(trim(part.substr(0, colon)), weight);
+        }
+      } else {
+        // Any other key is a parameter override of the block's base;
+        // validity is checked at registration, with did-you-mean.
+        block.overrides.emplace_back(key, value);
+      }
+      continue;
+    }
+
     try {
       if (key.rfind("axis ", 0) == 0 || key.rfind("axis\t", 0) == 0) {
-        const SweepAxis axis = parse_axis(trim(key.substr(5)), value);
-        for (const SweepAxis& existing : axes) {
-          if (existing.name == axis.name) {
-            fail("duplicate axis '" + axis.name + "'");
-          }
-        }
-        axes.push_back(axis);
+        // Deferred until EOF: an axis may name a parameter a later
+        // [policy NAME] block declares, whatever the file order.
+        axis_lines.push_back({lineno, trim(key.substr(5)), value});
         axes_in_file = true;
         continue;
       }
@@ -253,6 +341,25 @@ SweepSpec parse_sweep_config(std::istream& in, const std::string& source,
       const std::string what = e.what();
       // Errors from the helpers lack the <source>:<line> prefix; fail()'s
       // own exceptions already carry it.
+      if (what.rfind(source + ":", 0) == 0) throw;
+      fail(what);
+    }
+  }
+  finish_policy_block();
+
+  for (const AxisLine& axis_line : axis_lines) {
+    lineno = axis_line.lineno;
+    try {
+      const SweepAxis axis =
+          parse_axis(axis_line.name, axis_line.value, registry);
+      for (const SweepAxis& existing : axes) {
+        if (existing.name == axis.name) {
+          fail("duplicate axis '" + axis.name + "'");
+        }
+      }
+      axes.push_back(axis);
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
       if (what.rfind(source + ":", 0) == 0) throw;
       fail(what);
     }

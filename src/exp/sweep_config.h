@@ -4,8 +4,16 @@
 // axis string) so new scenarios need no recompile. The format is one
 // `key = value` per line with `#` comments; `axis <name> = <values>` lines
 // add sweep axes, where <values> is a comma list of numbers and/or
-// inclusive `lo:hi[:step]` ranges ("2:7" expands to 2,3,...,7). See
-// docs/EXPERIMENTS.md for the full reference and a worked example.
+// inclusive `lo:hi[:step]` ranges ("2:7" expands to 2,3,...,7).
+//
+// `[policy NAME]` sections define whole new named policies — a base entry
+// with overridden parameter defaults, a `switch = A, B` + `switch-at = T`
+// composition, or a `mix = A:w, B:w` weighted random mixture — and
+// register them on the global PolicyRegistry as the file is parsed, so
+// NAME is usable anywhere a built-in policy name is (the `policies` list,
+// --policies, the baseline, later [policy] blocks) with its declared
+// parameters sweepable as axes. See docs/EXPERIMENTS.md for the full
+// reference and worked examples.
 
 #include <iosfwd>
 #include <string>
@@ -26,10 +34,15 @@ std::vector<SweepAxis> parse_axes_spec(const std::string& text);
 // duration, orgs, seed, scale, split, zipf-s, threads, cache-mb, cache
 // (on|off), jobs-per-org, name, title, note, baseline) and axis lines set
 // in the file win over the command-line `defaults`; everything else falls
-// back to them. `source` names the stream in "<source>:<line>: ..." parse
-// errors (std::invalid_argument).
+// back to them. `[policy NAME]` sections are registered on `registry` in
+// file order (so later blocks may build on earlier ones); re-parsing the
+// same file is idempotent, but built-in names cannot be redefined.
+// `source` names the stream in "<source>:<line>: ..." parse errors
+// (std::invalid_argument).
 SweepSpec parse_sweep_config(std::istream& in, const std::string& source,
-                             const ScenarioOptions& defaults);
+                             const ScenarioOptions& defaults,
+                             PolicyRegistry& registry =
+                                 PolicyRegistry::global());
 
 // Opens `path` and parses it; throws std::invalid_argument when the file
 // cannot be read.

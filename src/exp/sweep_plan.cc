@@ -17,8 +17,9 @@ namespace {
 std::string exact(double v) { return json_exact_double(v); }
 
 // Binds one axis value onto the workload parameters shared by every policy
-// of the cell. kHorizon (per-point horizon) and kHalfLife (per-point
-// AlgorithmSpec) do not touch the workload and are bound separately.
+// of the cell. kHorizon (per-point horizon) and kPolicyParam (per-point
+// PolicySpec parameters) do not touch the workload and are bound
+// separately.
 void apply_axis_value(const SweepAxis& axis, double value, SweepWorkload& w) {
   switch (axis.bind) {
     case SweepAxis::Bind::kOrgs:
@@ -37,12 +38,13 @@ void apply_axis_value(const SweepAxis& axis, double value, SweepWorkload& w) {
       w.random_jobs = static_cast<std::size_t>(value);
       break;
     case SweepAxis::Bind::kHorizon:
-    case SweepAxis::Bind::kHalfLife:
+    case SweepAxis::Bind::kPolicyParam:
       break;
   }
 }
 
-void validate_axis(const SweepSpec& spec, const SweepAxis& axis) {
+void validate_axis(const SweepSpec& spec, const SweepAxis& axis,
+                   const PolicyRegistry& registry) {
   auto fail = [&](const std::string& why) {
     throw std::invalid_argument("sweep '" + spec.name + "': axis '" +
                                 axis.name + "' " + why);
@@ -57,13 +59,16 @@ void validate_axis(const SweepSpec& spec, const SweepAxis& axis) {
     fail("cannot be policy-scoped: its bind reshapes the workload");
   }
   for (double v : axis.values) {
-    if (integral_axis_bind(axis.bind)) {
+    if (axis.integral) {
       // Range-check before the round-trip cast: double -> integer overflow
       // is undefined behavior, and an out-of-range orgs value would
       // otherwise silently simulate a different consortium than the CSV
       // row is labeled with. kOrgs/kUnitJobsPerOrg/kRandomJobs bind onto
-      // 32-bit fields; kHorizon onto Time (int64).
-      const double limit = axis.bind == SweepAxis::Bind::kHorizon
+      // 32-bit fields; kHorizon and int-typed policy parameters onto
+      // 64-bit ones.
+      const double limit = axis.bind == SweepAxis::Bind::kHorizon ||
+                                   axis.bind ==
+                                       SweepAxis::Bind::kPolicyParam
                                ? 9.0e18
                                : 4294967295.0;  // uint32 max
       if (!(v >= 0 && v <= limit) ||
@@ -75,14 +80,9 @@ void validate_axis(const SweepSpec& spec, const SweepAxis& axis) {
     }
     switch (axis.bind) {
       case SweepAxis::Bind::kOrgs:
-        if (v < 1) fail("values must be >= 1");
-        break;
       case SweepAxis::Bind::kHorizon:
       case SweepAxis::Bind::kUnitJobsPerOrg:
         if (v < 1) fail("values must be >= 1");
-        break;
-      case SweepAxis::Bind::kHalfLife:
-        if (!(v > 0)) fail("values must be positive");
         break;
       case SweepAxis::Bind::kZipfS:
         if (!(v >= 0)) fail("values must be non-negative");
@@ -95,6 +95,21 @@ void validate_axis(const SweepSpec& spec, const SweepAxis& axis) {
       case SweepAxis::Bind::kRandomJobs:
         if (v < 0) fail("values must be non-negative");
         break;
+      case SweepAxis::Bind::kPolicyParam:
+        // Checked against each declaring policy's parameter range, so the
+        // error can name both the axis and the declaration it violates.
+        for (const std::string& name : spec.policies) {
+          const PolicySpec policy = registry.make(name);
+          const ParamDecl* decl =
+              registry.param_for_axis(policy.base, axis.name);
+          if (decl && !decl->in_range(v)) {
+            fail("value " + PolicyParam::of_real(v).to_string() +
+                 " is out of range for policy '" + name +
+                 "' parameter '" + decl->key + "' (must be " +
+                 decl->range_text() + ")");
+          }
+        }
+        break;
     }
   }
 }
@@ -105,16 +120,22 @@ const char* scope_label(SweepAxis::Scope scope) {
 
 // The canonical string the plan fingerprint hashes: every spec dimension
 // that shapes output, nothing that only shapes execution (threads, cache
-// budget/dir, title/note).
+// budget/dir, title/note). v2 (the open policy API): policies and the
+// baseline contribute their registry *content keys* — which embed a
+// config-defined policy's whole definition — not just their names, so two
+// processes that loaded different definitions of one policy name can
+// never produce merge-compatible fingerprints.
 std::string fingerprint_content(const SweepPlan& plan) {
   const SweepSpec& spec = plan.spec;
-  std::string content = "plan|v1|name=" + spec.name +
-                        "|instances=" + std::to_string(spec.instances) +
-                        "|seed=" + std::to_string(spec.seed) +
-                        "|horizon=" + std::to_string(spec.horizon) +
-                        "|baseline=" + spec.baseline;
-  for (const std::string& policy : spec.policies) {
-    content += "|policy=" + policy;
+  std::string content =
+      "plan|v2|name=" + spec.name +
+      "|instances=" + std::to_string(spec.instances) +
+      "|seed=" + std::to_string(spec.seed) +
+      "|horizon=" + std::to_string(spec.horizon) + "|baseline=" +
+      (plan.has_baseline ? plan.registry->content_key(plan.baseline)
+                         : std::string("none"));
+  for (const PolicySpec& policy : plan.algorithms) {
+    content += "|policy=" + plan.registry->content_key(policy);
   }
   for (const SweepWorkload& workload : spec.workloads) {
     content += "|workload=" +
@@ -172,12 +193,6 @@ std::string synthetic_content_key(const SyntheticSpec& s) {
          exact(s.user_weight_sigma) + "," + exact(s.user_mu_sigma);
 }
 
-std::string algorithm_content_key(const AlgorithmSpec& spec) {
-  return "alg:" + std::to_string(static_cast<int>(spec.id)) + ":" +
-         std::to_string(spec.rand_samples) + ":" +
-         exact(spec.decay_half_life);
-}
-
 std::string workload_content_key(const SweepWorkload& workload, Time horizon,
                                  std::uint64_t seed) {
   std::string key =
@@ -214,7 +229,7 @@ SweepPlan build_sweep_plan(const SweepSpec& spec,
     throw std::invalid_argument("sweep '" + spec.name + "': no instances");
   }
   for (const SweepAxis& axis : spec.axes) {
-    validate_axis(spec, axis);
+    validate_axis(spec, axis, registry);
     for (const SweepAxis& other : spec.axes) {
       if (&axis != &other && axis.name == other.name) {
         throw std::invalid_argument("sweep '" + spec.name +
@@ -226,6 +241,7 @@ SweepPlan build_sweep_plan(const SweepSpec& spec,
   SweepPlan plan;
   plan.spec = spec;
   plan.shard = shard;
+  plan.registry = &registry;
 
   // Resolve every name up front so a typo fails before hours of compute.
   plan.algorithms.reserve(spec.policies.size());
@@ -241,7 +257,8 @@ SweepPlan build_sweep_plan(const SweepSpec& spec,
   plan.num_tasks = plan.num_points * plan.num_workloads * spec.instances;
 
   // Bind every axis point up front: per point the horizon and the policy
-  // specs (kHalfLife), per (point, workload) the workload parameters. All
+  // specs (kPolicyParam axes, routed through the registry's parameter
+  // declarations), per (point, workload) the workload parameters. All
   // O(cells), never O(runs).
   plan.horizons.assign(plan.num_points, spec.horizon);
   plan.bound_algorithms.resize(plan.num_points * plan.num_policies);
@@ -249,11 +266,10 @@ SweepPlan build_sweep_plan(const SweepSpec& spec,
   for (std::size_t a = 0; a < plan.num_points; ++a) {
     const std::vector<double> values = axis_point_values(spec, a);
     for (std::size_t p = 0; p < plan.num_policies; ++p) {
-      AlgorithmSpec alg = plan.algorithms[p];
+      PolicySpec alg = plan.algorithms[p];
       for (std::size_t j = 0; j < spec.axes.size(); ++j) {
-        if (spec.axes[j].bind == SweepAxis::Bind::kHalfLife &&
-            alg.id == AlgorithmId::kDecayFairShare) {
-          alg.decay_half_life = values[j];
+        if (spec.axes[j].bind == SweepAxis::Bind::kPolicyParam) {
+          registry.bind_axis_value(alg, spec.axes[j].name, values[j]);
         }
       }
       plan.bound_algorithms[a * plan.num_policies + p] = alg;
@@ -325,31 +341,25 @@ SweepPlan build_sweep_plan(const SweepSpec& spec,
 
   // A policy-scoped axis must bind some selected policy, or it sweeps
   // every cell into identical copies — a config error worth failing
-  // loudly on, not silently cache-deduplicating. Two signals, so the
-  // declarative registry metadata cannot veto reality: the axis passes
-  // if a selected policy *declares* it (registry bound_axes), or if the
-  // bound specs observably vary within a prefix group (the ground truth;
-  // covers custom-registered policies that forgot to declare). Variation
-  // is attributed group-wide, which is exact while half-life is the only
-  // policy-scoped bind.
+  // loudly on, not silently cache-deduplicating. Bindings are derived
+  // from the registry's parameter declarations: the axis is live exactly
+  // when a selected policy's entry declares a parameter bound to it
+  // (which is also what bind_axis_value rebinds above — declarations and
+  // reality cannot drift apart).
   std::string inert_axes;
   for (const SweepAxis& axis : spec.axes) {
     if (axis.scope != SweepAxis::Scope::kPolicy) continue;
     bool declared = false;
-    for (const std::string& name : spec.policies) {
-      for (const std::string& bound : registry.bound_axes(name)) {
-        declared |=
-            normalize_axis_name(bound) == normalize_axis_name(axis.name);
-      }
+    for (const PolicySpec& policy : plan.algorithms) {
+      declared |=
+          registry.param_for_axis(policy.base, axis.name) != nullptr;
     }
     if (!declared) {
       if (!inert_axes.empty()) inert_axes += "', '";
       inert_axes += axis.name;
     }
   }
-  if (!inert_axes.empty() &&
-      std::all_of(invariant.begin(), invariant.end(),
-                  [](char inv) { return inv != 0; })) {
+  if (!inert_axes.empty()) {
     throw std::invalid_argument(
         "sweep '" + spec.name + "': axis '" + inert_axes +
         "' binds no selected policy (e.g. half-life needs a "
@@ -408,8 +418,12 @@ void write_spec_summary_json(std::ostream& out, const SweepSpec& spec,
   for (std::size_t j = 0; j < spec.axes.size(); ++j) {
     const SweepAxis& axis = spec.axes[j];
     if (j) out << ", ";
+    // "integral" lets a reader reconstruct labels for a policy-parameter
+    // axis its own registry does not know (a config-defined policy's
+    // parameter read back by `merge` without the config file).
     out << "{\"name\": \"" << json_escape(axis.name) << "\", \"scope\": \""
-        << scope_label(axis.scope) << "\", \"values\": [";
+        << scope_label(axis.scope) << "\", \"integral\": "
+        << (axis.integral ? "true" : "false") << ", \"values\": [";
     for (std::size_t v = 0; v < axis.values.size(); ++v) {
       if (v) out << ", ";
       out << exact(axis.values[v]);
@@ -445,8 +459,26 @@ SweepSpec spec_from_summary_json(const JsonValue& summary) {
     for (const JsonValue& v : axis_json.at("values").items()) {
       values.push_back(v.as_double());
     }
-    SweepAxis axis =
-        make_axis(axis_json.at("name").as_string(), std::move(values));
+    const std::string name = axis_json.at("name").as_string();
+    SweepAxis axis;
+    try {
+      axis = make_axis(name, values);
+    } catch (const std::invalid_argument&) {
+      // A policy-parameter axis of a policy this process has not loaded
+      // (e.g. `merge` without the defining --config). Reporting needs
+      // only the name, values and label form, all of which the summary
+      // carries; the axis cannot be re-executed, matching the rest of
+      // the reconstructed spec.
+      axis.name = name;
+      axis.bind = SweepAxis::Bind::kPolicyParam;
+      axis.param = name;
+      axis.values = std::move(values);
+    }
+    // The writing process's label form wins over this process's catalog
+    // (absent in pre-redesign artifacts, whose axes make_axis resolves).
+    if (const JsonValue* integral = axis_json.find("integral")) {
+      axis.integral = integral->as_bool();
+    }
     const std::string& scope = axis_json.at("scope").as_string();
     if (scope != "workload" && scope != "policy") {
       throw std::invalid_argument("bad axis scope '" + scope + "'");
@@ -465,7 +497,9 @@ void write_plan_json(std::ostream& out, const SweepPlan& plan,
                 static_cast<unsigned long long>(plan.fingerprint));
   out << "{\n";
   out << "  \"format\": \"fairsched-sweep-plan\",\n";
-  out << "  \"version\": 1,\n";
+  // Version 2: the open policy API — fingerprints hash policy *content
+  // keys* (registry definitions included), not just policy names.
+  out << "  \"version\": 2,\n";
   out << "  \"fingerprint\": \"" << fp << "\",\n";
   out << "  \"shard\": {\"index\": " << plan.shard.index
       << ", \"count\": " << plan.shard.count << "},\n";

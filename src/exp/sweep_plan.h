@@ -59,6 +59,11 @@ struct SweepPlan {
   SweepSpec spec;
   SweepShard shard;
 
+  // The registry the plan's policy names were resolved through; the
+  // executor instantiates the bound specs through it. Non-owning — the
+  // registry (usually PolicyRegistry::global()) must outlive the plan.
+  const PolicyRegistry* registry = &PolicyRegistry::global();
+
   // Grid dimensions.
   std::size_t num_points = 1;
   std::size_t num_workloads = 0;
@@ -66,12 +71,12 @@ struct SweepPlan {
   std::size_t num_tasks = 0;  // global: num_points * workloads * instances
 
   // Axis values bound up front, O(cells):
-  std::vector<Time> horizons;                   // per axis point
-  std::vector<AlgorithmSpec> algorithms;        // per policy, unbound
-  std::vector<AlgorithmSpec> bound_algorithms;  // [point * policies + p]
-  std::vector<SweepWorkload> bound_workloads;   // [point * workloads + w]
+  std::vector<Time> horizons;                // per axis point
+  std::vector<PolicySpec> algorithms;        // per policy, unbound
+  std::vector<PolicySpec> bound_algorithms;  // [point * policies + p]
+  std::vector<SweepWorkload> bound_workloads;  // [point * workloads + w]
   bool has_baseline = false;
-  AlgorithmSpec baseline;
+  PolicySpec baseline;
 
   // Prefix groups: axis points sharing every workload-scoped axis value.
   std::vector<std::size_t> group_of;   // per axis point
@@ -169,8 +174,9 @@ SweepSpec spec_from_summary_json(const JsonValue& summary);
 // keys — if the two drifted apart, a new generator field captured by one
 // but not the other would let distinct content collide on one key, which
 // the disk tier's full-key validation could then no longer catch.
+// Policy content keys come from PolicyRegistry::content_key, so a
+// config-defined policy's key embeds its whole definition.
 std::string synthetic_content_key(const SyntheticSpec& spec);
-std::string algorithm_content_key(const AlgorithmSpec& spec);
 std::string workload_content_key(const SweepWorkload& workload, Time horizon,
                                  std::uint64_t seed);
 

@@ -1,0 +1,105 @@
+#include "sched/algorithm.h"
+
+#include <stdexcept>
+
+#include "sched/rand_fair.h"
+#include "sched/ref.h"
+#include "util/rng.h"
+
+namespace fairsched {
+
+RunResult PolicyAlgorithm::run(const Instance& inst, Time horizon,
+                               std::uint64_t seed) const {
+  EngineOptions options = options_;
+  options.seed = seed;
+  Engine engine(inst, options);
+  std::unique_ptr<Policy> policy = maker_(seed);
+  engine.run(*policy, horizon);
+  RunResult result;
+  result.schedule = engine.schedule();
+  result.utilities2.resize(inst.num_orgs());
+  for (OrgId u = 0; u < inst.num_orgs(); ++u) {
+    result.utilities2[u] = engine.psi2(u);
+  }
+  result.work_done = engine.total_work_done();
+  return result;
+}
+
+RunResult RefAlgorithm::run(const Instance& inst, Time horizon,
+                            std::uint64_t /*seed*/) const {
+  RefScheduler ref(inst);
+  ref.run(horizon);
+  RunResult result;
+  result.schedule = ref.schedule();
+  result.utilities2 = ref.utilities2();
+  result.work_done = ref.reference_work();
+  return result;
+}
+
+RunResult RandAlgorithm::run(const Instance& inst, Time horizon,
+                             std::uint64_t seed) const {
+  RandScheduler rand(inst, RandOptions{samples_, seed});
+  rand.run(horizon);
+  RunResult result;
+  result.schedule = rand.schedule();
+  result.utilities2 = rand.utilities2();
+  result.work_done = rand.work_done();
+  return result;
+}
+
+void SwitchPolicy::reset(const PolicyView& view) {
+  before_->reset(view);
+  after_->reset(view);
+}
+
+OrgId SwitchPolicy::select(const PolicyView& view) {
+  return view.now() < switch_at_ ? before_->select(view)
+                                 : after_->select(view);
+}
+
+void SwitchPolicy::on_start(const PolicyView& view, OrgId org,
+                            std::uint32_t index, MachineId machine) {
+  before_->on_start(view, org, index, machine);
+  after_->on_start(view, org, index, machine);
+}
+
+MixturePolicy::MixturePolicy(std::vector<Component> components,
+                             std::uint64_t seed)
+    : components_(std::move(components)), state_(seed) {
+  if (components_.empty()) {
+    throw std::invalid_argument("MixturePolicy: no components");
+  }
+  for (const Component& component : components_) {
+    if (!(component.weight > 0)) {
+      throw std::invalid_argument(
+          "MixturePolicy: component weights must be positive");
+    }
+    total_weight_ += component.weight;
+  }
+}
+
+void MixturePolicy::reset(const PolicyView& view) {
+  for (Component& component : components_) component.policy->reset(view);
+}
+
+OrgId MixturePolicy::select(const PolicyView& view) {
+  // One splitmix64 draw per decision: cheap, stateless across components,
+  // and deterministic for a fixed (seed, decision index) stream.
+  const double u = static_cast<double>(splitmix64(state_) >> 11) *
+                   0x1.0p-53 * total_weight_;
+  double cumulative = 0.0;
+  for (Component& component : components_) {
+    cumulative += component.weight;
+    if (u < cumulative) return component.policy->select(view);
+  }
+  return components_.back().policy->select(view);
+}
+
+void MixturePolicy::on_start(const PolicyView& view, OrgId org,
+                             std::uint32_t index, MachineId machine) {
+  for (Component& component : components_) {
+    component.policy->on_start(view, org, index, machine);
+  }
+}
+
+}  // namespace fairsched

@@ -1,0 +1,137 @@
+#pragma once
+
+// The unified runnable seam of the open policy API.
+//
+// An Algorithm is anything that can be executed on an instance up to a
+// horizon and report the quantities the experiments need (Section 7):
+// the schedule, the strategy-proof utility vector at the horizon, and the
+// completed work. Both shapes of scheduler in the paper fit behind the one
+// run() method:
+//
+//   * Policy-shaped schedulers (fair share, round robin, ...) — a Policy
+//     driven step-by-step by sim/engine.h (PolicyAlgorithm below);
+//   * whole-schedule algorithms (REF's exact exponential reference, RAND's
+//     sampled approximation) — adapters over sched/ref.h / sched/rand_fair.h
+//     that produce the entire schedule themselves.
+//
+// Instances are resolved from a PolicySpec by the policy registry
+// (exp/policy_registry.h); nothing above that layer switches on a closed
+// algorithm enum. Every implementation must be a deterministic function of
+// (instance, horizon, seed): the sweep engine's caches and shard merges
+// rely on replayed runs being bit-identical.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/schedule.h"
+#include "core/types.h"
+#include "sim/engine.h"
+#include "sim/policy.h"
+
+namespace fairsched {
+
+struct RunResult {
+  Schedule schedule;
+  std::vector<HalfUtil> utilities2;  // 2*psi_sp per organization at horizon
+  std::int64_t work_done = 0;        // completed unit parts at horizon
+};
+
+class Algorithm {
+ public:
+  virtual ~Algorithm() = default;
+
+  // Runs on `inst` until `horizon`. `seed` feeds the algorithm's internal
+  // randomness (RAND's permutations, random machine picks); deterministic
+  // algorithms ignore it.
+  virtual RunResult run(const Instance& inst, Time horizon,
+                        std::uint64_t seed) const = 0;
+};
+
+// Builds a fresh Policy for one run; `seed` feeds randomized policies.
+using PolicyMaker =
+    std::function<std::unique_ptr<Policy>(std::uint64_t seed)>;
+
+// A Policy-shaped scheduler: drives `maker`'s policy through the engine.
+// `options` configures the engine (e.g. DirectContr's random machine pick,
+// Fig. 9); options.seed is overwritten with the run seed.
+class PolicyAlgorithm final : public Algorithm {
+ public:
+  explicit PolicyAlgorithm(PolicyMaker maker, EngineOptions options = {})
+      : maker_(std::move(maker)), options_(options) {}
+
+  RunResult run(const Instance& inst, Time horizon,
+                std::uint64_t seed) const override;
+
+ private:
+  PolicyMaker maker_;
+  EngineOptions options_;
+};
+
+// REF: the exact exponential fair reference (Fig. 3).
+class RefAlgorithm final : public Algorithm {
+ public:
+  RunResult run(const Instance& inst, Time horizon,
+                std::uint64_t seed) const override;
+};
+
+// RAND: the randomized Shapley approximation (Fig. 6 / Thm 5.6).
+class RandAlgorithm final : public Algorithm {
+ public:
+  explicit RandAlgorithm(std::size_t samples) : samples_(samples) {}
+  RunResult run(const Instance& inst, Time horizon,
+                std::uint64_t seed) const override;
+
+ private:
+  std::size_t samples_;
+};
+
+// --- Policy compositions (config-defined policies build on these) -----------
+
+// Runs `before` until view.now() >= switch_at, then `after`. Both
+// sub-policies observe every reset/on_start notification so their internal
+// accounting tracks the whole run.
+class SwitchPolicy final : public Policy {
+ public:
+  SwitchPolicy(std::unique_ptr<Policy> before, std::unique_ptr<Policy> after,
+               Time switch_at)
+      : before_(std::move(before)), after_(std::move(after)),
+        switch_at_(switch_at) {}
+
+  void reset(const PolicyView& view) override;
+  OrgId select(const PolicyView& view) override;
+  void on_start(const PolicyView& view, OrgId org, std::uint32_t index,
+                MachineId machine) override;
+
+ private:
+  std::unique_ptr<Policy> before_;
+  std::unique_ptr<Policy> after_;
+  Time switch_at_;
+};
+
+// Weighted random mixture: each select() delegates to one sub-policy drawn
+// with probability proportional to its weight (deterministic given the
+// seed). All sub-policies observe every notification.
+class MixturePolicy final : public Policy {
+ public:
+  struct Component {
+    std::unique_ptr<Policy> policy;
+    double weight = 1.0;
+  };
+  MixturePolicy(std::vector<Component> components, std::uint64_t seed);
+
+  void reset(const PolicyView& view) override;
+  OrgId select(const PolicyView& view) override;
+  void on_start(const PolicyView& view, OrgId org, std::uint32_t index,
+                MachineId machine) override;
+
+ private:
+  std::vector<Component> components_;
+  double total_weight_ = 0.0;
+  std::uint64_t state_;  // splitmix-style stream, advanced per decision
+};
+
+}  // namespace fairsched

@@ -1,0 +1,67 @@
+#include "sched/policy_spec.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fairsched {
+
+namespace {
+
+// Shortest decimal form that strtod round-trips to exactly `v`. Integral
+// values below 2^53 print as plain integers so legacy suffix names
+// ("decayfairshare2000") and axis labels stay free of ".0" / exponents.
+std::string shortest_exact(double v) {
+  // Magnitude check first: the round-trip cast below is UB outside the
+  // int64 range (and for non-finite values).
+  if (v >= -9.007199254740992e15 && v <= 9.007199254740992e15 &&
+      v == static_cast<double>(static_cast<std::int64_t>(v))) {
+    return std::to_string(static_cast<std::int64_t>(v));
+  }
+  char buf[64];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) return buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+PolicyParam PolicyParam::of_int(std::int64_t v) {
+  PolicyParam param;
+  param.type = Type::kInt;
+  param.int_value = v;
+  return param;
+}
+
+PolicyParam PolicyParam::of_real(double v) {
+  PolicyParam param;
+  param.type = Type::kReal;
+  param.real_value = v;
+  return param;
+}
+
+double PolicyParam::as_double() const {
+  return type == Type::kInt ? static_cast<double>(int_value) : real_value;
+}
+
+std::string PolicyParam::to_string() const {
+  return type == Type::kInt ? std::to_string(int_value)
+                            : shortest_exact(real_value);
+}
+
+std::string PolicySpec::to_string() const {
+  if (params.empty()) return base;
+  std::string out = base + "(";
+  bool first = true;
+  for (const auto& [key, value] : params) {
+    if (!first) out += ", ";
+    first = false;
+    out += key + "=" + value.to_string();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace fairsched

@@ -1,0 +1,65 @@
+#pragma once
+
+// PolicySpec: the open, self-describing identity of a scheduling algorithm.
+//
+// A spec is pure data — a registered base name plus a sorted map of typed
+// parameter values — with a single canonical string form that the whole
+// stack uses uniformly: display names and CSV/JSON policy columns, sweep
+// plan fingerprints, and workload/baseline cache keys (exp/sweep_plan.h,
+// exp/workload_cache.h). Two specs compare equal exactly when their
+// canonical strings are equal, so equality implies identical cache keys
+// and fingerprints.
+//
+// The grammar and the parameter declarations (types, ranges, defaults)
+// live in exp/policy_registry.h; this header only defines the value type
+// so the sched/ layer can run a spec without knowing how it was named.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace fairsched {
+
+// One typed parameter value. Integers and reals keep distinct identities
+// so a canonical form never conflates "15" with "15.0" and an integral
+// parameter can reject fractional input instead of truncating it.
+struct PolicyParam {
+  enum class Type { kInt, kReal };
+
+  Type type = Type::kReal;
+  std::int64_t int_value = 0;
+  double real_value = 0.0;
+
+  static PolicyParam of_int(std::int64_t v);
+  static PolicyParam of_real(double v);
+
+  // The numeric value regardless of type (axis binding works in doubles).
+  double as_double() const;
+
+  // Canonical text: integers in plain decimal; reals in the shortest
+  // decimal form that strtod round-trips bit-exactly (integral reals
+  // print without a decimal point, e.g. 2000.0 -> "2000", so legacy
+  // suffix names like "decayfairshare2000" are stable).
+  std::string to_string() const;
+
+  friend bool operator==(const PolicyParam&, const PolicyParam&) = default;
+};
+
+struct PolicySpec {
+  // Registered base name, lower-case (e.g. "rand", "decayfairshare", or a
+  // config-defined name).
+  std::string base;
+  // Every declared parameter of the base, defaults filled in — the map is
+  // always complete, so map equality is spec equality.
+  std::map<std::string, PolicyParam> params;
+
+  // Registry-independent debug/display form: base, plus "(k=v, ...)" when
+  // any parameters are present. The *canonical* user-facing name (which
+  // prints legacy suffix forms like "rand15") additionally needs the
+  // registry's declarations: see PolicyRegistry::canonical_name.
+  std::string to_string() const;
+
+  friend bool operator==(const PolicySpec&, const PolicySpec&) = default;
+};
+
+}  // namespace fairsched

@@ -1,170 +1,22 @@
 #include "sched/runner.h"
 
-#include <algorithm>
-#include <cctype>
-#include <cstdio>
-#include <stdexcept>
-
-#include "sched/decaying_fair_share.h"
-#include "sched/direct_contr.h"
-#include "sched/fair_share.h"
-#include "sched/random_policy.h"
-#include "sched/fcfs.h"
-#include "sched/rand_fair.h"
-#include "sched/ref.h"
-#include "sched/round_robin.h"
-#include "sim/engine.h"
+#include "exp/policy_registry.h"
 
 namespace fairsched {
 
-std::string AlgorithmSpec::display_name() const {
-  switch (id) {
-    case AlgorithmId::kRef:
-      return "Ref";
-    case AlgorithmId::kRand:
-      return "Rand (N=" + std::to_string(rand_samples) + ")";
-    case AlgorithmId::kDirectContr:
-      return "DirectContr";
-    case AlgorithmId::kRoundRobin:
-      return "RoundRobin";
-    case AlgorithmId::kFairShare:
-      return "FairShare";
-    case AlgorithmId::kUtFairShare:
-      return "UtFairShare";
-    case AlgorithmId::kCurrFairShare:
-      return "CurrFairShare";
-    case AlgorithmId::kDecayFairShare: {
-      char buf[48];
-      std::snprintf(buf, sizeof(buf), "DecayFairShare (h=%g)",
-                    decay_half_life);
-      return buf;
-    }
-    case AlgorithmId::kRandom:
-      return "Random";
-    case AlgorithmId::kFcfs:
-      return "Fcfs";
-  }
-  return "?";
+PolicySpec parse_algorithm(const std::string& name) {
+  return exp::PolicyRegistry::global().make(name);
 }
 
-AlgorithmSpec parse_algorithm(const std::string& name) {
-  std::string lower;
-  for (char c : name) lower += static_cast<char>(std::tolower(c));
-  AlgorithmSpec spec;
-  if (lower == "ref") {
-    spec.id = AlgorithmId::kRef;
-  } else if (lower == "random") {
-    spec.id = AlgorithmId::kRandom;
-  } else if (lower.rfind("rand", 0) == 0) {
-    spec.id = AlgorithmId::kRand;
-    const std::string suffix = lower.substr(4);
-    if (!suffix.empty()) {
-      spec.rand_samples = static_cast<std::size_t>(std::stoul(suffix));
-      if (spec.rand_samples == 0) {
-        throw std::invalid_argument("rand: sample count must be positive");
-      }
-    }
-  } else if (lower == "directcontr") {
-    spec.id = AlgorithmId::kDirectContr;
-  } else if (lower == "roundrobin") {
-    spec.id = AlgorithmId::kRoundRobin;
-  } else if (lower == "fairshare") {
-    spec.id = AlgorithmId::kFairShare;
-  } else if (lower == "utfairshare") {
-    spec.id = AlgorithmId::kUtFairShare;
-  } else if (lower == "currfairshare") {
-    spec.id = AlgorithmId::kCurrFairShare;
-  } else if (lower.rfind("decayfairshare", 0) == 0) {
-    spec.id = AlgorithmId::kDecayFairShare;
-    const std::string suffix = lower.substr(14);
-    if (!suffix.empty()) {
-      spec.decay_half_life = std::stod(suffix);
-      if (spec.decay_half_life <= 0.0) {
-        throw std::invalid_argument(
-            "decayfairshare: half-life must be positive");
-      }
-    }
-  } else if (lower == "fcfs") {
-    spec.id = AlgorithmId::kFcfs;
-  } else {
-    throw std::invalid_argument("unknown algorithm: " + name);
-  }
-  return spec;
-}
-
-std::unique_ptr<Policy> make_policy(AlgorithmId id, std::uint64_t seed) {
-  AlgorithmSpec spec;
-  spec.id = id;
-  return make_policy(spec, seed);
-}
-
-std::unique_ptr<Policy> make_policy(const AlgorithmSpec& spec,
-                                    std::uint64_t seed) {
-  switch (spec.id) {
-    case AlgorithmId::kDirectContr:
-      return std::make_unique<DirectContrPolicy>();
-    case AlgorithmId::kRoundRobin:
-      return std::make_unique<RoundRobinPolicy>();
-    case AlgorithmId::kFairShare:
-      return std::make_unique<FairSharePolicy>();
-    case AlgorithmId::kUtFairShare:
-      return std::make_unique<UtFairSharePolicy>();
-    case AlgorithmId::kCurrFairShare:
-      return std::make_unique<CurrFairSharePolicy>();
-    case AlgorithmId::kDecayFairShare:
-      return std::make_unique<DecayingFairSharePolicy>(spec.decay_half_life);
-    case AlgorithmId::kRandom:
-      return std::make_unique<RandomPolicy>(seed);
-    case AlgorithmId::kFcfs:
-      return std::make_unique<FcfsPolicy>();
-    case AlgorithmId::kRef:
-    case AlgorithmId::kRand:
-      throw std::invalid_argument(
-          "make_policy: REF/RAND are ensemble schedulers, not policies");
-  }
-  throw std::invalid_argument("make_policy: unknown algorithm");
-}
-
-RunResult run_algorithm(const Instance& inst, const AlgorithmSpec& spec,
+RunResult run_algorithm(const Instance& inst, const PolicySpec& spec,
                         Time horizon, std::uint64_t seed) {
-  RunResult result;
-  switch (spec.id) {
-    case AlgorithmId::kRef: {
-      RefScheduler ref(inst);
-      ref.run(horizon);
-      result.schedule = ref.schedule();
-      result.utilities2 = ref.utilities2();
-      result.work_done = ref.reference_work();
-      return result;
-    }
-    case AlgorithmId::kRand: {
-      RandScheduler rand(inst, RandOptions{spec.rand_samples, seed});
-      rand.run(horizon);
-      result.schedule = rand.schedule();
-      result.utilities2 = rand.utilities2();
-      result.work_done = rand.work_done();
-      return result;
-    }
-    default: {
-      EngineOptions options;
-      if (spec.id == AlgorithmId::kDirectContr) {
-        // Fig. 9 considers processors in a random order; the owner of the
-        // machine a job lands on receives the contribution credit.
-        options.machine_pick = MachinePick::kRandomFree;
-        options.seed = seed;
-      }
-      Engine engine(inst, options);
-      std::unique_ptr<Policy> policy = make_policy(spec, seed);
-      engine.run(*policy, horizon);
-      result.schedule = engine.schedule();
-      result.utilities2.resize(inst.num_orgs());
-      for (OrgId u = 0; u < inst.num_orgs(); ++u) {
-        result.utilities2[u] = engine.psi2(u);
-      }
-      result.work_done = engine.total_work_done();
-      return result;
-    }
-  }
+  return exp::PolicyRegistry::global().instantiate(spec)->run(inst, horizon,
+                                                              seed);
+}
+
+std::unique_ptr<Policy> make_policy(const PolicySpec& spec,
+                                    std::uint64_t seed) {
+  return exp::PolicyRegistry::global().make_policy(spec, seed);
 }
 
 }  // namespace fairsched

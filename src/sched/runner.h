@@ -1,68 +1,46 @@
 #pragma once
 
-// A uniform way to run any of the paper's algorithms on an instance and
-// collect the quantities the experiments need (Section 7): the schedule,
-// the strategy-proof utility vector at the horizon, and the completed work.
+// DEPRECATED compatibility shims over the open policy API.
+//
+// The closed AlgorithmId/AlgorithmSpec dispatch that used to live here was
+// replaced by PolicySpec (sched/policy_spec.h) + the Algorithm interface
+// (sched/algorithm.h) + the self-describing PolicyRegistry
+// (exp/policy_registry.h), which owns the one name grammar. These free
+// functions remain as thin delegates to the global registry so existing
+// call sites (tests, examples, benches) keep working; new code should use
+// the registry directly:
+//
+//   PolicyRegistry::global().make("rand75")          -> PolicySpec
+//   PolicyRegistry::global().instantiate(spec)       -> Algorithm
+//   PolicyRegistry::global().make_policy(spec, seed) -> Policy
 
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <vector>
 
 #include "core/instance.h"
-#include "core/schedule.h"
 #include "core/types.h"
+#include "sched/algorithm.h"
+#include "sched/policy_spec.h"
 #include "sim/policy.h"
 
 namespace fairsched {
 
-enum class AlgorithmId {
-  kRef,            // exact exponential reference (REF)
-  kRand,           // randomized approximation (RAND)
-  kDirectContr,    // direct-contribution heuristic
-  kRoundRobin,
-  kFairShare,
-  kUtFairShare,
-  kCurrFairShare,
-  kDecayFairShare, // fair share with exponential usage decay (extension)
-  kRandom,         // uniformly random waiting organization (extension)
-  kFcfs,
-};
+// Deprecated: use PolicyRegistry::global().make(name). Parses names like
+// "ref", "rand15", "decayfairshare2000", "fairshare(...)"
+// (case-insensitive); throws std::invalid_argument on unknown names.
+PolicySpec parse_algorithm(const std::string& name);
 
-struct AlgorithmSpec {
-  AlgorithmId id = AlgorithmId::kFairShare;
-  std::size_t rand_samples = 15;    // N for kRand
-  double decay_half_life = 5000.0;  // for kDecayFairShare
-  std::string display_name() const;
-
-  // Specs comparing equal produce bit-identical runs for the same
-  // (instance, horizon, seed); the sweep engine's workload/baseline cache
-  // relies on this to share runs across axis points (exp/workload_cache.h).
-  friend bool operator==(const AlgorithmSpec&, const AlgorithmSpec&) = default;
-};
-
-// Parses names like "ref", "rand15", "rand75", "directcontr", "roundrobin",
-// "fairshare", "utfairshare", "currfairshare", "decayfairshare2000",
-// "random", "fcfs" (case-insensitive). Throws std::invalid_argument on
-// unknown names.
-AlgorithmSpec parse_algorithm(const std::string& name);
-
-struct RunResult {
-  Schedule schedule;
-  std::vector<HalfUtil> utilities2;  // 2*psi_sp per organization at horizon
-  std::int64_t work_done = 0;        // completed unit parts at horizon
-};
-
-// Runs the algorithm on `inst` until `horizon`. `seed` feeds the algorithm's
-// internal randomness (RAND's permutations, DIRECTCONTR's machine order);
-// deterministic algorithms ignore it.
-RunResult run_algorithm(const Instance& inst, const AlgorithmSpec& spec,
+// Deprecated: use PolicyRegistry::global().instantiate(spec)->run(...).
+// Runs the algorithm on `inst` until `horizon`. `seed` feeds the
+// algorithm's internal randomness; deterministic algorithms ignore it.
+RunResult run_algorithm(const Instance& inst, const PolicySpec& spec,
                         Time horizon, std::uint64_t seed);
 
-// Factory for the plain policies (not REF/RAND, which are not Policy-shaped).
-// `seed` feeds randomized policies; deterministic ones ignore it.
-std::unique_ptr<Policy> make_policy(AlgorithmId id, std::uint64_t seed = 0);
-std::unique_ptr<Policy> make_policy(const AlgorithmSpec& spec,
+// Deprecated: use PolicyRegistry::global().make_policy(spec, seed).
+// Factory for the engine-shaped policies (not REF/RAND, which are
+// whole-schedule algorithms — those throw std::invalid_argument).
+std::unique_ptr<Policy> make_policy(const PolicySpec& spec,
                                     std::uint64_t seed = 0);
 
 }  // namespace fairsched

@@ -26,14 +26,14 @@ TEST(EdgeCases, CoalitionWithMachinesButNoJobs) {
   const Instance inst = std::move(b).build();
   // Coalition of just the idle org: machines but nothing to run.
   Engine e(inst, Coalition::singleton(0));
-  auto policy = make_policy(AlgorithmId::kFcfs);
+  auto policy = make_policy(parse_algorithm("fcfs"));
   e.run(*policy, 50);
   EXPECT_EQ(e.total_work_done(), 0);
   EXPECT_EQ(e.value2(), 0);
   // Coalition of just the busy org: jobs but no machines — nothing runs,
   // no crash, no events beyond releases.
   Engine e2(inst, Coalition::singleton(1));
-  auto policy2 = make_policy(AlgorithmId::kFcfs);
+  auto policy2 = make_policy(parse_algorithm("fcfs"));
   e2.run(*policy2, 50);
   EXPECT_EQ(e2.total_work_done(), 0);
   EXPECT_EQ(e2.waiting(busy), 1u);

@@ -26,32 +26,35 @@ namespace {
 
 TEST(PolicyRegistry, ResolvesFixedNames) {
   PolicyRegistry& registry = PolicyRegistry::global();
-  EXPECT_EQ(registry.make("fcfs").id, AlgorithmId::kFcfs);
-  EXPECT_EQ(registry.make("roundrobin").id, AlgorithmId::kRoundRobin);
-  EXPECT_EQ(registry.make("fairshare").id, AlgorithmId::kFairShare);
-  EXPECT_EQ(registry.make("utfairshare").id, AlgorithmId::kUtFairShare);
-  EXPECT_EQ(registry.make("currfairshare").id, AlgorithmId::kCurrFairShare);
-  EXPECT_EQ(registry.make("directcontr").id, AlgorithmId::kDirectContr);
-  EXPECT_EQ(registry.make("random").id, AlgorithmId::kRandom);
-  EXPECT_EQ(registry.make("ref").id, AlgorithmId::kRef);
+  for (const char* name :
+       {"fcfs", "roundrobin", "fairshare", "utfairshare", "currfairshare",
+        "directcontr", "random", "ref"}) {
+    const PolicySpec spec = registry.make(name);
+    EXPECT_EQ(spec.base, name);
+    EXPECT_TRUE(spec.params.empty()) << name;
+  }
 }
 
 TEST(PolicyRegistry, ResolvesParameterizedNames) {
   PolicyRegistry& registry = PolicyRegistry::global();
-  const AlgorithmSpec rand = registry.make("rand75");
-  EXPECT_EQ(rand.id, AlgorithmId::kRand);
-  EXPECT_EQ(rand.rand_samples, 75u);
+  const PolicySpec rand = registry.make("rand75");
+  EXPECT_EQ(rand.base, "rand");
+  EXPECT_EQ(rand.params.at("samples").int_value, 75);
   // Bare "rand" uses the paper's default sample count.
-  EXPECT_EQ(registry.make("rand").id, AlgorithmId::kRand);
-  const AlgorithmSpec decay = registry.make("decayfairshare2500");
-  EXPECT_EQ(decay.id, AlgorithmId::kDecayFairShare);
-  EXPECT_DOUBLE_EQ(decay.decay_half_life, 2500.0);
+  EXPECT_EQ(registry.make("rand").params.at("samples").int_value, 15);
+  const PolicySpec decay = registry.make("decayfairshare2500");
+  EXPECT_EQ(decay.base, "decayfairshare");
+  EXPECT_DOUBLE_EQ(decay.params.at("half-life").real_value, 2500.0);
+  // The bracket form names any declared parameter and is equivalent.
+  EXPECT_EQ(registry.make("rand(samples=75)"), rand);
+  EXPECT_EQ(registry.make("decayfairshare(half-life=2500)"), decay);
+  EXPECT_EQ(registry.make("decayfairshare(half_life = 2500)"), decay);
 }
 
 TEST(PolicyRegistry, IsCaseInsensitive) {
   PolicyRegistry& registry = PolicyRegistry::global();
-  EXPECT_EQ(registry.make("RoundRobin").id, AlgorithmId::kRoundRobin);
-  EXPECT_EQ(registry.make("RAND15").rand_samples, 15u);
+  EXPECT_EQ(registry.make("RoundRobin").base, "roundrobin");
+  EXPECT_EQ(registry.make("RAND15").params.at("samples").int_value, 15);
 }
 
 TEST(PolicyRegistry, UnknownNameThrowsWithKnownList) {
@@ -78,14 +81,54 @@ TEST(PolicyRegistry, UnknownNameThrowsWithKnownList) {
   EXPECT_THROW(registry.make("rand1.5"), std::invalid_argument);
   // decayfairshare's half-life is fractional.
   EXPECT_TRUE(registry.contains("decayfairshare2500.5"));
-  EXPECT_DOUBLE_EQ(registry.make("decayfairshare2500.5").decay_half_life,
-                   2500.5);
+  EXPECT_DOUBLE_EQ(
+      registry.make("decayfairshare2500.5").params.at("half-life")
+          .real_value,
+      2500.5);
   EXPECT_FALSE(registry.contains("decayfairshare1.2.3"));
   EXPECT_THROW(registry.make("decayfairshare1.2.3"), std::invalid_argument);
   // An out-of-range parameter surfaces as invalid_argument, not
-  // std::out_of_range from the underlying stoul.
+  // std::out_of_range from the underlying conversion.
   EXPECT_TRUE(registry.contains("rand99999999999999999999"));
   EXPECT_THROW(registry.make("rand99999999999999999999"),
+               std::invalid_argument);
+  // Out-of-declared-range values are rejected with the range named.
+  try {
+    registry.make("rand0");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(">= 1"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(registry.make("decayfairshare0"), std::invalid_argument);
+}
+
+TEST(PolicyRegistry, UnknownBracketParameterSuggestsDeclaredOnes) {
+  PolicyRegistry& registry = PolicyRegistry::global();
+  try {
+    registry.make("rand(samplez=5)");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("unknown parameter 'samplez'"),
+              std::string::npos);
+    EXPECT_NE(message.find("did you mean 'samples'?"), std::string::npos);
+    EXPECT_NE(message.find("declared parameters: samples"),
+              std::string::npos);
+  }
+  // A parameter nothing resembles lists the declarations without a guess.
+  try {
+    registry.make("decayfairshare(zzz=5)");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_EQ(message.find("did you mean"), std::string::npos) << message;
+    EXPECT_NE(message.find("declared parameters: half-life"),
+              std::string::npos);
+  }
+  EXPECT_THROW(registry.make("rand(samples=5"), std::invalid_argument);
+  EXPECT_THROW(registry.make("rand(samples)"), std::invalid_argument);
+  EXPECT_THROW(registry.make("rand(samples=5,samples=6)"),
                std::invalid_argument);
 }
 
@@ -96,22 +139,27 @@ TEST(PolicyRegistry, CanonicalNamesRoundTrip) {
         "utfairshare", "currfairshare", "ref", "rand15", "rand75",
         "decayfairshare2000", "decayfairshare1000000",
         "decayfairshare123456.75"}) {
-    const AlgorithmSpec spec = registry.make(name);
+    const PolicySpec spec = registry.make(name);
     const std::string canonical = canonical_policy_name(spec);
-    const AlgorithmSpec again = registry.make(canonical);
-    EXPECT_EQ(again.id, spec.id) << name;
-    EXPECT_EQ(again.rand_samples, spec.rand_samples) << name;
-    EXPECT_DOUBLE_EQ(again.decay_half_life, spec.decay_half_life) << name;
+    EXPECT_EQ(canonical, name) << "already-canonical names are stable";
+    EXPECT_EQ(registry.make(canonical), spec) << name;
   }
+  // The suffix parameter always prints; bracket input canonicalizes to
+  // the legacy suffix form.
+  EXPECT_EQ(canonical_policy_name(registry.make("rand")), "rand15");
+  EXPECT_EQ(canonical_policy_name(registry.make("rand(samples=75)")),
+            "rand75");
+  EXPECT_EQ(canonical_policy_name(registry.make("decayfairshare")),
+            "decayfairshare5000");
 }
 
 TEST(PolicyRegistry, ParsesPolicyLists) {
-  const std::vector<AlgorithmSpec> specs =
+  const std::vector<PolicySpec> specs =
       parse_policy_list("fcfs, roundrobin ,rand5");
   ASSERT_EQ(specs.size(), 3u);
-  EXPECT_EQ(specs[0].id, AlgorithmId::kFcfs);
-  EXPECT_EQ(specs[1].id, AlgorithmId::kRoundRobin);
-  EXPECT_EQ(specs[2].rand_samples, 5u);
+  EXPECT_EQ(specs[0].base, "fcfs");
+  EXPECT_EQ(specs[1].base, "roundrobin");
+  EXPECT_EQ(specs[2].params.at("samples").int_value, 5);
   EXPECT_THROW(parse_policy_list(""), std::invalid_argument);
   EXPECT_THROW(parse_policy_list("fcfs,bogus"), std::invalid_argument);
 }
@@ -255,7 +303,12 @@ TEST(SweepDriver, BaselinelessSweepSkipsFairnessMetrics) {
 TEST(SweepAxis, MakeAxisResolvesNamesAndAliases) {
   EXPECT_EQ(make_axis("orgs", {2}).bind, SweepAxis::Bind::kOrgs);
   EXPECT_EQ(make_axis("half_life", {5}).name, "half-life");
-  EXPECT_EQ(make_axis("HalfLife", {5}).bind, SweepAxis::Bind::kHalfLife);
+  EXPECT_EQ(make_axis("HalfLife", {5}).bind, SweepAxis::Bind::kPolicyParam);
+  EXPECT_EQ(make_axis("half-life", {5}).scope, SweepAxis::Scope::kPolicy);
+  // Any declared policy parameter is an axis: rand's sample count too.
+  EXPECT_EQ(make_axis("samples", {1, 5}).bind,
+            SweepAxis::Bind::kPolicyParam);
+  EXPECT_TRUE(make_axis("samples", {1, 5}).integral);
   EXPECT_EQ(make_axis("duration", {5}).name, "horizon");
   EXPECT_EQ(make_axis("duration", {5}).bind, SweepAxis::Bind::kHorizon);
   EXPECT_EQ(make_axis("zipf-s", {1}).bind, SweepAxis::Bind::kZipfS);
@@ -514,21 +567,23 @@ TEST(WorkloadCacheSweep, PolicyScopedAxisMustBindAPolicy) {
   spec.policies.push_back("decayfairshare");
   EXPECT_NO_THROW(SweepDriver().run(spec));
   // Registry declarations behind the check:
-  EXPECT_EQ(PolicyRegistry::global().bound_axes("decayfairshare"),
-            (std::vector<std::string>{"half-life"}));
-  EXPECT_TRUE(PolicyRegistry::global().bound_axes("fairshare").empty());
+  EXPECT_NE(PolicyRegistry::global().param_for_axis("decayfairshare",
+                                                    "half-life"),
+            nullptr);
+  EXPECT_EQ(PolicyRegistry::global().param_for_axis("fairshare",
+                                                    "half-life"),
+            nullptr);
 }
 
-TEST(WorkloadCacheSweep, UndeclaredButActuallyBoundPolicyIsAccepted) {
-  // The declarative bound_axes metadata must not veto reality: a custom
-  // registration that forgets to declare "half-life" but resolves to a
-  // decaying spec genuinely varies along the axis, and the driver's
-  // ground-truth check (bound-spec variation) lets it run.
-  PolicyRegistry::global().register_policy(
-      "shadowdecay",
-      [](const std::string&) { return parse_algorithm("decayfairshare"); },
-      /*parameterized=*/false, /*fractional=*/false,
-      "decaying fair share registered without bound_axes (test double)");
+TEST(WorkloadCacheSweep, ConfigDefinedPolicyInheritsItsBaseAxes) {
+  // A config-defined policy derived from decayfairshare inherits the
+  // half-life declaration, so the axis binds it (and the prefix cache
+  // re-runs it per point while fairshare replays).
+  ConfigPolicyDef def;
+  def.name = "shadowdecay";
+  def.base = "decayfairshare";
+  def.overrides.push_back({"half-life", "1000"});
+  register_config_policy(PolicyRegistry::global(), def);
   SweepSpec spec = small_sweep(1);
   spec.policies = {"shadowdecay", "fairshare"};
   spec.instances = 2;
@@ -537,6 +592,11 @@ TEST(WorkloadCacheSweep, UndeclaredButActuallyBoundPolicyIsAccepted) {
   EXPECT_EQ(result.prefix_groups, 1u);
   // fairshare replays across the group; shadowdecay re-runs per point.
   EXPECT_EQ(result.replayed_runs, spec.instances);
+  // The derived entry is itself parameterized through the open grammar,
+  // and its runs match its base's at equal parameter values.
+  const PolicySpec derived =
+      PolicyRegistry::global().make("shadowdecay(half-life=20)");
+  EXPECT_DOUBLE_EQ(derived.params.at("half-life").real_value, 20.0);
 }
 
 TEST(WorkloadCacheSweep, WorkloadScopedBindsRejectPolicyScope) {
@@ -1092,7 +1152,7 @@ TEST(Scenarios, FairshareDecayIsADeclarativeHalfLifeAxis) {
   const SweepSpec spec = make_fairshare_decay_sweep(options);
   ASSERT_EQ(spec.axes.size(), 1u);
   EXPECT_EQ(spec.axes[0].name, "half-life");
-  EXPECT_EQ(spec.axes[0].bind, SweepAxis::Bind::kHalfLife);
+  EXPECT_EQ(spec.axes[0].bind, SweepAxis::Bind::kPolicyParam);
   EXPECT_EQ(spec.axes[0].values, (std::vector<double>{500, 2500, 10000,
                                                       50000}));
   // decayfairshare is in the policy set for the axis to bind onto.

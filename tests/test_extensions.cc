@@ -26,10 +26,10 @@ Instance contended_instance() {
 }
 
 TEST(DecayFairShare, ParsesWithHalfLife) {
-  const AlgorithmSpec spec = parse_algorithm("decayfairshare2500");
-  EXPECT_EQ(spec.id, AlgorithmId::kDecayFairShare);
-  EXPECT_DOUBLE_EQ(spec.decay_half_life, 2500.0);
-  EXPECT_EQ(spec.display_name(), "DecayFairShare (h=2500)");
+  const PolicySpec spec = parse_algorithm("decayfairshare2500");
+  EXPECT_EQ(spec.base, "decayfairshare");
+  EXPECT_DOUBLE_EQ(spec.params.at("half-life").real_value, 2500.0);
+  EXPECT_EQ(spec.to_string(), "decayfairshare(half-life=2500)");
   EXPECT_THROW(parse_algorithm("decayfairshare0"), std::invalid_argument);
 }
 
@@ -91,7 +91,7 @@ TEST(DecayFairShare, NoDecayDegeneratesToFairShare) {
   const Instance inst = contended_instance();
   Engine a(inst), b(inst);
   DecayingFairSharePolicy no_decay(0.0);
-  auto fairshare = make_policy(AlgorithmId::kFairShare);
+  auto fairshare = make_policy(parse_algorithm("fairshare"));
   a.run(no_decay, 150);
   b.run(*fairshare, 150);
   for (OrgId u = 0; u < inst.num_orgs(); ++u) {

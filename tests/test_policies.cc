@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "exp/policy_registry.h"
 #include "metrics/utility.h"
 #include "sched/runner.h"
 #include "sim/engine.h"
@@ -145,23 +146,29 @@ TEST(Runner, AllPolicyAlgorithmsProduceFeasibleSchedules) {
 }
 
 TEST(Runner, ParseAlgorithmNames) {
-  EXPECT_EQ(parse_algorithm("REF").id, AlgorithmId::kRef);
-  EXPECT_EQ(parse_algorithm("rand").rand_samples, 15u);
-  EXPECT_EQ(parse_algorithm("rand75").rand_samples, 75u);
-  EXPECT_EQ(parse_algorithm("Rand15").id, AlgorithmId::kRand);
-  EXPECT_EQ(parse_algorithm("DirectContr").id, AlgorithmId::kDirectContr);
+  // parse_algorithm is a deprecated shim over the registry's one grammar.
+  EXPECT_EQ(parse_algorithm("REF").base, "ref");
+  EXPECT_EQ(parse_algorithm("rand").params.at("samples").int_value, 15);
+  EXPECT_EQ(parse_algorithm("rand75").params.at("samples").int_value, 75);
+  EXPECT_EQ(parse_algorithm("Rand15").base, "rand");
+  EXPECT_EQ(parse_algorithm("DirectContr").base, "directcontr");
   EXPECT_THROW(parse_algorithm("bogus"), std::invalid_argument);
   EXPECT_THROW(parse_algorithm("rand0"), std::invalid_argument);
 }
 
 TEST(Runner, DisplayNames) {
-  EXPECT_EQ(parse_algorithm("rand15").display_name(), "Rand (N=15)");
-  EXPECT_EQ(parse_algorithm("fairshare").display_name(), "FairShare");
+  // The canonical name is the display form, used uniformly for CSV/JSON
+  // columns, fingerprints and cache keys.
+  EXPECT_EQ(exp::canonical_policy_name(parse_algorithm("rand15")),
+            "rand15");
+  EXPECT_EQ(exp::canonical_policy_name(parse_algorithm("fairshare")),
+            "fairshare");
+  EXPECT_EQ(parse_algorithm("rand15").to_string(), "rand(samples=15)");
 }
 
 TEST(Runner, MakePolicyRejectsEnsembleAlgorithms) {
-  EXPECT_THROW(make_policy(AlgorithmId::kRef), std::invalid_argument);
-  EXPECT_THROW(make_policy(AlgorithmId::kRand), std::invalid_argument);
+  EXPECT_THROW(make_policy(parse_algorithm("ref")), std::invalid_argument);
+  EXPECT_THROW(make_policy(parse_algorithm("rand")), std::invalid_argument);
 }
 
 }  // namespace

@@ -259,6 +259,95 @@ TEST(SweepConfig, ParsedConfigRunsEndToEnd) {
   EXPECT_EQ(result.cells.size(), 4u);
 }
 
+TEST(SweepConfig, PolicyBlocksDefineUsableEntries) {
+  const SweepSpec spec = parse(
+      "name = blocks\n"
+      "policies = cfgslow, cfgswitch, cfgmix, fairshare\n"
+      "workload = unit\n"
+      "instances = 2\n"
+      "duration = 120\n"
+      "jobs-per-org = 25\n"
+      "axis cfgswitch-switch-at = 30, 90\n"  // before the block on purpose
+      "\n"
+      "[policy cfgslow]\n"
+      "base = decayfairshare\n"
+      "half-life = 25000\n"
+      "description = long-memory decay\n"
+      "\n"
+      "[policy cfgswitch]\n"
+      "switch = fairshare, roundrobin\n"
+      "switch-at = 60\n"
+      "\n"
+      "[policy cfgmix]\n"
+      "mix = fairshare:0.7, roundrobin:0.3\n");
+  EXPECT_EQ(spec.policies,
+            (std::vector<std::string>{"cfgslow", "cfgswitch", "cfgmix",
+                                      "fairshare"}));
+  ASSERT_EQ(spec.axes.size(), 1u);
+  EXPECT_EQ(spec.axes[0].name, "cfgswitch-switch-at");
+  EXPECT_EQ(spec.axes[0].bind, SweepAxis::Bind::kPolicyParam);
+  EXPECT_EQ(spec.axes[0].scope, SweepAxis::Scope::kPolicy);
+
+  PolicyRegistry& registry = PolicyRegistry::global();
+  // The derived entry inherits its base's declarations with new defaults.
+  EXPECT_DOUBLE_EQ(
+      registry.make("cfgslow").params.at("half-life").real_value, 25000.0);
+  EXPECT_DOUBLE_EQ(registry.make("cfgslow(half-life=10)")
+                       .params.at("half-life")
+                       .real_value,
+                   10.0);
+  EXPECT_EQ(registry.make("cfgswitch").params.at("switch-at").int_value,
+            60);
+
+  // ...and the whole sweep runs end-to-end through the driver.
+  std::size_t runs = 0;
+  const SweepResult result =
+      SweepDriver().run(spec, nullptr, [&runs](const RunRecord&) { ++runs; });
+  EXPECT_EQ(result.axis_points, 2u);
+  EXPECT_EQ(runs, 2u * 2u * 4u);  // points x instances x policies
+}
+
+TEST(SweepConfig, SweepSectionReturnsToTopLevelKeys) {
+  const SweepSpec spec = parse(
+      "policies = cfgret, fcfs\n"
+      "workload = unit\n"
+      "[policy cfgret]\n"
+      "base = decayfairshare\n"
+      "[sweep]\n"
+      "instances = 7\n");
+  EXPECT_EQ(spec.instances, 7u);
+  EXPECT_EQ(spec.policies.front(), "cfgret");
+}
+
+TEST(SweepConfig, PolicyBlockErrorsCarrySourceContext) {
+  // Unknown override key: did-you-mean against the base's declarations.
+  expect_parse_error(
+      "policies = fcfs\nworkload = unit\n"
+      "[policy broken]\nbase = decayfairshare\nhalflife = 3\nhalf-lime = 2\n",
+      {"test.cfg:3", "half-lime", "did you mean 'half-life'?"});
+  expect_parse_error("policies = fcfs\n[policy x]\nbase = bogus\n",
+                     {"test.cfg:2", "unknown policy 'bogus'"});
+  expect_parse_error("policies = fcfs\n[policy x]\ndescription = only\n",
+                     {"test.cfg:2", "exactly one of"});
+  expect_parse_error(
+      "policies = fcfs\n[policy x]\nswitch = ref, fairshare\n"
+      "switch-at = 5\n",
+      {"test.cfg:2", "whole-schedule"});
+  expect_parse_error(
+      "policies = fcfs\n[policy x]\nswitch = fairshare, roundrobin\n",
+      {"test.cfg:2", "switch-at"});
+  expect_parse_error(
+      "policies = fcfs\n[policy x]\nmix = fairshare, roundrobin\n",
+      {"test.cfg:3", ":WEIGHT"});
+  expect_parse_error(
+      "policies = fcfs\n[policy x]\nbase = fcfs\n[policy x]\nbase = fcfs\n",
+      {"test.cfg:4", "duplicate [policy x]"});
+  expect_parse_error("policies = fcfs\n[policy fairshare]\nbase = fcfs\n",
+                     {"test.cfg:2", "built-in"});
+  expect_parse_error("policies = fcfs\n[section]\n",
+                     {"test.cfg:2", "unknown section"});
+}
+
 TEST(SweepConfig, SplitAndTrimHandlesWhitespaceAndEmpties) {
   EXPECT_EQ(split_and_trim(" a, b ,,c ", ','),
             (std::vector<std::string>{"a", "b", "c"}));

@@ -214,10 +214,36 @@ TEST(SweepPlan, ContentKeysSeparateDistinctContent) {
   EXPECT_NE(workload_content_key(spec.workloads[1], spec.horizon, 1), a);
   EXPECT_NE(workload_content_key(spec.workloads[0], spec.horizon + 1, 1),
             a);
-  const AlgorithmSpec rand15 = PolicyRegistry::global().make("rand15");
-  const AlgorithmSpec rand75 = PolicyRegistry::global().make("rand75");
-  EXPECT_NE(algorithm_content_key(rand15), algorithm_content_key(rand75));
-  EXPECT_EQ(algorithm_content_key(rand15), algorithm_content_key(rand15));
+  const PolicyRegistry& registry = PolicyRegistry::global();
+  const PolicySpec rand15 = registry.make("rand15");
+  const PolicySpec rand75 = registry.make("rand75");
+  EXPECT_NE(registry.content_key(rand15), registry.content_key(rand75));
+  EXPECT_EQ(registry.content_key(rand15), registry.content_key(rand15));
+  // Equal specs from different spellings share one content key (the
+  // cache-sharing contract of the canonical form).
+  EXPECT_EQ(registry.content_key(registry.make("rand(samples=15)")),
+            registry.content_key(rand15));
+}
+
+TEST(SweepPlan, ConfigDefinedPoliciesFingerprintByDefinition) {
+  // Two different definitions behind one name must never produce
+  // merge-compatible fingerprints: the fingerprint hashes content keys,
+  // which embed the whole definition.
+  SweepSpec spec = plan_sweep();
+  spec.policies = {"fpdemo", "fairshare"};
+  ConfigPolicyDef def;
+  def.name = "fpdemo";
+  def.base = "decayfairshare";
+  def.overrides.push_back({"half-life", "111"});
+  register_config_policy(PolicyRegistry::global(), def);
+  const std::uint64_t first = build_sweep_plan(spec).fingerprint;
+  def.overrides.back().second = "222";
+  register_config_policy(PolicyRegistry::global(), def);
+  const std::uint64_t second = build_sweep_plan(spec).fingerprint;
+  EXPECT_NE(first, second);
+  // Re-registering the identical definition is idempotent.
+  register_config_policy(PolicyRegistry::global(), def);
+  EXPECT_EQ(build_sweep_plan(spec).fingerprint, second);
 }
 
 }  // namespace

@@ -42,7 +42,7 @@ TEST(Prop54, UnitJobCoalitionValueIsGreedyInvariant) {
       for (const char* alg : {"fcfs", "roundrobin", "fairshare",
                               "currfairshare", "directcontr"}) {
         Engine engine(inst, Coalition(mask));
-        std::unique_ptr<Policy> policy = make_policy(parse_algorithm(alg).id);
+        std::unique_ptr<Policy> policy = make_policy(parse_algorithm(alg));
         engine.run(*policy, t);
         values.push_back(engine.value2());
       }
