@@ -5,13 +5,15 @@
 #include <benchmark/benchmark.h>
 
 #include "sched/rand_fair.h"
-#include "sched/runner.h"
+#include "exp/policy_registry.h"
 #include "shapley/shapley.h"
 #include "sim/engine.h"
 #include "workload/synthetic.h"
 
 namespace fairsched {
 namespace {
+// Shorthand for the open policy registry (see exp/policy_registry.h).
+exp::PolicyRegistry& registry() { return exp::PolicyRegistry::global(); }
 
 const Instance& bench_instance() {
   static const Instance inst = make_synthetic_instance(
@@ -23,7 +25,7 @@ void BM_EngineFcfs(benchmark::State& state) {
   const Instance& inst = bench_instance();
   for (auto _ : state) {
     const RunResult r =
-        run_algorithm(inst, parse_algorithm("fcfs"), 50000, 1);
+        registry().run(inst, "fcfs", 50000, 1);
     benchmark::DoNotOptimize(r.work_done);
   }
   state.counters["jobs_per_s"] = benchmark::Counter(
@@ -35,7 +37,7 @@ void BM_EngineDirectContr(benchmark::State& state) {
   const Instance& inst = bench_instance();
   for (auto _ : state) {
     const RunResult r =
-        run_algorithm(inst, parse_algorithm("directcontr"), 50000, 1);
+        registry().run(inst, "directcontr", 50000, 1);
     benchmark::DoNotOptimize(r.work_done);
   }
 }

@@ -12,13 +12,15 @@
 #include <vector>
 
 #include "metrics/utility.h"
-#include "sched/runner.h"
+#include "exp/policy_registry.h"
 #include "util/cli.h"
 #include "util/rng.h"
 #include "util/table.h"
 
 namespace fairsched {
 namespace {
+// Shorthand for the open policy registry (see exp/policy_registry.h).
+exp::PolicyRegistry& registry() { return exp::PolicyRegistry::global(); }
 
 struct JobSpec {
   Time release;
@@ -82,7 +84,7 @@ Outcome evaluate(const std::vector<JobSpec>& org0_jobs, Time horizon,
     b.add_job(other, t, 1 + static_cast<Time>(rng.uniform_u64(6)));
   }
   const Instance inst = std::move(b).build();
-  const RunResult r = run_algorithm(inst, parse_algorithm("fcfs"), horizon, 1);
+  const RunResult r = registry().run(inst, "fcfs", horizon, 1);
   Outcome out;
   out.psi_sp =
       static_cast<double>(sp_org_half_utility(inst, r.schedule, manip,

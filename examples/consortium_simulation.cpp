@@ -9,7 +9,6 @@
 
 #include "exp/policy_registry.h"
 #include "metrics/fairness.h"
-#include "sched/runner.h"
 #include "util/cli.h"
 #include "util/table.h"
 #include "workload/synthetic.h"
@@ -38,13 +37,13 @@ int main(int argc, char** argv) {
   std::printf("\ncomputing the fair reference (REF, 2^%u subcoalitions)...\n",
               inst.num_orgs());
   const RunResult ref =
-      run_algorithm(inst, parse_algorithm("ref"), duration, seed);
+      exp::PolicyRegistry::global().run(inst, "ref", duration, seed);
 
   AsciiTable table({"algorithm", "delta_psi/p_tot", "most favored",
                     "most disfavored"});
   for (const char* alg : {"rand15", "directcontr", "fairshare", "utfairshare",
                           "currfairshare", "roundrobin", "fcfs"}) {
-    const RunResult r = run_algorithm(inst, parse_algorithm(alg), duration,
+    const RunResult r = exp::PolicyRegistry::global().run(inst, alg, duration,
                                       seed);
     const double ratio =
         unfairness_ratio(r.utilities2, ref.utilities2, ref.work_done);
@@ -56,7 +55,7 @@ int main(int argc, char** argv) {
       if (entry.advantage < worst->advantage) worst = &entry;
     }
     table.add_row(
-        {exp::canonical_policy_name(parse_algorithm(alg)),
+        {exp::canonical_policy_name(exp::PolicyRegistry::global().make(alg)),
          AsciiTable::format_double(ratio, 2),
          inst.org(best->org).name + " (+" +
              AsciiTable::format_double(best->advantage, 0) + ")",

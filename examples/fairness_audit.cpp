@@ -16,7 +16,7 @@
 
 #include "metrics/fairness.h"
 #include "metrics/trajectory.h"
-#include "sched/runner.h"
+#include "exp/policy_registry.h"
 #include "util/cli.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -46,9 +46,9 @@ int main(int argc, char** argv) {
         preset_lpc_egee(), orgs, duration, MachineSplit::kZipf, 1.0,
         1000 + w);
     const RunResult ref =
-        run_algorithm(inst, parse_algorithm("ref"), duration, w);
+        exp::PolicyRegistry::global().run(inst, "ref", duration, w);
     const RunResult r =
-        run_algorithm(inst, parse_algorithm(audited), duration, w);
+        exp::PolicyRegistry::global().run(inst, audited, duration, w);
     const double ratio =
         unfairness_ratio(r.utilities2, ref.utilities2, ref.work_done);
     ratios.add(ratio);
@@ -82,9 +82,9 @@ int main(int argc, char** argv) {
     const Instance inst = make_synthetic_instance(
         preset_lpc_egee(), orgs, duration, MachineSplit::kZipf, 1.0, 1000);
     const RunResult ref =
-        run_algorithm(inst, parse_algorithm("ref"), duration, 0);
+        exp::PolicyRegistry::global().run(inst, "ref", duration, 0);
     const RunResult r =
-        run_algorithm(inst, parse_algorithm(audited), duration, 0);
+        exp::PolicyRegistry::global().run(inst, audited, duration, 0);
     const auto times = even_sample_times(duration, 8);
     const auto series =
         unfairness_trajectory(inst, r.schedule, ref.schedule, times);

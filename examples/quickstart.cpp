@@ -7,7 +7,7 @@
 #include <cstdio>
 
 #include "metrics/utility.h"
-#include "sched/runner.h"
+#include "exp/policy_registry.h"
 
 using namespace fairsched;
 
@@ -25,7 +25,7 @@ int main() {
   // --- 2. Run a fair scheduling algorithm ----------------------------------
   const Time horizon = 40;
   const RunResult result =
-      run_algorithm(inst, parse_algorithm("directcontr"), horizon, /*seed=*/1);
+      exp::PolicyRegistry::global().run(inst, "directcontr", horizon, /*seed=*/1);
 
   // --- 3. Inspect the outcome ----------------------------------------------
   std::printf("schedule (%zu placements):\n", result.schedule.size());

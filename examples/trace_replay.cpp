@@ -12,7 +12,7 @@
 #include <cstdio>
 
 #include "metrics/utility.h"
-#include "sched/runner.h"
+#include "exp/policy_registry.h"
 #include "util/cli.h"
 #include "workload/assignment.h"
 #include "workload/swf.h"
@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
               inst.num_orgs(), inst.total_machines(), inst.num_jobs());
 
   const RunResult r =
-      run_algorithm(inst, parse_algorithm(algorithm), duration, 1);
+      exp::PolicyRegistry::global().run(inst, algorithm, duration, 1);
   std::printf("\n%s over horizon %lld:\n", algorithm.c_str(),
               static_cast<long long>(duration));
   std::printf("  completed work: %lld unit-parts  (utilization %.1f%%)\n",

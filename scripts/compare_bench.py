@@ -66,6 +66,16 @@ MIN_SPEEDUP = {"fairshare-decay": 2.0}
 
 HIT_RATE_EPSILON = 1e-6
 
+# The ref-scaling engine microbench (BENCH_ref-scaling.json, written by
+# `fairsched_exp ref-scaling --smoke`) is compared differently from the
+# sweep pairs above: its event and decision counts are deterministic for
+# the smoke configuration — the engine's unified event stream and decision
+# sequence are part of the equivalence contract — so those are gated
+# exactly, while the wall-clock throughput only has to stay within a
+# generous machine-to-machine slack factor of the recorded baseline.
+REF_SCALING = "ref-scaling"
+REF_SCALING_WALL_SLACK = 8.0
+
 
 def load_bench(directory, sweep):
     path = pathlib.Path(directory) / f"BENCH_{sweep}.json"
@@ -111,6 +121,44 @@ def distill(cached, uncached, sweep):
     }
 
 
+def distill_ref_scaling(bench):
+    """One baseline record from a BENCH_ref-scaling.json microbench."""
+    engine = bench["engine"]
+    return {
+        "sweep": REF_SCALING,
+        "largest_orgs": bench["largest_orgs"],
+        "horizon": bench["horizon"],
+        "events": engine["events"],
+        "decisions": engine["decisions"],
+        "ref_wall_ms_per_run": bench["ref_wall_ms_per_run"],
+        "engine_wall_ms": engine["wall_ms"],
+        "events_per_sec": engine["events_per_sec"],
+        "decisions_per_sec": engine["decisions_per_sec"],
+    }
+
+
+def check_ref_scaling(baseline, current):
+    """Failure strings for the ref-scaling microbench pair, if any."""
+    failures = []
+    for key in ("largest_orgs", "horizon", "events", "decisions"):
+        if current[key] != baseline[key]:
+            failures.append(
+                f"{REF_SCALING}: {key} changed {baseline[key]} -> "
+                f"{current[key]} (the engine's event stream / decision "
+                f"sequence is part of the equivalence contract; re-record "
+                f"bench/baselines if the smoke config changed)"
+            )
+    ceiling = baseline["ref_wall_ms_per_run"] * REF_SCALING_WALL_SLACK
+    if current["ref_wall_ms_per_run"] > ceiling:
+        failures.append(
+            f"{REF_SCALING}: wall ms/run at the largest orgs point "
+            f"regressed past the {REF_SCALING_WALL_SLACK:.0f}x slack: "
+            f"{current['ref_wall_ms_per_run']:.2f} > {ceiling:.2f} "
+            f"(baseline {baseline['ref_wall_ms_per_run']:.2f})"
+        )
+    return failures
+
+
 def record(args):
     out = pathlib.Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
@@ -129,6 +177,16 @@ def record(args):
             f"speedup={current['speedup']:.2f} "
             f"elapsed_speedup={current['elapsed_speedup']:.2f}"
         )
+    current = distill_ref_scaling(load_bench(args.cached, REF_SCALING))
+    path = out / f"{REF_SCALING}.json"
+    with open(path, "w") as handle:
+        json.dump(current, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(
+        f"recorded {path}: events={current['events']} "
+        f"decisions={current['decisions']} "
+        f"wall_ms_per_run={current['ref_wall_ms_per_run']:.2f}"
+    )
     return 0
 
 
@@ -181,6 +239,24 @@ def check(args):
             f"speedup={current['speedup']:.2f} "
             f"(baseline {baseline['speedup']:.2f}) "
             f"elapsed_speedup={current['elapsed_speedup']:.2f}"
+        )
+
+    baseline_path = pathlib.Path(args.baselines) / f"{REF_SCALING}.json"
+    if not baseline_path.is_file():
+        failures.append(
+            f"{REF_SCALING}: no committed baseline {baseline_path}"
+        )
+    else:
+        with open(baseline_path) as handle:
+            baseline = json.load(handle)
+        current = distill_ref_scaling(load_bench(args.cached, REF_SCALING))
+        failures.extend(check_ref_scaling(baseline, current))
+        print(
+            f"{REF_SCALING}: events={current['events']} "
+            f"decisions={current['decisions']} "
+            f"wall_ms_per_run={current['ref_wall_ms_per_run']:.2f} "
+            f"(baseline {baseline['ref_wall_ms_per_run']:.2f}, "
+            f"slack {REF_SCALING_WALL_SLACK:.0f}x)"
         )
 
     if failures:

@@ -34,6 +34,10 @@ class Schedule {
 
   void add(const Placement& p);
 
+  // Pre-sizes the placement list (performance hint for engines that know
+  // the job count up front).
+  void reserve(std::size_t n) { placements_.reserve(n); }
+
   const std::vector<Placement>& placements() const { return placements_; }
   std::size_t size() const { return placements_.size(); }
 

@@ -135,7 +135,21 @@ class PolicyRegistry {
   // std::invalid_argument for whole-schedule entries (REF/RAND).
   std::unique_ptr<Policy> make_policy(const PolicySpec& spec,
                                       std::uint64_t seed = 0) const;
+  // By-name convenience: make_policy(make(name), seed).
+  std::unique_ptr<Policy> make_policy(const std::string& name,
+                                      std::uint64_t seed = 0) const {
+    return make_policy(make(name), seed);
+  }
   bool policy_shaped(const std::string& base) const;
+
+  // One-call convenience over make() + instantiate(): resolves `name`
+  // through the grammar and runs the algorithm on `inst` until `horizon`.
+  // `seed` feeds the algorithm's internal randomness; deterministic
+  // algorithms ignore it.
+  RunResult run(const Instance& inst, const std::string& name, Time horizon,
+                std::uint64_t seed) const {
+    return instantiate(make(name))->run(inst, horizon, seed);
+  }
 
   // The unique canonical name of a spec (see the grammar note above);
   // make(canonical_name(s)) == s for any spec make() produced.

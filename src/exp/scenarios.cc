@@ -1,6 +1,7 @@
 #include "exp/scenarios.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -15,8 +16,9 @@
 #include "exp/sweep_plan.h"
 #include "metrics/utility.h"
 #include "sched/rand_fair.h"
-#include "sched/runner.h"
+#include "sched/ref.h"
 #include "sim/engine.h"
+#include "util/json.h"
 #include "util/rng.h"
 #include "util/table.h"
 #include "workload/synthetic.h"
@@ -862,6 +864,91 @@ int run_sweep_scenario(const SweepSpec& spec,
   return emit_json_baseline(spec, result, options);
 }
 
+namespace {
+
+// Engine-core microbenchmark behind `ref-scaling --smoke`: one REF run on
+// the largest-orgs point of the orgs sweep (bit-identical instance — same
+// workload binding and seed derivation as the sweep's own cell), reporting
+// the incremental engine's throughput. Event and decision counts are
+// deterministic for the fixed smoke configuration, so the perf gate
+// (scripts/compare_bench.py) compares them exactly — a change means the
+// engine's event stream or decision sequence changed, which the
+// equivalence contract forbids — while the wall-clock rates are gated only
+// with generous slack.
+int emit_ref_engine_microbench(const SweepSpec& orgs_spec,
+                               double ref_wall_ms_per_run,
+                               const ScenarioOptions& options) {
+  const std::uint32_t largest_orgs = static_cast<std::uint32_t>(
+      orgs_spec.axes[0].values.back());
+  SweepWorkload workload = orgs_spec.workloads[0];
+  workload.orgs = largest_orgs;
+  const Time horizon = orgs_spec.horizon;
+  const Instance inst = make_workload_instance(
+      workload, horizon, mix_seed(orgs_spec.seed, 0));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  RefScheduler ref(inst);
+  ref.run(horizon);
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+
+  // Totals across all 2^k - 1 coalition engines — the work the unified
+  // event stream actually drove.
+  std::uint64_t events = 0;
+  std::uint64_t decisions = 0;
+  const Coalition grand = Coalition::grand(inst.num_orgs());
+  for (Coalition::Mask mask = 1; mask <= grand.mask(); ++mask) {
+    const Engine& engine = ref.engine(Coalition(mask));
+    events += engine.events_processed();
+    decisions += engine.decisions_made();
+  }
+  const double secs = wall_ms / 1000.0;
+
+  std::FILE* human = human_file(options);
+  std::fprintf(human,
+               "engine microbench (orgs=%u, horizon=%lld): %llu events, "
+               "%llu decisions in %.2f ms (%.0f events/s, %.0f "
+               "decisions/s)\n",
+               largest_orgs, static_cast<long long>(horizon),
+               static_cast<unsigned long long>(events),
+               static_cast<unsigned long long>(decisions), wall_ms,
+               secs > 0 ? static_cast<double>(events) / secs : 0.0,
+               secs > 0 ? static_cast<double>(decisions) / secs : 0.0);
+  if (!options.smoke) return 0;
+
+  const std::string path = "BENCH_ref-scaling.json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open JSON output: %s\n", path.c_str());
+    return 2;
+  }
+  out << "{\n";
+  out << "  \"sweep\": \"ref-scaling\",\n";
+  out << "  \"largest_orgs\": " << largest_orgs << ",\n";
+  out << "  \"horizon\": " << horizon << ",\n";
+  out << "  \"ref_wall_ms_per_run\": " << json_exact_double(ref_wall_ms_per_run)
+      << ",\n";
+  out << "  \"engine\": {\n";
+  out << "    \"events\": " << events << ",\n";
+  out << "    \"decisions\": " << decisions << ",\n";
+  out << "    \"wall_ms\": " << json_exact_double(wall_ms) << ",\n";
+  out << "    \"events_per_sec\": "
+      << json_exact_double(secs > 0 ? static_cast<double>(events) / secs : 0.0)
+      << ",\n";
+  out << "    \"decisions_per_sec\": "
+      << json_exact_double(
+             secs > 0 ? static_cast<double>(decisions) / secs : 0.0)
+      << "\n";
+  out << "  }\n";
+  out << "}\n";
+  std::fprintf(human, "wrote perf baseline: %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+
 int run_ref_scaling_scenario(const ScenarioOptions& options) {
   if (!options.csv_path.empty() || !options.json_path.empty() ||
       !options.stream_records_path.empty()) {
@@ -872,6 +959,7 @@ int run_ref_scaling_scenario(const ScenarioOptions& options) {
   }
   const std::vector<SweepSpec> sweeps = make_ref_scaling_sweeps(options);
   std::FILE* human = human_file(options);
+  double largest_orgs_wall_ms_per_run = 0.0;
   for (const SweepSpec& spec : sweeps) {
     std::fprintf(human, "%s\n", spec.title.c_str());
     SweepDriver driver;
@@ -883,11 +971,14 @@ int run_ref_scaling_scenario(const ScenarioOptions& options) {
     for (std::size_t a = 0; a < result.axis_points; ++a) {
       const SweepCell& cell = result.cell(spec, a, 0, 0);
       const std::size_t runs = cell.utilization.count();
+      const double per_run =
+          runs ? cell.wall_ms / static_cast<double>(runs) : 0.0;
+      if (spec.name == "ref-scaling-orgs" && a + 1 == result.axis_points) {
+        largest_orgs_wall_ms_per_run = per_run;
+      }
       table.add_row(
           {axis_value_label(spec.axes[0], axis_point_values(spec, a)[0]),
-           std::to_string(runs),
-           AsciiTable::format_double(
-               runs ? cell.wall_ms / static_cast<double>(runs) : 0.0, 2),
+           std::to_string(runs), AsciiTable::format_double(per_run, 2),
            std::to_string(cell.work_done)});
     }
     std::fputs(table.to_string().c_str(), human);
@@ -895,7 +986,8 @@ int run_ref_scaling_scenario(const ScenarioOptions& options) {
     if (const int rc = emit_json_baseline(spec, result, options)) return rc;
     std::fprintf(human, "\n%s\n\n", spec.note.c_str());
   }
-  return 0;
+  return emit_ref_engine_microbench(sweeps[0], largest_orgs_wall_ms_per_run,
+                                    options);
 }
 
 int run_merge_scenario(const std::vector<std::string>& paths,
@@ -1079,8 +1171,8 @@ int run_utilization_scenario(const ScenarioOptions& options) {
       hi = std::max(hi, util);
     }
     for (const char* alg : {"fcfs", "roundrobin", "fairshare"}) {
-      const RunResult r = run_algorithm(
-          inst, PolicyRegistry::global().make(alg), horizon, seed);
+      const RunResult r =
+          PolicyRegistry::global().run(inst, alg, horizon, seed);
       const double util = resource_utilization(inst, r.schedule, horizon);
       lo = std::min(lo, util);
       hi = std::max(hi, util);

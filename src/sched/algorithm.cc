@@ -63,6 +63,22 @@ void SwitchPolicy::on_start(const PolicyView& view, OrgId org,
   after_->on_start(view, org, index, machine);
 }
 
+void SwitchPolicy::on_release(const PolicyView& view, OrgId org) {
+  before_->on_release(view, org);
+  after_->on_release(view, org);
+}
+
+void SwitchPolicy::on_complete(const PolicyView& view, OrgId org,
+                               MachineId machine) {
+  before_->on_complete(view, org, machine);
+  after_->on_complete(view, org, machine);
+}
+
+void SwitchPolicy::on_advance(const PolicyView& view, Time dt) {
+  before_->on_advance(view, dt);
+  after_->on_advance(view, dt);
+}
+
 MixturePolicy::MixturePolicy(std::vector<Component> components,
                              std::uint64_t seed)
     : components_(std::move(components)), state_(seed) {
@@ -99,6 +115,25 @@ void MixturePolicy::on_start(const PolicyView& view, OrgId org,
                              std::uint32_t index, MachineId machine) {
   for (Component& component : components_) {
     component.policy->on_start(view, org, index, machine);
+  }
+}
+
+void MixturePolicy::on_release(const PolicyView& view, OrgId org) {
+  for (Component& component : components_) {
+    component.policy->on_release(view, org);
+  }
+}
+
+void MixturePolicy::on_complete(const PolicyView& view, OrgId org,
+                                MachineId machine) {
+  for (Component& component : components_) {
+    component.policy->on_complete(view, org, machine);
+  }
+}
+
+void MixturePolicy::on_advance(const PolicyView& view, Time dt) {
+  for (Component& component : components_) {
+    component.policy->on_advance(view, dt);
   }
 }
 

@@ -92,8 +92,9 @@ class RandAlgorithm final : public Algorithm {
 // --- Policy compositions (config-defined policies build on these) -----------
 
 // Runs `before` until view.now() >= switch_at, then `after`. Both
-// sub-policies observe every reset/on_start notification so their internal
-// accounting tracks the whole run.
+// sub-policies observe every notification (reset, starts, releases,
+// completions, clock advances) so their internal accounting — including
+// any incremental mirror — tracks the whole run.
 class SwitchPolicy final : public Policy {
  public:
   SwitchPolicy(std::unique_ptr<Policy> before, std::unique_ptr<Policy> after,
@@ -105,6 +106,10 @@ class SwitchPolicy final : public Policy {
   OrgId select(const PolicyView& view) override;
   void on_start(const PolicyView& view, OrgId org, std::uint32_t index,
                 MachineId machine) override;
+  void on_release(const PolicyView& view, OrgId org) override;
+  void on_complete(const PolicyView& view, OrgId org,
+                   MachineId machine) override;
+  void on_advance(const PolicyView& view, Time dt) override;
 
  private:
   std::unique_ptr<Policy> before_;
@@ -127,6 +132,10 @@ class MixturePolicy final : public Policy {
   OrgId select(const PolicyView& view) override;
   void on_start(const PolicyView& view, OrgId org, std::uint32_t index,
                 MachineId machine) override;
+  void on_release(const PolicyView& view, OrgId org) override;
+  void on_complete(const PolicyView& view, OrgId org,
+                   MachineId machine) override;
+  void on_advance(const PolicyView& view, Time dt) override;
 
  private:
   std::vector<Component> components_;

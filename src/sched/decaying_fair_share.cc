@@ -47,7 +47,16 @@ void DecayingFairSharePolicy::advance(const PolicyView& view) {
 }
 
 OrgId DecayingFairSharePolicy::select(const PolicyView& view) {
-  advance(view);
+  // Decay is multiplicative per elapsed unit, so the closed-form update can
+  // only run once per distinct timestamp anyway (d^(a+b) applied in one
+  // step differs bitwise from d^a then d^b with intermediate rounding —
+  // the per-decision update schedule is pinned by the published numbers).
+  // Skipping the dt == 0 call is exact: no time passed means no work
+  // accrued, so every usage would update by += 0.0, a bitwise no-op for
+  // the non-negative usages this policy maintains. That makes repeat
+  // decisions at one timestamp O(1) here; the selection scan below stays
+  // O(num_orgs) because the decayed usages have no incremental form.
+  if (view.now() != last_time_) advance(view);
   OrgId best = kNoOrg;
   double best_ratio = std::numeric_limits<double>::infinity();
   bool best_zero_share = true;

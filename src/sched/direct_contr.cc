@@ -7,20 +7,57 @@
 namespace fairsched {
 
 OrgId DirectContrPolicy::select(const PolicyView& view) {
-  OrgId best = kNoOrg;
-  HalfUtil best_deficit = 0;
-  for (OrgId u = 0; u < view.num_orgs(); ++u) {
-    if (view.waiting(u) == 0) continue;
-    const HalfUtil deficit = view.contrib_psi2(u) - view.psi2(u);
-    if (best == kNoOrg || deficit > best_deficit) {
-      best = u;
-      best_deficit = deficit;
-    }
-  }
-  if (best == kNoOrg) {
+  ensure_synced(view);
+  repair(view);
+  const OrgId best = index_.argmin();
+  if (best == KeyedArgmin<HalfUtil>::kNone) {
     throw std::logic_error("DirectContrPolicy::select: no waiting job");
   }
   return best;
+}
+
+void DirectContrPolicy::repair(const PolicyView& view) {
+  if (view.now() == repaired_at_) return;
+  for (OrgId u = 0; u < view.num_orgs(); ++u) {
+    if (drifting_[u] && view.waiting(u) > 0) index_.set(u, key_of(view, u));
+  }
+  repaired_at_ = view.now();
+}
+
+void DirectContrPolicy::on_release(const PolicyView& view, OrgId org) {
+  if (!track(view)) return;
+  index_.set(org, key_of(view, org));
+}
+
+void DirectContrPolicy::on_complete(const PolicyView& view, OrgId /*org*/,
+                                    MachineId /*machine*/) {
+  // A completion moves no key at its own instant (accrual is time-based and
+  // already folded to now), and the completing organization is drifting
+  // anyway, so the next repair covers it.
+  track(view);
+}
+
+void DirectContrPolicy::on_start(const PolicyView& view, OrgId org,
+                                 std::uint32_t /*index*/, MachineId machine) {
+  if (!track(view)) return;
+  drifting_[org] = 1;
+  drifting_[view.machine_owner(machine)] = 1;
+  if (view.waiting(org) > 0) {
+    index_.set(org, key_of(view, org));
+  } else {
+    index_.clear(org);
+  }
+}
+
+void DirectContrPolicy::rebuild(const PolicyView& view) {
+  index_.init(view.num_orgs());
+  drifting_.assign(view.num_orgs(), 0);
+  for (OrgId u = 0; u < view.num_orgs(); ++u) {
+    drifting_[u] = view.running(u) > 0 || view.busy_machines(u) > 0 ||
+                   view.work_done(u) > 0 || view.contrib_work(u) > 0;
+    if (view.waiting(u) > 0) index_.set(u, key_of(view, u));
+  }
+  repaired_at_ = view.now();
 }
 
 }  // namespace fairsched

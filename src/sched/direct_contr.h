@@ -18,14 +18,48 @@
 // utility to the machine owner, which contradicts the surrounding text
 // ("the job started on processor m increases the contribution of the owner
 // of m"). We implement the text's semantics (see DESIGN.md).
+//
+// Incremental: argmax of the integer deficit = argmin of psi2 - contrib2
+// (ties to the lower id, like the scan's first-strict-improvement rule).
+// Both accounts accrue with time for any organization that ever ran a job
+// or hosted one, so those keys drift between timestamps: the policy keeps a
+// drift flag per organization and refreshes flagged waiting keys once per
+// distinct decision timestamp. Within one timestamp no key moves (starting
+// or completing a job adds no *accrued* value at that same instant).
 
+#include <vector>
+
+#include "sched/org_index.h"
 #include "sim/policy.h"
 
 namespace fairsched {
 
-class DirectContrPolicy final : public Policy {
+class DirectContrPolicy final : public IncrementalPolicy {
  public:
   OrgId select(const PolicyView& view) override;
+  void on_release(const PolicyView& view, OrgId org) override;
+  void on_complete(const PolicyView& view, OrgId org,
+                   MachineId machine) override;
+  void on_start(const PolicyView& view, OrgId org, std::uint32_t index,
+                MachineId machine) override;
+
+ protected:
+  void rebuild(const PolicyView& view) override;
+
+ private:
+  // Minimized key: 2*psi(u) - 2*phi~(u), i.e. the negated doubled deficit.
+  HalfUtil key_of(const PolicyView& view, OrgId u) const {
+    return view.psi2(u) - view.contrib_psi2(u);
+  }
+  void repair(const PolicyView& view);
+
+  KeyedArgmin<HalfUtil> index_;
+  // Organizations whose key moves as time passes: anything with a running
+  // job, a busy machine, or past work on either side of the accounting
+  // (the closed-form accrual has a work * dt term, so history alone
+  // drifts). Never cleared — work never decreases.
+  std::vector<char> drifting_;
+  Time repaired_at_ = 0;
 };
 
 }  // namespace fairsched

@@ -1,59 +1,91 @@
 #include "sched/fair_share.h"
 
-#include <limits>
 #include <stdexcept>
 
 namespace fairsched {
 
-namespace {
-
-// Shared selection skeleton: pick the waiting organization minimizing
-// metric(u) / share(u); zero-share organizations sort last.
-template <typename MetricFn>
-OrgId select_min_ratio(const PolicyView& view, MetricFn&& metric) {
-  OrgId best = kNoOrg;
-  double best_ratio = std::numeric_limits<double>::infinity();
-  bool best_zero_share = true;
-  for (OrgId u = 0; u < view.num_orgs(); ++u) {
-    if (view.waiting(u) == 0) continue;
-    const double share = view.share(u);
-    const bool zero_share = share <= 0.0;
-    const double ratio = zero_share ? 0.0 : metric(u) / share;
-    // Positive-share candidates beat zero-share ones; within a class,
-    // smaller ratio wins; ties go to the lower id (strict < keeps it).
-    if (best == kNoOrg || (best_zero_share && !zero_share) ||
-        (best_zero_share == zero_share && ratio < best_ratio)) {
-      best = u;
-      best_ratio = ratio;
-      best_zero_share = zero_share;
-    }
-  }
-  if (best == kNoOrg) {
+OrgId RatioSharePolicyBase::select(const PolicyView& view) {
+  ensure_synced(view);
+  repair(view);
+  const OrgId best = index_.argmin();
+  if (best == KeyedArgmin<Key>::kNone) {
     throw std::logic_error("fair share select: no waiting job");
   }
   return best;
 }
 
-}  // namespace
-
-OrgId FairSharePolicy::select(const PolicyView& view) {
-  return select_min_ratio(view, [&](OrgId u) {
-    // CPU time already allocated to u's jobs = completed unit parts
-    // (sequential jobs execute at unit rate).
-    return static_cast<double>(view.work_done(u));
-  });
+void RatioSharePolicyBase::repair(const PolicyView& view) {
+  if (view.now() == repaired_at_) return;
+  for (OrgId u = 0; u < view.num_orgs(); ++u) {
+    if (drifting_[u] && view.waiting(u) > 0) index_.set(u, key_of(view, u));
+  }
+  repaired_at_ = view.now();
 }
 
-OrgId UtFairSharePolicy::select(const PolicyView& view) {
-  return select_min_ratio(view, [&](OrgId u) {
-    return static_cast<double>(view.psi2(u)) / 2.0;
-  });
+void RatioSharePolicyBase::on_release(const PolicyView& view, OrgId org) {
+  if (!track(view)) return;
+  index_.set(org, key_of(view, org));
 }
 
-OrgId CurrFairSharePolicy::select(const PolicyView& view) {
-  return select_min_ratio(view, [&](OrgId u) {
-    return static_cast<double>(view.running(u));
-  });
+void RatioSharePolicyBase::on_complete(const PolicyView& view, OrgId org,
+                                       MachineId /*machine*/) {
+  if (!track(view)) return;
+  // Refresh before the drift flag can drop (e.g. FAIRSHARE when the last
+  // running job completes: the work accrued up to now must be folded into
+  // the key while the organization still counts as drifting).
+  if (view.waiting(org) > 0) index_.set(org, key_of(view, org));
+  drifting_[org] = drifts(view, org);
+}
+
+void RatioSharePolicyBase::on_start(const PolicyView& view, OrgId org,
+                                    std::uint32_t /*index*/,
+                                    MachineId /*machine*/) {
+  if (!track(view)) return;
+  drifting_[org] = drifts(view, org);
+  if (view.waiting(org) > 0) {
+    index_.set(org, key_of(view, org));
+  } else {
+    index_.clear(org);
+  }
+}
+
+void RatioSharePolicyBase::rebuild(const PolicyView& view) {
+  index_.init(view.num_orgs());
+  drifting_.assign(view.num_orgs(), 0);
+  for (OrgId u = 0; u < view.num_orgs(); ++u) {
+    drifting_[u] = drifts(view, u);
+    if (view.waiting(u) > 0) index_.set(u, key_of(view, u));
+  }
+  repaired_at_ = view.now();
+}
+
+double FairSharePolicy::metric(const PolicyView& view, OrgId u) const {
+  // CPU time already allocated to u's jobs = completed unit parts
+  // (sequential jobs execute at unit rate).
+  return static_cast<double>(view.work_done(u));
+}
+
+bool FairSharePolicy::drifts(const PolicyView& view, OrgId u) const {
+  return view.running(u) > 0;
+}
+
+double UtFairSharePolicy::metric(const PolicyView& view, OrgId u) const {
+  return static_cast<double>(view.psi2(u)) / 2.0;
+}
+
+bool UtFairSharePolicy::drifts(const PolicyView& view, OrgId u) const {
+  // psi accrues while jobs run and, through the work * dt term of the
+  // closed form, whenever any work history exists.
+  return view.running(u) > 0 || view.work_done(u) > 0;
+}
+
+double CurrFairSharePolicy::metric(const PolicyView& view, OrgId u) const {
+  return static_cast<double>(view.running(u));
+}
+
+bool CurrFairSharePolicy::drifts(const PolicyView& /*view*/,
+                                 OrgId /*u*/) const {
+  return false;  // the running count only changes at events
 }
 
 }  // namespace fairsched

@@ -17,24 +17,75 @@
 // Tie-breaking is by organization id for determinism. Organizations with a
 // zero share are served only when no positive-share organization waits
 // (their ratio is treated as +infinity).
+//
+// Incremental: the minimized key is the pair (zero-share class, ratio) —
+// lexicographic comparison with ties to the lower id reproduces the scan's
+// class-then-ratio-then-first-wins rule, and the ratio is computed by the
+// very same double expression, so scan and tree agree bit-for-bit. Keys
+// whose metric accrues with wall time (FAIRSHARE while jobs run,
+// UTFAIRSHARE once any work exists) carry a drift flag and are refreshed
+// once per distinct decision timestamp; CURRFAIRSHARE's metric only changes
+// at events, so it never repairs.
 
+#include <utility>
+#include <vector>
+
+#include "sched/org_index.h"
 #include "sim/policy.h"
 
 namespace fairsched {
 
-class FairSharePolicy final : public Policy {
+// Shared mirror for the min-ratio selection rule. Subclasses provide the
+// balanced metric and the time-drift predicate.
+class RatioSharePolicyBase : public IncrementalPolicy {
  public:
   OrgId select(const PolicyView& view) override;
+  void on_release(const PolicyView& view, OrgId org) override;
+  void on_complete(const PolicyView& view, OrgId org,
+                   MachineId machine) override;
+  void on_start(const PolicyView& view, OrgId org, std::uint32_t index,
+                MachineId machine) override;
+
+ protected:
+  void rebuild(const PolicyView& view) override;
+
+  // The balanced quantity, exactly as the historical scan computed it.
+  virtual double metric(const PolicyView& view, OrgId u) const = 0;
+  // Whether u's metric changes as time passes (given current state).
+  virtual bool drifts(const PolicyView& view, OrgId u) const = 0;
+
+ private:
+  // (zero-share class, metric/share): positive-share organizations first,
+  // then smaller ratio, ties to the lower id via the argmin tree.
+  using Key = std::pair<int, double>;
+  Key key_of(const PolicyView& view, OrgId u) const {
+    const double share = view.share(u);
+    if (share <= 0.0) return Key(1, 0.0);
+    return Key(0, metric(view, u) / share);
+  }
+  void repair(const PolicyView& view);
+
+  KeyedArgmin<Key> index_;
+  std::vector<char> drifting_;
+  Time repaired_at_ = 0;
 };
 
-class UtFairSharePolicy final : public Policy {
- public:
-  OrgId select(const PolicyView& view) override;
+class FairSharePolicy final : public RatioSharePolicyBase {
+ protected:
+  double metric(const PolicyView& view, OrgId u) const override;
+  bool drifts(const PolicyView& view, OrgId u) const override;
 };
 
-class CurrFairSharePolicy final : public Policy {
- public:
-  OrgId select(const PolicyView& view) override;
+class UtFairSharePolicy final : public RatioSharePolicyBase {
+ protected:
+  double metric(const PolicyView& view, OrgId u) const override;
+  bool drifts(const PolicyView& view, OrgId u) const override;
+};
+
+class CurrFairSharePolicy final : public RatioSharePolicyBase {
+ protected:
+  double metric(const PolicyView& view, OrgId u) const override;
+  bool drifts(const PolicyView& view, OrgId u) const override;
 };
 
 }  // namespace fairsched

@@ -7,20 +7,41 @@
 namespace fairsched {
 
 OrgId FcfsPolicy::select(const PolicyView& view) {
-  OrgId best = kNoOrg;
-  Time best_release = kTimeInfinity;
-  for (OrgId u = 0; u < view.num_orgs(); ++u) {
-    if (view.waiting(u) == 0) continue;
-    const Time r = view.front_release(u);
-    if (best == kNoOrg || r < best_release) {
-      best = u;
-      best_release = r;
-    }
-  }
-  if (best == kNoOrg) {
+  ensure_synced(view);
+  const OrgId best = index_.argmin();
+  if (best == KeyedArgmin<Time>::kNone) {
     throw std::logic_error("FcfsPolicy::select: no waiting job");
   }
   return best;
+}
+
+void FcfsPolicy::on_release(const PolicyView& view, OrgId org) {
+  if (!track(view)) return;
+  // The front job only changes when the queue was empty, but re-setting the
+  // same key is harmless and cheaper than distinguishing.
+  index_.set(org, view.front_release(org));
+}
+
+void FcfsPolicy::on_complete(const PolicyView& view, OrgId /*org*/,
+                             MachineId /*machine*/) {
+  track(view);  // completions do not move any FCFS key
+}
+
+void FcfsPolicy::on_start(const PolicyView& view, OrgId org,
+                          std::uint32_t /*index*/, MachineId /*machine*/) {
+  if (!track(view)) return;
+  if (view.waiting(org) > 0) {
+    index_.set(org, view.front_release(org));
+  } else {
+    index_.clear(org);
+  }
+}
+
+void FcfsPolicy::rebuild(const PolicyView& view) {
+  index_.init(view.num_orgs());
+  for (OrgId u = 0; u < view.num_orgs(); ++u) {
+    if (view.waiting(u) > 0) index_.set(u, view.front_release(u));
+  }
 }
 
 }  // namespace fairsched

@@ -5,14 +5,30 @@
 // "arbitrary greedy algorithm" the library uses wherever the paper only
 // requires greediness — notably to evaluate the value of RAND's sampled
 // coalitions (justified for unit jobs by Proposition 5.4).
+//
+// Incremental: each waiting organization's key is its front job's release
+// time; releases and starts touch one key, so an attached run answers
+// select() as an O(log n) argmin (keys are time-invariant — no repair).
 
+#include "sched/org_index.h"
 #include "sim/policy.h"
 
 namespace fairsched {
 
-class FcfsPolicy final : public Policy {
+class FcfsPolicy final : public IncrementalPolicy {
  public:
   OrgId select(const PolicyView& view) override;
+  void on_release(const PolicyView& view, OrgId org) override;
+  void on_complete(const PolicyView& view, OrgId org,
+                   MachineId machine) override;
+  void on_start(const PolicyView& view, OrgId org, std::uint32_t index,
+                MachineId machine) override;
+
+ protected:
+  void rebuild(const PolicyView& view) override;
+
+ private:
+  KeyedArgmin<Time> index_;
 };
 
 }  // namespace fairsched

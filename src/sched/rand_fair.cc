@@ -47,17 +47,30 @@ RandScheduler::RandScheduler(const Instance& inst, RandOptions options)
 }
 
 void RandScheduler::advance_sampled(Engine& engine, Time t) {
+  // Attach the greedy FCFS policy for the duration of this catch-up so its
+  // incremental mirror rides the push notifications instead of rebuilding
+  // per decision (it would still be exact unattached — just O(n) slower).
   FcfsPolicy fcfs;
   PolicyView view(engine);
+  engine.attach(&fcfs);
+  fcfs.reset(view);
   for (;;) {
-    const Time te = engine.next_event();
+    // Decision-granularity wake-ups (see Engine::next_decision_time);
+    // skipped releases are batch-processed in identical order.
+    const Time te = engine.next_decision_time();
     if (te == kTimeInfinity || te > t) break;
     engine.advance_to(te);
     while (engine.needs_decision()) {
-      engine.start_front(fcfs.select(view));
+      const OrgId u = fcfs.select(view);
+      // started-so-far == running + completed; the driver that decides also
+      // delivers on_start (start_front does not synthesize it).
+      const std::uint32_t index = engine.running(u) + engine.completed(u);
+      const MachineId m = engine.start_front(u);
+      fcfs.on_start(view, u, index, m);
     }
   }
   engine.advance_to(t);
+  engine.attach(nullptr);
 }
 
 std::vector<double> RandScheduler::contributions2() const {
@@ -83,7 +96,7 @@ void RandScheduler::run(Time horizon) {
   if (ran_) throw std::logic_error("RandScheduler::run called twice");
   ran_ = true;
   for (;;) {
-    const Time t = grand_->next_event();
+    const Time t = grand_->next_decision_time();
     if (t == kTimeInfinity || t >= horizon) break;
     grand_->advance_to(t);
     if (!grand_->needs_decision()) continue;

@@ -1,20 +1,39 @@
 #include "sched/random_policy.h"
 
 #include <stdexcept>
-#include <vector>
 
 namespace fairsched {
 
 OrgId RandomPolicy::select(const PolicyView& view) {
-  std::vector<OrgId> candidates;
-  candidates.reserve(view.num_orgs());
-  for (OrgId u = 0; u < view.num_orgs(); ++u) {
-    if (view.waiting(u) > 0) candidates.push_back(u);
-  }
-  if (candidates.empty()) {
+  ensure_synced(view);
+  if (waiting_.size() == 0) {
     throw std::logic_error("RandomPolicy::select: no waiting job");
   }
-  return candidates[rng_.uniform_u64(candidates.size())];
+  return waiting_.kth(
+      static_cast<std::uint32_t>(rng_.uniform_u64(waiting_.size())));
+}
+
+void RandomPolicy::on_release(const PolicyView& view, OrgId org) {
+  if (!track(view)) return;
+  waiting_.insert(org);
+}
+
+void RandomPolicy::on_complete(const PolicyView& view, OrgId /*org*/,
+                               MachineId /*machine*/) {
+  track(view);  // completions do not change the waiting set
+}
+
+void RandomPolicy::on_start(const PolicyView& view, OrgId org,
+                            std::uint32_t /*index*/, MachineId /*machine*/) {
+  if (!track(view)) return;
+  if (view.waiting(org) == 0) waiting_.erase(org);
+}
+
+void RandomPolicy::rebuild(const PolicyView& view) {
+  waiting_.init(view.num_orgs());
+  for (OrgId u = 0; u < view.num_orgs(); ++u) {
+    if (view.waiting(u) > 0) waiting_.insert(u);
+  }
 }
 
 }  // namespace fairsched

@@ -2,19 +2,33 @@
 
 // Uniformly random selection among organizations with waiting jobs: the
 // "no policy at all" baseline. Deterministic given the seed.
+//
+// Incremental: the waiting set is an order-statistic set; the scan used to
+// draw one index into the ascending candidate vector, and kth(i) is exactly
+// that vector's element i, so the RNG stream and every pick are unchanged.
 
+#include "sched/org_index.h"
 #include "sim/policy.h"
 #include "util/rng.h"
 
 namespace fairsched {
 
-class RandomPolicy final : public Policy {
+class RandomPolicy final : public IncrementalPolicy {
  public:
   explicit RandomPolicy(std::uint64_t seed) : rng_(seed) {}
 
   OrgId select(const PolicyView& view) override;
+  void on_release(const PolicyView& view, OrgId org) override;
+  void on_complete(const PolicyView& view, OrgId org,
+                   MachineId machine) override;
+  void on_start(const PolicyView& view, OrgId org, std::uint32_t index,
+                MachineId machine) override;
+
+ protected:
+  void rebuild(const PolicyView& view) override;
 
  private:
+  OrderStatSet waiting_;
   Rng rng_;
 };
 

@@ -1,9 +1,10 @@
 #include "sched/ref.h"
 
 #include <cmath>
-#include <queue>
 #include <stdexcept>
-#include <tuple>
+#include <utility>
+
+#include "sched/org_index.h"
 
 namespace fairsched {
 
@@ -39,27 +40,49 @@ RefScheduler::RefScheduler(const Instance& inst, RefOptions options)
         "algorithm (max 16)");
   }
   engines_.resize(std::size_t{1} << k);
+  agg_.assign(std::size_t{1} << k, Engine::AggSnapshot{});
   for (Coalition::Mask mask = 1; mask < engines_.size(); ++mask) {
     engines_[mask] = std::make_unique<Engine>(inst, Coalition(mask));
+    engines_[mask]->mirror_aggregate(&agg_[mask]);
   }
+  vcache_.assign(engines_.size(), 0.0);
   weights_.reserve(k);
   for (std::uint32_t s = 1; s <= k; ++s) weights_.emplace_back(s);
 }
 
-std::vector<double> RefScheduler::contributions2_of(Coalition c) const {
-  std::vector<double> phi2(inst_->num_orgs(), 0.0);
+const std::vector<double>& RefScheduler::contributions2_of(
+    Coalition c, Time t, Coalition relevant) const {
+  std::vector<double>& phi2 = phi2_scratch_;
+  phi2.assign(inst_->num_orgs(), 0.0);
   const ShapleyWeights& w = weights_[c.size() - 1];
+  // Pass 1: one O(1) closed-form read per subcoalition off the flat
+  // aggregate mirror — the identical expression Engine::value2_at
+  // evaluates (see Engine::AggSnapshot), so the result is bit-identical to
+  // advancing the engine to t and reading value2(). The global (time,
+  // size) order guarantees no subcoalition has an unprocessed completion
+  // at or before t, which is value2_at's validity condition.
   for_each_subset(c, [&](Coalition sub) {
     if (sub.is_empty()) return;
-    const double v_sub = static_cast<double>(engines_[sub.mask()]->value2());
+    const Engine::AggSnapshot& s = agg_[sub.mask()];
+    const Time d = t - s.at;
+    vcache_[sub.mask()] = static_cast<double>(
+        s.psi2 + 2 * s.work * d + static_cast<HalfUtil>(s.running) * d * (d + 1));
+  });
+  // Pass 2: the subset formula (Eq. 1). Subset enumeration order and the
+  // ascending member order of the inner loop match the historical scan, so
+  // every floating-point accumulation happens in the same sequence. The
+  // inner loop visits only members of `relevant`: phi2[u] accumulators are
+  // independent, so skipping orgs the caller will not read leaves the
+  // computed entries bit-identical while cutting the pass by |relevant|/|c|.
+  for_each_subset(c, [&](Coalition sub) {
+    if (sub.is_empty()) return;
+    const double v_sub = vcache_[sub.mask()];
     const double weight = w.weight(sub.size());
-    for (OrgId u = 0; u < inst_->num_orgs(); ++u) {
-      if (!sub.contains(u)) continue;
-      const Coalition without = sub.without(u);
-      const double v_without =
-          without.is_empty()
-              ? 0.0
-              : static_cast<double>(engines_[without.mask()]->value2());
+    for (Coalition::Mask rest = sub.mask() & relevant.mask(); rest != 0;
+         rest &= rest - 1) {
+      const OrgId u = static_cast<OrgId>(__builtin_ctz(rest));
+      const Coalition::Mask without = sub.mask() & ~(Coalition::Mask{1} << u);
+      const double v_without = without == 0 ? 0.0 : vcache_[without];
       phi2[u] += weight * (v_sub - v_without);
     }
   });
@@ -89,23 +112,27 @@ double RefScheduler::generic_distance(Coalition c, OrgId u, Time t,
   return dist;
 }
 
-OrgId RefScheduler::select_org(Coalition c, Time t) {
-  Engine& e = *engines_[c.mask()];
-  if (options_.generic_utility == nullptr) {
-    // Specialized psi_sp rule (Fig. 3): argmax of phi - psi among waiting.
-    const std::vector<double> phi2 = contributions2_of(c);
-    OrgId best = kNoOrg;
-    double best_deficit = 0.0;
-    for (OrgId u = 0; u < inst_->num_orgs(); ++u) {
-      if (!c.contains(u) || e.waiting(u) == 0) continue;
-      const double deficit = phi2[u] - static_cast<double>(e.psi2(u));
-      if (best == kNoOrg || deficit > best_deficit) {
-        best = u;
-        best_deficit = deficit;
-      }
+OrgId RefScheduler::select_sp(Coalition c,
+                              const std::vector<double>& phi2) const {
+  // Specialized psi_sp rule (Fig. 3): argmax of phi - psi among waiting.
+  // phi2 is the hoisted per-burst contribution vector (see
+  // process_coalition_at); psi2 reads are O(1) lazy folds.
+  const Engine& e = *engines_[c.mask()];
+  OrgId best = kNoOrg;
+  double best_deficit = 0.0;
+  for (OrgId u = 0; u < inst_->num_orgs(); ++u) {
+    if (!c.contains(u) || e.waiting(u) == 0) continue;
+    const double deficit = phi2[u] - static_cast<double>(e.psi2(u));
+    if (best == kNoOrg || deficit > best_deficit) {
+      best = u;
+      best_deficit = deficit;
     }
-    return best;
   }
+  return best;
+}
+
+OrgId RefScheduler::select_generic(Coalition c, Time t) {
+  Engine& e = *engines_[c.mask()];
   // Generic Distance rule (Fig. 1).
   const UtilityFunction& util = *options_.generic_utility;
   std::vector<double> psi(inst_->num_orgs(), 0.0);
@@ -158,15 +185,60 @@ void RefScheduler::process_coalition_at(Coalition c, Time t) {
   Engine& e = *engines_[c.mask()];
   e.advance_to(t);
   if (!e.needs_decision()) return;
-  // Bring every subcoalition to t (their own events at times <= t have
-  // already been processed by the global loop's (time, size) order, so this
-  // is closed-form accrual only and their values v(C', t) become current).
+  if (options_.generic_utility == nullptr) {
+    // Subcoalition engines are NOT advanced here: by the global loop's
+    // (time, size) order they have no unprocessed events at or before t,
+    // so their values are O(1) closed-form reads at t (value2_at) off
+    // untouched engines — no O(2^s) clock-advance sweep per burst.
+    //
+    // The contribution vector is burst-invariant: starting a job at t adds
+    // no *accrued* value at t itself, so no subcoalition value v(C', t) —
+    // and hence no Shapley sum — changes until the clock moves. Hoisting
+    // the O(2^s) subset formula out of the decision loop turns a burst of
+    // m decisions from m full Shapley evaluations into one.
+    //
+    // Only orgs with a waiting job can be selected, and the waiting set
+    // cannot grow while the clock stands still (releases happen only in
+    // advance_to), so the Shapley pass is restricted to those orgs.
+    Coalition::Mask wmask = 0;
+    for (OrgId u = 0; u < inst_->num_orgs(); ++u) {
+      if (c.contains(u) && e.waiting(u) > 0) {
+        wmask |= Coalition::Mask{1} << u;
+      }
+    }
+    if ((wmask & (wmask - 1)) == 0) {
+      // Exactly one org has waiting jobs (needs_decision guarantees at
+      // least one): every selection in this burst is forced — the argmax
+      // over a singleton — so the Shapley pass is skipped entirely. This
+      // covers all bursts of singleton coalitions and, in underloaded
+      // stretches, most release wake-ups of larger ones.
+      const OrgId u = static_cast<OrgId>(__builtin_ctz(wmask));
+      while (e.needs_decision()) {
+        e.start_front(u);
+      }
+      return;
+    }
+    const std::vector<double>& phi2 = contributions2_of(c, t, Coalition(wmask));
+    while (e.needs_decision()) {
+      const OrgId u = select_sp(c, phi2);
+      if (u == kNoOrg) {
+        throw std::logic_error("RefScheduler: no selectable organization");
+      }
+      e.start_front(u);
+    }
+    return;
+  }
+  // Generic Distance rule: bring every subcoalition to t (closed-form
+  // accrual only, their events at times <= t are already processed) and
+  // evaluate per decision, completely unhoisted — an arbitrary
+  // UtilityFunction may react to schedule changes in ways we do not
+  // control.
   for_each_subset(c, [&](Coalition sub) {
     if (sub.is_empty() || sub == c) return;
     engines_[sub.mask()]->advance_to(t);
   });
   while (e.needs_decision()) {
-    const OrgId u = select_org(c, t);
+    const OrgId u = select_generic(c, t);
     if (u == kNoOrg) {
       throw std::logic_error("RefScheduler: no selectable organization");
     }
@@ -178,26 +250,40 @@ void RefScheduler::run(Time horizon) {
   if (ran_) throw std::logic_error("RefScheduler::run called twice");
   ran_ = true;
 
-  // Global event loop over all coalitions, ordered by (time, coalition
-  // size, mask). A coalition's entry is re-armed with its next event after
-  // each processing; entries never go stale because only processing a
-  // coalition changes its own event stream.
-  using Entry = std::tuple<Time, std::uint32_t, Coalition::Mask>;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+  // Global wake-up loop over all coalitions, ordered by (time, coalition
+  // size, mask) — the same lexicographic total order the former
+  // std::priority_queue<tuple> used (KeyedArgmin breaks key ties toward
+  // the lower id, i.e. the lower mask), so the processing sequence is
+  // identical. A coalition's entry is re-armed after each processing;
+  // entries never go stale because only processing a coalition changes its
+  // own wake-up time. The tournament tree stays L1-resident (2^(k+1)
+  // nodes) and a re-arm is k+1 node updates.
+  //
+  // Entries are armed with next_decision_time(), not next_event(): while a
+  // coalition has no free machine, releases cannot enable a decision, so
+  // the skipped wake-ups are batch-processed (in identical order) by the
+  // advance_to of the next completion-time wake — the decision sequence is
+  // unchanged and the loop pops a fraction of the entries.
+  KeyedArgmin<std::pair<Time, std::uint32_t>> queue;
+  queue.init(static_cast<std::uint32_t>(engines_.size()));
   for (Coalition::Mask mask = 1; mask < engines_.size(); ++mask) {
-    const Time t = engines_[mask]->next_event();
+    const Time t = engines_[mask]->next_decision_time();
     if (t != kTimeInfinity && t < horizon) {
-      queue.emplace(t, Coalition(mask).size(), mask);
+      queue.set(mask, {t, Coalition(mask).size()});
     }
   }
-  while (!queue.empty()) {
-    const auto [t, size, mask] = queue.top();
-    queue.pop();
-    (void)size;
+  for (;;) {
+    const std::uint32_t mask = queue.argmin();
+    if (mask == KeyedArgmin<std::pair<Time, std::uint32_t>>::kNone) break;
+    // The armed time: unchanged since arming, because no other coalition's
+    // processing touches this engine.
+    const Time t = engines_[mask]->next_decision_time();
     process_coalition_at(Coalition(mask), t);
-    const Time next = engines_[mask]->next_event();
+    const Time next = engines_[mask]->next_decision_time();
     if (next != kTimeInfinity && next < horizon) {
-      queue.emplace(next, Coalition(mask).size(), mask);
+      queue.set(mask, {next, Coalition(mask).size()});
+    } else {
+      queue.clear(mask);
     }
   }
   for (Coalition::Mask mask = 1; mask < engines_.size(); ++mask) {
@@ -214,7 +300,8 @@ std::vector<HalfUtil> RefScheduler::utilities2() const {
 }
 
 std::vector<double> RefScheduler::contributions() const {
-  std::vector<double> phi2 = contributions2_of(grand_);
+  std::vector<double> phi2 =
+      contributions2_of(grand_, grand_engine().now(), grand_);
   for (double& p : phi2) p /= 2.0;
   return phi2;
 }

@@ -21,9 +21,12 @@
 // which makes the event-driven run identical to the paper's per-time-moment
 // loop.
 //
-// Complexity per decision of a size-s coalition: O(2^s * s) (Prop. 3.4
-// aggregate: O(k * 3^k) per time moment); memory O(2^k) engines. The
-// constructor rejects k > 16.
+// Complexity per decision *burst* of a size-s coalition: O(2^s * s) for the
+// hoisted Shapley subset formula (the contribution vector cannot change
+// while the clock stands still, so repeat decisions at one time moment
+// reuse it; Prop. 3.4 aggregate: O(k * 3^k) per time moment), with each
+// subcoalition value an O(1) closed-form read off the engine's aggregate
+// accounting. Memory O(2^k) engines. The constructor rejects k > 16.
 
 #include <cstdint>
 #include <memory>
@@ -101,8 +104,14 @@ class RefScheduler {
   void process_coalition_at(Coalition c, Time t);
 
   // Contributions phi2 (in half-units, doubles because of the factorial
-  // weights) of all members of `c` from current subcoalition values.
-  std::vector<double> contributions2_of(Coalition c) const;
+  // weights) of the members of `relevant` (a subset of `c`) from the
+  // subcoalition values at time t (valid when no subcoalition has
+  // unprocessed events at or before t). Entries outside `relevant` are
+  // left at zero — each phi2[u] is an independent accumulator, so
+  // restricting the set changes nothing about the computed values.
+  // Returns a reference to a scratch buffer overwritten by the next call.
+  const std::vector<double>& contributions2_of(Coalition c, Time t,
+                                               Coalition relevant) const;
 
   // Distance rule of Fig. 1 for the generic utility: the (doubled) distance
   // after tentatively starting `u`'s front job at time t.
@@ -110,13 +119,27 @@ class RefScheduler {
                           const std::vector<double>& phi,
                           const std::vector<double>& psi) const;
 
-  OrgId select_org(Coalition c, Time t);
+  // Fig. 3 rule with the per-burst contribution vector hoisted by
+  // process_coalition_at (phi2 cannot change while the clock stands still).
+  OrgId select_sp(Coalition c, const std::vector<double>& phi2) const;
+  // Fig. 1 Distance rule for the generic utility; evaluated per decision.
+  OrgId select_generic(Coalition c, Time t);
 
   const Instance* inst_;
   RefOptions options_;
   Coalition grand_;
   std::vector<std::unique_ptr<Engine>> engines_;  // indexed by mask; [0] null
   std::vector<ShapleyWeights> weights_;           // per coalition size 1..k
+  // Per-burst scratch for contributions2_of: subcoalition values indexed by
+  // mask, and the returned contribution vector (both overwritten per call).
+  mutable std::vector<double> vcache_;
+  mutable std::vector<double> phi2_scratch_;
+  // Write-through aggregate mirrors, indexed by mask: each engine refreshes
+  // its slot whenever its aggregates change, so the Shapley pass reads all
+  // 2^s subcoalition values from one flat array (cache-friendly) instead of
+  // dereferencing 2^s scattered engine objects. Never resized after the
+  // constructor registers the slots.
+  std::vector<Engine::AggSnapshot> agg_;
   bool ran_ = false;
 };
 

@@ -4,18 +4,47 @@
 
 namespace fairsched {
 
-void RoundRobinPolicy::reset(const PolicyView& /*view*/) { cursor_ = 0; }
+void RoundRobinPolicy::reset(const PolicyView& view) {
+  cursor_ = 0;
+  IncrementalPolicy::reset(view);
+}
 
 OrgId RoundRobinPolicy::select(const PolicyView& view) {
-  const std::uint32_t k = view.num_orgs();
-  for (std::uint32_t step = 0; step < k; ++step) {
-    const OrgId u = (cursor_ + step) % k;
-    if (view.waiting(u) > 0) {
-      cursor_ = (u + 1) % k;
-      return u;
-    }
+  ensure_synced(view);
+  if (waiting_.size() == 0) {
+    throw std::logic_error("RoundRobinPolicy::select: no waiting job");
   }
-  throw std::logic_error("RoundRobinPolicy::select: no waiting job");
+  const std::uint32_t at_or_after = waiting_.count_below(cursor_);
+  // First member at or after the cursor; wrap to the smallest member when
+  // every waiting organization precedes the cursor.
+  const OrgId u = at_or_after < waiting_.size() ? waiting_.kth(at_or_after)
+                                                : waiting_.kth(0);
+  cursor_ = (u + 1) % view.num_orgs();
+  return u;
+}
+
+void RoundRobinPolicy::on_release(const PolicyView& view, OrgId org) {
+  if (!track(view)) return;
+  waiting_.insert(org);
+}
+
+void RoundRobinPolicy::on_complete(const PolicyView& view, OrgId /*org*/,
+                                   MachineId /*machine*/) {
+  track(view);  // completions do not change the waiting set
+}
+
+void RoundRobinPolicy::on_start(const PolicyView& view, OrgId org,
+                                std::uint32_t /*index*/,
+                                MachineId /*machine*/) {
+  if (!track(view)) return;
+  if (view.waiting(org) == 0) waiting_.erase(org);
+}
+
+void RoundRobinPolicy::rebuild(const PolicyView& view) {
+  waiting_.init(view.num_orgs());
+  for (OrgId u = 0; u < view.num_orgs(); ++u) {
+    if (view.waiting(u) > 0) waiting_.insert(u);
+  }
 }
 
 }  // namespace fairsched

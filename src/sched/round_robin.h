@@ -3,17 +3,31 @@
 // ROUNDROBIN (Section 7.1): cycles through the list of organizations to
 // determine whose job starts next; organizations with no waiting job are
 // skipped. A fairness-agnostic baseline.
+//
+// Incremental: the set of waiting organizations lives in an order-statistic
+// set; "first waiting organization at or after the cursor (wrapping)" is
+// kth(count_below(cursor)), so select() is O(log n).
 
+#include "sched/org_index.h"
 #include "sim/policy.h"
 
 namespace fairsched {
 
-class RoundRobinPolicy final : public Policy {
+class RoundRobinPolicy final : public IncrementalPolicy {
  public:
   void reset(const PolicyView& view) override;
   OrgId select(const PolicyView& view) override;
+  void on_release(const PolicyView& view, OrgId org) override;
+  void on_complete(const PolicyView& view, OrgId org,
+                   MachineId machine) override;
+  void on_start(const PolicyView& view, OrgId org, std::uint32_t index,
+                MachineId machine) override;
+
+ protected:
+  void rebuild(const PolicyView& view) override;
 
  private:
+  OrderStatSet waiting_;
   OrgId cursor_ = 0;
 };
 

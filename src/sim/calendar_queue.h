@@ -1,0 +1,300 @@
+#pragma once
+
+// Calendar queue for the engine's unified event stream.
+//
+// A calendar queue (R. Brown, "Calendar queues: a fast O(1) priority queue
+// implementation for the simulation event set problem", CACM 1988) hashes
+// events into time buckets of a fixed width, like days on a desk calendar:
+// insertion appends into the bucket of the event's "day", dequeue scans the
+// current day and wraps into the next year when a bucket holds only events
+// for later years. With the width kept near the average inter-event gap by
+// doubling/halving the bucket count as the population grows and shrinks,
+// both operations are O(1) amortized — replacing the engine's former
+// sorted-release pointer + binary-heap completion queue pair with one
+// structure and one ordering rule.
+//
+// --- Event tie-break (single source of truth) ------------------------------
+//
+// `event_before` below is the ONE definition of simultaneous-event order for
+// the whole engine (previously implicit in two separate queue comparators):
+//
+//   1. time        — earlier events first;
+//   2. kind        — completions before releases (matching the historical
+//                    advance_to contract: machines freed at t are available
+//                    to jobs arriving at t);
+//   3. org         — lower organization id first;
+//   4. index       — lower per-organization job index first.
+//
+// (time, kind, org, index) is unique per event — a job has one release and
+// one completion — so the order is total and the drain sequence is fully
+// deterministic regardless of insertion order; tests/test_calendar_queue.cc
+// pins this. The one deliberate exception is documented in sim/engine.h:
+// engines running with MachinePick::kRandomFree keep the legacy
+// time-only completion heap, whose same-time pop order feeds the random
+// machine draw and is therefore part of the published RNG stream.
+//
+// The structure itself is generic (BasicCalendarQueue): any entry type with
+// a non-negative `time` field and a strict total order refining time works.
+// The engine instantiates it for EngineEvent. (Note: a calendar queue wants
+// a population whose times spread over many buckets — a small set of
+// near-simultaneous entries degenerates into one long bucket, which is why
+// REF's 2^k-coalition wake-up loop uses a tournament tree instead.)
+//
+// Buckets are singly-linked lists kept sorted ascending (the bucket head is
+// its minimum), with all nodes in one pooled array recycled through a free
+// list: pushes and pops never touch the allocator in steady state — the
+// pool only grows to the peak number of pending events — and with O(1)
+// expected bucket occupancy the insertion walk is O(1) expected per push.
+// Times must be non-negative, as everywhere in the simulator.
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+
+namespace fairsched {
+
+// What happened at EngineEvent::time. kCompletion must order before
+// kRelease (see the tie-break above); the enum values encode that.
+enum class EventKind : std::uint8_t { kCompletion = 0, kRelease = 1 };
+
+// One entry of the engine's unified event stream.
+struct EngineEvent {
+  Time time = 0;
+  EventKind kind = EventKind::kRelease;
+  OrgId org = kNoOrg;
+  std::uint32_t index = 0;  // per-organization job index
+  MachineId machine = kNoMachine;  // completions only
+
+  friend bool operator==(const EngineEvent&, const EngineEvent&) = default;
+};
+
+// THE tie-break rule. Strict total order over distinct events.
+constexpr bool event_before(const EngineEvent& a, const EngineEvent& b) {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.kind != b.kind) return a.kind < b.kind;
+  if (a.org != b.org) return a.org < b.org;
+  return a.index < b.index;
+}
+
+// Functor form of the tie-break, the default order of BasicCalendarQueue.
+struct EngineEventOrder {
+  constexpr bool operator()(const EngineEvent& a, const EngineEvent& b) const {
+    return event_before(a, b);
+  }
+};
+
+template <typename Event, typename Order = EngineEventOrder>
+class BasicCalendarQueue {
+ public:
+  BasicCalendarQueue() { rebuild(kMinBuckets, /*shift=*/0); }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  // Pre-sizes the (empty) calendar for `expected` events spanning [lo, hi]:
+  // one rebuild and one pool allocation up front instead of the O(log n)
+  // cascade of doubling resizes a bulk preload would trigger. Purely a
+  // performance hint — the drain order is the same total order regardless
+  // of bucket geometry.
+  void reserve(std::size_t expected, Time lo, Time hi) {
+    assert(size_ == 0);
+    std::size_t n = kMinBuckets;
+    while (n < expected && n < kMaxBuckets) n <<= 1;
+    Time width = 1;
+    if (expected > 0 && hi > lo) {
+      width = (hi - lo) / static_cast<Time>(expected);
+      if (width < 1) width = 1;
+    }
+    pool_.reserve(expected);
+    rebuild(n, shift_for(width));
+    if (expected > 0 && lo >= 0) floor_time_ = lo;
+  }
+
+  void push(const Event& e) {
+    assert(e.time >= 0);
+    // Keep the dequeue scan's lower bound valid under out-of-order pushes
+    // (the engine only pushes at or after the clock, but the structure
+    // does not rely on that).
+    if (e.time < floor_time_) floor_time_ = e.time;
+    insert_sorted(head_[bucket_of(e.time)], alloc_node(e));
+    ++size_;
+    top_valid_ = false;
+    if (size_ > 2 * head_.size() && head_.size() < kMaxBuckets) {
+      resize(2 * head_.size());
+    }
+  }
+
+  // Minimum by the order. Precondition: !empty().
+  const Event& top() const {
+    assert(size_ > 0);
+    if (!top_valid_) {
+      locate_top();
+      top_valid_ = true;
+    }
+    return pool_[head_[top_bucket_]].event;
+  }
+
+  Event pop() {
+    (void)top();  // ensures top_bucket_ is current
+    const std::int32_t node = head_[top_bucket_];
+    const Event e = pool_[node].event;
+    head_[top_bucket_] = pool_[node].next;
+    free_node(node);
+    --size_;
+    top_valid_ = false;
+    floor_time_ = e.time;  // dequeues are nondecreasing in time
+    if (4 * size_ < head_.size() && head_.size() > kMinBuckets) {
+      resize(head_.size() / 2);
+    }
+    return e;
+  }
+
+  // Introspection for tests.
+  std::size_t num_buckets() const { return head_.size(); }
+  Time bucket_width() const { return Time{1} << shift_; }
+
+ private:
+  static constexpr std::size_t kMinBuckets = 4;
+  static constexpr std::size_t kMaxBuckets = std::size_t{1} << 22;
+  static constexpr std::size_t kNoBucket = static_cast<std::size_t>(-1);
+  static constexpr std::int32_t kNil = -1;
+
+  struct Node {
+    Event event;
+    std::int32_t next = kNil;
+  };
+
+  // Bucket widths are powers of two and the bucket count is a power of two,
+  // so the day hash is a shift and a mask — no integer division on the push
+  // and dequeue paths.
+  std::size_t bucket_of(Time t) const {
+    return static_cast<std::size_t>(t >> shift_) & (head_.size() - 1);
+  }
+
+  // Smallest shift whose width (1 << shift) is >= `width`.
+  static unsigned shift_for(Time width) {
+    unsigned shift = 0;
+    while ((Time{1} << shift) < width) ++shift;
+    return shift;
+  }
+
+  std::int32_t alloc_node(const Event& e) {
+    if (free_head_ != kNil) {
+      const std::int32_t n = free_head_;
+      free_head_ = pool_[n].next;
+      pool_[n].event = e;
+      pool_[n].next = kNil;
+      return n;
+    }
+    pool_.push_back(Node{e, kNil});
+    return static_cast<std::int32_t>(pool_.size() - 1);
+  }
+
+  void free_node(std::int32_t n) {
+    pool_[n].next = free_head_;
+    free_head_ = n;
+  }
+
+  // Links `node` into the ascending-sorted bucket list rooted at `head`.
+  // Binary-search refinement is not worth it at O(1) expected occupancy.
+  void insert_sorted(std::int32_t& head, std::int32_t node) {
+    const Event& e = pool_[node].event;
+    if (head == kNil || Order{}(e, pool_[head].event)) {
+      pool_[node].next = head;
+      head = node;
+      return;
+    }
+    std::int32_t cur = head;
+    while (pool_[cur].next != kNil &&
+           !Order{}(e, pool_[pool_[cur].next].event)) {
+      cur = pool_[cur].next;
+    }
+    pool_[node].next = pool_[cur].next;
+    pool_[cur].next = node;
+  }
+
+  void locate_top() const {
+    // One lap over the calendar starting at the current day: a bucket's
+    // minimum (its head) is taken only if it falls inside the day the lap
+    // assigns to that bucket; otherwise the bucket holds only later years.
+    const Time start_day = floor_time_ >> shift_;
+    const std::size_t n = head_.size();
+    std::size_t b = static_cast<std::size_t>(start_day) & (n - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::int32_t node = head_[b];
+      if (node != kNil &&
+          pool_[node].event.time >> shift_ ==
+              start_day + static_cast<Time>(i)) {
+        top_bucket_ = b;
+        return;
+      }
+      b = (b + 1 == n) ? 0 : b + 1;
+    }
+    // Sparse population beyond one year: direct minimum search.
+    std::size_t best = kNoBucket;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (head_[j] == kNil) continue;
+      if (best == kNoBucket ||
+          Order{}(pool_[head_[j]].event, pool_[head_[best]].event)) {
+        best = j;
+      }
+    }
+    assert(best != kNoBucket);
+    top_bucket_ = best;
+  }
+
+  void resize(std::size_t new_bucket_count) {
+    // Re-estimate the width from the live population so occupancy returns
+    // to O(1): the average gap between the earliest and latest pending
+    // events, rounded up to a power of two (at least one time unit).
+    // Collect the live nodes, re-point the bucket heads, and relink — no
+    // allocation.
+    scratch_.clear();
+    Time lo = kTimeInfinity;
+    Time hi = 0;
+    for (const std::int32_t head : head_) {
+      for (std::int32_t n = head; n != kNil; n = pool_[n].next) {
+        scratch_.push_back(n);
+        const Time t = pool_[n].event.time;
+        if (t < lo) lo = t;
+        if (t > hi) hi = t;
+      }
+    }
+    Time width = 1;
+    if (size_ > 0 && hi > lo) {
+      width = (hi - lo) / static_cast<Time>(size_);
+      if (width < 1) width = 1;
+    }
+    rebuild(new_bucket_count, shift_for(width));
+    for (const std::int32_t n : scratch_) {
+      pool_[n].next = kNil;
+      insert_sorted(head_[bucket_of(pool_[n].event.time)], n);
+    }
+  }
+
+  void rebuild(std::size_t bucket_count, unsigned shift) {
+    assert((bucket_count & (bucket_count - 1)) == 0);
+    head_.assign(bucket_count, kNil);
+    shift_ = shift;
+    top_valid_ = false;
+  }
+
+  std::vector<Node> pool_;
+  std::int32_t free_head_ = kNil;
+  std::vector<std::int32_t> head_;  // per-bucket ascending list heads
+  std::vector<std::int32_t> scratch_;  // resize work list
+  unsigned shift_ = 0;  // bucket width is 1 << shift_
+  std::size_t size_ = 0;
+  // Lower bound on every pending event's time; anchor of the dequeue lap.
+  Time floor_time_ = 0;
+  mutable std::size_t top_bucket_ = kNoBucket;
+  mutable bool top_valid_ = false;
+};
+
+// The engine's unified event stream.
+using CalendarQueue = BasicCalendarQueue<EngineEvent>;
+
+}  // namespace fairsched

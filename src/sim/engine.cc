@@ -16,27 +16,47 @@ Engine::Engine(const Instance& inst, Coalition active, EngineOptions options)
       completed_(inst.num_orgs(), 0),
       accounts_(inst.num_orgs()),
       schedule_(inst.num_orgs()) {
-  // Releases of member organizations, globally sorted by time. Per-org job
-  // lists are already release-sorted, so a k-way merge would do; a flat sort
-  // keeps the code simple and is O(J log J) once per engine.
+  const bool unified = options_.machine_pick == MachinePick::kFirstFree;
+  std::size_t release_count = 0;
   for (OrgId u = 0; u < inst.num_orgs(); ++u) {
     if (!active_.contains(u)) continue;
-    for (const Job& j : inst.jobs_of(u)) {
-      releases_.push_back(Release{j.release, u});
+    const auto jobs = inst.jobs_of(u);
+    release_count += jobs.size();
+    if (unified) {
+      // Streamed releases: the calendar holds only each organization's
+      // earliest un-admitted release (advance_to pushes the successor when
+      // one is consumed), so the live population stays at ~(member orgs +
+      // running jobs) instead of the whole workload. Per-org job lists are
+      // release-sorted, so the global minimum release is always present and
+      // the drain order equals the full-preload order.
+      if (!jobs.empty()) {
+        events_.push(
+            EngineEvent{jobs[0].release, EventKind::kRelease, u, 0, kNoMachine});
+      }
+    } else {
+      for (std::uint32_t i = 0; i < jobs.size(); ++i) {
+        releases_.push_back(Release{jobs[i].release, u});
+      }
     }
     total_machines_ += inst.machines_of(u);
   }
-  std::stable_sort(releases_.begin(), releases_.end(),
-                   [](const Release& a, const Release& b) {
-                     if (a.time != b.time) return a.time < b.time;
-                     return a.org < b.org;
-                   });
+  schedule_.reserve(release_count);
+  if (!unified) {
+    // Legacy order: by time, ties by org (per-org job lists are already
+    // release-sorted, so stable sort keeps index order within an org).
+    std::stable_sort(releases_.begin(), releases_.end(),
+                     [](const Release& a, const Release& b) {
+                       if (a.time != b.time) return a.time < b.time;
+                       return a.org < b.org;
+                     });
+  }
   // All machines of member organizations start free.
+  if (unified) free_set_.init(inst.total_machines());
   for (OrgId u = 0; u < inst.num_orgs(); ++u) {
     if (!active_.contains(u)) continue;
     for (MachineId m = inst.machine_begin(u); m < inst.machine_end(u); ++m) {
-      if (options_.machine_pick == MachinePick::kFirstFree) {
-        free_heap_.push(m);
+      if (unified) {
+        free_set_.insert(m);
       } else {
         free_list_.push_back(m);
       }
@@ -54,21 +74,10 @@ double Engine::share(OrgId u) const {
          static_cast<double>(total_machines_);
 }
 
-HalfUtil Engine::value2() const {
-  HalfUtil total = 0;
-  for (OrgId u = 0; u < inst_->num_orgs(); ++u) total += accounts_[u].psi2;
-  return total;
-}
-
-std::int64_t Engine::total_work_done() const {
-  std::int64_t total = 0;
-  for (OrgId u = 0; u < inst_->num_orgs(); ++u) {
-    total += accounts_[u].work_done;
-  }
-  return total;
-}
-
 Time Engine::next_event() const {
+  if (options_.machine_pick == MachinePick::kFirstFree) {
+    return events_.empty() ? kTimeInfinity : events_.top().time;
+  }
   Time t = kTimeInfinity;
   if (release_ptr_ < releases_.size()) {
     t = std::min(t, releases_[release_ptr_].time);
@@ -77,65 +86,131 @@ Time Engine::next_event() const {
   return t;
 }
 
-void Engine::accrue_to(Time t) {
-  const Time delta = t - now_;
+void Engine::lazy_accrue(OrgId u) const {
+  OrgAccount& acc = accounts_[u];
+  const Time delta = now_ - acc.accrued_at;
   if (delta <= 0) return;
-  for (OrgId u = 0; u < inst_->num_orgs(); ++u) {
-    OrgAccount& acc = accounts_[u];
-    if (acc.running_jobs > 0 || acc.work_done > 0) {
-      // Own-job utility: old units each gain delta; each running job adds
-      // delta fresh units worth (delta + delta-1 + ... + 1) at time t.
-      acc.psi2 += 2 * acc.work_done * delta +
-                  static_cast<HalfUtil>(acc.running_jobs) * delta * (delta + 1);
-      acc.work_done += static_cast<std::int64_t>(acc.running_jobs) * delta;
-    }
-    if (acc.busy_machines > 0 || acc.contrib_work > 0) {
-      acc.contrib_psi2 +=
-          2 * acc.contrib_work * delta +
-          static_cast<HalfUtil>(acc.busy_machines) * delta * (delta + 1);
-      acc.contrib_work += static_cast<std::int64_t>(acc.busy_machines) * delta;
-    }
+  acc.accrued_at = now_;
+  if (acc.running_jobs > 0 || acc.work_done > 0) {
+    // Own-job utility: old units each gain delta; each running job adds
+    // delta fresh units worth (delta + delta-1 + ... + 1) at time now_.
+    acc.psi2 += 2 * acc.work_done * delta +
+                static_cast<HalfUtil>(acc.running_jobs) * delta * (delta + 1);
+    acc.work_done += static_cast<std::int64_t>(acc.running_jobs) * delta;
   }
+  if (acc.busy_machines > 0 || acc.contrib_work > 0) {
+    acc.contrib_psi2 +=
+        2 * acc.contrib_work * delta +
+        static_cast<HalfUtil>(acc.busy_machines) * delta * (delta + 1);
+    acc.contrib_work += static_cast<std::int64_t>(acc.busy_machines) * delta;
+  }
+}
+
+void Engine::fold_aggregate() {
+  if (agg_at_ == now_) return;
+  agg_psi2_ = value2();
+  agg_work_ = total_work_done();
+  agg_at_ = now_;
+  sync_mirror();
+}
+
+void Engine::advance_clock(Time t) {
+  if (t <= now_) return;
+  const Time dt = t - now_;
   now_ = t;
+  if (listener_ != nullptr) {
+    PolicyView view(*this);
+    listener_->on_advance(view, dt);
+  }
+}
+
+void Engine::apply_completion(Time t, OrgId org, MachineId machine) {
+  assert(t == now_);
+  (void)t;
+  lazy_accrue(org);
+  const OrgId owner = inst_->machine_owner(machine);
+  lazy_accrue(owner);
+  fold_aggregate();
+  OrgAccount& acc = accounts_[org];
+  assert(acc.running_jobs > 0);
+  acc.running_jobs--;
+  assert(accounts_[owner].busy_machines > 0);
+  accounts_[owner].busy_machines--;
+  agg_running_--;
+  sync_mirror();
+  completed_[org]++;
+  if (options_.machine_pick == MachinePick::kFirstFree) {
+    free_set_.insert(machine);
+    // The applied completion is the earliest pending one (event_before
+    // refines time), so it is the top of the time heap.
+    assert(!completion_times_.empty() && completion_times_.top() == t);
+    completion_times_.pop();
+  } else {
+    free_list_.push_back(machine);
+  }
+  free_machines_++;
+  events_processed_++;
+  if (listener_ != nullptr) {
+    PolicyView view(*this);
+    listener_->on_complete(view, org, machine);
+  }
+}
+
+void Engine::apply_release(OrgId org) {
+  released_[org]++;
+  waiting_total_++;
+  events_processed_++;
+  if (listener_ != nullptr) {
+    PolicyView view(*this);
+    listener_->on_release(view, org);
+  }
 }
 
 void Engine::advance_to(Time t) {
   assert(t >= now_);
-  // Completions strictly before or at t, in time order, each accrued
-  // piecewise so the interval after a completion no longer counts the
-  // finished job as running.
+  if (options_.machine_pick == MachinePick::kFirstFree) {
+    // Unified stream: events due at or before t in event_before order.
+    while (!events_.empty() && events_.top().time <= t) {
+      const EngineEvent e = events_.pop();
+      advance_clock(e.time);
+      if (e.kind == EventKind::kCompletion) {
+        apply_completion(e.time, e.org, e.machine);
+      } else {
+        apply_release(e.org);
+        // Stream in the organization's next release (see the constructor).
+        const auto jobs = inst_->jobs_of(e.org);
+        const std::uint32_t next_i = e.index + 1;
+        if (next_i < jobs.size()) {
+          events_.push(EngineEvent{jobs[next_i].release, EventKind::kRelease,
+                                   e.org, next_i, kNoMachine});
+        }
+      }
+    }
+    advance_clock(t);
+    return;
+  }
+  // Legacy kRandomFree order (see the engine.h tie-break note): all due
+  // completions in the heap's time-only order — their sequence feeds the
+  // random machine draw — then all due releases. Releases are pure
+  // bookkeeping (no accrual, no machine state), so processing them after
+  // later-timed completions is state-equivalent to interleaving.
   while (!completions_.empty() && completions_.top().time <= t) {
     const Completion c = completions_.top();
     completions_.pop();
-    accrue_to(c.time);
-    OrgAccount& acc = accounts_[c.org];
-    assert(acc.running_jobs > 0);
-    acc.running_jobs--;
-    const OrgId owner = inst_->machine_owner(c.machine);
-    assert(accounts_[owner].busy_machines > 0);
-    accounts_[owner].busy_machines--;
-    completed_[c.org]++;
-    if (options_.machine_pick == MachinePick::kFirstFree) {
-      free_heap_.push(c.machine);
-    } else {
-      free_list_.push_back(c.machine);
-    }
-    free_machines_++;
+    advance_clock(c.time);
+    apply_completion(c.time, c.org, c.machine);
   }
-  accrue_to(t);
+  advance_clock(t);
   while (release_ptr_ < releases_.size() &&
          releases_[release_ptr_].time <= t) {
-    released_[releases_[release_ptr_].org]++;
-    waiting_total_++;
+    apply_release(releases_[release_ptr_].org);
     release_ptr_++;
   }
 }
 
 MachineId Engine::pick_machine() {
   if (options_.machine_pick == MachinePick::kFirstFree) {
-    const MachineId m = free_heap_.top();
-    free_heap_.pop();
-    return m;
+    return free_set_.pop_min();
   }
   const std::size_t i =
       static_cast<std::size_t>(rng_.uniform_u64(free_list_.size()));
@@ -159,18 +234,37 @@ MachineId Engine::start_front(OrgId u) {
   waiting_total_--;
   const MachineId m = pick_machine();
   free_machines_--;
+  lazy_accrue(u);
+  const OrgId owner = inst_->machine_owner(m);
+  lazy_accrue(owner);
+  fold_aggregate();
   accounts_[u].running_jobs++;
-  accounts_[inst_->machine_owner(m)].busy_machines++;
-  completions_.push(Completion{now_ + job.processing, m, u, index});
+  accounts_[owner].busy_machines++;
+  agg_running_++;
+  sync_mirror();
+  if (options_.machine_pick == MachinePick::kFirstFree) {
+    events_.push(EngineEvent{now_ + job.processing, EventKind::kCompletion, u,
+                             index, m});
+    completion_times_.push(now_ + job.processing);
+  } else {
+    completions_.push(Completion{now_ + job.processing, m, u, index});
+  }
   schedule_.add(Placement{u, index, now_, m});
+  decisions_++;
   return m;
 }
 
 void Engine::run(Policy& policy, Time horizon) {
   PolicyView view(*this);
+  Policy* const previous = listener_;
+  listener_ = &policy;
   policy.reset(view);
   for (;;) {
-    const Time t = next_event();
+    // Wake only at times a decision could be required (see
+    // next_decision_time); the skipped events are batch-processed by the
+    // next advance_to in the exact same order, and the policy receives the
+    // same notification sequence at the same view.now() timestamps.
+    const Time t = next_decision_time();
     if (t == kTimeInfinity || t >= horizon) break;
     advance_to(t);
     while (needs_decision()) {
@@ -185,6 +279,7 @@ void Engine::run(Policy& policy, Time horizon) {
     }
   }
   advance_to(horizon);
+  listener_ = previous;
 }
 
 // --- PolicyView ------------------------------------------------------------
@@ -206,6 +301,12 @@ std::uint32_t PolicyView::free_machines() const {
 std::uint32_t PolicyView::machines_of(OrgId u) const {
   return engine_.machines_of(u);
 }
+std::uint32_t PolicyView::busy_machines(OrgId u) const {
+  return engine_.busy_machines(u);
+}
+OrgId PolicyView::machine_owner(MachineId m) const {
+  return engine_.instance().machine_owner(m);
+}
 double PolicyView::share(OrgId u) const { return engine_.share(u); }
 HalfUtil PolicyView::psi2(OrgId u) const { return engine_.psi2(u); }
 HalfUtil PolicyView::contrib_psi2(OrgId u) const {
@@ -216,6 +317,9 @@ std::int64_t PolicyView::work_done(OrgId u) const {
 }
 std::int64_t PolicyView::contrib_work(OrgId u) const {
   return engine_.contrib_work(u);
+}
+std::uint64_t PolicyView::state_version() const {
+  return engine_.state_version();
 }
 
 }  // namespace fairsched

@@ -16,16 +16,49 @@
 // tests/test_engine.cc which cross-checks against the closed form on the
 // final schedule.
 //
+// The closed form is linear in (C, w), so it splits exactly across
+// sub-intervals and sums exactly across organizations. The engine exploits
+// both: per-organization accounts accrue *lazily* (each carries its own
+// `accrued_at` timestamp and is folded forward only when read or when its
+// running/busy count changes), and coalition-level aggregates (value2,
+// total_work_done) are O(1) closed-form reads off three running sums —
+// advancing the clock costs O(1), not O(num_orgs). Both shortcuts are
+// bit-exact against the eager per-event loop they replaced.
+//
+// --- Event queue and tie-break ---------------------------------------------
+//
+// Releases and completions feed one unified event stream held in a calendar
+// queue (sim/calendar_queue.h) with O(1) amortized push/pop. Simultaneous
+// events are ordered by the single tie-break rule defined ONCE as
+// `event_before` in that header: (time, completions-before-releases, org,
+// index). Deliberate exception: with MachinePick::kRandomFree the engine
+// keeps the historical structures (sorted release list + time-only binary
+// heap of completions). That heap's same-time pop order determines the
+// order machines return to the free list, which the random machine draw
+// indexes into — i.e. it is part of the published RNG stream of
+// DIRECTCONTR runs and cannot change without changing results. kFirstFree
+// engines (every other policy, REF, RAND — the performance-critical paths)
+// use the calendar queue, where same-time completion order is unobservable:
+// machines re-enter an id-ordered free set and all accounting is
+// commutative within one timestamp.
+//
 // The engine is a manually steppable state machine (advance_to /
 // start_front) so that ensemble schedulers (REF drives one engine per
 // subcoalition; RAND one per sampled coalition) can interleave many engines
 // on one timeline. `run(policy, horizon)` is the convenience driver used by
-// ordinary policies.
+// ordinary policies; it attaches the policy so the push notifications of
+// the incremental Policy API (sim/policy.h) are delivered. Manual drivers
+// may attach a listener themselves via attach().
 //
 // An engine can be restricted to a coalition: only member organizations'
 // machines exist and only their jobs arrive. Organization ids keep their
 // global numbering so ensemble drivers can aggregate without relabeling.
+//
+// Engines are single-threaded objects: the const accessors fold lazy
+// accruals forward through mutable state, so concurrent reads of one
+// engine are not safe (the sweep executors give every run its own engine).
 
+#include <cassert>
 #include <cstdint>
 #include <queue>
 #include <vector>
@@ -34,6 +67,7 @@
 #include "core/instance.h"
 #include "core/schedule.h"
 #include "core/types.h"
+#include "sim/calendar_queue.h"
 #include "sim/policy.h"
 #include "util/rng.h"
 
@@ -65,9 +99,33 @@ class Engine {
   // kTimeInfinity when the engine is drained.
   Time next_event() const;
 
+  // Earliest pending completion, or kTimeInfinity if no job is running.
+  Time next_completion() const {
+    if (options_.machine_pick == MachinePick::kFirstFree) {
+      return completion_times_.empty() ? kTimeInfinity
+                                       : completion_times_.top();
+    }
+    return completions_.empty() ? kTimeInfinity : completions_.top().time;
+  }
+
+  // Earliest future time at which a scheduling decision could possibly be
+  // required — the wake-up granularity event-loop drivers actually need.
+  // While no machine is free, releases cannot enable a decision (they only
+  // grow the waiting queue), so the next opportunity is the next
+  // completion; otherwise any event can. Waking at these times only and
+  // batch-processing the skipped events in the next advance_to yields the
+  // exact same decision sequence as waking at every event: events are
+  // applied in the same `event_before` order either way, releases carry no
+  // accrual, and every state a driver observes at a decision point is
+  // identical.
+  Time next_decision_time() const {
+    return free_machines_ > 0 ? next_event() : next_completion();
+  }
+
   // Advances the clock to t (>= now()): accrues utilities, completes jobs
   // due at or before t, and admits releases at or before t. Does not start
-  // any job.
+  // any job. Events are processed in `event_before` order (kRandomFree: see
+  // the header note); the attached listener, if any, is notified per event.
   void advance_to(Time t);
 
   // True when a scheduling decision is required (free machine + waiting job).
@@ -81,7 +139,15 @@ class Engine {
 
   // Runs `policy` until `horizon`: processes events in order, invoking the
   // policy at each decision point, then advances to exactly `horizon`.
+  // Attaches `policy` for the duration, so it receives the push
+  // notifications (on_release / on_complete / on_advance) of sim/policy.h.
   void run(Policy& policy, Time horizon);
+
+  // Attaches `listener` to receive push notifications from advance_to
+  // (nullptr detaches). Manual drivers stepping the engine directly can use
+  // this to keep an incremental policy's mirror current; note start_front
+  // does NOT synthesize on_start — the driver that decides also notifies.
+  void attach(Policy* listener) { listener_ = listener; }
 
   // --- state inspection --------------------------------------------------
   std::uint32_t num_orgs() const { return inst_->num_orgs(); }
@@ -101,23 +167,89 @@ class Engine {
   std::uint32_t machines_of(OrgId u) const {
     return active_.contains(u) ? inst_->machines_of(u) : 0;
   }
+  std::uint32_t busy_machines(OrgId u) const {
+    return accounts_[u].busy_machines;
+  }
   double share(OrgId u) const;
 
   // --- accounting at now() ------------------------------------------------
-  HalfUtil psi2(OrgId u) const { return accounts_[u].psi2; }
-  HalfUtil contrib_psi2(OrgId u) const { return accounts_[u].contrib_psi2; }
-  std::int64_t work_done(OrgId u) const { return accounts_[u].work_done; }
+  HalfUtil psi2(OrgId u) const {
+    lazy_accrue(u);
+    return accounts_[u].psi2;
+  }
+  HalfUtil contrib_psi2(OrgId u) const {
+    lazy_accrue(u);
+    return accounts_[u].contrib_psi2;
+  }
+  std::int64_t work_done(OrgId u) const {
+    lazy_accrue(u);
+    return accounts_[u].work_done;
+  }
   std::int64_t contrib_work(OrgId u) const {
+    lazy_accrue(u);
     return accounts_[u].contrib_work;
   }
-  // Coalition value 2*v = sum of member utilities.
-  HalfUtil value2() const;
-  // Total completed unit parts (the paper's p_tot for this schedule).
-  std::int64_t total_work_done() const;
+  // Coalition value 2*v = sum of member utilities. O(1): closed form over
+  // the aggregate (total work, total psi2, running count) running sums.
+  HalfUtil value2() const { return value2_at(now_); }
+  // Coalition value at a FUTURE time t >= now() without touching the
+  // engine. Only valid when the caller guarantees no pending *completion*
+  // is due at or before t — then no schedule change can land in (now, t]
+  // and the closed form extends exactly. Pending releases at or before t
+  // are harmless: a waiting job accrues nothing, so admitting it cannot
+  // move the value. REF's global (time, size) event order provides the
+  // guarantee for subcoalition reads. Bit-identical to advance_to(t)
+  // followed by value2() — both evaluate the same expression at d = t -
+  // agg_at_.
+  HalfUtil value2_at(Time t) const {
+    assert(t == now_ || (t > now_ && next_completion() > t));
+    const Time d = t - agg_at_;
+    return agg_psi2_ + 2 * agg_work_ * d +
+           static_cast<HalfUtil>(agg_running_) * d * (d + 1);
+  }
+  // Total completed unit parts (the paper's p_tot for this schedule). O(1).
+  std::int64_t total_work_done() const {
+    const Time d = now_ - agg_at_;
+    return agg_work_ + static_cast<std::int64_t>(agg_running_) * d;
+  }
+
+  // The aggregate running sums behind value2_at, exact at `at`. Evaluating
+  //   psi2 + 2*work*d + running*d*(d+1)   with d = t - at
+  // is the identical expression value2_at computes, so a reader holding a
+  // snapshot gets bit-identical values without touching the engine.
+  struct AggSnapshot {
+    std::int64_t work = 0;
+    HalfUtil psi2 = 0;
+    std::uint32_t running = 0;
+    Time at = 0;
+  };
+
+  // Registers a write-through mirror of the aggregate sums (nullptr
+  // detaches). The engine refreshes *slot whenever the aggregates change,
+  // so ensemble drivers holding many engines (REF: one per subcoalition)
+  // can read all coalition values from one flat, cache-friendly array
+  // instead of chasing a pointer per engine. The slot must outlive the
+  // engine or be detached first.
+  void mirror_aggregate(AggSnapshot* slot) {
+    agg_mirror_ = slot;
+    sync_mirror();
+  }
 
   const Schedule& schedule() const { return schedule_; }
 
+  // --- instrumentation ----------------------------------------------------
+  // Events processed (releases admitted + completions applied) so far.
+  std::uint64_t events_processed() const { return events_processed_; }
+  // Scheduling decisions applied (start_front calls) so far.
+  std::uint64_t decisions_made() const { return decisions_; }
+  // Monotone version of the observable state: bumps on every event and
+  // every start. Incremental policies use it to detect missed
+  // notifications (PolicyView::state_version).
+  std::uint64_t state_version() const { return events_processed_ + decisions_; }
+
  private:
+  // Legacy completion entry for the kRandomFree path (time-only order; see
+  // the header note on the tie-break exception).
   struct Completion {
     Time time;
     MachineId machine;
@@ -135,9 +267,28 @@ class Engine {
     HalfUtil contrib_psi2 = 0;       // 2 * value of parts run on own machines
     std::uint32_t running_jobs = 0;  // own jobs currently running
     std::uint32_t busy_machines = 0; // own machines currently busy
+    Time accrued_at = 0;             // the accounts above are exact at this time
   };
 
-  void accrue_to(Time t);
+  // Folds organization u's account forward to now() (exact: the closed
+  // form splits across sub-intervals). Called before any read and before
+  // any running/busy count change.
+  void lazy_accrue(OrgId u) const;
+  // Folds the engine-level aggregate sums to now(); must be called before
+  // the total running count changes.
+  void fold_aggregate();
+  // Refreshes the registered aggregate mirror, if any. Must run after every
+  // change to the agg_* fields (fold_aggregate and the running-count
+  // updates in start_front / apply_completion).
+  void sync_mirror() {
+    if (agg_mirror_ != nullptr) {
+      *agg_mirror_ = AggSnapshot{agg_work_, agg_psi2_, agg_running_, agg_at_};
+    }
+  }
+  // Moves the clock (monotone) and notifies the listener.
+  void advance_clock(Time t);
+  void apply_completion(Time t, OrgId org, MachineId machine);
+  void apply_release(OrgId org);
   MachineId pick_machine();
 
   const Instance* inst_;
@@ -145,33 +296,80 @@ class Engine {
   EngineOptions options_;
   Rng rng_;
 
-  // Releases of active organizations, sorted by time (ties: org then index,
-  // for determinism).
+  // Unified event stream (kFirstFree engines): releases preloaded at
+  // construction, completions pushed as jobs start.
+  CalendarQueue events_;
+  // Pending completion times of the unified stream (duplicating the times
+  // of the calendar's completion entries): O(1) next_completion() for the
+  // wake-skipping of next_decision_time() and the value2_at precondition,
+  // which the mixed-kind calendar cannot answer cheaply.
+  std::priority_queue<Time, std::vector<Time>, std::greater<Time>>
+      completion_times_;
+
+  // Legacy kRandomFree structures (see header note). Releases of active
+  // organizations sorted by (time, org); completions in a time-only heap.
   struct Release {
     Time time;
     OrgId org;
   };
   std::vector<Release> releases_;
   std::size_t release_ptr_ = 0;
-
   std::priority_queue<Completion, std::vector<Completion>,
                       std::greater<Completion>>
       completions_;
 
-  // Free machines. kFirstFree keeps a min-heap (lowest id first,
-  // deterministic); kRandomFree keeps a flat vector with swap-pop.
-  std::priority_queue<MachineId, std::vector<MachineId>,
-                      std::greater<MachineId>>
-      free_heap_;
+  // Free machines, kFirstFree flavor: a bitmap over machine ids with a
+  // first-possibly-set-word hint. pop_min() returns the lowest free id —
+  // the same order the min-heap it replaced produced — in O(1) amortized
+  // word scans instead of O(log m) heap percolation.
+  class FreeMachineSet {
+   public:
+    void init(std::uint32_t num_machines) {
+      words_.assign((num_machines + 63) / 64, 0);
+      first_ = words_.size();
+    }
+    void insert(MachineId m) {
+      const std::size_t w = m >> 6;
+      words_[w] |= std::uint64_t{1} << (m & 63);
+      if (w < first_) first_ = w;
+    }
+    // Removes and returns the lowest id. Precondition: not empty.
+    MachineId pop_min() {
+      while (words_[first_] == 0) ++first_;
+      const int bit = __builtin_ctzll(words_[first_]);
+      words_[first_] &= words_[first_] - 1;
+      return static_cast<MachineId>((first_ << 6) | bit);
+    }
+
+   private:
+    std::vector<std::uint64_t> words_;
+    std::size_t first_ = 0;
+  };
+  FreeMachineSet free_set_;
+  // kRandomFree flavor: flat vector with swap-pop (random draw indexes it).
   std::vector<MachineId> free_list_;
 
   std::vector<std::uint32_t> released_;
   std::vector<std::uint32_t> started_;
   std::vector<std::uint32_t> completed_;
-  std::vector<OrgAccount> accounts_;
+  // mutable: const accessors fold lazy accruals forward (single-threaded;
+  // see the header note).
+  mutable std::vector<OrgAccount> accounts_;
   std::uint32_t waiting_total_ = 0;
   std::uint32_t free_machines_ = 0;
   std::uint32_t total_machines_ = 0;
+
+  // Aggregate running sums behind value2()/total_work_done(), exact at
+  // agg_at_.
+  std::int64_t agg_work_ = 0;
+  HalfUtil agg_psi2_ = 0;
+  std::uint32_t agg_running_ = 0;
+  Time agg_at_ = 0;
+  AggSnapshot* agg_mirror_ = nullptr;
+
+  std::uint64_t events_processed_ = 0;
+  std::uint64_t decisions_ = 0;
+  Policy* listener_ = nullptr;
 
   Time now_ = 0;
   Schedule schedule_;

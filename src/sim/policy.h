@@ -13,6 +13,36 @@
 // processing time of a waiting or running job. Policies learn a job's length
 // only by observing its completion (through the accounting deltas), exactly
 // as the paper's model prescribes.
+//
+// --- Push-based lifecycle --------------------------------------------------
+//
+// select() alone makes every decision O(num_orgs) (a full rescan); the
+// engine therefore *pushes* state changes to the policy it drives so that
+// policies can maintain per-organization priority keys incrementally and
+// answer select() as an O(log num_orgs) argmin. While a policy is attached
+// (Engine::run attaches automatically; manual drivers may call
+// Engine::attach), the engine delivers, in event order:
+//
+//   reset(view)                    once, before the first event;
+//   on_advance(view, dt)           the clock moved forward by dt; state
+//                                  visible through `view` is already at the
+//                                  new time;
+//   on_release(view, u)            a job of u was released (after the
+//                                  waiting count was incremented);
+//   on_complete(view, u, m)        a job of u completed on machine m (after
+//                                  the accounting was updated and m freed);
+//   on_start(view, u, index, m)    u's job `index` started on m — delivered
+//                                  by the run loop, immediately after the
+//                                  policy's own select() answer was applied.
+//
+// All notification virtuals are default no-ops: a pre-existing policy that
+// only overrides select(view) still compiles and behaves exactly as before
+// — the scan-based select IS the adapter path, and it remains the supported
+// interface for out-of-tree policies (see docs/ARCHITECTURE.md for the
+// deprecation policy). Incremental policies must tolerate drivers that
+// never attach: PolicyView::state_version() counts every engine state
+// change, so a mirror can detect missed notifications and rebuild itself
+// from the view (sched/org_index.h packages that pattern).
 
 #include <cstdint>
 
@@ -42,6 +72,10 @@ class PolicyView {
   std::uint32_t completed(OrgId u) const;
   std::uint32_t free_machines() const;
   std::uint32_t machines_of(OrgId u) const;
+  // Of u's machines, how many currently execute a job (any owner's).
+  std::uint32_t busy_machines(OrgId u) const;
+  // Owner of machine m (ownership is static, public knowledge).
+  OrgId machine_owner(MachineId m) const;
   double share(OrgId u) const;  // machine share within the active coalition
 
   // Accounting at now() — all quantities refer to *elapsed* execution only.
@@ -49,6 +83,12 @@ class PolicyView {
   HalfUtil contrib_psi2(OrgId u) const;  // 2*psi_sp-value of parts run on u's machines
   std::int64_t work_done(OrgId u) const;     // unit parts of u's jobs executed
   std::int64_t contrib_work(OrgId u) const;  // unit parts executed on u's machines
+
+  // Monotone counter of engine state changes (events processed + jobs
+  // started). A policy mirroring engine state incrementally compares this
+  // against the version it last synchronized at to detect state changes it
+  // was not notified of (drivers that step the engine without attaching).
+  std::uint64_t state_version() const;
 
  private:
   const Engine& engine_;
@@ -69,6 +109,14 @@ class Policy {
   // Notification after a job start (default: ignore).
   virtual void on_start(const PolicyView& /*view*/, OrgId /*org*/,
                         std::uint32_t /*index*/, MachineId /*machine*/) {}
+
+  // Push notifications (defaults: ignore — scan-only policies need none of
+  // these). Delivered only while the policy is attached to the engine; see
+  // the lifecycle note above.
+  virtual void on_release(const PolicyView& /*view*/, OrgId /*org*/) {}
+  virtual void on_complete(const PolicyView& /*view*/, OrgId /*org*/,
+                           MachineId /*machine*/) {}
+  virtual void on_advance(const PolicyView& /*view*/, Time /*dt*/) {}
 };
 
 }  // namespace fairsched

@@ -10,13 +10,15 @@
 #include "metrics/utility.h"
 #include "sched/rand_fair.h"
 #include "sched/ref.h"
-#include "sched/runner.h"
+#include "exp/policy_registry.h"
 #include "shapley/shapley.h"
 #include "sim/engine.h"
 #include "workload/swf.h"
 
 namespace fairsched {
 namespace {
+// Shorthand for the open policy registry (see exp/policy_registry.h).
+exp::PolicyRegistry& registry() { return exp::PolicyRegistry::global(); }
 
 TEST(EdgeCases, CoalitionWithMachinesButNoJobs) {
   InstanceBuilder b;
@@ -26,14 +28,14 @@ TEST(EdgeCases, CoalitionWithMachinesButNoJobs) {
   const Instance inst = std::move(b).build();
   // Coalition of just the idle org: machines but nothing to run.
   Engine e(inst, Coalition::singleton(0));
-  auto policy = make_policy(parse_algorithm("fcfs"));
+  auto policy = registry().make_policy("fcfs");
   e.run(*policy, 50);
   EXPECT_EQ(e.total_work_done(), 0);
   EXPECT_EQ(e.value2(), 0);
   // Coalition of just the busy org: jobs but no machines — nothing runs,
   // no crash, no events beyond releases.
   Engine e2(inst, Coalition::singleton(1));
-  auto policy2 = make_policy(parse_algorithm("fcfs"));
+  auto policy2 = registry().make_policy("fcfs");
   e2.run(*policy2, 50);
   EXPECT_EQ(e2.total_work_done(), 0);
   EXPECT_EQ(e2.waiting(busy), 1u);
@@ -50,7 +52,7 @@ TEST(EdgeCases, ZeroShareOrganizationStillServed) {
   const Instance inst = std::move(b).build();
   for (const char* alg :
        {"fairshare", "utfairshare", "currfairshare", "decayfairshare100"}) {
-    const RunResult r = run_algorithm(inst, parse_algorithm(alg), 20, 1);
+    const RunResult r = registry().run(inst, alg, 20, 1);
     EXPECT_EQ(r.schedule.size(), 2u) << alg;
     EXPECT_EQ(r.schedule.start_of(guest, 0), 0) << alg;
   }
@@ -62,7 +64,7 @@ TEST(EdgeCases, HorizonZeroYieldsNothing) {
   b.add_job(a, 0, 5);
   const Instance inst = std::move(b).build();
   for (const char* alg : {"fcfs", "ref", "rand5", "directcontr"}) {
-    const RunResult r = run_algorithm(inst, parse_algorithm(alg), 0, 1);
+    const RunResult r = registry().run(inst, alg, 0, 1);
     EXPECT_EQ(r.work_done, 0) << alg;
     for (HalfUtil v : r.utilities2) EXPECT_EQ(v, 0) << alg;
   }
@@ -79,7 +81,7 @@ TEST(EdgeCases, SingleOrganizationEverything) {
   std::vector<HalfUtil> reference;
   for (const char* alg : {"ref", "rand5", "directcontr", "fairshare",
                           "roundrobin", "fcfs", "random"}) {
-    const RunResult r = run_algorithm(inst, parse_algorithm(alg), 30, 7);
+    const RunResult r = registry().run(inst, alg, 30, 7);
     if (reference.empty()) {
       reference = r.utilities2;
     } else {
@@ -173,7 +175,7 @@ TEST(EdgeCases, SimultaneousReleaseBurstExceedsMachines) {
   const OrgId a = b.add_org("a", 3);
   for (int i = 0; i < 100; ++i) b.add_job(a, 0, 2);
   const Instance inst = std::move(b).build();
-  const RunResult r = run_algorithm(inst, parse_algorithm("fcfs"), 100, 1);
+  const RunResult r = registry().run(inst, "fcfs", 100, 1);
   EXPECT_EQ(r.schedule.validate(inst, 100), std::nullopt);
   EXPECT_EQ(r.work_done, 200);
   // 33 waves of 3 jobs finish by t=66; the 100th job runs [66, 68), so one

@@ -5,12 +5,14 @@
 
 #include "metrics/utility.h"
 #include "sched/decaying_fair_share.h"
-#include "sched/runner.h"
+#include "exp/policy_registry.h"
 #include "sim/engine.h"
 #include "workload/window.h"
 
 namespace fairsched {
 namespace {
+// Shorthand for the open policy registry (see exp/policy_registry.h).
+exp::PolicyRegistry& registry() { return exp::PolicyRegistry::global(); }
 
 // --- DecayingFairShare -------------------------------------------------------
 
@@ -26,24 +28,24 @@ Instance contended_instance() {
 }
 
 TEST(DecayFairShare, ParsesWithHalfLife) {
-  const PolicySpec spec = parse_algorithm("decayfairshare2500");
+  const PolicySpec spec = registry().make("decayfairshare2500");
   EXPECT_EQ(spec.base, "decayfairshare");
   EXPECT_DOUBLE_EQ(spec.params.at("half-life").real_value, 2500.0);
   EXPECT_EQ(spec.to_string(), "decayfairshare(half-life=2500)");
-  EXPECT_THROW(parse_algorithm("decayfairshare0"), std::invalid_argument);
+  EXPECT_THROW(registry().make("decayfairshare0"), std::invalid_argument);
 }
 
 TEST(DecayFairShare, ProducesFeasibleSchedule) {
   const Instance inst = contended_instance();
   const RunResult r =
-      run_algorithm(inst, parse_algorithm("decayfairshare1000"), 100, 1);
+      registry().run(inst, "decayfairshare1000", 100, 1);
   EXPECT_EQ(r.schedule.validate(inst, 100), std::nullopt);
 }
 
 TEST(DecayFairShare, SymmetricOrgsBalanced) {
   const Instance inst = contended_instance();
   const RunResult r =
-      run_algorithm(inst, parse_algorithm("decayfairshare500"), 120, 1);
+      registry().run(inst, "decayfairshare500", 120, 1);
   // Usage-based rotation gives the tie-break winner systematically earlier
   // slots, so only near-equality can be required (the same is true of the
   // paper's FAIRSHARE).
@@ -71,9 +73,9 @@ TEST(DecayFairShare, ForgetsOldUsageUnlikePlainFairShare) {
   const Time horizon = 320;
 
   const RunResult plain =
-      run_algorithm(inst, parse_algorithm("fairshare"), horizon, 1);
+      registry().run(inst, "fairshare", horizon, 1);
   const RunResult decayed =
-      run_algorithm(inst, parse_algorithm("decayfairshare20"), horizon, 1);
+      registry().run(inst, "decayfairshare20", horizon, 1);
 
   // Count a's starts in the contended phase.
   auto phase_starts = [&](const RunResult& r) {
@@ -91,7 +93,7 @@ TEST(DecayFairShare, NoDecayDegeneratesToFairShare) {
   const Instance inst = contended_instance();
   Engine a(inst), b(inst);
   DecayingFairSharePolicy no_decay(0.0);
-  auto fairshare = make_policy(parse_algorithm("fairshare"));
+  auto fairshare = registry().make_policy("fairshare");
   a.run(no_decay, 150);
   b.run(*fairshare, 150);
   for (OrgId u = 0; u < inst.num_orgs(); ++u) {
@@ -103,16 +105,16 @@ TEST(DecayFairShare, NoDecayDegeneratesToFairShare) {
 
 TEST(RandomBaseline, FeasibleAndDeterministicPerSeed) {
   const Instance inst = contended_instance();
-  const RunResult r1 = run_algorithm(inst, parse_algorithm("random"), 80, 9);
-  const RunResult r2 = run_algorithm(inst, parse_algorithm("random"), 80, 9);
+  const RunResult r1 = registry().run(inst, "random", 80, 9);
+  const RunResult r2 = registry().run(inst, "random", 80, 9);
   EXPECT_EQ(r1.schedule.validate(inst, 80), std::nullopt);
   EXPECT_EQ(r1.utilities2, r2.utilities2);
 }
 
 TEST(RandomBaseline, DifferentSeedsCanDiffer) {
   const Instance inst = contended_instance();
-  const RunResult r1 = run_algorithm(inst, parse_algorithm("random"), 80, 1);
-  const RunResult r2 = run_algorithm(inst, parse_algorithm("random"), 80, 2);
+  const RunResult r1 = registry().run(inst, "random", 80, 1);
+  const RunResult r2 = registry().run(inst, "random", 80, 2);
   // Not guaranteed in principle, overwhelmingly likely with 200 decisions.
   EXPECT_NE(r1.schedule.placements(), r2.schedule.placements());
 }

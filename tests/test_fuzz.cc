@@ -12,11 +12,13 @@
 #include "metrics/utility.h"
 #include "sched/rand_fair.h"
 #include "sched/ref.h"
-#include "sched/runner.h"
+#include "exp/policy_registry.h"
 #include "util/rng.h"
 
 namespace fairsched {
 namespace {
+// Shorthand for the open policy registry (see exp/policy_registry.h).
+exp::PolicyRegistry& registry() { return exp::PolicyRegistry::global(); }
 
 Instance random_instance(std::uint64_t seed, std::uint32_t max_orgs,
                          bool unit_jobs) {
@@ -52,7 +54,7 @@ TEST_P(AlgorithmFuzz, ScheduleFeasibleAndAccountingExact) {
   const auto& [alg, seed] = GetParam();
   const Instance inst = random_instance(seed, 4, false);
   const Time horizon = 40 + static_cast<Time>(seed % 7) * 25;
-  const RunResult r = run_algorithm(inst, parse_algorithm(alg), horizon,
+  const RunResult r = registry().run(inst, alg, horizon,
                                     seed);
   // Feasibility: machine-exclusive, FIFO, greedy up to the horizon.
   EXPECT_EQ(r.schedule.validate(inst, horizon), std::nullopt)

@@ -7,13 +7,15 @@
 
 #include "metrics/fairness.h"
 #include "metrics/utility.h"
-#include "sched/runner.h"
+#include "exp/policy_registry.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
 #include "workload/synthetic.h"
 
 namespace fairsched {
 namespace {
+// Shorthand for the open policy registry (see exp/policy_registry.h).
+exp::PolicyRegistry& registry() { return exp::PolicyRegistry::global(); }
 
 struct PipelineResult {
   std::map<std::string, double> ratio;  // algorithm -> delta_psi / p_tot
@@ -24,13 +26,13 @@ PipelineResult run_pipeline(std::uint64_t seed, Time duration) {
   const Instance inst = make_synthetic_instance(spec, 4, duration,
                                                 MachineSplit::kZipf, 1.0,
                                                 seed);
-  const RunResult ref = run_algorithm(inst, parse_algorithm("ref"), duration,
+  const RunResult ref = registry().run(inst, "ref", duration,
                                       seed);
   PipelineResult out;
   for (const char* alg : {"roundrobin", "rand15", "directcontr", "fairshare",
                           "utfairshare", "currfairshare"}) {
     const RunResult r =
-        run_algorithm(inst, parse_algorithm(alg), duration, seed);
+        registry().run(inst, alg, duration, seed);
     out.ratio[alg] =
         unfairness_ratio(r.utilities2, ref.utilities2, ref.work_done);
   }
@@ -69,7 +71,7 @@ TEST(Integration, RefIsItsOwnReference) {
   const SyntheticSpec spec = preset_lpc_egee();
   const Instance inst =
       make_synthetic_instance(spec, 3, 2000, MachineSplit::kUniform, 1.0, 9);
-  const RunResult ref = run_algorithm(inst, parse_algorithm("ref"), 2000, 9);
+  const RunResult ref = registry().run(inst, "ref", 2000, 9);
   EXPECT_DOUBLE_EQ(
       unfairness_ratio(ref.utilities2, ref.utilities2, ref.work_done), 0.0);
 }
@@ -90,7 +92,7 @@ TEST(Integration, AllAlgorithmsScheduleTheSameWorkUnderLightLoad) {
   for (const char* alg : {"ref", "rand15", "roundrobin", "fairshare",
                           "directcontr", "currfairshare", "utfairshare"}) {
     work.push_back(
-        run_algorithm(inst, parse_algorithm(alg), horizon, 1).work_done);
+        registry().run(inst, alg, horizon, 1).work_done);
   }
   for (std::size_t i = 1; i < work.size(); ++i) {
     EXPECT_EQ(work[i], work[0]);

@@ -1,16 +1,17 @@
 // Behavioural tests for the baseline policies (ROUNDROBIN, the fair-share
-// family, DIRECTCONTR, FCFS) and the runner facade.
+// family, DIRECTCONTR, FCFS) and the registry facade.
 
 #include <gtest/gtest.h>
 
 #include "exp/policy_registry.h"
 #include "metrics/utility.h"
-#include "sched/runner.h"
 #include "sim/engine.h"
 #include "workload/synthetic.h"
 
 namespace fairsched {
 namespace {
+// Shorthand for the open policy registry (see exp/policy_registry.h).
+exp::PolicyRegistry& registry() { return exp::PolicyRegistry::global(); }
 
 // Two organizations, one machine each, both flooding the system with unit
 // jobs from t=0. Any sensible fair algorithm alternates; shares are equal.
@@ -27,7 +28,7 @@ Instance contended_unit_instance(std::uint32_t jobs_per_org) {
 
 TEST(RoundRobin, AlternatesUnderContention) {
   const Instance inst = contended_unit_instance(20);
-  const RunResult r = run_algorithm(inst, parse_algorithm("roundrobin"), 10, 1);
+  const RunResult r = registry().run(inst, "roundrobin", 10, 1);
   // In each slot both machines run one job; round robin serves a,c,a,c...
   EXPECT_EQ(r.utilities2[0], r.utilities2[1]);
 }
@@ -39,7 +40,7 @@ TEST(RoundRobin, SkipsOrgsWithoutWork) {
   b.add_job(a, 0, 2);
   b.add_job(a, 0, 2);
   const Instance inst = std::move(b).build();
-  const RunResult r = run_algorithm(inst, parse_algorithm("roundrobin"), 10, 1);
+  const RunResult r = registry().run(inst, "roundrobin", 10, 1);
   // Both of a's jobs start immediately on the two machines.
   EXPECT_EQ(r.schedule.start_of(0, 0), 0);
   EXPECT_EQ(r.schedule.start_of(0, 1), 0);
@@ -55,7 +56,7 @@ TEST(FairShare, ProportionalToMachineShares) {
     b.add_job(c, 0, 1);
   }
   const Instance inst = std::move(b).build();
-  const RunResult r = run_algorithm(inst, parse_algorithm("fairshare"), 50, 1);
+  const RunResult r = registry().run(inst, "fairshare", 50, 1);
   // Allocated CPU should track the 3:1 share ratio.
   // Completed unit parts by 50: 4 machines * 50 = 200 total.
   std::int64_t a_work = 0, c_work = 0;
@@ -78,7 +79,7 @@ TEST(CurrFairShare, BalancesRunningJobs) {
     b.add_job(c, 0, 100);
   }
   const Instance inst = std::move(b).build();
-  const RunResult r = run_algorithm(inst, parse_algorithm("currfairshare"),
+  const RunResult r = registry().run(inst, "currfairshare",
                                     100, 1);
   int a_running = 0, c_running = 0;
   for (const Placement& p : r.schedule.placements()) {
@@ -90,7 +91,7 @@ TEST(CurrFairShare, BalancesRunningJobs) {
 
 TEST(UtFairShare, EqualSharesEqualUtilities) {
   const Instance inst = contended_unit_instance(100);
-  const RunResult r = run_algorithm(inst, parse_algorithm("utfairshare"), 60,
+  const RunResult r = registry().run(inst, "utfairshare", 60,
                                     1);
   // Perfectly symmetric situation: utilities should match exactly.
   EXPECT_EQ(r.utilities2[0], r.utilities2[1]);
@@ -106,7 +107,7 @@ TEST(DirectContr, CompensatesTheLender) {
   for (int i = 0; i < 50; ++i) b.add_job(c, 0, 5);
   b.add_job(a, 20, 5);
   const Instance inst = std::move(b).build();
-  const RunResult r = run_algorithm(inst, parse_algorithm("directcontr"),
+  const RunResult r = registry().run(inst, "directcontr",
                                     200, 1);
   // a's job starts at the first machine-free moment at/after release 20.
   const auto start = r.schedule.start_of(a, 0);
@@ -122,7 +123,7 @@ TEST(Fcfs, OrdersByReleaseAcrossOrgs) {
   b.add_job(a, 1, 3);
   b.add_job(c, 2, 3);
   const Instance inst = std::move(b).build();
-  const RunResult r = run_algorithm(inst, parse_algorithm("fcfs"), 100, 1);
+  const RunResult r = registry().run(inst, "fcfs", 100, 1);
   EXPECT_EQ(r.schedule.start_of(c, 0), 0);
   EXPECT_EQ(r.schedule.start_of(a, 0), 3);
   EXPECT_EQ(r.schedule.start_of(c, 1), 6);
@@ -134,7 +135,7 @@ TEST(Runner, AllPolicyAlgorithmsProduceFeasibleSchedules) {
                                                 MachineSplit::kZipf, 1.0, 21);
   for (const char* name : {"roundrobin", "fairshare", "utfairshare",
                            "currfairshare", "directcontr", "fcfs"}) {
-    const RunResult r = run_algorithm(inst, parse_algorithm(name), 3000, 5);
+    const RunResult r = registry().run(inst, name, 3000, 5);
     EXPECT_EQ(r.schedule.validate(inst, 3000), std::nullopt) << name;
     // Utilities reported must equal the closed form on the schedule.
     for (OrgId u = 0; u < inst.num_orgs(); ++u) {
@@ -145,30 +146,30 @@ TEST(Runner, AllPolicyAlgorithmsProduceFeasibleSchedules) {
   }
 }
 
-TEST(Runner, ParseAlgorithmNames) {
-  // parse_algorithm is a deprecated shim over the registry's one grammar.
-  EXPECT_EQ(parse_algorithm("REF").base, "ref");
-  EXPECT_EQ(parse_algorithm("rand").params.at("samples").int_value, 15);
-  EXPECT_EQ(parse_algorithm("rand75").params.at("samples").int_value, 75);
-  EXPECT_EQ(parse_algorithm("Rand15").base, "rand");
-  EXPECT_EQ(parse_algorithm("DirectContr").base, "directcontr");
-  EXPECT_THROW(parse_algorithm("bogus"), std::invalid_argument);
-  EXPECT_THROW(parse_algorithm("rand0"), std::invalid_argument);
+TEST(Registry, ParsesTheOneNameGrammar) {
+  // The registry owns the one name grammar (exp/policy_registry.h).
+  EXPECT_EQ(registry().make("REF").base, "ref");
+  EXPECT_EQ(registry().make("rand").params.at("samples").int_value, 15);
+  EXPECT_EQ(registry().make("rand75").params.at("samples").int_value, 75);
+  EXPECT_EQ(registry().make("Rand15").base, "rand");
+  EXPECT_EQ(registry().make("DirectContr").base, "directcontr");
+  EXPECT_THROW(registry().make("bogus"), std::invalid_argument);
+  EXPECT_THROW(registry().make("rand0"), std::invalid_argument);
 }
 
-TEST(Runner, DisplayNames) {
+TEST(Registry, DisplayNames) {
   // The canonical name is the display form, used uniformly for CSV/JSON
   // columns, fingerprints and cache keys.
-  EXPECT_EQ(exp::canonical_policy_name(parse_algorithm("rand15")),
+  EXPECT_EQ(exp::canonical_policy_name(registry().make("rand15")),
             "rand15");
-  EXPECT_EQ(exp::canonical_policy_name(parse_algorithm("fairshare")),
+  EXPECT_EQ(exp::canonical_policy_name(registry().make("fairshare")),
             "fairshare");
-  EXPECT_EQ(parse_algorithm("rand15").to_string(), "rand(samples=15)");
+  EXPECT_EQ(registry().make("rand15").to_string(), "rand(samples=15)");
 }
 
-TEST(Runner, MakePolicyRejectsEnsembleAlgorithms) {
-  EXPECT_THROW(make_policy(parse_algorithm("ref")), std::invalid_argument);
-  EXPECT_THROW(make_policy(parse_algorithm("rand")), std::invalid_argument);
+TEST(Registry, MakePolicyRejectsEnsembleAlgorithms) {
+  EXPECT_THROW(registry().make_policy("ref"), std::invalid_argument);
+  EXPECT_THROW(registry().make_policy("rand"), std::invalid_argument);
 }
 
 }  // namespace

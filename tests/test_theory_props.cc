@@ -13,11 +13,13 @@
 #include "shapley/shapley.h"
 #include "sched/fcfs.h"
 #include "sched/round_robin.h"
-#include "sched/runner.h"
+#include "exp/policy_registry.h"
 #include "sim/engine.h"
 
 namespace fairsched {
 namespace {
+// Shorthand for the open policy registry (see exp/policy_registry.h).
+exp::PolicyRegistry& registry() { return exp::PolicyRegistry::global(); }
 
 // --- Proposition 5.4 --------------------------------------------------------
 
@@ -42,7 +44,7 @@ TEST(Prop54, UnitJobCoalitionValueIsGreedyInvariant) {
       for (const char* alg : {"fcfs", "roundrobin", "fairshare",
                               "currfairshare", "directcontr"}) {
         Engine engine(inst, Coalition(mask));
-        std::unique_ptr<Policy> policy = make_policy(parse_algorithm(alg));
+        std::unique_ptr<Policy> policy = registry().make_policy(alg);
         engine.run(*policy, t);
         values.push_back(engine.value2());
       }
@@ -233,7 +235,7 @@ TEST(Thm62, AllGreedyPoliciesWithinThreeQuartersOfEachOther) {
       std::vector<double> utils;
       for (const char* alg :
            {"fcfs", "roundrobin", "fairshare", "currfairshare"}) {
-        const RunResult r = run_algorithm(inst, parse_algorithm(alg), t, 3);
+        const RunResult r = registry().run(inst, alg, t, 3);
         utils.push_back(resource_utilization(inst, r.schedule, t));
       }
       // Also the fixed-priority extremes.

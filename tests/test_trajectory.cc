@@ -5,10 +5,12 @@
 #include <gtest/gtest.h>
 
 #include "metrics/utility.h"
-#include "sched/runner.h"
+#include "exp/policy_registry.h"
 
 namespace fairsched {
 namespace {
+// Shorthand for the open policy registry (see exp/policy_registry.h).
+exp::PolicyRegistry& registry() { return exp::PolicyRegistry::global(); }
 
 Instance tiny() {
   InstanceBuilder b;
@@ -22,7 +24,7 @@ Instance tiny() {
 
 TEST(Trajectory, MatchesPointwiseClosedForm) {
   const Instance inst = tiny();
-  const RunResult r = run_algorithm(inst, parse_algorithm("fcfs"), 20, 1);
+  const RunResult r = registry().run(inst, "fcfs", 20, 1);
   const std::vector<Time> times{1, 3, 6, 10, 20};
   const auto traj = utility_trajectory(inst, r.schedule, times);
   ASSERT_EQ(traj.size(), times.size());
@@ -37,7 +39,7 @@ TEST(Trajectory, MatchesPointwiseClosedForm) {
 
 TEST(Trajectory, UtilitiesAreMonotone) {
   const Instance inst = tiny();
-  const RunResult r = run_algorithm(inst, parse_algorithm("fcfs"), 30, 1);
+  const RunResult r = registry().run(inst, "fcfs", 30, 1);
   const auto traj =
       utility_trajectory(inst, r.schedule, even_sample_times(30, 10));
   for (std::size_t i = 1; i < traj.size(); ++i) {
@@ -49,7 +51,7 @@ TEST(Trajectory, UtilitiesAreMonotone) {
 
 TEST(Trajectory, RejectsUnsortedTimes) {
   const Instance inst = tiny();
-  const RunResult r = run_algorithm(inst, parse_algorithm("fcfs"), 10, 1);
+  const RunResult r = registry().run(inst, "fcfs", 10, 1);
   EXPECT_THROW(utility_trajectory(inst, r.schedule, {5, 3}),
                std::invalid_argument);
 }
@@ -67,7 +69,7 @@ TEST(Trajectory, EvenSampleTimes) {
 
 TEST(Trajectory, UnfairnessAgainstSelfIsZero) {
   const Instance inst = tiny();
-  const RunResult r = run_algorithm(inst, parse_algorithm("fcfs"), 20, 1);
+  const RunResult r = registry().run(inst, "fcfs", 20, 1);
   const auto series = unfairness_trajectory(inst, r.schedule, r.schedule,
                                             even_sample_times(20, 5));
   for (double v : series) EXPECT_DOUBLE_EQ(v, 0.0);
@@ -84,9 +86,9 @@ TEST(Trajectory, UnfairnessDetectsDivergence) {
     b.add_job(small, 0, 5);
   }
   const Instance inst = std::move(b).build();
-  const RunResult ref = run_algorithm(inst, parse_algorithm("ref"), 60, 1);
+  const RunResult ref = registry().run(inst, "ref", 60, 1);
   const RunResult rr =
-      run_algorithm(inst, parse_algorithm("roundrobin"), 60, 1);
+      registry().run(inst, "roundrobin", 60, 1);
   const auto series = unfairness_trajectory(inst, rr.schedule, ref.schedule,
                                             even_sample_times(60, 6));
   double max_v = 0.0;
@@ -99,7 +101,7 @@ TEST(Trajectory, ZeroWorkPrefixGivesZeroRatio) {
   const OrgId a = b.add_org("a", 1);
   b.add_job(a, 50, 5);
   const Instance inst = std::move(b).build();
-  const RunResult r = run_algorithm(inst, parse_algorithm("fcfs"), 100, 1);
+  const RunResult r = registry().run(inst, "fcfs", 100, 1);
   const auto series = unfairness_trajectory(inst, r.schedule, r.schedule,
                                             {10, 40, 100});
   for (double v : series) EXPECT_DOUBLE_EQ(v, 0.0);
