@@ -76,6 +76,17 @@ HIT_RATE_EPSILON = 1e-6
 REF_SCALING = "ref-scaling"
 REF_SCALING_WALL_SLACK = 8.0
 
+# The serve-mode session bench (BENCH_serve.json, written by
+# `fairsched_exp serve --smoke`) follows the ref-scaling pattern: its
+# counters are deterministic for the smoke configuration — the arrival
+# stream is seeded and the decision stream is pinned by the serve-vs-batch
+# replay contract — so they are gated exactly, while decision throughput
+# and p99 latency only have to stay within generous machine-to-machine
+# slack factors of the recorded baseline.
+SERVE = "serve"
+SERVE_THROUGHPUT_SLACK = 8.0
+SERVE_LATENCY_SLACK = 16.0
+
 
 def load_bench(directory, sweep):
     path = pathlib.Path(directory) / f"BENCH_{sweep}.json"
@@ -159,6 +170,71 @@ def check_ref_scaling(baseline, current):
     return failures
 
 
+def distill_serve(bench):
+    """One baseline record from a BENCH_serve.json session report."""
+    latency = bench["decision_latency_ns"]
+    return {
+        "sweep": SERVE,
+        "policy": bench["policy"],
+        "source": bench["source"],
+        "orgs": bench["orgs"],
+        "machines": bench["machines"],
+        "arrivals": bench["arrivals"],
+        "engine_events": bench["engine_events"],
+        "decisions": bench["decisions"],
+        "completions": bench["completions"],
+        "final_time": bench["final_time"],
+        "peak_resident_jobs": bench["peak_resident_jobs"],
+        "peak_resident_orgs": bench["peak_resident_orgs"],
+        "decisions_per_sec": bench["decisions_per_sec"],
+        "events_per_sec": bench["events_per_sec"],
+        "latency_p50_ns": latency["p50"],
+        "latency_p99_ns": latency["p99"],
+    }
+
+
+def check_serve(baseline, current):
+    """Failure strings for the serve session bench pair, if any."""
+    failures = []
+    for key in (
+        "policy",
+        "source",
+        "orgs",
+        "machines",
+        "arrivals",
+        "engine_events",
+        "decisions",
+        "completions",
+        "final_time",
+        "peak_resident_jobs",
+        "peak_resident_orgs",
+    ):
+        if current[key] != baseline[key]:
+            failures.append(
+                f"{SERVE}: {key} changed {baseline[key]} -> {current[key]} "
+                f"(the serve decision stream is pinned by the replay "
+                f"contract; re-record bench/baselines if the smoke config "
+                f"changed)"
+            )
+    floor = baseline["decisions_per_sec"] / SERVE_THROUGHPUT_SLACK
+    if current["decisions_per_sec"] < floor:
+        failures.append(
+            f"{SERVE}: decision throughput regressed past the "
+            f"{SERVE_THROUGHPUT_SLACK:.0f}x slack: "
+            f"{current['decisions_per_sec']:.0f}/s < {floor:.0f}/s "
+            f"(baseline {baseline['decisions_per_sec']:.0f}/s)"
+        )
+    ceiling = baseline["latency_p99_ns"] * SERVE_LATENCY_SLACK
+    if current["latency_p99_ns"] > ceiling:
+        failures.append(
+            f"{SERVE}: decision p99 latency regressed past the "
+            f"{SERVE_LATENCY_SLACK:.0f}x slack: "
+            f"{current['latency_p99_ns']}ns > {ceiling:.0f}ns "
+            f"(baseline {baseline['latency_p99_ns']}ns)"
+        )
+    return failures
+
+
 def record(args):
     out = pathlib.Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
@@ -186,6 +262,17 @@ def record(args):
         f"recorded {path}: events={current['events']} "
         f"decisions={current['decisions']} "
         f"wall_ms_per_run={current['ref_wall_ms_per_run']:.2f}"
+    )
+    current = distill_serve(load_bench(args.cached, SERVE))
+    path = out / f"{SERVE}.json"
+    with open(path, "w") as handle:
+        json.dump(current, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(
+        f"recorded {path}: orgs={current['orgs']} "
+        f"decisions={current['decisions']} "
+        f"decisions_per_sec={current['decisions_per_sec']:.0f} "
+        f"p99={current['latency_p99_ns']}ns"
     )
     return 0
 
@@ -257,6 +344,23 @@ def check(args):
             f"wall_ms_per_run={current['ref_wall_ms_per_run']:.2f} "
             f"(baseline {baseline['ref_wall_ms_per_run']:.2f}, "
             f"slack {REF_SCALING_WALL_SLACK:.0f}x)"
+        )
+
+    baseline_path = pathlib.Path(args.baselines) / f"{SERVE}.json"
+    if not baseline_path.is_file():
+        failures.append(f"{SERVE}: no committed baseline {baseline_path}")
+    else:
+        with open(baseline_path) as handle:
+            baseline = json.load(handle)
+        current = distill_serve(load_bench(args.cached, SERVE))
+        failures.extend(check_serve(baseline, current))
+        print(
+            f"{SERVE}: orgs={current['orgs']} "
+            f"decisions={current['decisions']} "
+            f"decisions_per_sec={current['decisions_per_sec']:.0f} "
+            f"(baseline {baseline['decisions_per_sec']:.0f}, "
+            f"slack {SERVE_THROUGHPUT_SLACK:.0f}x) "
+            f"p99={current['latency_p99_ns']}ns"
         )
 
     if failures:

@@ -32,6 +32,11 @@ class Coalition {
 
   constexpr Mask mask() const { return mask_; }
   constexpr bool contains(OrgId u) const {
+    // Organization ids past the mask width only ever meet the two
+    // saturated masks: grand(k >= 32) (all ones — every org is a member,
+    // however many there are) and empty(). A shift by u >= 32 would be
+    // undefined, so answer from the saturation directly.
+    if (u >= 32) return mask_ == static_cast<Mask>(-1);
     return (mask_ >> u) & Mask{1};
   }
   constexpr bool is_empty() const { return mask_ == 0; }

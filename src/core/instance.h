@@ -17,6 +17,10 @@
 
 namespace fairsched {
 
+namespace serve {
+class LiveInstance;  // the one sanctioned mutator (see the friend note)
+}  // namespace serve
+
 struct Organization {
   std::string name;
   std::uint32_t machines = 0;
@@ -64,6 +68,14 @@ class Instance {
 
  private:
   friend class InstanceBuilder;
+  // serve::LiveInstance appends released-in-order jobs to a running
+  // instance (the online scheduler's workload is not known up front). It
+  // preserves every invariant InstanceBuilder establishes — per-org FIFO
+  // numbering, release-sorted job lists, positive processing times — and
+  // the platform (orgs, machines) stays frozen; see src/serve/
+  // live_instance.h for the contract. Everything else still sees Instance
+  // as immutable.
+  friend class serve::LiveInstance;
 
   std::vector<Organization> orgs_;
   std::vector<std::vector<Job>> jobs_;

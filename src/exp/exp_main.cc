@@ -15,6 +15,18 @@
 //   fairsched_exp plan              print the sweep plan (same flags as
 //                                   custom) without executing anything
 //   fairsched_exp merge A B ...     fold shard --partial-out artifacts
+//   fairsched_exp serve             online scheduler session over an event
+//                                   stream (src/serve): --source=
+//                                   synthetic|stdin|FILE, --policy=NAME,
+//                                   --stats-interval=N (stderr stats),
+//                                   --decisions=FILE|-, --record-trace=F,
+//                                   --serve-events=N --arrival-rate=X
+//                                   --machines-per-org=N; --duration is
+//                                   the horizon (0 = drain), --smoke the
+//                                   CI/bench config (BENCH_serve.json)
+//   fairsched_exp replay            batch replay of a trace: same flags;
+//                                   its decision stream must byte-match
+//                                   serve's for any deterministic policy
 //   fairsched_exp list-policies     registered PolicyRegistry names
 //                                   (--json: machine-readable catalog with
 //                                   declared parameters/ranges/defaults)
@@ -71,7 +83,7 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s <table1|table2|utilization|rand-convergence|fig10|"
       "horizon-growth|fairshare-decay|ref-scaling|custom|plan|merge|"
-      "list-policies|list-workloads|list-axes> [flags]\n"
+      "serve|replay|list-policies|list-workloads|list-axes> [flags]\n"
       "common flags: --instances=N --duration=T --orgs=K --seed=S "
       "--scale=X --threads=N --split=zipf|uniform --zipf-s=S --csv=FILE|- "
       "--json=FILE|- --stream-records=FILE|- --axes=\"name=v1,v2;...\" "
@@ -80,6 +92,9 @@ int usage(const char* argv0) {
       "(merge folds --partial-out artifacts; see docs/EXPERIMENTS.md)\n"
       "custom/plan flags: --policies=a,b,c --workload=%s --config=FILE\n"
       "fig10/ref-scaling flags: --min-orgs=K --max-orgs=K\n"
+      "serve/replay flags: --source=synthetic|stdin|FILE --policy=NAME "
+      "--decisions=FILE|- --record-trace=FILE --stats-interval=N "
+      "--serve-events=N --arrival-rate=X --machines-per-org=N\n"
       "axes: see `list-axes`; values are numbers and lo:hi[:step] ranges\n",
       argv0, workloads.c_str());
   return 2;
@@ -147,6 +162,12 @@ int main(int argc, char** argv) {
     }
     if (command == "merge") {
       return run_merge_scenario(flags.positional(), options);
+    }
+    if (command == "serve") {
+      return run_serve_scenario(options);
+    }
+    if (command == "replay") {
+      return run_replay_scenario(options);
     }
     if (command == "list-policies") {
       // --json: the machine-readable catalog (names, descriptions, and

@@ -350,6 +350,24 @@ ScenarioOptions scenario_options_from_flags(const Flags& flags) {
   options.jobs_per_org = static_cast<std::uint32_t>(jobs_per_org);
   options.min_orgs = static_cast<std::uint32_t>(non_negative("min-orgs"));
   options.max_orgs = static_cast<std::uint32_t>(non_negative("max-orgs"));
+  options.source = flags.get_string("source", "synthetic");
+  options.policy = flags.get_string("policy", "fairshare");
+  options.decisions_path = flags.get_string("decisions", "");
+  options.record_trace_path = flags.get_string("record-trace", "");
+  options.stats_interval =
+      static_cast<std::uint64_t>(non_negative("stats-interval"));
+  options.serve_events =
+      static_cast<std::uint64_t>(non_negative("serve-events"));
+  options.arrival_rate = flags.get_double("arrival-rate", 0.0);
+  if (flags.has("arrival-rate") && !(options.arrival_rate > 0.0)) {
+    throw std::invalid_argument("--arrival-rate must be positive");
+  }
+  const std::int64_t machines_per_org = flags.get_int("machines-per-org", 1);
+  if (machines_per_org < 1 || machines_per_org > 4294967295) {
+    throw std::invalid_argument("--machines-per-org must be in [1, 2^32-1]");
+  }
+  options.machines_per_org = static_cast<std::uint32_t>(machines_per_org);
+  options.orgs_explicit = flags.has("orgs");
   const std::string split = flags.get_string("split", "zipf");
   if (split == "zipf") {
     options.split = MachineSplit::kZipf;

@@ -77,6 +77,22 @@ struct ScenarioOptions {
   // `fig10` subcommand: bounds of the default organizations axis.
   std::uint32_t min_orgs = 0;  // 0 = scenario default
   std::uint32_t max_orgs = 0;  // 0 = scenario default
+
+  // `serve` / `replay` subcommands (src/serve, docs/ARCHITECTURE.md).
+  // --source: "synthetic" (open-loop generator), "stdin"/"-", or a trace
+  // file path. --policy: any policy-shaped registry name (config-defined
+  // entries included via --config). --duration doubles as the serve
+  // horizon (0 = drain), --orgs/--seed/--zipf-s parameterize the
+  // synthetic source.
+  std::string source = "synthetic";
+  std::string policy = "fairshare";
+  std::string decisions_path;     // decision stream: "" = none, "-" = stdout
+  std::string record_trace_path;  // echo consumed events as a trace file
+  std::uint64_t stats_interval = 0;   // arrivals between stats lines
+  std::uint64_t serve_events = 0;     // synthetic arrivals; 0 = default
+  double arrival_rate = 0.0;          // synthetic rate; 0 = default
+  std::uint32_t machines_per_org = 1;
+  bool orgs_explicit = false;  // --orgs given (serve smoke picks 10^5 else)
 };
 
 // Parses the harness-wide flags (--instances, --duration, --orgs, --seed,
@@ -166,5 +182,19 @@ int run_merge_scenario(const std::vector<std::string>& paths,
 // `fairsched_exp plan`: builds the sweep like `custom` would, then prints
 // the plan JSON (exp/sweep_plan.h) instead of executing anything.
 int run_plan_scenario(const SweepSpec& spec, const ScenarioOptions& options);
+
+// `fairsched_exp serve`: the online scheduler session (src/serve). Feeds
+// the --source event stream through a resident ServeSession under
+// --policy, emitting periodic `serve-stats:` lines on stderr, the
+// decision stream to --decisions, and the final report (human summary on
+// stdout; --json or --smoke write the BENCH_serve.json document).
+int run_serve_scenario(const ScenarioOptions& options);
+
+// `fairsched_exp replay`: the batch half of the differential contract.
+// Materializes the --source trace into an Instance, runs --policy through
+// the batch engine, and writes the decision stream to --decisions
+// (default stdout). `diff` against the serve stream must be empty for
+// every deterministic policy — CI enforces it.
+int run_replay_scenario(const ScenarioOptions& options);
 
 }  // namespace fairsched::exp

@@ -1,0 +1,164 @@
+#include "serve/event_source.h"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/cli.h"
+
+namespace fairsched::serve {
+
+namespace {
+
+// Strict nonnegative integer parse (the protocol has no signs, no hex, no
+// floats); returns false on any non-digit or overflow past `max`.
+bool parse_number(const std::string& token, std::int64_t max,
+                  std::int64_t* out) {
+  if (token.empty() || token.size() > 18) return false;
+  std::int64_t value = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + (c - '0');
+  }
+  if (value > max) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+TraceEventSource::TraceEventSource(std::istream& in, std::string name)
+    : in_(&in), name_(std::move(name)) {
+  // Eagerly parse the header and stage the first event so machines() is
+  // complete before the caller builds the platform.
+  read_ahead();
+  if (machines_.empty()) {
+    fail("no organizations declared (want `org <machines>` lines first)");
+  }
+}
+
+void TraceEventSource::fail(const std::string& why) const {
+  throw std::invalid_argument(name_ + " line " + std::to_string(line_) +
+                              ": " + why);
+}
+
+bool TraceEventSource::read_ahead() {
+  std::string raw;
+  while (std::getline(*in_, raw)) {
+    line_++;
+    const std::string line = trim_whitespace(raw);
+    if (line.empty() || line[0] == '#') continue;
+    if (saw_end_) fail("content after `end`");
+    std::vector<std::string> tokens;
+    std::size_t pos = 0;
+    while (pos < line.size()) {
+      std::size_t space = line.find_first_of(" \t", pos);
+      if (space == std::string::npos) space = line.size();
+      if (space > pos) tokens.push_back(line.substr(pos, space - pos));
+      pos = space + 1;
+    }
+    const std::string& verb = tokens[0];
+    if (verb == "org") {
+      if (saw_job_) fail("`org` after the first `job` (platform is frozen)");
+      if (tokens.size() != 2) fail("want `org <machines>`");
+      std::int64_t machines = 0;
+      if (!parse_number(tokens[1], 4294967295, &machines)) {
+        fail("machine count '" + tokens[1] +
+             "' is not a nonnegative integer");
+      }
+      machines_.push_back(static_cast<std::uint32_t>(machines));
+      continue;
+    }
+    if (verb == "job") {
+      if (machines_.empty()) {
+        fail("`job` before any `org` line (declare the platform first)");
+      }
+      if (tokens.size() != 4) fail("want `job <time> <org> <processing>`");
+      std::int64_t time = 0;
+      std::int64_t org = 0;
+      std::int64_t processing = 0;
+      if (!parse_number(tokens[1], kTimeInfinity / 4, &time)) {
+        fail("time '" + tokens[1] + "' is not a nonnegative integer");
+      }
+      if (!parse_number(tokens[2],
+                        static_cast<std::int64_t>(machines_.size()) - 1,
+                        &org)) {
+        fail("org '" + tokens[2] + "' is not an organization id < " +
+             std::to_string(machines_.size()));
+      }
+      if (!parse_number(tokens[3], kTimeInfinity / 4, &processing) ||
+          processing < 1) {
+        fail("processing '" + tokens[3] + "' is not a positive integer");
+      }
+      if (time < last_time_) {
+        fail("time " + std::to_string(time) +
+             " goes backwards (previous event at " +
+             std::to_string(last_time_) + ")");
+      }
+      last_time_ = time;
+      saw_job_ = true;
+      pending_ = JobEvent{time, static_cast<OrgId>(org), processing};
+      return true;
+    }
+    if (verb == "end") {
+      if (tokens.size() != 1) fail("want `end` with no arguments");
+      saw_end_ = true;
+      continue;
+    }
+    fail("unknown directive '" + verb + "' (want org, job, or end)");
+  }
+  return false;
+}
+
+std::optional<JobEvent> TraceEventSource::next() {
+  if (!pending_.has_value()) return std::nullopt;
+  const JobEvent event = *pending_;
+  pending_.reset();
+  read_ahead();
+  return event;
+}
+
+SyntheticEventSource::SyntheticEventSource(const SyntheticServeSpec& spec)
+    : spec_(spec),
+      machines_(spec.orgs, spec.machines_per_org),
+      rng_(mix_seed(spec.seed, 0x5e7feULL)),
+      org_sampler_(spec.orgs, spec.zipf_s) {
+  if (spec.orgs == 0) {
+    throw std::invalid_argument("synthetic serve: orgs must be >= 1");
+  }
+  if (spec.machines_per_org == 0) {
+    throw std::invalid_argument(
+        "synthetic serve: machines-per-org must be >= 1");
+  }
+  if (!(spec.arrival_rate > 0.0)) {
+    throw std::invalid_argument(
+        "synthetic serve: arrival-rate must be positive");
+  }
+}
+
+std::optional<JobEvent> SyntheticEventSource::next() {
+  if (emitted_ >= spec_.events) return std::nullopt;
+  emitted_++;
+  clock_ += rng_.exponential(spec_.arrival_rate);
+  JobEvent event;
+  event.time = static_cast<Time>(clock_);
+  event.org = static_cast<OrgId>(org_sampler_.sample(rng_) - 1);
+  const double size =
+      std::floor(rng_.lognormal(spec_.job_mu, spec_.job_sigma));
+  event.processing = std::max<Time>(
+      1, std::min(spec_.max_job, static_cast<Time>(size)));
+  return event;
+}
+
+void write_trace_header(std::ostream& out,
+                        const std::vector<std::uint32_t>& machines) {
+  for (std::uint32_t m : machines) out << "org " << m << "\n";
+}
+
+void write_job_line(std::ostream& out, const JobEvent& event) {
+  out << "job " << event.time << " " << event.org << " " << event.processing
+      << "\n";
+}
+
+}  // namespace fairsched::serve

@@ -1,0 +1,143 @@
+#pragma once
+
+// Event sources for the online scheduler (src/serve/session.h).
+//
+// A serve session consumes a stream of job-arrival events in nondecreasing
+// time order. Completions are not external events: like the batch engine,
+// the serve loop learns a job's processing time at submission (the trace
+// carries it, exactly as an Instance does) and schedules the completion
+// itself when it starts the job — the paper's non-clairvoyance is enforced
+// one layer down, at the PolicyView, which never shows processing times to
+// policies.
+//
+// --- The trace line protocol -----------------------------------------------
+//
+// A trace is line-oriented text. Blank lines and `#` comments are skipped.
+//
+//   org <machines>                 declare the next organization (ids are
+//                                  assigned in declaration order, 0-based);
+//                                  all `org` lines precede the first `job`
+//   job <time> <org> <processing>  a job arrival; times nondecreasing,
+//                                  processing >= 1
+//   end                            optional explicit end marker; nothing
+//                                  but blank/comment lines may follow
+//
+// Parsing is strict, mirroring parse_shard_spec's convention: any
+// malformed line throws std::invalid_argument with the 1-based line
+// number and what was expected ("<name> line 12: ..."), which the CLI
+// surfaces as a one-line diagnostic and a nonzero exit.
+//
+// TraceEventSource streams events from any std::istream (file or stdin)
+// without materializing the trace; SyntheticEventSource is an open-loop
+// generator (Poisson arrivals at a configurable rate, lognormal job sizes,
+// Zipf-weighted organizations — deterministic given the seed) for load
+// tests and CI sessions that need no input file. Both can be recorded back
+// to protocol text (write_trace_header / write_job_line) such that
+// re-parsing yields the identical event sequence.
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "util/rng.h"
+
+namespace fairsched::serve {
+
+// One external event: organization `org` submits a job at `time` whose
+// processing time is `processing`.
+struct JobEvent {
+  Time time = 0;
+  OrgId org = 0;
+  Time processing = 1;
+
+  friend bool operator==(const JobEvent&, const JobEvent&) = default;
+};
+
+class EventSource {
+ public:
+  virtual ~EventSource() = default;
+
+  // The frozen platform: machines[u] machines for organization u.
+  virtual const std::vector<std::uint32_t>& machines() const = 0;
+
+  // Next arrival in nondecreasing time order, or nullopt when drained.
+  virtual std::optional<JobEvent> next() = 0;
+};
+
+// Streams a trace from `in` (not owned; must outlive the source). The
+// header (org lines) is parsed eagerly by the constructor; job lines are
+// parsed on demand, so arbitrarily long traces stream in O(1) memory.
+// `name` labels diagnostics ("stdin", a file path).
+class TraceEventSource final : public EventSource {
+ public:
+  TraceEventSource(std::istream& in, std::string name);
+
+  const std::vector<std::uint32_t>& machines() const override {
+    return machines_;
+  }
+  std::optional<JobEvent> next() override;
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const;
+  // Reads lines until the next event, `end`, or EOF; returns whether an
+  // event was produced into pending_.
+  bool read_ahead();
+
+  std::istream* in_;
+  std::string name_;
+  std::vector<std::uint32_t> machines_;
+  std::optional<JobEvent> pending_;
+  std::uint64_t line_ = 0;     // 1-based number of the last line read
+  Time last_time_ = 0;         // monotonicity check
+  bool saw_job_ = false;       // org lines must precede job lines
+  bool saw_end_ = false;
+};
+
+// Open-loop synthetic generator: `events` arrivals with exponential
+// inter-arrival gaps at `arrival_rate` per time unit (rounded to the
+// discrete grid, so bursts of simultaneous timestamps occur naturally),
+// organizations drawn Zipf(zipf_s) over `orgs` (s = 0: uniform), sizes
+// lognormal(job_mu, job_sigma) truncated to [1, max_job]. Deterministic
+// given `seed`.
+struct SyntheticServeSpec {
+  std::uint32_t orgs = 100;
+  std::uint32_t machines_per_org = 1;
+  std::uint64_t events = 10000;
+  double arrival_rate = 1.0;  // arrivals per time unit, > 0
+  double zipf_s = 1.0;        // org popularity skew; 0 = uniform
+  double job_mu = 3.0;        // lognormal parameters of job sizes
+  double job_sigma = 1.0;
+  Time max_job = 10000;
+  std::uint64_t seed = 2013;
+};
+
+class SyntheticEventSource final : public EventSource {
+ public:
+  explicit SyntheticEventSource(const SyntheticServeSpec& spec);
+
+  const std::vector<std::uint32_t>& machines() const override {
+    return machines_;
+  }
+  std::optional<JobEvent> next() override;
+
+ private:
+  SyntheticServeSpec spec_;
+  std::vector<std::uint32_t> machines_;
+  Rng rng_;
+  ZipfSampler org_sampler_;
+  double clock_ = 0.0;  // continuous arrival clock, floored per event
+  std::uint64_t emitted_ = 0;
+};
+
+// Protocol writers, inverse of TraceEventSource: write_trace_header emits
+// one `org` line per organization, write_job_line one `job` line.
+// Re-parsing the concatenation yields the identical platform and event
+// sequence (round-trip pinned by tests/test_serve_replay.cc).
+void write_trace_header(std::ostream& out,
+                        const std::vector<std::uint32_t>& machines);
+void write_job_line(std::ostream& out, const JobEvent& event);
+
+}  // namespace fairsched::serve

@@ -1,0 +1,45 @@
+#include "serve/live_instance.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fairsched::serve {
+
+LiveInstance::LiveInstance(const std::vector<std::uint32_t>& machines) {
+  InstanceBuilder builder;
+  for (std::size_t u = 0; u < machines.size(); ++u) {
+    builder.add_org("org" + std::to_string(u), machines[u]);
+  }
+  inst_ = std::move(builder).build();
+  if (inst_.total_machines() == 0) {
+    throw std::invalid_argument(
+        "LiveInstance: the platform has no machines");
+  }
+}
+
+std::uint32_t LiveInstance::append_job(OrgId org, Time release,
+                                       Time processing) {
+  if (org >= inst_.num_orgs()) {
+    throw std::invalid_argument("append_job: unknown organization");
+  }
+  if (release < 0) {
+    throw std::invalid_argument("append_job: negative release time");
+  }
+  if (processing <= 0) {
+    throw std::invalid_argument(
+        "append_job: processing time must be positive");
+  }
+  std::vector<Job>& jobs = inst_.jobs_[org];
+  if (!jobs.empty() && release < jobs.back().release) {
+    throw std::invalid_argument(
+        "append_job: releases must be nondecreasing per organization");
+  }
+  const std::uint32_t index = static_cast<std::uint32_t>(jobs.size());
+  jobs.push_back(Job{org, index, release, processing});
+  inst_.num_jobs_++;
+  inst_.total_work_ += processing;
+  inst_.last_release_ = std::max(inst_.last_release_, release);
+  return index;
+}
+
+}  // namespace fairsched::serve

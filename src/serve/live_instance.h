@@ -1,0 +1,59 @@
+#pragma once
+
+// LiveInstance: the growable workload behind the online scheduler.
+//
+// Batch mode builds an immutable Instance up front; serve mode learns of
+// jobs one arrival at a time. LiveInstance owns an Instance whose platform
+// (organizations and machine counts) is frozen at construction and whose
+// per-organization job lists grow as arrivals are fed in. It is the one
+// sanctioned mutator of Instance (a friend), and it preserves exactly the
+// invariants InstanceBuilder establishes:
+//
+//   * per-organization FIFO numbering: the appended job's index is the
+//     current list length;
+//   * release-sorted job lists: appends must be nondecreasing in release
+//     time per organization (arrivals are fed in global time order, so
+//     this holds naturally; violations throw);
+//   * positive processing times, non-negative releases.
+//
+// Consequently an Instance grown job-by-job is field-for-field identical
+// to the Instance InstanceBuilder would build from the same jobs — the
+// foundation of the serve-vs-batch differential replay contract
+// (tests/test_serve_replay.cc).
+//
+// The engine reads the instance through a stable pointer; appending
+// invalidates no engine state because the engine only indexes jobs it has
+// been told about (Engine::inject_release) and never caches spans across
+// events.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/types.h"
+
+namespace fairsched::serve {
+
+class LiveInstance {
+ public:
+  // Freezes the platform: organization u owns machines[u] machines.
+  // Organizations are named "org<u>". Throws std::invalid_argument on an
+  // empty platform (no machines at all).
+  explicit LiveInstance(const std::vector<std::uint32_t>& machines);
+
+  // Appends organization u's next FIFO job; returns its index. Throws
+  // std::invalid_argument on an unknown organization, release < 0,
+  // release below the organization's previous job's release, or
+  // processing < 1.
+  std::uint32_t append_job(OrgId org, Time release, Time processing);
+
+  const Instance& instance() const { return inst_; }
+  std::uint32_t num_orgs() const { return inst_.num_orgs(); }
+  std::size_t num_jobs() const { return inst_.num_jobs(); }
+
+ private:
+  Instance inst_;
+};
+
+}  // namespace fairsched::serve

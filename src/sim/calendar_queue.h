@@ -40,12 +40,22 @@
 // near-simultaneous entries degenerates into one long bucket, which is why
 // REF's 2^k-coalition wake-up loop uses a tournament tree instead.)
 //
-// Buckets are singly-linked lists kept sorted ascending (the bucket head is
-// its minimum), with all nodes in one pooled array recycled through a free
-// list: pushes and pops never touch the allocator in steady state — the
-// pool only grows to the peak number of pending events — and with O(1)
-// expected bucket occupancy the insertion walk is O(1) expected per push.
-// Times must be non-negative, as everywhere in the simulator.
+// Buckets are skew heaps (top-down self-adjusting min-heaps) over all nodes
+// in one pooled array recycled through a free list: pushes and pops never
+// touch the allocator in steady state — the pool only grows to the peak
+// number of pending events. A bucket's root is its minimum, so push and pop
+// cost O(log occupancy) amortized even when the population defeats the
+// bucket geometry. That matters because the bucket width cannot drop below
+// one time unit: an open workload with thousands of arrivals per integer
+// timestamp (the serve smoke load) piles thousands of events into a handful
+// of buckets, where the sorted-list buckets this replaced paid an O(occupancy)
+// insertion walk per push and the heap pays ~log2(occupancy) node visits.
+// With O(1) expected occupancy the heap degenerates gracefully back to a
+// couple of pointer swaps per operation. The drain order is unchanged in
+// every case: the comparator is a strict total order, so the bucket minimum
+// is unique and the pop sequence cannot depend on the heap's internal shape
+// or the insertion order. Times must be non-negative, as everywhere in the
+// simulator.
 
 #include <cassert>
 #include <cstddef>
@@ -119,7 +129,8 @@ class BasicCalendarQueue {
     // (the engine only pushes at or after the clock, but the structure
     // does not rely on that).
     if (e.time < floor_time_) floor_time_ = e.time;
-    insert_sorted(head_[bucket_of(e.time)], alloc_node(e));
+    std::int32_t& head = head_[bucket_of(e.time)];
+    head = merge(head, alloc_node(e));
     ++size_;
     top_valid_ = false;
     if (size_ > 2 * head_.size() && head_.size() < kMaxBuckets) {
@@ -141,7 +152,7 @@ class BasicCalendarQueue {
     (void)top();  // ensures top_bucket_ is current
     const std::int32_t node = head_[top_bucket_];
     const Event e = pool_[node].event;
-    head_[top_bucket_] = pool_[node].next;
+    head_[top_bucket_] = merge(pool_[node].left, pool_[node].right);
     free_node(node);
     --size_;
     top_valid_ = false;
@@ -164,7 +175,8 @@ class BasicCalendarQueue {
 
   struct Node {
     Event event;
-    std::int32_t next = kNil;
+    std::int32_t left = kNil;
+    std::int32_t right = kNil;
   };
 
   // Bucket widths are powers of two and the bucket count is a power of two,
@@ -184,36 +196,39 @@ class BasicCalendarQueue {
   std::int32_t alloc_node(const Event& e) {
     if (free_head_ != kNil) {
       const std::int32_t n = free_head_;
-      free_head_ = pool_[n].next;
+      free_head_ = pool_[n].left;
       pool_[n].event = e;
-      pool_[n].next = kNil;
+      pool_[n].left = kNil;
+      pool_[n].right = kNil;
       return n;
     }
-    pool_.push_back(Node{e, kNil});
+    pool_.push_back(Node{e, kNil, kNil});
     return static_cast<std::int32_t>(pool_.size() - 1);
   }
 
   void free_node(std::int32_t n) {
-    pool_[n].next = free_head_;
+    pool_[n].left = free_head_;
     free_head_ = n;
   }
 
-  // Links `node` into the ascending-sorted bucket list rooted at `head`.
-  // Binary-search refinement is not worth it at O(1) expected occupancy.
-  void insert_sorted(std::int32_t& head, std::int32_t node) {
-    const Event& e = pool_[node].event;
-    if (head == kNil || Order{}(e, pool_[head].event)) {
-      pool_[node].next = head;
-      head = node;
-      return;
+  // Top-down skew-heap merge of two bucket heaps, iterative so the merge
+  // path never recurses (a skew heap's single-operation path can be long
+  // even though the amortized cost is O(log n)). Walks the rightmost paths:
+  // the smaller root is attached, its children are swapped, and the merge
+  // continues into the (pre-swap) right child.
+  std::int32_t merge(std::int32_t a, std::int32_t b) {
+    std::int32_t head = kNil;
+    std::int32_t* link = &head;
+    while (a != kNil && b != kNil) {
+      if (Order{}(pool_[b].event, pool_[a].event)) std::swap(a, b);
+      const std::int32_t rest = pool_[a].right;
+      *link = a;
+      pool_[a].right = pool_[a].left;
+      link = &pool_[a].left;
+      a = rest;
     }
-    std::int32_t cur = head;
-    while (pool_[cur].next != kNil &&
-           !Order{}(e, pool_[pool_[cur].next].event)) {
-      cur = pool_[cur].next;
-    }
-    pool_[node].next = pool_[cur].next;
-    pool_[cur].next = node;
+    *link = (a != kNil) ? a : b;
+    return head;
   }
 
   void locate_top() const {
@@ -256,12 +271,17 @@ class BasicCalendarQueue {
     Time lo = kTimeInfinity;
     Time hi = 0;
     for (const std::int32_t head : head_) {
-      for (std::int32_t n = head; n != kNil; n = pool_[n].next) {
-        scratch_.push_back(n);
-        const Time t = pool_[n].event.time;
-        if (t < lo) lo = t;
-        if (t > hi) hi = t;
-      }
+      if (head != kNil) scratch_.push_back(head);
+    }
+    // scratch_ doubles as the traversal worklist: children of node i are
+    // appended past i, so one forward sweep visits every live node.
+    for (std::size_t i = 0; i < scratch_.size(); ++i) {
+      const std::int32_t n = scratch_[i];
+      if (pool_[n].left != kNil) scratch_.push_back(pool_[n].left);
+      if (pool_[n].right != kNil) scratch_.push_back(pool_[n].right);
+      const Time t = pool_[n].event.time;
+      if (t < lo) lo = t;
+      if (t > hi) hi = t;
     }
     Time width = 1;
     if (size_ > 0 && hi > lo) {
@@ -270,8 +290,10 @@ class BasicCalendarQueue {
     }
     rebuild(new_bucket_count, shift_for(width));
     for (const std::int32_t n : scratch_) {
-      pool_[n].next = kNil;
-      insert_sorted(head_[bucket_of(pool_[n].event.time)], n);
+      pool_[n].left = kNil;
+      pool_[n].right = kNil;
+      std::int32_t& head = head_[bucket_of(pool_[n].event.time)];
+      head = merge(head, n);
     }
   }
 
@@ -284,7 +306,7 @@ class BasicCalendarQueue {
 
   std::vector<Node> pool_;
   std::int32_t free_head_ = kNil;
-  std::vector<std::int32_t> head_;  // per-bucket ascending list heads
+  std::vector<std::int32_t> head_;  // per-bucket skew-heap roots
   std::vector<std::int32_t> scratch_;  // resize work list
   unsigned shift_ = 0;  // bucket width is 1 << shift_
   std::size_t size_ = 0;

@@ -17,12 +17,22 @@ Engine::Engine(const Instance& inst, Coalition active, EngineOptions options)
       accounts_(inst.num_orgs()),
       schedule_(inst.num_orgs()) {
   const bool unified = options_.machine_pick == MachinePick::kFirstFree;
+  if (options_.external_releases) {
+    if (!unified) {
+      throw std::invalid_argument(
+          "external_releases requires MachinePick::kFirstFree (the legacy "
+          "kRandomFree structures presort all releases at construction)");
+    }
+    injected_.assign(inst.num_orgs(), 0);
+  }
   std::size_t release_count = 0;
   for (OrgId u = 0; u < inst.num_orgs(); ++u) {
     if (!active_.contains(u)) continue;
     const auto jobs = inst.jobs_of(u);
     release_count += jobs.size();
-    if (unified) {
+    if (options_.external_releases) {
+      // The workload is fed through inject_release; nothing to preload.
+    } else if (unified) {
       // Streamed releases: the calendar holds only each organization's
       // earliest un-admitted release (advance_to pushes the successor when
       // one is consumed), so the live population stays at ~(member orgs +
@@ -178,11 +188,16 @@ void Engine::advance_to(Time t) {
       } else {
         apply_release(e.org);
         // Stream in the organization's next release (see the constructor).
-        const auto jobs = inst_->jobs_of(e.org);
-        const std::uint32_t next_i = e.index + 1;
-        if (next_i < jobs.size()) {
-          events_.push(EngineEvent{jobs[next_i].release, EventKind::kRelease,
-                                   e.org, next_i, kNoMachine});
+        // In external-releases mode the driver injects every release
+        // itself, so nothing is streamed here.
+        if (!options_.external_releases) {
+          const auto jobs = inst_->jobs_of(e.org);
+          const std::uint32_t next_i = e.index + 1;
+          if (next_i < jobs.size()) {
+            events_.push(EngineEvent{jobs[next_i].release,
+                                     EventKind::kRelease, e.org, next_i,
+                                     kNoMachine});
+          }
         }
       }
     }
@@ -206,6 +221,33 @@ void Engine::advance_to(Time t) {
     apply_release(releases_[release_ptr_].org);
     release_ptr_++;
   }
+}
+
+Time Engine::inject_release(OrgId u) {
+  if (!options_.external_releases) {
+    throw std::logic_error(
+        "inject_release: engine was not built with external_releases");
+  }
+  if (!active_.contains(u)) {
+    throw std::logic_error(
+        "inject_release: organization is not in the active coalition");
+  }
+  const std::uint32_t index = injected_[u];
+  if (index >= inst_->jobs_of(u).size()) {
+    throw std::logic_error(
+        "inject_release: no un-injected job (append to the instance "
+        "first)");
+  }
+  const Job& job = inst_->job(u, index);
+  if (job.release < now_) {
+    throw std::logic_error(
+        "inject_release: release is in the engine's past (events must be "
+        "fed in nondecreasing time order)");
+  }
+  injected_[u]++;
+  events_.push(
+      EngineEvent{job.release, EventKind::kRelease, u, index, kNoMachine});
+  return job.release;
 }
 
 MachineId Engine::pick_machine() {

@@ -82,6 +82,17 @@ enum class MachinePick { kFirstFree, kRandomFree };
 struct EngineOptions {
   MachinePick machine_pick = MachinePick::kFirstFree;
   std::uint64_t seed = 0;  // used only for kRandomFree
+  // Serve-mode seam (src/serve): the workload is not known at
+  // construction. The engine preloads no releases; the driver grows the
+  // instance's per-organization job lists (serve::LiveInstance) and feeds
+  // each release through inject_release as it learns of it. Requires
+  // kFirstFree (the legacy kRandomFree structures presort all releases at
+  // construction). Events injected up to any time T and then drained
+  // produce the exact state and event order a preloaded engine reaches at
+  // T — the calendar's drain order depends only on event_before, never on
+  // insertion order — which is what makes serve-vs-batch replay
+  // byte-identical (tests/test_serve_replay.cc).
+  bool external_releases = false;
 };
 
 class Engine {
@@ -148,6 +159,15 @@ class Engine {
   // this to keep an incremental policy's mirror current; note start_front
   // does NOT synthesize on_start — the driver that decides also notifies.
   void attach(Policy* listener) { listener_ = listener; }
+
+  // External-releases mode only: makes organization u's next un-injected
+  // job (FIFO index = number of injections so far) visible to the event
+  // stream. The job must already exist in the instance and its release
+  // must be >= now(); drivers feed arrivals in nondecreasing time order
+  // before advancing past them. Returns the injected release time.
+  Time inject_release(OrgId u);
+  // Releases injected so far for u (external-releases mode bookkeeping).
+  std::uint32_t injected(OrgId u) const { return injected_[u]; }
 
   // --- state inspection --------------------------------------------------
   std::uint32_t num_orgs() const { return inst_->num_orgs(); }
@@ -352,6 +372,9 @@ class Engine {
   std::vector<std::uint32_t> released_;
   std::vector<std::uint32_t> started_;
   std::vector<std::uint32_t> completed_;
+  // External-releases mode: per-org count of releases handed to
+  // inject_release (empty otherwise).
+  std::vector<std::uint32_t> injected_;
   // mutable: const accessors fold lazy accruals forward (single-threaded;
   // see the header note).
   mutable std::vector<OrgAccount> accounts_;

@@ -1,0 +1,140 @@
+#pragma once
+
+// Fixed-bucket log-scale latency histogram.
+//
+// The serve loop (src/serve) records one nanosecond-scale sample per
+// scheduling decision and must answer percentile queries (p50/p95/p99/max)
+// over millions of samples without storing them. An HDR-style two-level
+// geometry keeps recording O(1) with no allocation after construction:
+// samples are hashed into 64 power-of-two major buckets (by the position of
+// the value's highest set bit), each split into kSubBuckets linear
+// sub-buckets, giving a bounded relative error of 1/kSubBuckets (6.25%)
+// over the full uint64 range. Bench drivers can reuse it for any
+// nonnegative integer metric.
+//
+// Percentiles interpolate linearly inside the winning bucket, which keeps
+// small-count histograms (tests, smoke runs) from collapsing onto bucket
+// boundaries. merge() adds counts bucket-wise, so sharded or per-thread
+// histograms fold exactly: merged percentiles equal the percentiles of the
+// combined sample stream up to the same bucket resolution.
+//
+// Everything is deterministic given the sample sequence: the serve stats
+// golden test byte-compares JSON containing these percentiles.
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace fairsched {
+
+class LatencyHistogram {
+ public:
+  static constexpr std::uint32_t kSubBuckets = 16;  // per power of two
+  static constexpr std::uint32_t kMajorBuckets = 64;
+  static constexpr std::uint32_t kBuckets = kMajorBuckets * kSubBuckets;
+
+  // The half-open value range [lower_bound(i), upper_bound(i)) counted by
+  // bucket i. The first major covers [0, kSubBuckets) one value per
+  // sub-bucket; major m >= 1 covers [2^(m+3), 2^(m+4)) in kSubBuckets
+  // equal strides of 2^(m-1)... concretely: values below kSubBuckets map
+  // to their own bucket, and each later bucket spans scale = 2^major /
+  // kSubBuckets values.
+  static constexpr std::uint64_t lower_bound(std::uint32_t bucket) {
+    const std::uint32_t major = bucket / kSubBuckets;
+    const std::uint32_t sub = bucket % kSubBuckets;
+    if (major == 0) return sub;
+    // bucket_of never reaches majors above 60 (the top bit of a uint64 is
+    // bit 63 -> major 60); saturate so upper_bound stays monotone there.
+    if (major > 60) return ~std::uint64_t{0};
+    // Major m >= 1 covers [kSubBuckets * 2^(m-1), kSubBuckets * 2^m).
+    const std::uint64_t base = std::uint64_t{kSubBuckets} << (major - 1);
+    return base + sub * (base / kSubBuckets);
+  }
+  static constexpr std::uint64_t upper_bound(std::uint32_t bucket) {
+    return bucket + 1 == kBuckets ? ~std::uint64_t{0}
+                                  : lower_bound(bucket + 1);
+  }
+
+  static constexpr std::uint32_t bucket_of(std::uint64_t value) {
+    if (value < kSubBuckets) return static_cast<std::uint32_t>(value);
+    // highest set bit position; value >= kSubBuckets = 2^4, so bit >= 4.
+    const std::uint32_t bit =
+        63u - static_cast<std::uint32_t>(__builtin_clzll(value));
+    // Major m covers bit positions log2(kSubBuckets) + m - 1; the sub
+    // bucket is the next log2(kSubBuckets) bits below the top one.
+    const std::uint32_t major = bit - 3;  // log2(kSubBuckets) - 1 = 3
+    const std::uint32_t sub =
+        static_cast<std::uint32_t>((value >> (bit - 4)) & (kSubBuckets - 1));
+    return major * kSubBuckets + sub;
+  }
+
+  void record(std::uint64_t value) {
+    counts_[bucket_of(value)]++;
+    total_++;
+    sum_ += value;
+    max_ = std::max(max_, value);
+  }
+
+  std::uint64_t total_count() const { return total_; }
+  std::uint64_t max() const { return max_; }
+  std::uint64_t sum() const { return sum_; }
+  double mean() const {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(sum_) /
+                             static_cast<double>(total_);
+  }
+  std::uint64_t bucket_count(std::uint32_t bucket) const {
+    return counts_[bucket];
+  }
+
+  // Value at quantile q in [0, 1]: finds the bucket holding the rank
+  // ceil(q * total) sample and interpolates linearly across the bucket's
+  // inclusive value span [lo, min(hi, observed max)] by the rank's
+  // position within the bucket. Buckets one value wide (all values below
+  // kSubBuckets) report exactly; the interpolation error elsewhere is
+  // bounded by the bucket width (a 1/kSubBuckets relative error). Returns
+  // 0 on an empty histogram.
+  std::uint64_t value_at_quantile(double q) const {
+    if (total_ == 0) return 0;
+    q = std::min(std::max(q, 0.0), 1.0);
+    const std::uint64_t rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(q * static_cast<double>(total_))));
+    std::uint64_t seen = 0;
+    for (std::uint32_t b = 0; b < kBuckets; ++b) {
+      if (counts_[b] == 0) continue;
+      if (seen + counts_[b] >= rank) {
+        const std::uint64_t lo = lower_bound(b);
+        const std::uint64_t hi = std::min(upper_bound(b) - 1, max_);
+        if (hi <= lo) return lo;
+        const std::uint64_t into = rank - seen;  // 1..counts_[b]
+        return lo + (hi - lo) * into / counts_[b];
+      }
+      seen += counts_[b];
+    }
+    return max_;
+  }
+
+  std::uint64_t p50() const { return value_at_quantile(0.50); }
+  std::uint64_t p95() const { return value_at_quantile(0.95); }
+  std::uint64_t p99() const { return value_at_quantile(0.99); }
+
+  // Bucket-wise fold of `other` into *this; exact (no resampling).
+  void merge(const LatencyHistogram& other) {
+    for (std::uint32_t b = 0; b < kBuckets; ++b) {
+      counts_[b] += other.counts_[b];
+    }
+    total_ += other.total_;
+    sum_ += other.sum_;
+    max_ = std::max(max_, other.max_);
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t total_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace fairsched

@@ -1,0 +1,173 @@
+// Unit tests of util/latency_histogram.h: the bucket geometry (every value
+// lands in the bucket whose [lower_bound, upper_bound) span contains it),
+// percentile interpolation on known sample sets, and the exactness of
+// merge(). The serve stats golden test depends on these percentiles being
+// deterministic, so nail them down here.
+
+#include "util/latency_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace fairsched {
+namespace {
+
+TEST(LatencyHistogramTest, SmallValuesGetTheirOwnBucket) {
+  for (std::uint64_t v = 0; v < LatencyHistogram::kSubBuckets; ++v) {
+    const std::uint32_t b = LatencyHistogram::bucket_of(v);
+    EXPECT_EQ(b, v);
+    EXPECT_EQ(LatencyHistogram::lower_bound(b), v);
+    EXPECT_EQ(LatencyHistogram::upper_bound(b), v + 1);
+  }
+}
+
+TEST(LatencyHistogramTest, BucketSpansContainTheirValues) {
+  // Probe across the full range: powers of two and their neighbors are the
+  // boundary cases of the top-bit geometry.
+  std::vector<std::uint64_t> probes = {0, 1, 15, 16, 17, 31, 32, 100, 255,
+                                       256, 1000, 4095, 4096};
+  for (int bit = 13; bit < 64; ++bit) {
+    const std::uint64_t p = std::uint64_t{1} << bit;
+    probes.push_back(p - 1);
+    probes.push_back(p);
+    probes.push_back(p + p / 3);
+  }
+  for (std::uint64_t v : probes) {
+    const std::uint32_t b = LatencyHistogram::bucket_of(v);
+    ASSERT_LT(b, LatencyHistogram::kBuckets);
+    EXPECT_LE(LatencyHistogram::lower_bound(b), v) << "value " << v;
+    EXPECT_GT(LatencyHistogram::upper_bound(b), v) << "value " << v;
+  }
+  // The one value a half-open span cannot strictly contain: the top
+  // bucket's upper bound saturates at the maximum representable value.
+  const std::uint32_t top = LatencyHistogram::bucket_of(~std::uint64_t{0});
+  EXPECT_LE(LatencyHistogram::lower_bound(top), ~std::uint64_t{0});
+  EXPECT_EQ(LatencyHistogram::upper_bound(top), ~std::uint64_t{0});
+}
+
+TEST(LatencyHistogramTest, BucketBoundsAreMonotoneAndAdjacent) {
+  for (std::uint32_t b = 0; b + 1 < LatencyHistogram::kBuckets; ++b) {
+    EXPECT_EQ(LatencyHistogram::upper_bound(b),
+              LatencyHistogram::lower_bound(b + 1));
+    EXPECT_LE(LatencyHistogram::lower_bound(b),
+              LatencyHistogram::lower_bound(b + 1));
+  }
+}
+
+TEST(LatencyHistogramTest, RelativeErrorBounded) {
+  // The defining property: a bucket's width is at most lower/kSubBuckets
+  // for every bucket bucket_of can produce, so any percentile answer is
+  // within 1/16 of the true sample value.
+  for (int bit = 4; bit < 63; ++bit) {
+    const std::uint64_t v = (std::uint64_t{1} << bit) + 5;
+    const std::uint32_t b = LatencyHistogram::bucket_of(v);
+    const std::uint64_t width = LatencyHistogram::upper_bound(b) -
+                                LatencyHistogram::lower_bound(b);
+    EXPECT_LE(width * LatencyHistogram::kSubBuckets,
+              LatencyHistogram::lower_bound(b) + width)
+        << "bucket " << b;
+  }
+}
+
+TEST(LatencyHistogramTest, EmptyHistogram) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.total_count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.value_at_quantile(0.5), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(LatencyHistogramTest, SingletonIsExact) {
+  LatencyHistogram h;
+  h.record(10);
+  EXPECT_EQ(h.p50(), 10u);
+  EXPECT_EQ(h.p99(), 10u);
+  EXPECT_EQ(h.max(), 10u);
+  EXPECT_EQ(h.mean(), 10.0);
+}
+
+TEST(LatencyHistogramTest, ExactPercentilesBelowSixteen) {
+  // Values below kSubBuckets occupy one-value buckets: percentiles are the
+  // exact order statistics at rank ceil(q * n).
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 10; ++v) h.record(v);
+  EXPECT_EQ(h.value_at_quantile(0.0), 1u);   // rank clamps to 1
+  EXPECT_EQ(h.value_at_quantile(0.1), 1u);   // ceil(1.0) = 1
+  EXPECT_EQ(h.p50(), 5u);                    // ceil(5.0) = 5
+  EXPECT_EQ(h.value_at_quantile(0.55), 6u);  // ceil(5.5) = 6
+  EXPECT_EQ(h.p95(), 10u);
+  EXPECT_EQ(h.value_at_quantile(1.0), 10u);
+}
+
+TEST(LatencyHistogramTest, InterpolationStaysWithinObservedRange) {
+  // One wide bucket: [4096, 4352). All samples at 4100; no percentile may
+  // exceed the observed max (interpolation is clamped to it).
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.record(4100);
+  EXPECT_GE(h.p50(), 4096u);
+  EXPECT_LE(h.p50(), 4100u);
+  EXPECT_LE(h.p99(), 4100u);
+  EXPECT_EQ(h.max(), 4100u);
+}
+
+TEST(LatencyHistogramTest, InterpolationIsMonotoneInQuantile) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 10000; v += 7) h.record(v);
+  std::uint64_t prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    const std::uint64_t value = h.value_at_quantile(q);
+    EXPECT_GE(value, prev) << "q = " << q;
+    prev = value;
+  }
+  EXPECT_EQ(h.value_at_quantile(1.0), h.max());
+}
+
+TEST(LatencyHistogramTest, PercentileWithinBucketResolution) {
+  // Uniform samples 1..100000: every percentile answer must be within one
+  // bucket width (6.25% relative) of the true order statistic.
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 100000; ++v) h.record(v);
+  for (double q : {0.10, 0.50, 0.90, 0.95, 0.99}) {
+    const double truth = q * 100000;
+    const double got = static_cast<double>(h.value_at_quantile(q));
+    EXPECT_NEAR(got, truth, truth / 16.0 + 1.0) << "q = " << q;
+  }
+}
+
+TEST(LatencyHistogramTest, MergeMatchesCombinedStream) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  LatencyHistogram combined;
+  std::uint64_t v = 1;
+  for (int i = 0; i < 1000; ++i) {
+    v = v * 2862933555777941757ull + 3037000493ull;  // any fixed stream
+    const std::uint64_t sample = v >> 40;
+    ((i % 3 == 0) ? a : b).record(sample);
+    combined.record(sample);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.total_count(), combined.total_count());
+  EXPECT_EQ(a.sum(), combined.sum());
+  EXPECT_EQ(a.max(), combined.max());
+  for (std::uint32_t bucket = 0; bucket < LatencyHistogram::kBuckets;
+       ++bucket) {
+    ASSERT_EQ(a.bucket_count(bucket), combined.bucket_count(bucket));
+  }
+  for (double q : {0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(a.value_at_quantile(q), combined.value_at_quantile(q));
+  }
+}
+
+TEST(LatencyHistogramTest, HugeValuesDoNotOverflow) {
+  LatencyHistogram h;
+  h.record(~std::uint64_t{0});
+  h.record(std::uint64_t{1} << 62);
+  EXPECT_EQ(h.total_count(), 2u);
+  EXPECT_EQ(h.max(), ~std::uint64_t{0});
+  EXPECT_GE(h.p99(), std::uint64_t{1} << 62);
+}
+
+}  // namespace
+}  // namespace fairsched

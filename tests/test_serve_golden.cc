@@ -1,0 +1,96 @@
+// Golden byte-for-byte pin of the serve stats JSON (serve/session.h,
+// write_report_json). The session runs a fixed synthetic workload under an
+// injected deterministic clock, so every field — counters, latency
+// percentiles, throughput rates — is reproducible and the serialized
+// report must match tests/golden/serve_stats.json exactly. This is what
+// keeps the BENCH_serve.json schema stable for scripts/compare_bench.py
+// and external dashboards.
+//
+// To regenerate after an intentional schema change:
+//   FAIRSCHED_UPDATE_GOLDEN=1 ./test_serve_golden
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "exp/policy_registry.h"
+#include "serve/event_source.h"
+#include "serve/session.h"
+
+namespace fairsched {
+namespace {
+
+using serve::ServeOptions;
+using serve::ServeSession;
+using serve::SyntheticEventSource;
+using serve::SyntheticServeSpec;
+
+std::string golden_path() {
+  return std::string(FAIRSCHED_SOURCE_DIR) + "/tests/golden/serve_stats.json";
+}
+
+// A deterministic nanosecond clock: call k advances the fake time by
+// (k mod 251) + 1, so decision latencies are diverse but reproducible.
+struct FakeClock {
+  std::uint64_t now = 0;
+  std::uint64_t calls = 0;
+  std::uint64_t operator()() {
+    calls++;
+    now += calls % 251 + 1;
+    return now;
+  }
+};
+
+std::string run_golden_session() {
+  SyntheticServeSpec spec;
+  spec.orgs = 20;
+  spec.machines_per_org = 1;
+  spec.events = 500;
+  spec.arrival_rate = 8.0;
+  spec.zipf_s = 1.0;
+  spec.seed = 2013;
+  SyntheticEventSource source(spec);
+
+  FakeClock clock;
+  std::ostringstream stats;
+  ServeOptions options;
+  options.stats_interval = 200;
+  options.stats = &stats;
+  options.clock_ns = [&clock]() { return clock(); };
+  ServeSession session(source.machines(),
+                       exp::PolicyRegistry::global().make_policy("fairshare"),
+                       options);
+  session.run(source);
+
+  std::ostringstream out;
+  serve::write_report_json(out, session.report(), "fairshare", "synthetic");
+  return out.str();
+}
+
+TEST(ServeGoldenTest, StatsJsonMatchesGoldenByteForByte) {
+  const std::string produced = run_golden_session();
+  if (std::getenv("FAIRSCHED_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path());
+    ASSERT_TRUE(out) << "cannot write " << golden_path();
+    out << produced;
+    GTEST_SKIP() << "regenerated " << golden_path();
+  }
+  std::ifstream in(golden_path());
+  ASSERT_TRUE(in) << "missing golden file " << golden_path()
+                  << " (regenerate with FAIRSCHED_UPDATE_GOLDEN=1)";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(produced, expected.str())
+      << "serve stats JSON drifted from the golden file; if the schema "
+         "change is intentional, regenerate with FAIRSCHED_UPDATE_GOLDEN=1";
+}
+
+TEST(ServeGoldenTest, ReportIsDeterministicAcrossRuns) {
+  EXPECT_EQ(run_golden_session(), run_golden_session());
+}
+
+}  // namespace
+}  // namespace fairsched
