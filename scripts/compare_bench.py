@@ -88,12 +88,30 @@ SERVE_THROUGHPUT_SLACK = 8.0
 SERVE_LATENCY_SLACK = 16.0
 
 
+def load_json(path, what):
+    """Loads a JSON file, turning every I/O or parse failure into a clear
+    error that names the offending file instead of a traceback."""
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except OSError as err:
+        raise SystemExit(f"error: cannot read {what} {path}: {err}")
+    except json.JSONDecodeError as err:
+        raise SystemExit(
+            f"error: {what} {path} is not valid JSON ({err}); "
+            f"was the producing run killed mid-write?"
+        )
+
+
 def load_bench(directory, sweep):
     path = pathlib.Path(directory) / f"BENCH_{sweep}.json"
     if not path.is_file():
-        raise SystemExit(f"error: missing bench output {path}")
-    with open(path) as handle:
-        data = json.load(handle)
+        raise SystemExit(
+            f"error: missing bench output {path} — did the "
+            f"`fairsched_exp {sweep} --smoke` run for this directory "
+            f"complete?"
+        )
+    data = load_json(path, "bench output")
     if data.get("sweep") != sweep:
         raise SystemExit(f"error: {path} reports sweep {data.get('sweep')!r}")
     return data
@@ -284,8 +302,7 @@ def check(args):
         if not baseline_path.is_file():
             failures.append(f"{sweep}: no committed baseline {baseline_path}")
             continue
-        with open(baseline_path) as handle:
-            baseline = json.load(handle)
+        baseline = load_json(baseline_path, "committed baseline")
         current = distill(
             load_bench(args.cached, sweep), load_bench(args.uncached, sweep),
             sweep,
@@ -334,8 +351,7 @@ def check(args):
             f"{REF_SCALING}: no committed baseline {baseline_path}"
         )
     else:
-        with open(baseline_path) as handle:
-            baseline = json.load(handle)
+        baseline = load_json(baseline_path, "committed baseline")
         current = distill_ref_scaling(load_bench(args.cached, REF_SCALING))
         failures.extend(check_ref_scaling(baseline, current))
         print(
@@ -350,8 +366,7 @@ def check(args):
     if not baseline_path.is_file():
         failures.append(f"{SERVE}: no committed baseline {baseline_path}")
     else:
-        with open(baseline_path) as handle:
-            baseline = json.load(handle)
+        baseline = load_json(baseline_path, "committed baseline")
         current = distill_serve(load_bench(args.cached, SERVE))
         failures.extend(check_serve(baseline, current))
         print(
@@ -386,7 +401,16 @@ def main():
     sub.choices["check"].add_argument("--baselines", default="bench/baselines")
     sub.choices["check"].add_argument("--tolerance", type=float, default=0.25)
     args = parser.parse_args()
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except KeyError as err:
+        # A bench/baseline JSON from a different schema generation: name
+        # the missing key instead of dying with a traceback.
+        raise SystemExit(
+            f"error: bench/baseline JSON is missing key {err} — the file "
+            f"predates the current schema; re-run the smoke matrix and "
+            f"re-record bench/baselines"
+        )
 
 
 if __name__ == "__main__":

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Hermetic ssh stand-in for dispatch tests and CI.
+
+Usage (what SshTransport generates):
+
+    fake_ssh.py [ssh options...] HOST COMMAND [ARGS...]
+
+Leading ``-`` options are ignored, the first non-option argument is the
+host name, and the rest is the remote command — which is simply exec'd
+locally, stdin/stdout/stderr attached, so the "remote" worker is a local
+process and the whole dispatch protocol runs for real without a network.
+
+Failure injection (how CI induces a worker kill and a hang without
+patching the dispatcher): set ``FAKE_SSH_STATE_DIR`` to a scratch
+directory, then
+
+    FAKE_SSH_KILL_HOST=hostb   the first connection to hostb spawns the
+                               worker, waits FAKE_SSH_KILL_AFTER_MS
+                               (default 250), kills it, and exits 255 —
+                               ssh's "connection lost" exit code;
+    FAKE_SSH_HANG_HOST=hostc   the first connection to hostc swallows the
+                               request and sleeps FAKE_SSH_HANG_MS
+                               (default 3600000), so only the
+                               dispatcher's --timeout-ms can reclaim the
+                               shard.
+
+Each injection fires once: a marker file in FAKE_SSH_STATE_DIR records
+that the host already failed, so retries against the same host succeed
+and the run converges. Without FAKE_SSH_STATE_DIR the injections fire on
+every connection (useful for testing give-up paths).
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+
+def claim_injection(kind: str, host: str) -> bool:
+    """True when this connection should inject `kind` against `host`."""
+    if os.environ.get(f"FAKE_SSH_{kind}_HOST") != host:
+        return False
+    state_dir = os.environ.get("FAKE_SSH_STATE_DIR")
+    if not state_dir:
+        return True
+    os.makedirs(state_dir, exist_ok=True)
+    marker = os.path.join(state_dir, f"{kind.lower()}-{host}")
+    try:
+        # O_EXCL: exactly one connection claims the marker, even when the
+        # dispatcher races several attempts against the same host.
+        fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True
+
+
+def main() -> int:
+    args = sys.argv[1:]
+    while args and args[0].startswith("-"):
+        args.pop(0)
+    if len(args) < 2:
+        print("fake_ssh: usage: fake_ssh.py [options] HOST COMMAND...",
+              file=sys.stderr)
+        return 255
+    host, command = args[0], args[1:]
+
+    if claim_injection("HANG", host):
+        print(f"fake_ssh: hanging connection to {host}", file=sys.stderr)
+        # Swallow the request so the worker side never runs, then outlive
+        # any reasonable --timeout-ms; the dispatcher kills us.
+        try:
+            sys.stdin.buffer.read()
+        except OSError:
+            pass
+        time.sleep(int(os.environ.get("FAKE_SSH_HANG_MS", "3600000")) / 1000)
+        return 255
+
+    if claim_injection("KILL", host):
+        delay = int(os.environ.get("FAKE_SSH_KILL_AFTER_MS", "250")) / 1000
+        print(f"fake_ssh: will kill {host} worker after {delay:.3f}s",
+              file=sys.stderr)
+        proc = subprocess.Popen(command)
+        time.sleep(delay)
+        try:
+            proc.send_signal(signal.SIGKILL)
+        except ProcessLookupError:
+            pass
+        proc.wait()
+        return 255
+
+    # The normal path: become the worker. exec keeps the process tree
+    # flat, so the dispatcher's timeout kill reaches the worker itself.
+    try:
+        os.execvp(command[0], command)
+    except OSError as err:
+        print(f"fake_ssh: cannot exec {command[0]}: {err}", file=sys.stderr)
+        return 127
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+#include "dist/dispatch_log.h"
+
+#include <ostream>
+
+#include "util/json.h"
+
+namespace fairsched::dist {
+
+DispatchLog::DispatchLog(std::ostream& out)
+    : out_(out), started_(std::chrono::steady_clock::now()) {}
+
+DispatchLog::Field DispatchLog::str(std::string key, std::string value) {
+  return Field{std::move(key), std::move(value), false};
+}
+
+DispatchLog::Field DispatchLog::num(std::string key, std::uint64_t value) {
+  return Field{std::move(key), std::to_string(value), true};
+}
+
+void DispatchLog::event(const std::string& name,
+                        const std::vector<Field>& fields) {
+  const auto t_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - started_)
+                        .count();
+  std::lock_guard<std::mutex> lock(mu_);
+  out_ << "{\"event\":\"" << json_escape(name) << "\",\"t_ms\":" << t_ms;
+  for (const Field& field : fields) {
+    out_ << ",\"" << json_escape(field.key) << "\":";
+    if (field.raw) {
+      out_ << field.value;
+    } else {
+      out_ << '"' << json_escape(field.value) << '"';
+    }
+  }
+  out_ << "}\n";
+  out_.flush();  // each line must survive a killed dispatch (--resume)
+}
+
+}  // namespace fairsched::dist

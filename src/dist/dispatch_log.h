@@ -1,0 +1,47 @@
+#pragma once
+
+// The machine-readable dispatch log: one JSON object per line (JSONL),
+// one line per scheduling event, so a partial run can be reconstructed
+// from its log alone (docs/DISTRIBUTED.md has the reading guide). Opened
+// in append mode by the dispatch scenario: a --resume invocation extends
+// the same file and the full history of the run survives.
+//
+// Every line carries {"event": ..., "t_ms": ...} where t_ms is
+// milliseconds since this DispatchLog was constructed (relative, so the
+// log stays environment-independent); event-specific fields follow.
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fairsched::dist {
+
+class DispatchLog {
+ public:
+  // Field values are written as JSON strings unless `raw` — raw values
+  // (numbers, booleans) are embedded verbatim.
+  struct Field {
+    std::string key;
+    std::string value;
+    bool raw = false;
+  };
+
+  // `out` must outlive the log; writes are serialized internally so
+  // worker threads log concurrently.
+  explicit DispatchLog(std::ostream& out);
+
+  void event(const std::string& name, const std::vector<Field>& fields);
+
+  static Field str(std::string key, std::string value);
+  static Field num(std::string key, std::uint64_t value);
+
+ private:
+  std::ostream& out_;
+  std::mutex mu_;
+  std::chrono::steady_clock::time_point started_;
+};
+
+}  // namespace fairsched::dist

@@ -1,0 +1,140 @@
+#pragma once
+
+// The dispatcher loop of the distributed sweep service.
+//
+// A Dispatcher takes a whole-run SweepPlan, partitions it into
+// `shard_count` shards (the plan layer's family partition, so the merged
+// result stays byte-identical to a single-host run — exp/sweep_plan.h),
+// and schedules the shards onto its WorkerTransports from one shared
+// queue. Scheduling is pull-based work-stealing: every worker thread
+// claims the lowest eligible pending shard the moment it goes idle, so a
+// straggler host never serializes the run and shards of failed or lost
+// workers are simply reclaimed by whichever worker frees up first.
+//
+// Failure model (docs/DISTRIBUTED.md):
+//   * a failed or timed-out attempt re-queues the shard after a capped
+//     exponential backoff (backoff * 2^(attempt-1), at most backoff_cap);
+//   * a shard that exhausts max_attempts aborts the dispatch;
+//   * an artifact that does not parse, or whose fingerprint/shard do not
+//     match the plan, is quarantined next to the artifact file — never
+//     folded — and counts as a failed attempt;
+//   * a worker with max_worker_failures consecutive failures retires; the
+//     dispatch aborts only when every worker has retired with shards
+//     still outstanding.
+//
+// Validated artifacts are persisted to artifact_dir/shard-<i>-of-<N>.json
+// (written to a temp name, then renamed, so a killed dispatch never
+// leaves a half-written artifact behind). With `resume`, a pre-pass
+// re-validates whatever the directory already holds and only missing or
+// quarantined shards are executed.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dist/dispatch_log.h"
+#include "dist/protocol.h"
+#include "dist/transport.h"
+#include "exp/sweep_artifact.h"
+#include "exp/sweep_plan.h"
+
+namespace fairsched::dist {
+
+struct DispatchOptions {
+  std::size_t shard_count = 0;  // 0 = one shard per worker
+  std::chrono::milliseconds shard_timeout{0};  // 0 = unbounded attempts
+  std::size_t max_attempts = 3;                // per shard, first included
+  std::chrono::milliseconds backoff{250};
+  std::chrono::milliseconds backoff_cap{5000};
+  std::size_t max_worker_failures = 3;  // consecutive; retires the worker
+  std::string artifact_dir;             // required
+  bool resume = false;
+};
+
+struct DispatchStats {
+  std::size_t shard_count = 0;
+  std::size_t resumed = 0;   // shards reused from a previous run
+  std::size_t attempts = 0;  // transport attempts, successes included
+  std::size_t failed_attempts = 0;
+  std::size_t quarantined = 0;
+  std::size_t retired_workers = 0;
+};
+
+class Dispatcher {
+ public:
+  using Progress = std::function<void(const std::string& message)>;
+
+  // `log` is optional and must outlive the dispatcher when given.
+  Dispatcher(std::vector<std::unique_ptr<WorkerTransport>> workers,
+             DispatchOptions options, DispatchLog* log = nullptr);
+
+  // Dispatches `plan` (must be a whole-run plan matching
+  // request.fingerprint; request.shard fields are rewritten per
+  // assignment) and folds the shard artifacts. Throws std::runtime_error
+  // when a shard exhausts its attempts or every worker retires first.
+  exp::MergedSweep run(const exp::SweepPlan& plan,
+                       const DispatchRequest& request,
+                       const Progress& progress = nullptr);
+
+  const DispatchStats& stats() const { return stats_; }
+
+ private:
+  enum class ShardState { kPending, kRunning, kDone };
+  struct Shard {
+    ShardState state = ShardState::kPending;
+    std::size_t attempts = 0;
+    std::chrono::steady_clock::time_point not_before;  // backoff gate
+  };
+
+  void worker_loop(std::size_t worker_index, const exp::SweepPlan& plan,
+                   const DispatchRequest& request, const Progress& progress);
+  // Lowest-index pending shard whose backoff expired; npos when none.
+  std::size_t claimable_shard_locked(
+      std::chrono::steady_clock::time_point now) const;
+  // Validates an artifact payload against the plan; quarantines and
+  // returns a failure detail when it must not be folded, empty on success.
+  std::string accept_artifact(const exp::SweepPlan& plan, std::size_t shard,
+                              const std::string& payload,
+                              const std::string& worker,
+                              std::size_t attempt);
+  void fail_shard_locked(std::size_t shard, const std::string& worker,
+                         const std::string& detail);
+  std::string artifact_path(std::size_t shard) const;
+
+  std::vector<std::unique_ptr<WorkerTransport>> workers_;
+  DispatchOptions options_;
+  DispatchLog* log_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Shard> shards_;
+  std::size_t shard_count_ = 0;
+  std::size_t done_count_ = 0;
+  std::size_t active_workers_ = 0;
+  bool fatal_ = false;
+  std::string fatal_reason_;
+  DispatchStats stats_;
+};
+
+// The artifact filename contract shared by dispatch and --resume:
+// "shard-<i>-of-<N>.json" under the artifact directory.
+std::string shard_artifact_filename(std::size_t shard,
+                                    std::size_t shard_count);
+
+// `dispatch --dry-run`: the shard -> worker assignment plan as JSON —
+// whole-plan fingerprint, per-shard family/task/cell counts and a
+// per-shard fingerprint (FNV-1a over the plan fingerprint and the shard's
+// family set), plus the round-robin seeding of shards onto workers. The
+// seeding is where execution *starts*; the live queue steals dynamically,
+// which is exactly why the output (unlike the assignment) is independent
+// of worker speed. Golden-tested.
+void write_dispatch_plan_json(std::ostream& out, const exp::SweepPlan& plan,
+                              std::size_t shard_count,
+                              const std::vector<std::string>& worker_names);
+
+}  // namespace fairsched::dist

@@ -1,0 +1,289 @@
+#include "dist/protocol.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fairsched::dist {
+
+namespace {
+
+constexpr const char* kRequestMagic = "fairsched-dispatch-request";
+constexpr const char* kArtifactMagic = "fairsched-shard-artifact";
+
+void reject_newlines(const std::string& value, const char* what) {
+  if (value.find('\n') != std::string::npos ||
+      value.find('\r') != std::string::npos) {
+    throw std::invalid_argument(std::string("dispatch protocol: ") + what +
+                                " must not contain newlines: '" + value +
+                                "'");
+  }
+}
+
+std::string fingerprint_hex(std::uint64_t fingerprint) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, fingerprint);
+  return buf;
+}
+
+// One protocol line; EOF mid-frame is always a protocol error.
+std::string read_line(std::istream& in, const char* expecting) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::invalid_argument(
+        std::string("dispatch protocol: stream ended while expecting ") +
+        expecting);
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return line;
+}
+
+// Splits a protocol line into whitespace-separated tokens.
+std::vector<std::string> tokens_of(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && line[i] == ' ') ++i;
+    std::size_t start = i;
+    while (i < line.size() && line[i] != ' ') ++i;
+    if (i > start) tokens.push_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+std::uint64_t parse_u64(const std::string& token, const char* what) {
+  try {
+    std::size_t consumed = 0;
+    const unsigned long long value = std::stoull(token, &consumed, 10);
+    if (consumed != token.size()) throw std::invalid_argument(token);
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string("dispatch protocol: ") + what +
+                                " is not a number: '" + token + "'");
+  }
+}
+
+std::uint64_t parse_hex_u64(const std::string& token, const char* what) {
+  try {
+    std::size_t consumed = 0;
+    const unsigned long long value = std::stoull(token, &consumed, 16);
+    if (consumed != token.size() || token.empty()) {
+      throw std::invalid_argument(token);
+    }
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string("dispatch protocol: ") + what +
+                                " is not a hex number: '" + token + "'");
+  }
+}
+
+// Verifies `line` is "<magic> <version>"; throws naming both versions on
+// skew so mixed-binary deployments fail comprehensibly.
+void check_handshake(const std::string& line, const char* magic,
+                     const char* frame) {
+  const std::vector<std::string> tokens = tokens_of(line);
+  if (tokens.size() != 2 || tokens[0] != magic) {
+    throw std::invalid_argument(std::string("dispatch protocol: expected '") +
+                                magic + " " +
+                                std::to_string(kDispatchProtocolVersion) +
+                                "' handshake for the " + frame + ", got: '" +
+                                line + "'");
+  }
+  const std::uint64_t version = parse_u64(tokens[1], "protocol version");
+  if (version != static_cast<std::uint64_t>(kDispatchProtocolVersion)) {
+    throw std::invalid_argument(
+        std::string("dispatch protocol: peer speaks ") + frame + " v" +
+        std::to_string(version) + ", this binary speaks v" +
+        std::to_string(kDispatchProtocolVersion) +
+        " — deploy matching fairsched_exp builds on every host");
+  }
+}
+
+void read_payload_bytes(std::istream& in, std::size_t size,
+                        std::string& payload, const char* what) {
+  payload.resize(size);
+  if (size > 0) {
+    in.read(payload.data(), static_cast<std::streamsize>(size));
+    if (static_cast<std::size_t>(in.gcount()) != size) {
+      throw std::invalid_argument(
+          std::string("dispatch protocol: truncated ") + what + ": got " +
+          std::to_string(static_cast<std::size_t>(in.gcount())) + " of " +
+          std::to_string(size) + " bytes");
+    }
+  }
+  // The writer terminates the payload with one newline so the framing
+  // stays line-oriented after it.
+  const int next = in.get();
+  if (next != '\n') {
+    throw std::invalid_argument(std::string("dispatch protocol: ") + what +
+                                " is not followed by a newline (size "
+                                "mismatch between header and payload)");
+  }
+}
+
+void expect_end(std::istream& in, const char* frame) {
+  const std::string line = read_line(in, "'end'");
+  if (line != "end") {
+    throw std::invalid_argument(std::string("dispatch protocol: expected "
+                                            "'end' closing the ") +
+                                frame + ", got: '" + line + "'");
+  }
+}
+
+}  // namespace
+
+void write_dispatch_request(std::ostream& out,
+                            const DispatchRequest& request) {
+  for (const std::string& arg : request.args) reject_newlines(arg, "arg");
+  reject_newlines(request.config_name, "config name");
+  out << kRequestMagic << ' ' << kDispatchProtocolVersion << '\n';
+  out << "fingerprint " << fingerprint_hex(request.fingerprint) << '\n';
+  out << "shard " << request.shard << ' ' << request.shard_count << '\n';
+  out << "threads " << request.threads << '\n';
+  out << "args " << request.args.size() << '\n';
+  for (const std::string& arg : request.args) out << arg << '\n';
+  if (request.config_content.empty() && request.config_name.empty()) {
+    out << "no-config\n";
+  } else {
+    out << "config " << request.config_content.size() << ' '
+        << (request.config_name.empty() ? "-" : request.config_name) << '\n';
+    out.write(request.config_content.data(),
+              static_cast<std::streamsize>(request.config_content.size()));
+    out << '\n';
+  }
+  out << "end\n";
+}
+
+DispatchRequest read_dispatch_request(std::istream& in) {
+  DispatchRequest request;
+  check_handshake(read_line(in, "the request handshake"), kRequestMagic,
+                  "request");
+
+  std::vector<std::string> tokens =
+      tokens_of(read_line(in, "'fingerprint'"));
+  if (tokens.size() != 2 || tokens[0] != "fingerprint") {
+    throw std::invalid_argument(
+        "dispatch protocol: expected 'fingerprint <hex>'");
+  }
+  request.fingerprint = parse_hex_u64(tokens[1], "fingerprint");
+
+  tokens = tokens_of(read_line(in, "'shard'"));
+  if (tokens.size() != 3 || tokens[0] != "shard") {
+    throw std::invalid_argument(
+        "dispatch protocol: expected 'shard <index> <count>'");
+  }
+  request.shard =
+      static_cast<std::size_t>(parse_u64(tokens[1], "shard index"));
+  request.shard_count =
+      static_cast<std::size_t>(parse_u64(tokens[2], "shard count"));
+  if (request.shard_count == 0 || request.shard >= request.shard_count) {
+    throw std::invalid_argument(
+        "dispatch protocol: shard index must be < count and count > 0, "
+        "got " +
+        std::to_string(request.shard) + "/" +
+        std::to_string(request.shard_count));
+  }
+
+  tokens = tokens_of(read_line(in, "'threads'"));
+  if (tokens.size() != 2 || tokens[0] != "threads") {
+    throw std::invalid_argument("dispatch protocol: expected 'threads <n>'");
+  }
+  request.threads =
+      static_cast<std::size_t>(parse_u64(tokens[1], "thread count"));
+
+  tokens = tokens_of(read_line(in, "'args'"));
+  if (tokens.size() != 2 || tokens[0] != "args") {
+    throw std::invalid_argument(
+        "dispatch protocol: expected 'args <count>'");
+  }
+  const std::size_t num_args =
+      static_cast<std::size_t>(parse_u64(tokens[1], "arg count"));
+  if (num_args == 0) {
+    throw std::invalid_argument(
+        "dispatch protocol: a request needs at least the subcommand arg");
+  }
+  request.args.reserve(num_args);
+  for (std::size_t i = 0; i < num_args; ++i) {
+    // Args are raw lines, not tokenized: flag values may contain spaces.
+    request.args.push_back(read_line(in, "an arg line"));
+  }
+
+  const std::string config_line = read_line(in, "'config' or 'no-config'");
+  if (config_line != "no-config") {
+    tokens = tokens_of(config_line);
+    if (tokens.size() != 3 || tokens[0] != "config") {
+      throw std::invalid_argument(
+          "dispatch protocol: expected 'config <bytes> <name>' or "
+          "'no-config', got: '" +
+          config_line + "'");
+    }
+    const std::size_t size =
+        static_cast<std::size_t>(parse_u64(tokens[1], "config size"));
+    request.config_name = tokens[2] == "-" ? "" : tokens[2];
+    read_payload_bytes(in, size, request.config_content, "config content");
+  }
+  expect_end(in, "request");
+  return request;
+}
+
+void write_artifact_frame(std::ostream& out, std::size_t shard,
+                          std::size_t shard_count,
+                          const std::string& payload) {
+  out << kArtifactMagic << ' ' << kDispatchProtocolVersion << '\n';
+  out << "shard " << shard << ' ' << shard_count << '\n';
+  out << "payload " << payload.size() << '\n';
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  out << '\n';
+  out << "end\n";
+}
+
+ArtifactFrame parse_artifact_frame(const std::string& text,
+                                   const std::string& source) {
+  // Skip banner noise: the frame starts at the first line whose first
+  // token is the magic. Everything before it is ignored; everything after
+  // is parsed strictly.
+  const std::string marker = std::string(kArtifactMagic) + " ";
+  std::size_t start = 0;
+  if (text.rfind(marker, 0) != 0) {
+    const std::size_t found = text.find("\n" + marker);
+    if (found == std::string::npos) {
+      throw std::invalid_argument(
+          "dispatch protocol: no artifact frame in output of " + source +
+          " (worker crashed before framing its artifact?)");
+    }
+    start = found + 1;
+  }
+
+  std::istringstream in(text.substr(start));
+  ArtifactFrame frame;
+  check_handshake(read_line(in, "the artifact handshake"), kArtifactMagic,
+                  "artifact frame");
+  std::vector<std::string> tokens = tokens_of(read_line(in, "'shard'"));
+  if (tokens.size() != 3 || tokens[0] != "shard") {
+    throw std::invalid_argument(
+        "dispatch protocol: expected 'shard <index> <count>' in artifact "
+        "frame from " +
+        source);
+  }
+  frame.shard = static_cast<std::size_t>(parse_u64(tokens[1], "shard index"));
+  frame.shard_count =
+      static_cast<std::size_t>(parse_u64(tokens[2], "shard count"));
+
+  tokens = tokens_of(read_line(in, "'payload'"));
+  if (tokens.size() != 2 || tokens[0] != "payload") {
+    throw std::invalid_argument(
+        "dispatch protocol: expected 'payload <bytes>' in artifact frame "
+        "from " +
+        source);
+  }
+  const std::size_t size =
+      static_cast<std::size_t>(parse_u64(tokens[1], "payload size"));
+  read_payload_bytes(in, size, frame.payload, "artifact payload");
+  expect_end(in, "artifact frame");
+  return frame;
+}
+
+}  // namespace fairsched::dist

@@ -1,0 +1,80 @@
+#pragma once
+
+// The dispatcher <-> shard-worker wire protocol (docs/DISTRIBUTED.md).
+//
+// A dispatch sends each worker one DispatchRequest on stdin and reads one
+// framed shard artifact back on stdout. The request does NOT carry the
+// plan JSON: a spec reconstructed from its summary is reporting-only
+// (exp/sweep_plan.h) and cannot be re-executed. Instead the request
+// carries the argv tokens that rebuild the sweep — the subcommand plus
+// the original flags, minus orchestration/reporting flags — and, so
+// remote hosts need no shared filesystem, the raw bytes of the --config
+// file when one was given. The worker rebuilds the spec, builds its
+// shard's plan, and refuses to run unless the rebuilt plan's fingerprint
+// equals the request's: the merge contract's fingerprint check, moved
+// before any compute is spent.
+//
+// Both frames open with a `<magic> <version>` handshake line so a version
+// skew between dispatcher and worker binaries fails with a message naming
+// both versions instead of a parse error mid-stream. Framing is
+// line-oriented except for the two length-prefixed byte payloads (config
+// content in, artifact JSON out), which are copied verbatim.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fairsched::dist {
+
+inline constexpr int kDispatchProtocolVersion = 1;
+
+// Everything a shard-worker needs to reproduce one shard of a sweep.
+struct DispatchRequest {
+  // Whole-plan fingerprint (exp/sweep_plan.h) the worker must reproduce.
+  std::uint64_t fingerprint = 0;
+  // The shard this attempt executes; the dispatcher rewrites these per
+  // assignment, the rest of the request is shared by every attempt.
+  std::size_t shard = 0;
+  std::size_t shard_count = 1;
+  // Worker thread budget (0 = the worker's hardware concurrency).
+  std::size_t threads = 0;
+  // Subcommand + flags rebuilding the sweep (no newlines allowed; the
+  // framing is line-oriented). args[0] is the scenario name ("custom",
+  // "table1", ...), the rest are --flag tokens.
+  std::vector<std::string> args;
+  // Embedded sweep config file: when non-empty the worker writes
+  // `config_content` to a scratch file and appends --config=<path> to
+  // args. `config_name` is display-only (log/error messages).
+  std::string config_name;
+  std::string config_content;
+};
+
+// Serializes `request`. Throws std::invalid_argument when an arg or the
+// config name contains a newline (unrepresentable in the framing).
+void write_dispatch_request(std::ostream& out, const DispatchRequest& request);
+
+// Parses one request from `in`. Throws std::invalid_argument on a missing
+// or mis-versioned handshake, truncated input, or malformed fields.
+DispatchRequest read_dispatch_request(std::istream& in);
+
+// The worker's reply: its shard identity plus the artifact JSON bytes
+// (exp/sweep_artifact.h), length-prefixed so the payload is copied
+// verbatim whatever it contains.
+struct ArtifactFrame {
+  std::size_t shard = 0;
+  std::size_t shard_count = 1;
+  std::string payload;  // shard artifact JSON
+};
+
+void write_artifact_frame(std::ostream& out, std::size_t shard,
+                          std::size_t shard_count, const std::string& payload);
+
+// Parses the artifact frame out of a worker's captured stdout. Tolerates
+// noise *before* the handshake line (ssh banners, motd leakage) but is
+// strict from the handshake on. Throws std::invalid_argument when no
+// frame is found, the version differs, or the payload is truncated.
+ArtifactFrame parse_artifact_frame(const std::string& text,
+                                   const std::string& source);
+
+}  // namespace fairsched::dist

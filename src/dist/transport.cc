@@ -1,0 +1,258 @@
+#include "dist/transport.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+namespace fairsched::dist {
+
+namespace {
+
+// A worker dying mid-request must surface as a write error on its stdin
+// pipe, not kill the dispatcher with SIGPIPE.
+void ignore_sigpipe_once() {
+  static const int ignored = [] {
+    ::signal(SIGPIPE, SIG_IGN);
+    return 0;
+  }();
+  (void)ignored;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+std::string exit_description(int status) {
+  if (WIFEXITED(status)) {
+    return "exit code " + std::to_string(WEXITSTATUS(status));
+  }
+  if (WIFSIGNALED(status)) {
+    return "signal " + std::to_string(WTERMSIG(status));
+  }
+  return "unknown wait status " + std::to_string(status);
+}
+
+std::string argv_description(const std::vector<std::string>& argv) {
+  std::string out;
+  for (const std::string& arg : argv) {
+    if (!out.empty()) out += ' ';
+    out += arg;
+  }
+  return out;
+}
+
+}  // namespace
+
+WorkerTransport::Outcome run_worker_process(
+    const std::vector<std::string>& argv, const DispatchRequest& request,
+    std::chrono::milliseconds timeout) {
+  using Outcome = WorkerTransport::Outcome;
+  if (argv.empty()) {
+    throw std::invalid_argument("run_worker_process: empty argv");
+  }
+  ignore_sigpipe_once();
+
+  std::ostringstream request_stream;
+  write_dispatch_request(request_stream, request);
+  const std::string request_bytes = request_stream.str();
+
+  int in_pipe[2];   // dispatcher -> worker stdin
+  int out_pipe[2];  // worker stdout -> dispatcher
+  if (::pipe(in_pipe) < 0 || ::pipe(out_pipe) < 0) {
+    throw std::runtime_error("run_worker_process: pipe() failed");
+  }
+
+  std::vector<std::string> args = argv;
+  std::vector<char*> exec_argv;
+  exec_argv.reserve(args.size() + 1);
+  for (std::string& arg : args) exec_argv.push_back(arg.data());
+  exec_argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(in_pipe[0]);
+    ::close(in_pipe[1]);
+    ::close(out_pipe[0]);
+    ::close(out_pipe[1]);
+    throw std::runtime_error("run_worker_process: fork() failed");
+  }
+  if (pid == 0) {
+    ::dup2(in_pipe[0], STDIN_FILENO);
+    ::dup2(out_pipe[1], STDOUT_FILENO);
+    ::close(in_pipe[0]);
+    ::close(in_pipe[1]);
+    ::close(out_pipe[0]);
+    ::close(out_pipe[1]);
+    ::execvp(exec_argv[0], exec_argv.data());
+    std::perror("execvp");
+    ::_exit(127);
+  }
+  ::close(in_pipe[0]);
+  ::close(out_pipe[1]);
+  const int write_fd = in_pipe[1];
+  const int read_fd = out_pipe[0];
+  set_nonblocking(write_fd);
+  set_nonblocking(read_fd);
+
+  const auto started = std::chrono::steady_clock::now();
+  const bool bounded = timeout.count() > 0;
+  const auto deadline = started + timeout;
+
+  // One poll loop drives both directions so a worker that starts writing
+  // before it has drained its stdin cannot deadlock against us.
+  std::string output;
+  std::size_t written = 0;
+  bool write_open = true;
+  bool read_open = true;
+  bool timed_out = false;
+  char buffer[65536];
+  while (read_open) {
+    if (write_open && written == request_bytes.size()) {
+      ::close(write_fd);
+      write_open = false;
+    }
+    struct pollfd fds[2];
+    nfds_t nfds = 0;
+    fds[nfds].fd = read_fd;
+    fds[nfds].events = POLLIN;
+    ++nfds;
+    if (write_open) {
+      fds[nfds].fd = write_fd;
+      fds[nfds].events = POLLOUT;
+      ++nfds;
+    }
+    int wait_ms = -1;
+    if (bounded) {
+      const auto remaining = std::chrono::duration_cast<
+          std::chrono::milliseconds>(deadline -
+                                     std::chrono::steady_clock::now());
+      wait_ms = static_cast<int>(std::max<std::int64_t>(0,
+                                                        remaining.count()));
+    }
+    const int ready = ::poll(fds, nfds, wait_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) {  // deadline expired
+      timed_out = true;
+      break;
+    }
+    if (fds[0].revents & (POLLIN | POLLHUP | POLLERR)) {
+      const ssize_t n = ::read(read_fd, buffer, sizeof(buffer));
+      if (n > 0) {
+        output.append(buffer, static_cast<std::size_t>(n));
+      } else if (n == 0 || (n < 0 && errno != EAGAIN && errno != EINTR)) {
+        read_open = false;
+      }
+    }
+    if (write_open && nfds > 1 &&
+        (fds[1].revents & (POLLOUT | POLLHUP | POLLERR))) {
+      const ssize_t n = ::write(write_fd, request_bytes.data() + written,
+                                request_bytes.size() - written);
+      if (n > 0) {
+        written += static_cast<std::size_t>(n);
+      } else if (n < 0 && errno != EAGAIN && errno != EINTR) {
+        // Worker closed stdin early (possibly dying); its exit status or
+        // missing frame reports the failure.
+        ::close(write_fd);
+        write_open = false;
+      }
+    }
+  }
+  if (write_open) ::close(write_fd);
+  ::close(read_fd);
+
+  const std::string source =
+      "worker process `" + argv_description(argv) + "`";
+  if (timed_out) {
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, nullptr, 0);
+    return Outcome{Outcome::Status::kTimeout, "",
+                   source + " exceeded the " +
+                       std::to_string(timeout.count()) +
+                       "ms shard timeout and was killed"};
+  }
+
+  int status = 0;
+  if (::waitpid(pid, &status, 0) < 0) {
+    return Outcome{Outcome::Status::kFailed, "",
+                   source + ": waitpid failed"};
+  }
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    return Outcome{Outcome::Status::kFailed, "",
+                   source + " failed (" + exit_description(status) + ")"};
+  }
+
+  try {
+    ArtifactFrame frame = parse_artifact_frame(output, source);
+    if (frame.shard != request.shard ||
+        frame.shard_count != request.shard_count) {
+      return Outcome{Outcome::Status::kFailed, "",
+                     source + " returned shard " +
+                         std::to_string(frame.shard) + "/" +
+                         std::to_string(frame.shard_count) +
+                         " but was asked for " +
+                         std::to_string(request.shard) + "/" +
+                         std::to_string(request.shard_count)};
+    }
+    return Outcome{Outcome::Status::kArtifact, std::move(frame.payload),
+                   ""};
+  } catch (const std::exception& e) {
+    return Outcome{Outcome::Status::kFailed, "", e.what()};
+  }
+}
+
+LocalProcessTransport::LocalProcessTransport(std::string name,
+                                             std::string program)
+    : name_(std::move(name)), program_(std::move(program)) {
+  if (program_.empty()) {
+    throw std::invalid_argument(
+        "LocalProcessTransport: empty program path");
+  }
+}
+
+WorkerTransport::Outcome LocalProcessTransport::run_shard(
+    const DispatchRequest& request, std::chrono::milliseconds timeout) {
+  return run_worker_process({program_, "shard-worker"}, request, timeout);
+}
+
+SshTransport::SshTransport(std::string name,
+                           std::vector<std::string> ssh_command,
+                           std::string host, std::string remote_program)
+    : name_(std::move(name)) {
+  if (ssh_command.empty()) {
+    throw std::invalid_argument("SshTransport: empty ssh command");
+  }
+  if (host.empty()) {
+    throw std::invalid_argument("SshTransport: empty host");
+  }
+  if (remote_program.empty()) {
+    throw std::invalid_argument("SshTransport: empty remote program path");
+  }
+  argv_ = std::move(ssh_command);
+  argv_.push_back(std::move(host));
+  // ssh joins the remaining tokens with spaces for the remote shell, so
+  // remote program paths must not contain shell metacharacters; the fake
+  // ssh harness receives them as separate argv entries either way.
+  argv_.push_back(std::move(remote_program));
+  argv_.push_back("shard-worker");
+}
+
+WorkerTransport::Outcome SshTransport::run_shard(
+    const DispatchRequest& request, std::chrono::milliseconds timeout) {
+  return run_worker_process(argv_, request, timeout);
+}
+
+}  // namespace fairsched::dist

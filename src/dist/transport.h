@@ -1,0 +1,93 @@
+#pragma once
+
+// The worker-transport seam of the distributed dispatcher.
+//
+// A WorkerTransport runs one attempt of one shard somewhere — a forked
+// local process, a remote host over ssh, or (in tests) an in-memory
+// double that injects failures — and reports what happened as an Outcome
+// instead of throwing: per-attempt failures are routine events the
+// Dispatcher retries, not exceptions. The process-backed transports share
+// run_worker_process, which speaks the dist/protocol.h framing over the
+// child's stdin/stdout, enforces the per-attempt deadline with SIGKILL,
+// and inherits stderr so worker breadcrumbs land in the dispatcher's own
+// stderr stream.
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/protocol.h"
+
+namespace fairsched::dist {
+
+class WorkerTransport {
+ public:
+  struct Outcome {
+    enum class Status {
+      kArtifact,  // payload holds the (unvalidated) artifact JSON
+      kFailed,    // the attempt failed; detail says how
+      kTimeout,   // the deadline expired; the worker process was killed
+    };
+    Status status = Status::kFailed;
+    std::string payload;
+    std::string detail;  // diagnostic for the dispatch log
+  };
+
+  virtual ~WorkerTransport() = default;
+
+  // Stable display name ("local#0", "ssh:hostb"), used in the dispatch
+  // log and the dry-run assignment plan.
+  virtual const std::string& name() const = 0;
+
+  // Runs one attempt of request.shard, blocking until it completes, fails
+  // or times out (timeout 0 = unbounded). Routine failures come back as
+  // Outcomes; a thrown exception means the transport itself is broken and
+  // retires this worker.
+  virtual Outcome run_shard(const DispatchRequest& request,
+                            std::chrono::milliseconds timeout) = 0;
+};
+
+// Spawns `argv`, writes `request` to its stdin, captures stdout until EOF
+// or deadline (SIGKILL on expiry), and parses the artifact frame — also
+// checking the frame echoes the requested shard. Exposed for transports
+// and for direct testing against plain commands.
+WorkerTransport::Outcome run_worker_process(
+    const std::vector<std::string>& argv, const DispatchRequest& request,
+    std::chrono::milliseconds timeout);
+
+// fork/exec of `program shard-worker` on this host — the transport behind
+// --workers=local and the executor-level --processes path.
+class LocalProcessTransport final : public WorkerTransport {
+ public:
+  LocalProcessTransport(std::string name, std::string program);
+
+  const std::string& name() const override { return name_; }
+  Outcome run_shard(const DispatchRequest& request,
+                    std::chrono::milliseconds timeout) override;
+
+ private:
+  std::string name_;
+  std::string program_;
+};
+
+// Spawns `remote_program shard-worker` on `host` through an ssh-style
+// command (argv = ssh_command + {host, remote_program, "shard-worker"}),
+// streaming the request in and the artifact frame back over the ssh
+// channel. `ssh_command` is overridable (--ssh-cmd) so CI substitutes the
+// hermetic scripts/fake_ssh.py harness.
+class SshTransport final : public WorkerTransport {
+ public:
+  SshTransport(std::string name, std::vector<std::string> ssh_command,
+               std::string host, std::string remote_program);
+
+  const std::string& name() const override { return name_; }
+  Outcome run_shard(const DispatchRequest& request,
+                    std::chrono::milliseconds timeout) override;
+
+ private:
+  std::string name_;
+  std::vector<std::string> argv_;
+};
+
+}  // namespace fairsched::dist

@@ -1,0 +1,411 @@
+// `fairsched_exp dispatch` and `fairsched_exp shard-worker` — the CLI
+// shell over the distributed dispatcher (src/dist, docs/DISTRIBUTED.md).
+//
+// dispatch builds the sweep exactly like the single-host subcommand
+// would, then hands the whole-run plan to dist::Dispatcher with one
+// transport per --workers/--hosts entry. The request each worker receives
+// carries the original argv (minus orchestration/reporting/dispatch
+// flags) so the worker rebuilds the identical spec; a --config file's
+// bytes ride along in the request, so remote hosts need no shared
+// filesystem. shard-worker is the other end of that protocol.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "dist/dispatcher.h"
+#include "dist/protocol.h"
+#include "dist/transport.h"
+#include "exp/executor.h"
+#include "exp/reporter.h"
+#include "exp/scenarios.h"
+#include "exp/sweep_artifact.h"
+#include "exp/sweep_plan.h"
+#include "util/cli.h"
+
+namespace fairsched::exp {
+
+namespace {
+
+// One --workers/--hosts entry, parsed but not yet constructed: dry runs
+// need the worker names without exec-able transports.
+struct WorkerSpec {
+  bool local = true;
+  std::string host;  // ssh target when !local
+  std::string name;  // display name ("local#0", "ssh:hostb#2")
+};
+
+void append_worker_entry(const std::string& entry, const std::string& where,
+                         std::vector<WorkerSpec>& specs) {
+  std::string base = entry;
+  std::size_t count = 1;
+  const std::size_t star = entry.rfind('*');
+  if (star != std::string::npos) {
+    base = trim_whitespace(entry.substr(0, star));
+    const std::string multiplier = trim_whitespace(entry.substr(star + 1));
+    try {
+      std::size_t consumed = 0;
+      count = std::stoul(multiplier, &consumed);
+      if (consumed != multiplier.size() || count == 0) {
+        throw std::invalid_argument(multiplier);
+      }
+    } catch (const std::exception&) {
+      throw std::invalid_argument("worker entry '" + entry + "' (" + where +
+                                  "): the *N multiplier must be a positive "
+                                  "integer");
+    }
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    WorkerSpec spec;
+    if (base == "local") {
+      spec.local = true;
+    } else if (base.rfind("ssh:", 0) == 0 && base.size() > 4) {
+      spec.local = false;
+      spec.host = base.substr(4);
+    } else {
+      throw std::invalid_argument(
+          "worker entry '" + entry + "' (" + where +
+          ") must be `local` or `ssh:HOST`, optionally with a *N "
+          "multiplier");
+    }
+    specs.push_back(std::move(spec));
+  }
+}
+
+// --workers entries first, then the --hosts file (one entry per line,
+// `#` comments); defaults to local*2 when both are empty. Names get a
+// global #index suffix so duplicated entries stay distinguishable in the
+// dispatch log.
+std::vector<WorkerSpec> parse_worker_specs(const ScenarioOptions& options) {
+  std::vector<WorkerSpec> specs;
+  for (const std::string& entry : split_and_trim(options.workers_spec, ',')) {
+    append_worker_entry(entry, "--workers", specs);
+  }
+  if (!options.hosts_path.empty()) {
+    std::ifstream hosts(options.hosts_path);
+    if (!hosts) {
+      throw std::invalid_argument("cannot open --hosts file: " +
+                                  options.hosts_path);
+    }
+    std::string line;
+    while (std::getline(hosts, line)) {
+      const std::size_t comment = line.find('#');
+      if (comment != std::string::npos) line = line.substr(0, comment);
+      line = trim_whitespace(line);
+      if (line.empty()) continue;
+      append_worker_entry(line, options.hosts_path, specs);
+    }
+  }
+  if (specs.empty()) {
+    for (const std::string& entry : {"local", "local"}) {
+      append_worker_entry(entry, "default", specs);
+    }
+  }
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    specs[i].name = (specs[i].local ? "local" : "ssh:" + specs[i].host) +
+                    "#" + std::to_string(i);
+  }
+  return specs;
+}
+
+std::vector<std::unique_ptr<dist::WorkerTransport>> build_transports(
+    const std::vector<WorkerSpec>& specs, const ScenarioOptions& options) {
+  if (options.program.empty()) {
+    throw std::invalid_argument(
+        "dispatch needs the harness's own binary path for its workers; "
+        "run through fairsched_exp");
+  }
+  const std::vector<std::string> ssh_command =
+      split_and_trim(options.ssh_command, ' ');
+  const std::string remote_program = options.remote_program.empty()
+                                         ? options.program
+                                         : options.remote_program;
+  std::vector<std::unique_ptr<dist::WorkerTransport>> transports;
+  transports.reserve(specs.size());
+  for (const WorkerSpec& spec : specs) {
+    if (spec.local) {
+      transports.push_back(std::make_unique<dist::LocalProcessTransport>(
+          spec.name, options.program));
+    } else {
+      transports.push_back(std::make_unique<dist::SshTransport>(
+          spec.name, ssh_command, spec.host, remote_program));
+    }
+  }
+  return transports;
+}
+
+// The request every attempt shares: the original argv with the
+// orchestration, reporting and dispatch-layer flags stripped (each is
+// either re-derived per attempt or meaningless on a worker), the
+// subcommand swapped for --sweep's scenario, and the --config file's
+// bytes embedded for hosts without the file.
+dist::DispatchRequest build_dispatch_request(const ScenarioOptions& options,
+                                             const SweepPlan& plan,
+                                             std::size_t worker_count) {
+  dist::DispatchRequest request;
+  request.fingerprint = plan.fingerprint;
+  if (options.worker_threads) {
+    request.threads = options.worker_threads;
+  } else {
+    // Local-first default: split this host's thread budget across the
+    // workers, exactly like --processes does. Genuinely remote fleets
+    // should set --worker-threads (or 0 threads per host is never
+    // picked: at least 1).
+    const std::size_t budget =
+        options.threads ? options.threads
+                        : std::max<std::size_t>(
+                              1, std::thread::hardware_concurrency());
+    request.threads = std::max<std::size_t>(1, budget / worker_count);
+  }
+  request.args.push_back(options.sweep);
+  std::vector<std::string> tail;
+  if (!options.raw_args.empty()) {
+    tail.assign(options.raw_args.begin() + 1, options.raw_args.end());
+  }
+  tail = drop_flag_tokens(
+      tail, {"processes", "shard", "partial-out", "csv", "json",
+             "stream-records", "threads", "config", "workers", "hosts",
+             "ssh-cmd", "remote-program", "sweep", "shards",
+             "worker-threads", "timeout-ms", "retries", "backoff-ms",
+             "backoff-cap-ms", "artifact-dir", "dispatch-log", "resume",
+             "dry-run"});
+  request.args.insert(request.args.end(), tail.begin(), tail.end());
+  if (!options.config_path.empty()) {
+    std::ifstream config(options.config_path, std::ios::binary);
+    if (!config) {
+      throw std::invalid_argument("cannot read --config file to embed: " +
+                                  options.config_path);
+    }
+    std::ostringstream content;
+    content << config.rdbuf();
+    request.config_content = content.str();
+    request.config_name =
+        std::filesystem::path(options.config_path).filename().string();
+  }
+  return request;
+}
+
+}  // namespace
+
+int run_dispatch_scenario(const ScenarioOptions& options) {
+  if (!options.shard.empty() || !options.partial_out.empty() ||
+      options.processes > 1) {
+    throw std::invalid_argument(
+        "dispatch does its own sharding; --shard/--partial-out/--processes "
+        "belong to single-host execution");
+  }
+  if (!options.stream_records_path.empty()) {
+    throw std::invalid_argument(
+        "--stream-records does not cross host boundaries; run shards "
+        "explicitly (--shard=i/N) to keep per-shard streams");
+  }
+
+  const SweepSpec spec = make_scenario_sweep(options.sweep, options);
+  const SweepPlan plan = build_sweep_plan(spec, PolicyRegistry::global());
+  const std::vector<WorkerSpec> specs = parse_worker_specs(options);
+  const std::size_t shard_count =
+      options.dispatch_shards ? options.dispatch_shards : specs.size();
+
+  if (options.dry_run) {
+    std::vector<std::string> names;
+    names.reserve(specs.size());
+    for (const WorkerSpec& spec_entry : specs) {
+      names.push_back(spec_entry.name);
+    }
+    dist::write_dispatch_plan_json(std::cout, plan, shard_count, names);
+    return 0;
+  }
+
+  const bool machine_stdout = options.csv_path == "-" ||
+                              options.json_path == "-";
+  std::FILE* human = machine_stdout ? stderr : stdout;
+  if (!spec.title.empty()) std::fprintf(human, "%s\n", spec.title.c_str());
+  std::fprintf(human, "dispatching %zu shard(s) over %zu worker(s)\n",
+               shard_count, specs.size());
+
+  dist::DispatchOptions dispatch_options;
+  dispatch_options.shard_count = shard_count;
+  dispatch_options.shard_timeout =
+      std::chrono::milliseconds(options.timeout_ms);
+  dispatch_options.max_attempts = options.retries + 1;
+  dispatch_options.backoff = std::chrono::milliseconds(options.backoff_ms);
+  dispatch_options.backoff_cap =
+      std::chrono::milliseconds(options.backoff_cap_ms);
+  dispatch_options.artifact_dir = options.artifact_dir;
+  dispatch_options.resume = options.resume_dispatch;
+
+  std::filesystem::create_directories(options.artifact_dir);
+  const std::string log_path =
+      options.dispatch_log_path.empty()
+          ? options.artifact_dir + "/dispatch.log.jsonl"
+          : options.dispatch_log_path;
+  // Append: a --resume invocation extends the first run's log, so the
+  // whole history of a recovered dispatch reads as one file.
+  std::ofstream log_file(log_path, std::ios::app);
+  if (!log_file) {
+    std::fprintf(stderr, "cannot open dispatch log: %s\n", log_path.c_str());
+    return 2;
+  }
+  dist::DispatchLog log(log_file);
+
+  const dist::DispatchRequest request =
+      build_dispatch_request(options, plan, specs.size());
+  dist::Dispatcher dispatcher(build_transports(specs, options),
+                              dispatch_options, &log);
+  const MergedSweep merged = dispatcher.run(
+      plan, request, [human](const std::string& message) {
+        std::fprintf(human, "  finished %s\n", message.c_str());
+        std::fflush(human);
+      });
+  const dist::DispatchStats& stats = dispatcher.stats();
+  std::fprintf(human,
+               "dispatch done: %zu shard(s), %zu attempt(s), %zu "
+               "failure(s), %zu resumed, %zu quarantined; log: %s\n",
+               stats.shard_count, stats.attempts, stats.failed_attempts,
+               stats.resumed, stats.quarantined, log_path.c_str());
+
+  const SweepResult& result = merged.result;
+  TableReporter table(machine_stdout ? std::cerr : std::cout);
+  table.report(merged.spec, result);
+  if (!spec.note.empty()) std::fprintf(human, "\n%s\n", spec.note.c_str());
+
+  if (!options.csv_path.empty()) {
+    if (options.csv_path == "-") {
+      CsvReporter csv(std::cout);
+      csv.report(merged.spec, result);
+    } else {
+      std::ofstream out(options.csv_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot open CSV output: %s\n",
+                     options.csv_path.c_str());
+        return 2;
+      }
+      CsvReporter csv(out);
+      csv.report(merged.spec, result);
+      std::fprintf(human, "wrote CSV: %s\n", options.csv_path.c_str());
+    }
+  }
+  if (!options.json_path.empty()) {
+    if (options.json_path == "-") {
+      JsonReporter json(std::cout);
+      json.report(merged.spec, result);
+    } else {
+      std::ofstream out(options.json_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot open JSON output: %s\n",
+                     options.json_path.c_str());
+        return 2;
+      }
+      JsonReporter json(out);
+      json.report(merged.spec, result);
+      std::fprintf(human, "wrote perf baseline: %s\n",
+                   options.json_path.c_str());
+    }
+  }
+  return 0;
+}
+
+namespace {
+
+// Scratch directory for a worker's embedded config, removed on exit.
+struct WorkerScratch {
+  std::filesystem::path dir;
+  ~WorkerScratch() {
+    if (!dir.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(dir, ec);
+    }
+  }
+};
+
+std::string sanitize_filename(const std::string& name) {
+  std::string out;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '-';
+    out += ok ? c : '_';
+  }
+  return out.empty() ? "sweep.config" : out;
+}
+
+}  // namespace
+
+int run_shard_worker_scenario() {
+  dist::DispatchRequest request = dist::read_dispatch_request(std::cin);
+
+  WorkerScratch scratch;
+  if (!request.config_content.empty() || !request.config_name.empty()) {
+    scratch.dir = std::filesystem::temp_directory_path() /
+                  ("fairsched-worker-" + std::to_string(::getpid()));
+    std::filesystem::create_directories(scratch.dir);
+    const std::filesystem::path config_path =
+        scratch.dir / sanitize_filename(request.config_name);
+    std::ofstream out(config_path, std::ios::binary);
+    out.write(request.config_content.data(),
+              static_cast<std::streamsize>(request.config_content.size()));
+    out.flush();
+    if (!out.good()) {
+      throw std::runtime_error("shard-worker: cannot write embedded config "
+                               "to " +
+                               config_path.string());
+    }
+    request.args.push_back("--config=" + config_path.string());
+  }
+
+  const std::string command = request.args.front();
+  // Flags skips argv[0] (the program slot); the subcommand fills it.
+  std::vector<const char*> argv;
+  argv.reserve(request.args.size());
+  for (const std::string& arg : request.args) argv.push_back(arg.c_str());
+  const Flags flags(static_cast<int>(argv.size()), argv.data());
+  ScenarioOptions options = scenario_options_from_flags(flags);
+
+  SweepSpec spec = make_scenario_sweep(command, options);
+  // The dispatcher owns the thread budget; the request's value beats both
+  // the spec default and any FAIRSCHED_THREADS in this host's environment.
+  spec.threads = request.threads;
+
+  const SweepPlan plan =
+      build_sweep_plan(spec, PolicyRegistry::global(),
+                       SweepShard{request.shard, request.shard_count});
+  if (plan.fingerprint != request.fingerprint) {
+    // The dispatch-determinism contract's front door: a worker whose
+    // rebuilt plan differs (version skew, stray FAIRSCHED_* env var,
+    // different registry) must refuse before spending any compute —
+    // its artifact could never merge anyway.
+    throw std::runtime_error(
+        "shard-worker: rebuilt plan fingerprint does not match the "
+        "request; this worker would compute a different sweep (check for "
+        "binary version skew or FAIRSCHED_* environment overrides)");
+  }
+
+  ThreadPoolExecutor executor;
+  const SweepResult result = executor.execute(plan);
+
+  std::ostringstream artifact;
+  write_shard_artifact(artifact, plan, result);
+  dist::write_artifact_frame(std::cout, request.shard, request.shard_count,
+                             artifact.str());
+  std::cout.flush();
+  if (!std::cout.good()) {
+    std::fprintf(stderr, "shard-worker: failed writing artifact frame\n");
+    return 2;
+  }
+  std::fprintf(stderr, "shard-worker: shard %zu/%zu done (%zu of %zu "
+                       "tasks)\n",
+               request.shard, request.shard_count, plan.shard_tasks.size(),
+               plan.num_tasks);
+  return 0;
+}
+
+}  // namespace fairsched::exp

@@ -1,7 +1,5 @@
 #include "exp/executor.h"
 
-#include <signal.h>
-#include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -18,6 +16,9 @@
 #include <thread>
 #include <utility>
 
+#include "dist/dispatcher.h"
+#include "dist/protocol.h"
+#include "dist/transport.h"
 #include "exp/sweep_artifact.h"
 #include "exp/workload_cache.h"
 #include "metrics/fairness.h"
@@ -473,6 +474,12 @@ SweepResult MultiProcessExecutor::execute(const SweepPlan& plan,
         "an already-sharded one");
   }
 
+  if (worker_command_.size() < 2) {
+    throw std::invalid_argument(
+        "multi-process execution needs the sweep subcommand in its worker "
+        "command (program + subcommand + flags)");
+  }
+
   const auto run_started = std::chrono::steady_clock::now();
 
   namespace fs = std::filesystem;
@@ -498,89 +505,32 @@ SweepResult MultiProcessExecutor::execute(const SweepPlan& plan,
       plan.spec.threads ? plan.spec.threads
                         : std::max<std::size_t>(
                               1, std::thread::hardware_concurrency());
-  const std::size_t worker_threads =
-      std::max<std::size_t>(1, thread_budget / processes_);
 
-  std::vector<fs::path> artifact_paths;
-  std::vector<pid_t> pids;
+  // One local shard-worker transport per shard, driven by the shared
+  // dispatcher (dist/dispatcher.h). Sharding travels in the request, so
+  // inherited FAIRSCHED_* environment variables cannot recurse: the
+  // worker rebuilds the spec from these args alone, overrides its thread
+  // count from the request, and refuses on fingerprint mismatch. One
+  // attempt per shard keeps the historical fail-fast contract — a local
+  // worker that dies signals a bug, not a flaky network.
+  dist::DispatchRequest request;
+  request.fingerprint = plan.fingerprint;
+  request.threads = std::max<std::size_t>(1, thread_budget / processes_);
+  request.args.assign(worker_command_.begin() + 1, worker_command_.end());
+
+  std::vector<std::unique_ptr<dist::WorkerTransport>> transports;
+  transports.reserve(processes_);
   for (std::size_t s = 0; s < processes_; ++s) {
-    artifact_paths.push_back(scratch /
-                             ("shard-" + std::to_string(s) + ".json"));
-    std::vector<std::string> args = worker_command_;
-    args.push_back("--shard=" + std::to_string(s) + "/" +
-                   std::to_string(processes_));
-    args.push_back("--partial-out=" + artifact_paths.back().string());
-    // Pin the orchestration flags explicitly so inherited FAIRSCHED_*
-    // environment variables cannot leak in: FAIRSCHED_PROCESSES would
-    // fork grandchildren recursively, and FAIRSCHED_CSV/JSON/
-    // STREAM_RECORDS would trip the worker's --partial-out validation
-    // (an explicit empty value beats the env fallback).
-    args.push_back("--processes=1");
-    args.push_back("--threads=" + std::to_string(worker_threads));
-    args.push_back("--csv=");
-    args.push_back("--json=");
-    args.push_back("--stream-records=");
-
-    std::vector<char*> argv;
-    argv.reserve(args.size() + 1);
-    for (std::string& arg : args) argv.push_back(arg.data());
-    argv.push_back(nullptr);
-
-    const pid_t pid = ::fork();
-    if (pid < 0) {
-      // Tear down the workers spawned so far before unwinding: they are
-      // producing artifacts nobody will read, and ~ScratchGuard is about
-      // to delete the directory they are writing into.
-      for (pid_t spawned : pids) ::kill(spawned, SIGTERM);
-      for (pid_t spawned : pids) ::waitpid(spawned, nullptr, 0);
-      throw std::runtime_error("fork() failed spawning sweep shard " +
-                               std::to_string(s));
-    }
-    if (pid == 0) {
-      ::execvp(argv[0], argv.data());
-      // Only reached when exec fails; report and die without running the
-      // parent's destructors twice.
-      std::perror("execvp");
-      ::_exit(127);
-    }
-    pids.push_back(pid);
+    transports.push_back(std::make_unique<dist::LocalProcessTransport>(
+        "local#" + std::to_string(s), worker_command_[0]));
   }
 
-  std::string failure;
-  for (std::size_t s = 0; s < pids.size(); ++s) {
-    int status = 0;
-    if (::waitpid(pids[s], &status, 0) < 0) {
-      failure = "waitpid failed for shard " + std::to_string(s);
-      continue;
-    }
-    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
-      failure = "sweep shard " + std::to_string(s) + "/" +
-                std::to_string(processes_) + " worker failed (" +
-                (WIFEXITED(status)
-                     ? "exit code " + std::to_string(WEXITSTATUS(status))
-                     : "signal " + std::to_string(WTERMSIG(status))) +
-                ")";
-      continue;
-    }
-    if (progress) {
-      progress("shard " + std::to_string(s) + "/" +
-               std::to_string(processes_));
-    }
-  }
-  if (!failure.empty()) throw std::runtime_error(failure);
-
-  std::vector<ShardArtifact> artifacts;
-  artifacts.reserve(artifact_paths.size());
-  for (const fs::path& path : artifact_paths) {
-    artifacts.push_back(load_shard_artifact(path.string()));
-    if (artifacts.back().fingerprint != plan.fingerprint) {
-      throw std::runtime_error(
-          "shard artifact " + path.string() +
-          " was produced by a different sweep plan (fingerprint "
-          "mismatch): the worker command did not reproduce this sweep");
-    }
-  }
-  MergedSweep merged = merge_shard_artifacts(std::move(artifacts));
+  dist::DispatchOptions options;
+  options.shard_count = processes_;
+  options.max_attempts = 1;
+  options.artifact_dir = scratch.string();
+  dist::Dispatcher dispatcher(std::move(transports), options);
+  MergedSweep merged = dispatcher.run(plan, request, progress);
   merged.result.elapsed_ms = elapsed_ms(run_started);
   return std::move(merged.result);
 }

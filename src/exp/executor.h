@@ -12,11 +12,11 @@
 //     count. Policy-independent prefixes flow through the WorkloadCache,
 //     including its optional disk tier (spec.cache_dir).
 //
-//   * MultiProcessExecutor — forks one `fairsched_exp` worker subprocess
-//     per shard (re-invoking the caller's own command line with
-//     --shard=s/N --partial-out=...), waits for all of them, and folds
-//     their partial artifacts (exp/sweep_artifact.h) in plan order. The
-//     merged result is bit-identical to a whole single-process run: each
+//   * MultiProcessExecutor — runs one `fairsched_exp shard-worker`
+//     subprocess per shard through the distributed dispatcher
+//     (dist/dispatcher.h) with local process transports, and folds the
+//     shard artifacts (exp/sweep_artifact.h) in plan order. The merged
+//     result is bit-identical to a whole single-process run: each
 //     per-cell aggregate is computed entirely within one shard, in the
 //     same relative fold order a whole run would use.
 //
@@ -58,11 +58,12 @@ class ThreadPoolExecutor final : public Executor {
 class MultiProcessExecutor final : public Executor {
  public:
   // `worker_command` is the argv that reproduces the caller's sweep (the
-  // harness binary, subcommand and flags); for each worker the executor
-  // appends --shard=s/N, --partial-out=<scratch>/shard-s.json, pinned
-  // orchestration/reporting flags (--processes=1, --csv=, --json=,
-  // --stream-records=, so inherited FAIRSCHED_* env vars can neither
-  // recurse nor trip the worker's validation), and --threads=B/N — the
+  // harness binary, then the subcommand and flags). The executor sends it
+  // — minus the program — to `fairsched_exp shard-worker` subprocesses as
+  // a dispatch request (dist/protocol.h): sharding and the per-worker
+  // thread budget travel in the request rather than as flags, so
+  // inherited FAIRSCHED_* env vars can neither recurse nor skew the
+  // rebuilt plan (the worker refuses on fingerprint mismatch). The
   // plan's thread budget (spec.threads, or the hardware concurrency it
   // defaults to) is divided across the workers, not multiplied by them.
   MultiProcessExecutor(std::vector<std::string> worker_command,

@@ -15,6 +15,15 @@
 //   fairsched_exp plan              print the sweep plan (same flags as
 //                                   custom) without executing anything
 //   fairsched_exp merge A B ...     fold shard --partial-out artifacts
+//   fairsched_exp dispatch          run a sweep's shards on worker hosts
+//                                   (src/dist, docs/DISTRIBUTED.md):
+//                                   --sweep=NAME --workers=local*4,ssh:h1
+//                                   --hosts=FILE --ssh-cmd=CMD --shards=N
+//                                   --timeout-ms=T --retries=R
+//                                   --artifact-dir=DIR --resume --dry-run
+//   fairsched_exp shard-worker      protocol peer of dispatch: reads one
+//                                   dispatch request on stdin, writes the
+//                                   shard artifact frame on stdout
 //   fairsched_exp serve             online scheduler session over an event
 //                                   stream (src/serve): --source=
 //                                   synthetic|stdin|FILE, --policy=NAME,
@@ -83,13 +92,19 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s <table1|table2|utilization|rand-convergence|fig10|"
       "horizon-growth|fairshare-decay|ref-scaling|custom|plan|merge|"
-      "serve|replay|list-policies|list-workloads|list-axes> [flags]\n"
+      "dispatch|shard-worker|serve|replay|list-policies|list-workloads|"
+      "list-axes> [flags]\n"
       "common flags: --instances=N --duration=T --orgs=K --seed=S "
       "--scale=X --threads=N --split=zipf|uniform --zipf-s=S --csv=FILE|- "
       "--json=FILE|- --stream-records=FILE|- --axes=\"name=v1,v2;...\" "
       "--smoke --cache-mb=N --no-cache --cache-dir=DIR\n"
       "sharding flags: --shard=i/N --partial-out=FILE --processes=N "
       "(merge folds --partial-out artifacts; see docs/EXPERIMENTS.md)\n"
+      "dispatch flags: --sweep=NAME --workers=local*N,ssh:HOST,... "
+      "--hosts=FILE --ssh-cmd=CMD --remote-program=PATH --shards=N "
+      "--worker-threads=N --timeout-ms=T --retries=R --backoff-ms=B "
+      "--backoff-cap-ms=C --artifact-dir=DIR --dispatch-log=FILE "
+      "--resume --dry-run (see docs/DISTRIBUTED.md)\n"
       "custom/plan flags: --policies=a,b,c --workload=%s --config=FILE\n"
       "fig10/ref-scaling flags: --min-orgs=K --max-orgs=K\n"
       "serve/replay flags: --source=synthetic|stdin|FILE --policy=NAME "
@@ -162,6 +177,12 @@ int main(int argc, char** argv) {
     }
     if (command == "merge") {
       return run_merge_scenario(flags.positional(), options);
+    }
+    if (command == "dispatch") {
+      return run_dispatch_scenario(options);
+    }
+    if (command == "shard-worker") {
+      return run_shard_worker_scenario();
     }
     if (command == "serve") {
       return run_serve_scenario(options);

@@ -221,9 +221,8 @@ void reject_sharding(const char* scenario, const ScenarioOptions& options) {
   }
 }
 
-// Drops `--name=value`, `--name value` and bare `--name` occurrences of
-// the given flags from a raw argv tail — used to rebuild a worker command
-// line without the orchestration flags the executor re-appends itself.
+}  // namespace
+
 std::vector<std::string> drop_flag_tokens(
     const std::vector<std::string>& args,
     const std::vector<std::string>& names) {
@@ -249,10 +248,13 @@ std::vector<std::string> drop_flag_tokens(
   return out;
 }
 
+namespace {
+
 // The command a multi-process sweep's workers run: the same program and
-// arguments, minus the orchestration flags (the executor appends fresh
-// --shard/--partial-out/--processes per worker) and the reporting flags
-// (a worker's only output is its artifact; the parent reports the merge).
+// arguments, minus the orchestration flags (the executor's workers are
+// `shard-worker` protocol peers now — dist/transport.h — so sharding is
+// carried by the request, not flags) and the reporting flags (a worker's
+// only output is its artifact; the parent reports the merge).
 std::vector<std::string> worker_command(const ScenarioOptions& options) {
   if (options.program.empty()) {
     throw std::invalid_argument(
@@ -368,6 +370,35 @@ ScenarioOptions scenario_options_from_flags(const Flags& flags) {
   }
   options.machines_per_org = static_cast<std::uint32_t>(machines_per_org);
   options.orgs_explicit = flags.has("orgs");
+  options.workers_spec = flags.get_string("workers", "");
+  options.hosts_path = flags.get_string("hosts", "");
+  options.ssh_command = flags.get_string("ssh-cmd", "ssh");
+  options.remote_program = flags.get_string("remote-program", "");
+  options.sweep = flags.get_string("sweep", "custom");
+  options.dispatch_shards = static_cast<std::size_t>(non_negative("shards"));
+  options.worker_threads =
+      static_cast<std::size_t>(non_negative("worker-threads"));
+  options.timeout_ms = static_cast<std::size_t>(non_negative("timeout-ms"));
+  const std::int64_t retries = flags.get_int("retries", 2);
+  if (retries < 0) {
+    throw std::invalid_argument("--retries must be non-negative");
+  }
+  options.retries = static_cast<std::size_t>(retries);
+  const std::int64_t backoff_ms = flags.get_int("backoff-ms", 250);
+  if (backoff_ms < 0) {
+    throw std::invalid_argument("--backoff-ms must be non-negative");
+  }
+  options.backoff_ms = static_cast<std::size_t>(backoff_ms);
+  const std::int64_t backoff_cap_ms = flags.get_int("backoff-cap-ms", 5000);
+  if (backoff_cap_ms < 0) {
+    throw std::invalid_argument("--backoff-cap-ms must be non-negative");
+  }
+  options.backoff_cap_ms = static_cast<std::size_t>(backoff_cap_ms);
+  options.artifact_dir =
+      flags.get_string("artifact-dir", "dispatch-artifacts");
+  options.dispatch_log_path = flags.get_string("dispatch-log", "");
+  options.resume_dispatch = flags.get_bool("resume", false);
+  options.dry_run = flags.get_bool("dry-run", false);
   const std::string split = flags.get_string("split", "zipf");
   if (split == "zipf") {
     options.split = MachineSplit::kZipf;
@@ -682,6 +713,27 @@ SweepSpec make_custom_sweep(const ScenarioOptions& options) {
   apply_axes_override(spec, options);
   spec.title = custom_sweep_title(spec);
   return spec;
+}
+
+SweepSpec make_scenario_sweep(const std::string& command,
+                              const ScenarioOptions& options) {
+  if (command == "table1" || command == "table2") {
+    return make_table_sweep(command, options);
+  }
+  if (command == "fig10") return make_fig10_sweep(options);
+  if (command == "horizon-growth") return make_horizon_growth_sweep(options);
+  if (command == "fairshare-decay") {
+    return make_fairshare_decay_sweep(options);
+  }
+  if (command == "custom") {
+    return options.config_path.empty()
+               ? make_custom_sweep(options)
+               : load_sweep_config_file(options.config_path, options);
+  }
+  throw std::invalid_argument(
+      "'" + command +
+      "' is not a shardable sweep scenario; expected table1, table2, "
+      "fig10, horizon-growth, fairshare-decay or custom");
 }
 
 std::vector<SweepSpec> make_ref_scaling_sweeps(

@@ -93,6 +93,27 @@ struct ScenarioOptions {
   double arrival_rate = 0.0;          // synthetic rate; 0 = default
   std::uint32_t machines_per_org = 1;
   bool orgs_explicit = false;  // --orgs given (serve smoke picks 10^5 else)
+
+  // `dispatch` subcommand (src/dist, docs/DISTRIBUTED.md). --workers is a
+  // comma-separated list of `local` / `ssh:HOST` entries, each with an
+  // optional `*N` multiplier; --hosts adds one entry per line of a host
+  // file. --sweep names the scenario the workers rebuild (any shardable
+  // sweep subcommand; default custom).
+  std::string workers_spec;           // "" = the local*2 default
+  std::string hosts_path;             // host file; entries add to --workers
+  std::string ssh_command = "ssh";    // --ssh-cmd (CI: scripts/fake_ssh.py)
+  std::string remote_program;         // "" = same path as this binary
+  std::string sweep = "custom";
+  std::size_t dispatch_shards = 0;    // --shards; 0 = one per worker
+  std::size_t worker_threads = 0;     // 0 = local budget / worker count
+  std::size_t timeout_ms = 0;         // per-shard attempt timeout; 0 = none
+  std::size_t retries = 2;            // extra attempts per shard
+  std::size_t backoff_ms = 250;       // exponential retry backoff base
+  std::size_t backoff_cap_ms = 5000;  // backoff ceiling
+  std::string artifact_dir = "dispatch-artifacts";
+  std::string dispatch_log_path;      // "" = <artifact-dir>/dispatch.log.jsonl
+  bool resume_dispatch = false;       // --resume
+  bool dry_run = false;               // --dry-run: print the assignment plan
 };
 
 // Parses the harness-wide flags (--instances, --duration, --orgs, --seed,
@@ -140,6 +161,23 @@ SweepSpec make_fairshare_decay_sweep(const ScenarioOptions& options);
 
 // Free-form sweep from --policies / --workload / --axes.
 SweepSpec make_custom_sweep(const ScenarioOptions& options);
+
+// The spec for any shardable sweep subcommand by name — table1/table2,
+// fig10, horizon-growth, fairshare-decay, and custom (--config included).
+// This is the scenario selector shared by exp_main, `dispatch --sweep=`
+// and the shard-worker's spec rebuild; scenarios that post-process per-run
+// data (utilization, rand-convergence, ref-scaling) are rejected because
+// they cannot be partitioned into mergeable shards.
+SweepSpec make_scenario_sweep(const std::string& command,
+                              const ScenarioOptions& options);
+
+// Drops `--name=value`, `--name value` and bare `--name` occurrences of
+// the given flags from a raw argv tail — used to rebuild worker command
+// lines / dispatch requests without the orchestration flags the
+// executor or dispatcher re-appends itself.
+std::vector<std::string> drop_flag_tokens(
+    const std::vector<std::string>& args,
+    const std::vector<std::string>& names);
 
 // REF's running-time scaling (Prop. 3.4 / Cor. 3.5: FPT in the number of
 // organizations k, ~3^k per decision, polynomial in the jobs): two pure
@@ -196,5 +234,23 @@ int run_serve_scenario(const ScenarioOptions& options);
 // (default stdout). `diff` against the serve stream must be empty for
 // every deterministic policy — CI enforces it.
 int run_replay_scenario(const ScenarioOptions& options);
+
+// `fairsched_exp dispatch`: the distributed sweep dispatcher (src/dist,
+// docs/DISTRIBUTED.md). Builds the --sweep scenario's plan, schedules its
+// shards onto the --workers/--hosts transports with work-stealing,
+// per-shard timeouts and capped-backoff retry, persists validated shard
+// artifacts under --artifact-dir (reused by --resume), and reports the
+// merged result exactly like the equivalent single-host whole run —
+// byte-identical --csv/--json at any worker count or failure schedule.
+// --dry-run prints the shard -> worker assignment plan as JSON instead.
+int run_dispatch_scenario(const ScenarioOptions& options);
+
+// `fairsched_exp shard-worker`: the receiving end of the dispatch wire
+// protocol (dist/protocol.h). Reads one DispatchRequest from stdin,
+// rebuilds the sweep spec from the request's args (writing an embedded
+// config to a scratch file when present), refuses on fingerprint
+// mismatch, executes its shard in-process, and writes the framed shard
+// artifact to stdout.
+int run_shard_worker_scenario();
 
 }  // namespace fairsched::exp

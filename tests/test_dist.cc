@@ -1,0 +1,630 @@
+// Tests for the distributed dispatch layer (src/dist): the wire
+// protocol's round trips and version handshake, run_worker_process
+// against real subprocesses, and — through a seeded FlakyTransport that
+// drops, delays and corrupts artifacts — the dispatcher's convergence
+// guarantee: every failure schedule that leaves any worker alive folds
+// to the byte-identical merged result of a single-host whole run, and a
+// corrupt artifact is quarantined, never folded. Also pins the
+// `dispatch --dry-run` assignment plan to tests/golden/
+// dispatch_dry_run.json (regenerate with FAIRSCHED_UPDATE_GOLDEN=1).
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dist/dispatch_log.h"
+#include "dist/dispatcher.h"
+#include "dist/protocol.h"
+#include "dist/transport.h"
+#include "exp/executor.h"
+#include "exp/policy_registry.h"
+#include "exp/reporter.h"
+#include "exp/sweep_artifact.h"
+#include "exp/sweep_plan.h"
+
+namespace fairsched::dist {
+namespace {
+
+using exp::build_sweep_plan;
+using exp::CsvReporter;
+using exp::MergedSweep;
+using exp::PolicyRegistry;
+using exp::SweepPlan;
+using exp::SweepResult;
+using exp::SweepShard;
+using exp::SweepSpec;
+using exp::SweepWorkload;
+using exp::ThreadPoolExecutor;
+
+// --- protocol ---------------------------------------------------------------
+
+DispatchRequest sample_request() {
+  DispatchRequest request;
+  request.fingerprint = 0x0123456789abcdefull;
+  request.shard = 2;
+  request.shard_count = 5;
+  request.threads = 3;
+  request.args = {"custom", "--policies=fairshare, roundrobin",
+                  "--workload=unit-jobs", "--seed=7"};
+  request.config_name = "sweep.config";
+  request.config_content = "[sweep]\nname = x\n# with\nblank\n\nlines\n";
+  return request;
+}
+
+TEST(DispatchProtocol, RequestRoundTripsArgsWithSpacesAndConfigBytes) {
+  const DispatchRequest request = sample_request();
+  std::stringstream wire;
+  write_dispatch_request(wire, request);
+  const DispatchRequest back = read_dispatch_request(wire);
+  EXPECT_EQ(back.fingerprint, request.fingerprint);
+  EXPECT_EQ(back.shard, request.shard);
+  EXPECT_EQ(back.shard_count, request.shard_count);
+  EXPECT_EQ(back.threads, request.threads);
+  EXPECT_EQ(back.args, request.args);
+  EXPECT_EQ(back.config_name, request.config_name);
+  EXPECT_EQ(back.config_content, request.config_content);
+}
+
+TEST(DispatchProtocol, RequestWithoutConfigRoundTrips) {
+  DispatchRequest request = sample_request();
+  request.config_name.clear();
+  request.config_content.clear();
+  std::stringstream wire;
+  write_dispatch_request(wire, request);
+  const DispatchRequest back = read_dispatch_request(wire);
+  EXPECT_EQ(back.args, request.args);
+  EXPECT_TRUE(back.config_name.empty());
+  EXPECT_TRUE(back.config_content.empty());
+}
+
+TEST(DispatchProtocol, RequestRejectsNewlinesInArgs) {
+  DispatchRequest request = sample_request();
+  request.args.push_back("evil\narg");
+  std::stringstream wire;
+  EXPECT_THROW(write_dispatch_request(wire, request),
+               std::invalid_argument);
+}
+
+TEST(DispatchProtocol, VersionSkewNamesBothVersions) {
+  const DispatchRequest request = sample_request();
+  std::stringstream wire;
+  write_dispatch_request(wire, request);
+  std::string text = wire.str();
+  // Rewrite the handshake's version number to a future one.
+  const std::string handshake = "fairsched-dispatch-request " +
+                                std::to_string(kDispatchProtocolVersion);
+  ASSERT_EQ(text.find(handshake), 0u) << text;
+  text.replace(0, handshake.size(), "fairsched-dispatch-request 999");
+  std::istringstream skewed(text);
+  try {
+    read_dispatch_request(skewed);
+    FAIL() << "expected a version-skew error";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("v999"), std::string::npos) << what;
+    EXPECT_NE(
+        what.find("v" + std::to_string(kDispatchProtocolVersion)),
+        std::string::npos)
+        << what;
+    EXPECT_NE(what.find("matching fairsched_exp builds"),
+              std::string::npos)
+        << what;
+  }
+}
+
+TEST(DispatchProtocol, TruncatedRequestNamesWhatWasExpected) {
+  const DispatchRequest request = sample_request();
+  std::stringstream wire;
+  write_dispatch_request(wire, request);
+  const std::string text = wire.str();
+  std::istringstream truncated(text.substr(0, text.size() / 2));
+  try {
+    read_dispatch_request(truncated);
+    FAIL() << "expected a truncation error";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("stream ended"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(DispatchProtocol, ArtifactFrameRoundTripsAnyBytes) {
+  const std::string payload = "{\"cells\": [1, 2]}\nline two\n";
+  std::ostringstream wire;
+  write_artifact_frame(wire, 3, 7, payload);
+  const ArtifactFrame frame = parse_artifact_frame(wire.str(), "test");
+  EXPECT_EQ(frame.shard, 3u);
+  EXPECT_EQ(frame.shard_count, 7u);
+  EXPECT_EQ(frame.payload, payload);
+}
+
+TEST(DispatchProtocol, ArtifactParserSkipsBannerNoiseBeforeTheFrame) {
+  // Real ssh configurations print MOTD banners on stdout; the frame
+  // parser must find the magic line wherever it starts.
+  std::ostringstream wire;
+  wire << "Welcome to hostA!\nLast login: yesterday\n";
+  write_artifact_frame(wire, 0, 2, "payload-bytes");
+  const ArtifactFrame frame = parse_artifact_frame(wire.str(), "test");
+  EXPECT_EQ(frame.shard, 0u);
+  EXPECT_EQ(frame.payload, "payload-bytes");
+}
+
+TEST(DispatchProtocol, GarbageWithoutAFrameNamesTheSource) {
+  try {
+    parse_artifact_frame("no frame here at all\n", "worker `w3`");
+    FAIL() << "expected a parse error";
+  } catch (const std::exception& e) {
+    EXPECT_NE(std::string(e.what()).find("worker `w3`"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// --- run_worker_process -----------------------------------------------------
+
+TEST(RunWorkerProcess, TimeoutKillsTheWorkerAndSaysSo) {
+  const auto outcome =
+      run_worker_process({"/bin/sh", "-c", "sleep 30"}, sample_request(),
+                         std::chrono::milliseconds(200));
+  EXPECT_EQ(outcome.status, WorkerTransport::Outcome::Status::kTimeout);
+  EXPECT_NE(outcome.detail.find("200ms shard timeout"),
+            std::string::npos)
+      << outcome.detail;
+}
+
+TEST(RunWorkerProcess, NonzeroExitIsAFailedAttemptWithTheExitCode) {
+  const auto outcome = run_worker_process(
+      {"/bin/sh", "-c", "cat > /dev/null; exit 3"}, sample_request(),
+      std::chrono::milliseconds(0));
+  EXPECT_EQ(outcome.status, WorkerTransport::Outcome::Status::kFailed);
+  EXPECT_NE(outcome.detail.find("exit code 3"), std::string::npos)
+      << outcome.detail;
+}
+
+TEST(RunWorkerProcess, MissingBinaryFailsWithExitCode127) {
+  const auto outcome =
+      run_worker_process({"/no/such/fairsched-binary"}, sample_request(),
+                         std::chrono::milliseconds(0));
+  EXPECT_EQ(outcome.status, WorkerTransport::Outcome::Status::kFailed);
+  EXPECT_NE(outcome.detail.find("exit code 127"), std::string::npos)
+      << outcome.detail;
+}
+
+TEST(RunWorkerProcess, WorkerClosingStdinEarlyStillDelivers) {
+  // A worker may legitimately exit without draining its stdin; the
+  // half-written request must not wedge or crash the dispatcher side.
+  std::ostringstream frame;
+  write_artifact_frame(frame, 2, 5, "ok");
+  const auto outcome = run_worker_process(
+      {"/bin/sh", "-c",
+       "exec 0<&-; printf '" + frame.str() + "'"},
+      sample_request(), std::chrono::milliseconds(0));
+  EXPECT_EQ(outcome.status, WorkerTransport::Outcome::Status::kArtifact)
+      << outcome.detail;
+  EXPECT_EQ(outcome.payload, "ok");
+}
+
+TEST(RunWorkerProcess, FrameForTheWrongShardIsRejected) {
+  std::ostringstream frame;
+  write_artifact_frame(frame, 1, 5, "ok");  // request asks for shard 2
+  const auto outcome = run_worker_process(
+      {"/bin/sh", "-c", "cat > /dev/null; printf '" + frame.str() + "'"},
+      sample_request(), std::chrono::milliseconds(0));
+  EXPECT_EQ(outcome.status, WorkerTransport::Outcome::Status::kFailed);
+  EXPECT_NE(outcome.detail.find("asked for 2/5"), std::string::npos)
+      << outcome.detail;
+}
+
+// --- dispatcher with a seeded flaky transport -------------------------------
+
+SweepSpec dist_sweep() {
+  SweepSpec spec;
+  spec.name = "dist-test";
+  spec.policies = {"roundrobin", "fairshare"};
+  SweepWorkload w;
+  w.name = "unit-jobs";
+  w.kind = SweepWorkload::Kind::kUnitJobs;
+  w.orgs = 3;
+  w.unit_jobs_per_org = 20;
+  spec.workloads.push_back(w);
+  spec.instances = 4;
+  spec.seed = 42;
+  spec.horizon = 60;
+  spec.baseline = "ref";
+  spec.threads = 1;
+  return spec;
+}
+
+// The shard artifact a correct worker would return, computed in-process.
+std::string compute_artifact(const SweepSpec& spec,
+                             const DispatchRequest& request) {
+  const SweepPlan plan =
+      build_sweep_plan(spec, PolicyRegistry::global(),
+                       SweepShard{request.shard, request.shard_count});
+  ThreadPoolExecutor executor;
+  const SweepResult result = executor.execute(plan);
+  std::ostringstream out;
+  exp::write_shard_artifact(out, plan, result);
+  return out.str();
+}
+
+// What one scripted attempt does before (maybe) producing the artifact.
+enum class Fault { kOk, kFail, kTimeout, kCorrupt, kThrow };
+
+// A WorkerTransport that computes real artifacts in-process and injects
+// faults from a fixed per-worker script (one entry per attempt, kOk once
+// the script is exhausted). Deterministic by construction: no clocks, no
+// randomness — the schedule IS the seed.
+class FlakyTransport final : public WorkerTransport {
+ public:
+  FlakyTransport(std::string name, SweepSpec spec,
+                 std::vector<Fault> script)
+      : name_(std::move(name)),
+        spec_(std::move(spec)),
+        script_(std::move(script)) {}
+
+  const std::string& name() const override { return name_; }
+
+  std::size_t attempts() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return attempt_;
+  }
+
+  Outcome run_shard(const DispatchRequest& request,
+                    std::chrono::milliseconds timeout) override {
+    Fault fault = Fault::kOk;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (attempt_ < script_.size()) fault = script_[attempt_];
+      ++attempt_;
+    }
+    switch (fault) {
+      case Fault::kFail:
+        return Outcome{Outcome::Status::kFailed, "",
+                       name_ + ": injected failure"};
+      case Fault::kTimeout:
+        return Outcome{Outcome::Status::kTimeout, "",
+                       name_ + ": injected timeout after " +
+                           std::to_string(timeout.count()) + "ms"};
+      case Fault::kCorrupt:
+        // A truncated artifact: parses as neither JSON nor a frame.
+        return Outcome{Outcome::Status::kArtifact,
+                       compute_artifact(spec_, request).substr(0, 40),
+                       ""};
+      case Fault::kThrow:
+        throw std::runtime_error(name_ + ": transport broke");
+      case Fault::kOk:
+        break;
+    }
+    return Outcome{Outcome::Status::kArtifact,
+                   compute_artifact(spec_, request), ""};
+  }
+
+ private:
+  std::string name_;
+  SweepSpec spec_;
+  std::vector<Fault> script_;
+  mutable std::mutex mu_;
+  std::size_t attempt_ = 0;
+};
+
+struct TempDir {
+  std::filesystem::path path;
+  explicit TempDir(const std::string& tag) {
+    path = std::filesystem::temp_directory_path() /
+           ("fairsched-dist-test-" + tag + "-" +
+            std::to_string(::getpid()));
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+std::string csv_of(const SweepSpec& spec, const SweepResult& result) {
+  std::ostringstream out;
+  CsvReporter csv(out);
+  csv.report(spec, result);
+  return out.str();
+}
+
+std::string whole_run_csv(const SweepSpec& spec) {
+  const SweepPlan plan = build_sweep_plan(spec);
+  ThreadPoolExecutor executor;
+  return csv_of(spec, executor.execute(plan));
+}
+
+// Runs a dispatch over the given per-worker fault scripts and returns
+// the merged result's CSV (asserting convergence on the way).
+std::string dispatch_csv(const SweepSpec& spec, std::size_t shard_count,
+                         std::vector<std::vector<Fault>> scripts,
+                         const std::string& tag,
+                         DispatchOptions* options_out = nullptr,
+                         DispatchStats* stats_out = nullptr,
+                         std::string* log_out = nullptr) {
+  std::vector<std::unique_ptr<WorkerTransport>> workers;
+  for (std::size_t w = 0; w < scripts.size(); ++w) {
+    workers.push_back(std::make_unique<FlakyTransport>(
+        "flaky#" + std::to_string(w), spec, std::move(scripts[w])));
+  }
+  TempDir dir(tag);
+  DispatchOptions options;
+  options.shard_count = shard_count;
+  options.max_attempts = 4;
+  options.backoff = std::chrono::milliseconds(1);
+  options.backoff_cap = std::chrono::milliseconds(2);
+  options.artifact_dir = dir.path.string();
+  if (options_out) options = *options_out;
+  if (options_out) options.artifact_dir = dir.path.string();
+
+  std::ostringstream log_stream;
+  DispatchLog log(log_stream);
+  const SweepPlan plan = build_sweep_plan(spec);
+  DispatchRequest request;
+  request.fingerprint = plan.fingerprint;
+  request.args = {"unused-by-flaky-transport"};
+  Dispatcher dispatcher(std::move(workers), options, &log);
+  const MergedSweep merged = dispatcher.run(plan, request);
+  if (stats_out) *stats_out = dispatcher.stats();
+  if (log_out) *log_out = log_stream.str();
+  return csv_of(merged.spec, merged.result);
+}
+
+TEST(Dispatcher, CleanRunMatchesTheWholeRunByteForByte) {
+  const SweepSpec spec = dist_sweep();
+  const std::string whole = whole_run_csv(spec);
+  EXPECT_EQ(dispatch_csv(spec, 4, {{}, {}, {}}, "clean"), whole);
+  // Any shard count folds to the same bytes.
+  EXPECT_EQ(dispatch_csv(spec, 1, {{}}, "clean1"), whole);
+  EXPECT_EQ(dispatch_csv(spec, 6, {{}, {}}, "clean6"), whole);
+}
+
+TEST(Dispatcher, EveryFailureScheduleConvergesToIdenticalBytes) {
+  const SweepSpec spec = dist_sweep();
+  const std::string whole = whole_run_csv(spec);
+  const std::vector<std::vector<std::vector<Fault>>> schedules = {
+      // one flaky worker, one healthy
+      {{Fault::kFail, Fault::kFail}, {}},
+      // a timeout and a failure landing on different workers
+      {{Fault::kTimeout}, {Fault::kFail, Fault::kTimeout}},
+      // corrupt artifacts force quarantines before converging
+      {{Fault::kCorrupt}, {Fault::kCorrupt, Fault::kFail}},
+      // one worker's transport dies entirely; the other absorbs its work
+      {{Fault::kThrow}, {Fault::kFail}},
+      // everything bad once, everywhere
+      {{Fault::kCorrupt, Fault::kTimeout},
+       {Fault::kFail, Fault::kCorrupt},
+       {Fault::kTimeout}},
+  };
+  for (std::size_t i = 0; i < schedules.size(); ++i) {
+    DispatchStats stats;
+    EXPECT_EQ(dispatch_csv(spec, 5, schedules[i],
+                           "schedule" + std::to_string(i), nullptr,
+                           &stats),
+              whole)
+        << "failure schedule " << i;
+    EXPECT_GT(stats.failed_attempts, 0u) << "failure schedule " << i;
+  }
+}
+
+TEST(Dispatcher, CorruptArtifactsAreQuarantinedNeverFolded) {
+  const SweepSpec spec = dist_sweep();
+  std::vector<std::unique_ptr<WorkerTransport>> workers;
+  workers.push_back(std::make_unique<FlakyTransport>(
+      "flaky#0", spec,
+      std::vector<Fault>{Fault::kCorrupt, Fault::kCorrupt}));
+  TempDir dir("quarantine");
+  DispatchOptions options;
+  options.shard_count = 2;
+  options.max_attempts = 4;
+  options.backoff = std::chrono::milliseconds(1);
+  options.artifact_dir = dir.path.string();
+  std::ostringstream log_stream;
+  DispatchLog log(log_stream);
+  const SweepPlan plan = build_sweep_plan(spec);
+  DispatchRequest request;
+  request.fingerprint = plan.fingerprint;
+  request.args = {"x"};
+  Dispatcher dispatcher(std::move(workers), options, &log);
+  const MergedSweep merged = dispatcher.run(plan, request);
+  EXPECT_EQ(csv_of(merged.spec, merged.result), whole_run_csv(spec));
+  EXPECT_EQ(dispatcher.stats().quarantined, 2u);
+  // The corrupt payloads are preserved next to the artifacts for
+  // post-mortems, under names the merge scan will never pick up.
+  std::size_t quarantine_files = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(dir.path)) {
+    const std::string name = entry.path().filename().string();
+    if (name.find(".quarantined-") != std::string::npos) {
+      ++quarantine_files;
+    }
+  }
+  EXPECT_EQ(quarantine_files, 2u);
+  EXPECT_NE(log_stream.str().find("\"event\":\"quarantine\""),
+            std::string::npos)
+      << log_stream.str();
+}
+
+TEST(Dispatcher, ExhaustedAttemptsGiveUpWithAClearError) {
+  const SweepSpec spec = dist_sweep();
+  std::vector<std::unique_ptr<WorkerTransport>> workers;
+  workers.push_back(std::make_unique<FlakyTransport>(
+      "flaky#0", spec,
+      std::vector<Fault>(10, Fault::kFail)));
+  TempDir dir("giveup");
+  DispatchOptions options;
+  options.shard_count = 1;
+  options.max_attempts = 3;
+  options.backoff = std::chrono::milliseconds(1);
+  options.max_worker_failures = 10;  // the shard gives up first
+  options.artifact_dir = dir.path.string();
+  std::ostringstream log_stream;
+  DispatchLog log(log_stream);
+  const SweepPlan plan = build_sweep_plan(spec);
+  DispatchRequest request;
+  request.fingerprint = plan.fingerprint;
+  request.args = {"x"};
+  Dispatcher dispatcher(std::move(workers), options, &log);
+  try {
+    dispatcher.run(plan, request);
+    FAIL() << "expected the dispatch to give up";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("dispatch failed"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_NE(log_stream.str().find("\"event\":\"give-up\""),
+            std::string::npos)
+      << log_stream.str();
+}
+
+TEST(Dispatcher, AllWorkersRetiringAbortsInsteadOfHanging) {
+  const SweepSpec spec = dist_sweep();
+  std::vector<std::unique_ptr<WorkerTransport>> workers;
+  workers.push_back(std::make_unique<FlakyTransport>(
+      "flaky#0", spec, std::vector<Fault>{Fault::kThrow}));
+  workers.push_back(std::make_unique<FlakyTransport>(
+      "flaky#1", spec, std::vector<Fault>{Fault::kThrow}));
+  TempDir dir("retire");
+  DispatchOptions options;
+  options.shard_count = 3;
+  options.max_attempts = 10;
+  options.backoff = std::chrono::milliseconds(1);
+  options.artifact_dir = dir.path.string();
+  const SweepPlan plan = build_sweep_plan(spec);
+  DispatchRequest request;
+  request.fingerprint = plan.fingerprint;
+  request.args = {"x"};
+  Dispatcher dispatcher(std::move(workers), options);
+  EXPECT_THROW(dispatcher.run(plan, request), std::runtime_error);
+  EXPECT_EQ(dispatcher.stats().retired_workers, 2u);
+}
+
+TEST(Dispatcher, ResumeRerunsOnlyMissingOrCorruptShards) {
+  const SweepSpec spec = dist_sweep();
+  const SweepPlan plan = build_sweep_plan(spec);
+  DispatchRequest request;
+  request.fingerprint = plan.fingerprint;
+  request.args = {"x"};
+
+  TempDir dir("resume");
+  DispatchOptions options;
+  options.shard_count = 4;
+  options.backoff = std::chrono::milliseconds(1);
+  options.artifact_dir = dir.path.string();
+
+  {
+    std::vector<std::unique_ptr<WorkerTransport>> workers;
+    workers.push_back(
+        std::make_unique<FlakyTransport>("first#0", spec,
+                                         std::vector<Fault>{}));
+    Dispatcher first(std::move(workers), options);
+    first.run(plan, request);
+    EXPECT_EQ(first.stats().attempts, 4u);
+  }
+
+  // Simulate a killed run: one artifact missing, one corrupted on disk.
+  std::filesystem::remove(dir.path / shard_artifact_filename(1, 4));
+  {
+    std::ofstream corrupt(dir.path / shard_artifact_filename(2, 4),
+                          std::ios::trunc);
+    corrupt << "{ half-written";
+  }
+
+  auto second_transport =
+      std::make_unique<FlakyTransport>("second#0", spec,
+                                       std::vector<Fault>{});
+  FlakyTransport* counter = second_transport.get();
+  std::vector<std::unique_ptr<WorkerTransport>> workers;
+  workers.push_back(std::move(second_transport));
+  options.resume = true;
+  std::ostringstream log_stream;
+  DispatchLog log(log_stream);
+  Dispatcher second(std::move(workers), options, &log);
+  const MergedSweep merged = second.run(plan, request);
+  EXPECT_EQ(csv_of(merged.spec, merged.result), whole_run_csv(spec));
+  EXPECT_EQ(counter->attempts(), 2u)
+      << "resume must only re-run the missing and the corrupt shard";
+  EXPECT_EQ(second.stats().resumed, 2u);
+  EXPECT_EQ(second.stats().quarantined, 1u);  // the half-written file
+  EXPECT_NE(log_stream.str().find("\"event\":\"resume-reuse\""),
+            std::string::npos)
+      << log_stream.str();
+}
+
+TEST(Dispatcher, ResumeRejectsArtifactsFromADifferentSweep) {
+  const SweepSpec spec = dist_sweep();
+  const SweepPlan plan = build_sweep_plan(spec);
+  DispatchRequest request;
+  request.fingerprint = plan.fingerprint;
+  request.args = {"x"};
+
+  // A valid artifact — for a *different* sweep (other seed).
+  SweepSpec other = spec;
+  other.seed = 43;
+  DispatchRequest other_request;
+  other_request.shard = 0;
+  other_request.shard_count = 2;
+  const std::string alien = compute_artifact(other, other_request);
+
+  TempDir dir("resume-alien");
+  {
+    std::ofstream out(dir.path / shard_artifact_filename(0, 2));
+    out << alien;
+  }
+  DispatchOptions options;
+  options.shard_count = 2;
+  options.backoff = std::chrono::milliseconds(1);
+  options.artifact_dir = dir.path.string();
+  options.resume = true;
+  std::vector<std::unique_ptr<WorkerTransport>> workers;
+  workers.push_back(std::make_unique<FlakyTransport>(
+      "w#0", spec, std::vector<Fault>{}));
+  Dispatcher dispatcher(std::move(workers), options);
+  const MergedSweep merged = dispatcher.run(plan, request);
+  EXPECT_EQ(csv_of(merged.spec, merged.result), whole_run_csv(spec));
+  EXPECT_EQ(dispatcher.stats().resumed, 0u);
+  EXPECT_EQ(dispatcher.stats().quarantined, 1u);
+}
+
+// --- dry-run golden ---------------------------------------------------------
+
+TEST(DispatchDryRun, AssignmentPlanMatchesTheGoldenFile) {
+  SweepSpec spec = dist_sweep();
+  spec.axes.push_back(exp::make_axis("orgs", {3, 4, 5}));
+  const SweepPlan plan = build_sweep_plan(spec);
+  std::ostringstream out;
+  write_dispatch_plan_json(out, plan, 4,
+                           {"local#0", "local#1", "ssh:hostA#2"});
+
+  const std::string path = std::string(FAIRSCHED_SOURCE_DIR) +
+                           "/tests/golden/dispatch_dry_run.json";
+  if (std::getenv("FAIRSCHED_UPDATE_GOLDEN")) {
+    std::ofstream golden(path, std::ios::trunc | std::ios::binary);
+    golden << out.str();
+    GTEST_SKIP() << "updated " << path;
+  }
+  std::ifstream golden(path, std::ios::binary);
+  ASSERT_TRUE(golden) << "missing golden file " << path
+                      << " (regenerate with FAIRSCHED_UPDATE_GOLDEN=1)";
+  std::ostringstream expected;
+  expected << golden.rdbuf();
+  EXPECT_EQ(out.str(), expected.str())
+      << "dispatch --dry-run output drifted; regenerate with "
+         "FAIRSCHED_UPDATE_GOLDEN=1 if the change is intentional";
+}
+
+}  // namespace
+}  // namespace fairsched::dist
