@@ -87,6 +87,21 @@ SERVE = "serve"
 SERVE_THROUGHPUT_SLACK = 8.0
 SERVE_LATENCY_SLACK = 16.0
 
+# The dispatch bench (BENCH_dispatch.json, written by `fairsched_exp
+# dispatch --dispatch-bench`) compares spawn-per-attempt (protocol v1)
+# against persistent sessions (protocol v2) on the same sweep. Its shape
+# counters (workers/shards/repeats, shards served over sessions, zero v1
+# fallbacks, byte-identical CSV between modes) are deterministic and
+# gated exactly. The warm-session speedup — spawn warm wall over session
+# warm wall, where "warm" excludes each mode's first repeat — has a hard
+# machine-independent floor: amortizing process spawn + plan rebuild +
+# cache warmup across shards must win at least 2x on the smoke sweep.
+# Absolute wall times only have to stay within a generous slack of the
+# recorded baseline.
+DISPATCH = "dispatch"
+DISPATCH_MIN_WARM_SPEEDUP = 2.0
+DISPATCH_WALL_SLACK = 8.0
+
 
 def load_json(path, what):
     """Loads a JSON file, turning every I/O or parse failure into a clear
@@ -253,6 +268,88 @@ def check_serve(baseline, current):
     return failures
 
 
+def load_dispatch_bench(directory):
+    path = pathlib.Path(directory) / f"BENCH_{DISPATCH}.json"
+    if not path.is_file():
+        raise SystemExit(
+            f"error: missing bench output {path} — did the "
+            f"`fairsched_exp dispatch --dispatch-bench` run complete?"
+        )
+    data = load_json(path, "bench output")
+    if data.get("benchmark") != DISPATCH:
+        raise SystemExit(
+            f"error: {path} reports benchmark {data.get('benchmark')!r}"
+        )
+    return data
+
+
+def distill_dispatch(bench):
+    """One baseline record from a BENCH_dispatch.json spawn/session pair."""
+    return {
+        "sweep": DISPATCH,
+        "bench_sweep": bench["sweep"],
+        "workers": bench["workers"],
+        "shards": bench["shards"],
+        "repeats": bench["repeats"],
+        "spawn_warm_ms": bench["spawn_warm_ms"],
+        "session_cold_ms": bench["session_cold_ms"],
+        "session_warm_ms": bench["session_warm_ms"],
+        "warm_speedup": bench["warm_speedup"],
+        "session_opens": bench["session_opens"],
+        "session_served": bench["session_served"],
+        "session_fallback": bench["session_fallback"],
+        "cache_hits": bench["cache_hits"],
+        "cache_misses": bench["cache_misses"],
+        "csv_identical": bench["csv_identical"],
+    }
+
+
+def check_dispatch(baseline, current):
+    """Failure strings for the dispatch bench pair, if any."""
+    failures = []
+    for key in ("bench_sweep", "workers", "shards", "repeats"):
+        if current[key] != baseline[key]:
+            failures.append(
+                f"{DISPATCH}: {key} changed {baseline[key]} -> "
+                f"{current[key]} (re-record bench/baselines if the bench "
+                f"configuration changed)"
+            )
+    if not current["csv_identical"]:
+        failures.append(
+            f"{DISPATCH}: session-mode CSV diverged from spawn-mode CSV — "
+            f"the dispatch-determinism contract is broken"
+        )
+    if current["session_fallback"] != 0:
+        failures.append(
+            f"{DISPATCH}: {current['session_fallback']} attempt(s) fell "
+            f"back to spawn-per-attempt — the session worker no longer "
+            f"speaks protocol v2 to its own dispatcher"
+        )
+    expected_served = current["shards"] * current["repeats"]
+    if current["session_served"] != expected_served:
+        failures.append(
+            f"{DISPATCH}: sessions served {current['session_served']} "
+            f"shard(s), expected shards x repeats = {expected_served}"
+        )
+    if current["warm_speedup"] < DISPATCH_MIN_WARM_SPEEDUP:
+        failures.append(
+            f"{DISPATCH}: warm session speedup "
+            f"{current['warm_speedup']:.2f} below the hard "
+            f"{DISPATCH_MIN_WARM_SPEEDUP:.1f}x floor (spawn warm "
+            f"{current['spawn_warm_ms']:.1f}ms / session warm "
+            f"{current['session_warm_ms']:.1f}ms)"
+        )
+    ceiling = baseline["session_warm_ms"] * DISPATCH_WALL_SLACK
+    if current["session_warm_ms"] > ceiling:
+        failures.append(
+            f"{DISPATCH}: warm session wall regressed past the "
+            f"{DISPATCH_WALL_SLACK:.0f}x slack: "
+            f"{current['session_warm_ms']:.1f}ms > {ceiling:.1f}ms "
+            f"(baseline {baseline['session_warm_ms']:.1f}ms)"
+        )
+    return failures
+
+
 def record(args):
     out = pathlib.Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
@@ -291,6 +388,16 @@ def record(args):
         f"decisions={current['decisions']} "
         f"decisions_per_sec={current['decisions_per_sec']:.0f} "
         f"p99={current['latency_p99_ns']}ns"
+    )
+    current = distill_dispatch(load_dispatch_bench(args.cached))
+    path = out / f"{DISPATCH}.json"
+    with open(path, "w") as handle:
+        json.dump(current, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(
+        f"recorded {path}: workers={current['workers']} "
+        f"shards={current['shards']} "
+        f"warm_speedup={current['warm_speedup']:.2f}"
     )
     return 0
 
@@ -376,6 +483,22 @@ def check(args):
             f"(baseline {baseline['decisions_per_sec']:.0f}, "
             f"slack {SERVE_THROUGHPUT_SLACK:.0f}x) "
             f"p99={current['latency_p99_ns']}ns"
+        )
+
+    baseline_path = pathlib.Path(args.baselines) / f"{DISPATCH}.json"
+    if not baseline_path.is_file():
+        failures.append(f"{DISPATCH}: no committed baseline {baseline_path}")
+    else:
+        baseline = load_json(baseline_path, "committed baseline")
+        current = distill_dispatch(load_dispatch_bench(args.cached))
+        failures.extend(check_dispatch(baseline, current))
+        print(
+            f"{DISPATCH}: workers={current['workers']} "
+            f"shards={current['shards']} "
+            f"warm_speedup={current['warm_speedup']:.2f} "
+            f"(floor {DISPATCH_MIN_WARM_SPEEDUP:.1f}x, baseline "
+            f"{baseline['warm_speedup']:.2f}) "
+            f"session_warm_ms={current['session_warm_ms']:.1f}"
         )
 
     if failures:

@@ -24,6 +24,27 @@ directory, then
                                dispatcher's --timeout-ms can reclaim the
                                shard.
 
+Persistent-session injections (protocol v2, `shard-worker --session`):
+these run the worker under a byte-relaying proxy that counts the
+artifact frames the session serves, so failures land at exact points of
+a live session instead of at connection time. All three honor
+``FAKE_SSH_SESSION_AFTER_SHARDS`` (default 1) as the count of fully
+served shards before the injection fires:
+
+    FAKE_SSH_SESSION_KILL_HOST=hostb      kill the session worker right
+                                          after the Nth artifact frame is
+                                          relayed (clean frame boundary,
+                                          dead session);
+    FAKE_SSH_SESSION_TRUNCATE_HOST=hostb  relay only the first half of
+                                          the (N+1)th frame, then kill —
+                                          a mid-frame disconnect;
+    FAKE_SSH_SESSION_HANG_HOST=hostc      stop relaying after the Nth
+                                          frame and sleep
+                                          FAKE_SSH_HANG_MS — a straggler
+                                          that only --timeout-ms or
+                                          speculative re-execution can
+                                          absorb.
+
 Each injection fires once: a marker file in FAKE_SSH_STATE_DIR records
 that the host already failed, so retries against the same host succeed
 and the run converges. Without FAKE_SSH_STATE_DIR the injections fire on
@@ -34,6 +55,7 @@ import os
 import signal
 import subprocess
 import sys
+import threading
 import time
 
 
@@ -54,6 +76,105 @@ def claim_injection(kind: str, host: str) -> bool:
         return False
     os.close(fd)
     return True
+
+
+def scan_frame(buf: bytes, start: int):
+    """One past the end of the session frame starting at `start`, or None
+    when the buffer does not yet hold the whole frame. Line-oriented with
+    `payload <n>` byte skips — the python twin of scan_session_frame
+    (src/dist/protocol.cc), lenient where the C++ scanner is strict."""
+    i = start
+    while True:
+        j = buf.find(b"\n", i)
+        if j < 0:
+            return None
+        line = buf[i:j]
+        if line == b"end":
+            return j + 1
+        if line.startswith(b"payload ") or line.startswith(b"config "):
+            try:
+                size = int(line.split()[-1])
+            except ValueError:
+                size = 0
+            i = j + 1 + size
+            if i > len(buf):
+                return None
+        else:
+            i = j + 1
+
+
+def pump_stdin(proc: subprocess.Popen) -> None:
+    """Dispatcher stdin -> session worker stdin, byte for byte."""
+    try:
+        while True:
+            chunk = sys.stdin.buffer.read1(65536)
+            if not chunk:
+                break
+            proc.stdin.write(chunk)
+            proc.stdin.flush()
+    except (OSError, ValueError):
+        pass
+    try:
+        proc.stdin.close()
+    except OSError:
+        pass
+
+
+def run_session_proxy(command, mode: str, host: str) -> int:
+    """Relays a `shard-worker --session` conversation, injecting `mode`
+    ("KILL" | "TRUNCATE" | "HANG") after FAKE_SSH_SESSION_AFTER_SHARDS
+    fully served artifact frames."""
+    after = int(os.environ.get("FAKE_SSH_SESSION_AFTER_SHARDS", "1"))
+    print(f"fake_ssh: session {mode.lower()} on {host} after {after} "
+          f"shard(s)", file=sys.stderr)
+    proc = subprocess.Popen(command, stdin=subprocess.PIPE,
+                            stdout=subprocess.PIPE)
+    threading.Thread(target=pump_stdin, args=(proc,), daemon=True).start()
+    out = sys.stdout.buffer
+    buf = b""
+    served = 0
+    try:
+        while True:
+            chunk = proc.stdout.read1(65536)
+            if not chunk:
+                out.flush()
+                return proc.wait()
+            buf += chunk
+            while True:
+                extent = scan_frame(buf, 0)
+                if extent is None:
+                    break
+                frame = buf[:extent]
+                buf = buf[extent:]
+                is_artifact = frame.startswith(b"fairsched-shard-artifact ")
+                if is_artifact and served == after:
+                    if mode == "TRUNCATE":
+                        # A mid-frame disconnect: half the frame, then gone.
+                        out.write(frame[: len(frame) // 2])
+                        out.flush()
+                    proc.kill()
+                    proc.wait()
+                    return 255
+                out.write(frame)
+                out.flush()
+                if is_artifact:
+                    served += 1
+                    if served == after and mode != "TRUNCATE":
+                        if mode == "HANG":
+                            # A straggler: the session stays up but goes
+                            # silent; only the dispatcher's timeout or a
+                            # speculative duplicate reclaims the shard.
+                            hang_ms = int(
+                                os.environ.get("FAKE_SSH_HANG_MS",
+                                               "3600000"))
+                            time.sleep(hang_ms / 1000)
+                        proc.kill()
+                        proc.wait()
+                        return 255
+    except OSError:
+        proc.kill()
+        proc.wait()
+        return 255
 
 
 def main() -> int:
@@ -89,6 +210,10 @@ def main() -> int:
             pass
         proc.wait()
         return 255
+
+    for mode in ("KILL", "TRUNCATE", "HANG"):
+        if claim_injection(f"SESSION_{mode}", host):
+            return run_session_proxy(command, mode, host)
 
     # The normal path: become the worker. exec keeps the process tree
     # flat, so the dispatcher's timeout kill reaches the worker itself.

@@ -65,6 +65,10 @@ Dispatcher::Dispatcher(std::vector<std::unique_ptr<WorkerTransport>> workers,
   if (options_.max_attempts == 0) {
     throw std::invalid_argument("Dispatcher: max_attempts must be >= 1");
   }
+  if (options_.speculate && options_.speculate_factor <= 0.0) {
+    throw std::invalid_argument(
+        "Dispatcher: speculate_factor must be > 0");
+  }
 }
 
 std::string Dispatcher::artifact_path(std::size_t shard) const {
@@ -72,24 +76,56 @@ std::string Dispatcher::artifact_path(std::size_t shard) const {
          shard_artifact_filename(shard, shard_count_);
 }
 
+double Dispatcher::p50_ms_locked() const {
+  if (completed_ms_.empty()) return 0.0;
+  std::vector<double> sorted = completed_ms_;
+  const std::size_t mid = sorted.size() / 2;
+  std::nth_element(sorted.begin(), sorted.begin() + mid, sorted.end());
+  return sorted[mid];
+}
+
 std::size_t Dispatcher::claimable_shard_locked(
-    std::chrono::steady_clock::time_point now) const {
+    std::chrono::steady_clock::time_point now, bool* speculative) const {
+  *speculative = false;
+  bool any_pending = false;
   for (std::size_t s = 0; s < shards_.size(); ++s) {
-    if (shards_[s].state == ShardState::kPending &&
-        shards_[s].not_before <= now) {
+    if (shards_[s].state == ShardState::kPending) {
+      any_pending = true;
+      if (shards_[s].not_before <= now) return s;
+    }
+  }
+  // Speculation only fires with the queue fully drained: a shard sitting
+  // out a backoff is still queued work, not a straggler.
+  if (!options_.speculate || any_pending) return kNone;
+  const double p50 = p50_ms_locked();
+  if (p50 <= 0.0) return kNone;  // nothing completed yet: no baseline
+  const double threshold = p50 * options_.speculate_factor;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = shards_[s];
+    if (shard.state != ShardState::kRunning || shard.running != 1 ||
+        shard.speculated) {
+      continue;
+    }
+    const double elapsed =
+        std::chrono::duration<double, std::milli>(now - shard.started)
+            .count();
+    if (elapsed > threshold) {
+      *speculative = true;
       return s;
     }
   }
   return kNone;
 }
 
-std::string Dispatcher::accept_artifact(const exp::SweepPlan& plan,
-                                        std::size_t shard,
-                                        const std::string& payload,
-                                        const std::string& worker,
-                                        std::size_t attempt) {
+std::string Dispatcher::validate_artifact(const exp::SweepPlan& plan,
+                                          std::size_t shard,
+                                          const std::string& payload,
+                                          const std::string& worker,
+                                          std::size_t attempt,
+                                          std::uint64_t* digest) {
   const std::string path = artifact_path(shard);
   std::string problem;
+  *digest = 0;
   try {
     const exp::ShardArtifact artifact = exp::parse_shard_artifact(
         payload,
@@ -105,6 +141,8 @@ std::string Dispatcher::accept_artifact(const exp::SweepPlan& plan,
       problem = "artifact from " + worker + " covers shard " +
                 shard_label(artifact.shard.index, artifact.shard.count) +
                 ", expected " + shard_label(shard, shard_count_);
+    } else {
+      *digest = exp::artifact_determinism_digest(artifact);
     }
   } catch (const std::exception& e) {
     problem = e.what();
@@ -130,11 +168,17 @@ std::string Dispatcher::accept_artifact(const exp::SweepPlan& plan,
                    DispatchLog::str("file", quarantine),
                    DispatchLog::str("reason", problem)});
     }
-    return problem;
   }
+  return problem;
+}
 
+std::string Dispatcher::write_artifact(std::size_t shard,
+                                       const std::string& payload) {
   // Write-then-rename so a dispatch killed mid-write never leaves a
-  // half-written file where --resume would find it.
+  // half-written file where --resume would find it. A losing duplicate
+  // racing this rename is harmless: duplicates are digest-verified
+  // identical before either file matters.
+  const std::string path = artifact_path(shard);
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary);
@@ -157,7 +201,23 @@ void Dispatcher::fail_shard_locked(std::size_t shard,
                                    const std::string& detail) {
   ++stats_.failed_attempts;
   Shard& state = shards_[shard];
+  if (state.running > 0) {
+    // A duplicate of this shard is still in flight: record the failure
+    // but do not requeue — the survivor may still win, and a later
+    // failure with nothing in flight requeues normally.
+    state.state = ShardState::kRunning;
+    if (log_) {
+      log_->event("fail",
+                  {DispatchLog::num("shard", shard),
+                   DispatchLog::str("worker", worker),
+                   DispatchLog::num("attempt", state.attempts),
+                   DispatchLog::str("reason", detail),
+                   DispatchLog::str("note", "duplicate still in flight")});
+    }
+    return;
+  }
   state.state = ShardState::kPending;
+  state.speculated = false;  // a fresh attempt cycle may speculate again
   if (state.attempts >= options_.max_attempts) {
     if (!fatal_) {
       fatal_ = true;
@@ -201,21 +261,42 @@ void Dispatcher::worker_loop(std::size_t worker_index,
   while (true) {
     std::size_t shard = kNone;
     std::size_t attempt = 0;
+    bool speculative = false;
+    double spec_elapsed_ms = 0.0;
+    double spec_threshold_ms = 0.0;
     {
       std::unique_lock<std::mutex> lock(mu_);
       for (;;) {
         if (fatal_ || done_count_ == shard_count_) break;
         const auto now = std::chrono::steady_clock::now();
-        shard = claimable_shard_locked(now);
+        shard = claimable_shard_locked(now, &speculative);
         if (shard != kNone) break;
-        // Nothing claimable: wake at the earliest backoff gate, or on a
-        // completion / requeue / abort notification (this wait is the
-        // "work-stealing" idle state — the first woken worker claims the
-        // next shard, whoever ran its previous attempt).
+        // Nothing claimable: wake at the earliest backoff gate or
+        // speculation threshold, or on a completion / requeue / abort
+        // notification (this wait is the "work-stealing" idle state — the
+        // first woken worker claims the next shard, whoever ran its
+        // previous attempt).
         auto wake = std::chrono::steady_clock::time_point::max();
+        bool any_pending = false;
         for (const Shard& s : shards_) {
           if (s.state == ShardState::kPending) {
+            any_pending = true;
             wake = std::min(wake, s.not_before);
+          }
+        }
+        if (options_.speculate && !any_pending) {
+          const double p50 = p50_ms_locked();
+          if (p50 > 0.0) {
+            const auto threshold =
+                std::chrono::milliseconds(static_cast<std::int64_t>(
+                    p50 * options_.speculate_factor) +
+                    1);
+            for (const Shard& s : shards_) {
+              if (s.state == ShardState::kRunning && s.running == 1 &&
+                  !s.speculated) {
+                wake = std::min(wake, s.started + threshold);
+              }
+            }
           }
         }
         if (wake == std::chrono::steady_clock::time_point::max()) {
@@ -225,20 +306,56 @@ void Dispatcher::worker_loop(std::size_t worker_index,
         }
       }
       if (shard == kNone) break;
-      shards_[shard].state = ShardState::kRunning;
-      attempt = ++shards_[shard].attempts;
+      Shard& claimed = shards_[shard];
+      claimed.state = ShardState::kRunning;
+      if (speculative) {
+        // Duplicate of the attempt already in flight: never counts
+        // toward max_attempts.
+        claimed.speculated = true;
+        attempt = claimed.attempts;
+        ++stats_.speculative;
+        spec_elapsed_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() -
+                              claimed.started)
+                              .count();
+        spec_threshold_ms = p50_ms_locked() * options_.speculate_factor;
+      } else {
+        attempt = ++claimed.attempts;
+      }
+      if (claimed.running == 0) {
+        claimed.started = std::chrono::steady_clock::now();
+      }
+      ++claimed.running;
+      claimed.running_workers.push_back(worker_index);
       ++stats_.attempts;
     }
 
     if (log_) {
-      log_->event("assign", {DispatchLog::num("shard", shard),
-                             DispatchLog::str("worker", transport.name()),
-                             DispatchLog::num("attempt", attempt)});
+      if (speculative) {
+        log_->event(
+            "speculate",
+            {DispatchLog::num("shard", shard),
+             DispatchLog::str("worker", transport.name()),
+             DispatchLog::num("attempt", attempt),
+             DispatchLog::num("elapsed_ms", static_cast<std::uint64_t>(
+                                                spec_elapsed_ms)),
+             DispatchLog::num("threshold_ms", static_cast<std::uint64_t>(
+                                                  spec_threshold_ms))});
+      } else {
+        log_->event("assign", {DispatchLog::num("shard", shard),
+                               DispatchLog::str("worker", transport.name()),
+                               DispatchLog::num("attempt", attempt)});
+      }
     }
     DispatchRequest attempt_request = request;
     attempt_request.shard = shard;
     attempt_request.shard_count = shard_count_;
+    if (transport.thread_override() !=
+        WorkerTransport::kNoThreadOverride) {
+      attempt_request.threads = transport.thread_override();
+    }
 
+    const auto attempt_started = std::chrono::steady_clock::now();
     WorkerTransport::Outcome outcome;
     bool transport_broken = false;
     try {
@@ -248,11 +365,16 @@ void Dispatcher::worker_loop(std::size_t worker_index,
       outcome.detail = std::string("transport error: ") + e.what();
       transport_broken = true;
     }
+    const double attempt_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - attempt_started)
+            .count();
 
     std::string failure;
+    std::uint64_t digest = 0;
     if (outcome.status == WorkerTransport::Outcome::Status::kArtifact) {
-      failure = accept_artifact(plan, shard, outcome.payload,
-                                transport.name(), attempt);
+      failure = validate_artifact(plan, shard, outcome.payload,
+                                  transport.name(), attempt, &digest);
     } else if (outcome.detail.empty()) {
       failure = outcome.status == WorkerTransport::Outcome::Status::kTimeout
                     ? "attempt timed out"
@@ -261,27 +383,161 @@ void Dispatcher::worker_loop(std::size_t worker_index,
       failure = outcome.detail;
     }
 
-    if (failure.empty()) {
+    // Leave the shard's in-flight set exactly once, then classify what
+    // this attempt's ending means for the shard.
+    enum class Result { kWin, kLoss, kMismatch, kAbandoned, kFail };
+    Result result;
+    std::uint64_t expected_digest = 0;
+    std::vector<std::size_t> to_cancel;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      Shard& state = shards_[shard];
+      auto self = std::find(state.running_workers.begin(),
+                            state.running_workers.end(), worker_index);
+      if (self != state.running_workers.end()) {
+        state.running_workers.erase(self);
+      }
+      if (state.running > 0) --state.running;
+      if (failure.empty()) {
+        if (state.state != ShardState::kDone) {
+          // First valid artifact wins, duplicate or not.
+          state.state = ShardState::kDone;
+          state.digest = digest;
+          to_cancel = state.running_workers;
+          result = Result::kWin;
+        } else if (state.digest != digest) {
+          expected_digest = state.digest;
+          result = Result::kMismatch;
+        } else {
+          result = Result::kLoss;
+        }
+      } else {
+        result = state.state == ShardState::kDone ? Result::kAbandoned
+                                                  : Result::kFail;
+      }
+    }
+
+    if (result == Result::kWin) {
+      failure = write_artifact(shard, outcome.payload);
+      if (failure.empty()) {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++done_count_;
+          completed_ms_.push_back(attempt_ms);
+        }
+        if (log_) {
+          log_->event(
+              "complete",
+              {DispatchLog::num("shard", shard),
+               DispatchLog::str("worker", transport.name()),
+               DispatchLog::num("attempt", attempt),
+               DispatchLog::str("file", shard_artifact_filename(
+                                            shard, shard_count_)),
+               DispatchLog::str("speculative",
+                                speculative ? "true" : "false")});
+        }
+        if (progress) {
+          progress("shard " + shard_label(shard, shard_count_) + " via " +
+                   transport.name());
+        }
+        consecutive_failures = 0;
+        cv_.notify_all();
+        // Losing duplicates are canceled outside the lock: their workers
+        // free up immediately instead of running a dead attempt out.
+        for (const std::size_t loser : to_cancel) {
+          workers_[loser]->cancel_inflight();
+        }
+        continue;
+      }
+      // The artifact could not be persisted: surrender the win and fall
+      // through to the failure path.
+      std::lock_guard<std::mutex> lock(mu_);
+      shards_[shard].state = ShardState::kRunning;
+      result = Result::kFail;
+    }
+
+    if (result == Result::kLoss) {
+      // The duplicate finished anyway and its artifact is digest-identical
+      // to the winner's: the determinism contract held. Not a failure.
       {
         std::lock_guard<std::mutex> lock(mu_);
-        shards_[shard].state = ShardState::kDone;
-        ++done_count_;
+        ++stats_.duplicate_losses;
       }
       if (log_) {
-        log_->event("complete",
+        log_->event("duplicate-loss",
                     {DispatchLog::num("shard", shard),
                      DispatchLog::str("worker", transport.name()),
-                     DispatchLog::num("attempt", attempt),
-                     DispatchLog::str(
-                         "file", shard_artifact_filename(shard,
-                                                         shard_count_))});
-      }
-      if (progress) {
-        progress("shard " + shard_label(shard, shard_count_) + " via " +
-                 transport.name());
+                     DispatchLog::num("attempt", attempt)});
       }
       consecutive_failures = 0;
       cv_.notify_all();
+      continue;
+    }
+
+    if (result == Result::kMismatch) {
+      // Nondeterministic worker output: the duplicate diverged from the
+      // accepted artifact. Quarantine both and abort loudly — folding
+      // either would silently break the byte-identical contract.
+      const std::string path = artifact_path(shard);
+      const std::string duplicate_quarantine =
+          path + ".quarantined-duplicate";
+      {
+        std::ofstream out(duplicate_quarantine, std::ios::binary);
+        out.write(outcome.payload.data(),
+                  static_cast<std::streamsize>(outcome.payload.size()));
+      }
+      const std::string winner_quarantine = path + ".quarantined-divergent";
+      std::error_code ec;
+      std::filesystem::rename(path, winner_quarantine, ec);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        stats_.quarantined += 2;
+        if (!fatal_) {
+          fatal_ = true;
+          fatal_reason_ =
+              "speculative duplicate of shard " +
+              shard_label(shard, shard_count_) + " from " +
+              transport.name() + " diverged from the accepted artifact "
+              "(determinism digest " + fingerprint_hex(digest) + " != " +
+              fingerprint_hex(expected_digest) +
+              "): worker output is nondeterministic; both artifacts "
+              "quarantined";
+        }
+      }
+      if (log_) {
+        log_->event("duplicate-mismatch",
+                    {DispatchLog::num("shard", shard),
+                     DispatchLog::str("worker", transport.name()),
+                     DispatchLog::str("digest", fingerprint_hex(digest)),
+                     DispatchLog::str("expected",
+                                      fingerprint_hex(expected_digest)),
+                     DispatchLog::str("duplicate_file",
+                                      duplicate_quarantine),
+                     DispatchLog::str("winner_file", winner_quarantine)});
+      }
+      cv_.notify_all();
+      continue;  // the loop observes fatal_ and exits
+    }
+
+    if (result == Result::kAbandoned) {
+      // This attempt lost a speculation race and was canceled (or died on
+      // its own) after the shard completed elsewhere. Routine, not a
+      // worker failure.
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.duplicate_canceled;
+      }
+      if (log_) {
+        log_->event("duplicate-abandoned",
+                    {DispatchLog::num("shard", shard),
+                     DispatchLog::str("worker", transport.name()),
+                     DispatchLog::str("reason", failure)});
+      }
+      cv_.notify_all();
+      if (transport_broken) {
+        retired = true;
+        break;
+      }
       continue;
     }
 
@@ -336,6 +592,7 @@ exp::MergedSweep Dispatcher::run(const exp::SweepPlan& plan,
   shards_.assign(shard_count_, Shard{});
   const auto now = std::chrono::steady_clock::now();
   for (Shard& shard : shards_) shard.not_before = now;
+  completed_ms_.clear();
   done_count_ = 0;
   fatal_ = false;
   fatal_reason_.clear();
@@ -350,6 +607,8 @@ exp::MergedSweep Dispatcher::run(const exp::SweepPlan& plan,
          DispatchLog::num("shards", shard_count_),
          DispatchLog::num("workers", workers_.size()),
          DispatchLog::str("resume", options_.resume ? "true" : "false"),
+         DispatchLog::str("speculate",
+                          options_.speculate ? "true" : "false"),
          DispatchLog::str("artifact_dir", options_.artifact_dir)});
   }
 
@@ -435,7 +694,9 @@ exp::MergedSweep Dispatcher::run(const exp::SweepPlan& plan,
          DispatchLog::num("resumed", stats_.resumed),
          DispatchLog::num("attempts", stats_.attempts),
          DispatchLog::num("failed_attempts", stats_.failed_attempts),
-         DispatchLog::num("quarantined", stats_.quarantined)});
+         DispatchLog::num("quarantined", stats_.quarantined),
+         DispatchLog::num("speculative", stats_.speculative),
+         DispatchLog::num("duplicate_losses", stats_.duplicate_losses)});
   }
   return merged;
 }

@@ -22,6 +22,19 @@
 //     dispatch aborts only when every worker has retired with shards
 //     still outstanding.
 //
+// Speculative straggler re-execution (options.speculate): when the queue
+// is drained (no pending shard at all) and an idle worker finds a shard
+// that has been running on a single worker for longer than
+// p50 x speculate_factor (p50 over this run's completed attempt
+// durations), it re-issues the shard as a duplicate attempt. The first
+// valid artifact wins and the losing attempt is canceled
+// (WorkerTransport::cancel_inflight). A duplicate that completes anyway
+// must match the winner's determinism digest
+// (exp::artifact_determinism_digest — wall-clock and cache counters
+// excluded); a mismatch means a worker broke the dispatch-determinism
+// contract, so both artifacts are quarantined and the dispatch aborts
+// loudly. Speculative attempts never count toward max_attempts.
+//
 // Validated artifacts are persisted to artifact_dir/shard-<i>-of-<N>.json
 // (written to a temp name, then renamed, so a killed dispatch never
 // leaves a half-written artifact behind). With `resume`, a pre-pass
@@ -54,6 +67,8 @@ struct DispatchOptions {
   std::size_t max_worker_failures = 3;  // consecutive; retires the worker
   std::string artifact_dir;             // required
   bool resume = false;
+  bool speculate = false;         // straggler re-execution (header comment)
+  double speculate_factor = 2.0;  // duplicate past p50 * factor
 };
 
 struct DispatchStats {
@@ -63,6 +78,9 @@ struct DispatchStats {
   std::size_t failed_attempts = 0;
   std::size_t quarantined = 0;
   std::size_t retired_workers = 0;
+  std::size_t speculative = 0;        // duplicate attempts launched
+  std::size_t duplicate_losses = 0;   // duplicates completed second, identical
+  std::size_t duplicate_canceled = 0; // duplicates canceled/failed after a win
 };
 
 class Dispatcher {
@@ -83,25 +101,44 @@ class Dispatcher {
 
   const DispatchStats& stats() const { return stats_; }
 
+  // The owned transports, for end-of-dispatch per-worker summary lines
+  // (WorkerTransport::summary). Do not call run_shard through this.
+  const std::vector<std::unique_ptr<WorkerTransport>>& workers() const {
+    return workers_;
+  }
+
  private:
   enum class ShardState { kPending, kRunning, kDone };
   struct Shard {
     ShardState state = ShardState::kPending;
-    std::size_t attempts = 0;
+    std::size_t attempts = 0;  // non-speculative attempts (max_attempts gate)
     std::chrono::steady_clock::time_point not_before;  // backoff gate
+    std::size_t running = 0;  // attempts in flight (2 while speculating)
+    std::vector<std::size_t> running_workers;  // worker indices in flight
+    // Start of the oldest in-flight attempt — the straggler clock.
+    std::chrono::steady_clock::time_point started;
+    bool speculated = false;  // a duplicate was issued this attempt cycle
+    std::uint64_t digest = 0;  // determinism digest of the winning artifact
   };
 
   void worker_loop(std::size_t worker_index, const exp::SweepPlan& plan,
                    const DispatchRequest& request, const Progress& progress);
-  // Lowest-index pending shard whose backoff expired; npos when none.
-  std::size_t claimable_shard_locked(
-      std::chrono::steady_clock::time_point now) const;
-  // Validates an artifact payload against the plan; quarantines and
-  // returns a failure detail when it must not be folded, empty on success.
-  std::string accept_artifact(const exp::SweepPlan& plan, std::size_t shard,
-                              const std::string& payload,
-                              const std::string& worker,
-                              std::size_t attempt);
+  // Lowest-index pending shard whose backoff expired; with the queue
+  // drained and options_.speculate, a straggler eligible for duplication
+  // (*speculative = true). npos when none.
+  std::size_t claimable_shard_locked(std::chrono::steady_clock::time_point now,
+                                     bool* speculative) const;
+  // Median completed-attempt duration; 0 before the first completion.
+  double p50_ms_locked() const;
+  // Parses and validates an artifact payload against the plan and fills
+  // *digest; quarantines and returns a failure detail when it must not be
+  // folded, empty on success.
+  std::string validate_artifact(const exp::SweepPlan& plan, std::size_t shard,
+                                const std::string& payload,
+                                const std::string& worker, std::size_t attempt,
+                                std::uint64_t* digest);
+  // Persists a validated payload (write-then-rename); "" on success.
+  std::string write_artifact(std::size_t shard, const std::string& payload);
   void fail_shard_locked(std::size_t shard, const std::string& worker,
                          const std::string& detail);
   std::string artifact_path(std::size_t shard) const;
@@ -113,6 +150,7 @@ class Dispatcher {
   std::mutex mu_;
   std::condition_variable cv_;
   std::vector<Shard> shards_;
+  std::vector<double> completed_ms_;  // successful attempt durations
   std::size_t shard_count_ = 0;
   std::size_t done_count_ = 0;
   std::size_t active_workers_ = 0;

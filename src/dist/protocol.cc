@@ -13,6 +13,8 @@ namespace {
 
 constexpr const char* kRequestMagic = "fairsched-dispatch-request";
 constexpr const char* kArtifactMagic = "fairsched-shard-artifact";
+constexpr const char* kHelloMagic = "fairsched-session-hello";
+constexpr const char* kGoodbyeMagic = "fairsched-session-goodbye";
 
 void reject_newlines(const std::string& value, const char* what) {
   if (value.find('\n') != std::string::npos ||
@@ -80,26 +82,33 @@ std::uint64_t parse_hex_u64(const std::string& token, const char* what) {
   }
 }
 
-// Verifies `line` is "<magic> <version>"; throws naming both versions on
-// skew so mixed-binary deployments fail comprehensibly.
-void check_handshake(const std::string& line, const char* magic,
-                     const char* frame) {
+// Parses a "<magic> <version>" handshake line and returns the peer's
+// version. `min_version`/`max_version` bound what this binary folds;
+// anything outside throws naming both sides so mixed-binary deployments
+// fail comprehensibly.
+std::uint64_t check_handshake(const std::string& line, const char* magic,
+                              const char* frame, int min_version,
+                              int max_version) {
   const std::vector<std::string> tokens = tokens_of(line);
   if (tokens.size() != 2 || tokens[0] != magic) {
     throw std::invalid_argument(std::string("dispatch protocol: expected '") +
-                                magic + " " +
-                                std::to_string(kDispatchProtocolVersion) +
+                                magic + " " + std::to_string(max_version) +
                                 "' handshake for the " + frame + ", got: '" +
                                 line + "'");
   }
   const std::uint64_t version = parse_u64(tokens[1], "protocol version");
-  if (version != static_cast<std::uint64_t>(kDispatchProtocolVersion)) {
+  if (version < static_cast<std::uint64_t>(min_version) ||
+      version > static_cast<std::uint64_t>(max_version)) {
     throw std::invalid_argument(
         std::string("dispatch protocol: peer speaks ") + frame + " v" +
         std::to_string(version) + ", this binary speaks v" +
-        std::to_string(kDispatchProtocolVersion) +
+        std::to_string(min_version) +
+        (min_version == max_version
+             ? std::string()
+             : ".." + std::to_string(max_version)) +
         " — deploy matching fairsched_exp builds on every host");
   }
+  return version;
 }
 
 void read_payload_bytes(std::istream& in, std::size_t size,
@@ -157,11 +166,13 @@ void write_dispatch_request(std::ostream& out,
   out << "end\n";
 }
 
-DispatchRequest read_dispatch_request(std::istream& in) {
-  DispatchRequest request;
-  check_handshake(read_line(in, "the request handshake"), kRequestMagic,
-                  "request");
+namespace {
 
+// The request fields after the handshake line; shared by the one-shot
+// reader and the session command loop (which consumes the handshake
+// itself to tell requests from goodbyes).
+DispatchRequest read_dispatch_request_body(std::istream& in) {
+  DispatchRequest request;
   std::vector<std::string> tokens =
       tokens_of(read_line(in, "'fingerprint'"));
   if (tokens.size() != 2 || tokens[0] != "fingerprint") {
@@ -229,15 +240,53 @@ DispatchRequest read_dispatch_request(std::istream& in) {
   return request;
 }
 
-void write_artifact_frame(std::ostream& out, std::size_t shard,
-                          std::size_t shard_count,
-                          const std::string& payload) {
-  out << kArtifactMagic << ' ' << kDispatchProtocolVersion << '\n';
+}  // namespace
+
+DispatchRequest read_dispatch_request(std::istream& in) {
+  check_handshake(read_line(in, "the request handshake"), kRequestMagic,
+                  "request", kDispatchProtocolVersion,
+                  kDispatchProtocolVersion);
+  return read_dispatch_request_body(in);
+}
+
+namespace {
+
+void write_artifact_frame_impl(
+    std::ostream& out, int version, std::size_t shard,
+    std::size_t shard_count, const std::string& payload,
+    const std::vector<std::pair<std::string, std::uint64_t>>& stats) {
+  out << kArtifactMagic << ' ' << version << '\n';
   out << "shard " << shard << ' ' << shard_count << '\n';
   out << "payload " << payload.size() << '\n';
   out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
   out << '\n';
+  for (const auto& [name, value] : stats) {
+    reject_newlines(name, "stat name");
+    if (name.empty() || name.find(' ') != std::string::npos) {
+      throw std::invalid_argument(
+          "dispatch protocol: stat names must be single tokens: '" + name +
+          "'");
+    }
+    out << "stat " << name << ' ' << value << '\n';
+  }
   out << "end\n";
+}
+
+}  // namespace
+
+void write_artifact_frame(std::ostream& out, std::size_t shard,
+                          std::size_t shard_count,
+                          const std::string& payload) {
+  write_artifact_frame_impl(out, kDispatchProtocolVersion, shard,
+                            shard_count, payload, {});
+}
+
+void write_session_artifact_frame(
+    std::ostream& out, std::size_t shard, std::size_t shard_count,
+    const std::string& payload,
+    const std::vector<std::pair<std::string, std::uint64_t>>& stats) {
+  write_artifact_frame_impl(out, kSessionProtocolVersion, shard,
+                            shard_count, payload, stats);
 }
 
 ArtifactFrame parse_artifact_frame(const std::string& text,
@@ -259,8 +308,9 @@ ArtifactFrame parse_artifact_frame(const std::string& text,
 
   std::istringstream in(text.substr(start));
   ArtifactFrame frame;
-  check_handshake(read_line(in, "the artifact handshake"), kArtifactMagic,
-                  "artifact frame");
+  frame.version = static_cast<int>(check_handshake(
+      read_line(in, "the artifact handshake"), kArtifactMagic,
+      "artifact frame", kDispatchProtocolVersion, kSessionProtocolVersion));
   std::vector<std::string> tokens = tokens_of(read_line(in, "'shard'"));
   if (tokens.size() != 3 || tokens[0] != "shard") {
     throw std::invalid_argument(
@@ -282,8 +332,100 @@ ArtifactFrame parse_artifact_frame(const std::string& text,
   const std::size_t size =
       static_cast<std::size_t>(parse_u64(tokens[1], "payload size"));
   read_payload_bytes(in, size, frame.payload, "artifact payload");
+  if (frame.version >= kSessionProtocolVersion) {
+    // v2 footer: zero or more `stat <name> <value>` lines before `end`.
+    for (;;) {
+      const std::string line = read_line(in, "'stat' or 'end'");
+      if (line == "end") return frame;
+      tokens = tokens_of(line);
+      if (tokens.size() != 3 || tokens[0] != "stat") {
+        throw std::invalid_argument(
+            "dispatch protocol: expected 'stat <name> <value>' or 'end' in "
+            "artifact frame from " +
+            source + ", got: '" + line + "'");
+      }
+      frame.stats.emplace_back(tokens[1],
+                               parse_u64(tokens[2], "stat value"));
+    }
+  }
   expect_end(in, "artifact frame");
   return frame;
+}
+
+void write_session_hello(std::ostream& out, const SessionHello& hello) {
+  out << kHelloMagic << ' ' << kSessionProtocolVersion << '\n';
+  out << "threads " << hello.threads << '\n';
+  out << "end\n";
+}
+
+SessionHello read_session_hello(std::istream& in) {
+  check_handshake(read_line(in, "the session hello handshake"), kHelloMagic,
+                  "session hello", kSessionProtocolVersion,
+                  kSessionProtocolVersion);
+  SessionHello hello;
+  const std::vector<std::string> tokens =
+      tokens_of(read_line(in, "'threads'"));
+  if (tokens.size() != 2 || tokens[0] != "threads") {
+    throw std::invalid_argument(
+        "dispatch protocol: expected 'threads <n>' in session hello");
+  }
+  hello.threads =
+      static_cast<std::size_t>(parse_u64(tokens[1], "hello thread count"));
+  expect_end(in, "session hello");
+  return hello;
+}
+
+void write_session_goodbye(std::ostream& out) {
+  out << kGoodbyeMagic << ' ' << kSessionProtocolVersion << '\n';
+  out << "end\n";
+}
+
+SessionCommand read_session_command(std::istream& in,
+                                    DispatchRequest* request) {
+  std::string line;
+  if (!std::getline(in, line)) return SessionCommand::kEof;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  const std::vector<std::string> tokens = tokens_of(line);
+  if (!tokens.empty() && tokens[0] == kGoodbyeMagic) {
+    check_handshake(line, kGoodbyeMagic, "session goodbye",
+                    kSessionProtocolVersion, kSessionProtocolVersion);
+    expect_end(in, "session goodbye");
+    return SessionCommand::kGoodbye;
+  }
+  check_handshake(line, kRequestMagic, "request", kDispatchProtocolVersion,
+                  kDispatchProtocolVersion);
+  *request = read_dispatch_request_body(in);
+  return SessionCommand::kRequest;
+}
+
+bool scan_session_frame(const std::string& buffer, std::size_t start,
+                        std::size_t* extent) {
+  std::size_t pos = start;
+  while (true) {
+    const std::size_t eol = buffer.find('\n', pos);
+    if (eol == std::string::npos) return false;  // partial line
+    const std::string line = buffer.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line == "end" || line == "end\r") {
+      *extent = pos;
+      return true;
+    }
+    // Length-prefixed payloads ("payload <n>", "config <n> <name>") are
+    // skipped by size so their bytes never masquerade as protocol lines.
+    const std::vector<std::string> tokens = tokens_of(line);
+    if (!tokens.empty() && (tokens[0] == "payload" || tokens[0] == "config") &&
+        tokens.size() >= 2) {
+      std::size_t size = 0;
+      try {
+        size = static_cast<std::size_t>(
+            parse_u64(tokens[1], "scanned payload size"));
+      } catch (const std::invalid_argument&) {
+        continue;  // not a real size header; strict parse will reject it
+      }
+      if (buffer.size() - pos < size + 1) return false;  // bytes + '\n'
+      pos += size + 1;
+    }
+  }
 }
 
 }  // namespace fairsched::dist

@@ -11,6 +11,9 @@
 
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -30,6 +33,7 @@
 #include "exp/scenarios.h"
 #include "exp/sweep_artifact.h"
 #include "exp/sweep_plan.h"
+#include "exp/workload_cache.h"
 #include "util/cli.h"
 
 namespace fairsched::exp {
@@ -106,9 +110,8 @@ std::vector<WorkerSpec> parse_worker_specs(const ScenarioOptions& options) {
     }
   }
   if (specs.empty()) {
-    for (const std::string& entry : {"local", "local"}) {
-      append_worker_entry(entry, "default", specs);
-    }
+    append_worker_entry("local", "default", specs);
+    append_worker_entry("local", "default", specs);
   }
   for (std::size_t i = 0; i < specs.size(); ++i) {
     specs[i].name = (specs[i].local ? "local" : "ssh:" + specs[i].host) +
@@ -118,7 +121,8 @@ std::vector<WorkerSpec> parse_worker_specs(const ScenarioOptions& options) {
 }
 
 std::vector<std::unique_ptr<dist::WorkerTransport>> build_transports(
-    const std::vector<WorkerSpec>& specs, const ScenarioOptions& options) {
+    const std::vector<WorkerSpec>& specs, const ScenarioOptions& options,
+    dist::DispatchLog* log) {
   if (options.program.empty()) {
     throw std::invalid_argument(
         "dispatch needs the harness's own binary path for its workers; "
@@ -132,13 +136,39 @@ std::vector<std::unique_ptr<dist::WorkerTransport>> build_transports(
   std::vector<std::unique_ptr<dist::WorkerTransport>> transports;
   transports.reserve(specs.size());
   for (const WorkerSpec& spec : specs) {
-    if (spec.local) {
-      transports.push_back(std::make_unique<dist::LocalProcessTransport>(
-          spec.name, options.program));
+    std::unique_ptr<dist::WorkerTransport> transport;
+    if (options.persistent_workers) {
+      std::vector<std::string> session_argv;
+      std::vector<std::string> fallback_argv;
+      if (spec.local) {
+        session_argv = {options.program, "shard-worker", "--session"};
+        fallback_argv = {options.program, "shard-worker"};
+      } else {
+        session_argv = ssh_command;
+        session_argv.insert(session_argv.end(),
+                            {spec.host, remote_program, "shard-worker",
+                             "--session"});
+        fallback_argv = ssh_command;
+        fallback_argv.insert(fallback_argv.end(),
+                             {spec.host, remote_program, "shard-worker"});
+      }
+      transport = std::make_unique<dist::PersistentTransport>(
+          spec.name, std::move(session_argv), std::move(fallback_argv), log);
+    } else if (spec.local) {
+      transport = std::make_unique<dist::LocalProcessTransport>(
+          spec.name, options.program);
     } else {
-      transports.push_back(std::make_unique<dist::SshTransport>(
-          spec.name, ssh_command, spec.host, remote_program));
+      transport = std::make_unique<dist::SshTransport>(
+          spec.name, ssh_command, spec.host, remote_program);
     }
+    if (!spec.local && !options.worker_threads_explicit) {
+      // Remote thread-budget fix: without --worker-threads the request
+      // would carry a share of the *local* host's budget; send 0 instead,
+      // which the worker resolves to its own hardware concurrency
+      // (dist/protocol.h).
+      transport->set_thread_override(0);
+    }
+    transports.push_back(std::move(transport));
   }
   return transports;
 }
@@ -177,7 +207,8 @@ dist::DispatchRequest build_dispatch_request(const ScenarioOptions& options,
              "ssh-cmd", "remote-program", "sweep", "shards",
              "worker-threads", "timeout-ms", "retries", "backoff-ms",
              "backoff-cap-ms", "artifact-dir", "dispatch-log", "resume",
-             "dry-run"});
+             "dry-run", "persistent-workers", "speculate",
+             "speculate-factor", "dispatch-bench", "bench-repeats"});
   request.args.insert(request.args.end(), tail.begin(), tail.end());
   if (!options.config_path.empty()) {
     std::ifstream config(options.config_path, std::ios::binary);
@@ -192,6 +223,175 @@ dist::DispatchRequest build_dispatch_request(const ScenarioOptions& options,
         std::filesystem::path(options.config_path).filename().string();
   }
   return request;
+}
+
+void print_worker_summaries(const dist::Dispatcher& dispatcher,
+                            std::FILE* human) {
+  for (const auto& worker : dispatcher.workers()) {
+    const std::string line = worker->summary();
+    if (!line.empty()) {
+      std::fprintf(human, "  worker %s: %s\n", worker->name().c_str(),
+                   line.c_str());
+    }
+  }
+}
+
+// --dispatch-bench: run the identical dispatch --bench-repeats times in
+// spawn-per-attempt mode, then again over one set of persistent sessions
+// (the Dispatcher is reused, so sessions — and their caches — stay warm
+// across repeats), assert the two modes' CSVs are byte-identical, and
+// write the BENCH_dispatch.json record CI gates against
+// bench/baselines/dispatch.json. Repeat 1 of session mode is the cold
+// session (spawn + first plan parse); repeats 2+ are fully warm.
+int run_dispatch_bench(const ScenarioOptions& options, const SweepPlan& plan,
+                       const std::vector<WorkerSpec>& specs,
+                       const dist::DispatchOptions& dispatch_options,
+                       const dist::DispatchRequest& request,
+                       dist::DispatchLog* log, std::FILE* human) {
+  const std::size_t repeats = std::max<std::size_t>(2, options.bench_repeats);
+  auto csv_of = [](const MergedSweep& merged) {
+    std::ostringstream out;
+    CsvReporter csv(out);
+    csv.report(merged.spec, merged.result);
+    return out.str();
+  };
+  auto elapsed_ms = [](std::chrono::steady_clock::time_point since) {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - since)
+        .count();
+  };
+  // Mean over repeats 2..R — the warm measurement for either mode.
+  auto warm_mean = [](const std::vector<double>& walls) {
+    double sum = 0.0;
+    for (std::size_t i = 1; i < walls.size(); ++i) sum += walls[i];
+    return sum / static_cast<double>(walls.size() - 1);
+  };
+
+  std::vector<double> spawn_ms;
+  std::string spawn_csv;
+  {
+    ScenarioOptions mode = options;
+    mode.persistent_workers = false;
+    dist::Dispatcher dispatcher(build_transports(specs, mode, log),
+                                dispatch_options, log);
+    for (std::size_t r = 0; r < repeats; ++r) {
+      const auto started = std::chrono::steady_clock::now();
+      const MergedSweep merged = dispatcher.run(plan, request);
+      spawn_ms.push_back(elapsed_ms(started));
+      if (r == 0) spawn_csv = csv_of(merged);
+      std::fprintf(human, "  spawn   repeat %zu/%zu: %.1f ms\n", r + 1,
+                   repeats, spawn_ms.back());
+      std::fflush(human);
+    }
+  }
+
+  std::vector<double> session_ms;
+  std::string session_csv;
+  dist::PersistentTransport::SessionStats session_totals;
+  {
+    ScenarioOptions mode = options;
+    mode.persistent_workers = true;
+    dist::Dispatcher dispatcher(build_transports(specs, mode, log),
+                                dispatch_options, log);
+    for (std::size_t r = 0; r < repeats; ++r) {
+      const auto started = std::chrono::steady_clock::now();
+      const MergedSweep merged = dispatcher.run(plan, request);
+      session_ms.push_back(elapsed_ms(started));
+      if (r == 0) session_csv = csv_of(merged);
+      std::fprintf(human, "  session repeat %zu/%zu: %.1f ms\n", r + 1,
+                   repeats, session_ms.back());
+      std::fflush(human);
+    }
+    for (const auto& worker : dispatcher.workers()) {
+      const auto* persistent =
+          dynamic_cast<const dist::PersistentTransport*>(worker.get());
+      if (persistent == nullptr) continue;
+      const dist::PersistentTransport::SessionStats stats =
+          persistent->session_stats();
+      session_totals.opens += stats.opens;
+      session_totals.served += stats.served;
+      session_totals.fallback += stats.fallback;
+      session_totals.cache_hits += stats.cache_hits;
+      session_totals.cache_misses += stats.cache_misses;
+      session_totals.disk_hits += stats.disk_hits;
+      session_totals.replayed += stats.replayed;
+    }
+    print_worker_summaries(dispatcher, human);
+  }
+
+  if (spawn_csv != session_csv) {
+    throw std::runtime_error(
+        "--dispatch-bench: the persistent-session CSV differs from the "
+        "spawn-per-attempt CSV — the dispatch-determinism contract is "
+        "broken");
+  }
+
+  const double spawn_warm = warm_mean(spawn_ms);
+  const double session_warm = warm_mean(session_ms);
+  const double warm_speedup =
+      session_warm > 0.0 ? spawn_warm / session_warm : 0.0;
+  std::fprintf(human,
+               "dispatch bench: spawn warm %.1f ms, session warm %.1f ms "
+               "(cold %.1f ms), warm speedup %.2fx, %zu session(s) served "
+               "%zu shard(s)\n",
+               spawn_warm, session_warm, session_ms.front(), warm_speedup,
+               session_totals.opens, session_totals.served);
+
+  std::ostringstream json;
+  json << "{\n";
+  json << "  \"benchmark\": \"dispatch\",\n";
+  json << "  \"sweep\": \"" << options.sweep << "\",\n";
+  json << "  \"workers\": " << specs.size() << ",\n";
+  json << "  \"shards\": " << dispatch_options.shard_count << ",\n";
+  json << "  \"repeats\": " << repeats << ",\n";
+  auto write_walls = [&json](const char* key,
+                             const std::vector<double>& walls) {
+    json << "  \"" << key << "\": [";
+    for (std::size_t i = 0; i < walls.size(); ++i) {
+      if (i) json << ", ";
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.3f", walls[i]);
+      json << buf;
+    }
+    json << "],\n";
+  };
+  write_walls("spawn_ms", spawn_ms);
+  write_walls("session_ms", session_ms);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", spawn_warm);
+  json << "  \"spawn_warm_ms\": " << buf << ",\n";
+  std::snprintf(buf, sizeof(buf), "%.3f", session_ms.front());
+  json << "  \"session_cold_ms\": " << buf << ",\n";
+  std::snprintf(buf, sizeof(buf), "%.3f", session_warm);
+  json << "  \"session_warm_ms\": " << buf << ",\n";
+  std::snprintf(buf, sizeof(buf), "%.3f", warm_speedup);
+  json << "  \"warm_speedup\": " << buf << ",\n";
+  json << "  \"session_opens\": " << session_totals.opens << ",\n";
+  json << "  \"session_served\": " << session_totals.served << ",\n";
+  json << "  \"session_fallback\": " << session_totals.fallback << ",\n";
+  json << "  \"cache_hits\": " << session_totals.cache_hits << ",\n";
+  json << "  \"cache_misses\": " << session_totals.cache_misses << ",\n";
+  json << "  \"disk_hits\": " << session_totals.disk_hits << ",\n";
+  json << "  \"replayed\": " << session_totals.replayed << ",\n";
+  json << "  \"csv_identical\": true\n";
+  json << "}\n";
+
+  const std::string json_path =
+      options.json_path.empty() ? "BENCH_dispatch.json" : options.json_path;
+  if (json_path == "-") {
+    std::fputs(json.str().c_str(), stdout);
+  } else {
+    std::ofstream out(json_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot open bench output: %s\n",
+                   json_path.c_str());
+      return 2;
+    }
+    out << json.str();
+    std::fprintf(human, "wrote dispatch bench record: %s\n",
+                 json_path.c_str());
+  }
+  return 0;
 }
 
 }  // namespace
@@ -229,8 +429,28 @@ int run_dispatch_scenario(const ScenarioOptions& options) {
                               options.json_path == "-";
   std::FILE* human = machine_stdout ? stderr : stdout;
   if (!spec.title.empty()) std::fprintf(human, "%s\n", spec.title.c_str());
-  std::fprintf(human, "dispatching %zu shard(s) over %zu worker(s)\n",
-               shard_count, specs.size());
+  std::fprintf(human,
+               "dispatching %zu shard(s) over %zu worker(s)%s%s\n",
+               shard_count, specs.size(),
+               options.persistent_workers ? " [persistent sessions]" : "",
+               options.speculate ? " [speculative re-execution]" : "");
+
+  bool any_remote = false;
+  for (const WorkerSpec& spec_entry : specs) {
+    if (!spec_entry.local) any_remote = true;
+  }
+  if (any_remote && !options.worker_threads_explicit) {
+    // The remote thread-budget footgun: without --worker-threads the
+    // request's thread count is the *local* budget divided by the worker
+    // count, which is meaningless on another host. build_transports
+    // already overrides remote requests to threads=0 (worker hardware
+    // concurrency); say so loudly.
+    std::fprintf(stderr,
+                 "warning: remote workers without --worker-threads — each "
+                 "remote worker will use its own hardware concurrency "
+                 "instead of a share of this host's budget; pass "
+                 "--worker-threads=N to pin remote parallelism\n");
+  }
 
   dist::DispatchOptions dispatch_options;
   dispatch_options.shard_count = shard_count;
@@ -242,6 +462,13 @@ int run_dispatch_scenario(const ScenarioOptions& options) {
       std::chrono::milliseconds(options.backoff_cap_ms);
   dispatch_options.artifact_dir = options.artifact_dir;
   dispatch_options.resume = options.resume_dispatch;
+  dispatch_options.speculate = options.speculate;
+  dispatch_options.speculate_factor = options.speculate_factor;
+  if (options.dispatch_bench && options.resume_dispatch) {
+    throw std::invalid_argument(
+        "--dispatch-bench re-runs the same dispatch repeatedly; --resume "
+        "would reuse the first repeat's artifacts and time nothing");
+  }
 
   std::filesystem::create_directories(options.artifact_dir);
   const std::string log_path =
@@ -259,7 +486,11 @@ int run_dispatch_scenario(const ScenarioOptions& options) {
 
   const dist::DispatchRequest request =
       build_dispatch_request(options, plan, specs.size());
-  dist::Dispatcher dispatcher(build_transports(specs, options),
+  if (options.dispatch_bench) {
+    return run_dispatch_bench(options, plan, specs, dispatch_options,
+                              request, &log, human);
+  }
+  dist::Dispatcher dispatcher(build_transports(specs, options, &log),
                               dispatch_options, &log);
   const MergedSweep merged = dispatcher.run(
       plan, request, [human](const std::string& message) {
@@ -272,6 +503,14 @@ int run_dispatch_scenario(const ScenarioOptions& options) {
                "failure(s), %zu resumed, %zu quarantined; log: %s\n",
                stats.shard_count, stats.attempts, stats.failed_attempts,
                stats.resumed, stats.quarantined, log_path.c_str());
+  if (options.speculate) {
+    std::fprintf(human,
+                 "  speculation: %zu duplicate attempt(s), %zu finished "
+                 "second (digest-identical), %zu canceled\n",
+                 stats.speculative, stats.duplicate_losses,
+                 stats.duplicate_canceled);
+  }
+  print_worker_summaries(dispatcher, human);
 
   const SweepResult& result = merged.result;
   TableReporter table(machine_stdout ? std::cerr : std::cout);
@@ -338,15 +577,30 @@ std::string sanitize_filename(const std::string& name) {
   return out.empty() ? "sweep.config" : out;
 }
 
-}  // namespace
+// The session worker's process-lifetime cache and the identity it was
+// built for. In-memory cache keys are plan-positional ("p|g|w|i"), so the
+// cache is only reusable across requests whose plans fingerprint equal;
+// any identity change rebuilds it from scratch.
+struct SessionCache {
+  std::unique_ptr<WorkloadCache> cache;
+  std::uint64_t fingerprint = 0;
+  std::size_t bytes = 0;
+  std::string dir;
+};
 
-int run_shard_worker_scenario() {
-  dist::DispatchRequest request = dist::read_dispatch_request(std::cin);
-
+// One dispatch request, shared by the one-shot (v1) and session (v2)
+// worker paths: rebuild the spec from the request args, refuse on
+// fingerprint mismatch, execute the shard, frame the artifact to stdout.
+// Returns false when stdout failed (the session must end — the
+// dispatcher's framing is broken).
+bool serve_dispatch_request(const dist::DispatchRequest& request_in,
+                            SessionCache* session, std::size_t sequence) {
+  dist::DispatchRequest request = request_in;
   WorkerScratch scratch;
   if (!request.config_content.empty() || !request.config_name.empty()) {
     scratch.dir = std::filesystem::temp_directory_path() /
-                  ("fairsched-worker-" + std::to_string(::getpid()));
+                  ("fairsched-worker-" + std::to_string(::getpid()) + "-" +
+                   std::to_string(sequence));
     std::filesystem::create_directories(scratch.dir);
     const std::filesystem::path config_path =
         scratch.dir / sanitize_filename(request.config_name);
@@ -372,7 +626,9 @@ int run_shard_worker_scenario() {
 
   SweepSpec spec = make_scenario_sweep(command, options);
   // The dispatcher owns the thread budget; the request's value beats both
-  // the spec default and any FAIRSCHED_THREADS in this host's environment.
+  // the spec default and any FAIRSCHED_THREADS in this host's
+  // environment. 0 = this worker's own hardware concurrency
+  // (dist/protocol.h) — the remote-fleet default.
   spec.threads = request.threads;
 
   const SweepPlan plan =
@@ -389,23 +645,102 @@ int run_shard_worker_scenario() {
         "binary version skew or FAIRSCHED_* environment overrides)");
   }
 
-  ThreadPoolExecutor executor;
-  const SweepResult result = executor.execute(plan);
+  SweepResult result;
+  if (session) {
+    if (!session->cache || session->fingerprint != plan.fingerprint ||
+        session->bytes != spec.cache_bytes ||
+        session->dir != spec.cache_dir) {
+      session->cache = std::make_unique<WorkloadCache>(
+          spec.cache_bytes, spec.cache_dir, /*retain=*/true);
+      session->fingerprint = plan.fingerprint;
+      session->bytes = spec.cache_bytes;
+      session->dir = spec.cache_dir;
+    }
+    ThreadPoolExecutor executor(session->cache.get());
+    result = executor.execute(plan);
+  } else {
+    ThreadPoolExecutor executor;
+    result = executor.execute(plan);
+  }
 
   std::ostringstream artifact;
   write_shard_artifact(artifact, plan, result);
-  dist::write_artifact_frame(std::cout, request.shard, request.shard_count,
-                             artifact.str());
+  if (session) {
+    // The stat footer feeds the dispatcher's per-worker session summary.
+    // Counters are this call's delta (exp/executor.h), so the artifact
+    // stays comparable to a per-run-cache worker's.
+    const std::vector<std::pair<std::string, std::uint64_t>> stats = {
+        {"cache_hits", result.cache.hits},
+        {"cache_misses", result.cache.misses},
+        {"disk_hits", result.cache.disk_hits},
+        {"replayed", result.replayed_runs},
+    };
+    dist::write_session_artifact_frame(std::cout, request.shard,
+                                       request.shard_count, artifact.str(),
+                                       stats);
+  } else {
+    dist::write_artifact_frame(std::cout, request.shard,
+                               request.shard_count, artifact.str());
+  }
   std::cout.flush();
   if (!std::cout.good()) {
     std::fprintf(stderr, "shard-worker: failed writing artifact frame\n");
-    return 2;
+    return false;
   }
   std::fprintf(stderr, "shard-worker: shard %zu/%zu done (%zu of %zu "
                        "tasks)\n",
                request.shard, request.shard_count, plan.shard_tasks.size(),
                plan.num_tasks);
-  return 0;
+  return true;
+}
+
+}  // namespace
+
+int run_shard_worker_scenario(bool session) {
+  if (!session) {
+    const dist::DispatchRequest request =
+        dist::read_dispatch_request(std::cin);
+    return serve_dispatch_request(request, nullptr, 0) ? 0 : 2;
+  }
+
+  // Protocol v2: announce the session (the hello doubles as the version
+  // handshake and carries this host's hardware concurrency for the
+  // dispatcher's remote thread-budget default), then serve request after
+  // request over the same connection. The workload cache outlives
+  // requests, so later shards of the same plan re-serve each other's
+  // prefixes instead of recomputing them.
+  dist::SessionHello hello;
+  hello.threads =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  dist::write_session_hello(std::cout, hello);
+  std::cout.flush();
+  if (!std::cout.good()) {
+    std::fprintf(stderr, "shard-worker: failed writing session hello\n");
+    return 2;
+  }
+
+  SessionCache cache;
+  std::size_t served = 0;
+  while (true) {
+    dist::DispatchRequest request;
+    switch (dist::read_session_command(std::cin, &request)) {
+      case dist::SessionCommand::kGoodbye:
+        std::fprintf(stderr,
+                     "shard-worker: session goodbye after %zu shard(s)\n",
+                     served);
+        return 0;
+      case dist::SessionCommand::kEof:
+        // The dispatcher hung up (done, or tearing this session down).
+        std::fprintf(stderr,
+                     "shard-worker: session eof after %zu shard(s)\n",
+                     served);
+        return 0;
+      case dist::SessionCommand::kRequest:
+        break;
+    }
+    if (!serve_dispatch_request(request, &cache, served)) return 2;
+    ++served;
+  }
 }
 
 }  // namespace fairsched::exp

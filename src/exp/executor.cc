@@ -173,7 +173,13 @@ SweepResult ThreadPoolExecutor::execute(const SweepPlan& plan,
 
   const auto run_started = std::chrono::steady_clock::now();
 
-  WorkloadCache cache(spec.cache_bytes, spec.cache_dir);
+  // Session workers pass a process-lifetime cache so prefixes stay warm
+  // across requests; everyone else gets a per-run cache. With an external
+  // cache the stats reported below are this call's delta, so artifacts
+  // stay comparable whichever mode produced them.
+  WorkloadCache local_cache(spec.cache_bytes, spec.cache_dir);
+  WorkloadCache& cache = external_cache_ ? *external_cache_ : local_cache;
+  const CacheStats cache_before = cache.stats();
 
   SweepResult result;
   result.axis_points = plan.num_points;
@@ -442,6 +448,16 @@ SweepResult ThreadPoolExecutor::execute(const SweepPlan& plan,
   });
 
   result.cache = cache.stats();
+  if (external_cache_) {
+    // Counters become this run's delta; the byte gauges stay absolute
+    // (they describe the live cache, not this run).
+    result.cache.hits -= cache_before.hits;
+    result.cache.misses -= cache_before.misses;
+    result.cache.evictions -= cache_before.evictions;
+    result.cache.disk_hits -= cache_before.disk_hits;
+    result.cache.disk_misses -= cache_before.disk_misses;
+    result.cache.disk_writes -= cache_before.disk_writes;
+  }
   result.elapsed_ms = elapsed_ms(run_started);
   return result;
 }

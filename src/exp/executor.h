@@ -49,10 +49,27 @@ class Executor {
                               RecordSink sink = nullptr) = 0;
 };
 
+class WorkloadCache;
+
 class ThreadPoolExecutor final : public Executor {
  public:
+  ThreadPoolExecutor() = default;
+
+  // Session mode (exp/dispatch_scenario.cc): `cache` is an externally
+  // owned, process-lifetime WorkloadCache reused across execute() calls,
+  // so a persistent shard-worker keeps prefixes warm between requests.
+  // The cache should be retain-mode (planned use counts span one plan,
+  // not a session) and must only be shared across plans with equal
+  // fingerprints — in-memory keys are plan-positional. result.cache then
+  // reports this call's *delta*, keeping artifacts comparable to a
+  // per-run cache.
+  explicit ThreadPoolExecutor(WorkloadCache* cache) : external_cache_(cache) {}
+
   SweepResult execute(const SweepPlan& plan, Progress progress = nullptr,
                       RecordSink sink = nullptr) override;
+
+ private:
+  WorkloadCache* external_cache_ = nullptr;
 };
 
 class MultiProcessExecutor final : public Executor {

@@ -23,7 +23,10 @@
 //                                   --artifact-dir=DIR --resume --dry-run
 //   fairsched_exp shard-worker      protocol peer of dispatch: reads one
 //                                   dispatch request on stdin, writes the
-//                                   shard artifact frame on stdout
+//                                   shard artifact frame on stdout;
+//                                   --session serves many requests over
+//                                   one connection (protocol v2), keeping
+//                                   its workload cache warm across shards
 //   fairsched_exp serve             online scheduler session over an event
 //                                   stream (src/serve): --source=
 //                                   synthetic|stdin|FILE, --policy=NAME,
@@ -104,7 +107,9 @@ int usage(const char* argv0) {
       "--hosts=FILE --ssh-cmd=CMD --remote-program=PATH --shards=N "
       "--worker-threads=N --timeout-ms=T --retries=R --backoff-ms=B "
       "--backoff-cap-ms=C --artifact-dir=DIR --dispatch-log=FILE "
-      "--resume --dry-run (see docs/DISTRIBUTED.md)\n"
+      "--resume --dry-run --persistent-workers --speculate "
+      "--speculate-factor=X --dispatch-bench --bench-repeats=N "
+      "(see docs/DISTRIBUTED.md)\n"
       "custom/plan flags: --policies=a,b,c --workload=%s --config=FILE\n"
       "fig10/ref-scaling flags: --min-orgs=K --max-orgs=K\n"
       "serve/replay flags: --source=synthetic|stdin|FILE --policy=NAME "
@@ -182,7 +187,7 @@ int main(int argc, char** argv) {
       return run_dispatch_scenario(options);
     }
     if (command == "shard-worker") {
-      return run_shard_worker_scenario();
+      return run_shard_worker_scenario(flags.get_bool("session", false));
     }
     if (command == "serve") {
       return run_serve_scenario(options);

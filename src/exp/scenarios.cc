@@ -378,6 +378,7 @@ ScenarioOptions scenario_options_from_flags(const Flags& flags) {
   options.dispatch_shards = static_cast<std::size_t>(non_negative("shards"));
   options.worker_threads =
       static_cast<std::size_t>(non_negative("worker-threads"));
+  options.worker_threads_explicit = flags.has("worker-threads");
   options.timeout_ms = static_cast<std::size_t>(non_negative("timeout-ms"));
   const std::int64_t retries = flags.get_int("retries", 2);
   if (retries < 0) {
@@ -399,6 +400,18 @@ ScenarioOptions scenario_options_from_flags(const Flags& flags) {
   options.dispatch_log_path = flags.get_string("dispatch-log", "");
   options.resume_dispatch = flags.get_bool("resume", false);
   options.dry_run = flags.get_bool("dry-run", false);
+  options.persistent_workers = flags.get_bool("persistent-workers", false);
+  options.speculate = flags.get_bool("speculate", false);
+  options.speculate_factor = flags.get_double("speculate-factor", 2.0);
+  if (options.speculate_factor <= 0.0) {
+    throw std::invalid_argument("--speculate-factor must be positive");
+  }
+  options.dispatch_bench = flags.get_bool("dispatch-bench", false);
+  const std::int64_t bench_repeats = flags.get_int("bench-repeats", 3);
+  if (bench_repeats < 1) {
+    throw std::invalid_argument("--bench-repeats must be >= 1");
+  }
+  options.bench_repeats = static_cast<std::size_t>(bench_repeats);
   const std::string split = flags.get_string("split", "zipf");
   if (split == "zipf") {
     options.split = MachineSplit::kZipf;

@@ -106,6 +106,11 @@ struct ScenarioOptions {
   std::string sweep = "custom";
   std::size_t dispatch_shards = 0;    // --shards; 0 = one per worker
   std::size_t worker_threads = 0;     // 0 = local budget / worker count
+  // --worker-threads was given explicitly. Without it, remote workers get
+  // request.threads = 0 ("use your own hardware concurrency") and a loud
+  // warning — dividing the *local* budget across remote hosts is the
+  // classic footgun.
+  bool worker_threads_explicit = false;
   std::size_t timeout_ms = 0;         // per-shard attempt timeout; 0 = none
   std::size_t retries = 2;            // extra attempts per shard
   std::size_t backoff_ms = 250;       // exponential retry backoff base
@@ -114,6 +119,17 @@ struct ScenarioOptions {
   std::string dispatch_log_path;      // "" = <artifact-dir>/dispatch.log.jsonl
   bool resume_dispatch = false;       // --resume
   bool dry_run = false;               // --dry-run: print the assignment plan
+  // --persistent-workers: protocol-v2 sessions — one long-lived
+  // `shard-worker --session` per worker serves every shard, keeping its
+  // WorkloadCache warm across shards (docs/DISTRIBUTED.md).
+  bool persistent_workers = false;
+  bool speculate = false;          // --speculate: straggler re-execution
+  double speculate_factor = 2.0;   // --speculate-factor (p50 multiplier)
+  // --dispatch-bench: time spawn-per-attempt vs persistent sessions over
+  // --bench-repeats repeats of the same dispatch and write the
+  // BENCH_dispatch.json record instead of the normal reports.
+  bool dispatch_bench = false;
+  std::size_t bench_repeats = 3;
 };
 
 // Parses the harness-wide flags (--instances, --duration, --orgs, --seed,
@@ -246,11 +262,15 @@ int run_replay_scenario(const ScenarioOptions& options);
 int run_dispatch_scenario(const ScenarioOptions& options);
 
 // `fairsched_exp shard-worker`: the receiving end of the dispatch wire
-// protocol (dist/protocol.h). Reads one DispatchRequest from stdin,
-// rebuilds the sweep spec from the request's args (writing an embedded
-// config to a scratch file when present), refuses on fingerprint
+// protocol (dist/protocol.h). One-shot (v1): reads one DispatchRequest
+// from stdin, rebuilds the sweep spec from the request's args (writing an
+// embedded config to a scratch file when present), refuses on fingerprint
 // mismatch, executes its shard in-process, and writes the framed shard
-// artifact to stdout.
-int run_shard_worker_scenario();
+// artifact to stdout. With `session` (v2, `--session`): announces itself
+// with a session hello, then serves request after request over the same
+// stdin/stdout connection until goodbye/EOF, keeping a retained
+// WorkloadCache warm across requests with equal plan fingerprints; each
+// artifact frame carries a cache-counter stat footer.
+int run_shard_worker_scenario(bool session);
 
 }  // namespace fairsched::exp

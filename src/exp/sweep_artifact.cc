@@ -210,6 +210,28 @@ ShardArtifact load_shard_artifact(const std::string& path) {
   return parse_shard_artifact(text.str(), path);
 }
 
+std::uint64_t artifact_determinism_digest(const ShardArtifact& artifact) {
+  std::ostringstream canon;
+  char fp[32];
+  std::snprintf(fp, sizeof(fp), "%016llx",
+                static_cast<unsigned long long>(artifact.fingerprint));
+  canon << fp << '|' << artifact.shard.index << '/' << artifact.shard.count;
+  for (const std::size_t cell : artifact.owned_cells) {
+    const SweepCell& data = artifact.result.cells[cell];
+    canon << '|' << cell << ':' << data.work_done << ':';
+    write_accumulator(canon, data.unfairness);
+    write_accumulator(canon, data.rel_distance);
+    write_accumulator(canon, data.utilization);
+  }
+  const std::string text = canon.str();
+  std::uint64_t hash = 14695981039346656037ull;  // FNV-1a 64
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
 MergedSweep merge_shard_artifacts(std::vector<ShardArtifact> shards) {
   if (shards.empty()) {
     throw std::invalid_argument("merge: no shard artifacts given");

@@ -68,4 +68,13 @@ struct MergedSweep {
 // concurrently). Throws std::invalid_argument on any inconsistency.
 MergedSweep merge_shard_artifacts(std::vector<ShardArtifact> shards);
 
+// Digest of everything the determinism contract covers: the plan
+// fingerprint, the shard identity, and each owned cell's exact
+// accumulator states and work_done. Volatile accounting (wall clocks,
+// cache counters, replay counts) is excluded, so two independent
+// executions of the same shard — a straggler and its speculative
+// duplicate — must digest equal; a difference falsifies the contract and
+// aborts the dispatch (dist/dispatcher.h).
+std::uint64_t artifact_determinism_digest(const ShardArtifact& artifact);
+
 }  // namespace fairsched::exp

@@ -42,8 +42,10 @@ void CacheStats::accumulate(const CacheStats& other) {
   disk_writes += other.disk_writes;
 }
 
-WorkloadCache::WorkloadCache(std::size_t max_bytes, std::string disk_dir)
-    : max_bytes_(max_bytes), disk_dir_(std::move(disk_dir)) {
+WorkloadCache::WorkloadCache(std::size_t max_bytes, std::string disk_dir,
+                             bool retain)
+    : max_bytes_(max_bytes), disk_dir_(std::move(disk_dir)),
+      retain_(retain) {
   if (disk_enabled()) {
     // Create the tier's directory eagerly so a bad --cache-dir (e.g. a
     // path through a file) fails the run up front, not on the first store.
@@ -172,7 +174,7 @@ std::shared_ptr<const void> WorkloadCache::get_or_compute(
     ++stats_.hits;
     if (computed_here) *computed_here = false;
     std::shared_ptr<const void> value = entry.value;
-    if (++consumed_[key] >= uses) {
+    if (!retain_ && ++consumed_[key] >= uses) {
       retire_locked(it);
       consumed_.erase(key);
     } else {
@@ -183,7 +185,7 @@ std::shared_ptr<const void> WorkloadCache::get_or_compute(
 
   ++stats_.misses;
   bool from_disk = false;
-  if (uses <= 1) {
+  if (!retain_ && uses <= 1) {
     // Nobody else will ever ask: compute without storing (or latching —
     // distinct single-use keys cannot collide). The disk tier still
     // applies: a future *process* may ask even when this plan will not.
@@ -208,7 +210,7 @@ std::shared_ptr<const void> WorkloadCache::get_or_compute(
   if (from_disk && computed_here) *computed_here = false;
 
   lock.lock();
-  if (++consumed_[key] >= uses) {
+  if (!retain_ && ++consumed_[key] >= uses) {
     // Every planned use is already consumed (this compute was a re-miss
     // after an eviction and we are the last consumer): nothing left to
     // share, so do not store.

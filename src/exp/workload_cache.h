@@ -99,7 +99,14 @@ class WorkloadCache {
   // kept inside the class so the driver has a single code path. `disk_dir`
   // non-empty enables the disk tier (the directory is created on demand);
   // it requires the memory tier, so --no-cache disables both.
-  explicit WorkloadCache(std::size_t max_bytes, std::string disk_dir = "");
+  //
+  // `retain` keeps entries past their planned use count (and stores even
+  // single-use values): the session-worker mode (exp/executor.h), where
+  // one cache outlives many plan executions and a re-served shard must
+  // find its prefixes still warm. Entries then leave only through LRU
+  // eviction under the byte budget.
+  explicit WorkloadCache(std::size_t max_bytes, std::string disk_dir = "",
+                         bool retain = false);
 
   WorkloadCache(const WorkloadCache&) = delete;
   WorkloadCache& operator=(const WorkloadCache&) = delete;
@@ -155,6 +162,7 @@ class WorkloadCache {
 
   const std::size_t max_bytes_;
   const std::string disk_dir_;
+  const bool retain_;
   mutable std::mutex mu_;
   std::condition_variable ready_cv_;
   std::map<std::string, Entry> entries_;

@@ -1,17 +1,25 @@
 // Tests for the distributed dispatch layer (src/dist): the wire
-// protocol's round trips and version handshake, run_worker_process
-// against real subprocesses, and — through a seeded FlakyTransport that
-// drops, delays and corrupts artifacts — the dispatcher's convergence
-// guarantee: every failure schedule that leaves any worker alive folds
-// to the byte-identical merged result of a single-host whole run, and a
-// corrupt artifact is quarantined, never folded. Also pins the
-// `dispatch --dry-run` assignment plan to tests/golden/
-// dispatch_dry_run.json (regenerate with FAIRSCHED_UPDATE_GOLDEN=1).
+// protocol's round trips and version handshake (v1 one-shot and v2
+// session frames, including truncation/skew fuzzing of the incremental
+// frame scanner), run_worker_process against real subprocesses, and —
+// through a seeded FlakyTransport that drops, delays and corrupts
+// artifacts — the dispatcher's convergence guarantee: every failure
+// schedule that leaves any worker alive folds to the byte-identical
+// merged result of a single-host whole run, and a corrupt artifact is
+// quarantined, never folded. Speculative straggler re-execution is
+// driven through latched transports (benign duplicate-loss keeps the
+// bytes; a divergent duplicate quarantines both artifacts and aborts),
+// and PersistentTransport runs end-to-end against the real fairsched_exp
+// binary (FAIRSCHED_EXP_BINARY). Also pins the `dispatch --dry-run`
+// assignment plan to tests/golden/dispatch_dry_run.json (regenerate with
+// FAIRSCHED_UPDATE_GOLDEN=1).
 
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -29,8 +37,10 @@
 #include "exp/executor.h"
 #include "exp/policy_registry.h"
 #include "exp/reporter.h"
+#include "exp/scenarios.h"
 #include "exp/sweep_artifact.h"
 #include "exp/sweep_plan.h"
+#include "util/cli.h"
 
 namespace fairsched::dist {
 namespace {
@@ -166,6 +176,146 @@ TEST(DispatchProtocol, GarbageWithoutAFrameNamesTheSource) {
   } catch (const std::exception& e) {
     EXPECT_NE(std::string(e.what()).find("worker `w3`"),
               std::string::npos)
+        << e.what();
+  }
+}
+
+// --- protocol v2: session frames --------------------------------------------
+
+TEST(SessionProtocol, HelloRoundTripsTheWorkerThreadCount) {
+  std::stringstream wire;
+  write_session_hello(wire, SessionHello{7});
+  EXPECT_EQ(read_session_hello(wire).threads, 7u);
+}
+
+TEST(SessionProtocol, HelloRejectsVersionSkewAndGarbage) {
+  std::istringstream skewed("fairsched-session-hello 999\nthreads 4\nend\n");
+  EXPECT_THROW(read_session_hello(skewed), std::invalid_argument);
+  std::istringstream garbage("not a hello\n");
+  EXPECT_THROW(read_session_hello(garbage), std::invalid_argument);
+}
+
+TEST(SessionProtocol, GoodbyeThenEofEndASessionCleanly) {
+  std::stringstream wire;
+  write_session_goodbye(wire);
+  DispatchRequest request;
+  EXPECT_EQ(read_session_command(wire, &request), SessionCommand::kGoodbye);
+  EXPECT_EQ(read_session_command(wire, &request), SessionCommand::kEof);
+}
+
+TEST(SessionProtocol, RequestFramesKeepTheV1FormatOnSessions) {
+  // The v1-fallback seam: session request frames are byte-for-byte v1
+  // dispatch requests, so a skewed v1 worker still parses the first one.
+  const DispatchRequest request = sample_request();
+  std::stringstream wire;
+  write_dispatch_request(wire, request);
+  DispatchRequest back;
+  EXPECT_EQ(read_session_command(wire, &back), SessionCommand::kRequest);
+  EXPECT_EQ(back.fingerprint, request.fingerprint);
+  EXPECT_EQ(back.shard, request.shard);
+  EXPECT_EQ(back.args, request.args);
+  EXPECT_EQ(back.config_content, request.config_content);
+}
+
+TEST(SessionProtocol, SessionArtifactFrameRoundTripsTheStatFooter) {
+  const std::string payload = "{\"cells\": [1]}\nend\nnot a frame end\n";
+  std::ostringstream wire;
+  write_session_artifact_frame(wire, 1, 4, payload,
+                               {{"cache_hits", 30}, {"replayed", 0}});
+  const ArtifactFrame frame = parse_artifact_frame(wire.str(), "test");
+  EXPECT_EQ(frame.version, kSessionProtocolVersion);
+  EXPECT_EQ(frame.shard, 1u);
+  EXPECT_EQ(frame.shard_count, 4u);
+  EXPECT_EQ(frame.payload, payload);
+  ASSERT_EQ(frame.stats.size(), 2u);
+  EXPECT_EQ(frame.stats[0].first, "cache_hits");
+  EXPECT_EQ(frame.stats[0].second, 30u);
+  EXPECT_EQ(frame.stats[1].first, "replayed");
+  EXPECT_EQ(frame.stats[1].second, 0u);
+}
+
+TEST(SessionProtocol, V1ArtifactFramesParseWithEmptyStats) {
+  std::ostringstream wire;
+  write_artifact_frame(wire, 0, 2, "payload");
+  const ArtifactFrame frame = parse_artifact_frame(wire.str(), "test");
+  EXPECT_EQ(frame.version, kDispatchProtocolVersion);
+  EXPECT_TRUE(frame.stats.empty());
+}
+
+TEST(SessionProtocol, StatNamesMustBeSingleTokens) {
+  std::ostringstream wire;
+  EXPECT_THROW(
+      write_session_artifact_frame(wire, 0, 1, "p", {{"two words", 1}}),
+      std::invalid_argument);
+}
+
+TEST(SessionProtocol, ScannerDelimitsFramesAtExactByteBoundaries) {
+  // A hello followed by two artifact frames; the second payload embeds
+  // `end` lines and a fake handshake, which the by-size payload skip
+  // must never mistake for framing. Feeding every prefix length checks
+  // the scanner never claims a frame early and completes it on exactly
+  // the frame's last byte.
+  std::ostringstream hello_s;
+  write_session_hello(hello_s, SessionHello{3});
+  std::ostringstream art1_s;
+  write_session_artifact_frame(art1_s, 0, 2, "plain", {{"cache_hits", 1}});
+  std::ostringstream art2_s;
+  write_session_artifact_frame(
+      art2_s, 1, 2, "end\nfairsched-session-hello 2\npayload 3\nend\n", {});
+  const std::string hello = hello_s.str();
+  const std::string all = hello + art1_s.str() + art2_s.str();
+  const std::size_t b1 = hello.size();
+  const std::size_t b2 = b1 + art1_s.str().size();
+  const std::size_t b3 = b2 + art2_s.str().size();
+
+  for (std::size_t len = 0; len <= all.size(); ++len) {
+    const std::string buffer = all.substr(0, len);
+    std::size_t extent = 0;
+    EXPECT_EQ(scan_session_frame(buffer, 0, &extent), len >= b1)
+        << "prefix " << len;
+    if (len >= b1) {
+      EXPECT_EQ(extent, b1);
+      EXPECT_EQ(scan_session_frame(buffer, b1, &extent), len >= b2)
+          << "prefix " << len;
+    }
+    if (len >= b2) {
+      EXPECT_EQ(extent, b2);
+      EXPECT_EQ(scan_session_frame(buffer, b2, &extent), len >= b3)
+          << "prefix " << len;
+    }
+    if (len >= b3) {
+      EXPECT_EQ(extent, b3);
+    }
+  }
+}
+
+TEST(SessionProtocol, TruncationFuzzNeverMisparsesAFrame) {
+  std::ostringstream wire;
+  write_session_artifact_frame(wire, 2, 5, "abc\nend\n", {{"replayed", 9}});
+  const std::string text = wire.str();
+  // Every strict prefix must fail loudly — never return a frame. The
+  // newline after the `end` line is cosmetic (getline accepts an
+  // unterminated final line), so the fuzz stops one byte short of it.
+  for (std::size_t len = 0; len + 1 < text.size(); ++len) {
+    EXPECT_THROW(parse_artifact_frame(text.substr(0, len), "fuzz"),
+                 std::invalid_argument)
+        << "prefix length " << len;
+  }
+  EXPECT_EQ(parse_artifact_frame(text, "fuzz").payload, "abc\nend\n");
+}
+
+TEST(SessionProtocol, UnknownArtifactVersionFailsNamingIt) {
+  std::ostringstream wire;
+  write_artifact_frame(wire, 0, 1, "p");
+  std::string text = wire.str();
+  const std::string handshake = "fairsched-shard-artifact 1";
+  ASSERT_EQ(text.find(handshake), 0u) << text;
+  text.replace(0, handshake.size(), "fairsched-shard-artifact 3");
+  try {
+    parse_artifact_frame(text, "skew");
+    FAIL() << "expected a version-skew error";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("v3"), std::string::npos)
         << e.what();
   }
 }
@@ -597,6 +747,318 @@ TEST(Dispatcher, ResumeRejectsArtifactsFromADifferentSweep) {
   EXPECT_EQ(csv_of(merged.spec, merged.result), whole_run_csv(spec));
   EXPECT_EQ(dispatcher.stats().resumed, 0u);
   EXPECT_EQ(dispatcher.stats().quarantined, 1u);
+}
+
+// --- speculative straggler re-execution -------------------------------------
+
+// Coordination between the two transports of a speculation test: the
+// paced worker's first attempt does not complete until the straggler
+// holds a shard (so the queue drains with the straggler still running),
+// and the straggler does not return until its duplicate's win cancels
+// it. The 60s caps only keep a buggy dispatcher from wedging the suite.
+struct SpeculationLatch {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool straggler_claimed = false;
+  bool straggler_released = false;
+};
+
+// Blocks its (single) attempt until cancel_inflight — the dispatcher
+// canceling the losing duplicate — then returns its artifact: tampered,
+// when asked, to break the determinism digest.
+class StragglerTransport final : public WorkerTransport {
+ public:
+  StragglerTransport(std::string name, SweepSpec spec,
+                     SpeculationLatch* latch, bool tamper)
+      : name_(std::move(name)),
+        spec_(std::move(spec)),
+        latch_(latch),
+        tamper_(tamper) {}
+
+  const std::string& name() const override { return name_; }
+
+  Outcome run_shard(const DispatchRequest& request,
+                    std::chrono::milliseconds) override {
+    std::string payload = compute_artifact(spec_, request);
+    std::unique_lock<std::mutex> lock(latch_->mu);
+    latch_->straggler_claimed = true;
+    latch_->cv.notify_all();
+    latch_->cv.wait_for(lock, std::chrono::seconds(60),
+                        [&] { return latch_->straggler_released; });
+    if (tamper_) {
+      // Bump the first work_done value: still a valid artifact for the
+      // right plan and shard, but a different determinism digest.
+      const std::string key = "\"work_done\": ";
+      const std::size_t pos = payload.find(key);
+      EXPECT_NE(pos, std::string::npos) << payload.substr(0, 200);
+      char& digit = payload[pos + key.size()];
+      digit = digit == '9' ? '8' : digit + 1;
+    }
+    return Outcome{Outcome::Status::kArtifact, payload, ""};
+  }
+
+  void cancel_inflight() override {
+    std::lock_guard<std::mutex> lock(latch_->mu);
+    latch_->straggler_released = true;
+    latch_->cv.notify_all();
+  }
+
+ private:
+  std::string name_;
+  SweepSpec spec_;
+  SpeculationLatch* latch_;
+  bool tamper_;
+};
+
+// Computes real artifacts, but its first return waits for the straggler
+// to hold a shard — so the claim race can never leave the straggler
+// without one.
+class PacedTransport final : public WorkerTransport {
+ public:
+  PacedTransport(std::string name, SweepSpec spec, SpeculationLatch* latch)
+      : name_(std::move(name)), spec_(std::move(spec)), latch_(latch) {}
+
+  const std::string& name() const override { return name_; }
+
+  Outcome run_shard(const DispatchRequest& request,
+                    std::chrono::milliseconds) override {
+    std::string payload = compute_artifact(spec_, request);
+    std::unique_lock<std::mutex> lock(latch_->mu);
+    latch_->cv.wait_for(lock, std::chrono::seconds(60),
+                        [&] { return latch_->straggler_claimed; });
+    return Outcome{Outcome::Status::kArtifact, std::move(payload), ""};
+  }
+
+ private:
+  std::string name_;
+  SweepSpec spec_;
+  SpeculationLatch* latch_;
+};
+
+struct SpeculationRun {
+  DispatchStats stats;
+  std::string log;
+  std::string csv;    // empty when the dispatch aborted
+  std::string error;  // the abort reason when it did
+  std::vector<std::string> quarantine_files;
+};
+
+SpeculationRun run_speculative_dispatch(bool tamper, const std::string& tag) {
+  // The orgs axis spreads cells over several families, so *both* shards
+  // own cells — whichever one the straggler ends up duplicating has
+  // digest-covered payload bytes for the tamper to touch.
+  SweepSpec spec = dist_sweep();
+  spec.axes.push_back(exp::make_axis("orgs", {3, 4, 5}));
+  SpeculationLatch latch;
+  std::vector<std::unique_ptr<WorkerTransport>> workers;
+  workers.push_back(
+      std::make_unique<PacedTransport>("paced#0", spec, &latch));
+  workers.push_back(std::make_unique<StragglerTransport>(
+      "straggler#1", spec, &latch, tamper));
+  TempDir dir(tag);
+  DispatchOptions options;
+  options.shard_count = 2;
+  options.max_attempts = 4;
+  options.backoff = std::chrono::milliseconds(1);
+  options.artifact_dir = dir.path.string();
+  options.speculate = true;
+  // A tiny factor fires the duplicate as soon as the queue drains.
+  options.speculate_factor = 1e-3;
+  std::ostringstream log_stream;
+  DispatchLog log(log_stream);
+  const SweepPlan plan = build_sweep_plan(spec);
+  DispatchRequest request;
+  request.fingerprint = plan.fingerprint;
+  request.args = {"unused-by-latched-transports"};
+  Dispatcher dispatcher(std::move(workers), options, &log);
+  SpeculationRun run;
+  try {
+    const MergedSweep merged = dispatcher.run(plan, request);
+    run.csv = csv_of(merged.spec, merged.result);
+  } catch (const std::runtime_error& e) {
+    run.error = e.what();
+  }
+  run.stats = dispatcher.stats();
+  run.log = log_stream.str();
+  for (const auto& entry : std::filesystem::directory_iterator(dir.path)) {
+    const std::string name = entry.path().filename().string();
+    if (name.find(".quarantined-") != std::string::npos) {
+      run.quarantine_files.push_back(name);
+    }
+  }
+  std::sort(run.quarantine_files.begin(), run.quarantine_files.end());
+  return run;
+}
+
+TEST(Speculation, DuplicateLossKeepsBytesIdenticalToTheWholeRun) {
+  const SpeculationRun run = run_speculative_dispatch(false, "spec-loss");
+  SweepSpec spec = dist_sweep();
+  spec.axes.push_back(exp::make_axis("orgs", {3, 4, 5}));
+  EXPECT_EQ(run.error, "");
+  EXPECT_EQ(run.csv, whole_run_csv(spec));
+  EXPECT_EQ(run.stats.speculative, 1u);
+  EXPECT_EQ(run.stats.duplicate_losses, 1u);
+  EXPECT_EQ(run.stats.quarantined, 0u);
+  EXPECT_TRUE(run.quarantine_files.empty());
+  EXPECT_NE(run.log.find("\"event\":\"speculate\""), std::string::npos)
+      << run.log;
+  EXPECT_NE(run.log.find("\"event\":\"duplicate-loss\""), std::string::npos)
+      << run.log;
+}
+
+TEST(Speculation, DivergentDuplicateQuarantinesBothArtifactsAndAborts) {
+  const SpeculationRun run =
+      run_speculative_dispatch(true, "spec-mismatch");
+  EXPECT_NE(run.error.find("nondeterministic"), std::string::npos)
+      << run.error;
+  EXPECT_NE(run.error.find("determinism digest"), std::string::npos)
+      << run.error;
+  EXPECT_EQ(run.stats.speculative, 1u);
+  EXPECT_EQ(run.stats.quarantined, 2u);
+  ASSERT_EQ(run.quarantine_files.size(), 2u) << run.log;
+  EXPECT_NE(run.quarantine_files[0].find(".quarantined-divergent"),
+            std::string::npos)
+      << run.quarantine_files[0];
+  EXPECT_NE(run.quarantine_files[1].find(".quarantined-duplicate"),
+            std::string::npos)
+      << run.quarantine_files[1];
+  EXPECT_NE(run.log.find("\"event\":\"duplicate-mismatch\""),
+            std::string::npos)
+      << run.log;
+}
+
+// --- PersistentTransport against the real binary -----------------------------
+
+// The dispatch request whose args rebuild the sweep inside the worker
+// binary, plus the matching locally built spec. Mirrors
+// serve_dispatch_request's rebuild path (same Flags -> options -> spec
+// pipeline), so the fingerprints agree by construction.
+struct E2eSweep {
+  SweepSpec spec;
+  DispatchRequest request;
+};
+
+E2eSweep e2e_sweep() {
+  const std::vector<std::string> args = {
+      "custom",          "--policies=roundrobin,fairshare",
+      "--workload=unit", "--orgs=3",
+      "--jobs-per-org=20", "--instances=4",
+      "--seed=42",         "--duration=60"};
+  std::vector<const char*> argv;
+  argv.reserve(args.size());
+  for (const std::string& arg : args) argv.push_back(arg.c_str());
+  const Flags flags(static_cast<int>(argv.size()), argv.data());
+  const exp::ScenarioOptions options =
+      exp::scenario_options_from_flags(flags);
+  E2eSweep e2e;
+  e2e.spec = exp::make_scenario_sweep("custom", options);
+  e2e.spec.threads = 1;
+  e2e.request.fingerprint = build_sweep_plan(e2e.spec).fingerprint;
+  e2e.request.threads = 1;
+  e2e.request.args = args;
+  return e2e;
+}
+
+TEST(PersistentSession, ServesEveryShardOverOneWarmSession) {
+  const E2eSweep e2e = e2e_sweep();
+  const SweepPlan plan = build_sweep_plan(e2e.spec);
+  std::ostringstream log_stream;
+  DispatchLog log(log_stream);
+  auto transport = std::make_unique<PersistentTransport>(
+      "session#0",
+      std::vector<std::string>{FAIRSCHED_EXP_BINARY, "shard-worker",
+                               "--session"},
+      std::vector<std::string>{FAIRSCHED_EXP_BINARY, "shard-worker"}, &log);
+  const PersistentTransport* session = transport.get();
+  std::vector<std::unique_ptr<WorkerTransport>> workers;
+  workers.push_back(std::move(transport));
+  TempDir dir("session-e2e");
+  DispatchOptions options;
+  options.shard_count = 3;
+  options.backoff = std::chrono::milliseconds(1);
+  options.artifact_dir = dir.path.string();
+  Dispatcher dispatcher(std::move(workers), options, &log);
+  const MergedSweep merged = dispatcher.run(plan, e2e.request);
+  EXPECT_EQ(csv_of(merged.spec, merged.result), whole_run_csv(e2e.spec));
+  const PersistentTransport::SessionStats stats = session->session_stats();
+  EXPECT_EQ(stats.opens, 1u);
+  EXPECT_EQ(stats.served, 3u);
+  EXPECT_EQ(stats.fallback, 0u);
+  EXPECT_FALSE(stats.v1_peer);
+  EXPECT_GT(session->hello_threads(), 0u);
+  EXPECT_NE(session->summary().find("3 shard(s) over 1 session(s)"),
+            std::string::npos)
+      << session->summary();
+  EXPECT_NE(log_stream.str().find("\"event\":\"session-reuse\""),
+            std::string::npos)
+      << log_stream.str();
+}
+
+TEST(PersistentSession, V1PeerFallsBackToSpawnPerAttempt) {
+  const E2eSweep e2e = e2e_sweep();
+  const SweepPlan plan = build_sweep_plan(e2e.spec);
+  // A "skewed" peer: the same binary in one-shot v1 mode answers the
+  // first request with a v1 artifact and no hello.
+  std::ostringstream log_stream;
+  DispatchLog log(log_stream);
+  auto transport = std::make_unique<PersistentTransport>(
+      "skewed#0",
+      std::vector<std::string>{FAIRSCHED_EXP_BINARY, "shard-worker"},
+      std::vector<std::string>{FAIRSCHED_EXP_BINARY, "shard-worker"}, &log);
+  const PersistentTransport* session = transport.get();
+  std::vector<std::unique_ptr<WorkerTransport>> workers;
+  workers.push_back(std::move(transport));
+  TempDir dir("session-v1-fallback");
+  DispatchOptions options;
+  options.shard_count = 2;
+  options.backoff = std::chrono::milliseconds(1);
+  options.artifact_dir = dir.path.string();
+  Dispatcher dispatcher(std::move(workers), options, &log);
+  const MergedSweep merged = dispatcher.run(plan, e2e.request);
+  EXPECT_EQ(csv_of(merged.spec, merged.result), whole_run_csv(e2e.spec));
+  const PersistentTransport::SessionStats stats = session->session_stats();
+  EXPECT_TRUE(stats.v1_peer);
+  EXPECT_EQ(stats.served, 0u);
+  EXPECT_EQ(stats.fallback, 2u);
+  EXPECT_NE(session->summary().find("v1 peer"), std::string::npos)
+      << session->summary();
+  EXPECT_NE(log_stream.str().find("\"event\":\"session-v1-fallback\""),
+            std::string::npos)
+      << log_stream.str();
+}
+
+TEST(PersistentSession, TimeoutTearsDownAndRespawnsTheSession) {
+  PersistentTransport transport("hang#0", {"/bin/sh", "-c", "sleep 30"},
+                                {"/bin/true"});
+  auto outcome =
+      transport.run_shard(sample_request(), std::chrono::milliseconds(200));
+  EXPECT_EQ(outcome.status, WorkerTransport::Outcome::Status::kTimeout);
+  EXPECT_NE(outcome.detail.find("session killed"), std::string::npos)
+      << outcome.detail;
+  EXPECT_EQ(transport.session_stats().opens, 1u);
+  // The next attempt opens a fresh session instead of reusing the corpse.
+  outcome =
+      transport.run_shard(sample_request(), std::chrono::milliseconds(200));
+  EXPECT_EQ(outcome.status, WorkerTransport::Outcome::Status::kTimeout);
+  EXPECT_EQ(transport.session_stats().opens, 2u);
+}
+
+TEST(PersistentSession, MidStreamDisconnectFailsTheAttemptOnly) {
+  // The peer dies after a valid hello, mid-conversation: the attempt
+  // fails with a session diagnostic; the hello was still recorded.
+  PersistentTransport transport(
+      "drop#0",
+      {"/bin/sh", "-c",
+       "printf 'fairsched-session-hello 2\\nthreads 4\\nend\\n'"},
+      {"/bin/true"});
+  const auto outcome =
+      transport.run_shard(sample_request(), std::chrono::milliseconds(0));
+  EXPECT_EQ(outcome.status, WorkerTransport::Outcome::Status::kFailed);
+  EXPECT_NE(outcome.detail.find("session ended before an artifact frame"),
+            std::string::npos)
+      << outcome.detail;
+  EXPECT_EQ(transport.hello_threads(), 4u);
+  EXPECT_EQ(transport.session_stats().opens, 1u);
 }
 
 // --- dry-run golden ---------------------------------------------------------
