@@ -34,6 +34,7 @@
 #include "exp/sweep_artifact.h"
 #include "exp/sweep_plan.h"
 #include "exp/workload_cache.h"
+#include "strategy/game.h"
 #include "util/cli.h"
 
 namespace fairsched::exp {
@@ -515,6 +516,21 @@ int run_dispatch_scenario(const ScenarioOptions& options) {
   const SweepResult& result = merged.result;
   TableReporter table(machine_stdout ? std::cerr : std::cout);
   table.report(merged.spec, result);
+  // Strategy sweeps report manipulation gain over the merged cells —
+  // byte-identical to the single-host run's report, since both derive
+  // from (spec, cell aggregates) alone.
+  int thm41_rc = 0;
+  if (merged.spec.is_strategy()) {
+    strategy::print_strategy_report(merged.spec, result,
+                                    machine_stdout ? std::cerr : std::cout);
+    if (options.check_thm41) {
+      thm41_rc = strategy::check_theorem41(
+                     merged.spec, result, options.thm41_tolerance,
+                     machine_stdout ? std::cerr : std::cout)
+                     ? 1
+                     : 0;
+    }
+  }
   if (!spec.note.empty()) std::fprintf(human, "\n%s\n", spec.note.c_str());
 
   if (!options.csv_path.empty()) {
@@ -550,7 +566,7 @@ int run_dispatch_scenario(const ScenarioOptions& options) {
                    options.json_path.c_str());
     }
   }
-  return 0;
+  return thm41_rc;
 }
 
 namespace {

@@ -23,6 +23,7 @@
 #include "exp/workload_cache.h"
 #include "metrics/fairness.h"
 #include "metrics/utility.h"
+#include "strategy/game.h"
 #include "util/json.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -226,6 +227,11 @@ SweepResult ThreadPoolExecutor::execute(const SweepPlan& plan,
         cell.unfairness.add(record.unfairness);
         cell.rel_distance.add(record.rel_distance);
         cell.utilization.add(record.utilization);
+        if (spec.is_strategy()) {
+          cell.deviator_utility.add(record.deviator_utility);
+          cell.deviator_flow.add(record.deviator_flow);
+          cell.honest_utility.add(record.honest_utility);
+        }
         cell.work_done += record.work_done;
         cell.wall_ms += record.wall_ms;
         result.total_wall_ms += record.wall_ms;
@@ -259,6 +265,27 @@ SweepResult ThreadPoolExecutor::execute(const SweepPlan& plan,
       // also what lets axis points of one prefix group share cached work.
       const std::uint64_t seed = mix_seed(spec.seed, w * spec.instances + i);
 
+      // Strategy sweeps: this point's deviation of the honest instance.
+      // Derived lazily once per task (every policy of the point plays the
+      // same declared stream) from the shared honest prefix — which is
+      // exactly what the strategy axis scope shares across the grid.
+      const bool is_strategy = spec.is_strategy();
+      const strategy::DeviationSpec deviation = plan.point_deviations[a];
+      const OrgId deviator = plan.point_deviators[a];
+      std::shared_ptr<const Instance> declared_cache;
+      auto declared_for = [&](const SweepPrefix& prefix) -> const Instance& {
+        if (!is_strategy ||
+            deviation.kind == strategy::DeviationSpec::Kind::kHonest) {
+          return prefix.instance;
+        }
+        if (!declared_cache) {
+          declared_cache = std::make_shared<const Instance>(
+              strategy::apply_deviation(prefix.instance, deviator,
+                                        deviation));
+        }
+        return *declared_cache;
+      };
+
       // One policy execution against a prefix's instance/baseline. Group-
       // invariant policies have equal bound specs at every point of the
       // group, so a record computed here is bit-identical wherever in the
@@ -267,11 +294,14 @@ SweepResult ThreadPoolExecutor::execute(const SweepPlan& plan,
         const auto t0 = std::chrono::steady_clock::now();
         // The registry seam: every policy runs behind the one Algorithm
         // interface, whatever its shape (engine policy, REF, RAND, or a
-        // config-defined composition).
-        const RunResult r =
+        // config-defined composition). Strategy sweeps schedule the
+        // *declared* instance; the honest prefix instance stays the
+        // metrics' ground truth.
+        const Instance& exec_instance = declared_for(prefix);
+        RunResult r =
             plan.registry
                 ->instantiate(plan.bound_algorithms[a * num_policies + p])
-                ->run(prefix.instance, horizon, seed);
+                ->run(exec_instance, horizon, seed);
         RunRecord record;
         record.axis_point = a;
         record.workload = w;
@@ -281,7 +311,19 @@ SweepResult ThreadPoolExecutor::execute(const SweepPlan& plan,
         record.wall_ms = elapsed_ms(t0);
         record.work_done = r.work_done;
         record.utilization =
-            resource_utilization(prefix.instance, r.schedule, horizon);
+            resource_utilization(exec_instance, r.schedule, horizon);
+        if (is_strategy) {
+          // Grades the schedule against true job sizes and corrects the
+          // deviator's utility in r.utilities2 (misreport), so the
+          // fairness metrics below compare true outcomes.
+          const strategy::StrategyOutcome outcome =
+              strategy::evaluate_deviation(prefix.instance, exec_instance,
+                                           deviator, deviation, r.schedule,
+                                           horizon, r.utilities2);
+          record.deviator_utility = outcome.deviator_utility;
+          record.deviator_flow = outcome.deviator_flow;
+          record.honest_utility = outcome.honest_utility;
+        }
         if (plan.has_baseline) {
           record.unfairness =
               unfairness_ratio(r.utilities2, prefix.baseline_utilities2,

@@ -9,6 +9,16 @@
 //   fairsched_exp fig10             Figure 10: unfairness vs #organizations
 //   fairsched_exp horizon-growth    unfairness vs horizon (Table 1 -> 2)
 //   fairsched_exp fairshare-decay   fair-share half-life ablation
+//   fairsched_exp strategy          Thm 4.1 manipulation sweep: one org
+//                                   plays a deviation grid (src/strategy)
+//                                   against every policy; reports per-
+//                                   policy manipulation gain and best
+//                                   responses. --deviations=split:2,...
+//                                   --deviator-orgs=0,1 --check-thm41
+//                                   --thm41-tolerance=PCT
+//   fairsched_exp strategyproof     Section 4 ablation table: psi_sp vs
+//                                   mean-flow change under split/merge/
+//                                   delay (FCFS, fixed background org)
 //   fairsched_exp ref-scaling       REF wall time vs orgs / window length
 //   fairsched_exp custom            free-form sweep (--policies/--workload/
 //                                   --axes, or --config=FILE)
@@ -94,9 +104,9 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s <table1|table2|utilization|rand-convergence|fig10|"
-      "horizon-growth|fairshare-decay|ref-scaling|custom|plan|merge|"
-      "dispatch|shard-worker|serve|replay|list-policies|list-workloads|"
-      "list-axes> [flags]\n"
+      "horizon-growth|fairshare-decay|strategy|strategyproof|ref-scaling|"
+      "custom|plan|merge|dispatch|shard-worker|serve|replay|list-policies|"
+      "list-workloads|list-axes> [flags]\n"
       "common flags: --instances=N --duration=T --orgs=K --seed=S "
       "--scale=X --threads=N --split=zipf|uniform --zipf-s=S --csv=FILE|- "
       "--json=FILE|- --stream-records=FILE|- --axes=\"name=v1,v2;...\" "
@@ -112,6 +122,9 @@ int usage(const char* argv0) {
       "(see docs/DISTRIBUTED.md)\n"
       "custom/plan flags: --policies=a,b,c --workload=%s --config=FILE\n"
       "fig10/ref-scaling flags: --min-orgs=K --max-orgs=K\n"
+      "strategy flags: --deviations=split:2,merge:2,... "
+      "--deviator-orgs=0,1 --check-thm41 --thm41-tolerance=PCT "
+      "(see docs/EXPERIMENTS.md)\n"
       "serve/replay flags: --source=synthetic|stdin|FILE --policy=NAME "
       "--decisions=FILE|- --record-trace=FILE --stats-interval=N "
       "--serve-events=N --arrival-rate=X --machines-per-org=N\n"
@@ -168,6 +181,12 @@ int main(int argc, char** argv) {
     }
     if (command == "fairshare-decay") {
       return run_sweep_scenario(make_fairshare_decay_sweep(options), options);
+    }
+    if (command == "strategy") {
+      return run_sweep_scenario(make_strategy_sweep(options), options);
+    }
+    if (command == "strategyproof") {
+      return run_strategyproof_scenario(options);
     }
     if (command == "ref-scaling") {
       return run_ref_scaling_scenario(options);
@@ -230,9 +249,8 @@ int main(int argc, char** argv) {
         std::string name = info.name;
         if (!info.aliases.empty()) name += " (" + info.aliases + ")";
         std::printf("%-14s %-9s %-22s %s\n", name.c_str(),
-                    info.scope == SweepAxis::Scope::kPolicy ? "policy"
-                                                            : "workload",
-                    info.values_hint.c_str(), info.description.c_str());
+                    axis_scope_name(info.scope), info.values_hint.c_str(),
+                    info.description.c_str());
       }
       return 0;
     }

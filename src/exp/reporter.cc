@@ -41,6 +41,14 @@ void CsvReporter::report(const SweepSpec& spec, const SweepResult& result) {
         "rel_distance_mean", "utilization_mean", "work_done_total"}) {
     header.push_back(column);
   }
+  // Strategy sweeps append the manipulation-grading columns; every other
+  // sweep's CSV bytes are unchanged.
+  if (spec.is_strategy()) {
+    for (const char* column : {"deviator_utility_mean", "deviator_flow_mean",
+                               "honest_utility_mean"}) {
+      header.push_back(column);
+    }
+  }
   csv.write_row(header);
   for (std::size_t a = 0; a < result.axis_points; ++a) {
     const std::vector<std::string> labels = axis_labels(spec, a);
@@ -59,6 +67,11 @@ void CsvReporter::report(const SweepSpec& spec, const SweepResult& result) {
         row.push_back(format(cell.rel_distance.mean()));
         row.push_back(format(cell.utilization.mean()));
         row.push_back(std::to_string(cell.work_done));
+        if (spec.is_strategy()) {
+          row.push_back(format(cell.deviator_utility.mean()));
+          row.push_back(format(cell.deviator_flow.mean()));
+          row.push_back(format(cell.honest_utility.mean()));
+        }
         csv.write_row(row);
       }
     }
@@ -73,6 +86,12 @@ CsvRecordSink::CsvRecordSink(std::ostream& out, const SweepSpec& spec)
        {"workload", "policy", "instance", "seed", "unfairness",
         "rel_distance", "utilization", "work_done"}) {
     header.push_back(column);
+  }
+  if (spec_.is_strategy()) {
+    for (const char* column :
+         {"deviator_utility", "deviator_flow", "honest_utility"}) {
+      header.push_back(column);
+    }
   }
   csv_.write_row(header);
 }
@@ -90,6 +109,11 @@ void CsvRecordSink::write(const RunRecord& record) {
   row.push_back(CsvReporter::format(record.rel_distance));
   row.push_back(CsvReporter::format(record.utilization));
   row.push_back(std::to_string(record.work_done));
+  if (spec_.is_strategy()) {
+    row.push_back(CsvReporter::format(record.deviator_utility));
+    row.push_back(CsvReporter::format(record.deviator_flow));
+    row.push_back(CsvReporter::format(record.honest_utility));
+  }
   csv_.write_row(row);
 }
 
@@ -150,8 +174,18 @@ void JsonReporter::report(const SweepSpec& spec, const SweepResult& result) {
              << ", \"unfairness_mean\": " << num(cell.unfairness.mean())
              << ", \"unfairness_stdev\": " << num(cell.unfairness.stdev())
              << ", \"rel_distance_mean\": " << num(cell.rel_distance.mean())
-             << ", \"utilization_mean\": " << num(cell.utilization.mean())
-             << ", \"wall_ms\": " << num(cell.wall_ms) << "}";
+             << ", \"utilization_mean\": " << num(cell.utilization.mean());
+        // Additive schema, strategy sweeps only (compare_bench.py and
+        // older tooling read both generations).
+        if (spec.is_strategy()) {
+          out_ << ", \"deviator_utility_mean\": "
+               << num(cell.deviator_utility.mean())
+               << ", \"deviator_flow_mean\": "
+               << num(cell.deviator_flow.mean())
+               << ", \"honest_utility_mean\": "
+               << num(cell.honest_utility.mean());
+        }
+        out_ << ", \"wall_ms\": " << num(cell.wall_ms) << "}";
       }
     }
   }

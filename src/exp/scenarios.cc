@@ -18,6 +18,7 @@
 #include "sched/rand_fair.h"
 #include "sched/ref.h"
 #include "sim/engine.h"
+#include "strategy/game.h"
 #include "util/json.h"
 #include "util/rng.h"
 #include "util/table.h"
@@ -352,6 +353,13 @@ ScenarioOptions scenario_options_from_flags(const Flags& flags) {
   options.jobs_per_org = static_cast<std::uint32_t>(jobs_per_org);
   options.min_orgs = static_cast<std::uint32_t>(non_negative("min-orgs"));
   options.max_orgs = static_cast<std::uint32_t>(non_negative("max-orgs"));
+  options.deviations = flags.get_string("deviations", "");
+  options.deviator_orgs = flags.get_string("deviator-orgs", "");
+  options.check_thm41 = flags.get_bool("check-thm41", false);
+  options.thm41_tolerance = flags.get_double("thm41-tolerance", 2.0);
+  if (options.thm41_tolerance < 0.0) {
+    throw std::invalid_argument("--thm41-tolerance must be non-negative");
+  }
   options.source = flags.get_string("source", "synthetic");
   options.policy = flags.get_string("policy", "fairshare");
   options.decisions_path = flags.get_string("decisions", "");
@@ -728,6 +736,127 @@ SweepSpec make_custom_sweep(const ScenarioOptions& options) {
   return spec;
 }
 
+namespace {
+
+// Comma-separated list helper for the strategy flags; empty tokens are
+// rejected so a trailing comma fails loudly instead of silently.
+std::vector<std::string> split_commas(const std::string& text,
+                                      const char* flag) {
+  std::vector<std::string> tokens;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::size_t end = comma == std::string::npos ? text.size() : comma;
+    std::string token = text.substr(start, end - start);
+    // Trim surrounding spaces so "split:2, merge:2" parses.
+    while (!token.empty() && token.front() == ' ') token.erase(0, 1);
+    while (!token.empty() && token.back() == ' ') token.pop_back();
+    if (token.empty()) {
+      throw std::invalid_argument(std::string("--") + flag +
+                                  " has an empty entry");
+    }
+    tokens.push_back(std::move(token));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return tokens;
+}
+
+}  // namespace
+
+void apply_strategy_axes(SweepSpec& spec, const ScenarioOptions& options) {
+  // The deviation grid: honest is always id 0 (the manipulation-gain
+  // reference the planner requires); --deviations replaces the rest.
+  if (options.deviations.empty()) {
+    spec.deviations = strategy::default_deviation_grid();
+  } else {
+    spec.deviations.clear();
+    spec.deviations.push_back(strategy::DeviationSpec{});
+    for (const std::string& token :
+         split_commas(options.deviations, "deviations")) {
+      spec.deviations.push_back(strategy::parse_deviation(token));
+    }
+  }
+  std::vector<double> grid_ids;
+  std::vector<std::string> grid_labels;
+  for (std::size_t i = 0; i < spec.deviations.size(); ++i) {
+    grid_ids.push_back(static_cast<double>(i));
+    grid_labels.push_back(strategy::deviation_label(spec.deviations[i]));
+  }
+  SweepAxis grid_axis = make_axis("strategy", std::move(grid_ids));
+  grid_axis.value_labels = std::move(grid_labels);
+  spec.axes.push_back(std::move(grid_axis));
+
+  // --deviator-orgs turns the deviating organization into a second axis;
+  // without it organization 0 deviates (the planner's default).
+  if (!options.deviator_orgs.empty()) {
+    std::vector<double> orgs;
+    for (const std::string& token :
+         split_commas(options.deviator_orgs, "deviator-orgs")) {
+      std::size_t used = 0;
+      const long value = std::stol(token, &used);
+      if (used != token.size() || value < 0) {
+        throw std::invalid_argument(
+            "--deviator-orgs entries must be non-negative organization "
+            "indices, got '" + token + "'");
+      }
+      orgs.push_back(static_cast<double>(value));
+    }
+    spec.axes.push_back(make_axis("deviator-org", std::move(orgs)));
+  }
+}
+
+SweepSpec make_strategy_sweep(const ScenarioOptions& options) {
+  SweepSpec spec;
+  spec.name = "strategy";
+  // Policies spanning the grading contrast: fcfs grades jobs by arrival
+  // (flow-sensitive, manipulable); the fair-share family and DirectContr
+  // are the paper's deployable candidates.
+  spec.policies = {"fcfs",        "roundrobin",    "fairshare",
+                   "utfairshare", "currfairshare", "directcontr"};
+  spec.baseline = "ref";
+  apply_execution_options(spec, options);
+  spec.horizon = options.duration ? options.duration
+                                  : (options.smoke ? kSmokeTableDuration
+                                                   : Time{20000});
+  // Four smoke instances, not the usual two: the per-deviation gains the
+  // Thm 4.1 check averages are scheduling-noisy, and two windows are not
+  // enough to keep the share-graded means inside tolerance.
+  spec.instances =
+      options.instances ? options.instances : (options.smoke ? 4 : 5);
+  // A deliberately contended platform: on an underloaded consortium a
+  // deviation soaks idle machines, which rewards any manipulation under
+  // any policy and drowns the Theorem 4.1 contrast. Scaling the LPC
+  // processor count down (default 1/4) keeps the platform saturated so a
+  // deviator's extra slots must come out of the shared capacity the
+  // policies arbitrate. --scale overrides.
+  SweepWorkload contended = lpc_workload(options);
+  const double scale = options.scale > 0.0 ? options.scale : 4.0;
+  contended.spec.total_machines = std::max<std::uint32_t>(
+      options.orgs,
+      static_cast<std::uint32_t>(
+          static_cast<double>(contended.spec.total_machines) / scale));
+  spec.workloads.push_back(std::move(contended));
+  apply_strategy_axes(spec, options);
+  apply_axes_override(spec, options);
+
+  char title[256];
+  std::snprintf(title, sizeof(title),
+                "Strategic deviations (Thm 4.1): %zu deviation(s) x %zu "
+                "policies on %s, duration %lld, %zu instance(s), %u orgs",
+                spec.deviations.size(), spec.policies.size(),
+                spec.workloads[0].name.c_str(),
+                static_cast<long long>(spec.horizon), spec.instances,
+                options.orgs);
+  spec.title = title;
+  spec.note =
+      "Reading (paper Thm 4.1 / Prop 4.2): grading by the psi_sp utility "
+      "leaves ~zero gain under split/merge/delay — the measure is "
+      "resistant to workload manipulation — while flow-time grading "
+      "rewards splitting, so flow-graded schedulers invite it.";
+  return spec;
+}
+
 SweepSpec make_scenario_sweep(const std::string& command,
                               const ScenarioOptions& options) {
   if (command == "table1" || command == "table2") {
@@ -738,6 +867,7 @@ SweepSpec make_scenario_sweep(const std::string& command,
   if (command == "fairshare-decay") {
     return make_fairshare_decay_sweep(options);
   }
+  if (command == "strategy") return make_strategy_sweep(options);
   if (command == "custom") {
     return options.config_path.empty()
                ? make_custom_sweep(options)
@@ -746,7 +876,7 @@ SweepSpec make_scenario_sweep(const std::string& command,
   throw std::invalid_argument(
       "'" + command +
       "' is not a shardable sweep scenario; expected table1, table2, "
-      "fig10, horizon-growth, fairshare-decay or custom");
+      "fig10, horizon-growth, fairshare-decay, strategy or custom");
 }
 
 std::vector<SweepSpec> make_ref_scaling_sweeps(
@@ -941,10 +1071,24 @@ int run_sweep_scenario(const SweepSpec& spec,
                  "and `merge` them for the full sweep)\n",
                  shard.index, shard.count);
   }
+  // The manipulation-gain report needs every cell, so a partial shard
+  // skips it — `merge` prints it over the folded whole instead.
+  int thm41_rc = 0;
+  if (spec.is_strategy() && shard.whole()) {
+    strategy::print_strategy_report(spec, result, human_stream(options));
+    if (options.check_thm41) {
+      thm41_rc = strategy::check_theorem41(spec, result,
+                                           options.thm41_tolerance,
+                                           human_stream(options))
+                     ? 1
+                     : 0;
+    }
+  }
   if (!spec.note.empty()) std::fprintf(human, "\n%s\n", spec.note.c_str());
 
   if (const int rc = emit_csv_output(spec, result, options)) return rc;
-  return emit_json_baseline(spec, result, options);
+  if (const int rc = emit_json_baseline(spec, result, options)) return rc;
+  return thm41_rc;
 }
 
 namespace {
@@ -1103,10 +1247,24 @@ int run_merge_scenario(const std::vector<std::string>& paths,
   TableReporter table(human_stream(options));
   table.report(spec, result);
   print_cache_stats(result, human);
+  // Merged strategy shards report exactly like the equivalent whole run:
+  // the gain report derives from the folded cell aggregates alone.
+  int thm41_rc = 0;
+  if (spec.is_strategy()) {
+    strategy::print_strategy_report(spec, result, human_stream(options));
+    if (options.check_thm41) {
+      thm41_rc = strategy::check_theorem41(spec, result,
+                                           options.thm41_tolerance,
+                                           human_stream(options))
+                     ? 1
+                     : 0;
+    }
+  }
   if (!spec.note.empty()) std::fprintf(human, "\n%s\n", spec.note.c_str());
 
   if (const int rc = emit_csv_output(spec, result, options)) return rc;
-  return emit_json_baseline(spec, result, options);
+  if (const int rc = emit_json_baseline(spec, result, options)) return rc;
+  return thm41_rc;
 }
 
 int run_plan_scenario(const SweepSpec& spec,

@@ -78,6 +78,19 @@ struct ScenarioOptions {
   std::uint32_t min_orgs = 0;  // 0 = scenario default
   std::uint32_t max_orgs = 0;  // 0 = scenario default
 
+  // `strategy` subcommand (src/strategy, Thm 4.1). --deviations is a
+  // comma-separated list of deviation labels / kind:param entries (see
+  // strategy/deviation.h); the honest reference is always prepended as
+  // grid id 0. Empty = the default grid. --deviator-orgs turns the
+  // deviating organization into an axis; empty = organization 0.
+  // --check-thm41 machine-checks the Theorem 4.1 contrast after the
+  // manipulation-gain report (nonzero exit on violation), with
+  // --thm41-tolerance percentage points of psi_sp slack.
+  std::string deviations;
+  std::string deviator_orgs;
+  bool check_thm41 = false;
+  double thm41_tolerance = 2.0;
+
   // `serve` / `replay` subcommands (src/serve, docs/ARCHITECTURE.md).
   // --source: "synthetic" (open-loop generator), "stdin"/"-", or a trace
   // file path. --policy: any policy-shaped registry name (config-defined
@@ -178,8 +191,25 @@ SweepSpec make_fairshare_decay_sweep(const ScenarioOptions& options);
 // Free-form sweep from --policies / --workload / --axes.
 SweepSpec make_custom_sweep(const ScenarioOptions& options);
 
+// Theorem 4.1 manipulation sweep: one organization deviates (split /
+// merge / delay / misreport, strategy/deviation.h) while the policies
+// schedule the declared workload; the strategy axis plays the grid and
+// every deviation of a cell shares the honest window + REF baseline
+// through the workload cache. Reported through
+// strategy::print_strategy_report (gain vs honest + best response).
+SweepSpec make_strategy_sweep(const ScenarioOptions& options);
+
+// The strategy dimensions alone: fills spec.deviations from
+// options.deviations (default grid when empty; the honest reference is
+// always grid id 0), appends the `strategy` axis with human-readable
+// value labels, and the `deviator-org` axis when options.deviator_orgs
+// is non-empty. Shared by make_strategy_sweep and the sweep-config
+// [strategy] block.
+void apply_strategy_axes(SweepSpec& spec, const ScenarioOptions& options);
+
 // The spec for any shardable sweep subcommand by name — table1/table2,
-// fig10, horizon-growth, fairshare-decay, and custom (--config included).
+// fig10, horizon-growth, fairshare-decay, strategy, and custom
+// (--config included).
 // This is the scenario selector shared by exp_main, `dispatch --sweep=`
 // and the shard-worker's spec rebuild; scenarios that post-process per-run
 // data (utilization, rand-convergence, ref-scaling) are rejected because
@@ -224,6 +254,12 @@ int run_rand_convergence_scenario(const ScenarioOptions& options);
 // Runs both ref-scaling sweeps and prints the wall-time-per-run tables
 // (the quantity the old Google-benchmark binary measured).
 int run_ref_scaling_scenario(const ScenarioOptions& options);
+
+// `fairsched_exp strategyproof`: the Section 4 ablation table (one
+// organization splits/merges/delays its workload under FCFS; psi_sp vs
+// mean-flow change per manipulation). --duration is the horizon (default
+// 600), --instances the trial count (default 20).
+int run_strategyproof_scenario(const ScenarioOptions& options);
 
 // `fairsched_exp merge`: loads the shard partial artifacts at `paths`,
 // folds them (exp/sweep_artifact.h) and reports exactly like the

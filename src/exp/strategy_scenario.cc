@@ -1,0 +1,112 @@
+// `fairsched_exp strategyproof` — the Section 4 ablation table (Theorem
+// 4.1): why the scheduler must grade organizations by the strategy-proof
+// utility psi_sp rather than flow time.
+//
+// One organization manipulates its workload (splits every job into unit
+// pieces, merges job pairs, delays releases) against a fixed background
+// organization under the same greedy rule, and the table shows how each
+// metric moves. The transforms and grading live in src/strategy — this is
+// a thin shell over play_deviation_grid; the full policy-by-policy
+// manipulation sweep is the `strategy` subcommand.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/instance.h"
+#include "exp/scenarios.h"
+#include "strategy/game.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace fairsched::exp {
+
+namespace {
+
+struct JobSpec {
+  Time release;
+  Time processing;
+};
+
+// Baseline workload of the manipulating organization.
+std::vector<JobSpec> honest_jobs(Rng& rng, std::size_t count) {
+  std::vector<JobSpec> out;
+  Time t = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    t += static_cast<Time>(rng.uniform_u64(12));
+    out.push_back({t, 2 + static_cast<Time>(rng.uniform_u64(8))});
+  }
+  return out;
+}
+
+// The manipulator's honest jobs against a fixed background organization
+// (seeded per trial, FCFS rule for neutrality — same construction the
+// pre-harness bench used, so the table reproduces).
+Instance make_trial_instance(const std::vector<JobSpec>& manip_jobs,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  InstanceBuilder b;
+  const OrgId manip = b.add_org("manipulator", 1);
+  const OrgId other = b.add_org("background", 1);
+  for (const JobSpec& j : manip_jobs) b.add_job(manip, j.release, j.processing);
+  Time t = 0;
+  for (int i = 0; i < 60; ++i) {
+    t += static_cast<Time>(rng.uniform_u64(10));
+    b.add_job(other, t, 1 + static_cast<Time>(rng.uniform_u64(6)));
+  }
+  return std::move(b).build();
+}
+
+}  // namespace
+
+int run_strategyproof_scenario(const ScenarioOptions& options) {
+  const Time horizon = options.duration ? options.duration : 600;
+  const std::size_t trials = options.instances ? options.instances : 20;
+  using Kind = strategy::DeviationSpec::Kind;
+  const std::vector<strategy::DeviationSpec> grid = {
+      {Kind::kHonest, 0},
+      {Kind::kSplit, 0},
+      {Kind::kMerge, 2},
+      {Kind::kDelay, 20},
+  };
+
+  std::printf(
+      "Strategy-proofness ablation (Thm 4.1): metric change when one "
+      "organization manipulates its workload (%zu trials)\n\n",
+      trials);
+
+  std::vector<double> dpsi(grid.size(), 0.0);
+  std::vector<double> dflow(grid.size(), 0.0);
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    Rng rng(900 + trial);
+    const Instance inst = make_trial_instance(honest_jobs(rng, 25), trial);
+    const std::vector<strategy::DeviationOutcome> outcomes =
+        strategy::play_deviation_grid(inst, 0, grid, "fcfs", horizon, 1);
+    const strategy::StrategyOutcome& base = outcomes[0].outcome;
+    auto pct = [](double now, double before) {
+      return before == 0.0 ? 0.0 : (now - before) / before * 100.0;
+    };
+    for (std::size_t i = 1; i < grid.size(); ++i) {
+      dpsi[i] += pct(outcomes[i].outcome.deviator_utility,
+                     base.deviator_utility);
+      dflow[i] += pct(outcomes[i].outcome.deviator_flow, base.deviator_flow);
+    }
+  }
+
+  const double n = static_cast<double>(trials);
+  AsciiTable table({"manipulation", "psi_sp change %", "mean flow change %"});
+  table.add_row({"split into unit jobs", AsciiTable::format_double(dpsi[1] / n, 2),
+                 AsciiTable::format_double(dflow[1] / n, 2)});
+  table.add_row({"merge job pairs", AsciiTable::format_double(dpsi[2] / n, 2),
+                 AsciiTable::format_double(dflow[2] / n, 2)});
+  table.add_row({"delay releases by 20",
+                 AsciiTable::format_double(dpsi[3] / n, 2), "n/a"});
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf(
+      "\nExpected shape: psi_sp barely moves under split/merge (only via\n"
+      "changed scheduling opportunities) and never improves under delay,\n"
+      "while mean flow time swings strongly — a flow-time-graded system\n"
+      "invites workload manipulation, which motivates psi_sp (Thm 4.1).\n");
+  return 0;
+}
+
+}  // namespace fairsched::exp

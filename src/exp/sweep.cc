@@ -50,8 +50,28 @@ Instance make_small_random_instance(std::size_t base_jobs,
 }  // namespace
 
 SweepAxis::Scope default_axis_scope(SweepAxis::Bind bind) {
-  return bind == SweepAxis::Bind::kPolicyParam ? SweepAxis::Scope::kPolicy
-                                               : SweepAxis::Scope::kWorkload;
+  switch (bind) {
+    case SweepAxis::Bind::kPolicyParam:
+      return SweepAxis::Scope::kPolicy;
+    case SweepAxis::Bind::kStrategy:
+    case SweepAxis::Bind::kDeviatorOrg:
+    case SweepAxis::Bind::kDeviationParam:
+      return SweepAxis::Scope::kStrategy;
+    default:
+      return SweepAxis::Scope::kWorkload;
+  }
+}
+
+const char* axis_scope_name(SweepAxis::Scope scope) {
+  switch (scope) {
+    case SweepAxis::Scope::kPolicy:
+      return "policy";
+    case SweepAxis::Scope::kStrategy:
+      return "strategy";
+    case SweepAxis::Scope::kWorkload:
+      return "workload";
+  }
+  throw std::logic_error("unreachable axis scope");
 }
 
 std::string normalize_axis_name(const std::string& name) {
@@ -70,6 +90,9 @@ bool integral_axis_bind(SweepAxis::Bind bind) {
     case SweepAxis::Bind::kHorizon:
     case SweepAxis::Bind::kUnitJobsPerOrg:
     case SweepAxis::Bind::kRandomJobs:
+    case SweepAxis::Bind::kStrategy:
+    case SweepAxis::Bind::kDeviatorOrg:
+    case SweepAxis::Bind::kDeviationParam:
       return true;
     default:
       return false;
@@ -96,6 +119,16 @@ std::vector<AxisInfo> axis_catalog(const PolicyRegistry& registry) {
       {"random-jobs", "", SweepAxis::Bind::kRandomJobs, "", true,
        SweepAxis::Scope::kWorkload, "10,50",
        "small-random workload: base job count (Thm 6.2 probe)"},
+      {"strategy", "deviation", SweepAxis::Bind::kStrategy, "", true,
+       SweepAxis::Scope::kStrategy, "0:8",
+       "deviation grid index played by the deviating org (Thm 4.1); "
+       "needs a [strategy] grid or the strategy subcommand"},
+      {"deviator-org", "", SweepAxis::Bind::kDeviatorOrg, "", true,
+       SweepAxis::Scope::kStrategy, "0:2",
+       "which organization deviates from its honest job stream"},
+      {"deviation-param", "", SweepAxis::Bind::kDeviationParam, "", true,
+       SweepAxis::Scope::kStrategy, "2,4,8",
+       "overrides the played deviation's magnitude (honest ignores it)"},
   };
   // One axis per distinct parameter-axis name the registry's entries
   // declare (sorted by name): "half-life", "samples", and whatever
@@ -160,6 +193,12 @@ SweepAxis make_axis(const std::string& name, std::vector<double> values,
 }
 
 std::string axis_value_label(const SweepAxis& axis, double value) {
+  if (!axis.value_labels.empty()) {
+    for (std::size_t i = 0;
+         i < axis.values.size() && i < axis.value_labels.size(); ++i) {
+      if (axis.values[i] == value) return axis.value_labels[i];
+    }
+  }
   if (axis.bind == SweepAxis::Bind::kSplit) {
     return value == 0.0 ? "zipf" : "uniform";
   }
@@ -198,6 +237,43 @@ std::vector<double> axis_point_values(const SweepSpec& spec,
     point /= axis_values.size();
   }
   return values;
+}
+
+strategy::DeviationSpec sweep_point_deviation(const SweepSpec& spec,
+                                              std::size_t point) {
+  strategy::DeviationSpec dev;  // honest when no strategy axis applies
+  const std::vector<double> values = axis_point_values(spec, point);
+  for (std::size_t j = 0; j < spec.axes.size(); ++j) {
+    if (spec.axes[j].bind != SweepAxis::Bind::kStrategy) continue;
+    const std::size_t id = static_cast<std::size_t>(values[j]);
+    if (id >= spec.deviations.size()) {
+      throw std::invalid_argument(
+          "sweep '" + spec.name + "': strategy axis value " +
+          std::to_string(id) + " exceeds the deviation grid (" +
+          std::to_string(spec.deviations.size()) + " entries)");
+    }
+    dev = spec.deviations[id];
+  }
+  for (std::size_t j = 0; j < spec.axes.size(); ++j) {
+    if (spec.axes[j].bind != SweepAxis::Bind::kDeviationParam) continue;
+    // Honest has no magnitude: the override leaves it honest, so every
+    // deviation-param value shares one honest reference row.
+    if (dev.kind != strategy::DeviationSpec::Kind::kHonest) {
+      dev.param = static_cast<std::int64_t>(values[j]);
+      strategy::validate_deviation(dev);
+    }
+  }
+  return dev;
+}
+
+OrgId sweep_point_deviator(const SweepSpec& spec, std::size_t point) {
+  const std::vector<double> values = axis_point_values(spec, point);
+  for (std::size_t j = 0; j < spec.axes.size(); ++j) {
+    if (spec.axes[j].bind == SweepAxis::Bind::kDeviatorOrg) {
+      return static_cast<OrgId>(values[j]);
+    }
+  }
+  return 0;
 }
 
 const SweepCell& SweepResult::cell(const SweepSpec& spec,

@@ -33,6 +33,7 @@
 #include "core/types.h"
 #include "exp/policy_registry.h"
 #include "exp/workload_cache.h"
+#include "strategy/deviation.h"
 #include "util/stats.h"
 #include "workload/assignment.h"
 #include "workload/synthetic.h"
@@ -85,6 +86,15 @@ struct SweepAxis {
     // Any declared numeric parameter is sweepable this way; no axis code
     // changes when a policy (or a config-defined one) adds a parameter.
     kPolicyParam,
+    // Strategy axes (strategy/deviation.h): which deviation of
+    // SweepSpec::deviations the deviating organization plays, which
+    // organization deviates, and an optional magnitude override of the
+    // deviation's parameter. All three are strategy-scoped: they leave the
+    // honest workload and the baseline run untouched, so every value
+    // shares one cached prefix (window + honest REF baseline).
+    kStrategy,        // index into SweepSpec::deviations
+    kDeviatorOrg,     // which organization deviates (org index)
+    kDeviationParam,  // overrides the deviation's parameter (honest ignores)
   };
 
   // What the axis parameterizes, which decides what the workload/baseline
@@ -97,8 +107,12 @@ struct SweepAxis {
   // kWorkload to opt out of sharing, but never the reverse — the driver
   // rejects a policy-scoped axis whose bind reshapes the workload, because
   // grouping such cells onto one prefix would simulate the wrong
-  // consortium.
-  enum class Scope { kWorkload, kPolicy };
+  // consortium. kStrategy axes transform one organization's *declared* job
+  // stream after the honest instance and baseline exist, so all their
+  // values share one prefix (instance + baseline) but never each other's
+  // policy runs; the strategy binds are the only ones that may carry this
+  // scope, and they always do.
+  enum class Scope { kWorkload, kPolicy, kStrategy };
 
   std::string name;  // reporter column name, e.g. "orgs"
   Bind bind = Bind::kOrgs;
@@ -110,11 +124,20 @@ struct SweepAxis {
   bool integral = false;
   Scope scope = Scope::kWorkload;
   std::vector<double> values;
+  // Optional display labels, parallel to `values` (empty = derive from the
+  // value). The strategy axis labels its deviation ids with their canonical
+  // deviation labels ("honest", "split2", ...); the labels round-trip
+  // through spec summaries so `merge` prints them without the grid.
+  std::vector<std::string> value_labels;
 };
 
-// The default scope of a bind: Scope::kPolicy for kPolicyParam, kWorkload
-// for everything else.
+// The default scope of a bind: Scope::kPolicy for kPolicyParam,
+// Scope::kStrategy for the strategy binds, kWorkload for everything else.
 SweepAxis::Scope default_axis_scope(SweepAxis::Bind bind);
+
+// "workload" / "policy" / "strategy" — the spelling shared by plan
+// fingerprints, spec summaries and `fairsched_exp list-axes`.
+const char* axis_scope_name(SweepAxis::Scope scope);
 
 // Builds an axis from a user-facing name: the workload axes (orgs, horizon
 // (alias: duration), zipf-s, split, jobs-per-org, random-jobs), or any
@@ -186,7 +209,26 @@ struct SweepSpec {
   // sharded invocations share generated windows and baseline runs across
   // processes. Like the in-memory tier, it never changes output.
   std::string cache_dir;
+  // The deviation grid of a strategic-manipulation sweep
+  // (strategy/deviation.h): non-empty exactly when the spec declares a
+  // "strategy" axis, whose values index this vector. The planner resolves
+  // each axis point to one effective deviation; the executor runs every
+  // policy against the deviating organization's transformed job stream and
+  // grades the outcome against the honest baseline.
+  std::vector<strategy::DeviationSpec> deviations;
+
+  bool is_strategy() const { return !deviations.empty(); }
 };
+
+// The effective deviation / deviating organization of one axis point: the
+// strategy axis value indexes `spec.deviations`, a deviation-param axis
+// overrides the deviation's parameter (ignored for honest entries), and a
+// deviator-org axis picks the organization (default 0). Both throw
+// std::invalid_argument on out-of-range strategy ids; build_sweep_plan
+// validates the same bounds up front.
+strategy::DeviationSpec sweep_point_deviation(const SweepSpec& spec,
+                                              std::size_t point);
+OrgId sweep_point_deviator(const SweepSpec& spec, std::size_t point);
 
 // Number of axis points: the product of all axis value counts (1 when no
 // axes are declared). Throws std::invalid_argument on overflow or an axis
@@ -215,6 +257,13 @@ struct RunRecord {
   double utilization = 0.0;   // resource utilization of the run's schedule
   std::int64_t work_done = 0;
   double wall_ms = 0.0;       // this run only; excluded from aggregates
+  // Strategy sweeps only (all exactly 0.0 otherwise): the deviating
+  // organization's true-size psi_sp and mean flow time, and the summed
+  // psi_sp of the honest organizations (strategy/game.h grades deviations
+  // against the honest axis point's values of these).
+  double deviator_utility = 0.0;
+  double deviator_flow = 0.0;
+  double honest_utility = 0.0;
   // True when the run's metrics were replayed from the workload/baseline
   // cache instead of re-simulated (the values are bit-identical either
   // way). Reporters ignore it; summaries count it.
@@ -225,6 +274,12 @@ struct SweepCell {
   StatsAccumulator unfairness;
   StatsAccumulator rel_distance;
   StatsAccumulator utilization;
+  // Strategy sweeps only (exactly-zero samples otherwise; shard artifacts
+  // carry these states only for strategy specs, keeping existing artifacts
+  // byte-identical).
+  StatsAccumulator deviator_utility;
+  StatsAccumulator deviator_flow;
+  StatsAccumulator honest_utility;
   std::int64_t work_done = 0;  // summed over the cell's runs
   double wall_ms = 0.0;
 };

@@ -109,6 +109,17 @@ void write_shard_artifact(std::ostream& out, const SweepPlan& plan,
     write_accumulator(out, data.rel_distance);
     out << ", \"utilization\": ";
     write_accumulator(out, data.utilization);
+    // Presence-gated on the spec: only strategy sweeps carry the
+    // manipulation-grading accumulators, so non-strategy artifacts stay
+    // byte-identical across the subsystem's introduction (version stays 1).
+    if (plan.spec.is_strategy()) {
+      out << ", \"deviator_utility\": ";
+      write_accumulator(out, data.deviator_utility);
+      out << ", \"deviator_flow\": ";
+      write_accumulator(out, data.deviator_flow);
+      out << ", \"honest_utility\": ";
+      write_accumulator(out, data.honest_utility);
+    }
     out << "}";
   }
   out << "\n  ]\n}\n";
@@ -182,6 +193,13 @@ ShardArtifact parse_shard_artifact(const std::string& text,
       data.unfairness = read_accumulator(cell_json.at("unfairness"));
       data.rel_distance = read_accumulator(cell_json.at("rel_distance"));
       data.utilization = read_accumulator(cell_json.at("utilization"));
+      if (artifact.spec.is_strategy()) {
+        data.deviator_utility =
+            read_accumulator(cell_json.at("deviator_utility"));
+        data.deviator_flow = read_accumulator(cell_json.at("deviator_flow"));
+        data.honest_utility =
+            read_accumulator(cell_json.at("honest_utility"));
+      }
       artifact.owned_cells.push_back(cell);
     }
     std::sort(artifact.owned_cells.begin(), artifact.owned_cells.end());
@@ -222,6 +240,11 @@ std::uint64_t artifact_determinism_digest(const ShardArtifact& artifact) {
     write_accumulator(canon, data.unfairness);
     write_accumulator(canon, data.rel_distance);
     write_accumulator(canon, data.utilization);
+    if (artifact.spec.is_strategy()) {
+      write_accumulator(canon, data.deviator_utility);
+      write_accumulator(canon, data.deviator_flow);
+      write_accumulator(canon, data.honest_utility);
+    }
   }
   const std::string text = canon.str();
   std::uint64_t hash = 14695981039346656037ull;  // FNV-1a 64

@@ -162,6 +162,12 @@ SweepSpec parse_sweep_config(std::istream& in, const std::string& source,
   };
   std::vector<AxisLine> axis_lines;
 
+  // `[strategy]` section: the manipulation-sweep dimensions (deviation
+  // grid + deviating organizations). Its presence alone opts the sweep
+  // into strategy mode with the default grid.
+  bool in_strategy_block = false;
+  bool strategy_in_file = false;
+
   // `[policy NAME]` section state. Blocks register as they end (the next
   // section header or EOF), in file order, so later blocks and the
   // `policies` list can reference earlier names.
@@ -190,15 +196,21 @@ SweepSpec parse_sweep_config(std::istream& in, const std::string& source,
 
     if (line.front() == '[') {
       finish_policy_block();
+      in_strategy_block = false;
       if (line.back() != ']') fail("section header missing ']'");
       const std::vector<std::string> header =
           split_and_trim(line.substr(1, line.size() - 2), ' ');
       if (header.size() == 1 && header[0] == "sweep") {
         continue;  // back to top-level keys after a [policy] block
       }
+      if (header.size() == 1 && header[0] == "strategy") {
+        in_strategy_block = true;
+        strategy_in_file = true;
+        continue;
+      }
       if (header.size() != 2 || header[0] != "policy") {
         fail("unknown section '" + line +
-             "' (want [policy NAME] or [sweep])");
+             "' (want [policy NAME], [strategy] or [sweep])");
       }
       in_policy_block = true;
       block = ConfigPolicyDef{};
@@ -218,6 +230,19 @@ SweepSpec parse_sweep_config(std::istream& in, const std::string& source,
     }
     std::string key = trim(line.substr(0, eq));
     const std::string value = trim(line.substr(eq + 1));
+
+    if (in_strategy_block) {
+      const std::string normalized = normalize_axis_name(key);
+      if (normalized == "deviations") {
+        options.deviations = value;
+      } else if (normalized == "deviatororgs") {
+        options.deviator_orgs = value;
+      } else {
+        fail("unknown [strategy] key '" + key +
+             "'; known keys: deviations, deviator-orgs");
+      }
+      continue;
+    }
 
     if (in_policy_block) {
       const std::string normalized = normalize_axis_name(key);
@@ -372,6 +397,15 @@ SweepSpec parse_sweep_config(std::istream& in, const std::string& source,
     throw std::invalid_argument(source + ": " + e.what());
   }
   if (axes_in_file) spec.axes = axes;
+  // [strategy] dimensions append after the file's own axes, so explicit
+  // axis lines and the strategy grid compose.
+  if (strategy_in_file) {
+    try {
+      apply_strategy_axes(spec, options);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument(source + ": " + e.what());
+    }
+  }
   if (has_name) spec.name = name;
   // The default title was composed before the file's axes were applied;
   // recompute it unless the file supplies its own.

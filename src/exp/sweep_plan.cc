@@ -39,6 +39,9 @@ void apply_axis_value(const SweepAxis& axis, double value, SweepWorkload& w) {
       break;
     case SweepAxis::Bind::kHorizon:
     case SweepAxis::Bind::kPolicyParam:
+    case SweepAxis::Bind::kStrategy:
+    case SweepAxis::Bind::kDeviatorOrg:
+    case SweepAxis::Bind::kDeviationParam:
       break;
   }
 }
@@ -57,6 +60,16 @@ void validate_axis(const SweepSpec& spec, const SweepAxis& axis,
     // values; an axis that reshapes the workload (or horizon) must not,
     // or every non-representative value would simulate the wrong world.
     fail("cannot be policy-scoped: its bind reshapes the workload");
+  }
+  // Strategy scope and the strategy binds imply each other: a strategy
+  // axis shares the honest prefix across its values, which is only sound
+  // for binds that transform the declared job stream after the honest
+  // instance exists — and those binds must never be grouped any other way.
+  if ((axis.scope == SweepAxis::Scope::kStrategy) !=
+      (default_axis_scope(axis.bind) == SweepAxis::Scope::kStrategy)) {
+    fail(axis.scope == SweepAxis::Scope::kStrategy
+             ? "cannot be strategy-scoped: its bind is not a strategy bind"
+             : "is a strategy bind and must keep strategy scope");
   }
   for (double v : axis.values) {
     if (axis.integral) {
@@ -95,6 +108,21 @@ void validate_axis(const SweepSpec& spec, const SweepAxis& axis,
       case SweepAxis::Bind::kRandomJobs:
         if (v < 0) fail("values must be non-negative");
         break;
+      case SweepAxis::Bind::kStrategy:
+        if (v < 0 || static_cast<std::size_t>(v) >= spec.deviations.size()) {
+          fail("value " + std::to_string(static_cast<std::int64_t>(v)) +
+               " is outside the deviation grid [0, " +
+               std::to_string(spec.deviations.size()) +
+               ") (declare deviations via the strategy subcommand or a "
+               "[strategy] config block)");
+        }
+        break;
+      case SweepAxis::Bind::kDeviatorOrg:
+        if (v < 0) fail("values must be non-negative org indices");
+        break;
+      case SweepAxis::Bind::kDeviationParam:
+        if (v < 0) fail("values must be non-negative");
+        break;
       case SweepAxis::Bind::kPolicyParam:
         // Checked against each declaring policy's parameter range, so the
         // error can name both the axis and the declaration it violates.
@@ -112,10 +140,6 @@ void validate_axis(const SweepSpec& spec, const SweepAxis& axis,
         break;
     }
   }
-}
-
-const char* scope_label(SweepAxis::Scope scope) {
-  return scope == SweepAxis::Scope::kPolicy ? "policy" : "workload";
 }
 
 // The canonical string the plan fingerprint hashes: every spec dimension
@@ -143,8 +167,14 @@ std::string fingerprint_content(const SweepPlan& plan) {
   }
   for (const SweepAxis& axis : spec.axes) {
     content += "|axis=" + axis.name;
-    content += std::string("|scope=") + scope_label(axis.scope);
+    content += std::string("|scope=") + axis_scope_name(axis.scope);
     for (double v : axis.values) content += "," + exact(v);
+  }
+  // Appended only for strategy sweeps, so every pre-strategy fingerprint
+  // is unchanged. The grid order matters (strategy axis values index it).
+  for (const strategy::DeviationSpec& dev : spec.deviations) {
+    content += "|deviation=" + deviation_kind_name(dev.kind) + ":" +
+               std::to_string(dev.param);
   }
   return content;
 }
@@ -288,6 +318,72 @@ SweepPlan build_sweep_plan(const SweepSpec& spec,
     }
   }
 
+  // Strategy resolution: the effective (deviation, deviator) of every axis
+  // point, plus the cross-field checks single-axis validation cannot do.
+  {
+    bool has_strategy_axis = false;
+    bool has_other_strategy_axis = false;
+    for (const SweepAxis& axis : spec.axes) {
+      has_strategy_axis |= axis.bind == SweepAxis::Bind::kStrategy;
+      has_other_strategy_axis |=
+          axis.bind == SweepAxis::Bind::kDeviatorOrg ||
+          axis.bind == SweepAxis::Bind::kDeviationParam;
+    }
+    if (has_strategy_axis && spec.deviations.empty()) {
+      // Unreachable past validate_axis (an empty grid rejects every id),
+      // but the message is the one a bare axis misuse should see.
+      throw std::invalid_argument(
+          "sweep '" + spec.name + "': a strategy axis needs a deviation "
+          "grid (use the strategy subcommand or a [strategy] config block)");
+    }
+    if (!has_strategy_axis && (spec.is_strategy() ||
+                               has_other_strategy_axis)) {
+      throw std::invalid_argument(
+          "sweep '" + spec.name + "': deviator-org/deviation-param axes "
+          "and deviation grids apply only with a strategy axis");
+    }
+    plan.point_deviations.assign(plan.num_points,
+                                 strategy::DeviationSpec{});
+    plan.point_deviators.assign(plan.num_points, 0);
+    if (spec.is_strategy()) {
+      bool has_honest = false;
+      for (const strategy::DeviationSpec& dev : spec.deviations) {
+        strategy::validate_deviation(dev);
+        has_honest |= dev.kind == strategy::DeviationSpec::Kind::kHonest;
+      }
+      if (!has_honest) {
+        throw std::invalid_argument(
+            "sweep '" + spec.name + "': the deviation grid needs an "
+            "honest entry (the manipulation-gain reference)");
+      }
+      for (std::size_t a = 0; a < plan.num_points; ++a) {
+        plan.point_deviations[a] = sweep_point_deviation(spec, a);
+        plan.point_deviators[a] = sweep_point_deviator(spec, a);
+      }
+      for (std::size_t a = 0; a < plan.num_points; ++a) {
+        for (std::size_t w = 0; w < plan.num_workloads; ++w) {
+          const SweepWorkload& workload =
+              plan.bound_workloads[a * plan.num_workloads + w];
+          if (workload.kind == SweepWorkload::Kind::kSmallRandom) {
+            // Its org count is drawn per instance, so no deviator index
+            // can be validated (or held fixed) across the sweep.
+            throw std::invalid_argument(
+                "sweep '" + spec.name + "': workload '" + workload.name +
+                "' draws a random org count and cannot host a strategy "
+                "sweep");
+          }
+          if (plan.point_deviators[a] >= workload.orgs) {
+            throw std::invalid_argument(
+                "sweep '" + spec.name + "': deviator org " +
+                std::to_string(plan.point_deviators[a]) +
+                " is out of range for workload '" + workload.name +
+                "' (" + std::to_string(workload.orgs) + " orgs)");
+          }
+        }
+      }
+    }
+  }
+
   // Group axis points sharing every workload-scoped axis value: points of
   // a group differ only in policy-scoped values, so for a fixed (workload,
   // instance) they share the generated instance, the baseline run, and the
@@ -324,17 +420,33 @@ SweepPlan build_sweep_plan(const SweepSpec& spec,
   std::vector<char> invariant(plan.num_groups * plan.num_policies, 1);
   for (std::size_t a = 0; a < plan.num_points; ++a) {
     const std::size_t g = plan.group_of[a];
+    // A policy run is only group-invariant where the played deviation is
+    // too: strategy axes vary the declared job stream within a group (by
+    // design — that is what shares the honest prefix), so their points
+    // must re-run every policy rather than replay the representative's.
+    const bool strategy_invariant =
+        plan.point_deviations[a] ==
+            plan.point_deviations[plan.group_rep[g]] &&
+        plan.point_deviators[a] == plan.point_deviators[plan.group_rep[g]];
     for (std::size_t p = 0; p < plan.num_policies; ++p) {
       invariant[g * plan.num_policies + p] &=
+          strategy_invariant &&
           plan.bound_algorithms[a * plan.num_policies + p] ==
-          plan.bound_algorithms[plan.group_rep[g] * plan.num_policies + p];
+              plan.bound_algorithms[plan.group_rep[g] * plan.num_policies +
+                                    p];
     }
   }
-  for (std::size_t g = 0; g < plan.num_groups; ++g) {
-    std::size_t slot = 0;
-    for (std::size_t p = 0; p < plan.num_policies; ++p) {
-      if (invariant[g * plan.num_policies + p]) {
-        plan.shared_slot[g * plan.num_policies + p] = slot++;
+  // Strategy sweeps share the prefix (instance + honest baseline) across
+  // the whole deviation grid but never policy records: the persisted
+  // prefix payload does not carry strategy gradings, and a grid with a
+  // single repeated deviation is not worth a payload-shape fork.
+  if (!spec.is_strategy()) {
+    for (std::size_t g = 0; g < plan.num_groups; ++g) {
+      std::size_t slot = 0;
+      for (std::size_t p = 0; p < plan.num_policies; ++p) {
+        if (invariant[g * plan.num_policies + p]) {
+          plan.shared_slot[g * plan.num_policies + p] = slot++;
+        }
       }
     }
   }
@@ -414,6 +526,16 @@ void write_spec_summary_json(std::ostream& out, const SweepSpec& spec,
     out << '"' << json_escape(spec.workloads[w].name) << '"';
   }
   out << "],\n";
+  // Additive schema: only strategy sweeps carry a deviation grid, so every
+  // pre-strategy artifact byte stays put.
+  if (spec.is_strategy()) {
+    out << inner << "\"deviations\": [";
+    for (std::size_t d = 0; d < spec.deviations.size(); ++d) {
+      if (d) out << ", ";
+      out << '"' << json_escape(deviation_label(spec.deviations[d])) << '"';
+    }
+    out << "],\n";
+  }
   out << inner << "\"axes\": [";
   for (std::size_t j = 0; j < spec.axes.size(); ++j) {
     const SweepAxis& axis = spec.axes[j];
@@ -422,13 +544,22 @@ void write_spec_summary_json(std::ostream& out, const SweepSpec& spec,
     // axis its own registry does not know (a config-defined policy's
     // parameter read back by `merge` without the config file).
     out << "{\"name\": \"" << json_escape(axis.name) << "\", \"scope\": \""
-        << scope_label(axis.scope) << "\", \"integral\": "
+        << axis_scope_name(axis.scope) << "\", \"integral\": "
         << (axis.integral ? "true" : "false") << ", \"values\": [";
     for (std::size_t v = 0; v < axis.values.size(); ++v) {
       if (v) out << ", ";
       out << exact(axis.values[v]);
     }
-    out << "]}";
+    out << "]";
+    if (!axis.value_labels.empty()) {
+      out << ", \"labels\": [";
+      for (std::size_t v = 0; v < axis.value_labels.size(); ++v) {
+        if (v) out << ", ";
+        out << '"' << json_escape(axis.value_labels[v]) << '"';
+      }
+      out << "]";
+    }
+    out << "}";
   }
   out << "]\n" << indent << "}";
 }
@@ -453,6 +584,11 @@ SweepSpec spec_from_summary_json(const JsonValue& summary) {
     SweepWorkload workload;
     workload.name = name.as_string();
     spec.workloads.push_back(std::move(workload));
+  }
+  if (const JsonValue* deviations = summary.find("deviations")) {
+    for (const JsonValue& dev : deviations->items()) {
+      spec.deviations.push_back(strategy::parse_deviation(dev.as_string()));
+    }
   }
   for (const JsonValue& axis_json : summary.at("axes").items()) {
     std::vector<double> values;
@@ -479,12 +615,21 @@ SweepSpec spec_from_summary_json(const JsonValue& summary) {
     if (const JsonValue* integral = axis_json.find("integral")) {
       axis.integral = integral->as_bool();
     }
+    if (const JsonValue* labels = axis_json.find("labels")) {
+      for (const JsonValue& label : labels->items()) {
+        axis.value_labels.push_back(label.as_string());
+      }
+    }
     const std::string& scope = axis_json.at("scope").as_string();
-    if (scope != "workload" && scope != "policy") {
+    if (scope == "workload") {
+      axis.scope = SweepAxis::Scope::kWorkload;
+    } else if (scope == "policy") {
+      axis.scope = SweepAxis::Scope::kPolicy;
+    } else if (scope == "strategy") {
+      axis.scope = SweepAxis::Scope::kStrategy;
+    } else {
       throw std::invalid_argument("bad axis scope '" + scope + "'");
     }
-    axis.scope = scope == "policy" ? SweepAxis::Scope::kPolicy
-                                   : SweepAxis::Scope::kWorkload;
     spec.axes.push_back(std::move(axis));
   }
   return spec;

@@ -78,7 +78,17 @@ struct SweepPlan {
   bool has_baseline = false;
   PolicySpec baseline;
 
+  // Strategy sweeps (spec.is_strategy()): the effective deviation and
+  // deviating organization of each axis point, resolved from the strategy
+  // axes (sweep_point_deviation / sweep_point_deviator). Sized num_points
+  // always; honest / org 0 throughout for non-strategy sweeps.
+  std::vector<strategy::DeviationSpec> point_deviations;
+  std::vector<OrgId> point_deviators;
+
   // Prefix groups: axis points sharing every workload-scoped axis value.
+  // Strategy axes are strategy-scoped, so every deviation of one cell
+  // lands in one group and shares the honest prefix (generated window +
+  // baseline run) through the WorkloadCache.
   std::vector<std::size_t> group_of;   // per axis point
   std::vector<std::size_t> group_rep;  // first point of each group
   std::vector<std::size_t> group_size;

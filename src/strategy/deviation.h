@@ -1,0 +1,79 @@
+#pragma once
+
+// The closed family of strategic workload deviations (Section 4, Theorem
+// 4.1): pure transforms one *deviating* organization applies to its own job
+// stream while every other organization stays honest.
+//
+//   split k      each job becomes min(k, p) equal-as-possible pieces at the
+//                same release (k = 0: unit pieces, the paper's extreme case)
+//   merge k      consecutive runs of k FIFO jobs become one job (release =
+//                the run's latest release, processing = the run's sum; a
+//                final run shorter than 2 stays as-is)
+//   delay d      every release moves d time units later
+//   misreport p  the *declared* processing time becomes max(1, true*p/100)
+//                while the true size is unchanged — the non-clairvoyant
+//                mode: policies schedule the declared instance, metrics are
+//                computed against the true sizes (strategy/game.h)
+//
+// Deviations are data: they ride sweep specs, plan fingerprints and config
+// files as (kind, param) pairs with canonical labels ("split2", "splitunit",
+// "merge2", "delay20", "misreport200", "honest").
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/types.h"
+
+namespace fairsched::strategy {
+
+struct DeviationSpec {
+  enum class Kind { kHonest, kSplit, kMerge, kDelay, kMisreport };
+
+  Kind kind = Kind::kHonest;
+  // split: pieces per job (0 = unit pieces, else >= 2); merge: run length
+  // (>= 2); delay: time shift (>= 1); misreport: declared size as a
+  // percentage of the true size (>= 1); honest: must be 0.
+  std::int64_t param = 0;
+
+  bool operator==(const DeviationSpec&) const = default;
+};
+
+// "honest" | "split" | "merge" | "delay" | "misreport".
+std::string deviation_kind_name(DeviationSpec::Kind kind);
+
+// Canonical display/config label: "honest", "splitunit" (split 0),
+// "split2", "merge3", "delay20", "misreport200".
+std::string deviation_label(const DeviationSpec& dev);
+
+// Parses a label ("split2", "splitunit", "honest") or the explicit
+// "kind:param" form ("split:2", "misreport:200"). Throws
+// std::invalid_argument naming the accepted forms.
+DeviationSpec parse_deviation(const std::string& text);
+
+// Throws std::invalid_argument when the parameter is outside the kind's
+// accepted range (documented on `param` above).
+void validate_deviation(const DeviationSpec& dev);
+
+// The transform on one FIFO job stream. Input jobs must be release-sorted
+// (Instance guarantees this); the output is release-sorted too, with
+// org/index fields left for the caller (InstanceBuilder re-derives them).
+std::vector<Job> apply_deviation_to_jobs(std::span<const Job> jobs,
+                                         const DeviationSpec& dev);
+
+// Rebuilds `honest` with the deviator's job stream transformed and every
+// other organization untouched. For kMisreport the result is the *declared*
+// instance (same job count and FIFO order as the honest one, so job index j
+// of the deviator maps 1:1 onto its true job). Throws when `deviator` is out
+// of range or the deviation is invalid.
+Instance apply_deviation(const Instance& honest, OrgId deviator,
+                         const DeviationSpec& dev);
+
+// The default manipulation grid swept by `fairsched_exp strategy`: honest
+// first (the gain reference), then split/merge/delay/misreport at two
+// magnitudes each.
+std::vector<DeviationSpec> default_deviation_grid();
+
+}  // namespace fairsched::strategy

@@ -1,0 +1,370 @@
+#include "strategy/game.h"
+
+#include <algorithm>
+#include <ostream>
+#include <utility>
+
+#include "metrics/utility.h"
+#include "util/table.h"
+
+namespace fairsched::strategy {
+
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+// Percent change of `delta` against `base`; 0 when the base vanishes (an
+// empty honest reference cannot be improved upon by any percentage).
+double pct(double delta, double base) {
+  return base == 0.0 ? 0.0 : 100.0 * delta / base;
+}
+
+std::string fmt(double v) { return AsciiTable::format_double(v, 3); }
+
+// Deviations that keep the honest job count and FIFO order, so the
+// deviator's job index j maps 1:1 onto its honest (true) job.
+bool index_mapped(DeviationSpec::Kind kind) {
+  return kind == DeviationSpec::Kind::kHonest ||
+         kind == DeviationSpec::Kind::kDelay ||
+         kind == DeviationSpec::Kind::kMisreport;
+}
+
+}  // namespace
+
+StrategyOutcome evaluate_deviation(const Instance& honest,
+                                   const Instance& declared, OrgId deviator,
+                                   const DeviationSpec& dev,
+                                   const Schedule& schedule, Time horizon,
+                                   std::vector<HalfUtil>& utilities2) {
+  const bool misreport = dev.kind == DeviationSpec::Kind::kMisreport;
+  if (misreport) {
+    // The engine credited the declared sizes; the deviator's true earnings
+    // are the useful unit tasks: min(declared, true) per started job.
+    HalfUtil capped = 0;
+    for (const Placement& p : schedule.placements()) {
+      if (p.org != deviator) continue;
+      const Time d = declared.job(deviator, p.index).processing;
+      const Time t = honest.job(deviator, p.index).processing;
+      capped += sp_job_half_utility(p.start, std::min(d, t), horizon);
+    }
+    utilities2[deviator] = capped;
+  }
+
+  StrategyOutcome out;
+  out.deviator_utility = half_to_double(utilities2[deviator]);
+  HalfUtil honest_sum = 0;
+  for (OrgId u = 0; u < honest.num_orgs(); ++u) {
+    if (u != deviator) honest_sum += utilities2[u];
+  }
+  out.honest_utility = half_to_double(honest_sum);
+
+  // Mean flow of the deviator's truly-completed jobs. Index-mapped
+  // deviations are graded against the honest release (a delayed job was
+  // wanted when the honest stream released it); split/merge streams *are*
+  // the true jobs, so their declared release is the reference.
+  std::int64_t flow_sum = 0;
+  std::int64_t completed = 0;
+  for (const Placement& p : schedule.placements()) {
+    if (p.org != deviator) continue;
+    Time true_processing = declared.job(deviator, p.index).processing;
+    Time release = declared.job(deviator, p.index).release;
+    if (index_mapped(dev.kind)) {
+      const Job& true_job = honest.job(deviator, p.index);
+      release = true_job.release;
+      if (misreport) {
+        // An under-declared slot frees the machine before the job is done:
+        // it never completes. An over-declared one completes at start +
+        // true size (the machine then idles on the phantom remainder).
+        if (true_processing < true_job.processing) continue;
+        true_processing = true_job.processing;
+      }
+    }
+    const Time completion = p.start + true_processing;
+    if (completion > horizon) continue;
+    flow_sum += completion - release;
+    ++completed;
+  }
+  out.deviator_flow =
+      completed ? static_cast<double>(flow_sum) / completed : 0.0;
+  return out;
+}
+
+std::vector<DeviationOutcome> play_deviation_grid(
+    const Instance& honest, OrgId deviator,
+    std::span<const DeviationSpec> grid, const std::string& policy,
+    Time horizon, std::uint64_t seed, const exp::PolicyRegistry& registry) {
+  std::vector<DeviationOutcome> outcomes;
+  outcomes.reserve(grid.size());
+  for (const DeviationSpec& dev : grid) {
+    const Instance declared =
+        dev.kind == DeviationSpec::Kind::kHonest
+            ? honest
+            : apply_deviation(honest, deviator, dev);
+    RunResult r = registry.run(declared, policy, horizon, seed);
+    DeviationOutcome outcome;
+    outcome.dev = dev;
+    outcome.outcome = evaluate_deviation(honest, declared, deviator, dev,
+                                         r.schedule, horizon, r.utilities2);
+    outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
+}
+
+namespace {
+
+// One slice of a strategy sweep: a combination of every non-strategy,
+// non-deviation-param axis value (deviator-org included), holding the
+// points that vary only in the played deviation. `points` is ascending, so
+// iteration order — and the printed report — is independent of how the
+// sweep was executed.
+struct StrategySlice {
+  std::vector<double> key;
+  std::string label;  // ", axis=value" suffix for the header
+  std::size_t honest_point = kNone;
+  // (deviation label, axis point), first point per distinct label,
+  // honest excluded.
+  std::vector<std::pair<std::string, std::size_t>> deviations;
+};
+
+std::vector<StrategySlice> slice_points(const exp::SweepSpec& spec,
+                                        std::size_t axis_points) {
+  std::vector<StrategySlice> slices;
+  for (std::size_t a = 0; a < axis_points; ++a) {
+    const std::vector<double> values = exp::axis_point_values(spec, a);
+    std::vector<double> key;
+    std::string label;
+    for (std::size_t j = 0; j < spec.axes.size(); ++j) {
+      const exp::SweepAxis& axis = spec.axes[j];
+      if (axis.bind == exp::SweepAxis::Bind::kStrategy ||
+          axis.bind == exp::SweepAxis::Bind::kDeviationParam) {
+        continue;
+      }
+      key.push_back(values[j]);
+      label +=
+          ", " + axis.name + "=" + exp::axis_value_label(axis, values[j]);
+    }
+    StrategySlice* slice = nullptr;
+    for (StrategySlice& existing : slices) {
+      if (existing.key == key) {
+        slice = &existing;
+        break;
+      }
+    }
+    if (!slice) {
+      slices.push_back({std::move(key), std::move(label), kNone, {}});
+      slice = &slices.back();
+    }
+    const DeviationSpec dev = exp::sweep_point_deviation(spec, a);
+    if (dev.kind == DeviationSpec::Kind::kHonest) {
+      if (slice->honest_point == kNone) slice->honest_point = a;
+      continue;
+    }
+    const std::string dev_label = deviation_label(dev);
+    bool seen = false;
+    for (const auto& [label_seen, point] : slice->deviations) {
+      seen |= label_seen == dev_label;
+    }
+    if (!seen) slice->deviations.emplace_back(dev_label, a);
+  }
+  return slices;
+}
+
+struct Gains {
+  double psi = 0.0;
+  double flow = 0.0;
+  double harm = 0.0;
+  bool flow_valid = false;  // false when nothing truly completed
+};
+
+Gains cell_gains(const exp::SweepCell& honest_cell,
+                 const exp::SweepCell& dev_cell) {
+  Gains g;
+  const double h_psi = honest_cell.deviator_utility.mean();
+  const double h_flow = honest_cell.deviator_flow.mean();
+  const double h_others = honest_cell.honest_utility.mean();
+  g.psi = pct(dev_cell.deviator_utility.mean() - h_psi, h_psi);
+  const double d_flow = dev_cell.deviator_flow.mean();
+  g.flow_valid = d_flow != 0.0 && h_flow != 0.0;
+  if (g.flow_valid) g.flow = pct(h_flow - d_flow, h_flow);
+  g.harm = pct(h_others - dev_cell.honest_utility.mean(), h_others);
+  return g;
+}
+
+}  // namespace
+
+void print_strategy_report(const exp::SweepSpec& spec,
+                           const exp::SweepResult& result,
+                           std::ostream& out) {
+  if (!spec.is_strategy()) return;
+  const std::size_t num_workloads = spec.workloads.size();
+  const std::size_t num_policies = spec.policies.size();
+  const std::vector<StrategySlice> slices =
+      slice_points(spec, result.axis_points);
+
+  for (std::size_t w = 0; w < num_workloads; ++w) {
+    for (const StrategySlice& slice : slices) {
+      out << "\nmanipulation gain vs honest, workload "
+          << spec.workloads[w].name << slice.label << "\n";
+      if (slice.honest_point == kNone || slice.deviations.empty()) {
+        out << "  (no honest reference or no deviations; nothing to "
+               "grade)\n";
+        continue;
+      }
+      AsciiTable detail({"policy", "deviation", "psi_sp gain %",
+                         "flow gain %", "honest harm %"});
+      AsciiTable best({"policy", "best dev (psi_sp)", "psi_sp gain %",
+                       "best dev (flow)", "flow gain %", "honest harm %"});
+      for (std::size_t p = 0; p < num_policies; ++p) {
+        if (p) detail.add_separator();
+        const exp::SweepCell& honest_cell =
+            result.cell(spec, slice.honest_point, w, p);
+        std::size_t best_psi = kNone, best_flow = kNone;
+        Gains best_psi_gains, best_flow_gains;
+        for (std::size_t d = 0; d < slice.deviations.size(); ++d) {
+          const auto& [dev_label, point] = slice.deviations[d];
+          const Gains g =
+              cell_gains(honest_cell, result.cell(spec, point, w, p));
+          detail.add_row({spec.policies[p], dev_label, fmt(g.psi),
+                          g.flow_valid ? fmt(g.flow) : "n/a",
+                          fmt(g.harm)});
+          if (best_psi == kNone || g.psi > best_psi_gains.psi) {
+            best_psi = d;
+            best_psi_gains = g;
+          }
+          if (g.flow_valid &&
+              (best_flow == kNone || g.flow > best_flow_gains.flow)) {
+            best_flow = d;
+            best_flow_gains = g;
+          }
+        }
+        best.add_row(
+            {spec.policies[p],
+             best_psi == kNone ? "n/a" : slice.deviations[best_psi].first,
+             best_psi == kNone ? "n/a" : fmt(best_psi_gains.psi),
+             best_flow == kNone ? "n/a" : slice.deviations[best_flow].first,
+             best_flow == kNone ? "n/a" : fmt(best_flow_gains.flow),
+             best_flow == kNone ? "n/a" : fmt(best_flow_gains.harm)});
+      }
+      out << detail.to_string();
+      out << "\nbest response per policy (flow-best row carries its "
+             "honest-org harm)\n";
+      out << best.to_string();
+    }
+  }
+}
+
+namespace {
+
+// Policies whose grading follows psi_sp shares, for which Theorem 4.1
+// promises structural manipulation stays unprofitable: the fairshare
+// family (fairshare, utfairshare, currfairshare, decayfairshare*) and the
+// direct-contribution rule. fcfs and roundrobin grade by arrival/turn
+// order and legitimately reward splitting or merging — they are the other
+// side of the contrast, not violations of it.
+bool share_graded(const std::string& policy) {
+  return policy == "directcontr" ||
+         policy.find("fairshare") != std::string::npos;
+}
+
+}  // namespace
+
+std::size_t check_theorem41(const exp::SweepSpec& spec,
+                            const exp::SweepResult& result,
+                            double tolerance_pct, std::ostream& out) {
+  if (!spec.is_strategy()) {
+    out << "theorem 4.1 check: not a strategy sweep\n";
+    return 1;
+  }
+  const std::size_t num_workloads = spec.workloads.size();
+  const std::size_t num_policies = spec.policies.size();
+  const std::vector<StrategySlice> slices =
+      slice_points(spec, result.axis_points);
+
+  std::size_t violations = 0;
+  for (std::size_t p = 0; p < num_policies; ++p) {
+    const std::string& policy = spec.policies[p];
+    for (std::size_t w = 0; w < num_workloads; ++w) {
+      for (const StrategySlice& slice : slices) {
+        if (slice.honest_point == kNone) continue;
+        const exp::SweepCell& honest_cell =
+            result.cell(spec, slice.honest_point, w, p);
+        const std::string where =
+            "workload " + spec.workloads[w].name + slice.label;
+
+        // Slice aggregates: the mean psi_sp gain over the structural
+        // deviations (split/merge/delay — single rows are scheduling-
+        // noisy, the mean is the robust signal), the best psi_sp gain
+        // over splits, and the best flow gain over under-reports.
+        double structural_sum = 0.0;
+        std::size_t structural_count = 0;
+        double best_split_psi = 0.0;
+        bool any_split = false;
+        double best_underreport_flow = 0.0;
+        bool any_underreport = false;
+        for (const auto& [dev_label, point] : slice.deviations) {
+          const DeviationSpec dev = exp::sweep_point_deviation(spec, point);
+          const Gains g =
+              cell_gains(honest_cell, result.cell(spec, point, w, p));
+          if (dev.kind == DeviationSpec::Kind::kSplit ||
+              dev.kind == DeviationSpec::Kind::kMerge ||
+              dev.kind == DeviationSpec::Kind::kDelay) {
+            structural_sum += g.psi;
+            ++structural_count;
+          }
+          if (dev.kind == DeviationSpec::Kind::kSplit) {
+            best_split_psi =
+                any_split ? std::max(best_split_psi, g.psi) : g.psi;
+            any_split = true;
+          }
+          if (dev.kind == DeviationSpec::Kind::kMisreport &&
+              dev.param < 100 && g.flow_valid) {
+            best_underreport_flow =
+                any_underreport ? std::max(best_underreport_flow, g.flow)
+                                : g.flow;
+            any_underreport = true;
+          }
+        }
+
+        // Claim 1: share-graded policies resist structural manipulation.
+        if (share_graded(policy) && structural_count > 0) {
+          const double mean_psi =
+              structural_sum / static_cast<double>(structural_count);
+          if (mean_psi > tolerance_pct) {
+            out << "theorem 4.1 VIOLATION: share-graded policy " << policy
+                << " gains " << fmt(mean_psi)
+                << "% mean psi_sp across split/merge/delay on " << where
+                << " (tolerance " << fmt(tolerance_pct) << "%)\n";
+            ++violations;
+          }
+        }
+        // Claim 2: arrival-graded fcfs must reward splitting.
+        if (policy == "fcfs" && any_split && best_split_psi <= 0.0) {
+          out << "theorem 4.1 VIOLATION: arrival-graded fcfs shows no "
+                 "positive psi_sp gain under any split deviation on "
+              << where << " (best " << fmt(best_split_psi)
+              << "%) — the contrast side is missing\n";
+          ++violations;
+        }
+        // Claim 3: flow grading invites under-reporting, everywhere.
+        if (any_underreport && best_underreport_flow <= 0.0) {
+          out << "theorem 4.1 VIOLATION: policy " << policy
+              << " shows no positive flow-time gain under size "
+                 "under-reporting on "
+              << where << " (best " << fmt(best_underreport_flow)
+              << "%)\n";
+          ++violations;
+        }
+      }
+    }
+  }
+  out << "theorem 4.1 check: "
+      << (violations == 0 ? "OK"
+                          : std::to_string(violations) + " violation(s)")
+      << " (share-graded psi_sp resists split/merge/delay within "
+      << fmt(tolerance_pct)
+      << "%; fcfs rewards splitting; flow grading rewards "
+         "under-reporting)\n";
+  return violations;
+}
+
+}  // namespace fairsched::strategy

@@ -1,0 +1,111 @@
+#pragma once
+
+// The best-response layer of the strategic-deviation game (Section 4).
+//
+// One deviating organization plays a deviation from strategy/deviation.h
+// against a policy while every other organization stays honest; the
+// schedule is graded against the *true* workload:
+//
+//   deviator_utility  psi_sp of the deviating org over its true job sizes
+//                     (for kMisreport, a declared slot of size d holding a
+//                     true job of size p earns min(d, p) useful unit tasks)
+//   deviator_flow     mean flow time of the org's truly-completed jobs (a
+//                     misreported job completes only when d >= p, at
+//                     start + p)
+//   honest_utility    summed psi_sp of the honest organizations — their
+//                     loss is the fairness harm the manipulation causes
+//
+// The paper's Theorem 4.1 contrast: graded by psi_sp, split/merge/delay
+// deviations never help the deviator; graded by flow time, splitting pays.
+// print_strategy_report derives manipulation gains and best responses
+// purely from merged per-cell sweep aggregates, so its output is
+// byte-identical whether the sweep ran whole, sharded, multi-process or
+// dispatched; check_theorem41 machine-checks the contrast for CI.
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/schedule.h"
+#include "core/types.h"
+#include "exp/policy_registry.h"
+#include "exp/sweep.h"
+#include "strategy/deviation.h"
+
+namespace fairsched::strategy {
+
+// True-size grading of one played deviation (fields documented above).
+struct StrategyOutcome {
+  double deviator_utility = 0.0;
+  double deviator_flow = 0.0;
+  double honest_utility = 0.0;
+};
+
+// Grades `schedule` (the policy's run on the declared instance) against
+// the honest instance's true job sizes. `utilities2` holds the engine's
+// per-org half-utilities over the declared instance on entry; on return
+// the deviator's entry is corrected to its true-size utility (kMisreport
+// only — every other deviation's declared stream is its true one), so the
+// caller can feed it to the fairness metrics unchanged.
+StrategyOutcome evaluate_deviation(const Instance& honest,
+                                   const Instance& declared, OrgId deviator,
+                                   const DeviationSpec& dev,
+                                   const Schedule& schedule, Time horizon,
+                                   std::vector<HalfUtil>& utilities2);
+
+// One grid entry's outcome from play_deviation_grid.
+struct DeviationOutcome {
+  DeviationSpec dev;
+  StrategyOutcome outcome;
+};
+
+// Plays every deviation of `grid` for (policy, deviator) on one honest
+// instance: applies the deviation, runs the policy on the declared
+// instance, grades the result. The direct-play driver behind the
+// `strategyproof` ablation and the property tests; the sweep engine plays
+// the same game through exp/executor.cc with cached honest prefixes.
+std::vector<DeviationOutcome> play_deviation_grid(
+    const Instance& honest, OrgId deviator,
+    std::span<const DeviationSpec> grid, const std::string& policy,
+    Time horizon, std::uint64_t seed,
+    const exp::PolicyRegistry& registry = exp::PolicyRegistry::global());
+
+// The manipulation-gain report of a finished strategy sweep: per
+// (workload, slice, policy) a per-deviation table of psi_sp gain, flow
+// gain and honest-org harm (all percent vs the slice's honest row), then
+// a best-response summary (argmax deviation under each grading). A slice
+// is one combination of non-strategy axis values — deviator-org included,
+// deviation-param folded into the deviation labels. Derives everything
+// from spec + merged cell aggregates (no per-run records), so shards,
+// `merge`, `--processes` and dispatch print identical bytes.
+void print_strategy_report(const exp::SweepSpec& spec,
+                           const exp::SweepResult& result, std::ostream& out);
+
+// Machine check of the Theorem 4.1 contrast over a finished strategy
+// sweep. Three empirical claims, each graded per (workload, slice):
+//
+//   1. Share-graded policies resist structural manipulation: for every
+//      policy whose grading follows psi_sp shares (the fairshare family
+//      and directcontr), the *mean* psi_sp gain across split/merge/delay
+//      deviations stays within `tolerance_pct`. The mean damps the
+//      scheduling noise a single deviation row carries on small windows.
+//   2. Arrival-graded scheduling invites splitting: fcfs (when present,
+//      and when the grid has a split deviation) must show a strictly
+//      positive best split psi_sp gain — the side of the contrast that
+//      makes claim 1 meaningful.
+//   3. Flow-time grading invites size under-reporting: every policy's
+//      best flow gain under a kMisreport deviation with param < 100 must
+//      be strictly positive (only truly-completed jobs count, so under-
+//      declaring trades dropped long jobs for fast short ones).
+//
+// Prints one line per violation and a verdict; returns the violation
+// count (0 = the contrast holds). Claims 2/3 are skipped when the grid
+// lacks the deviations they need.
+std::size_t check_theorem41(const exp::SweepSpec& spec,
+                            const exp::SweepResult& result,
+                            double tolerance_pct, std::ostream& out);
+
+}  // namespace fairsched::strategy

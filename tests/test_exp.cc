@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -17,6 +18,7 @@
 #include "exp/sweep.h"
 #include "exp/sweep_artifact.h"
 #include "exp/sweep_plan.h"
+#include "strategy/game.h"
 #include "util/csv.h"
 
 namespace fairsched::exp {
@@ -808,6 +810,158 @@ TEST(ShardedSweep, ArtifactTextRejectsTampering) {
   }
 }
 
+// --- Strategy sweeps through the whole engine -------------------------------
+
+// A compact strategy sweep through the real scenario factory: 2 policies,
+// a deviator-org axis and a pruned deviation grid on the contended LPC
+// window.
+SweepSpec strategy_sweep(std::size_t threads) {
+  ScenarioOptions options;
+  options.smoke = true;
+  options.duration = 400;
+  options.instances = 2;
+  options.deviations = "split:2,merge:2,delay:5,misreport:50";
+  options.deviator_orgs = "0,1";
+  SweepSpec spec = make_strategy_sweep(options);
+  spec.policies = {"fcfs", "fairshare"};
+  spec.threads = threads;
+  spec.seed = 19;
+  return spec;
+}
+
+std::string strategy_report(const SweepSpec& spec,
+                            const SweepResult& result) {
+  std::ostringstream out;
+  strategy::print_strategy_report(spec, result, out);
+  return out.str();
+}
+
+TEST(StrategySweep, SpecCarriesTheDeviationGridAsAnAxis) {
+  const SweepSpec spec = strategy_sweep(1);
+  ASSERT_TRUE(spec.is_strategy());
+  // Honest is always entry 0 — the gain reference every report needs.
+  ASSERT_EQ(spec.deviations.size(), 5u);
+  EXPECT_EQ(spec.deviations[0].kind,
+            strategy::DeviationSpec::Kind::kHonest);
+  ASSERT_EQ(spec.axes.size(), 2u);
+  EXPECT_EQ(spec.axes[0].name, "strategy");
+  EXPECT_EQ(spec.axes[0].bind, SweepAxis::Bind::kStrategy);
+  EXPECT_EQ(spec.axes[0].scope, SweepAxis::Scope::kStrategy);
+  ASSERT_EQ(spec.axes[0].value_labels.size(), 5u);
+  EXPECT_EQ(spec.axes[0].value_labels[0], "honest");
+  EXPECT_EQ(spec.axes[0].value_labels[1], "split2");
+  EXPECT_EQ(spec.axes[1].name, "deviator-org");
+  EXPECT_EQ(spec.axes[1].values, (std::vector<double>{0, 1}));
+}
+
+TEST(StrategySweep, OutputsBitIdenticalAcrossThreadsAndCache) {
+  const auto [one, records_one] = run_collecting(strategy_sweep(1));
+  const auto [many, records_many] = run_collecting(strategy_sweep(8));
+  ASSERT_EQ(records_one.size(), records_many.size());
+  bool any_strategy_signal = false;
+  for (std::size_t i = 0; i < records_one.size(); ++i) {
+    EXPECT_EQ(records_one[i].deviator_utility,
+              records_many[i].deviator_utility);
+    EXPECT_EQ(records_one[i].deviator_flow, records_many[i].deviator_flow);
+    EXPECT_EQ(records_one[i].honest_utility,
+              records_many[i].honest_utility);
+    any_strategy_signal |= records_one[i].deviator_utility != 0.0;
+  }
+  EXPECT_TRUE(any_strategy_signal);
+  EXPECT_EQ(aggregate_csv(strategy_sweep(1), one),
+            aggregate_csv(strategy_sweep(8), many));
+  EXPECT_EQ(strategy_report(strategy_sweep(1), one),
+            strategy_report(strategy_sweep(8), many));
+
+  SweepSpec uncached = strategy_sweep(4);
+  uncached.cache_bytes = 0;
+  EXPECT_EQ(aggregate_csv(uncached, SweepDriver().run(uncached)),
+            aggregate_csv(strategy_sweep(1), one));
+  // Every deviation of a (workload, instance, deviator) cell shares one
+  // honest prefix: the generated window and its REF baseline are computed
+  // once, not once per deviation.
+  EXPECT_EQ(one.prefix_groups, 1u);
+}
+
+TEST(StrategySweep, AggregateCsvCarriesStrategyColumnsOnlyForStrategy) {
+  const SweepSpec spec = strategy_sweep(2);
+  const std::string csv = aggregate_csv(spec, SweepDriver().run(spec));
+  EXPECT_NE(csv.find("deviator_utility_mean"), std::string::npos);
+  EXPECT_NE(csv.find("deviator_flow_mean"), std::string::npos);
+  EXPECT_NE(csv.find("honest_utility_mean"), std::string::npos);
+  const SweepSpec plain = small_sweep(2);
+  const std::string plain_csv =
+      aggregate_csv(plain, SweepDriver().run(plain));
+  EXPECT_EQ(plain_csv.find("deviator_utility_mean"), std::string::npos);
+}
+
+TEST(StrategySweep, MergedShardsReproduceReportAndCheckBitForBit) {
+  const SweepSpec spec = strategy_sweep(2);
+  const SweepResult whole = SweepDriver().run(spec);
+  const std::string whole_csv = aggregate_csv(spec, whole);
+  const std::string whole_report = strategy_report(spec, whole);
+  std::ostringstream whole_check_out;
+  const std::size_t whole_check =
+      strategy::check_theorem41(spec, whole, 2.0, whole_check_out);
+
+  std::vector<ShardArtifact> artifacts;
+  for (std::size_t s = 0; s < 3; ++s) {
+    SweepSpec shard_spec = spec;
+    shard_spec.threads = 1 + s;
+    artifacts.push_back(run_shard(shard_spec, s, 3));
+  }
+  const MergedSweep merged = merge_shard_artifacts(std::move(artifacts));
+  // The deviation grid survives the artifact summary round-trip: the
+  // merged spec can drive the same report without the original argv.
+  EXPECT_EQ(merged.spec.deviations, spec.deviations);
+  ASSERT_EQ(merged.spec.axes.size(), spec.axes.size());
+  EXPECT_EQ(merged.spec.axes[0].value_labels,
+            spec.axes[0].value_labels);
+  EXPECT_EQ(aggregate_csv(merged.spec, merged.result), whole_csv);
+  EXPECT_EQ(strategy_report(merged.spec, merged.result), whole_report);
+  std::ostringstream merged_check_out;
+  EXPECT_EQ(strategy::check_theorem41(merged.spec, merged.result, 2.0,
+                                      merged_check_out),
+            whole_check);
+  EXPECT_EQ(merged_check_out.str(), whole_check_out.str());
+}
+
+TEST(StrategySweep, ArtifactRoundTripCarriesStrategyAccumulators) {
+  const SweepSpec spec = strategy_sweep(1);
+  const SweepPlan plan =
+      build_sweep_plan(spec, PolicyRegistry::global(), {0, 1});
+  ThreadPoolExecutor executor;
+  const SweepResult result = executor.execute(plan);
+  std::ostringstream artifact;
+  write_shard_artifact(artifact, plan, result);
+  const ShardArtifact parsed =
+      parse_shard_artifact(artifact.str(), "strategy-shard");
+  ASSERT_EQ(parsed.result.cells.size(), result.cells.size());
+  for (std::size_t c = 0; c < result.cells.size(); ++c) {
+    EXPECT_EQ(parsed.result.cells[c].deviator_utility.mean(),
+              result.cells[c].deviator_utility.mean());
+    EXPECT_EQ(parsed.result.cells[c].deviator_flow.mean(),
+              result.cells[c].deviator_flow.mean());
+    EXPECT_EQ(parsed.result.cells[c].honest_utility.mean(),
+              result.cells[c].honest_utility.mean());
+  }
+}
+
+TEST(StrategySweep, ValidationCatchesBadStrategySpecs) {
+  // A deviator-org beyond the consortium is a spec error, not a crash.
+  SweepSpec bad = strategy_sweep(1);
+  bad.axes[1].values = {0, 99};
+  EXPECT_THROW(SweepDriver().run(bad), std::invalid_argument);
+  // A strategy axis needs a deviation grid behind it.
+  bad = strategy_sweep(1);
+  bad.deviations.clear();
+  EXPECT_THROW(SweepDriver().run(bad), std::invalid_argument);
+  // Strategy axis values must index the grid.
+  bad = strategy_sweep(1);
+  bad.axes[0].values = {0, 7};
+  EXPECT_THROW(SweepDriver().run(bad), std::invalid_argument);
+}
+
 // --- Disk cache tier through the sweep engine -------------------------------
 
 // A private scratch directory per test, cleaned before use.
@@ -1173,6 +1327,48 @@ TEST(Scenarios, SingleAxisPointScenariosRejectAxes) {
   options.axes.clear();
   EXPECT_NO_THROW(make_utilization_sweep(options));
   EXPECT_NO_THROW(make_rand_convergence_sweep(options));
+}
+
+TEST(Scenarios, StrategySweepPlaysTheDefaultGridOnAContendedPlatform) {
+  ScenarioOptions options;
+  const SweepSpec spec = make_strategy_sweep(options);
+  ASSERT_TRUE(spec.is_strategy());
+  // The default grid: honest first, then split/merge/delay/misreport at
+  // two magnitudes each.
+  EXPECT_EQ(spec.deviations, strategy::default_deviation_grid());
+  ASSERT_EQ(spec.axes.size(), 1u);
+  EXPECT_EQ(spec.axes[0].name, "strategy");
+  EXPECT_EQ(spec.axes[0].values.size(), spec.deviations.size());
+  // Both sides of the Thm 4.1 contrast are in the policy set.
+  EXPECT_NE(std::find(spec.policies.begin(), spec.policies.end(), "fcfs"),
+            spec.policies.end());
+  EXPECT_NE(std::find(spec.policies.begin(), spec.policies.end(),
+                      "fairshare"),
+            spec.policies.end());
+  // The platform is scaled down to stay contended: on an underloaded
+  // consortium every deviation just soaks idle machines and the contrast
+  // drowns.
+  ScenarioOptions unscaled;
+  unscaled.scale = 1.0;
+  EXPECT_LT(spec.workloads[0].spec.total_machines,
+            make_strategy_sweep(unscaled).workloads[0].spec.total_machines);
+
+  // --deviations prunes and reorders the grid (honest stays first);
+  // malformed entries are rejected.
+  ScenarioOptions pruned;
+  pruned.deviations = "delay:7,split:3";
+  const SweepSpec small = make_strategy_sweep(pruned);
+  ASSERT_EQ(small.deviations.size(), 3u);
+  EXPECT_EQ(small.deviations[0].kind,
+            strategy::DeviationSpec::Kind::kHonest);
+  EXPECT_EQ(small.deviations[1].kind,
+            strategy::DeviationSpec::Kind::kDelay);
+  EXPECT_EQ(small.deviations[1].param, 7);
+  pruned.deviations = "bogus";
+  EXPECT_THROW(make_strategy_sweep(pruned), std::invalid_argument);
+  pruned.deviations = "";
+  pruned.deviator_orgs = "1,x";
+  EXPECT_THROW(make_strategy_sweep(pruned), std::invalid_argument);
 }
 
 TEST(Scenarios, AxesFlagOverridesScenarioDefaults) {

@@ -1,11 +1,17 @@
 // Property tests for the strategy-proof utility psi_sp: the three axioms of
-// Section 4 (Theorem 4.1) and the flow-time equivalence (Proposition 4.2).
+// Section 4 (Theorem 4.1), the flow-time equivalence (Proposition 4.2), and
+// the axioms re-checked through the strategy/deviation.h transforms on
+// policy-produced schedules of generated windows.
 
 #include <gtest/gtest.h>
 
 #include <tuple>
 
+#include "exp/policy_registry.h"
 #include "metrics/utility.h"
+#include "strategy/deviation.h"
+#include "strategy/game.h"
+#include "util/rng.h"
 
 namespace fairsched {
 namespace {
@@ -166,6 +172,158 @@ TEST(Prop42, BreaksForUnequalJobs) {
   // conserved: 11 units executed over [0, 11) either way).
   EXPECT_EQ(sp_org_half_utility(inst, short_first, o, t),
             sp_org_half_utility(inst, long_first, o, t));
+}
+
+// --- Theorem 4.1 through the deviation transforms ---------------------------
+// The axioms above are statements about sp_job_half_utility in isolation;
+// these re-check them through strategy/deviation.h on real schedules: the
+// grading depends only on the allocated slots, so re-describing the same
+// slots as split or merged jobs cannot move psi_sp, and pushing every slot
+// later can only lower it — for every registered policy's schedule on
+// generated windows.
+
+namespace {
+
+// A small two-org window with mixed job sizes (seeded, deterministic).
+Instance generated_window(std::uint64_t seed) {
+  Rng rng(seed);
+  InstanceBuilder b;
+  const OrgId deviator = b.add_org("deviator", 1);
+  const OrgId honest = b.add_org("honest", 2);
+  Time t = 0;
+  for (int i = 0; i < 10; ++i) {
+    t += static_cast<Time>(rng.uniform_u64(4));
+    b.add_job(deviator, t, 1 + static_cast<Time>(rng.uniform_u64(5)));
+    b.add_job(honest, t, 1 + static_cast<Time>(rng.uniform_u64(3)));
+  }
+  return std::move(b).build();
+}
+
+}  // namespace
+
+TEST(Thm41Transforms, SplitOfAllocatedSlotsIsPsiInvariantForEveryPolicy) {
+  // Run each policy, then re-describe the deviator's allocated slots as
+  // the splitunit instance's unit pieces occupying exactly the same
+  // slots: psi_sp must not move by a single half-unit.
+  const strategy::DeviationSpec split{strategy::DeviationSpec::Kind::kSplit,
+                                      0};
+  for (const std::string& policy :
+       exp::PolicyRegistry::global().names()) {
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+      const Instance inst = generated_window(seed);
+      const Time horizon = 80;
+      const RunResult run =
+          exp::PolicyRegistry::global().run(inst, policy, horizon, seed);
+      const Instance pieces = strategy::apply_deviation(inst, 0, split);
+
+      // Job j of the deviator becomes unit pieces [first[j], first[j+1]).
+      std::vector<std::uint32_t> first(inst.jobs_of(0).size() + 1, 0);
+      for (std::size_t j = 0; j < inst.jobs_of(0).size(); ++j) {
+        first[j + 1] = first[j] +
+                       static_cast<std::uint32_t>(inst.job(0, j).processing);
+      }
+      Schedule piecewise(pieces.num_orgs());
+      for (const Placement& p : run.schedule.placements()) {
+        if (p.org != 0) {
+          piecewise.add(p);
+          continue;
+        }
+        const Time size = inst.job(0, p.index).processing;
+        for (Time unit = 0; unit < size; ++unit) {
+          piecewise.add({0, first[p.index] + static_cast<std::uint32_t>(unit),
+                         p.start + unit, p.machine});
+        }
+      }
+      EXPECT_EQ(sp_org_half_utility(inst, run.schedule, 0, horizon),
+                sp_org_half_utility(pieces, piecewise, 0, horizon))
+          << policy << " seed=" << seed;
+    }
+  }
+}
+
+TEST(Thm41Transforms, MergeOfBackToBackSlotsIsPsiInvariant) {
+  // Jobs scheduled back-to-back on one machine graded as merged runs of k
+  // over the same busy slots: equal psi_sp for every run length, at every
+  // horizon (through apply_deviation_to_jobs, not hand-built merges).
+  Rng rng(11);
+  InstanceBuilder b;
+  const OrgId o = b.add_org("o", 1);
+  std::vector<Time> sizes;
+  for (int i = 0; i < 9; ++i) {
+    sizes.push_back(1 + static_cast<Time>(rng.uniform_u64(6)));
+    b.add_job(o, 0, sizes.back());
+  }
+  const Instance inst = std::move(b).build();
+  Schedule sequential(1);
+  Time at = 0;
+  for (std::uint32_t j = 0; j < sizes.size(); ++j) {
+    sequential.add({o, j, at, 0});
+    at += sizes[j];
+  }
+  for (std::int64_t k : {2, 3, 4}) {
+    const strategy::DeviationSpec merge{
+        strategy::DeviationSpec::Kind::kMerge, k};
+    const Instance merged = strategy::apply_deviation(inst, 0, merge);
+    // Each merged job covers its run's contiguous slots: starts fall out
+    // of the same back-to-back layout.
+    Schedule merged_schedule(1);
+    Time start = 0;
+    for (std::uint32_t j = 0; j < merged.jobs_of(0).size(); ++j) {
+      merged_schedule.add({o, j, start, 0});
+      start += merged.job(0, j).processing;
+    }
+    for (Time t : {0, 3, 7, 15, 29, 100}) {
+      EXPECT_EQ(sp_org_half_utility(inst, sequential, o, t),
+                sp_org_half_utility(merged, merged_schedule, o, t))
+          << "k=" << k << " t=" << t;
+    }
+  }
+}
+
+TEST(Thm41Transforms, DelayingEverySlotNeverImprovesPsiForAnyPolicy) {
+  // Shift every placement of the deviator d steps later (the slots a
+  // delayed release forces at best): psi_sp is non-increasing in d, on
+  // every registered policy's schedule.
+  for (const std::string& policy :
+       exp::PolicyRegistry::global().names()) {
+    const Instance inst = generated_window(5);
+    const Time horizon = 80;
+    const RunResult run =
+        exp::PolicyRegistry::global().run(inst, policy, horizon, 5);
+    HalfUtil previous = sp_org_half_utility(inst, run.schedule, 0, horizon);
+    for (Time d : {1, 2, 5, 20}) {
+      Schedule delayed(inst.num_orgs());
+      for (const Placement& p : run.schedule.placements()) {
+        delayed.add(p.org == 0 ? Placement{p.org, p.index, p.start + d,
+                                           p.machine}
+                               : p);
+      }
+      const HalfUtil shifted =
+          sp_org_half_utility(inst, delayed, 0, horizon);
+      EXPECT_LE(shifted, previous) << policy << " d=" << d;
+      previous = shifted;
+    }
+  }
+}
+
+TEST(Thm41Transforms, DelayNeverPaysThroughTheGameOnAverage) {
+  // The full game (policy re-runs on the delayed instance) is noisy per
+  // window but deterministic per seed: across a window batch the mean
+  // delay gain must be non-positive for the share-graded policies.
+  using Kind = strategy::DeviationSpec::Kind;
+  const std::vector<strategy::DeviationSpec> grid = {{Kind::kHonest, 0},
+                                                     {Kind::kDelay, 10}};
+  for (const char* policy : {"fcfs", "fairshare", "directcontr"}) {
+    double gain = 0.0;
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+      const Instance inst = generated_window(seed);
+      const auto outcomes =
+          strategy::play_deviation_grid(inst, 0, grid, policy, 80, seed);
+      gain += outcomes[1].outcome.deviator_utility -
+              outcomes[0].outcome.deviator_utility;
+    }
+    EXPECT_LE(gain, 0.0) << policy;
+  }
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include "exp/scenarios.h"
 #include "exp/sweep.h"
 #include "exp/sweep_config.h"
+#include "strategy/deviation.h"
 #include "util/cli.h"
 
 namespace fairsched::exp {
@@ -346,6 +347,40 @@ TEST(SweepConfig, PolicyBlockErrorsCarrySourceContext) {
                      {"test.cfg:2", "built-in"});
   expect_parse_error("policies = fcfs\n[section]\n",
                      {"test.cfg:2", "unknown section"});
+}
+
+TEST(SweepConfig, StrategyBlockBuildsTheDeviationAxes) {
+  const SweepSpec spec = parse(
+      "policies = fcfs, fairshare\n"
+      "workload = unit\n"
+      "instances = 2\n"
+      "[strategy]\n"
+      "deviations = split:2, delay:5\n"
+      "deviator-orgs = 0, 1\n");
+  ASSERT_TRUE(spec.is_strategy());
+  ASSERT_EQ(spec.deviations.size(), 3u);  // honest + the two listed
+  EXPECT_EQ(spec.deviations[0].kind,
+            strategy::DeviationSpec::Kind::kHonest);
+  ASSERT_EQ(spec.axes.size(), 2u);
+  EXPECT_EQ(spec.axes[0].name, "strategy");
+  EXPECT_EQ(spec.axes[0].value_labels,
+            (std::vector<std::string>{"honest", "split2", "delay5"}));
+  EXPECT_EQ(spec.axes[1].name, "deviator-org");
+  EXPECT_EQ(spec.axes[1].values, (std::vector<double>{0, 1}));
+
+  // An empty block plays the full default grid.
+  const SweepSpec full = parse(
+      "policies = fcfs\nworkload = unit\n[strategy]\n");
+  EXPECT_EQ(full.deviations, strategy::default_deviation_grid());
+
+  // Errors carry the config-source context.
+  expect_parse_error(
+      "policies = fcfs\nworkload = unit\n[strategy]\nbogus-key = 1\n",
+      {"test.cfg:4", "bogus-key"});
+  expect_parse_error(
+      "policies = fcfs\nworkload = unit\n[strategy]\n"
+      "deviations = nonsense\n",
+      {"test.cfg", "nonsense"});
 }
 
 TEST(SweepConfig, SplitAndTrimHandlesWhitespaceAndEmpties) {
